@@ -1,0 +1,322 @@
+use ptucker::{PtuckerError, Result};
+use ptucker_linalg::Matrix;
+use ptucker_memtrack::MemoryBudget;
+use ptucker_sched::{parallel_reduce, Schedule};
+use ptucker_tensor::{CoreTensor, SparseTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shared configuration for the baseline methods (ranks, iteration budget,
+/// threading, memory budget). Mirrors the relevant subset of
+/// [`ptucker::FitOptions`] so the harnesses can configure every method the
+/// same way.
+#[derive(Debug, Clone)]
+pub struct BaselineOptions {
+    /// Core dimensionalities `J₁ … J_N`.
+    pub ranks: Vec<usize>,
+    /// Maximum outer iterations (paper default 20).
+    pub max_iters: usize,
+    /// Relative-change convergence tolerance on the reconstruction error.
+    pub tol: f64,
+    /// Worker threads for the parallelizable parts.
+    pub threads: usize,
+    /// RNG seed for initialization.
+    pub seed: u64,
+    /// Intermediate-data budget; exceeding it returns the paper's O.O.M.
+    pub budget: MemoryBudget,
+}
+
+impl BaselineOptions {
+    /// Creates options with the paper's defaults.
+    pub fn new(ranks: Vec<usize>) -> Self {
+        BaselineOptions {
+            ranks,
+            max_iters: 20,
+            tol: 1e-4,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            seed: 0,
+            budget: MemoryBudget::default(),
+        }
+    }
+
+    /// Sets the maximum iteration count.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the convergence tolerance.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the intermediate-data budget.
+    pub fn budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Validates the options against a tensor shape.
+    ///
+    /// # Errors
+    /// [`PtuckerError::InvalidConfig`] for arity/rank violations.
+    pub fn validate_for(&self, dims: &[usize]) -> Result<()> {
+        if self.ranks.is_empty() || self.ranks.contains(&0) {
+            return Err(PtuckerError::InvalidConfig(
+                "ranks must be non-empty and positive".into(),
+            ));
+        }
+        if self.ranks.len() != dims.len() {
+            return Err(PtuckerError::InvalidConfig(format!(
+                "ranks have order {} but the tensor has order {}",
+                self.ranks.len(),
+                dims.len()
+            )));
+        }
+        for (n, (&j, &i)) in self.ranks.iter().zip(dims).enumerate() {
+            if j > i {
+                return Err(PtuckerError::InvalidConfig(format!(
+                    "rank J_{n} = {j} exceeds dimensionality I_{n} = {i}"
+                )));
+            }
+        }
+        if self.max_iters == 0 {
+            return Err(PtuckerError::InvalidConfig("max_iters must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Random factor initialization in `[0, 1)`, identical to P-Tucker's, so the
+/// methods start from comparable states under the same seed.
+pub(crate) fn init_factors(dims: &[usize], ranks: &[usize], seed: u64) -> Vec<Matrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    dims.iter()
+        .zip(ranks)
+        .map(|(&i_n, &j_n)| {
+            let data: Vec<f64> = (0..i_n * j_n).map(|_| rng.gen::<f64>()).collect();
+            Matrix::from_vec(i_n, j_n, data).expect("length matches by construction")
+        })
+        .collect()
+}
+
+/// The HOOI core update `G = X ×₁ A⁽¹⁾ᵀ ⋯ ×_N A⁽ᴺ⁾ᵀ`, evaluated over the
+/// nonzeros only (exact, because HOOI treats missing cells as zeros):
+/// `G_β = Σ_{α∈Ω} X_α Πₙ a⁽ⁿ⁾(iₙ, βₙ)`.
+pub(crate) fn hooi_core(
+    x: &SparseTensor,
+    factors: &[Matrix],
+    ranks: &[usize],
+    threads: usize,
+) -> CoreTensor {
+    let core_shape =
+        CoreTensor::dense_from_fn(ranks.to_vec(), |_| 0.0).expect("ranks validated by the caller");
+    let g = core_shape.nnz();
+    let order = x.order();
+    let core_idx = core_shape.flat_indices().to_vec();
+    let vals = parallel_reduce(
+        x.nnz(),
+        threads,
+        Schedule::Static,
+        || vec![0.0f64; g],
+        |mut acc, e| {
+            let idx = x.index(e);
+            let xv = x.value(e);
+            for (b, slot) in acc.iter_mut().enumerate() {
+                let beta = &core_idx[b * order..(b + 1) * order];
+                let mut w = xv;
+                for (k, factor) in factors.iter().enumerate() {
+                    w *= factor[(idx[k], beta[k])];
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                *slot += w;
+            }
+            acc
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        },
+    );
+    let mut core = core_shape;
+    core.values_mut().copy_from_slice(&vals);
+    core
+}
+
+/// Observed-entry sum of squared residuals for borrowed factors/core —
+/// the Eq. 5 metric shared by every baseline's iteration log.
+pub(crate) fn observed_sse(
+    x: &SparseTensor,
+    factors: &[Matrix],
+    core: &CoreTensor,
+    threads: usize,
+) -> f64 {
+    let order = x.order();
+    let core_idx = core.flat_indices();
+    let core_vals = core.values();
+    parallel_reduce(
+        x.nnz(),
+        threads,
+        Schedule::Static,
+        || 0.0f64,
+        |acc, e| {
+            let idx = x.index(e);
+            let mut rec = 0.0;
+            for (b, &gv) in core_vals.iter().enumerate() {
+                let beta = &core_idx[b * order..(b + 1) * order];
+                let mut w = gv;
+                for (k, factor) in factors.iter().enumerate() {
+                    w *= factor[(idx[k], beta[k])];
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                rec += w;
+            }
+            let d = x.value(e) - rec;
+            acc + d * d
+        },
+        |a, b| a + b,
+    )
+}
+
+/// The shared HOOI outer loop used by the sparse baselines (Tucker-CSF and
+/// S-HOT): per mode, `update_mode` replaces `A⁽ⁿ⁾` with the `Jₙ` leading
+/// left singular vectors of the (implicit or explicit) TTMc output; the
+/// core is then the zero-imputed projection and the error is measured on
+/// the observed entries.
+pub(crate) fn run_hooi_loop<F>(
+    x: &SparseTensor,
+    opts: &BaselineOptions,
+    mut update_mode: F,
+) -> Result<ptucker::FitResult>
+where
+    F: FnMut(&mut [Matrix], usize) -> Result<()>,
+{
+    use std::time::Instant;
+    opts.validate_for(x.dims())?;
+    if x.order() < 2 {
+        return Err(PtuckerError::InvalidConfig(
+            "HOOI-style methods require order >= 2".into(),
+        ));
+    }
+    let t0 = Instant::now();
+    opts.budget.reset_peak();
+    let order = x.order();
+    let mut factors = init_factors(x.dims(), &opts.ranks, opts.seed);
+    for f in factors.iter_mut() {
+        *f = f.qr()?.into_parts().0;
+    }
+    let mut iterations = Vec::with_capacity(opts.max_iters);
+    let mut prev_err = f64::INFINITY;
+    let mut converged = false;
+    for iter in 0..opts.max_iters {
+        let t_iter = Instant::now();
+        for n in 0..order {
+            update_mode(&mut factors, n)?;
+        }
+        let core = hooi_core(x, &factors, &opts.ranks, opts.threads);
+        let err = observed_sse(x, &factors, &core, opts.threads).sqrt();
+        iterations.push(ptucker::IterStats {
+            iter,
+            reconstruction_error: err,
+            seconds: t_iter.elapsed().as_secs_f64(),
+            core_nnz: core.nnz(),
+        });
+        if err.is_finite()
+            && prev_err.is_finite()
+            && (prev_err - err).abs() <= opts.tol * prev_err.max(f64::EPSILON)
+        {
+            converged = true;
+            break;
+        }
+        prev_err = err;
+    }
+    let core = hooi_core(x, &factors, &opts.ranks, opts.threads);
+    let final_error = observed_sse(x, &factors, &core, opts.threads).sqrt();
+    Ok(ptucker::FitResult {
+        decomposition: ptucker::TuckerDecomposition { factors, core },
+        stats: ptucker::FitStats {
+            iterations,
+            converged,
+            total_seconds: t0.elapsed().as_secs_f64(),
+            peak_intermediate_bytes: opts.budget.peak(),
+            final_error,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_validation() {
+        let o = BaselineOptions::new(vec![2, 2]);
+        assert!(o.validate_for(&[5, 5]).is_ok());
+        assert!(o.validate_for(&[5]).is_err());
+        assert!(o.validate_for(&[1, 5]).is_err());
+        assert!(BaselineOptions::new(vec![]).validate_for(&[]).is_err());
+        assert!(BaselineOptions::new(vec![2, 2])
+            .max_iters(0)
+            .validate_for(&[5, 5])
+            .is_err());
+    }
+
+    #[test]
+    fn hooi_core_matches_bruteforce() {
+        let x = SparseTensor::new(
+            vec![3, 2],
+            vec![(vec![0, 0], 2.0), (vec![1, 1], -1.0), (vec![2, 0], 0.5)],
+        )
+        .unwrap();
+        let factors = init_factors(&[3, 2], &[2, 2], 7);
+        let core = hooi_core(&x, &factors, &[2, 2], 2);
+        for (beta, got) in core.iter() {
+            let mut want = 0.0;
+            for (idx, xv) in x.iter() {
+                want += xv * factors[0][(idx[0], beta[0])] * factors[1][(idx[1], beta[1])];
+            }
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn observed_sse_zero_for_exact_model() {
+        let factors = init_factors(&[4, 3], &[2, 2], 3);
+        let core =
+            CoreTensor::dense_from_fn(vec![2, 2], |i| (i[0] + 2 * i[1]) as f64 * 0.3).unwrap();
+        // Build entries whose values are the exact reconstruction.
+        let mut entries = Vec::new();
+        for i0 in 0..4 {
+            for i1 in 0..3 {
+                let mut rec = 0.0;
+                for (beta, gv) in core.iter() {
+                    rec += gv * factors[0][(i0, beta[0])] * factors[1][(i1, beta[1])];
+                }
+                entries.push((vec![i0, i1], rec));
+            }
+        }
+        let x = SparseTensor::new(vec![4, 3], entries).unwrap();
+        assert!(observed_sse(&x, &factors, &core, 2).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,191 @@
+//! The classic dense Tucker-ALS / HOOI (Algorithm 1 of the paper; De
+//! Lathauwer et al.'s higher-order orthogonal iteration).
+//!
+//! Missing entries are treated as **zeros**: the method materializes the
+//! full dense tensor and iterates `Y ← X ×_{k≠n} A⁽ᵏ⁾ᵀ`,
+//! `A⁽ⁿ⁾ ← Jₙ leading left singular vectors of Y₍ₙ₎`. Both the dense
+//! materialization (`Π Iₙ` cells) and the first mode-product intermediate
+//! are metered, which is what makes this method the first to hit O.O.M. as
+//! tensors grow — the "intermediate data explosion" the paper's
+//! Definition 7 formalizes.
+
+use crate::common::{hooi_core, init_factors, observed_sse, BaselineOptions};
+use ptucker::{FitResult, FitStats, IterStats, PtuckerError, Result, TuckerDecomposition};
+use ptucker_linalg::leading_left_singular_vectors;
+use ptucker_tensor::{DenseTensor, SparseTensor};
+use std::time::Instant;
+
+/// Runs dense Tucker-ALS (HOOI) on the zero-imputed tensor.
+///
+/// # Errors
+/// * [`PtuckerError::OutOfMemory`] when `2·Π Iₙ` doubles exceed the budget
+///   (dense tensor + largest mode-product intermediate).
+/// * [`PtuckerError::InvalidConfig`] for shape violations.
+/// * Propagated linear-algebra failures.
+pub fn tucker_als(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult> {
+    opts.validate_for(x.dims())?;
+    if x.order() < 2 {
+        return Err(PtuckerError::InvalidConfig(
+            "tucker-als requires order >= 2".into(),
+        ));
+    }
+    let t0 = Instant::now();
+    opts.budget.reset_peak();
+
+    // Dense materialization: Π Iₙ cells for X plus roughly the same again
+    // for the largest intermediate of the mode-product chain.
+    let total_cells = x
+        .dims()
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| {
+            PtuckerError::OutOfMemory(ptucker_memtrack::OutOfMemory {
+                requested: usize::MAX,
+                in_use: opts.budget.in_use(),
+                budget: opts.budget.budget(),
+            })
+        })?;
+    let _dense_reservation = opts.budget.reserve_f64(2 * total_cells)?;
+
+    let mut dense = DenseTensor::zeros(x.dims().to_vec())?;
+    for (idx, v) in x.iter() {
+        dense.set(idx, v);
+    }
+
+    let mut factors = init_factors(x.dims(), &opts.ranks, opts.seed);
+    for f in factors.iter_mut() {
+        *f = f.qr()?.into_parts().0; // HOOI assumes orthonormal factors
+    }
+
+    let order = x.order();
+    let mut iterations = Vec::with_capacity(opts.max_iters);
+    let mut prev_err = f64::INFINITY;
+    let mut converged = false;
+
+    for iter in 0..opts.max_iters {
+        let t_iter = Instant::now();
+        for n in 0..order {
+            // Y ← X ×_{k≠n} A⁽ᵏ⁾ᵀ (Algorithm 1 line 4).
+            let mut y = dense.clone();
+            for k in 0..order {
+                if k == n {
+                    continue;
+                }
+                y = y.mode_product(k, &factors[k].transpose())?;
+            }
+            let y_mat = y.matricize(n);
+            let svd = leading_left_singular_vectors(&y_mat, opts.ranks[n])?;
+            factors[n] = svd.u;
+        }
+        let core = hooi_core(x, &factors, &opts.ranks, opts.threads);
+        let err = observed_sse(x, &factors, &core, opts.threads).sqrt();
+        iterations.push(IterStats {
+            iter,
+            reconstruction_error: err,
+            seconds: t_iter.elapsed().as_secs_f64(),
+            core_nnz: core.nnz(),
+        });
+        if err.is_finite()
+            && prev_err.is_finite()
+            && (prev_err - err).abs() <= opts.tol * prev_err.max(f64::EPSILON)
+        {
+            converged = true;
+            break;
+        }
+        prev_err = err;
+    }
+
+    let core = hooi_core(x, &factors, &opts.ranks, opts.threads);
+    let final_error = observed_sse(x, &factors, &core, opts.threads).sqrt();
+    Ok(FitResult {
+        decomposition: TuckerDecomposition { factors, core },
+        stats: FitStats {
+            iterations,
+            converged,
+            total_seconds: t0.elapsed().as_secs_f64(),
+            peak_intermediate_bytes: opts.budget.peak(),
+            final_error,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptucker_memtrack::MemoryBudget;
+    use ptucker_tensor::CoreTensor;
+
+    /// A fully observed low-rank 3-way tensor (every cell present).
+    fn full_lowrank() -> SparseTensor {
+        let factors = init_factors(&[6, 5, 4], &[2, 2, 2], 42);
+        let core =
+            CoreTensor::dense_from_fn(vec![2, 2, 2], |i| 1.0 + (i[0] + i[1] + i[2]) as f64 * 0.5)
+                .unwrap();
+        let mut entries = Vec::new();
+        for i0 in 0..6 {
+            for i1 in 0..5 {
+                for i2 in 0..4 {
+                    let mut v = 0.0;
+                    for (beta, g) in core.iter() {
+                        v += g
+                            * factors[0][(i0, beta[0])]
+                            * factors[1][(i1, beta[1])]
+                            * factors[2][(i2, beta[2])];
+                    }
+                    entries.push((vec![i0, i1, i2], v));
+                }
+            }
+        }
+        SparseTensor::new(vec![6, 5, 4], entries).unwrap()
+    }
+
+    #[test]
+    fn recovers_fully_observed_lowrank_exactly() {
+        let x = full_lowrank();
+        let opts = BaselineOptions::new(vec![2, 2, 2]).max_iters(10).seed(3);
+        let r = tucker_als(&x, &opts).unwrap();
+        // HOOI on a fully observed rank-(2,2,2) tensor is exact.
+        let rel = r.stats.final_error / x.frobenius_norm();
+        assert!(rel < 1e-8, "relative error {rel}");
+        assert!(r.decomposition.orthogonality_defect() < 1e-8);
+    }
+
+    #[test]
+    fn error_nonincreasing() {
+        let x = full_lowrank();
+        let opts = BaselineOptions::new(vec![2, 2, 2])
+            .max_iters(6)
+            .tol(0.0)
+            .seed(5);
+        let r = tucker_als(&x, &opts).unwrap();
+        let errs: Vec<f64> = r
+            .stats
+            .iterations
+            .iter()
+            .map(|s| s.reconstruction_error)
+            .collect();
+        for w in errs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "HOOI error increased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn oom_on_tiny_budget() {
+        let x = full_lowrank();
+        let opts = BaselineOptions::new(vec![2, 2, 2]).budget(MemoryBudget::new(64));
+        assert!(matches!(
+            tucker_als(&x, &opts).unwrap_err(),
+            PtuckerError::OutOfMemory(_)
+        ));
+    }
+
+    #[test]
+    fn order_one_rejected() {
+        let x = SparseTensor::new(vec![4], vec![(vec![0], 1.0)]).unwrap();
+        let opts = BaselineOptions::new(vec![1]);
+        assert!(matches!(
+            tucker_als(&x, &opts).unwrap_err(),
+            PtuckerError::InvalidConfig(_)
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! Criterion end-to-end benchmarks: one full fit (few iterations) per
+//! algorithm on a common small tensor, plus the three P-Tucker variants
+//! against each other — the microbenchmark companion to the Fig. 6/8/9
+//! harnesses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ptucker::{FitOptions, MemoryBudget, PTucker, Variant};
+use ptucker_baselines::{s_hot, tucker_csf, tucker_wopt, BaselineOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = ptucker_datagen::uniform_sparse(&[60, 50, 40], 3_000, &mut rng);
+    let ranks = vec![4usize, 4, 4];
+    let iters = 3;
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("ptucker", |b| {
+        b.iter(|| {
+            let fit = PTucker::new(
+                FitOptions::new(ranks.clone())
+                    .max_iters(iters)
+                    .tol(0.0)
+                    .threads(1)
+                    .seed(1)
+                    .budget(MemoryBudget::unlimited()),
+            )
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+            black_box(fit.stats.final_error)
+        })
+    });
+    group.bench_function("ptucker_cache", |b| {
+        b.iter(|| {
+            let fit = PTucker::new(
+                FitOptions::new(ranks.clone())
+                    .max_iters(iters)
+                    .tol(0.0)
+                    .threads(1)
+                    .seed(1)
+                    .budget(MemoryBudget::unlimited())
+                    .variant(Variant::Cache),
+            )
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+            black_box(fit.stats.final_error)
+        })
+    });
+    group.bench_function("ptucker_approx", |b| {
+        b.iter(|| {
+            let fit = PTucker::new(
+                FitOptions::new(ranks.clone())
+                    .max_iters(iters)
+                    .tol(0.0)
+                    .threads(1)
+                    .seed(1)
+                    .budget(MemoryBudget::unlimited())
+                    .variant(Variant::Approx {
+                        truncation_rate: 0.2,
+                    }),
+            )
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+            black_box(fit.stats.final_error)
+        })
+    });
+
+    let base = BaselineOptions::new(ranks.clone())
+        .max_iters(iters)
+        .tol(0.0)
+        .threads(1)
+        .seed(1)
+        .budget(MemoryBudget::unlimited());
+    group.bench_function("tucker_csf", |b| {
+        b.iter(|| black_box(tucker_csf(&x, &base).unwrap().stats.final_error))
+    });
+    group.bench_function("s_hot", |b| {
+        b.iter(|| black_box(s_hot(&x, &base).unwrap().stats.final_error))
+    });
+    group.bench_function("tucker_wopt", |b| {
+        b.iter(|| black_box(tucker_wopt(&x, &base).unwrap().stats.final_error))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion microbenchmarks of the hot kernels: the linear-algebra
+//! routines P-Tucker leans on (Cholesky/LU/QR/eigen at the paper's J
+//! sizes) and the CSF TTMc against a brute-force Kronecker accumulation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptucker_baselines::CsfTensor;
+use ptucker_linalg::{leading_left_singular_vectors, sym_eigen, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_spd(n: usize, rng: &mut StdRng) -> Matrix {
+    let a = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.gen::<f64>()).collect()).unwrap();
+    let mut g = a.gram();
+    g.add_diagonal_mut(0.1 * n as f64);
+    g
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("linalg");
+    for &j in &[3usize, 5, 10] {
+        let spd = random_spd(j, &mut rng);
+        let rhs: Vec<f64> = (0..j).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("cholesky_solve", j), &j, |b, _| {
+            b.iter(|| {
+                let ch = spd.cholesky().unwrap();
+                black_box(ch.solve(&rhs))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lu_inverse", j), &j, |b, _| {
+            b.iter(|| black_box(spd.lu().unwrap().inverse()))
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi_eigen", j), &j, |b, _| {
+            b.iter(|| black_box(sym_eigen(&spd).unwrap()))
+        });
+    }
+    // Tall QR at a factor-matrix shape and the Gram SVD the baselines use.
+    let tall = Matrix::from_vec(500, 10, (0..5000).map(|_| rng.gen::<f64>()).collect()).unwrap();
+    group.bench_function("qr_500x10", |b| b.iter(|| black_box(tall.qr().unwrap())));
+    group.bench_function("gram_svd_500x10_k5", |b| {
+        b.iter(|| black_box(leading_left_singular_vectors(&tall, 5).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_ttmc(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = ptucker_datagen::uniform_sparse(&[200, 150, 100], 5_000, &mut rng);
+    let factors: Vec<Matrix> = x
+        .dims()
+        .iter()
+        .map(|&d| Matrix::from_vec(d, 5, (0..d * 5).map(|_| rng.gen::<f64>()).collect()).unwrap())
+        .collect();
+    let csf = CsfTensor::new(&x, 0);
+    let mut group = c.benchmark_group("ttmc");
+    group.bench_function("csf_mode0_5k_nnz_j5", |b| {
+        let mut y = Matrix::zeros(x.dims()[0], 25);
+        b.iter(|| {
+            csf.ttmc(&factors, &mut y, 1);
+            black_box(&y);
+        })
+    });
+    // Brute force: per-nonzero Kronecker accumulation (what CSF avoids).
+    group.bench_function("bruteforce_mode0_5k_nnz_j5", |b| {
+        let mut y = Matrix::zeros(x.dims()[0], 25);
+        b.iter(|| {
+            y.as_mut_slice().fill(0.0);
+            for (idx, v) in x.iter() {
+                let r1 = factors[1].row(idx[1]);
+                let r2 = factors[2].row(idx[2]);
+                for (a, &v1) in r1.iter().enumerate() {
+                    for (bcol, &v2) in r2.iter().enumerate() {
+                        y[(idx[0], a * 5 + bcol)] += v * v1 * v2;
+                    }
+                }
+            }
+            black_box(&y);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg, bench_ttmc);
+criterion_main!(benches);

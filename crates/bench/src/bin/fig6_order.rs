@@ -1,0 +1,57 @@
+//! Figure 6(a): time per iteration vs. tensor order `N`.
+//!
+//! Paper settings: `Iₙ = 10²`, `|Ω| = 10³`, `Jₙ = 3`, `N = 3 … 10`.
+//! Expected shape: P-Tucker fastest throughout; Tucker-wOpt orders of
+//! magnitude slower at N = 4 and O.O.M. for N ≥ 5 (dense `Iᴺ`
+//! intermediates); S-HOT and Tucker-CSF complete but trail P-Tucker.
+//!
+//! Default sweep stops at N = 8 to keep runtime friendly; `--paper` runs
+//! the full N = 3…10.
+
+use ptucker_bench::{print_header, HarnessArgs, Method};
+use ptucker_datagen::uniform_sparse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let dim = 100usize;
+    let nnz = 1_000usize;
+    let rank = 3usize;
+    let max_order = if args.paper { 10 } else { 8 };
+    println!(
+        "workload: I = {dim}, |Ω| = {nnz}, J = {rank}, N = 3..={max_order}, {} iters, {} threads",
+        args.iters, args.threads
+    );
+
+    let lineup = Method::figure6_lineup();
+    let header = format!(
+        "{:>3}  {}",
+        "N",
+        lineup
+            .iter()
+            .map(|m| format!("{:>16}", m.name()))
+            .collect::<String>()
+    );
+    print_header("Fig 6(a): time per iteration (secs) vs. order", &header);
+
+    for order in 3..=max_order {
+        let dims = vec![dim; order];
+        let ranks = vec![rank; order];
+        let mut rng = StdRng::seed_from_u64(args.seed + order as u64);
+        let x = uniform_sparse(&dims, nnz, &mut rng);
+        let mut row = format!("{order:>3}");
+        for m in lineup {
+            // wOpt's dense gradients make N = 4 already take minutes; a
+            // single iteration suffices for per-iteration timing there.
+            let mut a = args.clone();
+            if m == Method::TuckerWopt && order >= 4 {
+                a.iters = 1;
+            }
+            let out = ptucker_bench::run_method(m, &x, &ranks, &a);
+            row.push_str(&format!("{:>16}", out.time_cell().trim()));
+        }
+        println!("{row}");
+    }
+    println!("\n(paper: P-Tucker fastest; wOpt ~60000x slower at N=4, O.O.M. for N>=5)");
+}

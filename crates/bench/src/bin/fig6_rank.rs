@@ -1,0 +1,50 @@
+//! Figure 6(d): time per iteration vs. tensor rank `J`.
+//!
+//! Paper settings: `N = 3`, `I = 10⁶`, `|Ω| = 10⁷`, `J = 3 … 11` (step 2).
+//! Expected shape: P-Tucker fastest for every rank (12.9×/13.0× vs.
+//! S-HOT/Tucker-CSF at J = 11); Tucker-wOpt O.O.M. for all ranks.
+//!
+//! Default: `I = 10⁴`, `|Ω| = 10⁵`; `--paper` uses the full sizes.
+
+use ptucker_bench::{print_header, HarnessArgs, Method};
+use ptucker_datagen::uniform_sparse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let (dim, nnz) = if args.paper {
+        (1_000_000usize, 10_000_000usize)
+    } else {
+        (10_000usize, 100_000usize)
+    };
+    println!(
+        "workload: N = 3, I = {dim}, |Ω| = {nnz}, J = 3..=11 step 2, {} iters, {} threads",
+        args.iters, args.threads
+    );
+
+    let lineup = Method::figure6_lineup();
+    let header = format!(
+        "{:>3}  {}",
+        "J",
+        lineup
+            .iter()
+            .map(|m| format!("{:>16}", m.name()))
+            .collect::<String>()
+    );
+    print_header("Fig 6(d): time per iteration (secs) vs. rank", &header);
+
+    let dims = vec![dim; 3];
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let x = uniform_sparse(&dims, nnz, &mut rng);
+    for rank in (3..=11).step_by(2) {
+        let ranks = vec![rank; 3];
+        let mut row = format!("{rank:>3}");
+        for m in lineup {
+            let out = ptucker_bench::run_method(m, &x, &ranks, &args);
+            row.push_str(&format!("{:>16}", out.time_cell().trim()));
+        }
+        println!("{row}");
+    }
+    println!("\n(paper: P-Tucker fastest at every rank; wOpt O.O.M. for all ranks)");
+}

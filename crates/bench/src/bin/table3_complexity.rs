@@ -1,0 +1,123 @@
+//! Table III: empirical validation of the time and memory complexity
+//! analysis.
+//!
+//! For each driver variable the harness doubles (or 10×es) one factor while
+//! holding the others fixed and reports the measured ratio next to the
+//! theoretical prediction:
+//!
+//! * P-Tucker time ~ `O(N·I·J³ + N²·|Ω|·Jᴺ)`  → linear in `|Ω|`,
+//! * P-Tucker memory ~ `O(T·J²)`              → linear in `T`, quadratic in `J`,
+//! * P-Tucker-Cache memory ~ `O(|Ω|·Jᴺ)`      → linear in `|Ω|`.
+
+use ptucker_bench::{print_header, HarnessArgs, Method, Outcome};
+use ptucker_datagen::uniform_sparse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn time_of(out: &Outcome) -> f64 {
+    out.time_per_iter().unwrap_or(f64::NAN)
+}
+
+fn mem_of(out: &Outcome) -> f64 {
+    match out {
+        Outcome::Ok(r) => r.stats.peak_intermediate_bytes as f64,
+        _ => f64::NAN,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+
+    print_header(
+        "Table III empirical check",
+        "quantity                          config A -> config B      measured ratio   theory",
+    );
+
+    // --- time vs |Ω| (linear) -----------------------------------------
+    {
+        let dims = [2_000usize; 3];
+        let ranks = [5usize; 3];
+        let xa = uniform_sparse(&dims, 20_000, &mut rng);
+        let xb = uniform_sparse(&dims, 40_000, &mut rng);
+        let a = ptucker_bench::run_method(Method::PTucker, &xa, &ranks, &args);
+        let b = ptucker_bench::run_method(Method::PTucker, &xb, &ranks, &args);
+        println!(
+            "P-Tucker time ~ |Ω|              |Ω| 20k -> 40k           {:>10.2}x      2.0x",
+            time_of(&b) / time_of(&a)
+        );
+    }
+
+    // --- time vs J (J^N term: 8x for J doubling at N=3) ----------------
+    {
+        let dims = [2_000usize; 3];
+        let xa = uniform_sparse(&dims, 20_000, &mut rng);
+        let a = ptucker_bench::run_method(Method::PTucker, &xa, &[4, 4, 4], &args);
+        let b = ptucker_bench::run_method(Method::PTucker, &xa, &[8, 8, 8], &args);
+        println!(
+            "P-Tucker time ~ J^N (N=3)        J 4 -> 8                 {:>10.2}x      8.0x",
+            time_of(&b) / time_of(&a)
+        );
+    }
+
+    // --- memory vs T (linear) ------------------------------------------
+    {
+        let dims = [2_000usize; 3];
+        let ranks = [8usize; 3];
+        let xa = uniform_sparse(&dims, 20_000, &mut rng);
+        let mut a1 = args.clone();
+        a1.threads = 1;
+        let mut a4 = args.clone();
+        a4.threads = 4;
+        let a = ptucker_bench::run_method(Method::PTucker, &xa, &ranks, &a1);
+        let b = ptucker_bench::run_method(Method::PTucker, &xa, &ranks, &a4);
+        println!(
+            "P-Tucker memory ~ T              T 1 -> 4                 {:>10.2}x      4.0x",
+            mem_of(&b) / mem_of(&a)
+        );
+    }
+
+    // --- memory vs J (quadratic) ----------------------------------------
+    {
+        let dims = [2_000usize; 3];
+        let xa = uniform_sparse(&dims, 20_000, &mut rng);
+        let mut a1 = args.clone();
+        a1.threads = 2;
+        let a = ptucker_bench::run_method(Method::PTucker, &xa, &[4, 4, 4], &a1);
+        let b = ptucker_bench::run_method(Method::PTucker, &xa, &[8, 8, 8], &a1);
+        println!(
+            "P-Tucker memory ~ J^2            J 4 -> 8                 {:>10.2}x      4.0x",
+            mem_of(&b) / mem_of(&a)
+        );
+    }
+
+    // --- cache memory vs |Ω| (linear) ------------------------------------
+    {
+        let dims = [500usize; 3];
+        let ranks = [3usize; 3];
+        let xa = uniform_sparse(&dims, 2_000, &mut rng);
+        let xb = uniform_sparse(&dims, 4_000, &mut rng);
+        let a = ptucker_bench::run_method(Method::PTuckerCache, &xa, &ranks, &args);
+        let b = ptucker_bench::run_method(Method::PTuckerCache, &xb, &ranks, &args);
+        println!(
+            "Cache memory ~ |Ω|·J^N           |Ω| 2k -> 4k             {:>10.2}x      2.0x",
+            mem_of(&b) / mem_of(&a)
+        );
+    }
+
+    // --- S-HOT vs CSF memory gap (J^{N-1} vs I·J^{N-1}) ------------------
+    {
+        let dims = [2_000usize; 3];
+        let ranks = [5usize; 3];
+        let xa = uniform_sparse(&dims, 10_000, &mut rng);
+        let mut one_iter = args.clone();
+        one_iter.iters = 1;
+        let shot = ptucker_bench::run_method(Method::SHot, &xa, &ranks, &one_iter);
+        let csf = ptucker_bench::run_method(Method::TuckerCsf, &xa, &ranks, &one_iter);
+        println!(
+            "CSF / S-HOT memory (I = 2000)    same workload            {:>10.1}x    ~I/J = 400x",
+            mem_of(&csf) / mem_of(&shot)
+        );
+    }
+    println!("\n(ratios within ~2x of theory are expected: constants and overheads are real)");
+}

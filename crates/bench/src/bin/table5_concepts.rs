@@ -1,0 +1,93 @@
+//! Table V: concept discovery on the MovieLens tensor.
+//!
+//! The paper clusters the movie-factor rows (J = 8, K = 100 on the real
+//! 27K-movie data) and reads genre concepts out of the clusters. The
+//! simulated stand-in plants a ground-truth genre per movie, so this
+//! harness can *score* the discovery (cluster purity) in addition to
+//! listing representative movies per concept, and can contrast P-Tucker's
+//! factors with the near-degenerate factors a zero-imputing method yields
+//! (the paper's observation that "S-HOTSCAN and TUCKER-CSF produce factor
+//! matrices mostly filled with zeros, which trigger highly inaccurate
+//! clustering").
+
+use ptucker::{FitOptions, PTucker};
+use ptucker_baselines::{tucker_csf, BaselineOptions};
+use ptucker_bench::{print_header, HarnessArgs};
+use ptucker_datagen::realworld::{self, GENRE_NAMES, NUM_GENRES};
+use ptucker_discovery::{cluster_purity, discover_concepts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = HarnessArgs::parse(0.004);
+    if args.iters <= 3 {
+        args.iters = 8;
+    }
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let sim = realworld::movielens(args.scale, &mut rng);
+    let x = &sim.tensor;
+    let ranks = vec![8, 8, 4, 4]; // J = 8 on the clustered (movie) mode
+    println!(
+        "workload: simulated MovieLens dims {:?}, |Ω| = {}, {} planted genres",
+        x.dims(),
+        x.nnz(),
+        NUM_GENRES
+    );
+
+    let fit = PTucker::new(
+        FitOptions::new(ranks.clone())
+            .max_iters(args.iters)
+            .threads(args.threads)
+            .seed(args.seed)
+            .budget(args.budget.clone()),
+    )
+    .expect("options")
+    .fit(x)
+    .expect("fit");
+    let movie_factor = &fit.decomposition.factors[1];
+    let concepts = discover_concepts(movie_factor, NUM_GENRES, args.seed);
+    let purity = cluster_purity(&concepts.clustering.assignments, &sim.movie_genre);
+
+    print_header(
+        "Table V: movie concepts discovered from the P-Tucker movie factor",
+        "concept    top representative movies (planted genre in parentheses)",
+    );
+    for c in 0..concepts.num_clusters().min(4) {
+        let reps: Vec<String> = concepts
+            .representatives(c, 3)
+            .iter()
+            .map(|&m| format!("Movie-{m} ({})", GENRE_NAMES[sim.movie_genre[m]]))
+            .collect();
+        // Majority planted genre of the cluster = the concept's identity.
+        let mut counts = [0usize; NUM_GENRES];
+        for &m in &concepts.members[c] {
+            counts[sim.movie_genre[m]] += 1;
+        }
+        let majority = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(g, _)| GENRE_NAMES[g])
+            .unwrap_or("?");
+        println!("C{}: {:<12} {}", c + 1, majority, reps.join(", "));
+    }
+    println!("\ncluster purity vs planted genres: {purity:.2}");
+
+    // Contrast: the same clustering on a zero-imputing method's factor.
+    let csf = tucker_csf(
+        x,
+        &BaselineOptions::new(ranks)
+            .max_iters(args.iters)
+            .threads(args.threads)
+            .seed(args.seed)
+            .budget(args.budget.clone()),
+    )
+    .expect("csf fit");
+    let csf_concepts = discover_concepts(&csf.decomposition.factors[1], NUM_GENRES, args.seed);
+    let csf_purity = cluster_purity(&csf_concepts.clustering.assignments, &sim.movie_genre);
+    println!("cluster purity from Tucker-CSF factors: {csf_purity:.2}");
+    println!(
+        "\n(paper: P-Tucker reveals coherent genre concepts; zero-imputing competitors \
+         cannot — their factors cluster poorly)"
+    );
+}

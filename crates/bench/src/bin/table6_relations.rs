@@ -1,0 +1,146 @@
+//! Table VI: relation discovery via the core tensor.
+//!
+//! Two complementary readouts, mirroring how the paper presents relations:
+//!
+//! 1. **Raw core scan** — the `top_k` largest-magnitude core entries, each
+//!    coupling one column of every factor ("examining large values in G
+//!    gives us clues to find strong relations"), with each coupled time
+//!    column interpreted by its dominant rows.
+//! 2. **Preference surface** — the paper's R3 ("most preferred hour for
+//!    watching movies: (2015, 2pm), (2014, 0am), (2013, 9pm)") is a claim
+//!    about the model's *predicted preference* over (year, hour) cells.
+//!    The harness evaluates the fitted model's mean predicted rating per
+//!    (year, hour) over a sample of (user, movie) pairs and reports the
+//!    top cells — these must rediscover the generator's planted peaks.
+
+use ptucker::{FitOptions, PTucker};
+use ptucker_bench::{print_header, HarnessArgs};
+use ptucker_datagen::realworld::{self, PLANTED_YEAR_HOUR};
+use ptucker_discovery::discover_relations;
+use ptucker_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows of `factor` column `j` with the largest absolute loading.
+fn dominant_rows(factor: &Matrix, j: usize, top: usize) -> Vec<usize> {
+    let mut rows: Vec<usize> = (0..factor.rows()).collect();
+    rows.sort_by(|&a, &b| {
+        factor[(b, j)]
+            .abs()
+            .partial_cmp(&factor[(a, j)].abs())
+            .expect("finite loadings")
+    });
+    rows.truncate(top);
+    rows
+}
+
+fn main() {
+    let mut args = HarnessArgs::parse(0.004);
+    if args.iters <= 3 {
+        args.iters = 8;
+    }
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let sim = realworld::movielens(args.scale, &mut rng);
+    let x = &sim.tensor;
+    let years = x.dims()[2];
+    let hours = x.dims()[3];
+    let planted: Vec<(usize, usize)> = PLANTED_YEAR_HOUR
+        .iter()
+        .map(|&(dy, h)| (years - 1 - dy, h))
+        .collect();
+    println!(
+        "workload: simulated MovieLens dims {:?}, |Ω| = {}",
+        x.dims(),
+        x.nnz()
+    );
+    println!("planted (year, hour) peaks: {planted:?}");
+
+    let fit = PTucker::new(
+        FitOptions::new(vec![8, 8, 6, 8])
+            .max_iters(args.iters)
+            .threads(args.threads)
+            .seed(args.seed)
+            .budget(args.budget.clone()),
+    )
+    .expect("options")
+    .fit(x)
+    .expect("fit");
+    let d = &fit.decomposition;
+
+    // --- Readout 1: raw top core entries --------------------------------
+    let relations = discover_relations(&d.core, 5);
+    print_header(
+        "Table VI (raw core scan): strongest core entries",
+        "rank   |G| value     core index          dominant year rows / hour rows",
+    );
+    for (i, r) in relations.iter().enumerate() {
+        println!(
+            "R{}:    {:>9.3e}   {:?}    years {:?} / hours {:?}",
+            i + 1,
+            r.strength,
+            r.index,
+            dominant_rows(&d.factors[2], r.index[2], 3),
+            dominant_rows(&d.factors[3], r.index[3], 3)
+        );
+    }
+
+    // --- Readout 2: model-implied (year, hour) preference surface -------
+    // Sample observed (user, movie) pairs, average the model's prediction
+    // over every (year, hour) cell.
+    let sample = 100.min(x.nnz());
+    let mut surface = vec![0.0f64; years * hours];
+    let mut probe = vec![0usize; 4];
+    for _ in 0..sample {
+        let e = rng.gen_range(0..x.nnz());
+        let idx = x.index(e);
+        probe[0] = idx[0];
+        probe[1] = idx[1];
+        for y in 0..years {
+            for h in 0..hours {
+                probe[2] = y;
+                probe[3] = h;
+                surface[y * hours + h] += d.predict(&probe);
+            }
+        }
+    }
+    let mut cells: Vec<usize> = (0..years * hours).collect();
+    cells.sort_by(|&a, &b| surface[b].partial_cmp(&surface[a]).expect("finite"));
+    print_header(
+        "Table VI (preference surface): most preferred (year, hour) cells",
+        "rank   (year, hour)    mean predicted rating",
+    );
+    let peak_years: Vec<usize> = planted.iter().map(|&(y, _)| y).collect();
+    let peak_hours: Vec<usize> = planted.iter().map(|&(_, h)| h).collect();
+    let mut exact_hits = 0usize;
+    let mut marginal_hits = 0usize;
+    for (i, &cell) in cells.iter().take(5).enumerate() {
+        let yh = (cell / hours, cell % hours);
+        let exact = planted.contains(&yh);
+        let marginal = peak_years.contains(&yh.0) && peak_hours.contains(&yh.1);
+        exact_hits += usize::from(exact);
+        marginal_hits += usize::from(marginal);
+        println!(
+            "R{}:    ({:>2}, {:>2})       {:>8.4}{}",
+            i + 1,
+            yh.0,
+            yh.1,
+            surface[cell] / sample as f64,
+            if exact {
+                "   <- planted peak"
+            } else if marginal {
+                "   <- peak-year x peak-hour cross"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\n{exact_hits} of the top 5 cells are exact planted peaks; {marginal_hits}/5 lie in the \
+         peak-year x peak-hour set"
+    );
+    println!(
+        "(exact pairs blur into cross-products because a rank-limited Tucker model is \
+         separable per mode — the discovered *structure* is the planted year/hour sets)"
+    );
+    println!("(paper: top core values reveal (2015,2pm), (2014,0am), (2013,9pm))");
+}

@@ -1,0 +1,358 @@
+//! The P-Tucker fit driver (Algorithms 2 and 3 of the paper).
+
+use crate::cache::PresTable;
+use crate::delta::{accumulate_delta, accumulate_normal_eq, solve_row};
+use crate::{
+    approx, FitOptions, FitResult, FitStats, IterStats, PtuckerError, Result, TuckerDecomposition,
+    Variant,
+};
+use ptucker_linalg::Matrix;
+use ptucker_sched::{parallel_reduce, parallel_rows_mut, Schedule};
+use ptucker_tensor::{CoreTensor, SparseTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// The P-Tucker solver: scalable Tucker factorization for sparse tensors.
+///
+/// Construct with validated [`FitOptions`], then call [`PTucker::fit`] on a
+/// [`SparseTensor`]. See the crate docs for a complete example.
+#[derive(Debug, Clone)]
+pub struct PTucker {
+    opts: FitOptions,
+}
+
+impl PTucker {
+    /// Creates a solver after validating the options.
+    ///
+    /// # Errors
+    /// [`PtuckerError::InvalidConfig`] for inconsistent options.
+    pub fn new(opts: FitOptions) -> Result<Self> {
+        opts.validate()?;
+        Ok(PTucker { opts })
+    }
+
+    /// The solver's configuration.
+    pub fn options(&self) -> &FitOptions {
+        &self.opts
+    }
+
+    /// Runs Algorithm 2: random initialization, iterated fully-parallel
+    /// row-wise factor updates until the reconstruction error converges
+    /// (or `max_iters`), then QR orthogonalization with the matching core
+    /// update.
+    ///
+    /// # Errors
+    /// * [`PtuckerError::InvalidConfig`] if the options do not match `x`'s
+    ///   shape.
+    /// * [`PtuckerError::OutOfMemory`] if intermediate data exceed the
+    ///   budget (notably the Cache variant's `|Ω|×|G|` table).
+    /// * [`PtuckerError::Linalg`] on numerically fatal systems (only
+    ///   possible with `lambda == 0`).
+    pub fn fit(&self, x: &SparseTensor) -> Result<FitResult> {
+        let opts = &self.opts;
+        opts.validate_for(x.dims())?;
+        let t_start = Instant::now();
+        let order = x.order();
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+
+        // Step 1: random initialization in [0, 1) (Algorithm 2 line 1).
+        let mut factors = init_factors(x.dims(), &opts.ranks, &mut rng);
+        let mut core = CoreTensor::random_dense(opts.ranks.clone(), &mut rng)?;
+
+        // Meter the per-thread intermediates of Theorem 4: δ, c (J) and
+        // B, scratch solve matrix (J²) per thread, held for the fit's
+        // duration.
+        opts.budget.reset_peak();
+        let j_max = opts.ranks.iter().copied().max().unwrap_or(1);
+        let _row_scratch = opts
+            .budget
+            .reserve_f64(opts.threads * (2 * j_max * j_max + 2 * j_max))?;
+        // Approx additionally folds per-thread R(β)/contribution buffers.
+        let _approx_scratch = match opts.variant {
+            Variant::Approx { .. } => Some(opts.budget.reserve_f64(opts.threads * 2 * core.nnz())?),
+            _ => None,
+        };
+        // Cache precomputes the |Ω|×|G| table (Algorithm 3 lines 1–4).
+        let mut pres = match opts.variant {
+            Variant::Cache => Some(PresTable::compute(
+                x,
+                &factors,
+                &core,
+                opts.threads,
+                &opts.budget,
+            )?),
+            _ => None,
+        };
+
+        let mut iterations: Vec<IterStats> = Vec::with_capacity(opts.max_iters);
+        let mut prev_err = f64::INFINITY;
+        let mut converged = false;
+
+        for iter in 0..opts.max_iters {
+            let t_iter = Instant::now();
+
+            // Step 2-3: update factor matrices (Algorithm 2 line 3 /
+            // Algorithm 3).
+            for n in 0..order {
+                match pres.as_mut() {
+                    Some(table) => {
+                        let old = factors[n].clone();
+                        update_factor(x, &mut factors, n, &core, opts, Some(table))?;
+                        table.update_mode(x, &factors, &old, n, &core, opts.threads);
+                    }
+                    None => update_factor(x, &mut factors, n, &core, opts, None)?,
+                }
+            }
+
+            // Step 4: reconstruction error (Algorithm 2 line 4), parallel
+            // with static scheduling (Section III-D, section 3).
+            let err =
+                sum_squared_error_raw(x, &factors, &core, opts.threads, Schedule::Static).sqrt();
+
+            // Step 5: Approx truncation (Algorithm 2 lines 5–6).
+            if let Variant::Approx { truncation_rate } = opts.variant {
+                let r = approx::partial_errors(x, &factors, &core, opts.threads, opts.schedule);
+                approx::truncate_noisy(&mut core, &r, truncation_rate);
+            }
+
+            iterations.push(IterStats {
+                iter,
+                reconstruction_error: err,
+                seconds: t_iter.elapsed().as_secs_f64(),
+                core_nnz: core.nnz(),
+            });
+
+            // Convergence on relative error change (Algorithm 2 line 7).
+            if err.is_finite()
+                && prev_err.is_finite()
+                && (prev_err - err).abs() <= opts.tol * prev_err.max(f64::EPSILON)
+            {
+                converged = true;
+                break;
+            }
+            prev_err = err;
+        }
+        drop(pres);
+
+        // Step 6: orthogonalize via QR and push R into the core
+        // (Algorithm 2 lines 8–11): A⁽ⁿ⁾ = Q⁽ⁿ⁾R⁽ⁿ⁾, A⁽ⁿ⁾ ← Q⁽ⁿ⁾,
+        // G ← G ×ₙ R⁽ⁿ⁾ — reconstruction preserved exactly.
+        for (n, factor) in factors.iter_mut().enumerate() {
+            let qr = factor.qr()?;
+            let (q, r) = qr.into_parts();
+            *factor = q;
+            core.mode_product_in_place(n, &r, 0.0)?;
+        }
+
+        // Extension: refit the core over observed entries (off by default).
+        if opts.refit_core {
+            refit_core_observed(x, &factors, &mut core, opts.threads, opts.schedule);
+        }
+
+        let final_error =
+            sum_squared_error_raw(x, &factors, &core, opts.threads, Schedule::Static).sqrt();
+        let stats = FitStats {
+            iterations,
+            converged,
+            total_seconds: t_start.elapsed().as_secs_f64(),
+            peak_intermediate_bytes: opts.budget.peak(),
+            final_error,
+        };
+        Ok(FitResult {
+            decomposition: TuckerDecomposition { factors, core },
+            stats,
+        })
+    }
+}
+
+/// Random factor matrices with entries in `[0, 1)` (Algorithm 2 line 1).
+fn init_factors(dims: &[usize], ranks: &[usize], rng: &mut StdRng) -> Vec<Matrix> {
+    dims.iter()
+        .zip(ranks)
+        .map(|(&i_n, &j_n)| {
+            let data: Vec<f64> = (0..i_n * j_n).map(|_| rng.gen::<f64>()).collect();
+            Matrix::from_vec(i_n, j_n, data).expect("length matches by construction")
+        })
+        .collect()
+}
+
+/// Updates one factor matrix with the row-wise rule (Algorithm 3 lines
+/// 5–15), fully parallel over rows.
+fn update_factor(
+    x: &SparseTensor,
+    factors: &mut [Matrix],
+    mode: usize,
+    core: &CoreTensor,
+    opts: &FitOptions,
+    pres: Option<&PresTable>,
+) -> Result<()> {
+    let i_n = x.dims()[mode];
+    let j_n = opts.ranks[mode];
+    // Take the mode's data out so the other factors can be shared immutably
+    // with the worker threads; factors[mode] is not read during its own
+    // update (the δ product skips k == mode; the cached path reads the old
+    // row values, which live in `data`).
+    let a_n = std::mem::replace(&mut factors[mode], Matrix::zeros(0, 0));
+    let mut data = a_n.into_vec();
+    let solve_failed = AtomicBool::new(false);
+    {
+        let factors_ro: &[Matrix] = factors;
+        let core_idx = core.flat_indices();
+        let core_vals = core.values();
+        let stride = opts.sample_stride.max(1);
+        parallel_rows_mut(&mut data, j_n, opts.threads, opts.schedule, |i, row| {
+            let slice = x.slice(mode, i);
+            if slice.is_empty() {
+                // No observations for this row: the regularized minimizer
+                // is the zero vector (c = 0 in Eq. 9).
+                row.fill(0.0);
+                return;
+            }
+            let mut delta = vec![0.0f64; j_n];
+            let mut b_upper = vec![0.0f64; j_n * j_n];
+            let mut c = vec![0.0f64; j_n];
+            for &e in slice.iter().step_by(stride) {
+                let idx = x.index(e);
+                match pres {
+                    Some(table) => table.accumulate_delta_cached(
+                        &mut delta, e, idx, mode, row, core_idx, core_vals, factors_ro,
+                    ),
+                    None => {
+                        accumulate_delta(&mut delta, idx, mode, core_idx, core_vals, factors_ro)
+                    }
+                }
+                accumulate_normal_eq(&mut b_upper, &mut c, &delta, x.value(e));
+            }
+            match solve_row(&b_upper, &c, opts.lambda) {
+                Some(new_row) => row.copy_from_slice(&new_row),
+                None => {
+                    solve_failed.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+    factors[mode] = Matrix::from_vec(i_n, j_n, data)?;
+    if solve_failed.load(Ordering::Relaxed) {
+        return Err(PtuckerError::Linalg(
+            ptucker_linalg::LinalgError::Singular { pivot: 0 },
+        ));
+    }
+    Ok(())
+}
+
+/// Sum of squared residuals `Σ_{α∈Ω} (X_α − x̂_α)²` without materializing a
+/// decomposition (borrowed factors/core; used inside the fit loop).
+pub(crate) fn sum_squared_error_raw(
+    x: &SparseTensor,
+    factors: &[Matrix],
+    core: &CoreTensor,
+    threads: usize,
+    schedule: Schedule,
+) -> f64 {
+    let order = x.order();
+    let core_idx = core.flat_indices();
+    let core_vals = core.values();
+    parallel_reduce(
+        x.nnz(),
+        threads,
+        schedule,
+        || 0.0f64,
+        |acc, e| {
+            let idx = x.index(e);
+            let mut rec = 0.0;
+            for (b, &g) in core_vals.iter().enumerate() {
+                let beta = &core_idx[b * order..(b + 1) * order];
+                let mut w = g;
+                for (k, factor) in factors.iter().enumerate() {
+                    w *= factor[(idx[k], beta[k])];
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                rec += w;
+            }
+            let d = x.value(e) - rec;
+            acc + d * d
+        },
+        |a, b| a + b,
+    )
+}
+
+/// Extension: re-estimates the core weights as the exact observed-entry
+/// least-squares solution given the (fixed, orthonormalized) factors:
+///
+/// `min_G Σ_{α∈Ω} (X_α − Σ_β G_β p_{αβ})²`, `p_{αβ} = Πₙ q⁽ⁿ⁾(iₙ, βₙ)`,
+///
+/// solved via the `|G|×|G|` normal equations `(PᵀP + εI) g = Pᵀx` with a
+/// tiny ridge for numerical safety. Because the previous core is a feasible
+/// point of this problem, the refit can only lower the reconstruction
+/// error. Cost is `O(|Ω|·|G|²)` — affordable for the small/truncated cores
+/// this extension targets, and the reason it is off by default.
+fn refit_core_observed(
+    x: &SparseTensor,
+    factors: &[Matrix],
+    core: &mut CoreTensor,
+    threads: usize,
+    schedule: Schedule,
+) {
+    let g = core.nnz();
+    if g == 0 {
+        return;
+    }
+    let order = x.order();
+    let core_idx = core.flat_indices().to_vec();
+    // Accumulate (PᵀP upper triangle, Pᵀx) in one parallel pass; each worker
+    // carries a contribution buffer for the current entry's p_{α·} row.
+    let (ptp, ptx, _buf) = parallel_reduce(
+        x.nnz(),
+        threads,
+        schedule,
+        || (vec![0.0f64; g * g], vec![0.0f64; g], vec![0.0f64; g]),
+        |(mut ptp, mut ptx, mut p), e| {
+            let idx = x.index(e);
+            let xv = x.value(e);
+            for (b, slot) in p.iter_mut().enumerate() {
+                let beta = &core_idx[b * order..(b + 1) * order];
+                let mut w = 1.0;
+                for (k, factor) in factors.iter().enumerate() {
+                    w *= factor[(idx[k], beta[k])];
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                *slot = w;
+            }
+            for b1 in 0..g {
+                let p1 = p[b1];
+                ptx[b1] += xv * p1;
+                if p1 == 0.0 {
+                    continue;
+                }
+                let row = b1 * g;
+                for b2 in b1..g {
+                    ptp[row + b2] += p1 * p[b2];
+                }
+            }
+            (ptp, ptx, p)
+        },
+        |(mut a1, mut a2, buf), (b1, b2, _)| {
+            for (x, y) in a1.iter_mut().zip(&b1) {
+                *x += y;
+            }
+            for (x, y) in a2.iter_mut().zip(&b2) {
+                *x += y;
+            }
+            (a1, a2, buf)
+        },
+    );
+    // Ridge scaled to the problem: keeps the system SPD even when some core
+    // entry is unidentifiable from Ω (its optimal weight then shrinks to 0).
+    let max_diag = (0..g).fold(0.0f64, |m, b| m.max(ptp[b * g + b]));
+    let ridge = (1e-10 * max_diag).max(1e-12);
+    if let Some(new_vals) = solve_row(&ptp, &ptx, ridge) {
+        core.values_mut().copy_from_slice(&new_vals);
+    }
+    // On the (singular, λ≈0) failure path the core is left unchanged.
+}

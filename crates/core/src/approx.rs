@@ -1,0 +1,231 @@
+//! P-Tucker-Approx: core-entry truncation by partial reconstruction error
+//! (Section III-C, Eq. 13, Algorithm 4).
+//!
+//! The insight: some core entries are "noisy" — removing them *reduces* the
+//! reconstruction error — and small magnitude is a poor noisiness proxy.
+//! The paper instead ranks entries by the partial reconstruction error
+//! `R(β)`, the exact change in the squared error (Eq. 5) attributable to
+//! entry `β`:
+//!
+//! `R(β) = Σ_{α∈Ω} c_{αβ} · (c_{αβ} − 2X_α + 2(full_α − c_{αβ}))`
+//!
+//! where `c_{αβ} = G_β Πₙ a⁽ⁿ⁾(iₙ, βₙ)` is β's contribution at α and
+//! `full_α` is the complete reconstruction. Entries with the highest `R(β)`
+//! hurt the most and are truncated (top `p·|G|` per iteration).
+
+use ptucker_linalg::Matrix;
+use ptucker_sched::{parallel_reduce, Schedule};
+use ptucker_tensor::{CoreTensor, SparseTensor};
+
+/// Computes `R(β)` (Eq. 13) for every retained core entry, in parallel over
+/// the observed entries. Returned in core-entry order.
+///
+/// Cost is `O(N·|Ω|·|G|)` — the same order as one factor-update sweep, which
+/// is why the paper notes P-Tucker-Approx "may require few iterations to run
+/// faster than P-Tucker due to overheads from calculating R(β)".
+pub fn partial_errors(
+    x: &SparseTensor,
+    factors: &[Matrix],
+    core: &CoreTensor,
+    threads: usize,
+    schedule: Schedule,
+) -> Vec<f64> {
+    let g = core.nnz();
+    let order = x.order();
+    let core_idx = core.flat_indices();
+    let core_vals = core.values();
+    let (racc, _buf) = parallel_reduce(
+        x.nnz(),
+        threads,
+        schedule,
+        || (vec![0.0f64; g], vec![0.0f64; g]),
+        |(mut racc, mut contrib), e| {
+            let idx = x.index(e);
+            let xv = x.value(e);
+            let mut full = 0.0;
+            for (b, &gv) in core_vals.iter().enumerate() {
+                let beta = &core_idx[b * order..(b + 1) * order];
+                let mut w = gv;
+                for (k, factor) in factors.iter().enumerate() {
+                    w *= factor[(idx[k], beta[k])];
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                contrib[b] = w;
+                full += w;
+            }
+            for (r, &c) in racc.iter_mut().zip(contrib.iter()) {
+                // (X - rest - c)² - (X - rest)² with rest = full - c.
+                *r += c * (c - 2.0 * xv + 2.0 * (full - c));
+            }
+            (racc, contrib)
+        },
+        |(mut a, buf), (b, _)| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            (a, buf)
+        },
+    );
+    racc
+}
+
+/// Removes the top `p·|G|` entries by `R(β)` from the core (Algorithm 4),
+/// always keeping at least one entry. Returns the number removed.
+pub fn truncate_noisy(core: &mut CoreTensor, r: &[f64], truncation_rate: f64) -> usize {
+    let g = core.nnz();
+    assert_eq!(r.len(), g, "R(β) vector must match the core entry count");
+    let mut remove = ((g as f64) * truncation_rate).floor() as usize;
+    remove = remove.min(g.saturating_sub(1));
+    if remove == 0 {
+        return 0;
+    }
+    let mut ids: Vec<usize> = (0..g).collect();
+    // Descending R(β); ties broken by id for determinism.
+    ids.sort_by(|&a, &b| {
+        r[b].partial_cmp(&r[a])
+            .expect("R(β) values are finite")
+            .then(a.cmp(&b))
+    });
+    let mut kill = vec![false; g];
+    for &id in &ids[..remove] {
+        kill[id] = true;
+    }
+    core.retain_by_id(|e| !kill[e]);
+    remove
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SparseTensor, Vec<Matrix>, CoreTensor) {
+        let x = SparseTensor::new(
+            vec![3, 2],
+            vec![
+                (vec![0, 0], 1.0),
+                (vec![1, 1], 0.5),
+                (vec![2, 0], -0.25),
+                (vec![2, 1], 2.0),
+            ],
+        )
+        .unwrap();
+        let a0 = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.5, 0.5]]);
+        let a1 = Matrix::from_rows(&[&[1.0, 0.3], &[0.4, 1.1]]);
+        let core =
+            CoreTensor::dense_from_fn(vec![2, 2], |i| 0.5 + (i[0] + i[1]) as f64 * 0.25).unwrap();
+        (x, vec![a0, a1], core)
+    }
+
+    /// Brute-force R(β): error difference with and without entry β.
+    fn r_bruteforce(x: &SparseTensor, factors: &[Matrix], core: &CoreTensor, b: usize) -> f64 {
+        let full_sse = |keep: &dyn Fn(usize) -> bool| -> f64 {
+            let mut sse = 0.0;
+            for (idx, xv) in x.iter() {
+                let mut rec = 0.0;
+                for e in 0..core.nnz() {
+                    if !keep(e) {
+                        continue;
+                    }
+                    let beta = core.index(e);
+                    let mut w = core.value(e);
+                    for (k, f) in factors.iter().enumerate() {
+                        w *= f[(idx[k], beta[k])];
+                    }
+                    rec += w;
+                }
+                sse += (xv - rec) * (xv - rec);
+            }
+            sse
+        };
+        full_sse(&|_| true) - full_sse(&|e| e != b)
+    }
+
+    #[test]
+    fn partial_errors_match_bruteforce() {
+        let (x, factors, core) = setup();
+        let r = partial_errors(&x, &factors, &core, 2, Schedule::Static);
+        for b in 0..core.nnz() {
+            let want = r_bruteforce(&x, &factors, &core, b);
+            assert!(
+                (r[b] - want).abs() < 1e-10,
+                "R({b}) = {} vs brute {want}",
+                r[b]
+            );
+        }
+    }
+
+    #[test]
+    fn removing_highest_r_entry_reduces_error_most() {
+        let (x, factors, core) = setup();
+        let r = partial_errors(&x, &factors, &core, 1, Schedule::Static);
+        // Find the entry with max R; removing it should give the smallest
+        // error among all single-entry removals.
+        let best_by_r = (0..core.nnz())
+            .max_by(|&a, &b| r[a].partial_cmp(&r[b]).unwrap())
+            .unwrap();
+        let sse_without = |skip: usize| -> f64 {
+            let mut sse = 0.0;
+            for (idx, xv) in x.iter() {
+                let mut rec = 0.0;
+                for e in 0..core.nnz() {
+                    if e == skip {
+                        continue;
+                    }
+                    let beta = core.index(e);
+                    let mut w = core.value(e);
+                    for (k, f) in factors.iter().enumerate() {
+                        w *= f[(idx[k], beta[k])];
+                    }
+                    rec += w;
+                }
+                sse += (xv - rec) * (xv - rec);
+            }
+            sse
+        };
+        let best_sse = sse_without(best_by_r);
+        for e in 0..core.nnz() {
+            assert!(best_sse <= sse_without(e) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncation_removes_expected_count() {
+        let (x, factors, mut core) = setup();
+        let r = partial_errors(&x, &factors, &core, 1, Schedule::Static);
+        let removed = truncate_noisy(&mut core, &r, 0.5);
+        assert_eq!(removed, 2);
+        assert_eq!(core.nnz(), 2);
+    }
+
+    #[test]
+    fn truncation_keeps_at_least_one_entry() {
+        let (x, factors, mut core) = setup();
+        for _ in 0..10 {
+            let r = partial_errors(&x, &factors, &core, 1, Schedule::Static);
+            truncate_noisy(&mut core, &r, 0.9);
+        }
+        assert!(core.nnz() >= 1);
+    }
+
+    #[test]
+    fn truncation_small_core_noop() {
+        let (x, factors, mut core) = setup();
+        let r = partial_errors(&x, &factors, &core, 1, Schedule::Static);
+        // p*|G| < 1 → floor 0 → nothing removed.
+        let removed = truncate_noisy(&mut core, &r, 0.1);
+        assert_eq!(removed, 0);
+        assert_eq!(core.nnz(), 4);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (x, factors, core) = setup();
+        let serial = partial_errors(&x, &factors, &core, 1, Schedule::Static);
+        let par = partial_errors(&x, &factors, &core, 4, Schedule::dynamic());
+        for (a, b) in serial.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

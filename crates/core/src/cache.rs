@@ -1,0 +1,336 @@
+//! P-Tucker-Cache: the `Pres` memoization table (Algorithm 3, lines 1–4 and
+//! 16–19 of the paper).
+//!
+//! `Pres[α][β] = G_β Π_{k=1..N} a⁽ᵏ⁾(iₖ, βₖ)` caches the full N-way product
+//! for every (observed entry, core entry) pair. During a mode-`n` row update
+//! the δ kernel then needs only one division instead of `N−1`
+//! multiplications per pair:
+//! `δ⁽ⁿ⁾_α(βₙ) += Pres[α][β] / a⁽ⁿ⁾(iₙ, βₙ)`, falling back to the direct
+//! product when `a⁽ⁿ⁾(iₙ, βₙ) = 0` (the paper's explicit caveat). After
+//! `A⁽ⁿ⁾` changes, every cached product is rescaled by `a_new/a_old`
+//! (recomputed outright where `a_old = 0`).
+//!
+//! The table is `|Ω|·|G|` doubles — the dominant memory cost (Theorem 6) —
+//! and is metered against the fit's [`MemoryBudget`], which is exactly how
+//! the Fig. 8(b) memory gap (≈29.5× at N = 10) is reproduced.
+
+use crate::Result;
+use ptucker_linalg::Matrix;
+use ptucker_memtrack::{MemoryBudget, Reservation};
+use ptucker_sched::{parallel_rows_mut, Schedule};
+use ptucker_tensor::{CoreTensor, SparseTensor};
+
+/// The memoization table of P-Tucker-Cache.
+#[derive(Debug)]
+pub(crate) struct PresTable {
+    /// Row-major `|Ω| × |G|` products.
+    data: Vec<f64>,
+    /// Row stride = `|G|` (fixed: Cache and Approx are mutually exclusive).
+    g: usize,
+    /// Keeps the budget reservation alive for the table's lifetime.
+    _reservation: Reservation,
+}
+
+impl PresTable {
+    /// Precomputes the full table in parallel (Algorithm 3 lines 1–4; the
+    /// paper uses static scheduling here — uniform work per row).
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::OutOfMemory`] if `|Ω|·|G|` doubles exceed the
+    /// intermediate-data budget.
+    pub fn compute(
+        x: &SparseTensor,
+        factors: &[Matrix],
+        core: &CoreTensor,
+        threads: usize,
+        budget: &MemoryBudget,
+    ) -> Result<Self> {
+        let g = core.nnz();
+        let cells = x.nnz().saturating_mul(g);
+        let reservation = budget.reserve_f64(cells)?;
+        let mut data = vec![0.0f64; cells];
+        let order = x.order();
+        let core_idx = core.flat_indices();
+        let core_vals = core.values();
+        parallel_rows_mut(&mut data, g.max(1), threads, Schedule::Static, |e, row| {
+            let idx = x.index(e);
+            for (b, slot) in row.iter_mut().enumerate() {
+                *slot = product(
+                    core_vals[b],
+                    &core_idx[b * order..(b + 1) * order],
+                    idx,
+                    factors,
+                );
+            }
+        });
+        Ok(PresTable {
+            data,
+            g,
+            _reservation: reservation,
+        })
+    }
+
+    /// The cached products for observed entry `e`.
+    #[inline]
+    pub fn row(&self, e: usize) -> &[f64] {
+        &self.data[e * self.g..(e + 1) * self.g]
+    }
+
+    /// Accumulates δ for entry `e` using the cache (Algorithm 3 line 12),
+    /// with the direct-product fallback for zero divisors.
+    ///
+    /// `a_row_old` is the *current* (pre-update) row `a⁽ⁿ⁾(iₙ, ·)`.
+    #[inline]
+    pub fn accumulate_delta_cached(
+        &self,
+        delta: &mut [f64],
+        e: usize,
+        entry_idx: &[usize],
+        mode: usize,
+        a_row_old: &[f64],
+        core_idx: &[usize],
+        core_vals: &[f64],
+        factors: &[Matrix],
+    ) {
+        delta.fill(0.0);
+        let order = entry_idx.len();
+        let pres = self.row(e);
+        for (b, &cached) in pres.iter().enumerate() {
+            let beta = &core_idx[b * order..(b + 1) * order];
+            let j_n = beta[mode];
+            let a = a_row_old[j_n];
+            if a != 0.0 {
+                delta[j_n] += cached / a;
+            } else {
+                // Fallback: direct Π_{k≠n} product (paper: "when a is 0,
+                // P-TUCKER-CACHE conducts the multiplications as P-TUCKER
+                // does").
+                let mut w = core_vals[b];
+                for (k, factor) in factors.iter().enumerate() {
+                    if k == mode {
+                        continue;
+                    }
+                    w *= factor[(entry_idx[k], beta[k])];
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                delta[j_n] += w;
+            }
+        }
+    }
+
+    /// Rescales the table after `A⁽ⁿ⁾` was updated (Algorithm 3 lines
+    /// 16–19): `Pres[α][β] *= a_new/a_old`, recomputing outright where
+    /// `a_old = 0`. Parallel with static scheduling, like the precompute.
+    pub fn update_mode(
+        &mut self,
+        x: &SparseTensor,
+        factors: &[Matrix],
+        old_a: &Matrix,
+        mode: usize,
+        core: &CoreTensor,
+        threads: usize,
+    ) {
+        let g = self.g;
+        let order = x.order();
+        let core_idx = core.flat_indices();
+        let core_vals = core.values();
+        let new_a = &factors[mode];
+        parallel_rows_mut(
+            &mut self.data,
+            g.max(1),
+            threads,
+            Schedule::Static,
+            |e, row| {
+                let idx = x.index(e);
+                let i_n = idx[mode];
+                for (b, slot) in row.iter_mut().enumerate() {
+                    let beta = &core_idx[b * order..(b + 1) * order];
+                    let j_n = beta[mode];
+                    let old = old_a[(i_n, j_n)];
+                    if old != 0.0 {
+                        *slot *= new_a[(i_n, j_n)] / old;
+                    } else {
+                        *slot = product(core_vals[b], beta, idx, factors);
+                    }
+                }
+            },
+        );
+    }
+}
+
+/// `G_β Π_{k=1..N} a⁽ᵏ⁾(iₖ, βₖ)` — the cached quantity.
+#[inline]
+fn product(g: f64, beta: &[usize], idx: &[usize], factors: &[Matrix]) -> f64 {
+    let mut w = g;
+    for (k, factor) in factors.iter().enumerate() {
+        w *= factor[(idx[k], beta[k])];
+        if w == 0.0 {
+            break;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::accumulate_delta;
+    use ptucker_memtrack::MemoryBudget;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SparseTensor, Vec<Matrix>, CoreTensor) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = ptucker_tensor::SparseTensor::new(
+            vec![3, 4],
+            vec![
+                (vec![0, 0], 1.0),
+                (vec![1, 2], 0.5),
+                (vec![2, 3], 2.0),
+                (vec![0, 1], -1.0),
+            ],
+        )
+        .unwrap();
+        let factors = vec![random_matrix(3, 2, &mut rng), random_matrix(4, 2, &mut rng)];
+        let core = CoreTensor::random_dense(vec![2, 2], &mut rng).unwrap();
+        (x, factors, core)
+    }
+
+    fn random_matrix(r: usize, c: usize, rng: &mut StdRng) -> Matrix {
+        use rand::Rng;
+        Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen::<f64>()).collect()).unwrap()
+    }
+
+    #[test]
+    fn precompute_matches_direct_products() {
+        let (x, factors, core) = setup();
+        let pres = PresTable::compute(&x, &factors, &core, 2, &MemoryBudget::unlimited()).unwrap();
+        for e in 0..x.nnz() {
+            let idx = x.index(e);
+            for b in 0..core.nnz() {
+                let want = product(core.value(b), core.index(b), idx, &factors);
+                assert!((pres.row(e)[b] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_delta_matches_direct_delta() {
+        let (x, factors, core) = setup();
+        let pres = PresTable::compute(&x, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+        for mode in 0..2 {
+            for e in 0..x.nnz() {
+                let idx = x.index(e);
+                let j_n = core.dims()[mode];
+                let mut direct = vec![0.0; j_n];
+                accumulate_delta(
+                    &mut direct,
+                    idx,
+                    mode,
+                    core.flat_indices(),
+                    core.values(),
+                    &factors,
+                );
+                let a_row: Vec<f64> = factors[mode].row(idx[mode]).to_vec();
+                let mut cached = vec![0.0; j_n];
+                pres.accumulate_delta_cached(
+                    &mut cached,
+                    e,
+                    idx,
+                    mode,
+                    &a_row,
+                    core.flat_indices(),
+                    core.values(),
+                    &factors,
+                );
+                for (c, d) in cached.iter().zip(&direct) {
+                    assert!((c - d).abs() < 1e-10, "mode={mode} e={e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_delta_zero_divisor_fallback() {
+        let (x, mut factors, core) = setup();
+        // Zero out one factor value so the division path is impossible.
+        factors[0][(0, 1)] = 0.0;
+        let pres = PresTable::compute(&x, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+        let e = 0; // entry (0,0)
+        let idx = x.index(e);
+        let mut direct = vec![0.0; 2];
+        accumulate_delta(
+            &mut direct,
+            idx,
+            0,
+            core.flat_indices(),
+            core.values(),
+            &factors,
+        );
+        let a_row: Vec<f64> = factors[0].row(idx[0]).to_vec();
+        let mut cached = vec![0.0; 2];
+        pres.accumulate_delta_cached(
+            &mut cached,
+            e,
+            idx,
+            0,
+            &a_row,
+            core.flat_indices(),
+            core.values(),
+            &factors,
+        );
+        for (c, d) in cached.iter().zip(&direct) {
+            assert!((c - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn update_mode_keeps_table_consistent() {
+        let (x, mut factors, core) = setup();
+        let mut pres =
+            PresTable::compute(&x, &factors, &core, 2, &MemoryBudget::unlimited()).unwrap();
+        // Change factor 1, including a zero→nonzero flip.
+        let old = factors[1].clone();
+        let mut rng = StdRng::seed_from_u64(99);
+        factors[1] = random_matrix(4, 2, &mut rng);
+        pres.update_mode(&x, &factors, &old, 1, &core, 2);
+        for e in 0..x.nnz() {
+            let idx = x.index(e);
+            for b in 0..core.nnz() {
+                let want = product(core.value(b), core.index(b), idx, &factors);
+                assert!(
+                    (pres.row(e)[b] - want).abs() < 1e-10,
+                    "stale cache at e={e} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_mode_recomputes_after_zero_old_value() {
+        let (x, mut factors, core) = setup();
+        factors[0][(0, 0)] = 0.0;
+        let mut pres =
+            PresTable::compute(&x, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+        let old = factors[0].clone();
+        factors[0][(0, 0)] = 0.75; // zero → nonzero: division impossible
+        pres.update_mode(&x, &factors, &old, 0, &core, 1);
+        for e in 0..x.nnz() {
+            let idx = x.index(e);
+            for b in 0..core.nnz() {
+                let want = product(core.value(b), core.index(b), idx, &factors);
+                assert!((pres.row(e)[b] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_violation_is_oom() {
+        let (x, factors, core) = setup();
+        let tiny = MemoryBudget::new(16); // far below |Ω|*|G|*8 bytes
+        let err = PresTable::compute(&x, &factors, &core, 1, &tiny).unwrap_err();
+        assert!(matches!(err, crate::PtuckerError::OutOfMemory(_)));
+    }
+}

@@ -1,0 +1,205 @@
+use ptucker_linalg::Matrix;
+use ptucker_sched::{parallel_reduce, Schedule};
+use ptucker_tensor::{CoreTensor, SparseTensor};
+
+/// A fitted Tucker model: factor matrices `A⁽ⁿ⁾ ∈ R^{Iₙ×Jₙ}` and core
+/// tensor `G ∈ R^{J₁×…×J_N}`.
+#[derive(Debug, Clone)]
+pub struct TuckerDecomposition {
+    /// One factor matrix per mode.
+    pub factors: Vec<Matrix>,
+    /// The core tensor (possibly truncated under P-Tucker-Approx).
+    pub core: CoreTensor,
+}
+
+impl TuckerDecomposition {
+    /// Tensor dimensionalities implied by the factors.
+    pub fn dims(&self) -> Vec<usize> {
+        self.factors.iter().map(|a| a.rows()).collect()
+    }
+
+    /// Tucker ranks `J₁ … J_N`.
+    pub fn ranks(&self) -> Vec<usize> {
+        self.core.dims().to_vec()
+    }
+
+    /// Predicts the value at one cell via the element-wise Tucker model
+    /// (Eq. 4): `x̂ = Σ_β G_β Πₙ a⁽ⁿ⁾(iₙ, jₙ)`. This is how P-Tucker
+    /// estimates *missing* entries — never as zero.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `index` has the wrong arity; out-of-range
+    /// indices panic on factor access.
+    pub fn predict(&self, index: &[usize]) -> f64 {
+        debug_assert_eq!(index.len(), self.factors.len());
+        let order = self.factors.len();
+        let mut acc = 0.0;
+        for e in 0..self.core.nnz() {
+            let beta = self.core.index(e);
+            let mut term = self.core.value(e);
+            for n in 0..order {
+                term *= self.factors[n][(index[n], beta[n])];
+                if term == 0.0 {
+                    break;
+                }
+            }
+            acc += term;
+        }
+        acc
+    }
+
+    /// Reconstruction error over the observed entries (Eq. 5):
+    /// `sqrt(Σ_{α∈Ω} (X_α − x̂_α)²)`, computed in parallel.
+    pub fn reconstruction_error(
+        &self,
+        x: &SparseTensor,
+        threads: usize,
+        schedule: Schedule,
+    ) -> f64 {
+        self.sum_squared_error(x, threads, schedule).sqrt()
+    }
+
+    /// Test RMSE over held-out entries: `sqrt(Σ (X−x̂)² / |Ω_test|)`
+    /// (Section IV-E's metric). Returns 0 for an empty test set.
+    pub fn test_rmse(&self, test: &SparseTensor, threads: usize, schedule: Schedule) -> f64 {
+        if test.nnz() == 0 {
+            return 0.0;
+        }
+        (self.sum_squared_error(test, threads, schedule) / test.nnz() as f64).sqrt()
+    }
+
+    /// Sum of squared residuals over a tensor's observed entries.
+    pub fn sum_squared_error(&self, x: &SparseTensor, threads: usize, schedule: Schedule) -> f64 {
+        parallel_reduce(
+            x.nnz(),
+            threads,
+            schedule,
+            || 0.0f64,
+            |acc, e| {
+                let d = x.value(e) - self.predict(x.index(e));
+                acc + d * d
+            },
+            |a, b| a + b,
+        )
+    }
+
+    /// Maximum deviation of `A⁽ⁿ⁾ᵀA⁽ⁿ⁾` from the identity across all modes —
+    /// 0 for perfectly orthonormal factors (what the post-fit QR step
+    /// guarantees).
+    pub fn orthogonality_defect(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for a in &self.factors {
+            let g = a.gram();
+            for i in 0..g.rows() {
+                for j in 0..g.cols() {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    worst = worst.max((g[(i, j)] - want).abs());
+                }
+            }
+        }
+        worst
+    }
+
+    /// Densely reconstructs the full tensor (all cells, not only observed
+    /// ones). Intended for tests and small tensors; cost is `Π Iₙ · |G|`.
+    ///
+    /// # Errors
+    /// Propagates dense-tensor construction errors.
+    pub fn reconstruct_dense(&self) -> ptucker_tensor::Result<ptucker_tensor::DenseTensor> {
+        let dims = self.dims();
+        ptucker_tensor::DenseTensor::from_fn(dims, |idx| self.predict(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TuckerDecomposition {
+        // 2x2 identity-ish factors, core = diag-ish.
+        let a0 = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let a1 = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        let core = CoreTensor::from_entries(vec![2, 2], vec![(vec![0, 0], 1.0), (vec![1, 1], 0.5)])
+            .unwrap();
+        TuckerDecomposition {
+            factors: vec![a0, a1],
+            core,
+        }
+    }
+
+    #[test]
+    fn predict_matches_manual_sum() {
+        let d = tiny();
+        // x̂(i0,i1) = 1*a0[i0,0]*a1[i1,0] + 0.5*a0[i0,1]*a1[i1,1]
+        assert_eq!(d.predict(&[0, 0]), 2.0); // 1*1*2
+        assert_eq!(d.predict(&[1, 1]), 1.5); // 0.5*1*3
+        assert_eq!(d.predict(&[2, 0]), 2.0);
+        assert_eq!(d.predict(&[2, 1]), 1.5);
+        assert_eq!(d.predict(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn reconstruction_error_exact_cases() {
+        let d = tiny();
+        // Observed entries equal to predictions → zero error.
+        let x = SparseTensor::new(vec![3, 2], vec![(vec![0, 0], 2.0), (vec![1, 1], 1.5)]).unwrap();
+        assert_eq!(d.reconstruction_error(&x, 2, Schedule::Static), 0.0);
+        // One entry off by 3 → error 3.
+        let y = SparseTensor::new(vec![3, 2], vec![(vec![0, 0], 5.0)]).unwrap();
+        assert!((d.reconstruction_error(&y, 2, Schedule::Static) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_normalizes_by_count() {
+        let d = tiny();
+        let y = SparseTensor::new(vec![3, 2], vec![(vec![0, 0], 5.0), (vec![1, 1], 1.5)]).unwrap();
+        // Residuals: 3 and 0 → RMSE = sqrt(9/2).
+        let want = (9.0f64 / 2.0).sqrt();
+        assert!((d.test_rmse(&y, 1, Schedule::Static) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_test_set_rmse_is_zero() {
+        let d = tiny();
+        let empty = SparseTensor::new(vec![3, 2], vec![]).unwrap();
+        assert_eq!(d.test_rmse(&empty, 4, Schedule::Static), 0.0);
+    }
+
+    #[test]
+    fn orthogonality_defect_detects_nonorthogonal() {
+        let d = tiny();
+        assert!(d.orthogonality_defect() > 0.5);
+        let ortho = TuckerDecomposition {
+            factors: vec![Matrix::identity(2), Matrix::identity(2)],
+            core: d.core.clone(),
+        };
+        assert!(ortho.orthogonality_defect() < 1e-12);
+    }
+
+    #[test]
+    fn dense_reconstruction_agrees_with_predict() {
+        let d = tiny();
+        let full = d.reconstruct_dense().unwrap();
+        for (idx, v) in full.iter() {
+            assert!((v - d.predict(&idx)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_error_matches_serial() {
+        let d = tiny();
+        let x = SparseTensor::new(
+            vec![3, 2],
+            vec![
+                (vec![0, 0], 1.0),
+                (vec![0, 1], 2.0),
+                (vec![1, 0], 3.0),
+                (vec![2, 1], 4.0),
+            ],
+        )
+        .unwrap();
+        let serial = d.reconstruction_error(&x, 1, Schedule::Static);
+        let par = d.reconstruction_error(&x, 4, Schedule::dynamic());
+        assert!((serial - par).abs() < 1e-12);
+    }
+}

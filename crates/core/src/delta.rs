@@ -1,0 +1,182 @@
+//! The δ kernel (Eq. 12 of the paper).
+//!
+//! For an observed entry `α = (i₁, …, i_N)` and a mode `n`, the vector
+//! `δ⁽ⁿ⁾_α ∈ R^{Jₙ}` has entries
+//! `δ(j) = Σ_{β ∈ G, βₙ = j} G_β Π_{k≠n} a⁽ᵏ⁾(iₖ, βₖ)`.
+//! The row update accumulates `B += δδᵀ` and `c += X_α δ` over all entries
+//! in the row's slice `Ω⁽ⁿ⁾ᵢₙ`, which is the whole of Theorem 1.
+
+use ptucker_linalg::Matrix;
+
+/// Accumulates δ for one observed entry into `delta` (cleared first).
+///
+/// `core_idx`/`core_vals` are the core's flat entry storage; iterating the
+/// raw slices (rather than method calls per entry) keeps this hot loop free
+/// of bounds-check overhead in the interior.
+#[inline]
+pub(crate) fn accumulate_delta(
+    delta: &mut [f64],
+    entry_idx: &[usize],
+    mode: usize,
+    core_idx: &[usize],
+    core_vals: &[f64],
+    factors: &[Matrix],
+) {
+    delta.fill(0.0);
+    let order = entry_idx.len();
+    for (b, &g) in core_vals.iter().enumerate() {
+        let beta = &core_idx[b * order..(b + 1) * order];
+        let mut w = g;
+        for (k, factor) in factors.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            w *= factor[(entry_idx[k], beta[k])];
+            if w == 0.0 {
+                break;
+            }
+        }
+        if w != 0.0 {
+            delta[beta[mode]] += w;
+        }
+    }
+}
+
+/// Rank-1 accumulation of the normal equations for one observed entry:
+/// `B += δδᵀ` (upper triangle only) and `c += x·δ`.
+#[inline]
+pub(crate) fn accumulate_normal_eq(b_upper: &mut [f64], c: &mut [f64], delta: &[f64], x: f64) {
+    let j_n = delta.len();
+    for j1 in 0..j_n {
+        let d1 = delta[j1];
+        c[j1] += x * d1;
+        if d1 == 0.0 {
+            continue;
+        }
+        let row = j1 * j_n;
+        for j2 in j1..j_n {
+            b_upper[row + j2] += d1 * delta[j2];
+        }
+    }
+}
+
+/// Solves `(B + λI) rowᵀ = cᵀ` for one factor row (Eq. 9). `b_upper` holds
+/// the upper triangle of `B` (lower ignored); it is mirrored, regularized
+/// and factorized in place of a scratch matrix.
+///
+/// Cholesky is used first (the system is SPD for λ > 0, Theorem 1); LU with
+/// partial pivoting is the fallback for λ = 0 with a rank-deficient `B`.
+/// Returns `None` only if both factorizations fail (exactly singular
+/// system).
+pub(crate) fn solve_row(b_upper: &[f64], c: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    let j_n = c.len();
+    let mut m = Matrix::zeros(j_n, j_n);
+    for j1 in 0..j_n {
+        for j2 in j1..j_n {
+            let v = b_upper[j1 * j_n + j2];
+            m[(j1, j2)] = v;
+            m[(j2, j1)] = v;
+        }
+    }
+    m.add_diagonal_mut(lambda);
+    if let Ok(chol) = m.cholesky() {
+        return Some(chol.solve(c));
+    }
+    m.lu().ok().map(|lu| lu.solve(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptucker_tensor::CoreTensor;
+
+    #[test]
+    fn delta_matches_bruteforce() {
+        // 2 modes, ranks (2, 3), dense core.
+        let core = CoreTensor::dense_from_fn(vec![2, 3], |i| (i[0] * 3 + i[1] + 1) as f64).unwrap();
+        let a0 = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.25]]);
+        let a1 = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.5, 1.5, -0.5]]);
+        let factors = vec![a0.clone(), a1.clone()];
+        let entry = [1usize, 0usize];
+
+        // Mode 0: δ(j0) = Σ_{j1} G(j0,j1) * a1[i1, j1].
+        let mut delta = vec![0.0; 2];
+        accumulate_delta(
+            &mut delta,
+            &entry,
+            0,
+            core.flat_indices(),
+            core.values(),
+            &factors,
+        );
+        for j0 in 0..2 {
+            let mut want = 0.0;
+            for j1 in 0..3 {
+                want += core.value(j0 * 3 + j1) * a1[(0, j1)];
+            }
+            assert!((delta[j0] - want).abs() < 1e-12, "j0={j0}");
+        }
+
+        // Mode 1: δ(j1) = Σ_{j0} G(j0,j1) * a0[i0, j0].
+        let mut delta = vec![0.0; 3];
+        accumulate_delta(
+            &mut delta,
+            &entry,
+            1,
+            core.flat_indices(),
+            core.values(),
+            &factors,
+        );
+        for j1 in 0..3 {
+            let mut want = 0.0;
+            for j0 in 0..2 {
+                want += core.value(j0 * 3 + j1) * a0[(1, j0)];
+            }
+            assert!((delta[j1] - want).abs() < 1e-12, "j1={j1}");
+        }
+    }
+
+    #[test]
+    fn normal_eq_accumulation() {
+        let delta = [1.0, 2.0];
+        let mut b = vec![0.0; 4];
+        let mut c = vec![0.0; 2];
+        accumulate_normal_eq(&mut b, &mut c, &delta, 3.0);
+        accumulate_normal_eq(&mut b, &mut c, &delta, 1.0);
+        // B = 2 * δδᵀ (upper), c = 4 * δ.
+        assert_eq!(b[0], 2.0); // (0,0)
+        assert_eq!(b[1], 4.0); // (0,1)
+        assert_eq!(b[3], 8.0); // (1,1)
+        assert_eq!(c, vec![4.0, 8.0]);
+    }
+
+    #[test]
+    fn solve_row_recovers_known_solution() {
+        // B = [[2,1],[1,2]] (upper stored), λ=0, c = B * [1, -1]ᵀ = [1, -1].
+        let b_upper = vec![2.0, 1.0, 0.0, 2.0];
+        let c = vec![1.0, -1.0];
+        let row = solve_row(&b_upper, &c, 0.0).unwrap();
+        assert!((row[0] - 1.0).abs() < 1e-12);
+        assert!((row[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_row_regularization_shrinks() {
+        // With huge λ the solution tends to c/λ ≈ 0.
+        let b_upper = vec![1.0, 0.0, 0.0, 1.0];
+        let c = vec![1.0, 1.0];
+        let row = solve_row(&b_upper, &c, 1e9).unwrap();
+        assert!(row[0].abs() < 1e-8 && row[1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn solve_row_singular_unregularized_falls_back_or_none() {
+        // B = 0 and λ = 0: exactly singular — must not panic.
+        let b_upper = vec![0.0; 4];
+        let c = vec![1.0, 1.0];
+        assert!(solve_row(&b_upper, &c, 0.0).is_none());
+        // With regularization it solves fine.
+        let row = solve_row(&b_upper, &c, 0.5).unwrap();
+        assert!((row[0] - 2.0).abs() < 1e-12);
+    }
+}

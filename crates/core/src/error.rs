@@ -1,0 +1,58 @@
+use ptucker_linalg::LinalgError;
+use ptucker_memtrack::OutOfMemory;
+use ptucker_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by P-Tucker fitting.
+#[derive(Debug)]
+pub enum PtuckerError {
+    /// The fit configuration is inconsistent (bad ranks, rates, …).
+    InvalidConfig(String),
+    /// The intermediate-data budget was exceeded — the analogue of the
+    /// paper's O.O.M. outcomes.
+    OutOfMemory(OutOfMemory),
+    /// A linear-algebra kernel failed (singular system, no convergence, …).
+    Linalg(LinalgError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for PtuckerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtuckerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PtuckerError::OutOfMemory(e) => write!(f, "{e}"),
+            PtuckerError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            PtuckerError::Tensor(e) => write!(f, "tensor failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PtuckerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PtuckerError::OutOfMemory(e) => Some(e),
+            PtuckerError::Linalg(e) => Some(e),
+            PtuckerError::Tensor(e) => Some(e),
+            PtuckerError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<OutOfMemory> for PtuckerError {
+    fn from(e: OutOfMemory) -> Self {
+        PtuckerError::OutOfMemory(e)
+    }
+}
+
+impl From<LinalgError> for PtuckerError {
+    fn from(e: LinalgError) -> Self {
+        PtuckerError::Linalg(e)
+    }
+}
+
+impl From<TensorError> for PtuckerError {
+    fn from(e: TensorError) -> Self {
+        PtuckerError::Tensor(e)
+    }
+}

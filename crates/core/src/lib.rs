@@ -1,0 +1,396 @@
+//! **P-Tucker**: scalable Tucker factorization for sparse tensors.
+//!
+//! A from-scratch Rust reproduction of *"Scalable Tucker Factorization for
+//! Sparse Tensors — Algorithms and Discoveries"* (Oh, Park, Sael, Kang;
+//! ICDE 2018). Given a partially observed tensor `X` with observed entries
+//! `Ω`, P-Tucker finds factor matrices `A⁽ⁿ⁾` and a core tensor `G`
+//! minimizing the observed-entry loss
+//!
+//! `L = Σ_{α∈Ω} (X_α − Σ_{β∈G} G_β Πₙ a⁽ⁿ⁾(iₙ, βₙ))² + λ Σₙ ‖A⁽ⁿ⁾‖²`
+//!
+//! by alternating least squares with a **row-wise update rule**: each row of
+//! each factor matrix has a closed-form update `c·(B + λI)⁻¹` computed from
+//! only the observed entries in its slice (Theorem 1), so rows are
+//! independent and updated fully in parallel with only `O(T·J²)`
+//! intermediate memory (Theorem 4). Missing entries are *never* treated as
+//! zeros, which is what separates P-Tucker's accuracy from zero-imputing
+//! HOOI-style methods.
+//!
+//! Two variants trade resources for speed ([`Variant`]):
+//! * **Cache** memoizes all `(entry, core-entry)` products (`O(|Ω|·J^N)`
+//!   memory, ~`N×` less multiplication work), and
+//! * **Approx** truncates the "noisiest" core entries each iteration,
+//!   ranked by exact partial reconstruction error `R(β)`.
+//!
+//! # Example
+//!
+//! ```
+//! use ptucker::{FitOptions, PTucker};
+//! use ptucker_tensor::SparseTensor;
+//!
+//! // A tiny 3-way tensor with 6 observed entries.
+//! let x = SparseTensor::new(
+//!     vec![4, 4, 3],
+//!     vec![
+//!         (vec![0, 0, 0], 0.9),
+//!         (vec![1, 1, 1], 0.8),
+//!         (vec![2, 2, 2], 0.7),
+//!         (vec![3, 3, 0], 0.6),
+//!         (vec![0, 1, 2], 0.5),
+//!         (vec![2, 0, 1], 0.4),
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! let solver = PTucker::new(
+//!     FitOptions::new(vec![2, 2, 2]).max_iters(5).threads(2).seed(7),
+//! )
+//! .unwrap();
+//! let result = solver.fit(&x).unwrap();
+//!
+//! // Factors are orthogonalized on exit and the model predicts any cell.
+//! assert!(result.decomposition.orthogonality_defect() < 1e-10);
+//! let _missing = result.decomposition.predict(&[3, 0, 2]);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::too_many_arguments)]
+
+mod als;
+pub mod approx;
+mod cache;
+mod decomposition;
+mod delta;
+mod error;
+mod options;
+mod stats;
+
+pub use als::PTucker;
+pub use decomposition::TuckerDecomposition;
+pub use error::PtuckerError;
+pub use options::{FitOptions, Variant};
+pub use stats::{FitResult, FitStats, IterStats};
+
+// Re-exported for harness convenience: callers configuring a fit usually
+// need the schedule and budget types too.
+pub use ptucker_memtrack::MemoryBudget;
+pub use ptucker_sched::Schedule;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, PtuckerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptucker_datagen::planted_lowrank;
+    use ptucker_tensor::{SparseTensor, TrainTestSplit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn planted(seed: u64) -> SparseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        planted_lowrank(&[14, 12, 10], &[2, 2, 2], 700, 0.01, &mut rng).tensor
+    }
+
+    fn fit(x: &SparseTensor, opts: FitOptions) -> FitResult {
+        PTucker::new(opts).unwrap().fit(x).unwrap()
+    }
+
+    #[test]
+    fn error_decreases_monotonically() {
+        // Theorem 2: every update minimizes the loss, so the reconstruction
+        // error never increases (λ small; sampling off).
+        let x = planted(1);
+        let r = fit(
+            &x,
+            FitOptions::new(vec![2, 2, 2])
+                .max_iters(8)
+                .tol(0.0)
+                .threads(2)
+                .lambda(1e-6)
+                .seed(3),
+        );
+        let errs: Vec<f64> = r
+            .stats
+            .iterations
+            .iter()
+            .map(|s| s.reconstruction_error)
+            .collect();
+        assert!(errs.len() >= 2);
+        for w in errs.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-9),
+                "error increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_planted_structure() {
+        let x = planted(2);
+        let r = fit(
+            &x,
+            FitOptions::new(vec![2, 2, 2])
+                .max_iters(15)
+                .threads(2)
+                .seed(5),
+        );
+        // Relative reconstruction error well below the trivial baseline.
+        let rel = r.stats.final_error / x.frobenius_norm();
+        assert!(rel < 0.15, "relative error {rel}");
+    }
+
+    #[test]
+    fn qr_preserves_reconstruction_error() {
+        let x = planted(3);
+        let r = fit(
+            &x,
+            FitOptions::new(vec![2, 2, 2]).max_iters(4).tol(0.0).seed(1),
+        );
+        // Last in-loop error equals the post-QR final error.
+        let last = r.stats.iterations.last().unwrap().reconstruction_error;
+        assert!(
+            (last - r.stats.final_error).abs() <= 1e-8 * last.max(1.0),
+            "QR changed the error: {last} vs {}",
+            r.stats.final_error
+        );
+        assert!(r.decomposition.orthogonality_defect() < 1e-10);
+    }
+
+    #[test]
+    fn cache_variant_matches_default_exactly() {
+        // Same seed ⇒ identical initialization ⇒ the cached algebra must
+        // produce the same iterates up to floating-point noise.
+        let x = planted(4);
+        let base = FitOptions::new(vec![2, 2, 2])
+            .max_iters(4)
+            .tol(0.0)
+            .threads(2)
+            .seed(11);
+        let d = fit(&x, base.clone());
+        let c = fit(&x, base.variant(Variant::Cache));
+        for (a, b) in d.stats.iterations.iter().zip(&c.stats.iterations) {
+            let rel = (a.reconstruction_error - b.reconstruction_error).abs()
+                / a.reconstruction_error.max(1e-12);
+            assert!(rel < 1e-6, "iter {}: {rel}", a.iter);
+        }
+    }
+
+    #[test]
+    fn approx_truncates_core_each_iteration() {
+        let x = planted(5);
+        let r = fit(
+            &x,
+            FitOptions::new(vec![3, 3, 3])
+                .max_iters(5)
+                .tol(0.0)
+                .variant(Variant::Approx {
+                    truncation_rate: 0.2,
+                })
+                .seed(2),
+        );
+        let sizes: Vec<usize> = r.stats.iterations.iter().map(|s| s.core_nnz).collect();
+        assert!(sizes.windows(2).all(|w| w[1] < w[0]), "sizes: {sizes:?}");
+        // Note: the final QR core update (G ← G ×ₙ R⁽ⁿ⁾) introduces fill-in,
+        // so the returned core may be denser than the last truncated state;
+        // the iteration log records the truncated sizes.
+        assert!(*sizes.last().unwrap() < 27);
+    }
+
+    #[test]
+    fn approx_error_stays_close_to_default() {
+        let x = planted(6);
+        let base = FitOptions::new(vec![2, 2, 2]).max_iters(10).seed(9);
+        let d = fit(&x, base.clone());
+        let a = fit(
+            &x,
+            base.variant(Variant::Approx {
+                truncation_rate: 0.2,
+            }),
+        );
+        // Fig. 9(b): "almost the same accuracy" — allow 2x slack here.
+        assert!(a.stats.final_error <= 2.0 * d.stats.final_error + 0.5);
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let x = planted(7);
+        let base = FitOptions::new(vec![2, 2, 2])
+            .max_iters(3)
+            .tol(0.0)
+            .seed(13);
+        let t1 = fit(&x, base.clone().threads(1));
+        let t4 = fit(&x, base.threads(4));
+        for (a, b) in t1.stats.iterations.iter().zip(&t4.stats.iterations) {
+            let rel = (a.reconstruction_error - b.reconstruction_error).abs()
+                / a.reconstruction_error.max(1e-12);
+            assert!(rel < 1e-9, "thread count changed results: {rel}");
+        }
+    }
+
+    #[test]
+    fn static_and_dynamic_schedules_agree() {
+        let x = planted(8);
+        let base = FitOptions::new(vec![2, 2, 2])
+            .max_iters(3)
+            .tol(0.0)
+            .seed(17);
+        let s = fit(&x, base.clone().schedule(Schedule::Static).threads(3));
+        let d = fit(&x, base.schedule(Schedule::dynamic()).threads(3));
+        for (a, b) in s.stats.iterations.iter().zip(&d.stats.iterations) {
+            let rel = (a.reconstruction_error - b.reconstruction_error).abs()
+                / a.reconstruction_error.max(1e-12);
+            assert!(rel < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = planted(9);
+        let opts = FitOptions::new(vec![2, 2, 2])
+            .max_iters(3)
+            .seed(23)
+            .threads(2);
+        let a = fit(&x, opts.clone());
+        let b = fit(&x, opts);
+        assert_eq!(
+            a.stats.iterations.last().unwrap().reconstruction_error,
+            b.stats.iterations.last().unwrap().reconstruction_error
+        );
+    }
+
+    #[test]
+    fn cache_oom_with_tiny_budget() {
+        let x = planted(10);
+        let opts = FitOptions::new(vec![2, 2, 2])
+            .variant(Variant::Cache)
+            .budget(MemoryBudget::new(1024));
+        let err = PTucker::new(opts).unwrap().fit(&x).unwrap_err();
+        assert!(matches!(err, PtuckerError::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let x = planted(11);
+        let err = PTucker::new(FitOptions::new(vec![2, 2]))
+            .unwrap()
+            .fit(&x)
+            .unwrap_err();
+        assert!(matches!(err, PtuckerError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn test_rmse_beats_zero_prediction_on_planted_data() {
+        let x = planted(12);
+        let mut rng = StdRng::seed_from_u64(99);
+        let split = TrainTestSplit::new(&x, 0.1, &mut rng).unwrap();
+        let r = fit(
+            &split.train,
+            FitOptions::new(vec![2, 2, 2]).max_iters(15).seed(4),
+        );
+        let rmse = r.decomposition.test_rmse(&split.test, 2, Schedule::Static);
+        // Zero-prediction RMSE (what a zero-imputing method effectively
+        // gives for held-out cells).
+        let zero_rmse = (split.test.values().iter().map(|v| v * v).sum::<f64>()
+            / split.test.nnz() as f64)
+            .sqrt();
+        assert!(
+            rmse < 0.5 * zero_rmse,
+            "rmse {rmse} vs zero-pred {zero_rmse}"
+        );
+    }
+
+    #[test]
+    fn refit_core_does_not_hurt() {
+        let x = planted(13);
+        let base = FitOptions::new(vec![2, 2, 2]).max_iters(8).seed(6);
+        let plain = fit(&x, base.clone());
+        let refit = fit(&x, base.refit_core(true));
+        // The refit is the exact least-squares core given the factors; the
+        // plain core is a feasible point, so the error cannot increase.
+        assert!(
+            refit.stats.final_error <= plain.stats.final_error * (1.0 + 1e-6) + 1e-9,
+            "refit {} vs plain {}",
+            refit.stats.final_error,
+            plain.stats.final_error
+        );
+    }
+
+    #[test]
+    fn sampling_stride_still_converges_roughly() {
+        let x = planted(14);
+        let r = fit(
+            &x,
+            FitOptions::new(vec![2, 2, 2])
+                .max_iters(10)
+                .sample_stride(2)
+                .seed(8),
+        );
+        let rel = r.stats.final_error / x.frobenius_norm();
+        assert!(rel < 0.5, "sampled fit diverged: {rel}");
+    }
+
+    #[test]
+    fn empty_slices_yield_zero_predictions() {
+        // A tensor where mode-0 index 3 is never observed.
+        let x = SparseTensor::new(
+            vec![5, 3, 3],
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![1, 1, 1], 0.5),
+                (vec![2, 2, 2], 0.25),
+                (vec![4, 0, 1], 0.75),
+            ],
+        )
+        .unwrap();
+        let r = fit(&x, FitOptions::new(vec![2, 2, 2]).max_iters(2).seed(1));
+        let p = r.decomposition.predict(&[3, 0, 0]);
+        assert!(p.abs() < 1e-8, "unobserved slice predicted {p}");
+    }
+
+    #[test]
+    fn peak_intermediate_memory_reported() {
+        let x = planted(15);
+        let d = fit(
+            &x,
+            FitOptions::new(vec![2, 2, 2])
+                .max_iters(2)
+                .seed(1)
+                .threads(2),
+        );
+        assert!(d.stats.peak_intermediate_bytes > 0);
+        let c = fit(
+            &x,
+            FitOptions::new(vec![2, 2, 2])
+                .max_iters(2)
+                .seed(1)
+                .threads(2)
+                .variant(Variant::Cache),
+        );
+        // Cache peak must dominate: |Ω|·|G| doubles ≫ T·J² doubles.
+        assert!(
+            c.stats.peak_intermediate_bytes > 4 * d.stats.peak_intermediate_bytes,
+            "cache {} vs default {}",
+            c.stats.peak_intermediate_bytes,
+            d.stats.peak_intermediate_bytes
+        );
+    }
+
+    #[test]
+    fn converges_flag_set_with_loose_tol() {
+        let x = planted(16);
+        let r = fit(
+            &x,
+            FitOptions::new(vec![2, 2, 2])
+                .max_iters(20)
+                .tol(0.5)
+                .seed(2),
+        );
+        assert!(r.stats.converged);
+        assert!(r.stats.iterations.len() < 20);
+    }
+}

@@ -1,0 +1,498 @@
+//! Row-wise parallel **CP-ALS** for sparse, partially observed tensors.
+//!
+//! The P-Tucker paper (Section VI) situates its row-wise update among the
+//! CP-factorization methods of Shin et al. (CDTF/SALS, TKDE 2017), which
+//! "offer a row-wise parallelization for CPD as P-TUCKER does for Tucker
+//! decomposition". This crate implements that CP analogue, both as a
+//! substrate in its own right and as the ablation partner that quantifies
+//! what Tucker's dense core buys over CP's superdiagonal core.
+//!
+//! The model is `X(i₁,…,i_N) ≈ Σ_{r=1}^{R} Πₙ a⁽ⁿ⁾(iₙ, r)` — exactly the
+//! Tucker model (Eq. 4 of the paper) with a fixed identity-weighted
+//! superdiagonal core. Each factor row has the closed-form update
+//! `(B + λI)⁻¹ c` over only its observed slice, with
+//! `δ_α(r) = Π_{k≠n} a⁽ᵏ⁾(iₖ, r)` — an `O(NR)` kernel per entry versus
+//! P-Tucker's `O(N·Jᴺ)`.
+//!
+//! ```
+//! use ptucker_cp::{cp_als, CpOptions};
+//! use ptucker_tensor::SparseTensor;
+//!
+//! let x = SparseTensor::new(
+//!     vec![4, 4],
+//!     vec![(vec![0, 0], 1.0), (vec![1, 1], 2.0), (vec![2, 2], 0.5), (vec![3, 1], 1.5)],
+//! ).unwrap();
+//! let r = cp_als(&x, &CpOptions::new(2).max_iters(10).seed(1)).unwrap();
+//! assert!(r.final_error.is_finite());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)]
+
+use ptucker::{PtuckerError, Result};
+use ptucker_linalg::{Cholesky, Matrix};
+use ptucker_sched::{parallel_reduce, parallel_rows_mut, Schedule};
+use ptucker_tensor::SparseTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Configuration for a CP-ALS fit.
+#[derive(Debug, Clone)]
+pub struct CpOptions {
+    /// CP rank `R` (number of rank-1 components).
+    pub rank: usize,
+    /// L2 regularization on the factors.
+    pub lambda: f64,
+    /// Maximum ALS iterations.
+    pub max_iters: usize,
+    /// Relative-change convergence tolerance on the reconstruction error.
+    pub tol: f64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Row-update scheduling policy.
+    pub schedule: Schedule,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl CpOptions {
+    /// Creates options with defaults matching the P-Tucker conventions
+    /// (λ = 0.01, 20 iterations).
+    pub fn new(rank: usize) -> Self {
+        CpOptions {
+            rank,
+            lambda: 0.01,
+            max_iters: 20,
+            tol: 1e-4,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            schedule: Schedule::dynamic(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the regularization parameter.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the maximum iteration count.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the convergence tolerance.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate_for(&self, dims: &[usize]) -> Result<()> {
+        if self.rank == 0 {
+            return Err(PtuckerError::InvalidConfig("rank must be >= 1".into()));
+        }
+        if dims.is_empty() {
+            return Err(PtuckerError::InvalidConfig(
+                "tensor order must be >= 1".into(),
+            ));
+        }
+        if self.max_iters == 0 {
+            return Err(PtuckerError::InvalidConfig("max_iters must be >= 1".into()));
+        }
+        if !(self.lambda >= 0.0 && self.lambda.is_finite()) {
+            return Err(PtuckerError::InvalidConfig(
+                "lambda must be finite and >= 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A fitted CP model: `N` factor matrices of shape `Iₙ × R`.
+#[derive(Debug, Clone)]
+pub struct CpDecomposition {
+    /// One factor matrix per mode.
+    pub factors: Vec<Matrix>,
+}
+
+impl CpDecomposition {
+    /// CP rank `R`.
+    pub fn rank(&self) -> usize {
+        self.factors.first().map_or(0, |f| f.cols())
+    }
+
+    /// Predicts one cell: `Σ_r Πₙ a⁽ⁿ⁾(iₙ, r)`.
+    pub fn predict(&self, index: &[usize]) -> f64 {
+        debug_assert_eq!(index.len(), self.factors.len());
+        let r = self.rank();
+        let mut acc = 0.0;
+        for j in 0..r {
+            let mut term = 1.0;
+            for (n, f) in self.factors.iter().enumerate() {
+                term *= f[(index[n], j)];
+                if term == 0.0 {
+                    break;
+                }
+            }
+            acc += term;
+        }
+        acc
+    }
+
+    /// Reconstruction error over observed entries (the Eq. 5 metric).
+    pub fn reconstruction_error(
+        &self,
+        x: &SparseTensor,
+        threads: usize,
+        schedule: Schedule,
+    ) -> f64 {
+        self.sum_squared_error(x, threads, schedule).sqrt()
+    }
+
+    /// Held-out RMSE (0 for an empty test set).
+    pub fn test_rmse(&self, test: &SparseTensor, threads: usize, schedule: Schedule) -> f64 {
+        if test.nnz() == 0 {
+            return 0.0;
+        }
+        (self.sum_squared_error(test, threads, schedule) / test.nnz() as f64).sqrt()
+    }
+
+    fn sum_squared_error(&self, x: &SparseTensor, threads: usize, schedule: Schedule) -> f64 {
+        parallel_reduce(
+            x.nnz(),
+            threads,
+            schedule,
+            || 0.0f64,
+            |acc, e| {
+                let d = x.value(e) - self.predict(x.index(e));
+                acc + d * d
+            },
+            |a, b| a + b,
+        )
+    }
+
+    /// Normalizes every factor column to unit norm and returns the
+    /// per-component weights `λ_r = Πₙ ‖a⁽ⁿ⁾_{:r}‖` (the conventional CP
+    /// normal form). Zero components get weight 0 and are left untouched.
+    pub fn normalize(&mut self) -> Vec<f64> {
+        let r = self.rank();
+        let mut weights = vec![1.0; r];
+        for f in self.factors.iter_mut() {
+            for j in 0..r {
+                let norm = (0..f.rows())
+                    .map(|i| f[(i, j)] * f[(i, j)])
+                    .sum::<f64>()
+                    .sqrt();
+                if norm > 0.0 {
+                    weights[j] *= norm;
+                    for i in 0..f.rows() {
+                        f[(i, j)] /= norm;
+                    }
+                } else {
+                    weights[j] = 0.0;
+                }
+            }
+        }
+        weights
+    }
+}
+
+/// Per-fit statistics mirroring `ptucker::FitStats`' shape.
+#[derive(Debug, Clone)]
+pub struct CpResult {
+    /// The fitted model.
+    pub decomposition: CpDecomposition,
+    /// Reconstruction error after each iteration.
+    pub errors: Vec<f64>,
+    /// Wall-clock seconds per iteration.
+    pub seconds: Vec<f64>,
+    /// Whether the error converged before the iteration cap.
+    pub converged: bool,
+    /// Final reconstruction error.
+    pub final_error: f64,
+    /// Total wall-clock time.
+    pub total_seconds: f64,
+}
+
+/// Runs row-wise CP-ALS on the observed entries of `x`.
+///
+/// # Errors
+/// * [`PtuckerError::InvalidConfig`] for bad options.
+/// * [`PtuckerError::Linalg`] if a row system is exactly singular with
+///   `lambda == 0`.
+pub fn cp_als(x: &SparseTensor, opts: &CpOptions) -> Result<CpResult> {
+    opts.validate_for(x.dims())?;
+    let t0 = Instant::now();
+    let order = x.order();
+    let r = opts.rank;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut factors: Vec<Matrix> = x
+        .dims()
+        .iter()
+        .map(|&i_n| {
+            let data: Vec<f64> = (0..i_n * r).map(|_| rng.gen::<f64>()).collect();
+            Matrix::from_vec(i_n, r, data).expect("length matches")
+        })
+        .collect();
+
+    let mut errors = Vec::with_capacity(opts.max_iters);
+    let mut seconds = Vec::with_capacity(opts.max_iters);
+    let mut prev_err = f64::INFINITY;
+    let mut converged = false;
+
+    for _ in 0..opts.max_iters {
+        let t_iter = Instant::now();
+        for n in 0..order {
+            update_factor(x, &mut factors, n, opts)?;
+        }
+        let d = CpDecomposition {
+            factors: factors.clone(),
+        };
+        let err = d
+            .sum_squared_error(x, opts.threads, Schedule::Static)
+            .sqrt();
+        errors.push(err);
+        seconds.push(t_iter.elapsed().as_secs_f64());
+        if err.is_finite()
+            && prev_err.is_finite()
+            && (prev_err - err).abs() <= opts.tol * prev_err.max(f64::EPSILON)
+        {
+            converged = true;
+            break;
+        }
+        prev_err = err;
+    }
+
+    let decomposition = CpDecomposition { factors };
+    let final_error = decomposition.reconstruction_error(x, opts.threads, Schedule::Static);
+    Ok(CpResult {
+        decomposition,
+        errors,
+        seconds,
+        converged,
+        final_error,
+        total_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Row-wise update of factor `n`: for each observed row solve
+/// `(B + λI) row = c` with `B = Σ δδᵀ`, `δ_α(r) = Π_{k≠n} a⁽ᵏ⁾(iₖ, r)`.
+fn update_factor(
+    x: &SparseTensor,
+    factors: &mut [Matrix],
+    mode: usize,
+    opts: &CpOptions,
+) -> Result<()> {
+    let i_n = x.dims()[mode];
+    let r = opts.rank;
+    let a_n = std::mem::replace(&mut factors[mode], Matrix::zeros(0, 0));
+    let mut data = a_n.into_vec();
+    let failed = AtomicBool::new(false);
+    {
+        let factors_ro: &[Matrix] = factors;
+        parallel_rows_mut(&mut data, r, opts.threads, opts.schedule, |i, row| {
+            let slice = x.slice(mode, i);
+            if slice.is_empty() {
+                row.fill(0.0);
+                return;
+            }
+            let mut delta = vec![0.0f64; r];
+            let mut b_upper = vec![0.0f64; r * r];
+            let mut c = vec![0.0f64; r];
+            for &e in slice {
+                let idx = x.index(e);
+                for (j, d) in delta.iter_mut().enumerate() {
+                    let mut w = 1.0;
+                    for (k, f) in factors_ro.iter().enumerate() {
+                        if k == mode {
+                            continue;
+                        }
+                        w *= f[(idx[k], j)];
+                        if w == 0.0 {
+                            break;
+                        }
+                    }
+                    *d = w;
+                }
+                let xv = x.value(e);
+                for j1 in 0..r {
+                    let d1 = delta[j1];
+                    c[j1] += xv * d1;
+                    if d1 == 0.0 {
+                        continue;
+                    }
+                    for j2 in j1..r {
+                        b_upper[j1 * r + j2] += d1 * delta[j2];
+                    }
+                }
+            }
+            // Mirror, regularize, solve.
+            let mut m = Matrix::zeros(r, r);
+            for j1 in 0..r {
+                for j2 in j1..r {
+                    let v = b_upper[j1 * r + j2];
+                    m[(j1, j2)] = v;
+                    m[(j2, j1)] = v;
+                }
+            }
+            m.add_diagonal_mut(opts.lambda);
+            match Cholesky::factor(&m) {
+                Ok(ch) => row.copy_from_slice(&ch.solve(&c)),
+                Err(_) => match m.lu() {
+                    Ok(lu) => row.copy_from_slice(&lu.solve(&c)),
+                    Err(_) => failed.store(true, Ordering::Relaxed),
+                },
+            }
+        });
+    }
+    factors[mode] = Matrix::from_vec(i_n, r, data)?;
+    if failed.load(Ordering::Relaxed) {
+        return Err(PtuckerError::Linalg(
+            ptucker_linalg::LinalgError::Singular { pivot: 0 },
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptucker_datagen::planted_cp;
+    use ptucker_tensor::TrainTestSplit;
+
+    fn planted(seed: u64) -> SparseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        planted_cp(&[15, 12, 10], 3, 800, 0.01, &mut rng).tensor
+    }
+
+    #[test]
+    fn error_decreases_monotonically() {
+        let x = planted(1);
+        let r = cp_als(
+            &x,
+            &CpOptions::new(3).max_iters(8).tol(0.0).lambda(1e-6).seed(2),
+        )
+        .unwrap();
+        for w in r.errors.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-9), "CP error increased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn recovers_planted_cp_structure() {
+        let x = planted(2);
+        let r = cp_als(&x, &CpOptions::new(3).max_iters(20).seed(3)).unwrap();
+        let rel = r.final_error / x.frobenius_norm();
+        assert!(rel < 0.15, "relative error {rel}");
+    }
+
+    #[test]
+    fn prediction_beats_zero_on_held_out() {
+        let x = planted(3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let split = TrainTestSplit::new(&x, 0.1, &mut rng).unwrap();
+        let r = cp_als(&split.train, &CpOptions::new(3).max_iters(20).seed(5)).unwrap();
+        let rmse = r.decomposition.test_rmse(&split.test, 2, Schedule::Static);
+        let zero = (split.test.values().iter().map(|v| v * v).sum::<f64>()
+            / split.test.nnz() as f64)
+            .sqrt();
+        assert!(rmse < 0.5 * zero, "cp rmse {rmse} vs zero {zero}");
+    }
+
+    #[test]
+    fn deterministic_and_thread_invariant() {
+        let x = planted(4);
+        let base = CpOptions::new(2).max_iters(4).tol(0.0).seed(7);
+        let a = cp_als(&x, &base.clone().threads(1)).unwrap();
+        let b = cp_als(&x, &base.threads(4)).unwrap();
+        for (u, v) in a.errors.iter().zip(&b.errors) {
+            assert!((u - v).abs() < 1e-9 * u.max(1.0));
+        }
+    }
+
+    #[test]
+    fn normalize_preserves_predictions() {
+        let x = planted(5);
+        let r = cp_als(&x, &CpOptions::new(3).max_iters(5).seed(1)).unwrap();
+        let mut d = r.decomposition.clone();
+        let before: Vec<f64> = (0..x.nnz()).map(|e| d.predict(x.index(e))).collect();
+        let weights = d.normalize();
+        // Predictions after normalization are scaled per component; to
+        // recompose, scale one factor's columns back by the weights.
+        for (j, w) in weights.iter().enumerate() {
+            for i in 0..d.factors[0].rows() {
+                d.factors[0][(i, j)] *= w;
+            }
+        }
+        for (e, want) in before.iter().enumerate() {
+            let got = d.predict(x.index(e));
+            assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn tucker_with_more_core_freedom_fits_at_least_as_well() {
+        // CP rank R = Tucker ranks (R,…,R) with a constrained core; the
+        // unconstrained Tucker fit cannot be meaningfully worse.
+        let x = planted(6);
+        let cp = cp_als(&x, &CpOptions::new(2).max_iters(12).seed(4)).unwrap();
+        let tk = ptucker::PTucker::new(
+            ptucker::FitOptions::new(vec![2, 2, 2])
+                .max_iters(12)
+                .seed(4),
+        )
+        .unwrap()
+        .fit(&x)
+        .unwrap();
+        assert!(
+            tk.stats.final_error <= cp.final_error * 1.25 + 1e-6,
+            "tucker {} vs cp {}",
+            tk.stats.final_error,
+            cp.final_error
+        );
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let x = planted(7);
+        assert!(cp_als(&x, &CpOptions::new(0)).is_err());
+        assert!(cp_als(&x, &CpOptions::new(2).max_iters(0)).is_err());
+        assert!(cp_als(&x, &CpOptions::new(2).lambda(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn empty_slices_zeroed() {
+        let x = SparseTensor::new(
+            vec![4, 3],
+            vec![(vec![0, 0], 1.0), (vec![1, 1], 2.0), (vec![3, 2], 0.5)],
+        )
+        .unwrap();
+        let r = cp_als(&x, &CpOptions::new(2).max_iters(3).seed(1)).unwrap();
+        // Row 2 of mode 0 was never observed → predicts 0.
+        assert!(r.decomposition.predict(&[2, 0]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic tensor generators for the P-Tucker experiments.
+//!
+//! Three families of data cover everything Section IV of the paper needs:
+//!
+//! * [`uniform_sparse`] — "random tensors … with real-valued entries between
+//!   0 and 1" (Section IV-B1), used for the order/dimensionality/|Ω|/rank
+//!   scalability sweeps of Figure 6 and the thread sweep of Figure 10;
+//! * [`planted_lowrank`] — tensors with known Tucker structure plus noise,
+//!   used wherever *recoverable* latent structure matters (accuracy
+//!   comparisons, convergence tests, property tests);
+//! * [`realworld`] — simulated stand-ins for the four licensed datasets
+//!   (MovieLens, Yahoo-music, sea-wave video, Lena image) with the same
+//!   order/shape/sparsity profile, Zipf-skewed activity and **planted**
+//!   genre clusters and (year, hour) relations so that the discovery
+//!   experiments (Tables V and VI) have a ground truth to recover.
+//!
+//! All generators are deterministic given a seeded RNG.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod lowrank;
+pub mod realworld;
+mod uniform;
+mod zipf;
+
+pub use lowrank::{planted_cp, planted_lowrank, reconstruct_at, PlantedTensor};
+pub use uniform::uniform_sparse;
+pub use zipf::Zipf;

@@ -1,0 +1,226 @@
+use crate::uniform::sample_distinct_cells;
+use ptucker_linalg::Matrix;
+use ptucker_tensor::{CoreTensor, SparseTensor};
+use rand::Rng;
+
+/// A sparse tensor with known (planted) Tucker structure.
+///
+/// Produced by [`planted_lowrank`]; the ground-truth factors and core are
+/// kept so tests and accuracy experiments can verify that an algorithm
+/// recovers the planted structure (low reconstruction error, low test RMSE).
+#[derive(Debug, Clone)]
+pub struct PlantedTensor {
+    /// The observed entries, values = planted reconstruction + noise.
+    pub tensor: SparseTensor,
+    /// Ground-truth factor matrices `A⁽ⁿ⁾ ∈ R^{Iₙ×Jₙ}`.
+    pub factors: Vec<Matrix>,
+    /// Ground-truth core tensor.
+    pub core: CoreTensor,
+    /// Standard deviation of the additive Gaussian noise.
+    pub noise_std: f64,
+}
+
+/// Generates a sparse tensor whose observed values follow an exact Tucker
+/// model `X = G ×₁ A⁽¹⁾ ⋯ ×_N A⁽ᴺ⁾` plus Gaussian noise.
+///
+/// Factor entries are uniform on `[0, 1)` scaled by `1/√Jₙ` and the core is
+/// uniform on `[0, 1)`, which keeps reconstructed values `O(1)` regardless
+/// of rank, mirroring the paper's `[0, 1]` normalization.
+///
+/// # Panics
+/// Panics if `ranks.len() != dims.len()`, any rank is zero or exceeds its
+/// dimension, or `nnz` exceeds the grid size.
+pub fn planted_lowrank<R: Rng + ?Sized>(
+    dims: &[usize],
+    ranks: &[usize],
+    nnz: usize,
+    noise_std: f64,
+    rng: &mut R,
+) -> PlantedTensor {
+    assert_eq!(
+        ranks.len(),
+        dims.len(),
+        "ranks and dims must have the same order"
+    );
+    assert!(
+        ranks.iter().zip(dims).all(|(&j, &i)| j > 0 && j <= i),
+        "each rank must satisfy 1 <= J_n <= I_n"
+    );
+    let order = dims.len();
+
+    // Ground-truth factors and core.
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .zip(ranks)
+        .map(|(&i_n, &j_n)| {
+            let scale = 1.0 / (j_n as f64).sqrt();
+            let data: Vec<f64> = (0..i_n * j_n).map(|_| rng.gen::<f64>() * scale).collect();
+            Matrix::from_vec(i_n, j_n, data).expect("length matches by construction")
+        })
+        .collect();
+    let core = CoreTensor::random_dense(ranks.to_vec(), rng).expect("ranks validated above");
+
+    // Sample observed positions, then evaluate the Tucker model.
+    let positions = sample_distinct_cells(dims, nnz, rng);
+    let mut values = Vec::with_capacity(nnz);
+    for e in 0..nnz {
+        let idx = &positions[e * order..(e + 1) * order];
+        let mut x = reconstruct_at(&core, &factors, idx);
+        if noise_std > 0.0 {
+            // Box–Muller: keeps the dependency surface to `rand` alone.
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            x += noise_std * z;
+        }
+        values.push(x);
+    }
+
+    let tensor = SparseTensor::from_flat(dims.to_vec(), positions, values)
+        .expect("positions are in range by construction");
+    PlantedTensor {
+        tensor,
+        factors,
+        core,
+        noise_std,
+    }
+}
+
+/// Generates a sparse tensor following an exact **CP** (canonical
+/// polyadic) model of the given rank plus Gaussian noise — i.e. a Tucker
+/// model whose core is superdiagonal. Used by the CP-ALS substrate's tests
+/// and the CP-vs-Tucker ablation.
+///
+/// # Panics
+/// Panics if `rank` is zero or exceeds any dimension, or `nnz` exceeds the
+/// grid size.
+pub fn planted_cp<R: Rng + ?Sized>(
+    dims: &[usize],
+    rank: usize,
+    nnz: usize,
+    noise_std: f64,
+    rng: &mut R,
+) -> PlantedTensor {
+    assert!(rank > 0, "rank must be positive");
+    assert!(
+        dims.iter().all(|&d| rank <= d),
+        "rank must not exceed any dimension"
+    );
+    let order = dims.len();
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .map(|&i_n| {
+            let scale = 1.0 / (rank as f64).sqrt();
+            let data: Vec<f64> = (0..i_n * rank).map(|_| rng.gen::<f64>() * scale).collect();
+            Matrix::from_vec(i_n, rank, data).expect("length matches by construction")
+        })
+        .collect();
+    // Superdiagonal core with weights in [0.5, 1.5).
+    let entries: Vec<(Vec<usize>, f64)> = (0..rank)
+        .map(|r| (vec![r; order], 0.5 + rng.gen::<f64>()))
+        .collect();
+    let core = CoreTensor::from_entries(vec![rank; order], entries)
+        .expect("superdiagonal indices are in range");
+
+    let positions = sample_distinct_cells(dims, nnz, rng);
+    let mut values = Vec::with_capacity(nnz);
+    for e in 0..nnz {
+        let idx = &positions[e * order..(e + 1) * order];
+        let mut x = reconstruct_at(&core, &factors, idx);
+        if noise_std > 0.0 {
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            x += noise_std * z;
+        }
+        values.push(x);
+    }
+    let tensor = SparseTensor::from_flat(dims.to_vec(), positions, values)
+        .expect("positions are in range by construction");
+    PlantedTensor {
+        tensor,
+        factors,
+        core,
+        noise_std,
+    }
+}
+
+/// Evaluates the Tucker model `Σ_β G_β Π_n A⁽ⁿ⁾(iₙ, jₙ)` at one cell
+/// (Eq. 4 of the paper).
+pub fn reconstruct_at(core: &CoreTensor, factors: &[Matrix], index: &[usize]) -> f64 {
+    let order = index.len();
+    debug_assert_eq!(core.order(), order);
+    let mut acc = 0.0;
+    for e in 0..core.nnz() {
+        let beta = core.index(e);
+        let mut term = core.value(e);
+        for n in 0..order {
+            term *= factors[n][(index[n], beta[n])];
+        }
+        acc += term;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_tensor_matches_model_exactly() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let p = planted_lowrank(&[8, 7, 6], &[2, 3, 2], 60, 0.0, &mut rng);
+        assert_eq!(p.tensor.nnz(), 60);
+        for e in 0..p.tensor.nnz() {
+            let want = reconstruct_at(&p.core, &p.factors, p.tensor.index(e));
+            assert!((p.tensor.value(e) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = planted_lowrank(&[10, 10], &[2, 2], 50, 0.5, &mut rng);
+        let mut max_dev: f64 = 0.0;
+        for e in 0..p.tensor.nnz() {
+            let clean = reconstruct_at(&p.core, &p.factors, p.tensor.index(e));
+            max_dev = max_dev.max((p.tensor.value(e) - clean).abs());
+        }
+        assert!(max_dev > 1e-3, "noise had no effect");
+    }
+
+    #[test]
+    fn values_are_bounded_for_any_rank() {
+        // The 1/sqrt(J) factor scaling keeps magnitudes O(J^{N/2})… in
+        // practice O(1)-ish; just assert finiteness and a loose bound.
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = planted_lowrank(&[20, 20, 20], &[5, 5, 5], 100, 0.0, &mut rng);
+        for &v in p.tensor.values() {
+            assert!(v.is_finite());
+            assert!(v.abs() < 50.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same order")]
+    fn rank_arity_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = planted_lowrank(&[4, 4], &[2], 4, 0.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= J_n <= I_n")]
+    fn oversized_rank_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = planted_lowrank(&[4, 4], &[5, 2], 4, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = planted_lowrank(&[6, 6], &[2, 2], 20, 0.1, &mut StdRng::seed_from_u64(77));
+        let b = planted_lowrank(&[6, 6], &[2, 2], 20, 0.1, &mut StdRng::seed_from_u64(77));
+        assert_eq!(a.tensor.values(), b.tensor.values());
+    }
+}

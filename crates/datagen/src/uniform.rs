@@ -1,0 +1,118 @@
+use ptucker_tensor::SparseTensor;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples `nnz` cell positions from the grid `dims`, returned as flat
+/// indices (`positions[e*order..(e+1)*order]`).
+///
+/// Positions are deduplicated when the grid is dense enough for collisions
+/// to be plausible (density ≥ 1e-4); for sparser grids positions are sampled
+/// directly, which keeps generation `O(nnz)` at the paper's largest scales
+/// while the expected number of duplicates stays ≪ 1%.
+pub(crate) fn sample_distinct_cells<R: Rng + ?Sized>(
+    dims: &[usize],
+    nnz: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(!dims.is_empty(), "dims must be non-empty");
+    assert!(dims.iter().all(|&d| d > 0), "dims must be positive");
+    let order = dims.len();
+    let total_cells: f64 = dims.iter().map(|&d| d as f64).product();
+    assert!(
+        (nnz as f64) <= total_cells,
+        "requested {nnz} entries but the grid only has {total_cells} cells"
+    );
+
+    let density = nnz as f64 / total_cells;
+    let mut positions = Vec::with_capacity(nnz * order);
+
+    if density < 1e-4 {
+        for _ in 0..nnz {
+            for &d in dims {
+                positions.push(rng.gen_range(0..d));
+            }
+        }
+    } else {
+        let mut seen: HashSet<u128> = HashSet::with_capacity(nnz * 2);
+        let mut buf = vec![0usize; order];
+        while seen.len() < nnz {
+            let mut lin: u128 = 0;
+            for (k, &d) in dims.iter().enumerate() {
+                buf[k] = rng.gen_range(0..d);
+                lin = lin * (d as u128) + buf[k] as u128;
+            }
+            if seen.insert(lin) {
+                positions.extend_from_slice(&buf);
+            }
+        }
+    }
+    positions
+}
+
+/// Generates a uniformly random sparse tensor: `nnz` cells chosen uniformly
+/// over the grid, each with a value drawn uniformly from `[0, 1)`.
+///
+/// This matches the synthetic workloads of Section IV-B1 ("we generate
+/// random tensors of size I₁ = I₂ = … = I_N with real-valued entries between
+/// 0 and 1").
+///
+/// # Panics
+/// Panics if `nnz` exceeds the number of cells in the grid, if `dims` is
+/// empty, or if any dimension is zero.
+pub fn uniform_sparse<R: Rng + ?Sized>(dims: &[usize], nnz: usize, rng: &mut R) -> SparseTensor {
+    let positions = sample_distinct_cells(dims, nnz, rng);
+    let values: Vec<f64> = (0..nnz).map(|_| rng.gen::<f64>()).collect();
+    SparseTensor::from_flat(dims.to_vec(), positions, values)
+        .expect("generated indices are in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform_sparse(&[50, 40, 30], 500, &mut rng);
+        assert_eq!(t.dims(), &[50, 40, 30]);
+        assert_eq!(t.nnz(), 500);
+        assert!(t.values().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn dense_grid_has_distinct_cells() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // 4x4 grid, 16 entries: must occupy every cell exactly once.
+        let t = uniform_sparse(&[4, 4], 16, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for e in 0..t.nnz() {
+            assert!(seen.insert(t.index(e).to_vec()), "duplicate cell");
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = uniform_sparse(&[20, 20], 100, &mut StdRng::seed_from_u64(9));
+        let b = uniform_sparse(&[20, 20], 100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.flat_indices(), b.flat_indices());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn too_many_entries_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = uniform_sparse(&[2, 2], 5, &mut rng);
+    }
+
+    #[test]
+    fn very_sparse_path_works() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Density 1000 / 10^9 = 1e-6: exercises the direct-sampling branch.
+        let t = uniform_sparse(&[1000, 1000, 1000], 1000, &mut rng);
+        assert_eq!(t.nnz(), 1000);
+    }
+}

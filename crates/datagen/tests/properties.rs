@@ -1,0 +1,75 @@
+//! Property-based tests of the synthetic generators: shape contracts,
+//! determinism, and model-faithfulness of the planted tensors.
+
+use proptest::prelude::*;
+use ptucker_datagen::{planted_cp, planted_lowrank, reconstruct_at, uniform_sparse, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn uniform_sparse_contract(
+        dims in proptest::collection::vec(2..20usize, 2..4),
+        frac in 0.01..0.5f64,
+        seed in 0u64..1000,
+    ) {
+        let cells: usize = dims.iter().product();
+        let nnz = ((cells as f64 * frac) as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = uniform_sparse(&dims, nnz, &mut rng);
+        prop_assert_eq!(t.nnz(), nnz);
+        prop_assert_eq!(t.dims(), &dims[..]);
+        for (idx, v) in t.iter() {
+            prop_assert!((0.0..1.0).contains(&v));
+            for (i, d) in idx.iter().zip(&dims) {
+                prop_assert!(i < d);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_lowrank_noiseless_is_exact(
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = planted_lowrank(&[9, 8, 7], &[2, 3, 2], 50, 0.0, &mut rng);
+        for e in 0..p.tensor.nnz() {
+            let want = reconstruct_at(&p.core, &p.factors, p.tensor.index(e));
+            prop_assert!((p.tensor.value(e) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn planted_cp_core_is_superdiagonal(seed in 0u64..500, rank in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = planted_cp(&[8, 8, 8], rank, 40, 0.0, &mut rng);
+        prop_assert_eq!(p.core.nnz(), rank);
+        for e in 0..p.core.nnz() {
+            let idx = p.core.index(e);
+            prop_assert!(idx.iter().all(|&j| j == idx[0]), "off-diagonal core entry");
+            prop_assert!(p.core.value(e) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_is_a_probability_distribution(n in 1usize..500, s in 0.0..3.0f64, seed in 0u64..100) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn generators_are_pure_functions_of_the_seed(seed in 0u64..1000) {
+        let a = uniform_sparse(&[15, 15], 40, &mut StdRng::seed_from_u64(seed));
+        let b = uniform_sparse(&[15, 15], 40, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.values(), b.values());
+        prop_assert_eq!(a.flat_indices(), b.flat_indices());
+        let pa = planted_cp(&[8, 8], 2, 20, 0.1, &mut StdRng::seed_from_u64(seed));
+        let pb = planted_cp(&[8, 8], 2, 20, 0.1, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(pa.tensor.values(), pb.tensor.values());
+    }
+}

@@ -1,0 +1,135 @@
+use crate::kmeans::{kmeans, KMeansResult};
+use ptucker_linalg::Matrix;
+
+/// Discovered concepts over one mode of a fitted Tucker model.
+#[derive(Debug, Clone)]
+pub struct Concepts {
+    /// The underlying clustering.
+    pub clustering: KMeansResult,
+    /// Members of each cluster (row ids of the factor matrix), ordered by
+    /// distance to the centroid — the first few are the "most
+    /// representative" objects, the analogue of the example movies the
+    /// paper lists per concept in Table V.
+    pub members: Vec<Vec<usize>>,
+}
+
+/// Runs concept discovery on a factor matrix: K-means over its rows
+/// (the object latent vectors), with members ranked by centroid proximity.
+///
+/// The paper's Table V uses `J = 8, K = 100` on the MovieLens movie factor;
+/// any `k ≤ rows` works here.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > factor.rows()` (propagated from k-means).
+pub fn discover_concepts(factor: &Matrix, k: usize, seed: u64) -> Concepts {
+    let clustering = kmeans(factor, k, 100, seed);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (row, &c) in clustering.assignments.iter().enumerate() {
+        members[c].push(row);
+    }
+    for (c, cluster) in members.iter_mut().enumerate() {
+        let centroid = clustering.centroids.row(c);
+        cluster.sort_by(|&a, &b| {
+            let da: f64 = factor
+                .row(a)
+                .iter()
+                .zip(centroid)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            let db: f64 = factor
+                .row(b)
+                .iter()
+                .zip(centroid)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            da.partial_cmp(&db)
+                .expect("finite distances")
+                .then(a.cmp(&b))
+        });
+    }
+    Concepts {
+        clustering,
+        members,
+    }
+}
+
+impl Concepts {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The `top` most representative members of cluster `c`.
+    pub fn representatives(&self, c: usize, top: usize) -> &[usize] {
+        let m = &self.members[c];
+        &m[..top.min(m.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn factor_with_groups() -> (Matrix, Vec<usize>) {
+        // 30 rows in 3 latent groups along different axes.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for g in 0..3usize {
+            for _ in 0..10 {
+                let mut row = [0.05, 0.05, 0.05];
+                row[g] = 1.0 + 0.1 * rng.gen::<f64>();
+                data.extend_from_slice(&row);
+                labels.push(g);
+            }
+        }
+        (Matrix::from_vec(30, 3, data).unwrap(), labels)
+    }
+
+    #[test]
+    fn concepts_partition_all_rows() {
+        let (f, _) = factor_with_groups();
+        let c = discover_concepts(&f, 3, 1);
+        let total: usize = c.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 30);
+        assert_eq!(c.num_clusters(), 3);
+    }
+
+    #[test]
+    fn clusters_match_planted_groups() {
+        let (f, labels) = factor_with_groups();
+        let c = discover_concepts(&f, 3, 5);
+        let purity = crate::cluster_purity(&c.clustering.assignments, &labels);
+        assert_eq!(purity, 1.0);
+    }
+
+    #[test]
+    fn representatives_are_sorted_by_distance() {
+        let (f, _) = factor_with_groups();
+        let c = discover_concepts(&f, 3, 2);
+        for cl in 0..3 {
+            let centroid = c.clustering.centroids.row(cl).to_vec();
+            let mem = &c.members[cl];
+            let dist = |r: usize| -> f64 {
+                f.row(r)
+                    .iter()
+                    .zip(&centroid)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum()
+            };
+            for w in mem.windows(2) {
+                assert!(dist(w[0]) <= dist(w[1]) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn representatives_respects_top_cap() {
+        let (f, _) = factor_with_groups();
+        let c = discover_concepts(&f, 3, 2);
+        assert!(c.representatives(0, 3).len() <= 3);
+        assert_eq!(c.representatives(1, 1000).len(), c.members[1].len());
+    }
+}

@@ -1,0 +1,234 @@
+use ptucker_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Output of [`kmeans`]: centroids, per-row assignments and the final
+/// within-cluster sum of squared distances.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `k × d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster id of every input row.
+    pub assignments: Vec<usize>,
+    /// Σ over rows of squared distance to the assigned centroid.
+    pub inertia: f64,
+    /// Lloyd iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lloyd's K-means with k-means++ seeding over the rows of `data`.
+///
+/// Deterministic for a fixed `seed`. Empty clusters are re-seeded with the
+/// point farthest from its centroid, so exactly `k` clusters survive.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > data.rows()`.
+pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(k > 0 && k <= n, "need 1 <= k <= number of rows");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut dist2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(data.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = dist2.iter().sum();
+        let choice = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in dist2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(choice));
+        for (i, slot) in dist2.iter_mut().enumerate() {
+            *slot = slot.min(sq_dist(data.row(i), centroids.row(c)));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iters.max(1) {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let row = data.row(i);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dd = sq_dist(row, centroids.row(c));
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, v) in sums.row_mut(c).iter_mut().zip(data.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(data.row(a), centroids.row(assignments[a]));
+                        let db = sq_dist(data.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("non-empty data");
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+                changed = true;
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                for (ctr, s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *ctr = s * inv;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| sq_dist(data.row(i), centroids.row(assignments[i])))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+/// Cluster purity against ground-truth labels: the fraction of points whose
+/// cluster's majority label matches their own. 1.0 = perfect recovery.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn cluster_purity(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), labels.len());
+    assert!(!assignments.is_empty());
+    let k = assignments.iter().max().unwrap() + 1;
+    let l = labels.iter().max().unwrap() + 1;
+    let mut table = vec![0usize; k * l];
+    for (&c, &g) in assignments.iter().zip(labels) {
+        table[c * l + g] += 1;
+    }
+    let correct: usize = (0..k)
+        .map(|c| (0..l).map(|g| table[c * l + g]).max().unwrap_or(0))
+        .sum();
+    correct as f64 / assignments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2D.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..20 {
+                rows.push(cx + rng.gen::<f64>() * 0.5);
+                rows.push(cy + rng.gen::<f64>() * 0.5);
+                labels.push(ci);
+            }
+        }
+        (Matrix::from_vec(60, 2, rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, labels) = blobs();
+        let r = kmeans(&data, 3, 50, 7);
+        assert_eq!(cluster_purity(&r.assignments, &labels), 1.0);
+        assert!(r.inertia < 60.0 * 0.5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (data, _) = blobs();
+        let a = kmeans(&data, 3, 50, 9);
+        let b = kmeans(&data, 3, 50, 9);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 5.0], &[9.0, 1.0]]);
+        let r = kmeans(&data, 3, 20, 3);
+        assert!(r.inertia < 1e-18);
+        // All three rows in distinct clusters.
+        let mut seen: Vec<usize> = r.assignments.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = Matrix::from_rows(&[&[1.0, 3.0], &[3.0, 5.0]]);
+        let r = kmeans(&data, 1, 10, 1);
+        assert!((r.centroids[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((r.centroids[(0, 1)] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_handled() {
+        let data = Matrix::from_vec(5, 2, vec![1.0; 10]).unwrap();
+        let r = kmeans(&data, 2, 10, 5);
+        assert_eq!(r.assignments.len(), 5);
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k")]
+    fn k_zero_panics() {
+        let data = Matrix::zeros(3, 2);
+        let _ = kmeans(&data, 0, 10, 1);
+    }
+
+    #[test]
+    fn purity_detects_mismatch() {
+        // Two clusters, half the labels shuffled: purity well below 1.
+        let assignments = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let labels = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        assert!((cluster_purity(&assignments, &labels) - 0.5).abs() < 1e-12);
+        let perfect = vec![1, 1, 0, 0];
+        let gt = vec![0, 0, 1, 1];
+        assert_eq!(cluster_purity(&perfect, &gt), 1.0);
+    }
+}

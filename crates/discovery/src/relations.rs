@@ -1,0 +1,87 @@
+use ptucker_tensor::CoreTensor;
+
+/// One discovered cross-mode relation: a core entry binding column `jₙ` of
+/// every factor matrix with the given strength.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// The core entry's multi-index `(j₁, …, j_N)`.
+    pub index: Vec<usize>,
+    /// The core value `G_{(j₁,…,j_N)}` (signed; ranking is by magnitude).
+    pub strength: f64,
+}
+
+/// Finds the `top_k` strongest relations in a core tensor — the paper's
+/// Table VI procedure: "examining large values in G gives us clues to find
+/// strong relations in a given tensor".
+///
+/// Entries are ranked by `|G_β|` descending (ties broken by index order for
+/// determinism). Returns fewer than `top_k` if the core is smaller.
+pub fn discover_relations(core: &CoreTensor, top_k: usize) -> Vec<Relation> {
+    let mut ids: Vec<usize> = (0..core.nnz()).collect();
+    ids.sort_by(|&a, &b| {
+        core.value(b)
+            .abs()
+            .partial_cmp(&core.value(a).abs())
+            .expect("finite core values")
+            .then(a.cmp(&b))
+    });
+    ids.truncate(top_k);
+    ids.into_iter()
+        .map(|e| Relation {
+            index: core.index(e).to_vec(),
+            strength: core.value(e),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> CoreTensor {
+        CoreTensor::from_entries(
+            vec![2, 3],
+            vec![
+                (vec![0, 0], 0.5),
+                (vec![0, 1], -3.0),
+                (vec![0, 2], 1.0),
+                (vec![1, 0], 2.0),
+                (vec![1, 2], -0.25),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn top_relations_by_magnitude() {
+        let rels = discover_relations(&core(), 3);
+        assert_eq!(rels.len(), 3);
+        assert_eq!(rels[0].index, vec![0, 1]);
+        assert_eq!(rels[0].strength, -3.0);
+        assert_eq!(rels[1].index, vec![1, 0]);
+        assert_eq!(rels[2].index, vec![0, 2]);
+    }
+
+    #[test]
+    fn top_k_larger_than_core_returns_all() {
+        let rels = discover_relations(&core(), 100);
+        assert_eq!(rels.len(), 5);
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        assert!(discover_relations(&core(), 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tiebreak() {
+        let tied = CoreTensor::from_entries(
+            vec![2, 2],
+            vec![(vec![0, 0], 1.0), (vec![0, 1], -1.0), (vec![1, 0], 1.0)],
+        )
+        .unwrap();
+        let rels = discover_relations(&tied, 2);
+        assert_eq!(rels[0].index, vec![0, 0]);
+        assert_eq!(rels[1].index, vec![0, 1]);
+    }
+}

@@ -1,0 +1,217 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition of a symmetric matrix: `A = V Λ Vᵀ`.
+///
+/// Produced by [`sym_eigen`]; eigenpairs are sorted by **descending**
+/// eigenvalue, matching the "leading singular vectors" convention the HOOI
+/// baselines need.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Column `k` of this matrix is the eigenvector for `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenpairs of a symmetric matrix with the cyclic Jacobi
+/// method.
+///
+/// Jacobi is quadratically convergent and unconditionally stable for
+/// symmetric input, which is exactly the Gram-matrix use case of the Tucker
+/// baselines (`YᵀY` with `Y` the matricized TTMc output). Matrix sizes there
+/// are `J^{N-1} × J^{N-1}` — at the paper's settings at most ~10³ — well
+/// within Jacobi's comfortable range.
+///
+/// # Errors
+/// * [`LinalgError::InvalidArgument`] if `a` is not square or not symmetric
+///   (tolerance `1e-8 · max|aᵢⱼ|`).
+/// * [`LinalgError::NoConvergence`] if off-diagonal mass fails to vanish
+///   within 100 sweeps (does not occur for well-formed symmetric input).
+pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::InvalidArgument(
+            "eigendecomposition requires a square matrix",
+        ));
+    }
+    let tol_sym = 1e-8 * a.max_abs().max(1.0);
+    if !a.is_symmetric(tol_sym) {
+        return Err(LinalgError::InvalidArgument(
+            "eigendecomposition requires a symmetric matrix",
+        ));
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    // Symmetrize exactly to stop tiny asymmetries from drifting.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+            m[(i, j)] = avg;
+            m[(j, i)] = avg;
+        }
+    }
+    let mut v = Matrix::identity(n);
+
+    const MAX_SWEEPS: usize = 100;
+    let eps = 1e-14 * m.frobenius_norm().max(1.0);
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= eps {
+            return Ok(finish(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= eps / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic Jacobi rotation.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of the symmetric matrix.
+                for k in 0..n {
+                    if k != p && k != q {
+                        let akp = m[(k, p)];
+                        let akq = m[(k, q)];
+                        let new_kp = c * akp - s * akq;
+                        let new_kq = s * akp + c * akq;
+                        m[(k, p)] = new_kp;
+                        m[(p, k)] = new_kp;
+                        m[(k, q)] = new_kq;
+                        m[(q, k)] = new_kq;
+                    }
+                }
+                let new_pp = app - t * apq;
+                let new_qq = aqq + t * apq;
+                m[(p, p)] = new_pp;
+                m[(q, q)] = new_qq;
+                m[(p, q)] = 0.0;
+                m[(q, p)] = 0.0;
+
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        algorithm: "jacobi eigen",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+fn finish(m: Matrix, v: Matrix) -> SymEigen {
+    let n = m.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 7.0]]);
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 7.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10 || (v0[0] + v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
+        let e = sym_eigen(&a).unwrap();
+        // V Λ Vᵀ == A
+        let mut lam = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            lam[(i, i)] = e.values[i];
+        }
+        let rec = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+        // VᵀV == I
+        let g = e.vectors.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_descending() {
+        let a = Matrix::from_rows(&[&[1.0, 0.5, 0.0], &[0.5, 5.0, 0.1], &[0.0, 0.1, 2.5]]);
+        let e = sym_eigen(&a).unwrap();
+        assert!(e.values[0] >= e.values[1] && e.values[1] >= e.values[2]);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+        let e = sym_eigen(&a).unwrap();
+        let trace = 4.0;
+        assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(sym_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(sym_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization with partial pivoting: `P A = L U`.
+///
+/// Used as the general-purpose fallback solver/inverse where the matrix is
+/// square but not guaranteed SPD (e.g. the upper-triangular `R⁽ⁿ⁾` blocks
+/// from QR when propagating `G ← G ×ₙ R⁽ⁿ⁾` need no inverse, but diagnostics
+/// and tests do, and the paper's literal "inverse matrix" ablation uses it).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: `U` on and above the diagonal, unit-`L` below.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix with partial pivoting.
+    ///
+    /// # Errors
+    /// * [`LinalgError::InvalidArgument`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot is (numerically) zero.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::InvalidArgument("lu requires a square matrix"));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Pivot: largest |entry| in column k at or below the diagonal.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max == 0.0 || !max.is_finite() {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(p, c)];
+                    lu[(p, c)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let sub = factor * lu[(k, j)];
+                    lu[(i, j)] -= sub;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`. Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "lu solve dimension mismatch");
+        // Apply permutation, then forward-substitute unit-L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = y[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = sum;
+        }
+        // Back-substitute U.
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = sum / self.lu[(i, i)];
+        }
+        y
+    }
+
+    /// The explicit inverse `A⁻¹`.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let x = self.solve(&e);
+            e[c] = 0.0;
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        out
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.dim();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_general_system() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -2.0, -3.0], &[-1.0, 1.0, 2.0]]);
+        let lu = a.lu().unwrap();
+        let b = [-8.0, 0.0, 3.0];
+        let x = lu.solve(&b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let inv = a.lu().unwrap().inverse();
+        let eye = a.matmul(&inv).unwrap();
+        assert!((eye[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((eye[(0, 1)]).abs() < 1e-12);
+        assert!((eye[(1, 0)]).abs() < 1e-12);
+        assert!((eye[(1, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_with_pivoting() {
+        // Requires a row swap; det = -2.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        let lu = a.lu().unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Lu::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn agrees_with_cholesky_on_spd() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = [5.0, -1.0];
+        let x_lu = a.lu().unwrap().solve(&b);
+        let x_ch = a.cholesky().unwrap().solve(&b);
+        for (u, c) in x_lu.iter().zip(&x_ch) {
+            assert!((u - c).abs() < 1e-12);
+        }
+    }
+}

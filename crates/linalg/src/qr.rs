@@ -1,0 +1,213 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Thin Householder QR factorization `A = Q R` for tall matrices
+/// (`rows ≥ cols`), producing column-orthonormal `Q ∈ R^{m×n}` and
+/// upper-triangular `R ∈ R^{n×n}`.
+///
+/// P-Tucker orthogonalizes every factor matrix after convergence
+/// (Algorithm 2 lines 8–11): `A⁽ⁿ⁾ = Q⁽ⁿ⁾R⁽ⁿ⁾`, `A⁽ⁿ⁾ ← Q⁽ⁿ⁾`,
+/// `G ← G ×ₙ R⁽ⁿ⁾`, which preserves the reconstruction exactly.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Computes the thin QR factorization of `a`.
+    ///
+    /// The sign convention forces non-negative diagonal entries of `R`
+    /// (flipping the corresponding columns of `Q`), which makes the
+    /// factorization unique for full-rank input and keeps the core-tensor
+    /// update deterministic.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidArgument`] if `a.rows() < a.cols()`.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidArgument(
+                "thin qr requires rows >= cols",
+            ));
+        }
+        // Work on a copy; accumulate Householder reflectors in-place.
+        let mut r_work = a.clone();
+        // Store reflector vectors; v_k has length m-k.
+        let mut reflectors: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                let v = r_work[(i, k)];
+                norm2 += v * v;
+            }
+            let norm = norm2.sqrt();
+            let mut v = vec![0.0; m - k];
+            if norm == 0.0 {
+                // Zero column: identity reflector (v = 0 means no-op).
+                reflectors.push(v);
+                continue;
+            }
+            let akk = r_work[(k, k)];
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            v[0] = akk - alpha;
+            for i in (k + 1)..m {
+                v[i - k] = r_work[(i, k)];
+            }
+            let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm2 > 0.0 {
+                // Apply H = I - 2 v vᵀ / (vᵀv) to the trailing block of R.
+                for j in k..n {
+                    let mut dot = 0.0;
+                    for i in k..m {
+                        dot += v[i - k] * r_work[(i, j)];
+                    }
+                    let scale = 2.0 * dot / vnorm2;
+                    for i in k..m {
+                        let sub = scale * v[i - k];
+                        r_work[(i, j)] -= sub;
+                    }
+                }
+            }
+            reflectors.push(v);
+        }
+
+        // Extract the upper-triangular n×n R.
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = r_work[(i, j)];
+            }
+        }
+
+        // Form thin Q by applying the reflectors, in reverse, to the first n
+        // columns of the identity.
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        for k in (0..n).rev() {
+            let v = &reflectors[k];
+            let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm2 == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i - k] * q[(i, j)];
+                }
+                let scale = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    let sub = scale * v[i - k];
+                    q[(i, j)] -= sub;
+                }
+            }
+        }
+
+        // Normalize signs: make diag(R) >= 0.
+        for k in 0..n {
+            if r[(k, k)] < 0.0 {
+                for j in k..n {
+                    r[(k, j)] = -r[(k, j)];
+                }
+                for i in 0..m {
+                    q[(i, k)] = -q[(i, k)];
+                }
+            }
+        }
+
+        Ok(Qr { q, r })
+    }
+
+    /// Column-orthonormal factor `Q ∈ R^{m×n}`.
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Upper-triangular factor `R ∈ R^{n×n}`.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Consumes the factorization and returns `(Q, R)`.
+    pub fn into_parts(self) -> (Matrix, Matrix) {
+        (self.q, self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() < tol,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.5]]);
+        let qr = a.qr().unwrap();
+        let rec = qr.q().matmul(qr.r()).unwrap();
+        assert_close(&rec, &a, 1e-12);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, 4.0],
+            &[2.0, 2.0, 2.0],
+        ]);
+        let qr = a.qr().unwrap();
+        let qtq = qr.q().gram();
+        assert_close(&qtq, &Matrix::identity(3), 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_nonneg_diag() {
+        let a = Matrix::from_rows(&[&[-4.0, 1.0], &[2.0, 2.0], &[0.0, -3.0]]);
+        let qr = a.qr().unwrap();
+        let r = qr.r();
+        for i in 0..r.rows() {
+            assert!(r[(i, i)] >= 0.0, "negative diagonal at {i}");
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn square_identity_fixed_point() {
+        let a = Matrix::identity(3);
+        let qr = a.qr().unwrap();
+        let rec = qr.q().matmul(qr.r()).unwrap();
+        assert_close(&rec, &Matrix::identity(3), 1e-12);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Matrix::zeros(2, 3).qr().is_err());
+    }
+
+    #[test]
+    fn rank_deficient_still_reconstructs() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = a.qr().unwrap();
+        let rec = qr.q().matmul(qr.r()).unwrap();
+        assert_close(&rec, &a, 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+use crate::{sym_eigen, LinalgError, Matrix, Result};
+
+/// Result of a Gram-matrix-based thin SVD (see
+/// [`leading_left_singular_vectors`]).
+#[derive(Debug, Clone)]
+pub struct GramSvd {
+    /// The requested leading left singular vectors, one per column.
+    pub u: Matrix,
+    /// The corresponding singular values, descending.
+    pub singular_values: Vec<f64>,
+}
+
+/// Computes the `k` leading **left** singular vectors of a (typically tall)
+/// matrix `Y ∈ R^{m×n}` via the Gram matrix `YᵀY`.
+///
+/// This is the kernel of every HOOI-style Tucker baseline (Algorithm 1,
+/// line 5): `A⁽ⁿ⁾ ← Jₙ leading left singular vectors of Y₍ₙ₎`. The Gram trick
+/// avoids forming an `m×m` problem: eigendecompose `YᵀY = V Σ² Vᵀ` (an `n×n`
+/// symmetric problem), then recover `uᵢ = Y vᵢ / σᵢ`.
+///
+/// For P-Tucker's experimental settings `n = Π_{m≠n} Jₘ` is small (≤ ~10³),
+/// matching the memory profile the paper ascribes to these baselines — the
+/// *input* `Y` is the part that explodes (`O(Iₙ · J^{N-1})`), not the Gram
+/// matrix.
+///
+/// Singular directions whose singular value is numerically zero (below
+/// `1e-12 · σ_max`) cannot be recovered from the Gram matrix; they are padded
+/// with zero columns so the output always has exactly `k` columns. Rank
+/// deficiency of that severity does not arise in the factorization loops
+/// (random initialization keeps the iterates generic), but the padding keeps
+/// the function total.
+///
+/// # Errors
+/// * [`LinalgError::InvalidArgument`] if `k > min(m, n)` or `k == 0`.
+/// * Propagates eigensolver failures.
+pub fn leading_left_singular_vectors(y: &Matrix, k: usize) -> Result<GramSvd> {
+    let (m, n) = y.shape();
+    if k == 0 || k > m.min(n) {
+        return Err(LinalgError::InvalidArgument(
+            "k must satisfy 1 <= k <= min(rows, cols)",
+        ));
+    }
+    if m <= n {
+        // Wide (or square) input: eigendecompose the m×m left Gram matrix
+        // Y·Yᵀ, whose eigenvectors *are* the left singular vectors. This is
+        // the cheap side for HOOI on high-order tensors, where
+        // `n = J^{N-1}` dwarfs `m = Iₙ`.
+        let left_gram = y.matmul(&y.transpose())?;
+        let eig = sym_eigen(&left_gram)?;
+        let mut u = Matrix::zeros(m, k);
+        let mut singular_values = Vec::with_capacity(k);
+        for j in 0..k {
+            singular_values.push(eig.values[j].max(0.0).sqrt());
+            for i in 0..m {
+                u[(i, j)] = eig.vectors[(i, j)];
+            }
+        }
+        return Ok(GramSvd { u, singular_values });
+    }
+
+    let gram = y.gram(); // n×n right Gram
+    let eig = sym_eigen(&gram)?;
+    let sigma_max = eig.values.first().copied().unwrap_or(0.0).max(0.0).sqrt();
+    let cutoff = 1e-12 * sigma_max;
+
+    let mut u = Matrix::zeros(m, k);
+    let mut singular_values = Vec::with_capacity(k);
+    for j in 0..k {
+        let lambda = eig.values[j].max(0.0);
+        let sigma = lambda.sqrt();
+        singular_values.push(sigma);
+        if sigma <= cutoff {
+            continue; // leave a zero column
+        }
+        let vj = eig.vectors.col(j);
+        let uj = y.matvec(&vj);
+        for i in 0..m {
+            u[(i, j)] = uj[i] / sigma;
+        }
+    }
+    Ok(GramSvd { u, singular_values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_singular_values() {
+        // Y = diag(3, 2) padded to 3x2: singular values 3, 2.
+        let y = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+        let svd = leading_left_singular_vectors(&y, 2).unwrap();
+        assert!((svd.singular_values[0] - 3.0).abs() < 1e-10);
+        assert!((svd.singular_values[1] - 2.0).abs() < 1e-10);
+        // u1 = e1, u2 = e2 (up to sign).
+        assert!((svd.u[(0, 0)].abs() - 1.0).abs() < 1e-10);
+        assert!((svd.u[(1, 1)].abs() - 1.0).abs() < 1e-10);
+        assert!(svd.u[(2, 0)].abs() < 1e-10);
+    }
+
+    #[test]
+    fn left_vectors_orthonormal() {
+        let y = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.5],
+            &[-1.0, 0.3, 2.0],
+            &[0.7, 1.1, -0.2],
+            &[2.2, -0.4, 1.0],
+            &[0.1, 0.9, 0.9],
+        ]);
+        let svd = leading_left_singular_vectors(&y, 3).unwrap();
+        let g = svd.u.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - want).abs() < 1e-9, "g[{i}{j}]={}", g[(i, j)]);
+            }
+        }
+        // Descending singular values.
+        assert!(svd.singular_values[0] >= svd.singular_values[1]);
+        assert!(svd.singular_values[1] >= svd.singular_values[2]);
+    }
+
+    #[test]
+    fn rank_one_recovery() {
+        // Y = 5 * u vᵀ with u, v unit vectors.
+        let u = [0.6, 0.8];
+        let v = [3.0_f64.sqrt() / 2.0, 0.5];
+        let mut y = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                y[(i, j)] = 5.0 * u[i] * v[j];
+            }
+        }
+        let svd = leading_left_singular_vectors(&y, 1).unwrap();
+        assert!((svd.singular_values[0] - 5.0).abs() < 1e-10);
+        let got = svd.u.col(0);
+        let sign = if got[0] * u[0] >= 0.0 { 1.0 } else { -1.0 };
+        assert!((got[0] - sign * u[0]).abs() < 1e-10);
+        assert!((got[1] - sign * u[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn projection_captures_energy() {
+        // Best rank-1 approximation error equals the discarded singular value.
+        let y = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let svd = leading_left_singular_vectors(&y, 1).unwrap();
+        // P = u uᵀ; ||Y - P Y||_F should be 1 (the second singular value).
+        let u = svd.u.col(0);
+        let mut resid = 0.0;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut p = 0.0;
+                for l in 0..2 {
+                    p += u[i] * u[l] * y[(l, j)];
+                }
+                let d = y[(i, j)] - p;
+                resid += d * d;
+            }
+        }
+        assert!((resid.sqrt() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_uses_left_gram_path() {
+        // 2x5 wide matrix: left singular vectors must still be orthonormal
+        // and reproduce the best rank-k projection.
+        let y = Matrix::from_rows(&[&[1.0, 0.5, -0.2, 2.0, 0.0], &[0.3, -1.0, 0.8, 0.1, 1.5]]);
+        let svd = leading_left_singular_vectors(&y, 2).unwrap();
+        let g = svd.u.gram();
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - want).abs() < 1e-9);
+            }
+        }
+        // Full-rank k=2 on a 2-row matrix: U Uᵀ Y == Y.
+        let proj = svd
+            .u
+            .matmul(&svd.u.transpose())
+            .unwrap()
+            .matmul(&y)
+            .unwrap();
+        for (a, b) in proj.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // Cross-check singular values against the tall path on Yᵀ.
+        let tall = leading_left_singular_vectors(&y.transpose(), 2).unwrap();
+        for (a, b) in svd.singular_values.iter().zip(&tall.singular_values) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let y = Matrix::zeros(3, 2);
+        assert!(leading_left_singular_vectors(&y, 0).is_err());
+        assert!(leading_left_singular_vectors(&y, 3).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_pads_with_zero_columns() {
+        let y = Matrix::zeros(4, 3);
+        let svd = leading_left_singular_vectors(&y, 2).unwrap();
+        assert_eq!(svd.u.shape(), (4, 2));
+        assert!(svd.u.as_slice().iter().all(|&v| v == 0.0));
+        assert!(svd.singular_values.iter().all(|&s| s == 0.0));
+    }
+}

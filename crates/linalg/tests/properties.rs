@@ -1,0 +1,120 @@
+//! Property-based tests of the linear-algebra kernels' mathematical
+//! identities on randomized inputs.
+
+use proptest::prelude::*;
+use ptucker_linalg::{sym_eigen, Matrix};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0..5.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+fn square(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n)
+}
+
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    square(n).prop_map(move |a| {
+        let mut g = a.gram();
+        g.add_diagonal_mut(0.5 + 0.1 * n as f64);
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_of_product_reverses(a in matrix(3, 4), b in matrix(4, 2)) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn determinant_is_multiplicative(a in square(3), b in square(3)) {
+        let (la, lb) = (a.lu(), b.lu());
+        prop_assume!(la.is_ok() && lb.is_ok());
+        let ab = a.matmul(&b).unwrap();
+        let lab = ab.lu();
+        prop_assume!(lab.is_ok());
+        let det_prod = la.unwrap().det() * lb.unwrap().det();
+        let det_ab = lab.unwrap().det();
+        prop_assert!(
+            (det_ab - det_prod).abs() < 1e-6 * (1.0 + det_prod.abs()),
+            "det(AB) = {det_ab}, det(A)det(B) = {det_prod}"
+        );
+    }
+
+    #[test]
+    fn cholesky_and_lu_inverses_agree(a in spd(4)) {
+        let inv_ch = a.cholesky().unwrap().inverse();
+        let inv_lu = a.lu().unwrap().inverse();
+        for (x, y) in inv_ch.as_slice().iter().zip(inv_lu.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn gram_matrix_is_psd(a in matrix(5, 3)) {
+        let g = a.gram();
+        let e = sym_eigen(&g).unwrap();
+        for &v in &e.values {
+            prop_assert!(v >= -1e-9, "negative Gram eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn qr_norm_preserved_per_column(a in matrix(6, 3)) {
+        // ‖A eⱼ‖ = ‖R eⱼ... ‖ is false in general, but ‖A‖_F = ‖R‖_F holds
+        // because Q has orthonormal columns.
+        let qr = a.qr().unwrap();
+        prop_assert!(
+            (a.frobenius_norm() - qr.r().frobenius_norm()).abs()
+                < 1e-8 * (1.0 + a.frobenius_norm())
+        );
+    }
+
+    #[test]
+    fn eigen_trace_and_frobenius_identities(a in spd(4)) {
+        let e = sym_eigen(&a).unwrap();
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        prop_assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-7 * (1.0 + trace.abs()));
+        // ‖A‖_F² = Σ λᵢ² for symmetric A.
+        let fro2 = a.frobenius_norm().powi(2);
+        let lam2: f64 = e.values.iter().map(|v| v * v).sum();
+        prop_assert!((fro2 - lam2).abs() < 1e-6 * (1.0 + fro2));
+    }
+
+    #[test]
+    fn solve_matches_inverse_multiply(a in spd(4), b in proptest::collection::vec(-3.0..3.0f64, 4)) {
+        let ch = a.cholesky().unwrap();
+        let x1 = ch.solve(&b);
+        let x2 = ch.inverse().matvec(&b);
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-7 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn add_diagonal_shifts_eigenvalues(a in spd(3), shift in 0.01..5.0f64) {
+        let e1 = sym_eigen(&a).unwrap();
+        let mut shifted = a.clone();
+        shifted.add_diagonal_mut(shift);
+        let e2 = sym_eigen(&shifted).unwrap();
+        for (l1, l2) in e1.values.iter().zip(&e2.values) {
+            prop_assert!((l2 - l1 - shift).abs() < 1e-7 * (1.0 + l1.abs()));
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Intermediate-data memory metering.
+//!
+//! Definition 7 of the P-Tucker paper singles out *intermediate data* — the
+//! memory required to update factor matrices, excluding the tensor, the core
+//! and the factor matrices themselves — as the quantity that decides whether
+//! a Tucker algorithm scales. Figures 6, 7 and 11 report **O.O.M.** whenever
+//! a competitor's intermediate data exceed the machine's 512 GB.
+//!
+//! Rather than physically exhausting RAM to reproduce those boundaries, every
+//! algorithm in this workspace *meters* its intermediate allocations against
+//! a [`MemoryBudget`]. The arithmetic is the same as a real machine's
+//! (`bytes needed > bytes available ⇒ failure`); only the failure mode is
+//! polite. A budget also tracks the high-water mark, which is what Fig. 8(b)
+//! and Fig. 10(b) plot.
+//!
+//! ```
+//! use ptucker_memtrack::MemoryBudget;
+//!
+//! let budget = MemoryBudget::new(1 << 20); // 1 MiB
+//! let g = budget.reserve_f64(1000).unwrap(); // 8 kB of intermediates
+//! assert_eq!(budget.in_use(), 8000);
+//! drop(g);
+//! assert_eq!(budget.in_use(), 0);
+//! assert_eq!(budget.peak(), 8000);
+//! assert!(budget.reserve_f64(1 << 20).is_err()); // 8 MiB > 1 MiB budget
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned when a reservation would exceed the budget.
+///
+/// Mirrors the "O.O.M." entries in the paper's figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested by the failing reservation.
+    pub requested: usize,
+    /// Bytes already reserved at the time of the request.
+    pub in_use: usize,
+    /// The configured budget in bytes.
+    pub budget: usize,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: requested {} B with {} B in use against a {} B budget",
+            self.requested, self.in_use, self.budget
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+#[derive(Debug)]
+struct Inner {
+    budget: usize,
+    in_use: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+/// A shareable intermediate-data budget with peak tracking.
+///
+/// Cloning is cheap (`Arc` internally); clones share the same accounting, so
+/// worker threads can reserve against the common budget.
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    inner: Arc<Inner>,
+}
+
+impl MemoryBudget {
+    /// Creates a budget of `bytes` bytes.
+    pub fn new(bytes: usize) -> Self {
+        MemoryBudget {
+            inner: Arc::new(Inner {
+                budget: bytes,
+                in_use: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// An effectively unlimited budget (for tests and small runs).
+    pub fn unlimited() -> Self {
+        MemoryBudget::new(usize::MAX)
+    }
+
+    /// The configured limit in bytes.
+    pub fn budget(&self) -> usize {
+        self.inner.budget
+    }
+
+    /// Bytes currently reserved.
+    pub fn in_use(&self) -> usize {
+        self.inner.in_use.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of reserved bytes since creation (or the last
+    /// [`MemoryBudget::reset_peak`]).
+    pub fn peak(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak tracker to the current usage (not to zero, so live
+    /// reservations stay visible).
+    pub fn reset_peak(&self) {
+        self.inner.peak.store(self.in_use(), Ordering::Relaxed);
+    }
+
+    /// Reserves `bytes` bytes, failing if the budget would be exceeded.
+    ///
+    /// The reservation is released when the returned guard is dropped.
+    ///
+    /// # Errors
+    /// [`OutOfMemory`] if `in_use + bytes > budget`.
+    pub fn reserve(&self, bytes: usize) -> Result<Reservation, OutOfMemory> {
+        let mut cur = self.inner.in_use.load(Ordering::Relaxed);
+        loop {
+            let new = cur.checked_add(bytes).ok_or(OutOfMemory {
+                requested: bytes,
+                in_use: cur,
+                budget: self.inner.budget,
+            })?;
+            if new > self.inner.budget {
+                return Err(OutOfMemory {
+                    requested: bytes,
+                    in_use: cur,
+                    budget: self.inner.budget,
+                });
+            }
+            match self.inner.in_use.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(new, Ordering::Relaxed);
+                    return Ok(Reservation {
+                        budget: self.clone(),
+                        bytes,
+                    });
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Convenience: reserves space for `n` `f64` values.
+    ///
+    /// # Errors
+    /// [`OutOfMemory`] if the implied byte count exceeds the budget.
+    pub fn reserve_f64(&self, n: usize) -> Result<Reservation, OutOfMemory> {
+        self.reserve(n.saturating_mul(std::mem::size_of::<f64>()))
+    }
+
+    /// Checks whether `bytes` *could* be reserved right now without actually
+    /// reserving (used by algorithms that report their requirement upfront).
+    pub fn would_fit(&self, bytes: usize) -> bool {
+        self.in_use()
+            .checked_add(bytes)
+            .map(|total| total <= self.inner.budget)
+            .unwrap_or(false)
+    }
+
+    fn release(&self, bytes: usize) {
+        let prev = self.inner.in_use.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "released more than reserved");
+    }
+}
+
+impl Default for MemoryBudget {
+    /// Defaults to 4 GiB — the workspace-wide stand-in for the paper's
+    /// 512 GB machine, scaled alongside the default workload sizes.
+    fn default() -> Self {
+        MemoryBudget::new(4 << 30)
+    }
+}
+
+/// RAII guard for a byte reservation; releases on drop.
+#[derive(Debug)]
+pub struct Reservation {
+    budget: MemoryBudget,
+    bytes: usize,
+}
+
+impl Reservation {
+    /// Size of this reservation in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Grows this reservation by `extra` bytes (e.g. a resizing buffer).
+    ///
+    /// # Errors
+    /// [`OutOfMemory`] if the growth does not fit; the original reservation
+    /// is untouched in that case.
+    pub fn grow(&mut self, extra: usize) -> Result<(), OutOfMemory> {
+        let g = self.budget.reserve(extra)?;
+        // Absorb the new guard into self.
+        self.bytes += g.bytes;
+        std::mem::forget(g);
+        Ok(())
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
+    }
+}
+
+/// Bytes needed for `n` `f64` values — shared helper for upfront estimates.
+pub fn f64_bytes(n: usize) -> usize {
+    n.saturating_mul(std::mem::size_of::<f64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let b = MemoryBudget::new(100);
+        let r = b.reserve(60).unwrap();
+        assert_eq!(b.in_use(), 60);
+        assert_eq!(b.peak(), 60);
+        drop(r);
+        assert_eq!(b.in_use(), 0);
+        assert_eq!(b.peak(), 60);
+    }
+
+    #[test]
+    fn over_budget_fails_with_details() {
+        let b = MemoryBudget::new(100);
+        let _r = b.reserve(80).unwrap();
+        let err = b.reserve(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.budget, 100);
+        // Failing reservation must not change accounting.
+        assert_eq!(b.in_use(), 80);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let b = MemoryBudget::new(1000);
+        {
+            let _a = b.reserve(400).unwrap();
+            let _c = b.reserve(500).unwrap();
+        }
+        let _d = b.reserve(100).unwrap();
+        assert_eq!(b.peak(), 900);
+        b.reset_peak();
+        assert_eq!(b.peak(), 100);
+    }
+
+    #[test]
+    fn clones_share_accounting() {
+        let b = MemoryBudget::new(100);
+        let b2 = b.clone();
+        let _r = b.reserve(70).unwrap();
+        assert_eq!(b2.in_use(), 70);
+        assert!(b2.reserve(40).is_err());
+    }
+
+    #[test]
+    fn reserve_f64_uses_eight_bytes() {
+        let b = MemoryBudget::new(80);
+        assert!(b.reserve_f64(10).is_ok());
+        assert!(b.reserve_f64(11).is_err());
+    }
+
+    #[test]
+    fn grow_extends_or_fails_atomically() {
+        let b = MemoryBudget::new(100);
+        let mut r = b.reserve(50).unwrap();
+        r.grow(30).unwrap();
+        assert_eq!(b.in_use(), 80);
+        assert!(r.grow(30).is_err());
+        assert_eq!(b.in_use(), 80);
+        drop(r);
+        assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    fn would_fit_is_side_effect_free() {
+        let b = MemoryBudget::new(100);
+        assert!(b.would_fit(100));
+        assert!(!b.would_fit(101));
+        assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    fn unlimited_accepts_large_requests() {
+        let b = MemoryBudget::unlimited();
+        assert!(b.reserve(usize::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn concurrent_reservations_are_consistent() {
+        let b = MemoryBudget::new(8_000_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let r = b.reserve(1000).unwrap();
+                        drop(r);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.in_use(), 0);
+        assert!(b.peak() <= 8_000_000);
+    }
+
+    #[test]
+    fn overflow_requests_rejected() {
+        let b = MemoryBudget::new(usize::MAX);
+        let _r = b.reserve(usize::MAX - 10).unwrap();
+        assert!(b.reserve(usize::MAX).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests: the budget's accounting never leaks, never
+//! exceeds the cap, and the peak is exact under arbitrary interleavings.
+
+use proptest::prelude::*;
+use ptucker_memtrack::MemoryBudget;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleaved_reservations_account_exactly(
+        ops in proptest::collection::vec((0usize..10_000, any::<bool>()), 1..60),
+        budget in 1000usize..50_000,
+    ) {
+        let b = MemoryBudget::new(budget);
+        let mut live: Vec<ptucker_memtrack::Reservation> = Vec::new();
+        let mut expected_in_use = 0usize;
+        let mut expected_peak = 0usize;
+        for (bytes, release_first) in ops {
+            if release_first && !live.is_empty() {
+                let r = live.remove(0);
+                expected_in_use -= r.bytes();
+                drop(r);
+            }
+            match b.reserve(bytes) {
+                Ok(r) => {
+                    expected_in_use += r.bytes();
+                    expected_peak = expected_peak.max(expected_in_use);
+                    live.push(r);
+                }
+                Err(e) => {
+                    // A refusal must be justified: honoring it would exceed
+                    // the budget.
+                    prop_assert!(expected_in_use + bytes > budget);
+                    prop_assert_eq!(e.in_use, expected_in_use);
+                }
+            }
+            prop_assert_eq!(b.in_use(), expected_in_use);
+            prop_assert!(b.in_use() <= budget);
+        }
+        prop_assert_eq!(b.peak(), expected_peak);
+        drop(live);
+        prop_assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    fn grow_is_all_or_nothing(initial in 1usize..1000, extra in 0usize..2000, budget in 500usize..1500) {
+        let b = MemoryBudget::new(budget);
+        prop_assume!(initial <= budget);
+        let mut r = b.reserve(initial).unwrap();
+        let before = b.in_use();
+        match r.grow(extra) {
+            Ok(()) => {
+                prop_assert_eq!(b.in_use(), before + extra);
+                prop_assert!(b.in_use() <= budget);
+            }
+            Err(_) => {
+                prop_assert_eq!(b.in_use(), before);
+                prop_assert!(before + extra > budget);
+            }
+        }
+    }
+
+    #[test]
+    fn would_fit_agrees_with_reserve(bytes in 0usize..10_000, budget in 0usize..10_000) {
+        let b = MemoryBudget::new(budget);
+        let predicted = b.would_fit(bytes);
+        let actual = b.reserve(bytes).is_ok();
+        prop_assert_eq!(predicted, actual);
+    }
+}

@@ -1,0 +1,499 @@
+//! OpenMP-style data-parallel scheduling over `crossbeam` scoped threads.
+//!
+//! The P-Tucker paper (Section III-D) parallelizes three sections with
+//! OpenMP and is explicit about the *scheduling policy* of each:
+//!
+//! * cache-table construction and error computation use **static**
+//!   scheduling (uniform work per element), and
+//! * factor-row updates use **dynamic** scheduling, because the work for row
+//!   `iₙ` is proportional to `|Ω⁽ⁿ⁾ᵢₙ|`, which is heavily skewed in real
+//!   tensors. Section IV-D measures dynamic scheduling to be ~1.5× faster
+//!   than a naive static split on MovieLens.
+//!
+//! This crate reproduces both policies with safe Rust:
+//!
+//! * [`Schedule::Static`] assigns each of `T` workers one contiguous block,
+//!   exactly like `schedule(static)`.
+//! * [`Schedule::Dynamic`] lets workers pull fixed-size chunks from a shared
+//!   atomic counter, exactly like `schedule(dynamic, chunk)`.
+//!
+//! Three entry points cover the paper's needs: [`parallel_for`] (indexed
+//! side-effect-free tasks), [`parallel_reduce`] (e.g. summing squared errors)
+//! and [`parallel_rows_mut`] (updating disjoint rows of a row-major matrix
+//! in place, which is exactly the row-wise ALS update).
+//!
+//! ```
+//! use ptucker_sched::{parallel_reduce, Schedule};
+//!
+//! // Sum of squares of 0..1000 on 4 threads.
+//! let s = parallel_reduce(
+//!     1000,
+//!     4,
+//!     Schedule::Dynamic { chunk: 64 },
+//!     || 0u64,
+//!     |acc, i| acc + (i as u64) * (i as u64),
+//!     |a, b| a + b,
+//! );
+//! assert_eq!(s, (0..1000u64).map(|i| i * i).sum());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Work-distribution policy, mirroring OpenMP's `schedule` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Each thread receives one contiguous block of iterations
+    /// (`schedule(static)`): lowest overhead, poor balance under skew.
+    Static,
+    /// Threads repeatedly claim `chunk` iterations from a shared counter
+    /// (`schedule(dynamic, chunk)`): balances skewed workloads.
+    Dynamic {
+        /// Number of iterations claimed per steal. Must be ≥ 1; a value of
+        /// 0 is treated as 1.
+        chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// The dynamic policy with a reasonable default chunk for row updates.
+    pub fn dynamic() -> Self {
+        Schedule::Dynamic { chunk: 8 }
+    }
+}
+
+/// Splits `n` iterations into `t` contiguous blocks of near-equal size.
+/// Returns `(start, end)` for block `b`. Exposed for tests and for the
+/// baselines' static partitioning.
+pub fn static_block(n: usize, t: usize, b: usize) -> (usize, usize) {
+    debug_assert!(t > 0 && b < t);
+    let base = n / t;
+    let rem = n % t;
+    // First `rem` blocks get one extra element.
+    let start = b * base + b.min(rem);
+    let len = base + usize::from(b < rem);
+    (start, (start + len).min(n))
+}
+
+/// Effective thread count: at least 1, at most `n` (no idle spawns).
+fn effective_threads(threads: usize, n: usize) -> usize {
+    threads.max(1).min(n.max(1))
+}
+
+/// Runs `f(i)` for every `i in 0..n` using `threads` workers under the given
+/// schedule. `f` must be safe to call concurrently on distinct indices.
+pub fn parallel_for<F>(n: usize, threads: usize, schedule: Schedule, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let t = effective_threads(threads, n);
+    if t == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    match schedule {
+        Schedule::Static => {
+            crossbeam::scope(|s| {
+                for b in 0..t {
+                    let (lo, hi) = static_block(n, t, b);
+                    let f = &f;
+                    s.spawn(move |_| {
+                        for i in lo..hi {
+                            f(i);
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked in parallel_for(static)");
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            let counter = AtomicUsize::new(0);
+            crossbeam::scope(|s| {
+                for _ in 0..t {
+                    let f = &f;
+                    let counter = &counter;
+                    s.spawn(move |_| loop {
+                        let lo = counter.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(n);
+                        for i in lo..hi {
+                            f(i);
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked in parallel_for(dynamic)");
+        }
+    }
+}
+
+/// Parallel fold-then-combine over `0..n`.
+///
+/// Each worker folds its share with `fold` starting from `init()`; partial
+/// results are merged with `combine`. This is how P-Tucker computes the
+/// reconstruction error (Section III-D: "each thread computes the error
+/// separately ... at the end, P-TUCKER aggregates the partial error").
+pub fn parallel_reduce<T, I, F, C>(
+    n: usize,
+    threads: usize,
+    schedule: Schedule,
+    init: I,
+    fold: F,
+    combine: C,
+) -> T
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(T, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    if n == 0 {
+        return init();
+    }
+    let t = effective_threads(threads, n);
+    if t == 1 {
+        let mut acc = init();
+        for i in 0..n {
+            acc = fold(acc, i);
+        }
+        return acc;
+    }
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(t));
+    match schedule {
+        Schedule::Static => {
+            crossbeam::scope(|s| {
+                for b in 0..t {
+                    let (lo, hi) = static_block(n, t, b);
+                    let init = &init;
+                    let fold = &fold;
+                    let partials = &partials;
+                    s.spawn(move |_| {
+                        let mut acc = init();
+                        for i in lo..hi {
+                            acc = fold(acc, i);
+                        }
+                        partials.lock().push(acc);
+                    });
+                }
+            })
+            .expect("worker panicked in parallel_reduce(static)");
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            let counter = AtomicUsize::new(0);
+            crossbeam::scope(|s| {
+                for _ in 0..t {
+                    let init = &init;
+                    let fold = &fold;
+                    let partials = &partials;
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        let mut acc = init();
+                        loop {
+                            let lo = counter.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= n {
+                                break;
+                            }
+                            let hi = (lo + chunk).min(n);
+                            for i in lo..hi {
+                                acc = fold(acc, i);
+                            }
+                        }
+                        partials.lock().push(acc);
+                    });
+                }
+            })
+            .expect("worker panicked in parallel_reduce(dynamic)");
+        }
+    }
+    partials.into_inner().into_iter().fold(init(), combine)
+}
+
+/// Updates the rows of a row-major matrix in parallel and in place.
+///
+/// `data` is interpreted as `data.len() / row_len` rows of length `row_len`;
+/// worker threads receive disjoint `&mut` row slices, so no synchronization
+/// is needed inside `f`. This is the exact shape of P-Tucker's "Section 2"
+/// parallelism: all rows of `A⁽ⁿ⁾` are independent of each other, so the rows
+/// are distributed across threads and updated concurrently.
+///
+/// Under [`Schedule::Dynamic`], rows are handed out in chunks from a shared
+/// queue so that skewed per-row costs stay balanced; under
+/// [`Schedule::Static`] each thread takes one contiguous block of rows.
+///
+/// # Panics
+/// Panics if `row_len == 0` or `data.len() % row_len != 0`.
+pub fn parallel_rows_mut<F>(
+    data: &mut [f64],
+    row_len: usize,
+    threads: usize,
+    schedule: Schedule,
+    f: F,
+) where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "data length must be a multiple of row_len"
+    );
+    let n_rows = data.len() / row_len;
+    if n_rows == 0 {
+        return;
+    }
+    let t = effective_threads(threads, n_rows);
+    if t == 1 {
+        for (i, row) in data.chunks_mut(row_len).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    match schedule {
+        Schedule::Static => {
+            // Split into T contiguous row blocks.
+            let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(t);
+            let mut rest = data;
+            let mut row_cursor = 0;
+            for b in 0..t {
+                let (lo, hi) = static_block(n_rows, t, b);
+                let (head, tail) = rest.split_at_mut((hi - lo) * row_len);
+                blocks.push((row_cursor, head));
+                rest = tail;
+                row_cursor = hi;
+            }
+            crossbeam::scope(|s| {
+                for (first_row, block) in blocks {
+                    let f = &f;
+                    s.spawn(move |_| {
+                        for (k, row) in block.chunks_mut(row_len).enumerate() {
+                            f(first_row + k, row);
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked in parallel_rows_mut(static)");
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            // Pre-split into chunk-sized groups of rows behind a queue.
+            let mut groups: Vec<(usize, &mut [f64])> = Vec::new();
+            let mut rest = data;
+            let mut row_cursor = 0;
+            while !rest.is_empty() {
+                let rows_here = chunk.min(rest.len() / row_len);
+                let (head, tail) = rest.split_at_mut(rows_here * row_len);
+                groups.push((row_cursor, head));
+                rest = tail;
+                row_cursor += rows_here;
+            }
+            // Reverse so pop() serves groups in ascending row order.
+            groups.reverse();
+            let queue = Mutex::new(groups);
+            crossbeam::scope(|s| {
+                for _ in 0..t {
+                    let f = &f;
+                    let queue = &queue;
+                    s.spawn(move |_| loop {
+                        let next = queue.lock().pop();
+                        match next {
+                            Some((first_row, block)) => {
+                                for (k, row) in block.chunks_mut(row_len).enumerate() {
+                                    f(first_row + k, row);
+                                }
+                            }
+                            None => break,
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked in parallel_rows_mut(dynamic)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn static_block_partitions_exactly() {
+        for n in [0usize, 1, 7, 16, 100, 101] {
+            for t in [1usize, 2, 3, 7, 16] {
+                let mut covered = vec![false; n];
+                let mut prev_end = 0;
+                for b in 0..t {
+                    let (lo, hi) = static_block(n, t, b);
+                    assert_eq!(lo, prev_end, "blocks must be contiguous");
+                    prev_end = hi;
+                    for slot in covered.iter_mut().take(hi).skip(lo) {
+                        assert!(!*slot);
+                        *slot = true;
+                    }
+                }
+                assert_eq!(prev_end, n);
+                assert!(covered.iter().all(|&c| c));
+            }
+        }
+    }
+
+    #[test]
+    fn static_block_sizes_differ_by_at_most_one() {
+        let n = 103;
+        let t = 10;
+        let sizes: Vec<usize> = (0..t)
+            .map(|b| {
+                let (lo, hi) = static_block(n, t, b);
+                hi - lo
+            })
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(sizes.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        for sched in [Schedule::Static, Schedule::Dynamic { chunk: 3 }] {
+            let n = 1000;
+            let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            parallel_for(n, 4, sched, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn parallel_for_zero_and_single() {
+        parallel_for(0, 4, Schedule::Static, |_| panic!("must not run"));
+        let hit = AtomicU64::new(0);
+        parallel_for(1, 8, Schedule::dynamic(), |_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parallel_reduce_matches_serial() {
+        for sched in [Schedule::Static, Schedule::Dynamic { chunk: 16 }] {
+            for threads in [1, 2, 4, 8] {
+                let got = parallel_reduce(
+                    10_000,
+                    threads,
+                    sched,
+                    || 0.0f64,
+                    |acc, i| acc + (i as f64).sqrt(),
+                    |a, b| a + b,
+                );
+                let want: f64 = (0..10_000).map(|i| (i as f64).sqrt()).sum();
+                assert!((got - want).abs() < 1e-6, "t={threads}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_empty_returns_init() {
+        let got = parallel_reduce(0, 4, Schedule::Static, || 42, |a, _| a + 1, |a, b| a + b);
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn rows_mut_updates_each_row_once() {
+        for sched in [Schedule::Static, Schedule::Dynamic { chunk: 2 }] {
+            for threads in [1, 3, 8] {
+                let rows = 37;
+                let cols = 5;
+                let mut data = vec![0.0; rows * cols];
+                parallel_rows_mut(&mut data, cols, threads, sched, |i, row| {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v += (i * cols + j) as f64;
+                    }
+                });
+                for (k, v) in data.iter().enumerate() {
+                    assert_eq!(*v, k as f64, "row data incorrect at {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_mut_skewed_workload_correct() {
+        // Row i does work proportional to i to simulate |Ω_i| skew; verify
+        // results are still exact under dynamic scheduling.
+        let rows = 64;
+        let mut data = vec![0.0; rows * 2];
+        parallel_rows_mut(&mut data, 2, 4, Schedule::Dynamic { chunk: 1 }, |i, row| {
+            let mut acc = 0.0;
+            for k in 0..(i * 50) {
+                acc += (k as f64).sin();
+            }
+            row[0] = i as f64;
+            row[1] = acc;
+        });
+        for i in 0..rows {
+            assert_eq!(data[i * 2], i as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of row_len")]
+    fn rows_mut_bad_row_len_panics() {
+        let mut data = vec![0.0; 7];
+        parallel_rows_mut(&mut data, 2, 2, Schedule::Static, |_, _| {});
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        let n = 3;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(n, 64, Schedule::Dynamic { chunk: 10 }, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_chunk_zero_treated_as_one() {
+        let hit = AtomicU64::new(0);
+        parallel_for(10, 2, Schedule::Dynamic { chunk: 0 }, |_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn reduce_static_vs_dynamic_same_result() {
+        let a = parallel_reduce(
+            5000,
+            4,
+            Schedule::Static,
+            || 0u64,
+            |acc, i| acc + i as u64,
+            |a, b| a + b,
+        );
+        let b = parallel_reduce(
+            5000,
+            4,
+            Schedule::Dynamic { chunk: 7 },
+            || 0u64,
+            |acc, i| acc + i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, 5000u64 * 4999 / 2);
+    }
+}

@@ -1,0 +1,361 @@
+use crate::{delinearize, linearize, row_major_strides, DenseTensor, Result, TensorError};
+use ptucker_linalg::Matrix;
+use rand::Rng;
+
+/// The Tucker core tensor `G ∈ R^{J₁×…×J_N}`, stored as an explicit entry
+/// list.
+///
+/// P-Tucker initializes `G` **dense** with uniform random values in `[0, 1)`
+/// (Algorithm 2 line 1) and keeps it fixed during the ALS sweeps; the entry
+/// list starts with all `Π Jₙ` cells. P-Tucker-Approx then *truncates*
+/// "noisy" entries each iteration (Algorithm 4), after which the core is
+/// genuinely sparse — the entry-list representation makes the truncated δ
+/// loops (`O(|G|)` per observed entry) automatic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreTensor {
+    dims: Vec<usize>,
+    /// Flat index storage: entry `e` occupies `indices[e*order..(e+1)*order]`.
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CoreTensor {
+    /// A fully dense core with every value drawn uniformly from `[0, 1)`,
+    /// matching the paper's initialization.
+    ///
+    /// # Errors
+    /// [`TensorError::InvalidDims`] for empty or zero dims.
+    pub fn random_dense<R: Rng + ?Sized>(dims: Vec<usize>, rng: &mut R) -> Result<Self> {
+        Self::dense_from_fn(dims, |_| rng.gen::<f64>())
+    }
+
+    /// A fully dense core with values produced by `f` at each multi-index.
+    ///
+    /// # Errors
+    /// [`TensorError::InvalidDims`] for empty or zero dims.
+    pub fn dense_from_fn(dims: Vec<usize>, mut f: impl FnMut(&[usize]) -> f64) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(TensorError::InvalidDims("core order must be >= 1".into()));
+        }
+        if dims.contains(&0) {
+            return Err(TensorError::InvalidDims("zero core dimension".into()));
+        }
+        let order = dims.len();
+        let total: usize = dims.iter().product();
+        let mut indices = Vec::with_capacity(total * order);
+        let mut values = Vec::with_capacity(total);
+        let mut idx = vec![0usize; order];
+        for lin in 0..total {
+            delinearize(lin, &dims, &mut idx);
+            indices.extend_from_slice(&idx);
+            values.push(f(&idx));
+        }
+        Ok(CoreTensor {
+            dims,
+            indices,
+            values,
+        })
+    }
+
+    /// Builds a (possibly sparse) core from explicit entries.
+    ///
+    /// # Errors
+    /// Index/arity/value validation as in
+    /// [`crate::SparseTensor::new`].
+    pub fn from_entries(dims: Vec<usize>, entries: Vec<(Vec<usize>, f64)>) -> Result<Self> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(TensorError::InvalidDims("bad core dims".into()));
+        }
+        let order = dims.len();
+        let mut indices = Vec::with_capacity(entries.len() * order);
+        let mut values = Vec::with_capacity(entries.len());
+        for (e, (idx, val)) in entries.into_iter().enumerate() {
+            if idx.len() != order {
+                return Err(TensorError::OrderMismatch {
+                    expected: order,
+                    got: idx.len(),
+                });
+            }
+            for (n, (&i, &d)) in idx.iter().zip(&dims).enumerate() {
+                if i >= d {
+                    return Err(TensorError::IndexOutOfBounds {
+                        mode: n,
+                        index: i,
+                        dim: d,
+                    });
+                }
+            }
+            if !val.is_finite() {
+                return Err(TensorError::NonFiniteValue { entry: e });
+            }
+            indices.extend_from_slice(&idx);
+            values.push(val);
+        }
+        Ok(CoreTensor {
+            dims,
+            indices,
+            values,
+        })
+    }
+
+    /// Order `N` of the core.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Core dimensionalities `J₁ … J_N` (the Tucker ranks).
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of retained entries `|G|`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total number of cells `Π Jₙ` (dense size).
+    pub fn dense_len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Multi-index of entry `e`.
+    #[inline]
+    pub fn index(&self, e: usize) -> &[usize] {
+        let n = self.order();
+        &self.indices[e * n..(e + 1) * n]
+    }
+
+    /// Value of entry `e`.
+    #[inline]
+    pub fn value(&self, e: usize) -> f64 {
+        self.values[e]
+    }
+
+    /// All retained values in entry order.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the retained values (indices are fixed; used by
+    /// core-refit extensions that re-estimate the weights in place).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Flat index storage (entry `e` occupies `[e*order, (e+1)*order)`).
+    #[inline]
+    pub fn flat_indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Iterates `(multi-index, value)` over retained entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&[usize], f64)> + '_ {
+        (0..self.nnz()).map(move |e| (self.index(e), self.value(e)))
+    }
+
+    /// Keeps only the entries whose id satisfies `keep` (P-Tucker-Approx
+    /// truncation). Entry ids are renumbered compactly afterwards.
+    pub fn retain_by_id(&mut self, keep: impl Fn(usize) -> bool) {
+        let order = self.order();
+        let mut w = 0usize;
+        for e in 0..self.values.len() {
+            if keep(e) {
+                if w != e {
+                    self.values[w] = self.values[e];
+                    let (dst, src) = (w * order, e * order);
+                    for k in 0..order {
+                        self.indices[dst + k] = self.indices[src + k];
+                    }
+                }
+                w += 1;
+            }
+        }
+        self.values.truncate(w);
+        self.indices.truncate(w * order);
+    }
+
+    /// Frobenius norm over retained entries.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Converts to a dense tensor (absent entries become zero).
+    ///
+    /// # Errors
+    /// Propagates dense-tensor construction errors (cannot occur for valid
+    /// cores).
+    pub fn to_dense(&self) -> Result<DenseTensor> {
+        let mut d = DenseTensor::zeros(self.dims.clone())?;
+        let strides = row_major_strides(&self.dims);
+        for e in 0..self.nnz() {
+            let lin = linearize(self.index(e), &strides);
+            d.as_mut_slice()[lin] += self.value(e);
+        }
+        Ok(d)
+    }
+
+    /// Builds a core from a dense tensor, dropping entries with
+    /// `|value| <= tol`.
+    ///
+    /// # Errors
+    /// Propagates construction errors (cannot occur for valid input).
+    pub fn from_dense(d: &DenseTensor, tol: f64) -> Result<Self> {
+        let order = d.order();
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut idx = vec![0usize; order];
+        for (lin, &v) in d.as_slice().iter().enumerate() {
+            if v.abs() > tol {
+                delinearize(lin, d.dims(), &mut idx);
+                indices.extend_from_slice(&idx);
+                values.push(v);
+            }
+        }
+        Ok(CoreTensor {
+            dims: d.dims().to_vec(),
+            indices,
+            values,
+        })
+    }
+
+    /// In-place n-mode product `G ← G ×ₙ M` with square `M ∈ R^{Jₙ×Jₙ}` —
+    /// the core update after QR orthogonalization (Eq. 8 of the paper).
+    ///
+    /// The result is computed densely (cores are small: `Π Jₙ ≤ ~10⁵` at the
+    /// paper's settings) and re-sparsified with the given tolerance so a
+    /// truncated core stays truncated.
+    ///
+    /// # Errors
+    /// [`TensorError::ShapeMismatch`] if `M` is not `Jₙ×Jₙ` or `mode` is out
+    /// of range.
+    pub fn mode_product_in_place(&mut self, mode: usize, m: &Matrix, tol: f64) -> Result<()> {
+        if mode >= self.order() {
+            return Err(TensorError::ShapeMismatch(format!(
+                "mode {mode} out of range for order {}",
+                self.order()
+            )));
+        }
+        if m.rows() != self.dims[mode] || m.cols() != self.dims[mode] {
+            return Err(TensorError::ShapeMismatch(format!(
+                "core mode product needs a {j}x{j} matrix, got {r}x{c}",
+                j = self.dims[mode],
+                r = m.rows(),
+                c = m.cols()
+            )));
+        }
+        let dense = self.to_dense()?;
+        let result = dense.mode_product(mode, m)?;
+        *self = CoreTensor::from_dense(&result, tol)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_dense_covers_all_cells() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = CoreTensor::random_dense(vec![2, 3, 2], &mut rng).unwrap();
+        assert_eq!(g.nnz(), 12);
+        assert_eq!(g.dense_len(), 12);
+        assert!(g.values().iter().all(|&v| (0.0..1.0).contains(&v)));
+        // All multi-indices distinct.
+        let mut seen = std::collections::HashSet::new();
+        for e in 0..g.nnz() {
+            assert!(seen.insert(g.index(e).to_vec()));
+        }
+    }
+
+    #[test]
+    fn from_entries_validates() {
+        assert!(CoreTensor::from_entries(vec![2, 2], vec![(vec![1, 1], 0.5)]).is_ok());
+        assert!(CoreTensor::from_entries(vec![2, 2], vec![(vec![2, 0], 0.5)]).is_err());
+        assert!(CoreTensor::from_entries(vec![2, 2], vec![(vec![0], 0.5)]).is_err());
+        assert!(CoreTensor::from_entries(vec![], vec![]).is_err());
+        assert!(CoreTensor::from_entries(vec![2, 2], vec![(vec![0, 0], f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn retain_by_id_compacts() {
+        let mut g = CoreTensor::from_entries(
+            vec![2, 2],
+            vec![
+                (vec![0, 0], 1.0),
+                (vec![0, 1], 2.0),
+                (vec![1, 0], 3.0),
+                (vec![1, 1], 4.0),
+            ],
+        )
+        .unwrap();
+        g.retain_by_id(|e| e % 2 == 1);
+        assert_eq!(g.nnz(), 2);
+        assert_eq!(g.index(0), &[0, 1]);
+        assert_eq!(g.value(0), 2.0);
+        assert_eq!(g.index(1), &[1, 1]);
+        assert_eq!(g.value(1), 4.0);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = CoreTensor::random_dense(vec![3, 2], &mut rng).unwrap();
+        let d = g.to_dense().unwrap();
+        let g2 = CoreTensor::from_dense(&d, 0.0).unwrap();
+        assert_eq!(g2.nnz(), g.nnz());
+        assert!((g2.frobenius_norm() - g.frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_dense_drops_small_entries() {
+        let d = DenseTensor::from_data(vec![2, 2], vec![0.5, 1e-15, 0.0, -0.7]).unwrap();
+        let g = CoreTensor::from_dense(&d, 1e-12).unwrap();
+        assert_eq!(g.nnz(), 2);
+    }
+
+    #[test]
+    fn mode_product_identity_is_noop() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut g = CoreTensor::random_dense(vec![2, 3], &mut rng).unwrap();
+        let before = g.to_dense().unwrap();
+        g.mode_product_in_place(1, &Matrix::identity(3), 0.0)
+            .unwrap();
+        let after = g.to_dense().unwrap();
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mode_product_matches_dense_path() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = CoreTensor::random_dense(vec![2, 2], &mut rng).unwrap();
+        let r = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]);
+        let dense_result = g.to_dense().unwrap().mode_product(0, &r).unwrap();
+        g.mode_product_in_place(0, &r, 0.0).unwrap();
+        let got = g.to_dense().unwrap();
+        for (a, b) in got.as_slice().iter().zip(dense_result.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mode_product_shape_checks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = CoreTensor::random_dense(vec![2, 2], &mut rng).unwrap();
+        assert!(g
+            .mode_product_in_place(0, &Matrix::zeros(3, 3), 0.0)
+            .is_err());
+        assert!(g
+            .mode_product_in_place(7, &Matrix::identity(2), 0.0)
+            .is_err());
+    }
+}

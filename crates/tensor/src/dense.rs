@@ -1,0 +1,356 @@
+use crate::{delinearize, linearize, row_major_strides, Result, TensorError};
+use ptucker_linalg::Matrix;
+
+/// A dense tensor with row-major strides (last mode varies fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// Creates an all-zero dense tensor.
+    ///
+    /// # Errors
+    /// [`TensorError::InvalidDims`] for empty dims or a zero dimension.
+    pub fn zeros(dims: Vec<usize>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(TensorError::InvalidDims("tensor order must be >= 1".into()));
+        }
+        if dims.contains(&0) {
+            return Err(TensorError::InvalidDims("zero dimension".into()));
+        }
+        let total: usize = dims.iter().product();
+        let strides = row_major_strides(&dims);
+        Ok(DenseTensor {
+            dims,
+            strides,
+            data: vec![0.0; total],
+        })
+    }
+
+    /// Creates a dense tensor by evaluating `f` at every multi-index.
+    ///
+    /// # Errors
+    /// Same as [`DenseTensor::zeros`].
+    pub fn from_fn(dims: Vec<usize>, mut f: impl FnMut(&[usize]) -> f64) -> Result<Self> {
+        let mut t = DenseTensor::zeros(dims)?;
+        let mut idx = vec![0usize; t.order()];
+        for lin in 0..t.data.len() {
+            delinearize(lin, &t.dims, &mut idx);
+            t.data[lin] = f(&idx);
+        }
+        Ok(t)
+    }
+
+    /// Wraps existing row-major data.
+    ///
+    /// # Errors
+    /// [`TensorError::ShapeMismatch`] if `data.len() != Π dims`, plus the
+    /// [`DenseTensor::zeros`] conditions.
+    pub fn from_data(dims: Vec<usize>, data: Vec<f64>) -> Result<Self> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(TensorError::InvalidDims("bad dims".into()));
+        }
+        let total: usize = dims.iter().product();
+        if data.len() != total {
+            return Err(TensorError::ShapeMismatch(format!(
+                "data length {} != product of dims {}",
+                data.len(),
+                total
+            )));
+        }
+        let strides = row_major_strides(&dims);
+        Ok(DenseTensor {
+            dims,
+            strides,
+            data,
+        })
+    }
+
+    /// Order `N` of the tensor.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimensionalities.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides.
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Total number of cells (`Π Iₙ`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has zero cells (cannot happen for valid dims).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at a multi-index.
+    #[inline]
+    pub fn get(&self, index: &[usize]) -> f64 {
+        self.data[linearize(index, &self.strides)]
+    }
+
+    /// Sets the value at a multi-index.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], v: f64) {
+        let lin = linearize(index, &self.strides);
+        self.data[lin] = v;
+    }
+
+    /// Frobenius norm over all cells (Definition 1).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Mode-`n` matricization `X₍ₙ₎ ∈ R^{Iₙ × Π_{k≠n} Iₖ}` (Definition 2).
+    ///
+    /// The column index follows Eq. (1) of the paper (0-based here):
+    /// `j = Σ_{k≠n} iₖ · Π_{m<k, m≠n} Iₘ`, i.e. *earlier* modes vary fastest.
+    pub fn matricize(&self, n: usize) -> Matrix {
+        assert!(n < self.order(), "mode out of range");
+        let rows = self.dims[n];
+        let cols: usize = self
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != n)
+            .map(|(_, &d)| d)
+            .product();
+        let mut out = Matrix::zeros(rows, cols);
+        let mult = matricize_multipliers(&self.dims, n);
+        let mut idx = vec![0usize; self.order()];
+        for lin in 0..self.data.len() {
+            delinearize(lin, &self.dims, &mut idx);
+            let mut j = 0usize;
+            for (k, &i) in idx.iter().enumerate() {
+                if k != n {
+                    j += i * mult[k];
+                }
+            }
+            out[(idx[n], j)] = self.data[lin];
+        }
+        out
+    }
+
+    /// n-mode product `Y = X ×ₙ U` with `U ∈ R^{J×Iₙ}` (Definition 3):
+    /// `Y(i₁…jₙ…i_N) = Σ_{iₙ} X(i₁…iₙ…i_N) · u(jₙ, iₙ)`.
+    ///
+    /// # Errors
+    /// [`TensorError::ShapeMismatch`] if `U.cols() != Iₙ` or `n` is out of
+    /// range.
+    pub fn mode_product(&self, n: usize, u: &Matrix) -> Result<DenseTensor> {
+        if n >= self.order() {
+            return Err(TensorError::ShapeMismatch(format!(
+                "mode {n} out of range for order {}",
+                self.order()
+            )));
+        }
+        if u.cols() != self.dims[n] {
+            return Err(TensorError::ShapeMismatch(format!(
+                "mode product: matrix has {} cols, mode {n} has dim {}",
+                u.cols(),
+                self.dims[n]
+            )));
+        }
+        let mut new_dims = self.dims.clone();
+        new_dims[n] = u.rows();
+        let mut out = DenseTensor::zeros(new_dims)?;
+        let mut idx = vec![0usize; self.order()];
+        for lin in 0..self.data.len() {
+            let x = self.data[lin];
+            if x == 0.0 {
+                continue;
+            }
+            delinearize(lin, &self.dims, &mut idx);
+            let in_n = idx[n];
+            for j in 0..u.rows() {
+                let coef = u[(j, in_n)];
+                if coef == 0.0 {
+                    continue;
+                }
+                idx[n] = j;
+                let out_lin = linearize(&idx, &out.strides);
+                out.data[out_lin] += x * coef;
+                idx[n] = in_n;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterates `(multi-index, value)` over all cells (allocates one index
+    /// buffer per item; intended for tests and small tensors).
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<usize>, f64)> + '_ {
+        let dims = self.dims.clone();
+        self.data.iter().enumerate().map(move |(lin, &v)| {
+            let mut idx = vec![0usize; dims.len()];
+            delinearize(lin, &dims, &mut idx);
+            (idx, v)
+        })
+    }
+}
+
+/// Eq.-(1) column multipliers: `mult[k] = Π_{m<k, m≠n} I_m` for `k ≠ n`
+/// (earlier modes vary fastest), `mult[n] = 0`.
+pub fn matricize_multipliers(dims: &[usize], n: usize) -> Vec<usize> {
+    let mut mult = vec![0usize; dims.len()];
+    let mut acc = 1usize;
+    for (k, &d) in dims.iter().enumerate() {
+        if k == n {
+            continue;
+        }
+        mult[k] = acc;
+        acc *= d;
+    }
+    mult
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_get_set() {
+        let mut t = DenseTensor::zeros(vec![2, 3]).unwrap();
+        assert_eq!(t.len(), 6);
+        t.set(&[1, 2], 5.0);
+        assert_eq!(t.get(&[1, 2]), 5.0);
+        assert_eq!(t.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let t = DenseTensor::from_fn(vec![2, 2], |i| (i[0] * 10 + i[1]) as f64).unwrap();
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[0, 1]), 1.0);
+        assert_eq!(t.get(&[1, 0]), 10.0);
+        assert_eq!(t.get(&[1, 1]), 11.0);
+    }
+
+    #[test]
+    fn invalid_dims_rejected() {
+        assert!(DenseTensor::zeros(vec![]).is_err());
+        assert!(DenseTensor::zeros(vec![2, 0]).is_err());
+        assert!(DenseTensor::from_data(vec![2, 2], vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matricization_mode0_of_known_tensor() {
+        // 2x2x2 tensor with values equal to their linear index.
+        let t =
+            DenseTensor::from_fn(vec![2, 2, 2], |i| (i[0] * 4 + i[1] * 2 + i[2]) as f64).unwrap();
+        let m = t.matricize(0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 4);
+        // Column j = i1 * 1 + i2 * 2 (earlier modes fastest among k≠0).
+        // X(0, i1, i2) = i1*2 + i2.
+        assert_eq!(m[(0, 0)], 0.0); // (i1,i2)=(0,0)
+        assert_eq!(m[(0, 1)], 2.0); // (1,0)
+        assert_eq!(m[(0, 2)], 1.0); // (0,1)
+        assert_eq!(m[(0, 3)], 3.0); // (1,1)
+        assert_eq!(m[(1, 0)], 4.0);
+    }
+
+    #[test]
+    fn matricization_preserves_norm() {
+        let t = DenseTensor::from_fn(vec![3, 2, 4], |i| {
+            (i[0] as f64) - 0.5 * (i[1] as f64) + 0.25 * (i[2] as f64)
+        })
+        .unwrap();
+        for n in 0..3 {
+            let m = t.matricize(n);
+            assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mode_product_against_manual() {
+        // X is 2x2: [[1,2],[3,4]]; U is 1x2 [[1,1]] over mode 0:
+        // Y(j, i2) = Σ_i1 X(i1,i2) => [4, 6].
+        let x = DenseTensor::from_data(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let u = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        let y = x.mode_product(0, &u).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.get(&[0, 0]), 4.0);
+        assert_eq!(y.get(&[0, 1]), 6.0);
+    }
+
+    #[test]
+    fn mode_product_identity_is_noop() {
+        let x = DenseTensor::from_fn(vec![2, 3], |i| (i[0] + 2 * i[1]) as f64).unwrap();
+        let eye = Matrix::identity(3);
+        let y = x.mode_product(1, &eye).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn mode_product_shape_mismatch() {
+        let x = DenseTensor::zeros(vec![2, 2]).unwrap();
+        let u = Matrix::zeros(2, 3);
+        assert!(x.mode_product(0, &u).is_err());
+        assert!(x.mode_product(5, &u).is_err());
+    }
+
+    #[test]
+    fn successive_mode_products_commute_across_modes() {
+        // (X ×1 A) ×2 B == (X ×2 B) ×1 A for distinct modes.
+        let x = DenseTensor::from_fn(vec![2, 3], |i| ((i[0] + 1) * (i[1] + 2)) as f64).unwrap();
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 0.5, -1.0]).unwrap();
+        let b = Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 2.0]).unwrap();
+        let lhs = x.mode_product(0, &a).unwrap().mode_product(1, &b).unwrap();
+        let rhs = x.mode_product(1, &b).unwrap().mode_product(0, &a).unwrap();
+        for (u, v) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mode_product_matches_matricized_multiply() {
+        // (X ×n U)(n) == U * X(n): the defining identity of the n-mode
+        // product.
+        let x = DenseTensor::from_fn(vec![3, 2, 2], |i| {
+            (i[0] as f64 + 1.0) * 0.7 - (i[1] as f64) * 0.3 + (i[2] as f64) * 0.1
+        })
+        .unwrap();
+        let u = Matrix::from_vec(2, 3, vec![1.0, 0.5, -0.25, 0.0, 2.0, 1.0]).unwrap();
+        let y = x.mode_product(0, &u).unwrap();
+        let lhs = y.matricize(0);
+        let rhs = u.matmul(&x.matricize(0)).unwrap();
+        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_cell() {
+        let t = DenseTensor::from_fn(vec![2, 2], |i| (i[0] * 2 + i[1]) as f64).unwrap();
+        let cells: Vec<(Vec<usize>, f64)> = t.iter().collect();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[3], (vec![1, 1], 3.0));
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced by tensor construction, arithmetic and I/O.
+#[derive(Debug)]
+pub enum TensorError {
+    /// A mode index exceeded its dimensionality.
+    IndexOutOfBounds {
+        /// Mode in which the violation occurred.
+        mode: usize,
+        /// The offending index.
+        index: usize,
+        /// The dimensionality of that mode.
+        dim: usize,
+    },
+    /// An entry's multi-index has the wrong number of modes.
+    OrderMismatch {
+        /// Expected order (number of modes).
+        expected: usize,
+        /// Order actually provided.
+        got: usize,
+    },
+    /// A dimension was zero or dimensions were empty.
+    InvalidDims(String),
+    /// A tensor value was NaN or infinite.
+    NonFiniteValue {
+        /// Position of the offending entry in input order.
+        entry: usize,
+    },
+    /// Mismatched operand shapes for a tensor operation.
+    ShapeMismatch(String),
+    /// Parse or format problem in tensor I/O.
+    Parse {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// Explanation of what failed to parse.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::IndexOutOfBounds { mode, index, dim } => write!(
+                f,
+                "index {index} out of bounds for mode {mode} with dimensionality {dim}"
+            ),
+            TensorError::OrderMismatch { expected, got } => {
+                write!(f, "expected order {expected}, got {got}")
+            }
+            TensorError::InvalidDims(msg) => write!(f, "invalid dimensions: {msg}"),
+            TensorError::NonFiniteValue { entry } => {
+                write!(f, "non-finite value at entry {entry}")
+            }
+            TensorError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            TensorError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            TensorError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TensorError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e)
+    }
+}

@@ -1,0 +1,191 @@
+use crate::{Result, SparseTensor, TensorError};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::path::Path;
+
+/// Reads a sparse tensor from the whitespace-separated text format the
+/// P-Tucker authors distribute their datasets in: each line is
+/// `i₁ i₂ … i_N value` with **1-based** indices.
+///
+/// The tensor order is inferred from the first data line; dimensionalities
+/// are the per-mode maxima. Blank lines and lines starting with `#` are
+/// skipped.
+///
+/// # Errors
+/// [`TensorError::Parse`] with a 1-based line number for malformed lines,
+/// [`TensorError::Io`] for filesystem problems, plus tensor-construction
+/// validation errors.
+pub fn read_tsv<P: AsRef<Path>>(path: P) -> Result<SparseTensor> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+
+    let mut order: Option<usize> = None;
+    let mut dims: Vec<usize> = Vec::new();
+    let mut indices: Vec<usize> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 2 {
+            return Err(TensorError::Parse {
+                line: line_no,
+                message: "expected at least one index and a value".into(),
+            });
+        }
+        let n = fields.len() - 1;
+        match order {
+            None => {
+                order = Some(n);
+                dims = vec![0; n];
+            }
+            Some(o) if o != n => {
+                return Err(TensorError::Parse {
+                    line: line_no,
+                    message: format!("expected {o} indices, found {n}"),
+                });
+            }
+            _ => {}
+        }
+        for (k, f) in fields[..n].iter().enumerate() {
+            let one_based: usize = f.parse().map_err(|_| TensorError::Parse {
+                line: line_no,
+                message: format!("bad index '{f}' in mode {k}"),
+            })?;
+            if one_based == 0 {
+                return Err(TensorError::Parse {
+                    line: line_no,
+                    message: format!("index in mode {k} is 0; the format is 1-based"),
+                });
+            }
+            let zero_based = one_based - 1;
+            dims[k] = dims[k].max(one_based);
+            indices.push(zero_based);
+        }
+        let v: f64 = fields[n].parse().map_err(|_| TensorError::Parse {
+            line: line_no,
+            message: format!("bad value '{}'", fields[n]),
+        })?;
+        values.push(v);
+    }
+
+    if order.is_none() {
+        return Err(TensorError::Parse {
+            line: 0,
+            message: "file contains no data lines".into(),
+        });
+    }
+    SparseTensor::from_flat(dims, indices, values)
+}
+
+/// Writes a sparse tensor in the same 1-based whitespace-separated format
+/// accepted by [`read_tsv`].
+///
+/// # Errors
+/// [`TensorError::Io`] on write failures.
+pub fn write_tsv<P: AsRef<Path>>(path: P, tensor: &SparseTensor) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for e in 0..tensor.nnz() {
+        let idx = tensor.index(e);
+        for &i in idx {
+            write!(w, "{} ", i + 1)?;
+        }
+        writeln!(w, "{}", tensor.value(e))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ptucker-tensor-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn read_simple_3way() {
+        let p = tmpfile(
+            "simple.tsv",
+            "1 1 1 0.5\n2 1 3 1.5\n# comment line\n\n1 2 2 -0.25\n",
+        );
+        let t = read_tsv(&p).unwrap();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.dims(), &[2, 2, 3]);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.index(1), &[1, 0, 2]);
+        assert_eq!(t.value(1), 1.5);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let t = SparseTensor::new(
+            vec![3, 4],
+            vec![(vec![0, 0], 1.0), (vec![2, 3], -2.5), (vec![1, 2], 0.125)],
+        )
+        .unwrap();
+        let p = std::env::temp_dir()
+            .join("ptucker-tensor-io-tests")
+            .join("roundtrip.tsv");
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        write_tsv(&p, &t).unwrap();
+        let t2 = read_tsv(&p).unwrap();
+        assert_eq!(t2.nnz(), 3);
+        assert_eq!(t2.dims(), &[3, 4]);
+        for e in 0..3 {
+            assert_eq!(t2.index(e), t.index(e));
+            assert_eq!(t2.value(e), t.value(e));
+        }
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let p = tmpfile("zero.tsv", "0 1 0.5\n");
+        let err = read_tsv(&p).unwrap_err();
+        assert!(matches!(err, TensorError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_ragged_lines() {
+        let p = tmpfile("ragged.tsv", "1 1 0.5\n1 1 1 0.5\n");
+        let err = read_tsv(&p).unwrap_err();
+        assert!(matches!(err, TensorError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let p = tmpfile("badval.tsv", "1 1 abc\n");
+        assert!(matches!(read_tsv(&p), Err(TensorError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        let p = tmpfile("empty.tsv", "# only a comment\n");
+        assert!(matches!(read_tsv(&p), Err(TensorError::Parse { .. })));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_tsv("/nonexistent/definitely/missing.tsv"),
+            Err(TensorError::Io(_))
+        ));
+    }
+}

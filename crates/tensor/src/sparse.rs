@@ -1,0 +1,422 @@
+use crate::{Result, TensorError};
+
+/// CSR-like index of one mode: for every slice index `iₙ`, the ids of the
+/// observed entries whose mode-`n` index equals `iₙ` — the paper's `Ω⁽ⁿ⁾ᵢₙ`.
+///
+/// Built once at construction with a counting sort; lookups are O(1) +
+/// contiguous slice iteration, which is what makes the row-wise update's
+/// cost proportional to `|Ω⁽ⁿ⁾ᵢₙ|`.
+#[derive(Debug, Clone)]
+pub struct ModeIndex {
+    /// `offsets[i]..offsets[i+1]` delimits the entry ids of slice `i`.
+    offsets: Vec<usize>,
+    /// Entry ids grouped by slice, ascending within each slice.
+    entries: Vec<usize>,
+}
+
+impl ModeIndex {
+    fn build(dim: usize, nnz: usize, mode_of: impl Fn(usize) -> usize) -> Self {
+        let mut counts = vec![0usize; dim + 1];
+        for e in 0..nnz {
+            counts[mode_of(e) + 1] += 1;
+        }
+        for i in 0..dim {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![0usize; nnz];
+        for e in 0..nnz {
+            let i = mode_of(e);
+            entries[cursor[i]] = e;
+            cursor[i] += 1;
+        }
+        ModeIndex { offsets, entries }
+    }
+
+    /// Entry ids belonging to slice `i`.
+    #[inline]
+    pub fn slice(&self, i: usize) -> &[usize] {
+        &self.entries[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Number of entries in slice `i` (`|Ω⁽ⁿ⁾ᵢ|`).
+    #[inline]
+    pub fn slice_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Number of slices in this mode.
+    pub fn num_slices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// A sparse, partially observed tensor in coordinate (COO) format with
+/// per-mode slice indices.
+///
+/// Indices are **0-based** internally; the TSV I/O layer converts from the
+/// 1-based convention the paper's datasets use.
+#[derive(Debug, Clone)]
+pub struct SparseTensor {
+    dims: Vec<usize>,
+    /// Flat index storage: entry `e` occupies
+    /// `indices[e*order .. (e+1)*order]`.
+    indices: Vec<usize>,
+    values: Vec<f64>,
+    mode_index: Vec<ModeIndex>,
+}
+
+impl SparseTensor {
+    /// Builds a sparse tensor from `(multi-index, value)` pairs.
+    ///
+    /// # Errors
+    /// * [`TensorError::InvalidDims`] for empty dims or a zero dimension.
+    /// * [`TensorError::OrderMismatch`] if an entry has the wrong arity.
+    /// * [`TensorError::IndexOutOfBounds`] for out-of-range indices.
+    /// * [`TensorError::NonFiniteValue`] for NaN/inf values.
+    pub fn new(dims: Vec<usize>, entries: Vec<(Vec<usize>, f64)>) -> Result<Self> {
+        let order = dims.len();
+        let mut indices = Vec::with_capacity(entries.len() * order);
+        let mut values = Vec::with_capacity(entries.len());
+        for (idx, val) in entries {
+            if idx.len() != order {
+                return Err(TensorError::OrderMismatch {
+                    expected: order,
+                    got: idx.len(),
+                });
+            }
+            indices.extend_from_slice(&idx);
+            values.push(val);
+        }
+        Self::from_flat(dims, indices, values)
+    }
+
+    /// Builds a sparse tensor from flat index storage (entry `e` at
+    /// `indices[e*order..]`). This is the allocation-free constructor used
+    /// by the generators.
+    ///
+    /// # Errors
+    /// Same conditions as [`SparseTensor::new`].
+    pub fn from_flat(dims: Vec<usize>, indices: Vec<usize>, values: Vec<f64>) -> Result<Self> {
+        let order = dims.len();
+        if order == 0 {
+            return Err(TensorError::InvalidDims("tensor order must be >= 1".into()));
+        }
+        if let Some(zero_mode) = dims.iter().position(|&d| d == 0) {
+            return Err(TensorError::InvalidDims(format!(
+                "mode {zero_mode} has dimensionality 0"
+            )));
+        }
+        if indices.len() != values.len() * order {
+            return Err(TensorError::OrderMismatch {
+                expected: values.len() * order,
+                got: indices.len(),
+            });
+        }
+        for (e, v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(TensorError::NonFiniteValue { entry: e });
+            }
+        }
+        for e in 0..values.len() {
+            for (n, &dim) in dims.iter().enumerate() {
+                let i = indices[e * order + n];
+                if i >= dim {
+                    return Err(TensorError::IndexOutOfBounds {
+                        mode: n,
+                        index: i,
+                        dim,
+                    });
+                }
+            }
+        }
+        let nnz = values.len();
+        let mode_index = dims
+            .iter()
+            .enumerate()
+            .map(|(n, &dim)| ModeIndex::build(dim, nnz, |e| indices[e * order + n]))
+            .collect();
+        Ok(SparseTensor {
+            dims,
+            indices,
+            values,
+            mode_index,
+        })
+    }
+
+    /// Order `N` of the tensor (number of modes).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimensionalities `I₁ … I_N`.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of observed entries `|Ω|`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The multi-index of entry `e`.
+    #[inline]
+    pub fn index(&self, e: usize) -> &[usize] {
+        let n = self.order();
+        &self.indices[e * n..(e + 1) * n]
+    }
+
+    /// The value of entry `e`.
+    #[inline]
+    pub fn value(&self, e: usize) -> f64 {
+        self.values[e]
+    }
+
+    /// All values, in entry order.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Flat index storage (entry `e` occupies `[e*order, (e+1)*order)`).
+    #[inline]
+    pub fn flat_indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Entry ids observed in slice `i` of `mode` — the paper's `Ω⁽ⁿ⁾ᵢₙ`.
+    #[inline]
+    pub fn slice(&self, mode: usize, i: usize) -> &[usize] {
+        self.mode_index[mode].slice(i)
+    }
+
+    /// `|Ω⁽ⁿ⁾ᵢ|` for every slice `i` of `mode`.
+    pub fn slice_len(&self, mode: usize, i: usize) -> usize {
+        self.mode_index[mode].slice_len(i)
+    }
+
+    /// The full per-mode index structure.
+    pub fn mode_index(&self, mode: usize) -> &ModeIndex {
+        &self.mode_index[mode]
+    }
+
+    /// Iterates `(multi-index, value)` over all observed entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&[usize], f64)> + '_ {
+        (0..self.nnz()).map(move |e| (self.index(e), self.value(e)))
+    }
+
+    /// Frobenius norm over the observed entries (Definition 1 restricted to
+    /// `Ω`, which is the only meaningful norm for a partially observed
+    /// tensor).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Fraction of cells that are observed: `|Ω| / Π Iₙ` (may underflow to 0
+    /// for astronomically sparse tensors; reported as `f64`).
+    pub fn density(&self) -> f64 {
+        let total: f64 = self.dims.iter().map(|&d| d as f64).product();
+        self.nnz() as f64 / total
+    }
+
+    /// Minimum and maximum observed value; `None` when empty.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Min-max normalizes values into `[0, 1]`, as the paper does for all
+    /// real-world tensors ("we normalize all values of real-world tensors to
+    /// numbers between 0 to 1"). Returns the original `(min, max)`.
+    ///
+    /// A constant tensor maps to all-zeros.
+    pub fn normalize_values(&mut self) -> Option<(f64, f64)> {
+        let (lo, hi) = self.value_range()?;
+        let span = hi - lo;
+        if span == 0.0 {
+            for v in &mut self.values {
+                *v = 0.0;
+            }
+        } else {
+            for v in &mut self.values {
+                *v = (*v - lo) / span;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Builds a new tensor with the same dims from a subset of entry ids
+    /// (used by the train/test splitter).
+    ///
+    /// # Errors
+    /// Propagates construction errors (cannot happen for valid ids).
+    pub fn subset(&self, entry_ids: &[usize]) -> Result<SparseTensor> {
+        let order = self.order();
+        let mut indices = Vec::with_capacity(entry_ids.len() * order);
+        let mut values = Vec::with_capacity(entry_ids.len());
+        for &e in entry_ids {
+            indices.extend_from_slice(self.index(e));
+            values.push(self.value(e));
+        }
+        SparseTensor::from_flat(self.dims.clone(), indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseTensor {
+        // 3x2x2 tensor with 4 observed entries.
+        SparseTensor::new(
+            vec![3, 2, 2],
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 1, 1], 2.0),
+                (vec![1, 0, 1], 3.0),
+                (vec![2, 1, 0], 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let x = sample();
+        assert_eq!(x.order(), 3);
+        assert_eq!(x.dims(), &[3, 2, 2]);
+        assert_eq!(x.nnz(), 4);
+        assert_eq!(x.index(2), &[1, 0, 1]);
+        assert_eq!(x.value(3), 4.0);
+    }
+
+    #[test]
+    fn mode_slices_group_correctly() {
+        let x = sample();
+        // Mode 0: slice 0 holds entries 0,1; slice 1 holds entry 2; slice 2 entry 3.
+        assert_eq!(x.slice(0, 0), &[0, 1]);
+        assert_eq!(x.slice(0, 1), &[2]);
+        assert_eq!(x.slice(0, 2), &[3]);
+        // Mode 1: index 0 -> entries 0,2; index 1 -> entries 1,3.
+        assert_eq!(x.slice(1, 0), &[0, 2]);
+        assert_eq!(x.slice(1, 1), &[1, 3]);
+        // Mode 2.
+        assert_eq!(x.slice(2, 0), &[0, 3]);
+        assert_eq!(x.slice(2, 1), &[1, 2]);
+        assert_eq!(x.slice_len(2, 1), 2);
+        assert_eq!(x.mode_index(0).num_slices(), 3);
+    }
+
+    #[test]
+    fn slices_partition_all_entries() {
+        let x = sample();
+        for n in 0..x.order() {
+            let mut seen = vec![false; x.nnz()];
+            for i in 0..x.dims()[n] {
+                for &e in x.slice(n, i) {
+                    assert!(!seen[e], "entry {e} appears twice in mode {n}");
+                    seen[e] = true;
+                    assert_eq!(x.index(e)[n], i);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "mode {n} missed entries");
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_empty() {
+        let x = SparseTensor::new(vec![4, 2], vec![(vec![0, 0], 1.0)]).unwrap();
+        assert!(x.slice(0, 3).is_empty());
+        assert_eq!(x.slice_len(0, 3), 0);
+    }
+
+    #[test]
+    fn frobenius_and_density() {
+        let x = sample();
+        let want = (1.0f64 + 4.0 + 9.0 + 16.0).sqrt();
+        assert!((x.frobenius_norm() - want).abs() < 1e-12);
+        assert!((x.density() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_to_unit_interval() {
+        let mut x = sample();
+        let (lo, hi) = x.normalize_values().unwrap();
+        assert_eq!((lo, hi), (1.0, 4.0));
+        let (nlo, nhi) = x.value_range().unwrap();
+        assert_eq!((nlo, nhi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn normalization_of_constant_tensor() {
+        let mut x =
+            SparseTensor::new(vec![2, 2], vec![(vec![0, 0], 5.0), (vec![1, 1], 5.0)]).unwrap();
+        x.normalize_values().unwrap();
+        assert_eq!(x.value_range().unwrap(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            SparseTensor::new(vec![], vec![]),
+            Err(TensorError::InvalidDims(_))
+        ));
+        assert!(matches!(
+            SparseTensor::new(vec![2, 0], vec![]),
+            Err(TensorError::InvalidDims(_))
+        ));
+        assert!(matches!(
+            SparseTensor::new(vec![2, 2], vec![(vec![0], 1.0)]),
+            Err(TensorError::OrderMismatch { .. })
+        ));
+        assert!(matches!(
+            SparseTensor::new(vec![2, 2], vec![(vec![0, 2], 1.0)]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            SparseTensor::new(vec![2, 2], vec![(vec![0, 0], f64::NAN)]),
+            Err(TensorError::NonFiniteValue { .. })
+        ));
+    }
+
+    #[test]
+    fn subset_preserves_entries() {
+        let x = sample();
+        let sub = x.subset(&[1, 3]).unwrap();
+        assert_eq!(sub.nnz(), 2);
+        assert_eq!(sub.dims(), x.dims());
+        assert_eq!(sub.index(0), &[0, 1, 1]);
+        assert_eq!(sub.value(0), 2.0);
+        assert_eq!(sub.index(1), &[2, 1, 0]);
+        assert_eq!(sub.value(1), 4.0);
+    }
+
+    #[test]
+    fn empty_tensor_is_valid() {
+        let x = SparseTensor::new(vec![3, 3], vec![]).unwrap();
+        assert_eq!(x.nnz(), 0);
+        assert_eq!(x.value_range(), None);
+        assert_eq!(x.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let x = sample();
+        let collected: Vec<(Vec<usize>, f64)> = x.iter().map(|(i, v)| (i.to_vec(), v)).collect();
+        assert_eq!(collected.len(), 4);
+        assert_eq!(collected[0], (vec![0, 0, 0], 1.0));
+        assert_eq!(collected[3], (vec![2, 1, 0], 4.0));
+    }
+}

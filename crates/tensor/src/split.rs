@@ -1,0 +1,121 @@
+use crate::{Result, SparseTensor};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A train/test partition of a sparse tensor's observed entries.
+///
+/// Section IV-A1 of the paper: "we use 90% of observed entries as training
+/// data and the rest of them as test data for measuring the accuracy".
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// The training tensor (same dims as the source).
+    pub train: SparseTensor,
+    /// The held-out test tensor (same dims as the source).
+    pub test: SparseTensor,
+}
+
+impl TrainTestSplit {
+    /// Randomly partitions the observed entries, putting a `test_fraction`
+    /// share into the test set (at least one entry stays in train when
+    /// possible). The split is exact up to rounding and is reproducible for
+    /// a seeded `rng`.
+    ///
+    /// # Errors
+    /// Propagates tensor construction errors (cannot occur for valid input).
+    /// `test_fraction` is clamped to `[0, 1]`.
+    pub fn new<R: Rng + ?Sized>(
+        source: &SparseTensor,
+        test_fraction: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let frac = test_fraction.clamp(0.0, 1.0);
+        let nnz = source.nnz();
+        let mut ids: Vec<usize> = (0..nnz).collect();
+        ids.shuffle(rng);
+        let mut n_test = ((nnz as f64) * frac).round() as usize;
+        if n_test >= nnz && nnz > 0 {
+            n_test = nnz - 1; // keep at least one training entry
+        }
+        let (test_ids, train_ids) = ids.split_at(n_test);
+        let mut train_ids = train_ids.to_vec();
+        let mut test_ids = test_ids.to_vec();
+        train_ids.sort_unstable();
+        test_ids.sort_unstable();
+        Ok(TrainTestSplit {
+            train: source.subset(&train_ids)?,
+            test: source.subset(&test_ids)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tensor(n: usize) -> SparseTensor {
+        let entries = (0..n)
+            .map(|e| (vec![e % 10, (e / 10) % 10], e as f64))
+            .collect();
+        SparseTensor::new(vec![10, 10], entries).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_match_fraction() {
+        let t = tensor(100);
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = TrainTestSplit::new(&t, 0.1, &mut rng).unwrap();
+        assert_eq!(s.test.nnz(), 10);
+        assert_eq!(s.train.nnz(), 90);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let t = tensor(50);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = TrainTestSplit::new(&t, 0.2, &mut rng).unwrap();
+        let mut values: Vec<f64> = s
+            .train
+            .values()
+            .iter()
+            .chain(s.test.values())
+            .copied()
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let want: Vec<f64> = (0..50).map(|e| e as f64).collect();
+        assert_eq!(values, want);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let t = tensor(30);
+        let s1 = TrainTestSplit::new(&t, 0.3, &mut StdRng::seed_from_u64(1)).unwrap();
+        let s2 = TrainTestSplit::new(&t, 0.3, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(s1.test.values(), s2.test.values());
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let t = tensor(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let all_train = TrainTestSplit::new(&t, 0.0, &mut rng).unwrap();
+        assert_eq!(all_train.test.nnz(), 0);
+        assert_eq!(all_train.train.nnz(), 10);
+        // A fraction of 1.0 still leaves one training entry.
+        let nearly_all_test = TrainTestSplit::new(&t, 1.0, &mut rng).unwrap();
+        assert_eq!(nearly_all_test.train.nnz(), 1);
+        assert_eq!(nearly_all_test.test.nnz(), 9);
+        // Out-of-range fractions are clamped.
+        let clamped = TrainTestSplit::new(&t, 7.5, &mut rng).unwrap();
+        assert_eq!(clamped.train.nnz(), 1);
+    }
+
+    #[test]
+    fn dims_preserved() {
+        let t = tensor(20);
+        let s = TrainTestSplit::new(&t, 0.25, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(s.train.dims(), t.dims());
+        assert_eq!(s.test.dims(), t.dims());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the tensor substrate: index algebra, I/O
+//! round-trips, core truncation invariants, and the mode-product identity
+//! that underpins the QR core update.
+
+use proptest::prelude::*;
+use ptucker_linalg::Matrix;
+use ptucker_tensor::{read_tsv, write_tsv, CoreTensor, DenseTensor, SparseTensor, TrainTestSplit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_sparse() -> impl Strategy<Value = SparseTensor> {
+    (2..=4usize).prop_flat_map(|order| {
+        proptest::collection::vec(2..7usize, order).prop_flat_map(move |dims| {
+            let max_nnz = dims.iter().product::<usize>().min(30);
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(0..100usize, dims.len()),
+                    -9.0..9.0f64,
+                ),
+                1..=max_nnz,
+            )
+            .prop_map(move |raw| {
+                let mut map = std::collections::HashMap::new();
+                for (idx, v) in raw {
+                    let idx: Vec<usize> = idx.iter().zip(&dims).map(|(i, d)| i % d).collect();
+                    map.insert(idx, v);
+                }
+                SparseTensor::new(dims.clone(), map.into_iter().collect()).unwrap()
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn tsv_roundtrip_preserves_everything(x in arb_sparse(), tag in 0u64..1_000_000) {
+        let dir = std::env::temp_dir().join("ptucker-tensor-proptests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t{tag}.tsv"));
+        write_tsv(&path, &x).unwrap();
+        let y = read_tsv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(y.nnz(), x.nnz());
+        prop_assert_eq!(y.order(), x.order());
+        // Dims may shrink if trailing indices are unobserved; every read
+        // dim is bounded by the original.
+        for (dy, dx) in y.dims().iter().zip(x.dims()) {
+            prop_assert!(dy <= dx);
+        }
+        for e in 0..x.nnz() {
+            prop_assert_eq!(y.index(e), x.index(e));
+            prop_assert!((y.value(e) - x.value(e)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_partitions_and_preserves_norm(x in arb_sparse(), frac in 0.0..0.9f64, seed in 0u64..100) {
+        prop_assume!(x.nnz() >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = TrainTestSplit::new(&x, frac, &mut rng).unwrap();
+        prop_assert_eq!(s.train.nnz() + s.test.nnz(), x.nnz());
+        let total2 = s.train.frobenius_norm().powi(2) + s.test.frobenius_norm().powi(2);
+        prop_assert!((total2 - x.frobenius_norm().powi(2)).abs() < 1e-9 * (1.0 + total2));
+    }
+
+    #[test]
+    fn core_dense_roundtrip_and_retain(dims in proptest::collection::vec(2..5usize, 2..4), seed in 0u64..100, keep_mod in 2usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = CoreTensor::random_dense(dims.clone(), &mut rng).unwrap();
+        let before = g.to_dense().unwrap();
+        let nnz0 = g.nnz();
+        g.retain_by_id(|e| e % keep_mod == 0);
+        prop_assert_eq!(g.nnz(), nnz0.div_ceil(keep_mod));
+        // Every retained entry keeps its original value.
+        let after = g.to_dense().unwrap();
+        for (a, b) in after.as_slice().iter().zip(before.as_slice()) {
+            prop_assert!(*a == 0.0 || (a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn core_mode_product_matches_dense_tensor_product(
+        dims in proptest::collection::vec(2..4usize, 2..4),
+        seed in 0u64..100,
+        mode_pick in 0usize..10,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = CoreTensor::random_dense(dims.clone(), &mut rng).unwrap();
+        let mode = mode_pick % dims.len();
+        let j = dims[mode];
+        let m = Matrix::from_vec(
+            j,
+            j,
+            (0..j * j).map(|k| ((k * 7 + 3) % 11) as f64 - 5.0).collect(),
+        )
+        .unwrap();
+        let expect = g.to_dense().unwrap().mode_product(mode, &m).unwrap();
+        g.mode_product_in_place(mode, &m, 0.0).unwrap();
+        let got = g.to_dense().unwrap();
+        for (a, b) in got.as_slice().iter().zip(expect.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-10 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn dense_mode_product_preserves_contraction_identity(
+        dims in proptest::collection::vec(2..4usize, 2..3),
+    ) {
+        // Contracting with a row of ones sums the mode: the result's total
+        // sum equals the original total sum.
+        let t = DenseTensor::from_fn(dims.clone(), |i| {
+            i.iter().map(|&v| v as f64 + 0.5).product()
+        })
+        .unwrap();
+        for n in 0..dims.len() {
+            let ones = Matrix::from_vec(1, dims[n], vec![1.0; dims[n]]).unwrap();
+            let contracted = t.mode_product(n, &ones).unwrap();
+            let s1: f64 = t.as_slice().iter().sum();
+            let s2: f64 = contracted.as_slice().iter().sum();
+            prop_assert!((s1 - s2).abs() < 1e-9 * (1.0 + s1.abs()));
+        }
+    }
+
+    #[test]
+    fn subset_of_all_ids_is_identity(x in arb_sparse()) {
+        let ids: Vec<usize> = (0..x.nnz()).collect();
+        let y = x.subset(&ids).unwrap();
+        prop_assert_eq!(y.nnz(), x.nnz());
+        for e in 0..x.nnz() {
+            prop_assert_eq!(y.index(e), x.index(e));
+            prop_assert_eq!(y.value(e), x.value(e));
+        }
+    }
+}

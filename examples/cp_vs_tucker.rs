@@ -1,0 +1,106 @@
+//! CP vs. Tucker ablation: what does the dense core buy?
+//!
+//! The paper motivates Tucker as "a generalized form of CP" that can model
+//! cross-column relations through the core tensor. This example fits both
+//! models on (a) data with genuine CP structure and (b) data with full
+//! Tucker structure, showing that Tucker matches CP on CP data but CP
+//! cannot match Tucker on Tucker data.
+//!
+//! ```text
+//! cargo run --release --example cp_vs_tucker
+//! ```
+
+use ptucker::{FitOptions, PTucker, Schedule};
+use ptucker_cp::{cp_als, CpOptions};
+use ptucker_datagen::{planted_cp, reconstruct_at};
+use ptucker_linalg::Matrix;
+use ptucker_tensor::{CoreTensor, SparseTensor, TrainTestSplit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Planted Tucker data with zero-mean (signed) factors, so the dense core's
+/// cross-column coupling dominates the signal instead of a mean direction.
+fn planted_signed_tucker(
+    dims: &[usize],
+    rank: usize,
+    nnz: usize,
+    noise: f64,
+    rng: &mut StdRng,
+) -> SparseTensor {
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .map(|&i_n| {
+            let data: Vec<f64> = (0..i_n * rank)
+                .map(|_| rng.gen::<f64>() * 2.0 - 1.0)
+                .collect();
+            Matrix::from_vec(i_n, rank, data).expect("length matches")
+        })
+        .collect();
+    let core = CoreTensor::dense_from_fn(vec![rank; dims.len()], |_| rng.gen::<f64>() * 2.0 - 1.0)
+        .expect("valid dims");
+    let mut seen = HashSet::new();
+    let mut entries = Vec::with_capacity(nnz);
+    while entries.len() < nnz {
+        let idx: Vec<usize> = dims.iter().map(|&d| rng.gen_range(0..d)).collect();
+        if seen.insert(idx.clone()) {
+            let v = reconstruct_at(&core, &factors, &idx) + noise * (rng.gen::<f64>() - 0.5);
+            entries.push((idx, v));
+        }
+    }
+    SparseTensor::new(dims.to_vec(), entries).expect("valid entries")
+}
+
+fn fit_both(name: &str, x: &SparseTensor, rank: usize, rng: &mut StdRng) {
+    let split = TrainTestSplit::new(x, 0.1, rng).expect("split");
+    let ranks = vec![rank; x.order()];
+
+    let tucker = PTucker::new(FitOptions::new(ranks).max_iters(15).seed(3).threads(2))
+        .expect("options")
+        .fit(&split.train)
+        .expect("tucker fit");
+    let cp = cp_als(
+        &split.train,
+        &CpOptions::new(rank).max_iters(15).seed(3).threads(2),
+    )
+    .expect("cp fit");
+
+    let rmse_t = tucker
+        .decomposition
+        .test_rmse(&split.test, 2, Schedule::Static);
+    let rmse_c = cp.decomposition.test_rmse(&split.test, 2, Schedule::Static);
+    println!("\n{name} (dims {:?}, |Ω| = {}):", x.dims(), x.nnz());
+    println!(
+        "  Tucker  (J = {rank}):  recon {:.4}   test RMSE {:.4}   {:.3}s/iter",
+        tucker.stats.final_error,
+        rmse_t,
+        tucker.stats.avg_seconds_per_iter()
+    );
+    println!(
+        "  CP-ALS  (R = {rank}):  recon {:.4}   test RMSE {:.4}   {:.3}s/iter",
+        cp.final_error,
+        rmse_c,
+        cp.seconds.iter().sum::<f64>() / cp.seconds.len().max(1) as f64
+    );
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+
+    // (a) Genuine CP data: superdiagonal core. Both models should fit well;
+    // CP is cheaper per iteration (O(N·R) vs O(N·J^N) per entry).
+    let cp_data = planted_cp(&[40, 35, 30], 3, 6_000, 0.02, &mut rng).tensor;
+    fit_both("CP-structured data", &cp_data, 3, &mut rng);
+
+    // (b) Full Tucker data with *signed* factors: a dense random core
+    // couples all columns, and without a dominant mean direction a rank-3
+    // CP cannot absorb the cross-column interactions (a generic 3x3x3 core
+    // has CP-rank up to 5).
+    let tucker_data = planted_signed_tucker(&[40, 35, 30], 3, 6_000, 0.02, &mut rng);
+    fit_both("Tucker-structured data", &tucker_data, 3, &mut rng);
+
+    println!(
+        "\ntakeaway: the dense core is what lets Tucker capture cross-concept \
+         relations — the foundation of the paper's Table VI discoveries."
+    );
+}

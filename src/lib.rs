@@ -1,0 +1,20 @@
+//! Umbrella crate for the P-Tucker reproduction workspace.
+//!
+//! Re-exports the member crates under one roof so the `examples/` and
+//! `tests/` directories (and downstream users who want a single
+//! dependency) can reach everything through `ptucker_suite::…`.
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `DESIGN.md`/`EXPERIMENTS.md` for the paper-reproduction index.
+
+#![forbid(unsafe_code)]
+
+pub use ptucker;
+pub use ptucker_baselines as baselines;
+pub use ptucker_cp as cp;
+pub use ptucker_datagen as datagen;
+pub use ptucker_discovery as discovery;
+pub use ptucker_linalg as linalg;
+pub use ptucker_memtrack as memtrack;
+pub use ptucker_sched as sched;
+pub use ptucker_tensor as tensor;
