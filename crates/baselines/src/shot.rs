@@ -14,7 +14,7 @@
 use crate::common::{run_hooi_loop, BaselineOptions};
 use ptucker::{FitResult, PtuckerError, Result};
 use ptucker_linalg::Matrix;
-use ptucker_sched::{parallel_reduce, Schedule};
+use ptucker_sched::{parallel_reduce_with, parallel_rows_mut_with, Schedule};
 use ptucker_tensor::SparseTensor;
 
 /// Inner subspace-iteration sweeps per mode update. Warm starting from the
@@ -91,83 +91,111 @@ pub fn s_hot(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult> {
             .product();
         let j_n = ranks[n];
         let i_n = dims[n];
-        // Iteration buffers: Z (M×Jₙ) and the per-worker Kronecker rows.
-        let _scratch = budget.reserve_f64(m * j_n + threads * 2 * m)?;
+        // Iteration buffers, all `O(J^{N-1})`-scale per Table III: the
+        // shared Z (M×Jₙ), one Z accumulator per worker (M×Jₙ — the
+        // Z-phase scatters across kron positions, so workers need private
+        // copies), and the per-worker Kronecker row ping-pong (2M). The
+        // W iterate is factor-shaped and computed row-parallel in place,
+        // so it carries no per-worker copies and — like the factor
+        // matrices themselves — is excluded from intermediate-data
+        // accounting (Definition 7).
+        let t = threads.max(1);
+        let _scratch = budget.reserve_f64(m * j_n + t * (m * j_n + 2 * m))?;
+
+        // Per-worker states — (Z accumulator, Kronecker buf, Kronecker
+        // tmp) — allocated once per mode update and reused across all
+        // subspace sweeps (`parallel_reduce_with`/`parallel_rows_mut_with`
+        // hand worker `b` exclusive access to `states[b]`).
+        let mut states: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = (0..t)
+            .map(|_| (Vec::new(), Vec::new(), Vec::new()))
+            .collect();
+        let mut z = Matrix::zeros(m, j_n);
+        let mut w = Matrix::zeros(i_n, j_n);
 
         // Warm start from the current factor (already orthonormal).
         let mut u = factors[n].clone();
         for _ in 0..INNER_SWEEPS {
             // Z = Yᵀ U, computed as Σ_α X_α · k_α ⊗ U[iₙ(α), :].
-            let z_flat = parallel_reduce(
-                x.nnz(),
-                threads,
-                Schedule::Static,
-                || (vec![0.0f64; m * j_n], Vec::new(), Vec::new()),
-                |(mut z, mut kbuf, mut ktmp), e| {
-                    let idx = x.index(e);
-                    let xv = x.value(e);
-                    let len = kron_row(idx, n, factors, &mut kbuf, &mut ktmp);
-                    debug_assert_eq!(len, m);
-                    let u_row = u.row(idx[n]);
-                    for (r, &kv) in kbuf.iter().enumerate() {
-                        if kv == 0.0 {
-                            continue;
+            for (acc, _, _) in states.iter_mut() {
+                acc.clear();
+                acc.resize(m * j_n, 0.0);
+            }
+            {
+                let u_ref = &u;
+                parallel_reduce_with(
+                    x.nnz(),
+                    threads,
+                    Schedule::Static,
+                    &mut states,
+                    |(zacc, kbuf, ktmp), e| {
+                        let idx = x.index(e);
+                        let xv = x.value(e);
+                        let len = kron_row(idx, n, factors, kbuf, ktmp);
+                        debug_assert_eq!(len, m);
+                        let u_row = u_ref.row(idx[n]);
+                        for (r, &kv) in kbuf.iter().enumerate() {
+                            if kv == 0.0 {
+                                continue;
+                            }
+                            let w = xv * kv;
+                            let off = r * j_n;
+                            for (j, &uv) in u_row.iter().enumerate() {
+                                zacc[off + j] += w * uv;
+                            }
                         }
-                        let w = xv * kv;
-                        let off = r * j_n;
-                        for (j, &uv) in u_row.iter().enumerate() {
-                            z[off + j] += w * uv;
-                        }
-                    }
-                    (z, kbuf, ktmp)
-                },
-                |(mut a, kb, kt), (b, _, _)| {
-                    for (x, y) in a.iter_mut().zip(&b) {
-                        *x += y;
-                    }
-                    (a, kb, kt)
-                },
-            )
-            .0;
-            let z = Matrix::from_vec(m, j_n, z_flat)?;
+                    },
+                );
+            }
+            combine_states(&states, z.as_mut_slice());
 
-            // W = Y Z, computed as W[iₙ(α), :] += X_α · (k_αᵀ Z).
-            let w_flat = parallel_reduce(
-                x.nnz(),
-                threads,
-                Schedule::Static,
-                || (vec![0.0f64; i_n * j_n], Vec::new(), Vec::new()),
-                |(mut w, mut kbuf, mut ktmp), e| {
-                    let idx = x.index(e);
-                    let xv = x.value(e);
-                    kron_row(idx, n, factors, &mut kbuf, &mut ktmp);
-                    let off = idx[n] * j_n;
-                    for (r, &kv) in kbuf.iter().enumerate() {
-                        if kv == 0.0 {
-                            continue;
+            // W = Y Z, row-parallel over mode-n slices (the same shape as
+            // the P-Tucker row update): W[i, :] = Σ_{α∈Ωᵢ} X_α · (k_αᵀ Z).
+            // Rows are disjoint, so no per-worker W copies and the sum
+            // order per row is fixed — deterministic for any thread count.
+            {
+                let z_ref = &z;
+                parallel_rows_mut_with(
+                    w.as_mut_slice(),
+                    j_n,
+                    threads,
+                    Schedule::Static,
+                    &mut states,
+                    |(_, kbuf, ktmp), i, wrow| {
+                        wrow.fill(0.0);
+                        for &e in x.slice(n, i) {
+                            let idx = x.index(e);
+                            let xv = x.value(e);
+                            kron_row(idx, n, factors, kbuf, ktmp);
+                            for (r, &kv) in kbuf.iter().enumerate() {
+                                if kv == 0.0 {
+                                    continue;
+                                }
+                                let zrow = z_ref.row(r);
+                                let scale = xv * kv;
+                                for (j, &zv) in zrow.iter().enumerate() {
+                                    wrow[j] += scale * zv;
+                                }
+                            }
                         }
-                        let zrow = z.row(r);
-                        let scale = xv * kv;
-                        for (j, &zv) in zrow.iter().enumerate() {
-                            w[off + j] += scale * zv;
-                        }
-                    }
-                    (w, kbuf, ktmp)
-                },
-                |(mut a, kb, kt), (b, _, _)| {
-                    for (x, y) in a.iter_mut().zip(&b) {
-                        *x += y;
-                    }
-                    (a, kb, kt)
-                },
-            )
-            .0;
-            let w = Matrix::from_vec(i_n, j_n, w_flat)?;
+                    },
+                );
+            }
             u = w.qr()?.into_parts().0;
         }
         factors[n] = u;
         Ok(())
     })
+}
+
+/// Sums per-worker accumulators into `out` (fixed worker order, so the
+/// combination is deterministic for a given thread count).
+fn combine_states(states: &[(Vec<f64>, Vec<f64>, Vec<f64>)], out: &mut [f64]) {
+    out.fill(0.0);
+    for (acc, _, _) in states {
+        for (o, a) in out.iter_mut().zip(acc) {
+            *o += a;
+        }
+    }
 }
 
 #[cfg(test)]

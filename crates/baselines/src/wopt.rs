@@ -42,6 +42,17 @@ impl Params {
             }
         }
     }
+
+    /// Overwrites `self` with `other`'s values without reallocating —
+    /// the line search's trial point reuses one buffer for all steps.
+    fn copy_from(&mut self, other: &Params) {
+        self.core
+            .as_mut_slice()
+            .copy_from_slice(other.core.as_slice());
+        for (f, of) in self.factors.iter_mut().zip(&other.factors) {
+            f.as_mut_slice().copy_from_slice(of.as_slice());
+        }
+    }
 }
 
 /// Gradient / direction storage with the same layout as [`Params`].
@@ -79,6 +90,37 @@ impl ParamsDelta {
         for (df, gf) in self.factors.iter_mut().zip(&neg_grad.factors) {
             for (d, g) in df.iter_mut().zip(gf) {
                 *d = g + beta * *d;
+            }
+        }
+    }
+
+    fn copy_from(&mut self, other: &ParamsDelta) {
+        self.core.copy_from_slice(&other.core);
+        for (f, of) in self.factors.iter_mut().zip(&other.factors) {
+            f.copy_from_slice(of);
+        }
+    }
+
+    /// `self ← -g`.
+    fn neg_from(&mut self, g: &ParamsDelta) {
+        for (d, v) in self.core.iter_mut().zip(&g.core) {
+            *d = -v;
+        }
+        for (df, gf) in self.factors.iter_mut().zip(&g.factors) {
+            for (d, v) in df.iter_mut().zip(gf) {
+                *d = -v;
+            }
+        }
+    }
+
+    /// `self ← a - b`.
+    fn sub_from(&mut self, a: &ParamsDelta, b: &ParamsDelta) {
+        for ((d, x), y) in self.core.iter_mut().zip(&a.core).zip(&b.core) {
+            *d = x - y;
+        }
+        for ((df, af), bf) in self.factors.iter_mut().zip(&a.factors).zip(&b.factors) {
+            for ((d, x), y) in df.iter_mut().zip(af).zip(bf) {
+                *d = x - y;
             }
         }
     }
@@ -133,66 +175,56 @@ pub fn tucker_wopt(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult
     };
 
     let mut iterations = Vec::with_capacity(opts.max_iters);
-    let mut prev_dir: Option<ParamsDelta> = None;
-    let mut prev_grad: Option<ParamsDelta> = None;
     let mut prev_err = f64::INFINITY;
     let mut converged = false;
+
+    // NCG working set, allocated once and reused every iteration — the
+    // parameter-vector analogue of the engine's per-thread scratch arenas.
+    let mut grad = ParamsDelta::zeros_like(&params);
+    let mut prev_grad = ParamsDelta::zeros_like(&params);
+    let mut neg = ParamsDelta::zeros_like(&params);
+    let mut diff = ParamsDelta::zeros_like(&params);
+    let mut dir = ParamsDelta::zeros_like(&params);
+    let mut trial = params.clone();
+    let mut have_prev = false;
 
     let mut f_cur = objective(x, &params)?;
     for iter in 0..opts.max_iters {
         let t_iter = Instant::now();
-        let grad = gradient(x, &params)?;
+        gradient_into(x, &params, &mut grad)?;
         // neg_grad used as the base direction.
-        let mut neg = grad.clone();
-        for v in neg.core.iter_mut() {
-            *v = -*v;
+        neg.neg_from(&grad);
+        // Polak–Ribière β with restart to steepest descent when needed;
+        // `dir` still holds the previous direction.
+        if have_prev {
+            diff.sub_from(&grad, &prev_grad);
+            let denom = prev_grad.dot(&prev_grad);
+            let beta = if denom > 0.0 {
+                (grad.dot(&diff) / denom).max(0.0)
+            } else {
+                0.0
+            };
+            dir.scale_add(beta, &neg);
+        } else {
+            dir.copy_from(&neg);
         }
-        for f in neg.factors.iter_mut() {
-            for v in f.iter_mut() {
-                *v = -*v;
-            }
-        }
-        // Polak–Ribière β with restart to steepest descent when needed.
-        let mut dir = match (&prev_dir, &prev_grad) {
-            (Some(d), Some(g_prev)) => {
-                let mut diff = grad.clone();
-                for (a, b) in diff.core.iter_mut().zip(&g_prev.core) {
-                    *a -= b;
-                }
-                for (f, g) in diff.factors.iter_mut().zip(&g_prev.factors) {
-                    for (a, b) in f.iter_mut().zip(g) {
-                        *a -= b;
-                    }
-                }
-                let denom = g_prev.dot(g_prev);
-                let beta = if denom > 0.0 {
-                    (grad.dot(&diff) / denom).max(0.0)
-                } else {
-                    0.0
-                };
-                let mut dir = d.clone();
-                dir.scale_add(beta, &neg);
-                dir
-            }
-            _ => neg.clone(),
-        };
         // Ensure descent; restart otherwise.
         let g_dot_d = grad.dot(&dir);
         if g_dot_d >= 0.0 {
-            dir = neg.clone();
+            dir.copy_from(&neg);
         }
         let g_dot_d = grad.dot(&dir).min(-f64::EPSILON);
 
-        // Backtracking line search (Armijo).
+        // Backtracking line search (Armijo) on a single reused trial point.
         let mut t = 1.0;
         let c1 = 1e-4;
         let mut accepted = false;
         for _ in 0..40 {
-            let mut trial = params.clone();
+            trial.copy_from(&params);
             trial.axpy(t, &dir);
             let f_trial = objective(x, &trial)?;
             if f_trial <= f_cur + c1 * t * g_dot_d {
-                params = trial;
+                std::mem::swap(&mut params, &mut trial);
                 f_cur = f_trial;
                 accepted = true;
                 break;
@@ -226,8 +258,8 @@ pub fn tucker_wopt(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult
             break;
         }
         prev_err = err;
-        prev_dir = Some(dir);
-        prev_grad = Some(grad);
+        prev_grad.copy_from(&grad);
+        have_prev = true;
     }
 
     let core = CoreTensor::from_dense(&params.core, 0.0)?;
@@ -272,7 +304,11 @@ fn objective(x: &SparseTensor, p: &Params) -> Result<f64> {
 /// Analytic gradient through the dense intermediates:
 /// `∇G = E ×ₙ A⁽ⁿ⁾ᵀ (all n)`, `∇A⁽ⁿ⁾ = Σ_cells E · Tₙ` with
 /// `Tₙ = G ×_{k≠n} A⁽ᵏ⁾` materialized per mode.
-fn gradient(x: &SparseTensor, p: &Params) -> Result<ParamsDelta> {
+///
+/// Writes into a caller-provided `out` so the parameter-sized buffers are
+/// reused across NCG iterations; only the dense tensor intermediates (the
+/// `Σ Iᴺ⁻ᵏJᵏ` chain that *is* wOpt's documented cost) are transient.
+fn gradient_into(x: &SparseTensor, p: &Params, out: &mut ParamsDelta) -> Result<()> {
     let order = p.factors.len();
     let xhat = reconstruct_dense(p)?;
     let strides = row_major_strides(xhat.dims());
@@ -284,8 +320,6 @@ fn gradient(x: &SparseTensor, p: &Params) -> Result<ParamsDelta> {
         e.as_mut_slice()[lin] = xhat.as_slice()[lin] - v;
     }
 
-    let mut out = ParamsDelta::zeros_like(p);
-
     // ∇G = E ×₁ A⁽¹⁾ᵀ ⋯ ×_N A⁽ᴺ⁾ᵀ.
     let mut gcore = e.clone();
     for (n, a) in p.factors.iter().enumerate() {
@@ -294,6 +328,7 @@ fn gradient(x: &SparseTensor, p: &Params) -> Result<ParamsDelta> {
     out.core.copy_from_slice(gcore.as_slice());
 
     // ∇A⁽ⁿ⁾: iterate the dense residual against Tₙ.
+    let mut idx = vec![0usize; order];
     for n in 0..order {
         let mut tn = p.core.clone();
         for (k, a) in p.factors.iter().enumerate() {
@@ -306,7 +341,7 @@ fn gradient(x: &SparseTensor, p: &Params) -> Result<ParamsDelta> {
         let tn_strides = row_major_strides(tn.dims()).to_vec();
         let j_n = p.factors[n].cols();
         let ga = &mut out.factors[n];
-        let mut idx = vec![0usize; order];
+        ga.fill(0.0);
         for (lin, &ev) in e.as_slice().iter().enumerate() {
             if ev == 0.0 {
                 continue;
@@ -321,6 +356,15 @@ fn gradient(x: &SparseTensor, p: &Params) -> Result<ParamsDelta> {
             idx[n] = i_n;
         }
     }
+    Ok(())
+}
+
+/// Allocating convenience wrapper over [`gradient_into`] (tests,
+/// finite-difference checks).
+#[cfg(test)]
+fn gradient(x: &SparseTensor, p: &Params) -> Result<ParamsDelta> {
+    let mut out = ParamsDelta::zeros_like(p);
+    gradient_into(x, p, &mut out)?;
     Ok(out)
 }
 

@@ -1,10 +1,15 @@
 //! Criterion microbenchmarks of the hot kernels: the linear-algebra
 //! routines P-Tucker leans on (Cholesky/LU/QR/eigen at the paper's J
-//! sizes) and the CSF TTMc against a brute-force Kronecker accumulation.
+//! sizes), the engine's row update (direct vs cached kernel — the perf
+//! baseline future PRs regress against), and the CSF TTMc against a
+//! brute-force Kronecker accumulation.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptucker::engine::{CachedKernel, DirectKernel, ModeContext, RowUpdateKernel, Scratch};
+use ptucker::FitOptions;
 use ptucker_baselines::CsfTensor;
 use ptucker_linalg::{leading_left_singular_vectors, sym_eigen, Matrix};
+use ptucker_tensor::CoreTensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +45,55 @@ fn bench_linalg(c: &mut Criterion) {
     group.bench_function("gram_svd_500x10_k5", |b| {
         b.iter(|| black_box(leading_left_singular_vectors(&tall, 5).unwrap()))
     });
+    group.finish();
+}
+
+/// The engine row-update guard: one full mode-0 row sweep (accumulate the
+/// normal equations over each row's slice, solve in the scratch arena) at
+/// the paper's rank scales, for the Direct and Cached kernels. The inner
+/// loop is the exact code `PTucker::fit` monomorphizes, so a regression
+/// here is a regression in every fit.
+fn bench_row_update(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let dims = [32usize, 24, 16];
+    let x = ptucker_datagen::uniform_sparse(&dims, 400, &mut rng);
+    let mut group = c.benchmark_group("row_update");
+    group.sample_size(10);
+    for &j in &[5usize, 10, 20] {
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| {
+                Matrix::from_vec(d, j, (0..d * j).map(|_| rng.gen::<f64>()).collect()).unwrap()
+            })
+            .collect();
+        let core = CoreTensor::random_dense(vec![j, j, j], &mut rng).unwrap();
+        let opts = FitOptions::new(vec![j, j, j]).lambda(0.01);
+        let ctx = ModeContext::new(&x, &factors, &core, 0, &opts);
+
+        group.bench_with_input(BenchmarkId::new("direct", j), &j, |b, _| {
+            let mut scratch = Scratch::new(j);
+            let mut row = vec![0.0; j];
+            b.iter(|| {
+                for i in 0..dims[0] {
+                    row.copy_from_slice(factors[0].row(i));
+                    black_box(DirectKernel.update_row(&ctx, &mut scratch, i, &mut row));
+                }
+            })
+        });
+
+        let mut cached = CachedKernel::new();
+        cached.prepare_fit(&x, &factors, &core, &opts).unwrap();
+        group.bench_with_input(BenchmarkId::new("cached", j), &j, |b, _| {
+            let mut scratch = Scratch::new(j);
+            let mut row = vec![0.0; j];
+            b.iter(|| {
+                for i in 0..dims[0] {
+                    row.copy_from_slice(factors[0].row(i));
+                    black_box(cached.update_row(&ctx, &mut scratch, i, &mut row));
+                }
+            })
+        });
+    }
     group.finish();
 }
 
@@ -80,5 +134,5 @@ fn bench_ttmc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_linalg, bench_ttmc);
+criterion_group!(benches, bench_linalg, bench_row_update, bench_ttmc);
 criterion_main!(benches);

@@ -36,7 +36,7 @@ fn main() {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let max_t = if args.paper { 20 } else { hw.max(4).min(8) };
+    let max_t = if args.paper { 20 } else { hw.clamp(4, 8) };
     print_header(
         "Fig 10: speed-up and memory vs. threads",
         "  T    time/iter    speedup T1/TT    peak intermediates",
@@ -69,7 +69,7 @@ fn main() {
     let sim = realworld::movielens(0.002 * args.scale.max(0.1), &mut rng);
     let skewed = sim.tensor;
     let ranks4 = vec![5, 5, 5, 5];
-    let threads = hw.max(2).min(8);
+    let threads = hw.clamp(2, 8);
     print_header(
         "Sec IV-D: dynamic vs static scheduling on skewed MovieLens slices",
         "schedule    time/iter",

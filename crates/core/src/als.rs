@@ -1,13 +1,14 @@
 //! The P-Tucker fit driver (Algorithms 2 and 3 of the paper).
 
-use crate::cache::PresTable;
-use crate::delta::{accumulate_delta, accumulate_normal_eq, solve_row};
+use crate::delta::solve_row;
+use crate::engine::{
+    ApproxKernel, CachedKernel, DirectKernel, ModeContext, RowUpdateKernel, Scratch,
+};
 use crate::{
-    approx, FitOptions, FitResult, FitStats, IterStats, PtuckerError, Result, TuckerDecomposition,
-    Variant,
+    FitOptions, FitResult, FitStats, IterStats, PtuckerError, Result, TuckerDecomposition, Variant,
 };
 use ptucker_linalg::Matrix;
-use ptucker_sched::{parallel_reduce, parallel_rows_mut, Schedule};
+use ptucker_sched::{parallel_reduce, parallel_rows_mut_with, Schedule};
 use ptucker_tensor::{CoreTensor, SparseTensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,118 +54,125 @@ impl PTucker {
     pub fn fit(&self, x: &SparseTensor) -> Result<FitResult> {
         let opts = &self.opts;
         opts.validate_for(x.dims())?;
-        let t_start = Instant::now();
-        let order = x.order();
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-
-        // Step 1: random initialization in [0, 1) (Algorithm 2 line 1).
-        let mut factors = init_factors(x.dims(), &opts.ranks, &mut rng);
-        let mut core = CoreTensor::random_dense(opts.ranks.clone(), &mut rng)?;
-
-        // Meter the per-thread intermediates of Theorem 4: δ, c (J) and
-        // B, scratch solve matrix (J²) per thread, held for the fit's
-        // duration.
-        opts.budget.reset_peak();
-        let j_max = opts.ranks.iter().copied().max().unwrap_or(1);
-        let _row_scratch = opts
-            .budget
-            .reserve_f64(opts.threads * (2 * j_max * j_max + 2 * j_max))?;
-        // Approx additionally folds per-thread R(β)/contribution buffers.
-        let _approx_scratch = match opts.variant {
-            Variant::Approx { .. } => Some(opts.budget.reserve_f64(opts.threads * 2 * core.nnz())?),
-            _ => None,
-        };
-        // Cache precomputes the |Ω|×|G| table (Algorithm 3 lines 1–4).
-        let mut pres = match opts.variant {
-            Variant::Cache => Some(PresTable::compute(
-                x,
-                &factors,
-                &core,
-                opts.threads,
-                &opts.budget,
-            )?),
-            _ => None,
-        };
-
-        let mut iterations: Vec<IterStats> = Vec::with_capacity(opts.max_iters);
-        let mut prev_err = f64::INFINITY;
-        let mut converged = false;
-
-        for iter in 0..opts.max_iters {
-            let t_iter = Instant::now();
-
-            // Step 2-3: update factor matrices (Algorithm 2 line 3 /
-            // Algorithm 3).
-            for n in 0..order {
-                match pres.as_mut() {
-                    Some(table) => {
-                        let old = factors[n].clone();
-                        update_factor(x, &mut factors, n, &core, opts, Some(table))?;
-                        table.update_mode(x, &factors, &old, n, &core, opts.threads);
-                    }
-                    None => update_factor(x, &mut factors, n, &core, opts, None)?,
-                }
+        // The only variant dispatch in the solver: pick the kernel once and
+        // monomorphize the whole fit loop over it.
+        match opts.variant {
+            Variant::Default => run_fit(x, opts, DirectKernel),
+            Variant::Cache => run_fit(x, opts, CachedKernel::new()),
+            Variant::Approx { truncation_rate } => {
+                run_fit(x, opts, ApproxKernel::new(truncation_rate))
             }
-
-            // Step 4: reconstruction error (Algorithm 2 line 4), parallel
-            // with static scheduling (Section III-D, section 3).
-            let err =
-                sum_squared_error_raw(x, &factors, &core, opts.threads, Schedule::Static).sqrt();
-
-            // Step 5: Approx truncation (Algorithm 2 lines 5–6).
-            if let Variant::Approx { truncation_rate } = opts.variant {
-                let r = approx::partial_errors(x, &factors, &core, opts.threads, opts.schedule);
-                approx::truncate_noisy(&mut core, &r, truncation_rate);
-            }
-
-            iterations.push(IterStats {
-                iter,
-                reconstruction_error: err,
-                seconds: t_iter.elapsed().as_secs_f64(),
-                core_nnz: core.nnz(),
-            });
-
-            // Convergence on relative error change (Algorithm 2 line 7).
-            if err.is_finite()
-                && prev_err.is_finite()
-                && (prev_err - err).abs() <= opts.tol * prev_err.max(f64::EPSILON)
-            {
-                converged = true;
-                break;
-            }
-            prev_err = err;
         }
-        drop(pres);
-
-        // Step 6: orthogonalize via QR and push R into the core
-        // (Algorithm 2 lines 8–11): A⁽ⁿ⁾ = Q⁽ⁿ⁾R⁽ⁿ⁾, A⁽ⁿ⁾ ← Q⁽ⁿ⁾,
-        // G ← G ×ₙ R⁽ⁿ⁾ — reconstruction preserved exactly.
-        for (n, factor) in factors.iter_mut().enumerate() {
-            let qr = factor.qr()?;
-            let (q, r) = qr.into_parts();
-            *factor = q;
-            core.mode_product_in_place(n, &r, 0.0)?;
-        }
-
-        // Extension: refit the core over observed entries (off by default).
-        if opts.refit_core {
-            refit_core_observed(x, &factors, &mut core, opts.threads, opts.schedule);
-        }
-
-        let final_error =
-            sum_squared_error_raw(x, &factors, &core, opts.threads, Schedule::Static).sqrt();
-        let stats = FitStats {
-            iterations,
-            converged,
-            total_seconds: t_start.elapsed().as_secs_f64(),
-            peak_intermediate_bytes: opts.budget.peak(),
-            final_error,
-        };
-        Ok(FitResult {
-            decomposition: TuckerDecomposition { factors, core },
-            stats,
-        })
     }
+}
+
+/// The kernel-generic fit driver (Algorithm 2, with the variant behavior
+/// factored into `K`'s hooks).
+fn run_fit<K: RowUpdateKernel>(
+    x: &SparseTensor,
+    opts: &FitOptions,
+    mut kernel: K,
+) -> Result<FitResult> {
+    let t_start = Instant::now();
+    let order = x.order();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Step 1: random initialization in [0, 1) (Algorithm 2 line 1).
+    let mut factors = init_factors(x.dims(), &opts.ranks, &mut rng);
+    let mut core = CoreTensor::random_dense(opts.ranks.clone(), &mut rng)?;
+
+    // Allocate one scratch arena per worker thread, once for the whole fit;
+    // every row of every mode of every iteration reuses them. Metered as
+    // Theorem 4's per-thread intermediates: δ, c (J) and B, solve
+    // workspace (J²) per thread.
+    opts.budget.reset_peak();
+    let j_max = opts.ranks.iter().copied().max().unwrap_or(1);
+    let _row_scratch = opts
+        .budget
+        .reserve_f64(opts.threads * Scratch::doubles(j_max))?;
+    let mut scratch_pool: Vec<Scratch> = (0..opts.threads.max(1))
+        .map(|_| Scratch::new(j_max))
+        .collect();
+
+    // Kernel-specific setup: the Cache variant precomputes its |Ω|×|G|
+    // table here (Algorithm 3 lines 1–4) and may exceed the budget; the
+    // Approx variant reserves its per-thread R(β) buffers.
+    kernel.prepare_fit(x, &factors, &core, opts)?;
+
+    let mut iterations: Vec<IterStats> = Vec::with_capacity(opts.max_iters);
+    let mut prev_err = f64::INFINITY;
+    let mut converged = false;
+
+    for iter in 0..opts.max_iters {
+        let t_iter = Instant::now();
+
+        // Step 2-3: update factor matrices (Algorithm 2 line 3 /
+        // Algorithm 3).
+        for n in 0..order {
+            kernel.prepare_mode(x, &factors, n, &core, opts)?;
+            update_factor(x, &mut factors, n, &core, opts, &kernel, &mut scratch_pool)?;
+            kernel.post_mode(x, &factors, n, &core, opts);
+        }
+
+        // Step 4: reconstruction error (Algorithm 2 line 4), parallel
+        // with static scheduling (Section III-D, section 3).
+        let err = sum_squared_error_raw(x, &factors, &core, opts.threads, Schedule::Static).sqrt();
+
+        // Step 5: per-iteration kernel hook — Approx truncation
+        // (Algorithm 2 lines 5–6).
+        kernel.post_iter(x, &factors, &mut core, opts);
+
+        iterations.push(IterStats {
+            iter,
+            reconstruction_error: err,
+            seconds: t_iter.elapsed().as_secs_f64(),
+            core_nnz: core.nnz(),
+        });
+
+        // Convergence on relative error change (Algorithm 2 line 7).
+        if err.is_finite()
+            && prev_err.is_finite()
+            && (prev_err - err).abs() <= opts.tol * prev_err.max(f64::EPSILON)
+        {
+            converged = true;
+            break;
+        }
+        prev_err = err;
+    }
+    // Release kernel state (notably the Cache table's budget reservation)
+    // before the post-processing phase, like the paper's Algorithm 3 which
+    // frees Pres after the iterations.
+    drop(kernel);
+    drop(scratch_pool);
+
+    // Step 6: orthogonalize via QR and push R into the core
+    // (Algorithm 2 lines 8–11): A⁽ⁿ⁾ = Q⁽ⁿ⁾R⁽ⁿ⁾, A⁽ⁿ⁾ ← Q⁽ⁿ⁾,
+    // G ← G ×ₙ R⁽ⁿ⁾ — reconstruction preserved exactly.
+    for (n, factor) in factors.iter_mut().enumerate() {
+        let qr = factor.qr()?;
+        let (q, r) = qr.into_parts();
+        *factor = q;
+        core.mode_product_in_place(n, &r, 0.0)?;
+    }
+
+    // Extension: refit the core over observed entries (off by default).
+    if opts.refit_core {
+        refit_core_observed(x, &factors, &mut core, opts.threads, opts.schedule);
+    }
+
+    let final_error =
+        sum_squared_error_raw(x, &factors, &core, opts.threads, Schedule::Static).sqrt();
+    let stats = FitStats {
+        iterations,
+        converged,
+        total_seconds: t_start.elapsed().as_secs_f64(),
+        peak_intermediate_bytes: opts.budget.peak(),
+        final_error,
+    };
+    Ok(FitResult {
+        decomposition: TuckerDecomposition { factors, core },
+        stats,
+    })
 }
 
 /// Random factor matrices with entries in `[0, 1)` (Algorithm 2 line 1).
@@ -179,14 +187,17 @@ fn init_factors(dims: &[usize], ranks: &[usize], rng: &mut StdRng) -> Vec<Matrix
 }
 
 /// Updates one factor matrix with the row-wise rule (Algorithm 3 lines
-/// 5–15), fully parallel over rows.
-fn update_factor(
+/// 5–15), fully parallel over rows. Each worker thread receives one
+/// [`Scratch`] arena from `scratch_pool` and hands it to the kernel for
+/// every row it processes — the loop performs no heap allocation.
+fn update_factor<K: RowUpdateKernel>(
     x: &SparseTensor,
     factors: &mut [Matrix],
     mode: usize,
     core: &CoreTensor,
     opts: &FitOptions,
-    pres: Option<&PresTable>,
+    kernel: &K,
+    scratch_pool: &mut [Scratch],
 ) -> Result<()> {
     let i_n = x.dims()[mode];
     let j_n = opts.ranks[mode];
@@ -198,40 +209,19 @@ fn update_factor(
     let mut data = a_n.into_vec();
     let solve_failed = AtomicBool::new(false);
     {
-        let factors_ro: &[Matrix] = factors;
-        let core_idx = core.flat_indices();
-        let core_vals = core.values();
-        let stride = opts.sample_stride.max(1);
-        parallel_rows_mut(&mut data, j_n, opts.threads, opts.schedule, |i, row| {
-            let slice = x.slice(mode, i);
-            if slice.is_empty() {
-                // No observations for this row: the regularized minimizer
-                // is the zero vector (c = 0 in Eq. 9).
-                row.fill(0.0);
-                return;
-            }
-            let mut delta = vec![0.0f64; j_n];
-            let mut b_upper = vec![0.0f64; j_n * j_n];
-            let mut c = vec![0.0f64; j_n];
-            for &e in slice.iter().step_by(stride) {
-                let idx = x.index(e);
-                match pres {
-                    Some(table) => table.accumulate_delta_cached(
-                        &mut delta, e, idx, mode, row, core_idx, core_vals, factors_ro,
-                    ),
-                    None => {
-                        accumulate_delta(&mut delta, idx, mode, core_idx, core_vals, factors_ro)
-                    }
-                }
-                accumulate_normal_eq(&mut b_upper, &mut c, &delta, x.value(e));
-            }
-            match solve_row(&b_upper, &c, opts.lambda) {
-                Some(new_row) => row.copy_from_slice(&new_row),
-                None => {
+        let ctx = ModeContext::new(x, factors, core, mode, opts);
+        parallel_rows_mut_with(
+            &mut data,
+            j_n,
+            opts.threads,
+            opts.schedule,
+            scratch_pool,
+            |scratch, i, row| {
+                if !kernel.update_row(&ctx, scratch, i, row) {
                     solve_failed.store(true, Ordering::Relaxed);
                 }
-            }
-        });
+            },
+        );
     }
     factors[mode] = Matrix::from_vec(i_n, j_n, data)?;
     if solve_failed.load(Ordering::Relaxed) {

@@ -60,9 +60,11 @@ pub(crate) fn accumulate_normal_eq(b_upper: &mut [f64], c: &mut [f64], delta: &[
     }
 }
 
-/// Solves `(B + λI) rowᵀ = cᵀ` for one factor row (Eq. 9). `b_upper` holds
-/// the upper triangle of `B` (lower ignored); it is mirrored, regularized
-/// and factorized in place of a scratch matrix.
+/// Solves `(B + λI) x = c` for an upper-triangle-packed system, allocating
+/// its own workspace. This is the **non-hot-path** helper (core refit, unit
+/// tests); the per-row update solves through the reusable arena in
+/// [`crate::engine::Scratch`] instead, with the identical numerical
+/// definition (both sit on `ptucker_linalg::solve`).
 ///
 /// Cholesky is used first (the system is SPD for λ > 0, Theorem 1); LU with
 /// partial pivoting is the fallback for λ = 0 with a rank-deficient `B`.
@@ -70,19 +72,12 @@ pub(crate) fn accumulate_normal_eq(b_upper: &mut [f64], c: &mut [f64], delta: &[
 /// system).
 pub(crate) fn solve_row(b_upper: &[f64], c: &[f64], lambda: f64) -> Option<Vec<f64>> {
     let j_n = c.len();
-    let mut m = Matrix::zeros(j_n, j_n);
-    for j1 in 0..j_n {
-        for j2 in j1..j_n {
-            let v = b_upper[j1 * j_n + j2];
-            m[(j1, j2)] = v;
-            m[(j2, j1)] = v;
-        }
-    }
-    m.add_diagonal_mut(lambda);
-    if let Ok(chol) = m.cholesky() {
-        return Some(chol.solve(c));
-    }
-    m.lu().ok().map(|lu| lu.solve(c))
+    let mut scratch = crate::engine::Scratch::new(j_n);
+    let (_, sc_c, sc_b) = scratch.accumulators(j_n);
+    sc_c.copy_from_slice(c);
+    sc_b.copy_from_slice(b_upper);
+    let mut out = vec![0.0; j_n];
+    scratch.solve(j_n, lambda, &mut out).then_some(out)
 }
 
 #[cfg(test)]

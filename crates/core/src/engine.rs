@@ -1,0 +1,665 @@
+//! The zero-allocation row-update engine.
+//!
+//! P-Tucker's inner loop — one `(B + λI) row = c` solve per factor row per
+//! mode per iteration, with `B`/`c` accumulated from the row's observed
+//! slice — runs millions of times on real tensors. This module gives that
+//! loop two structural properties:
+//!
+//! 1. **Zero heap allocations per row.** All per-row intermediates (the δ
+//!    vector, the normal-equation accumulators `B`/`c`, the solver
+//!    workspace and pivot buffer) live in a [`Scratch`] arena. One arena is
+//!    allocated per worker thread at the start of a fit — metered against
+//!    the [`ptucker_memtrack::MemoryBudget`] exactly as Theorem 4
+//!    prescribes (`O(T·J²)`) — and
+//!    [`ptucker_sched::parallel_rows_mut_with`] hands the same arena to
+//!    every row a worker processes.
+//! 2. **Monomorphized variant dispatch.** The Direct/Cache/Approx variants
+//!    differ only in *how δ is produced* and in a few per-mode /
+//!    per-iteration hooks. Each variant implements [`RowUpdateKernel`]; the
+//!    fit driver is generic over the kernel, so the per-row code is
+//!    specialized at compile time — no `match opts.variant` inside the
+//!    loop, and a future backend (blocked-SIMD, GPU staging, …) is one new
+//!    trait impl rather than another branch threaded through the solver.
+//!
+//! The kernels: [`DirectKernel`] recomputes δ from the factors (the
+//! memory-optimal default), [`CachedKernel`] owns the `|Ω|×|G|` `Pres`
+//! memoization table (Algorithm 3), and [`ApproxKernel`] is Direct plus
+//! per-iteration truncation of the noisiest core entries (Algorithm 4).
+
+use crate::cache::PresTable;
+use crate::delta::{accumulate_delta, accumulate_normal_eq};
+use crate::{approx, FitOptions, Result};
+use ptucker_linalg::{cholesky_solve_in_place, lu_solve_in_place, Matrix};
+use ptucker_memtrack::Reservation;
+use ptucker_tensor::{CoreTensor, SparseTensor};
+
+/// Per-thread scratch arena for the row update: every buffer the inner loop
+/// touches, allocated once and reused for every row the owning worker
+/// processes.
+///
+/// Sized for the largest rank of the fit (`j_max`), so one arena serves all
+/// modes; per-row methods operate on `..j` prefixes.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// δ⁽ⁿ⁾_α accumulator (Eq. 12), `j_max` doubles.
+    delta: Vec<f64>,
+    /// Right-hand side `c = Σ X_α δ`, `j_max` doubles.
+    c: Vec<f64>,
+    /// Upper triangle of `B = Σ δδᵀ`, `j_max²` doubles (row-major, lower
+    /// triangle unused).
+    b_upper: Vec<f64>,
+    /// Factorization workspace: `B + λI` mirrored to full storage and
+    /// destroyed in place by the solver, `j_max²` doubles.
+    solve: Vec<f64>,
+    /// Pivot swap buffer for the LU fallback, `j_max` entries.
+    pivots: Vec<usize>,
+}
+
+impl Scratch {
+    /// An arena able to solve systems up to `j_max × j_max`.
+    pub fn new(j_max: usize) -> Self {
+        let j = j_max.max(1);
+        Scratch {
+            delta: vec![0.0; j],
+            c: vec![0.0; j],
+            b_upper: vec![0.0; j * j],
+            solve: vec![0.0; j * j],
+            pivots: vec![0; j],
+        }
+    }
+
+    /// An arena sized for a fit's largest rank.
+    pub fn for_options(opts: &FitOptions) -> Self {
+        Scratch::new(opts.ranks.iter().copied().max().unwrap_or(1))
+    }
+
+    /// `f64`s held per thread (Theorem 4's `2J² + 2J`; the pivot buffer is
+    /// `usize`s and excluded, matching the paper's double-counting).
+    pub fn doubles(j_max: usize) -> usize {
+        let j = j_max.max(1);
+        2 * j * j + 2 * j
+    }
+
+    /// Clears the `..j` accumulator prefixes for a fresh row.
+    #[inline]
+    fn begin_row(&mut self, j: usize) {
+        self.c[..j].fill(0.0);
+        self.b_upper[..j * j].fill(0.0);
+    }
+
+    /// Clears and returns the `(δ, c, B-upper)` accumulator views for a row
+    /// of rank `j` — for external row-update kernels (e.g. the CP-ALS
+    /// crate) that accumulate their own normal equations into the shared
+    /// arena before calling [`Scratch::solve`]. All three views are zeroed
+    /// (the internal kernels skip the δ clear because `accumulate_delta`
+    /// clears it per entry, but an external `+=` accumulator must not see
+    /// the previous row's values).
+    ///
+    /// # Panics
+    /// Panics if `j` exceeds the arena's `j_max`.
+    #[inline]
+    pub fn accumulators(&mut self, j: usize) -> (&mut [f64], &mut [f64], &mut [f64]) {
+        self.begin_row(j);
+        self.delta[..j].fill(0.0);
+        (
+            &mut self.delta[..j],
+            &mut self.c[..j],
+            &mut self.b_upper[..j * j],
+        )
+    }
+
+    /// Solves `(B + λI) out = c` from the accumulated triangle (see
+    /// [`Scratch::accumulators`]), entirely in the arena: Cholesky first
+    /// (SPD for λ > 0, Theorem 1), LU with partial pivoting as the λ = 0
+    /// fallback. Returns `false` only for an exactly singular system.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != j` or `j` exceeds the arena's `j_max`.
+    #[inline]
+    pub fn solve(&mut self, j: usize, lambda: f64, out: &mut [f64]) -> bool {
+        self.mirror_system(j, lambda);
+        out.copy_from_slice(&self.c[..j]);
+        if cholesky_solve_in_place(&mut self.solve[..j * j], j, out).is_ok() {
+            return true;
+        }
+        // Cholesky clobbered the workspace (but not `out`); rebuild and
+        // fall back to LU for rank-deficient unregularized systems.
+        self.mirror_system(j, lambda);
+        lu_solve_in_place(&mut self.solve[..j * j], j, &mut self.pivots[..j], out).is_ok()
+    }
+
+    /// Mirrors the accumulated upper triangle into full storage in the
+    /// solver workspace and adds the ridge.
+    #[inline]
+    fn mirror_system(&mut self, j: usize, lambda: f64) {
+        let m = &mut self.solve[..j * j];
+        for j1 in 0..j {
+            m[j1 * j + j1] = self.b_upper[j1 * j + j1] + lambda;
+            for j2 in (j1 + 1)..j {
+                let v = self.b_upper[j1 * j + j2];
+                m[j1 * j + j2] = v;
+                m[j2 * j + j1] = v;
+            }
+        }
+    }
+}
+
+/// Shared, read-only context for one mode's row sweep.
+///
+/// Built once per `update_factor` call and borrowed by every row closure;
+/// `factors[mode]` is empty during the sweep (its storage is the row data
+/// being updated), which is safe because δ products skip `k == mode`.
+#[derive(Debug)]
+pub struct ModeContext<'a> {
+    /// The observed tensor.
+    pub x: &'a SparseTensor,
+    /// All factor matrices (`factors[mode]` emptied for the sweep).
+    pub factors: &'a [Matrix],
+    /// The core's flat index storage (`|G| × N`).
+    pub core_idx: &'a [usize],
+    /// The core's values (`|G|`).
+    pub core_vals: &'a [f64],
+    /// The mode being updated.
+    pub mode: usize,
+    /// Rank `Jₙ` of the mode being updated.
+    pub j_n: usize,
+    /// Observed-entry sampling stride (1 = use all entries).
+    pub stride: usize,
+    /// L2 regularization λ.
+    pub lambda: f64,
+}
+
+impl<'a> ModeContext<'a> {
+    /// Assembles the context for updating `factors[mode]`.
+    pub fn new(
+        x: &'a SparseTensor,
+        factors: &'a [Matrix],
+        core: &'a CoreTensor,
+        mode: usize,
+        opts: &FitOptions,
+    ) -> Self {
+        ModeContext {
+            x,
+            factors,
+            core_idx: core.flat_indices(),
+            core_vals: core.values(),
+            mode,
+            j_n: opts.ranks[mode],
+            stride: opts.sample_stride.max(1),
+            lambda: opts.lambda,
+        }
+    }
+}
+
+/// A P-Tucker variant, expressed as its row-update behavior plus lifecycle
+/// hooks. The fit driver is generic over this trait, so each variant's
+/// inner loop is monomorphized — adding a variant means implementing this
+/// trait, not editing the solver.
+pub trait RowUpdateKernel: Sync {
+    /// One-time setup before the first iteration (e.g. the Cache variant's
+    /// `|Ω|×|G|` table precompute — the step that can exceed the memory
+    /// budget).
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::OutOfMemory`] if the kernel's auxiliary state
+    /// exceeds the intermediate-data budget.
+    fn prepare_fit(
+        &mut self,
+        _x: &SparseTensor,
+        _factors: &[Matrix],
+        _core: &CoreTensor,
+        _opts: &FitOptions,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called before each mode's row sweep, with the factors still in their
+    /// pre-update state (snapshot here what `post_mode` will need).
+    ///
+    /// # Errors
+    /// Kernel-specific; the default never fails.
+    fn prepare_mode(
+        &mut self,
+        _x: &SparseTensor,
+        _factors: &[Matrix],
+        _mode: usize,
+        _core: &CoreTensor,
+        _opts: &FitOptions,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Updates one factor row in place (Algorithm 3 lines 5–15): accumulate
+    /// the normal equations over the row's observed slice into `scratch`,
+    /// then solve into `row`. On entry `row` holds the *old* row values
+    /// (the cached kernel reads them as divisors). Returns `false` if the
+    /// system was exactly singular (only possible with `lambda == 0`).
+    ///
+    /// Must not allocate: everything lives in `scratch`.
+    fn update_row(
+        &self,
+        ctx: &ModeContext<'_>,
+        scratch: &mut Scratch,
+        i: usize,
+        row: &mut [f64],
+    ) -> bool;
+
+    /// Called after `factors[mode]` has been replaced with its updated
+    /// values (e.g. the Cache variant rescales its table here).
+    fn post_mode(
+        &mut self,
+        _x: &SparseTensor,
+        _factors: &[Matrix],
+        _mode: usize,
+        _core: &CoreTensor,
+        _opts: &FitOptions,
+    ) {
+    }
+
+    /// Called once per outer iteration after the reconstruction error is
+    /// measured (e.g. the Approx variant truncates the core here).
+    fn post_iter(
+        &mut self,
+        _x: &SparseTensor,
+        _factors: &[Matrix],
+        _core: &mut CoreTensor,
+        _opts: &FitOptions,
+    ) {
+    }
+}
+
+/// The shared row routine: slice walk, δ production (kernel-specific),
+/// rank-1 normal-equation accumulation, in-arena solve. `delta_fn` receives
+/// `(δ buffer, entry id, entry index, old row values)`.
+#[inline]
+fn run_row(
+    ctx: &ModeContext<'_>,
+    scratch: &mut Scratch,
+    i: usize,
+    row: &mut [f64],
+    delta_fn: impl Fn(&mut [f64], usize, &[usize], &[f64]),
+) -> bool {
+    let slice = ctx.x.slice(ctx.mode, i);
+    if slice.is_empty() {
+        // No observations for this row: the regularized minimizer is the
+        // zero vector (c = 0 in Eq. 9).
+        row.fill(0.0);
+        return true;
+    }
+    let j = ctx.j_n;
+    scratch.begin_row(j);
+    for &e in slice.iter().step_by(ctx.stride) {
+        let idx = ctx.x.index(e);
+        delta_fn(&mut scratch.delta[..j], e, idx, &*row);
+        accumulate_normal_eq(
+            &mut scratch.b_upper[..j * j],
+            &mut scratch.c[..j],
+            &scratch.delta[..j],
+            ctx.x.value(e),
+        );
+    }
+    scratch.solve(j, ctx.lambda, row)
+}
+
+/// The default P-Tucker kernel: δ recomputed from the factors for every
+/// entry — `O(T·J²)` intermediate memory (Theorem 4), `N·|G|` multiplies
+/// per entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectKernel;
+
+impl RowUpdateKernel for DirectKernel {
+    fn update_row(
+        &self,
+        ctx: &ModeContext<'_>,
+        scratch: &mut Scratch,
+        i: usize,
+        row: &mut [f64],
+    ) -> bool {
+        run_row(ctx, scratch, i, row, |delta, _e, idx, _old_row| {
+            accumulate_delta(
+                delta,
+                idx,
+                ctx.mode,
+                ctx.core_idx,
+                ctx.core_vals,
+                ctx.factors,
+            )
+        })
+    }
+}
+
+/// The P-Tucker-Cache kernel: owns the `Pres` table of all
+/// `(entry, core-entry)` products, replacing the `N−1` multiplications per
+/// pair with one division (Theorem 5) at `O(|Ω|·|G|)` memory (Theorem 6).
+#[derive(Debug, Default)]
+pub struct CachedKernel {
+    table: Option<PresTable>,
+    /// Pre-update snapshot of the mode's factor, for the table rescale.
+    old_factor: Option<Matrix>,
+}
+
+impl CachedKernel {
+    /// A kernel whose table is computed on `prepare_fit`.
+    pub fn new() -> Self {
+        CachedKernel::default()
+    }
+}
+
+impl RowUpdateKernel for CachedKernel {
+    fn prepare_fit(
+        &mut self,
+        x: &SparseTensor,
+        factors: &[Matrix],
+        core: &CoreTensor,
+        opts: &FitOptions,
+    ) -> Result<()> {
+        self.table = Some(PresTable::compute(
+            x,
+            factors,
+            core,
+            opts.threads,
+            &opts.budget,
+        )?);
+        Ok(())
+    }
+
+    fn prepare_mode(
+        &mut self,
+        _x: &SparseTensor,
+        factors: &[Matrix],
+        mode: usize,
+        _core: &CoreTensor,
+        _opts: &FitOptions,
+    ) -> Result<()> {
+        self.old_factor = Some(factors[mode].clone());
+        Ok(())
+    }
+
+    fn update_row(
+        &self,
+        ctx: &ModeContext<'_>,
+        scratch: &mut Scratch,
+        i: usize,
+        row: &mut [f64],
+    ) -> bool {
+        let table = self
+            .table
+            .as_ref()
+            .expect("CachedKernel::prepare_fit must run before update_row");
+        run_row(ctx, scratch, i, row, |delta, e, idx, old_row| {
+            table.accumulate_delta_cached(
+                delta,
+                e,
+                idx,
+                ctx.mode,
+                old_row,
+                ctx.core_idx,
+                ctx.core_vals,
+                ctx.factors,
+            )
+        })
+    }
+
+    fn post_mode(
+        &mut self,
+        x: &SparseTensor,
+        factors: &[Matrix],
+        mode: usize,
+        core: &CoreTensor,
+        opts: &FitOptions,
+    ) {
+        let old = self
+            .old_factor
+            .take()
+            .expect("CachedKernel::prepare_mode must run before post_mode");
+        if let Some(table) = self.table.as_mut() {
+            table.update_mode(x, factors, &old, mode, core, opts.threads);
+        }
+    }
+}
+
+/// The P-Tucker-Approx kernel: Direct row updates plus per-iteration
+/// truncation of the `p·|G|` core entries with the highest partial
+/// reconstruction error `R(β)` (Eq. 13, Algorithm 4).
+#[derive(Debug)]
+pub struct ApproxKernel {
+    truncation_rate: f64,
+    /// Budget reservation for the per-thread `R(β)`/contribution buffers.
+    _scratch: Option<Reservation>,
+}
+
+impl ApproxKernel {
+    /// A kernel truncating `rate·|G|` entries per iteration (`rate ∈
+    /// [0, 1)`; 0 degenerates to the Direct variant exactly).
+    pub fn new(truncation_rate: f64) -> Self {
+        ApproxKernel {
+            truncation_rate,
+            _scratch: None,
+        }
+    }
+}
+
+impl RowUpdateKernel for ApproxKernel {
+    fn prepare_fit(
+        &mut self,
+        _x: &SparseTensor,
+        _factors: &[Matrix],
+        core: &CoreTensor,
+        opts: &FitOptions,
+    ) -> Result<()> {
+        // Approx folds per-thread R(β)/contribution buffers on top of the
+        // row scratch (both |G|-sized). At rate 0 `post_iter` never
+        // computes R(β), so reserving would make the degenerate variant
+        // OOM (and report peak memory) differently from the bit-identical
+        // Direct fit.
+        if self.truncation_rate > 0.0 {
+            self._scratch = Some(opts.budget.reserve_f64(opts.threads * 2 * core.nnz())?);
+        }
+        Ok(())
+    }
+
+    fn update_row(
+        &self,
+        ctx: &ModeContext<'_>,
+        scratch: &mut Scratch,
+        i: usize,
+        row: &mut [f64],
+    ) -> bool {
+        DirectKernel.update_row(ctx, scratch, i, row)
+    }
+
+    fn post_iter(
+        &mut self,
+        x: &SparseTensor,
+        factors: &[Matrix],
+        core: &mut CoreTensor,
+        opts: &FitOptions,
+    ) {
+        if self.truncation_rate > 0.0 {
+            let r = approx::partial_errors(x, factors, core, opts.threads, opts.schedule);
+            approx::truncate_noisy(core, &r, self.truncation_rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FitOptions, Variant};
+    use ptucker_linalg::Cholesky;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (SparseTensor, Vec<Matrix>, CoreTensor, FitOptions) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = SparseTensor::new(
+            vec![4, 3, 2],
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![1, 1, 1], -0.5),
+                (vec![2, 2, 0], 2.0),
+                (vec![3, 0, 1], 0.25),
+                (vec![0, 2, 1], -1.5),
+                (vec![2, 0, 0], 0.75),
+                (vec![2, 1, 1], 1.25),
+            ],
+        )
+        .unwrap();
+        let factors: Vec<Matrix> = [4usize, 3, 2]
+            .iter()
+            .map(|&d| {
+                Matrix::from_vec(d, 2, (0..d * 2).map(|_| rng.gen::<f64>()).collect()).unwrap()
+            })
+            .collect();
+        let core = CoreTensor::random_dense(vec![2, 2, 2], &mut rng).unwrap();
+        let opts = FitOptions::new(vec![2, 2, 2]).lambda(0.01);
+        (x, factors, core, opts)
+    }
+
+    /// Naive dense reference for one row's update: build δ per entry by
+    /// brute force, form B and c densely, solve with the allocating wrapper.
+    fn reference_row(
+        x: &SparseTensor,
+        factors: &[Matrix],
+        core: &CoreTensor,
+        mode: usize,
+        i: usize,
+        lambda: f64,
+    ) -> Vec<f64> {
+        let j_n = core.dims()[mode];
+        let order = x.order();
+        let mut b = Matrix::zeros(j_n, j_n);
+        let mut c = vec![0.0; j_n];
+        for &e in x.slice(mode, i) {
+            let idx = x.index(e);
+            let mut delta = vec![0.0; j_n];
+            for b_id in 0..core.nnz() {
+                let beta = core.index(b_id);
+                let mut w = core.value(b_id);
+                for k in 0..order {
+                    if k == mode {
+                        continue;
+                    }
+                    w *= factors[k][(idx[k], beta[k])];
+                }
+                delta[beta[mode]] += w;
+            }
+            for j1 in 0..j_n {
+                c[j1] += x.value(e) * delta[j1];
+                for j2 in 0..j_n {
+                    b[(j1, j2)] += delta[j1] * delta[j2];
+                }
+            }
+        }
+        b.add_diagonal_mut(lambda);
+        Cholesky::factor(&b).unwrap().solve(&c)
+    }
+
+    #[test]
+    fn direct_kernel_matches_dense_reference() {
+        let (x, factors, core, opts) = setup();
+        let mut scratch = Scratch::for_options(&opts);
+        for mode in 0..3 {
+            let ctx = ModeContext::new(&x, &factors, &core, mode, &opts);
+            for i in 0..x.dims()[mode] {
+                let mut row = factors[mode].row(i).to_vec();
+                assert!(DirectKernel.update_row(&ctx, &mut scratch, i, &mut row));
+                if x.slice(mode, i).is_empty() {
+                    assert!(row.iter().all(|&v| v == 0.0));
+                    continue;
+                }
+                let want = reference_row(&x, &factors, &core, mode, i, opts.lambda);
+                for (g, w) in row.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-10, "mode {mode} row {i}: {g} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_kernel_matches_direct_kernel() {
+        let (x, factors, core, opts) = setup();
+        let mut cached = CachedKernel::new();
+        cached.prepare_fit(&x, &factors, &core, &opts).unwrap();
+        let mut s1 = Scratch::for_options(&opts);
+        let mut s2 = Scratch::for_options(&opts);
+        for mode in 0..3 {
+            let ctx = ModeContext::new(&x, &factors, &core, mode, &opts);
+            for i in 0..x.dims()[mode] {
+                let mut direct_row = factors[mode].row(i).to_vec();
+                let mut cached_row = factors[mode].row(i).to_vec();
+                assert!(DirectKernel.update_row(&ctx, &mut s1, i, &mut direct_row));
+                assert!(cached.update_row(&ctx, &mut s2, i, &mut cached_row));
+                for (d, c) in direct_row.iter().zip(&cached_row) {
+                    assert!((d - c).abs() < 1e-9, "mode {mode} row {i}: {d} vs {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_rows() {
+        // A reused arena must give bitwise-identical results to a fresh one.
+        let (x, factors, core, opts) = setup();
+        let ctx = ModeContext::new(&x, &factors, &core, 0, &opts);
+        let mut reused = Scratch::for_options(&opts);
+        // Dirty the arena on another row first.
+        let mut sink = factors[0].row(1).to_vec();
+        DirectKernel.update_row(&ctx, &mut reused, 1, &mut sink);
+        for i in 0..x.dims()[0] {
+            let mut fresh = Scratch::for_options(&opts);
+            let mut row_fresh = factors[0].row(i).to_vec();
+            let mut row_reused = factors[0].row(i).to_vec();
+            DirectKernel.update_row(&ctx, &mut fresh, i, &mut row_fresh);
+            DirectKernel.update_row(&ctx, &mut reused, i, &mut row_reused);
+            for (a, b) in row_fresh.iter().zip(&row_reused) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_unregularized_row_reports_failure() {
+        // One observed entry, λ = 0 and rank 2 ⇒ B = δδᵀ is rank-1 singular.
+        let x = SparseTensor::new(vec![2, 2], vec![(vec![0, 0], 1.0)]).unwrap();
+        let factors = vec![
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]),
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]),
+        ];
+        let core = CoreTensor::dense_from_fn(vec![2, 2], |_| 1.0).unwrap();
+        let opts = FitOptions::new(vec![2, 2]).lambda(0.0);
+        let ctx = ModeContext::new(&x, &factors, &core, 0, &opts);
+        let mut scratch = Scratch::for_options(&opts);
+        let mut row = vec![0.5, 0.5];
+        assert!(!DirectKernel.update_row(&ctx, &mut scratch, 0, &mut row));
+        // With regularization the same system solves.
+        let opts = FitOptions::new(vec![2, 2]).lambda(0.1);
+        let ctx = ModeContext::new(&x, &factors, &core, 0, &opts);
+        let mut row = vec![0.5, 0.5];
+        assert!(DirectKernel.update_row(&ctx, &mut scratch, 0, &mut row));
+    }
+
+    #[test]
+    fn scratch_budget_formula_matches_buffers() {
+        for j in [1usize, 3, 10] {
+            let s = Scratch::new(j);
+            assert_eq!(
+                s.delta.len() + s.c.len() + s.b_upper.len() + s.solve.len(),
+                Scratch::doubles(j)
+            );
+        }
+    }
+
+    #[test]
+    fn approx_kernel_rate_zero_is_direct() {
+        let (x, factors, core, opts) = setup();
+        let mut core_for_approx = core.clone();
+        let mut kernel = ApproxKernel::new(0.0);
+        // post_iter with rate 0 must leave the core untouched.
+        kernel.post_iter(&x, &factors, &mut core_for_approx, &opts);
+        assert_eq!(core_for_approx.nnz(), core.nnz());
+        let _ = Variant::Approx {
+            truncation_rate: 0.0,
+        };
+    }
+}

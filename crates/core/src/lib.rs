@@ -22,6 +22,31 @@
 //! * **Approx** truncates the "noisiest" core entries each iteration,
 //!   ranked by exact partial reconstruction error `R(β)`.
 //!
+//! # Architecture: engine / kernel / scratch layering
+//!
+//! The solver is layered so the hot path allocates nothing and variant
+//! dispatch costs nothing per row:
+//!
+//! * **Engine** ([`engine`]): the kernel-generic fit driver. `PTucker::fit`
+//!   matches [`Variant`] exactly once, picks a kernel, and hands it to a
+//!   fit loop that is *generic over the kernel type* — the per-row code is
+//!   monomorphized, with no variant branching inside the loop.
+//! * **Kernels** ([`engine::RowUpdateKernel`]): one implementation per
+//!   variant — [`engine::DirectKernel`], [`engine::CachedKernel`] (owns the
+//!   `|Ω|×|G|` memoization table) and [`engine::ApproxKernel`]. A kernel
+//!   supplies the per-entry δ computation plus lifecycle hooks
+//!   (`prepare_fit`/`prepare_mode`/`post_mode`/`post_iter`); adding a new
+//!   backend (blocked-SIMD, GPU staging, …) is one new trait impl.
+//! * **Scratch** ([`engine::Scratch`]): a per-thread arena holding every
+//!   per-row intermediate (δ, `c`, the `B` triangle, the solver workspace
+//!   and pivots). One arena is allocated per worker at fit start — metered
+//!   against the [`MemoryBudget`] as Theorem 4's `O(T·J²)` — and
+//!   `ptucker_sched::parallel_rows_mut_with` hands it to every row that
+//!   worker processes, so the inner loop performs **zero heap
+//!   allocations**. The solves themselves run through
+//!   `ptucker_linalg`'s in-place `cholesky_solve_in_place` /
+//!   `lu_solve_in_place` on those buffers.
+//!
 //! # Example
 //!
 //! ```
@@ -63,6 +88,7 @@ pub mod approx;
 mod cache;
 mod decomposition;
 mod delta;
+pub mod engine;
 mod error;
 mod options;
 mod stats;
@@ -159,6 +185,70 @@ mod tests {
             r.stats.final_error
         );
         assert!(r.decomposition.orthogonality_defect() < 1e-10);
+    }
+
+    #[test]
+    fn three_kernels_identical_fits_for_fixed_seed() {
+        // Satellite acceptance: DirectKernel, CachedKernel and
+        // ApproxKernel(rate = 0) must produce identical fits from the same
+        // seed. Approx(0) shares the Direct code path bit for bit; Cache
+        // computes δ through division against the memoized products, so it
+        // agrees to floating-point noise.
+        let x = planted(20);
+        let base = FitOptions::new(vec![2, 2, 2])
+            .max_iters(5)
+            .tol(0.0)
+            .threads(2)
+            .seed(77);
+        let direct = fit(&x, base.clone());
+        let cached = fit(&x, base.clone().variant(Variant::Cache));
+        let approx0 = fit(
+            &x,
+            base.variant(Variant::Approx {
+                truncation_rate: 0.0,
+            }),
+        );
+        // Approx(0) vs Direct: bitwise-identical error trajectory.
+        for (a, b) in direct
+            .stats
+            .iterations
+            .iter()
+            .zip(&approx0.stats.iterations)
+        {
+            assert_eq!(
+                a.reconstruction_error.to_bits(),
+                b.reconstruction_error.to_bits(),
+                "iter {}",
+                a.iter
+            );
+        }
+        assert_eq!(
+            direct.stats.final_error.to_bits(),
+            approx0.stats.final_error.to_bits()
+        );
+        // And identical factor matrices.
+        for (fa, fb) in direct
+            .decomposition
+            .factors
+            .iter()
+            .zip(&approx0.decomposition.factors)
+        {
+            for (a, b) in fa.as_slice().iter().zip(fb.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Cache vs Direct: same fit up to fp noise in the δ path.
+        for (a, b) in direct.stats.iterations.iter().zip(&cached.stats.iterations) {
+            let rel = (a.reconstruction_error - b.reconstruction_error).abs()
+                / a.reconstruction_error.max(1e-12);
+            assert!(rel < 1e-6, "iter {}: {rel}", a.iter);
+        }
+        // And the degenerate Approx reserves no R(β) buffers: identical
+        // peak memory, so any budget that fits Direct fits Approx(0).
+        assert_eq!(
+            direct.stats.peak_intermediate_bytes,
+            approx0.stats.peak_intermediate_bytes
+        );
     }
 
     #[test]

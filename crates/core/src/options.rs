@@ -19,7 +19,9 @@ pub enum Variant {
     /// (highest partial reconstruction error `R(β)`, Eq. 13) every
     /// iteration.
     Approx {
-        /// Truncation rate `p ∈ (0, 1)` per iteration (paper default 0.2).
+        /// Truncation rate `p ∈ [0, 1)` per iteration (paper default 0.2;
+        /// `0` truncates nothing and degenerates to [`Variant::Default`]
+        /// exactly — useful for kernel-equivalence testing).
         truncation_rate: f64,
     },
 }
@@ -180,9 +182,9 @@ impl FitOptions {
             ));
         }
         if let Variant::Approx { truncation_rate } = self.variant {
-            if !(truncation_rate > 0.0 && truncation_rate < 1.0) {
+            if !(0.0..1.0).contains(&truncation_rate) {
                 return Err(PtuckerError::InvalidConfig(
-                    "truncation_rate must be in (0, 1)".into(),
+                    "truncation_rate must be in [0, 1)".into(),
                 ));
             }
         }
@@ -263,15 +265,29 @@ mod tests {
             .sample_stride(0)
             .validate()
             .is_err());
+        // Rate 0 is the valid "truncate nothing" degenerate case; 1.0 and
+        // negatives/NaN are rejected.
         assert!(FitOptions::new(vec![2])
             .variant(Variant::Approx {
                 truncation_rate: 0.0
             })
             .validate()
-            .is_err());
+            .is_ok());
         assert!(FitOptions::new(vec![2])
             .variant(Variant::Approx {
                 truncation_rate: 1.0
+            })
+            .validate()
+            .is_err());
+        assert!(FitOptions::new(vec![2])
+            .variant(Variant::Approx {
+                truncation_rate: -0.1
+            })
+            .validate()
+            .is_err());
+        assert!(FitOptions::new(vec![2])
+            .variant(Variant::Approx {
+                truncation_rate: f64::NAN
             })
             .validate()
             .is_err());

@@ -30,9 +30,10 @@
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)]
 
+use ptucker::engine::Scratch;
 use ptucker::{PtuckerError, Result};
-use ptucker_linalg::{Cholesky, Matrix};
-use ptucker_sched::{parallel_reduce, parallel_rows_mut, Schedule};
+use ptucker_linalg::Matrix;
+use ptucker_sched::{parallel_reduce, parallel_rows_mut_with, Schedule};
 use ptucker_tensor::SparseTensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -264,10 +265,15 @@ pub fn cp_als(x: &SparseTensor, opts: &CpOptions) -> Result<CpResult> {
     let mut prev_err = f64::INFINITY;
     let mut converged = false;
 
+    // One scratch arena per worker thread for the whole fit — the same
+    // zero-allocation discipline as the P-Tucker engine.
+    let mut scratch_pool: Vec<Scratch> =
+        (0..opts.threads.max(1)).map(|_| Scratch::new(r)).collect();
+
     for _ in 0..opts.max_iters {
         let t_iter = Instant::now();
         for n in 0..order {
-            update_factor(x, &mut factors, n, opts)?;
+            update_factor(x, &mut factors, n, opts, &mut scratch_pool)?;
         }
         let d = CpDecomposition {
             factors: factors.clone(),
@@ -301,11 +307,14 @@ pub fn cp_als(x: &SparseTensor, opts: &CpOptions) -> Result<CpResult> {
 
 /// Row-wise update of factor `n`: for each observed row solve
 /// `(B + λI) row = c` with `B = Σ δδᵀ`, `δ_α(r) = Π_{k≠n} a⁽ᵏ⁾(iₖ, r)`.
+/// Accumulation and solve run in the per-thread [`Scratch`] arenas — no
+/// heap allocation inside the row loop.
 fn update_factor(
     x: &SparseTensor,
     factors: &mut [Matrix],
     mode: usize,
     opts: &CpOptions,
+    scratch_pool: &mut [Scratch],
 ) -> Result<()> {
     let i_n = x.dims()[mode];
     let r = opts.rank;
@@ -314,60 +323,51 @@ fn update_factor(
     let failed = AtomicBool::new(false);
     {
         let factors_ro: &[Matrix] = factors;
-        parallel_rows_mut(&mut data, r, opts.threads, opts.schedule, |i, row| {
-            let slice = x.slice(mode, i);
-            if slice.is_empty() {
-                row.fill(0.0);
-                return;
-            }
-            let mut delta = vec![0.0f64; r];
-            let mut b_upper = vec![0.0f64; r * r];
-            let mut c = vec![0.0f64; r];
-            for &e in slice {
-                let idx = x.index(e);
-                for (j, d) in delta.iter_mut().enumerate() {
-                    let mut w = 1.0;
-                    for (k, f) in factors_ro.iter().enumerate() {
-                        if k == mode {
+        parallel_rows_mut_with(
+            &mut data,
+            r,
+            opts.threads,
+            opts.schedule,
+            scratch_pool,
+            |scratch, i, row| {
+                let slice = x.slice(mode, i);
+                if slice.is_empty() {
+                    row.fill(0.0);
+                    return;
+                }
+                let (delta, c, b_upper) = scratch.accumulators(r);
+                for &e in slice {
+                    let idx = x.index(e);
+                    for (j, d) in delta.iter_mut().enumerate() {
+                        let mut w = 1.0;
+                        for (k, f) in factors_ro.iter().enumerate() {
+                            if k == mode {
+                                continue;
+                            }
+                            w *= f[(idx[k], j)];
+                            if w == 0.0 {
+                                break;
+                            }
+                        }
+                        *d = w;
+                    }
+                    let xv = x.value(e);
+                    for j1 in 0..r {
+                        let d1 = delta[j1];
+                        c[j1] += xv * d1;
+                        if d1 == 0.0 {
                             continue;
                         }
-                        w *= f[(idx[k], j)];
-                        if w == 0.0 {
-                            break;
+                        for j2 in j1..r {
+                            b_upper[j1 * r + j2] += d1 * delta[j2];
                         }
                     }
-                    *d = w;
                 }
-                let xv = x.value(e);
-                for j1 in 0..r {
-                    let d1 = delta[j1];
-                    c[j1] += xv * d1;
-                    if d1 == 0.0 {
-                        continue;
-                    }
-                    for j2 in j1..r {
-                        b_upper[j1 * r + j2] += d1 * delta[j2];
-                    }
+                if !scratch.solve(r, opts.lambda, row) {
+                    failed.store(true, Ordering::Relaxed);
                 }
-            }
-            // Mirror, regularize, solve.
-            let mut m = Matrix::zeros(r, r);
-            for j1 in 0..r {
-                for j2 in j1..r {
-                    let v = b_upper[j1 * r + j2];
-                    m[(j1, j2)] = v;
-                    m[(j2, j1)] = v;
-                }
-            }
-            m.add_diagonal_mut(opts.lambda);
-            match Cholesky::factor(&m) {
-                Ok(ch) => row.copy_from_slice(&ch.solve(&c)),
-                Err(_) => match m.lu() {
-                    Ok(lu) => row.copy_from_slice(&lu.solve(&c)),
-                    Err(_) => failed.store(true, Ordering::Relaxed),
-                },
-            }
-        });
+            },
+        );
     }
     factors[mode] = Matrix::from_vec(i_n, r, data)?;
     if failed.load(Ordering::Relaxed) {

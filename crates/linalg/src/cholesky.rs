@@ -25,21 +25,13 @@ impl Cholesky {
             ));
         }
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        let mut l = a.clone();
+        crate::solve::cholesky_factor_in_place(l.as_mut_slice(), n)?;
+        // The in-place factorization leaves A's entries above the diagonal;
+        // this wrapper's contract is a clean lower-triangular `L`.
         for i in 0..n {
-            for j in 0..=i {
-                let mut sum = a[(i, j)];
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
-                if i == j {
-                    if sum <= 0.0 || !sum.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
-                    }
-                    l[(i, j)] = sum.sqrt();
-                } else {
-                    l[(i, j)] = sum / l[(j, j)];
-                }
+            for j in (i + 1)..n {
+                l[(i, j)] = 0.0;
             }
         }
         Ok(Cholesky { l })
@@ -55,29 +47,14 @@ impl Cholesky {
         self.l.rows()
     }
 
-    /// Solves `A x = b` by forward/back substitution. Panics if
-    /// `b.len() != self.dim()`.
+    /// Solves `A x = b` by forward/back substitution (one allocation for
+    /// the returned solution; see [`crate::solve::cholesky_solve_factored`]
+    /// for the allocation-free form). Panics if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.dim();
         assert_eq!(b.len(), n, "cholesky solve dimension mismatch");
-        // Forward: L y = b.
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
-            }
-            y[i] = sum / self.l[(i, i)];
-        }
-        // Backward: Lᵀ x = y.
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.l[(k, i)] * x[k];
-            }
-            x[i] = sum / self.l[(i, i)];
-        }
+        let mut x = b.to_vec();
+        crate::solve::cholesky_solve_factored(self.l.as_slice(), n, &mut x);
         x
     }
 

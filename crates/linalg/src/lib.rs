@@ -38,6 +38,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+pub mod solve;
 mod svd;
 
 pub use cholesky::Cholesky;
@@ -46,6 +47,10 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use solve::{
+    cholesky_factor_in_place, cholesky_solve_factored, cholesky_solve_in_place, lu_factor_in_place,
+    lu_solve_factored, lu_solve_in_place,
+};
 pub use svd::{leading_left_singular_vectors, GramSvd};
 
 /// Convenience alias for results produced by this crate.

@@ -10,8 +10,9 @@ use crate::{LinalgError, Matrix, Result};
 pub struct Lu {
     /// Packed LU factors: `U` on and above the diagonal, unit-`L` below.
     lu: Matrix,
-    /// Row permutation: `perm[i]` is the original row now in position `i`.
-    perm: Vec<usize>,
+    /// Pivot swap sequence: row `k` was swapped with row `pivots[k]` at
+    /// step `k` (LAPACK `ipiv` convention, 0-based).
+    pivots: Vec<usize>,
     /// Sign of the permutation (+1.0 or -1.0), for determinants.
     sign: f64,
 }
@@ -28,43 +29,13 @@ impl Lu {
         }
         let n = a.rows();
         let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-
-        for k in 0..n {
-            // Pivot: largest |entry| in column k at or below the diagonal.
-            let mut p = k;
-            let mut max = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > max {
-                    max = v;
-                    p = i;
-                }
-            }
-            if max == 0.0 || !max.is_finite() {
-                return Err(LinalgError::Singular { pivot: k });
-            }
-            if p != k {
-                for c in 0..n {
-                    let tmp = lu[(k, c)];
-                    lu[(k, c)] = lu[(p, c)];
-                    lu[(p, c)] = tmp;
-                }
-                perm.swap(k, p);
-                sign = -sign;
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    let sub = factor * lu[(k, j)];
-                    lu[(i, j)] -= sub;
-                }
-            }
-        }
-        Ok(Lu { lu, perm, sign })
+        let mut pivots = vec![0usize; n];
+        crate::solve::lu_factor_in_place(lu.as_mut_slice(), n, &mut pivots)?;
+        let sign = pivots
+            .iter()
+            .enumerate()
+            .fold(1.0, |s, (k, &p)| if p != k { -s } else { s });
+        Ok(Lu { lu, pivots, sign })
     }
 
     /// Dimension of the factored matrix.
@@ -72,28 +43,15 @@ impl Lu {
         self.lu.rows()
     }
 
-    /// Solves `A x = b`. Panics if `b.len() != self.dim()`.
+    /// Solves `A x = b` (one allocation for the returned solution; see
+    /// [`crate::solve::lu_solve_factored`] for the allocation-free form).
+    /// Panics if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.dim();
         assert_eq!(b.len(), n, "lu solve dimension mismatch");
-        // Apply permutation, then forward-substitute unit-L.
-        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        for i in 1..n {
-            let mut sum = y[i];
-            for k in 0..i {
-                sum -= self.lu[(i, k)] * y[k];
-            }
-            y[i] = sum;
-        }
-        // Back-substitute U.
-        for i in (0..n).rev() {
-            let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.lu[(i, k)] * y[k];
-            }
-            y[i] = sum / self.lu[(i, i)];
-        }
-        y
+        let mut x = b.to_vec();
+        crate::solve::lu_solve_factored(self.lu.as_slice(), n, &self.pivots, &mut x);
+        x
     }
 
     /// The explicit inverse `A⁻¹`.

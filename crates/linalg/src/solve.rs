@@ -1,0 +1,284 @@
+//! Allocation-free in-place solvers for small dense systems.
+//!
+//! P-Tucker's row update solves a `Jₙ×Jₙ` system **for every row of every
+//! factor matrix of every iteration** — millions of solves on real tensors.
+//! The [`crate::Cholesky`]/[`crate::Lu`] wrapper types allocate their factor
+//! storage and return fresh `Vec`s, which is fine for one-off solves but
+//! ruinous in that loop. The functions here are the allocation-free core:
+//! they factor **in place** in a caller-provided buffer and overwrite the
+//! right-hand side with the solution, so a per-thread scratch arena can be
+//! reused across all rows (see `ptucker::engine::Scratch`).
+//!
+//! The wrapper types are implemented on top of these routines, so both APIs
+//! share one numerical definition.
+
+use crate::{LinalgError, Result};
+
+/// Cholesky-factors the SPD matrix `a` (`n×n`, row-major, full storage) in
+/// place: on success the lower triangle (diagonal included) holds `L` with
+/// `A = L·Lᵀ`; the strict upper triangle is left untouched.
+///
+/// # Errors
+/// [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive or
+/// non-finite (`a` is then partially overwritten).
+///
+/// # Panics
+/// Panics if `a.len() != n * n`.
+pub fn cholesky_factor_in_place(a: &mut [f64], n: usize) -> Result<()> {
+    assert_eq!(a.len(), n * n, "cholesky buffer must be n*n");
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                a[i * n + i] = sum.sqrt();
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L·Lᵀ x = rhs` in place given a factored lower triangle `l` (as
+/// produced by [`cholesky_factor_in_place`]; entries above the diagonal are
+/// ignored). `rhs` is overwritten with the solution.
+///
+/// # Panics
+/// Panics if `l.len() != n * n` or `rhs.len() != n`.
+pub fn cholesky_solve_factored(l: &[f64], n: usize, rhs: &mut [f64]) {
+    assert_eq!(l.len(), n * n, "cholesky buffer must be n*n");
+    assert_eq!(rhs.len(), n, "cholesky solve dimension mismatch");
+    // Forward: L y = b (y overwrites rhs).
+    for i in 0..n {
+        let mut sum = rhs[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * rhs[k];
+        }
+        rhs[i] = sum / l[i * n + i];
+    }
+    // Backward: Lᵀ x = y (x overwrites rhs).
+    for i in (0..n).rev() {
+        let mut sum = rhs[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * rhs[k];
+        }
+        rhs[i] = sum / l[i * n + i];
+    }
+}
+
+/// Factors and solves the SPD system `a x = rhs` entirely in place:
+/// `a` is destroyed (overwritten with `L`), `rhs` is overwritten with the
+/// solution. Performs **zero heap allocations**.
+///
+/// # Errors
+/// [`LinalgError::NotPositiveDefinite`] if `a` is not SPD; `rhs` is left
+/// untouched in that case (only `a` is clobbered).
+///
+/// # Panics
+/// Panics if `a.len() != n * n` or `rhs.len() != n`.
+pub fn cholesky_solve_in_place(a: &mut [f64], n: usize, rhs: &mut [f64]) -> Result<()> {
+    assert_eq!(rhs.len(), n, "cholesky solve dimension mismatch");
+    cholesky_factor_in_place(a, n)?;
+    cholesky_solve_factored(a, n, rhs);
+    Ok(())
+}
+
+/// LU-factors the square matrix `a` (`n×n`, row-major) in place with partial
+/// pivoting. On success `a` packs unit-`L` below the diagonal and `U` on and
+/// above it, and `pivots[k]` records the row swapped with row `k` at step
+/// `k` (LAPACK `ipiv` convention, 0-based) — apply the same swap sequence to
+/// a right-hand side before substitution.
+///
+/// # Errors
+/// [`LinalgError::Singular`] if a pivot column is exactly zero or
+/// non-finite.
+///
+/// # Panics
+/// Panics if `a.len() != n * n` or `pivots.len() < n`.
+pub fn lu_factor_in_place(a: &mut [f64], n: usize, pivots: &mut [usize]) -> Result<()> {
+    assert_eq!(a.len(), n * n, "lu buffer must be n*n");
+    assert!(pivots.len() >= n, "pivot buffer must hold n entries");
+    for k in 0..n {
+        // Pivot: largest |entry| in column k at or below the diagonal.
+        let mut p = k;
+        let mut max = a[k * n + k].abs();
+        for i in (k + 1)..n {
+            let v = a[i * n + k].abs();
+            if v > max {
+                max = v;
+                p = i;
+            }
+        }
+        if max == 0.0 || !max.is_finite() {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        pivots[k] = p;
+        if p != k {
+            for c in 0..n {
+                a.swap(k * n + c, p * n + c);
+            }
+        }
+        let pivot = a[k * n + k];
+        for i in (k + 1)..n {
+            let factor = a[i * n + k] / pivot;
+            a[i * n + k] = factor;
+            for j in (k + 1)..n {
+                let sub = factor * a[k * n + j];
+                a[i * n + j] -= sub;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `A x = rhs` in place given factors packed by
+/// [`lu_factor_in_place`]. `rhs` is overwritten with the solution.
+///
+/// # Panics
+/// Panics if `lu.len() != n * n`, `pivots.len() < n` or `rhs.len() != n`.
+pub fn lu_solve_factored(lu: &[f64], n: usize, pivots: &[usize], rhs: &mut [f64]) {
+    assert_eq!(lu.len(), n * n, "lu buffer must be n*n");
+    assert!(pivots.len() >= n, "pivot buffer must hold n entries");
+    assert_eq!(rhs.len(), n, "lu solve dimension mismatch");
+    // Apply the pivot swap sequence: rhs ← P b.
+    for k in 0..n {
+        rhs.swap(k, pivots[k]);
+    }
+    // Forward-substitute unit-L.
+    for i in 1..n {
+        let mut sum = rhs[i];
+        for k in 0..i {
+            sum -= lu[i * n + k] * rhs[k];
+        }
+        rhs[i] = sum;
+    }
+    // Back-substitute U.
+    for i in (0..n).rev() {
+        let mut sum = rhs[i];
+        for k in (i + 1)..n {
+            sum -= lu[i * n + k] * rhs[k];
+        }
+        rhs[i] = sum / lu[i * n + i];
+    }
+}
+
+/// Factors and solves the general square system `a x = rhs` entirely in
+/// place with partial pivoting: `a` is destroyed, `pivots` is scratch for
+/// the swap sequence, `rhs` is overwritten with the solution. Performs
+/// **zero heap allocations**.
+///
+/// # Errors
+/// [`LinalgError::Singular`] for (numerically) singular `a`; `rhs` is left
+/// untouched in that case.
+///
+/// # Panics
+/// Panics if buffer lengths are inconsistent with `n`.
+pub fn lu_solve_in_place(
+    a: &mut [f64],
+    n: usize,
+    pivots: &mut [usize],
+    rhs: &mut [f64],
+) -> Result<()> {
+    assert_eq!(rhs.len(), n, "lu solve dimension mismatch");
+    lu_factor_in_place(a, n, pivots)?;
+    lu_solve_factored(a, n, pivots, rhs);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn spd3() -> Vec<f64> {
+        vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]
+    }
+
+    #[test]
+    fn cholesky_in_place_matches_wrapper() {
+        let a = Matrix::from_vec(3, 3, spd3()).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let want = a.cholesky().unwrap().solve(&b);
+        let mut buf = spd3();
+        let mut rhs = b.to_vec();
+        cholesky_solve_in_place(&mut buf, 3, &mut rhs).unwrap();
+        for (got, want) in rhs.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-14, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cholesky_in_place_rejects_non_spd_and_preserves_rhs() {
+        let mut buf = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        let mut rhs = vec![5.0, 7.0];
+        assert!(cholesky_solve_in_place(&mut buf, 2, &mut rhs).is_err());
+        assert_eq!(rhs, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn lu_in_place_solves_with_pivoting() {
+        // Requires a row swap at step 0.
+        let a = vec![0.0, 2.0, 1.0, 1.0, -2.0, -3.0, -1.0, 1.0, 2.0];
+        let m = Matrix::from_vec(3, 3, a.clone()).unwrap();
+        let b = [-8.0, 0.0, 3.0];
+        let mut buf = a;
+        let mut pivots = [0usize; 3];
+        let mut rhs = b.to_vec();
+        lu_solve_in_place(&mut buf, 3, &mut pivots, &mut rhs).unwrap();
+        let r = m.matvec(&rhs);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_in_place_detects_singular_and_preserves_rhs() {
+        let mut buf = vec![1.0, 2.0, 2.0, 4.0];
+        let mut pivots = [0usize; 2];
+        let mut rhs = vec![1.0, 1.0];
+        assert!(lu_solve_in_place(&mut buf, 2, &mut pivots, &mut rhs).is_err());
+        assert_eq!(rhs, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn in_place_buffers_are_reusable_across_systems() {
+        // The whole point: one scratch, many solves.
+        let mut buf = vec![0.0; 9];
+        let mut pivots = [0usize; 3];
+        let mut rhs = vec![0.0; 3];
+        for scale in [1.0, 2.0, 5.0] {
+            buf.copy_from_slice(&spd3());
+            for v in buf.iter_mut() {
+                *v *= scale;
+            }
+            rhs.copy_from_slice(&[scale, -scale, 0.5 * scale]);
+            cholesky_solve_in_place(&mut buf, 3, &mut rhs).unwrap();
+            let a = Matrix::from_vec(3, 3, spd3().iter().map(|v| v * scale).collect()).unwrap();
+            let r = a.matvec(&rhs);
+            assert!((r[0] - scale).abs() < 1e-12);
+            // And the same buffers drive an LU solve next.
+            buf.copy_from_slice(&spd3());
+            rhs.copy_from_slice(&[1.0, 0.0, 0.0]);
+            lu_solve_in_place(&mut buf, 3, &mut pivots, &mut rhs).unwrap();
+        }
+    }
+
+    #[test]
+    fn one_by_one_systems() {
+        let mut buf = vec![4.0];
+        let mut rhs = vec![8.0];
+        cholesky_solve_in_place(&mut buf, 1, &mut rhs).unwrap();
+        assert!((rhs[0] - 2.0).abs() < 1e-15);
+        let mut buf = vec![-4.0];
+        let mut pivots = [0usize; 1];
+        let mut rhs = vec![8.0];
+        lu_solve_in_place(&mut buf, 1, &mut pivots, &mut rhs).unwrap();
+        assert!((rhs[0] + 2.0).abs() < 1e-15);
+    }
+}

@@ -17,10 +17,13 @@
 //! * [`Schedule::Dynamic`] lets workers pull fixed-size chunks from a shared
 //!   atomic counter, exactly like `schedule(dynamic, chunk)`.
 //!
-//! Three entry points cover the paper's needs: [`parallel_for`] (indexed
+//! Five entry points cover the paper's needs: [`parallel_for`] (indexed
 //! side-effect-free tasks), [`parallel_reduce`] (e.g. summing squared errors)
 //! and [`parallel_rows_mut`] (updating disjoint rows of a row-major matrix
-//! in place, which is exactly the row-wise ALS update).
+//! in place, which is exactly the row-wise ALS update), plus the
+//! per-thread-state variants [`parallel_rows_mut_with`] and
+//! [`parallel_reduce_with`], which hand every worker a caller-owned state
+//! (a scratch arena, an accumulator) so hot loops run without allocating.
 //!
 //! ```
 //! use ptucker_sched::{parallel_reduce, Schedule};
@@ -63,6 +66,21 @@ impl Schedule {
     pub fn dynamic() -> Self {
         Schedule::Dynamic { chunk: 8 }
     }
+
+    /// The documented `chunk: 0 ⇒ chunk: 1` clamp, applied as a value
+    /// transformation. Every consumption site in this crate normalizes its
+    /// schedule through this method before partitioning work, so the clamp
+    /// is enforced uniformly rather than re-implemented per entry point.
+    #[inline]
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        match self {
+            Schedule::Dynamic { chunk } => Schedule::Dynamic {
+                chunk: chunk.max(1),
+            },
+            Schedule::Static => Schedule::Static,
+        }
+    }
 }
 
 /// Splits `n` iterations into `t` contiguous blocks of near-equal size.
@@ -99,7 +117,7 @@ where
         }
         return;
     }
-    match schedule {
+    match schedule.normalized() {
         Schedule::Static => {
             crossbeam::scope(|s| {
                 for b in 0..t {
@@ -115,7 +133,6 @@ where
             .expect("worker panicked in parallel_for(static)");
         }
         Schedule::Dynamic { chunk } => {
-            let chunk = chunk.max(1);
             let counter = AtomicUsize::new(0);
             crossbeam::scope(|s| {
                 for _ in 0..t {
@@ -170,7 +187,7 @@ where
         return acc;
     }
     let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(t));
-    match schedule {
+    match schedule.normalized() {
         Schedule::Static => {
             crossbeam::scope(|s| {
                 for b in 0..t {
@@ -190,7 +207,6 @@ where
             .expect("worker panicked in parallel_reduce(static)");
         }
         Schedule::Dynamic { chunk } => {
-            let chunk = chunk.max(1);
             let counter = AtomicUsize::new(0);
             crossbeam::scope(|s| {
                 for _ in 0..t {
@@ -243,6 +259,44 @@ pub fn parallel_rows_mut<F>(
 ) where
     F: Fn(usize, &mut [f64]) + Sync,
 {
+    // Stateless rows are the `S = ()` case of the per-thread-state variant.
+    let mut states = vec![(); threads.max(1)];
+    parallel_rows_mut_with(
+        data,
+        row_len,
+        threads,
+        schedule,
+        &mut states,
+        |_, i, row| f(i, row),
+    );
+}
+
+/// [`parallel_rows_mut`] with **reusable per-thread state**: worker `b`
+/// receives exclusive access to `states[b]` and hands it to every row
+/// closure it runs. This is the zero-allocation backbone of the P-Tucker
+/// row update: the caller allocates one scratch arena per thread *once per
+/// fit*, and every row of every mode of every iteration reuses them —
+/// nothing is allocated inside the loop.
+///
+/// `states` must hold at least `min(threads, n_rows).max(1)` entries;
+/// surplus entries are left untouched. Which rows fold into which state
+/// depends on the schedule, so states must be combinable independent of
+/// assignment (scratch buffers trivially are).
+///
+/// # Panics
+/// Panics if `row_len == 0`, `data.len() % row_len != 0`, or `states` is
+/// shorter than the effective worker count.
+pub fn parallel_rows_mut_with<S, F>(
+    data: &mut [f64],
+    row_len: usize,
+    threads: usize,
+    schedule: Schedule,
+    states: &mut [S],
+    f: F,
+) where
+    S: Send,
+    F: Fn(&mut S, usize, &mut [f64]) + Sync,
+{
     assert!(row_len > 0, "row_len must be positive");
     assert_eq!(
         data.len() % row_len,
@@ -254,13 +308,19 @@ pub fn parallel_rows_mut<F>(
         return;
     }
     let t = effective_threads(threads, n_rows);
+    assert!(
+        states.len() >= t,
+        "need at least {t} per-thread states, got {}",
+        states.len()
+    );
     if t == 1 {
+        let state = &mut states[0];
         for (i, row) in data.chunks_mut(row_len).enumerate() {
-            f(i, row);
+            f(state, i, row);
         }
         return;
     }
-    match schedule {
+    match schedule.normalized() {
         Schedule::Static => {
             // Split into T contiguous row blocks.
             let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(t);
@@ -274,11 +334,11 @@ pub fn parallel_rows_mut<F>(
                 row_cursor = hi;
             }
             crossbeam::scope(|s| {
-                for (first_row, block) in blocks {
+                for ((first_row, block), state) in blocks.into_iter().zip(states.iter_mut()) {
                     let f = &f;
                     s.spawn(move |_| {
                         for (k, row) in block.chunks_mut(row_len).enumerate() {
-                            f(first_row + k, row);
+                            f(state, first_row + k, row);
                         }
                     });
                 }
@@ -286,7 +346,6 @@ pub fn parallel_rows_mut<F>(
             .expect("worker panicked in parallel_rows_mut(static)");
         }
         Schedule::Dynamic { chunk } => {
-            let chunk = chunk.max(1);
             // Pre-split into chunk-sized groups of rows behind a queue.
             let mut groups: Vec<(usize, &mut [f64])> = Vec::new();
             let mut rest = data;
@@ -302,7 +361,7 @@ pub fn parallel_rows_mut<F>(
             groups.reverse();
             let queue = Mutex::new(groups);
             crossbeam::scope(|s| {
-                for _ in 0..t {
+                for state in states.iter_mut().take(t) {
                     let f = &f;
                     let queue = &queue;
                     s.spawn(move |_| loop {
@@ -310,7 +369,7 @@ pub fn parallel_rows_mut<F>(
                         match next {
                             Some((first_row, block)) => {
                                 for (k, row) in block.chunks_mut(row_len).enumerate() {
-                                    f(first_row + k, row);
+                                    f(state, first_row + k, row);
                                 }
                             }
                             None => break,
@@ -319,6 +378,85 @@ pub fn parallel_rows_mut<F>(
                 }
             })
             .expect("worker panicked in parallel_rows_mut(dynamic)");
+        }
+    }
+}
+
+/// Fold-only companion of [`parallel_reduce`] with **caller-provided
+/// per-worker states**: worker `b` folds the indices it claims into
+/// `states[b]` via `fold(&mut states[b], i)`; combining the states (and
+/// reusing them across calls) is the caller's business. This is how the
+/// S-HOT baseline reuses its `O(J^{N-1})` accumulators across subspace
+/// sweeps instead of reallocating them per reduction.
+///
+/// `states` must hold at least `min(threads, n).max(1)` entries. Under
+/// [`Schedule::Dynamic`] the index→state assignment is nondeterministic, so
+/// per-state partial results must be combinable in any assignment (sums,
+/// maxima, …); under [`Schedule::Static`] worker `b` always receives the
+/// `b`-th contiguous block.
+///
+/// # Panics
+/// Panics if `states` is shorter than the effective worker count.
+pub fn parallel_reduce_with<S, F>(
+    n: usize,
+    threads: usize,
+    schedule: Schedule,
+    states: &mut [S],
+    fold: F,
+) where
+    S: Send,
+    F: Fn(&mut S, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let t = effective_threads(threads, n);
+    assert!(
+        states.len() >= t,
+        "need at least {t} per-thread states, got {}",
+        states.len()
+    );
+    if t == 1 {
+        let state = &mut states[0];
+        for i in 0..n {
+            fold(state, i);
+        }
+        return;
+    }
+    match schedule.normalized() {
+        Schedule::Static => {
+            crossbeam::scope(|s| {
+                for (b, state) in states.iter_mut().take(t).enumerate() {
+                    let (lo, hi) = static_block(n, t, b);
+                    let fold = &fold;
+                    s.spawn(move |_| {
+                        for i in lo..hi {
+                            fold(state, i);
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked in parallel_reduce_with(static)");
+        }
+        Schedule::Dynamic { chunk } => {
+            let counter = AtomicUsize::new(0);
+            crossbeam::scope(|s| {
+                for state in states.iter_mut().take(t) {
+                    let fold = &fold;
+                    let counter = &counter;
+                    s.spawn(move |_| loop {
+                        let lo = counter.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(n);
+                        for i in lo..hi {
+                            fold(state, i);
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked in parallel_reduce_with(dynamic)");
         }
     }
 }
@@ -473,6 +611,147 @@ mod tests {
             hit.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hit.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn normalized_clamps_zero_chunk_only() {
+        assert_eq!(
+            Schedule::Dynamic { chunk: 0 }.normalized(),
+            Schedule::Dynamic { chunk: 1 }
+        );
+        assert_eq!(
+            Schedule::Dynamic { chunk: 7 }.normalized(),
+            Schedule::Dynamic { chunk: 7 }
+        );
+        assert_eq!(Schedule::Static.normalized(), Schedule::Static);
+    }
+
+    /// Regression: the documented "chunk 0 is treated as 1" clamp must hold
+    /// at *every* consumption site, not just `parallel_for`. A chunk of 0
+    /// fed to the shared counter would spin forever (fetch_add(0) never
+    /// advances), so each of these completing proves the clamp.
+    #[test]
+    fn dynamic_chunk_zero_clamped_at_every_entry_point() {
+        let zero = Schedule::Dynamic { chunk: 0 };
+
+        // parallel_reduce
+        let sum = parallel_reduce(100, 3, zero, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        assert_eq!(sum, 99 * 100 / 2);
+
+        // parallel_rows_mut
+        let mut data = vec![0.0; 20 * 3];
+        parallel_rows_mut(&mut data, 3, 4, zero, |i, row| {
+            row.fill(i as f64);
+        });
+        for i in 0..20 {
+            assert_eq!(data[i * 3], i as f64);
+        }
+
+        // parallel_rows_mut_with
+        let mut data = vec![0.0; 20 * 2];
+        let mut states = vec![0usize; 4];
+        parallel_rows_mut_with(&mut data, 2, 4, zero, &mut states, |count, i, row| {
+            *count += 1;
+            row.fill(i as f64 + 1.0);
+        });
+        assert_eq!(states.iter().sum::<usize>(), 20);
+        assert!(data.iter().all(|&v| v > 0.0));
+
+        // parallel_reduce_with
+        let mut states = vec![0u64; 4];
+        parallel_reduce_with(100, 4, zero, &mut states, |acc, i| *acc += i as u64);
+        assert_eq!(states.iter().sum::<u64>(), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn rows_mut_with_reuses_states_across_calls() {
+        // The engine's pattern: one pool, many sweeps, zero reallocation.
+        let mut states: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(8)).collect();
+        let capacities: Vec<usize> = states.iter().map(Vec::capacity).collect();
+        for sweep in 0..5 {
+            let mut data = vec![0.0; 16 * 4];
+            parallel_rows_mut_with(
+                &mut data,
+                4,
+                3,
+                Schedule::Dynamic { chunk: 2 },
+                &mut states,
+                |scratch, i, row| {
+                    scratch.clear();
+                    scratch.resize(4, i as f64);
+                    row.copy_from_slice(scratch);
+                },
+            );
+            for i in 0..16 {
+                assert_eq!(data[i * 4], i as f64, "sweep {sweep}");
+            }
+        }
+        // Buffers were reused, not regrown.
+        for (s, cap) in states.iter().zip(&capacities) {
+            assert_eq!(s.capacity(), *cap);
+        }
+    }
+
+    #[test]
+    fn rows_mut_with_static_assigns_contiguous_blocks() {
+        let mut data = vec![0.0; 12 * 2];
+        let mut states: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        parallel_rows_mut_with(
+            &mut data,
+            2,
+            3,
+            Schedule::Static,
+            &mut states,
+            |seen, i, _| {
+                seen.push(i);
+            },
+        );
+        let mut all: Vec<usize> = states.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+        for seen in &states {
+            for w in seen.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "static blocks must be contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_with_matches_parallel_reduce() {
+        for sched in [Schedule::Static, Schedule::Dynamic { chunk: 16 }] {
+            for threads in [1, 2, 4] {
+                let want = parallel_reduce(
+                    5_000,
+                    threads,
+                    sched,
+                    || 0.0f64,
+                    |acc, i| acc + (i as f64).sqrt(),
+                    |a, b| a + b,
+                );
+                let mut states = vec![0.0f64; threads];
+                parallel_reduce_with(5_000, threads, sched, &mut states, |acc, i| {
+                    *acc += (i as f64).sqrt();
+                });
+                let got: f64 = states.iter().sum();
+                assert!((got - want).abs() < 1e-6, "t={threads}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_with_zero_n_is_noop() {
+        let mut states: Vec<u64> = vec![];
+        parallel_reduce_with(0, 4, Schedule::Static, &mut states, |_, _| {
+            panic!("must not run")
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "per-thread states")]
+    fn rows_mut_with_too_few_states_panics() {
+        let mut data = vec![0.0; 8];
+        let mut states = vec![0u8; 1];
+        parallel_rows_mut_with(&mut data, 2, 4, Schedule::Static, &mut states, |_, _, _| {});
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` + `Scope::spawn`; since Rust
+//! 1.63 the standard library's [`std::thread::scope`] provides the same
+//! borrow-friendly scoped threads, so this shim is a thin adapter with the
+//! `crossbeam 0.8` calling convention (`scope` returns a `Result`, spawn
+//! closures receive a `&Scope` argument).
+//!
+//! Panic semantics differ slightly: upstream crossbeam collects worker
+//! panics into the returned `Err`, while `std::thread::scope` resumes the
+//! panic on join. Both end in the same place for this workspace — every
+//! caller immediately `expect`s the result — so a worker panic still aborts
+//! the parallel section with the panic payload.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A scope handle for spawning borrowed worker threads.
+///
+/// Mirrors `crossbeam::thread::Scope`: `spawn` takes a closure that receives
+/// the scope again (so workers could spawn siblings, though this workspace
+/// never does).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker thread bound to the scope. The closure receives a
+    /// `&Scope`, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        });
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns.
+///
+/// # Errors
+/// Upstream crossbeam reports worker panics as `Err`; with the std backend a
+/// worker panic propagates directly instead, so the returned value is always
+/// `Ok` — kept as a `Result` for drop-in compatibility.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..8 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn workers_can_borrow_mutably_via_split() {
+        let mut data = [0usize; 16];
+        scope(|s| {
+            for (i, chunk) in data.chunks_mut(4).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data[..4].iter().all(|&v| v == 1));
+        assert!(data[12..].iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            let counter = &counter;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

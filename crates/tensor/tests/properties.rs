@@ -114,8 +114,8 @@ proptest! {
             i.iter().map(|&v| v as f64 + 0.5).product()
         })
         .unwrap();
-        for n in 0..dims.len() {
-            let ones = Matrix::from_vec(1, dims[n], vec![1.0; dims[n]]).unwrap();
+        for (n, &dim_n) in dims.iter().enumerate() {
+            let ones = Matrix::from_vec(1, dim_n, vec![1.0; dim_n]).unwrap();
             let contracted = t.mode_product(n, &ones).unwrap();
             let s1: f64 = t.as_slice().iter().sum();
             let s2: f64 = contracted.as_slice().iter().sum();

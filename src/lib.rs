@@ -4,8 +4,45 @@
 //! `tests/` directories (and downstream users who want a single
 //! dependency) can reach everything through `ptucker_suite::…`.
 //!
-//! See the workspace `README.md` for the architecture overview and
-//! `DESIGN.md`/`EXPERIMENTS.md` for the paper-reproduction index.
+//! See `PAPER.md` for the source paper ("Scalable Tucker Factorization for
+//! Sparse Tensors — Algorithms and Discoveries", Oh, Park, Sael, Kang;
+//! ICDE 2018) and `ROADMAP.md` for where the workspace is headed.
+//!
+//! # Architecture
+//!
+//! The workspace is layered bottom-up:
+//!
+//! * [`linalg`] — dense kernels (Cholesky/LU/QR/eigen/SVD) on a small
+//!   row-major `Matrix`. The hot-path entry points are the **in-place
+//!   solvers** in `linalg::solve` (`cholesky_solve_in_place`,
+//!   `lu_solve_in_place`): they factor in caller-provided buffers and
+//!   overwrite the right-hand side, so solver loops can run without heap
+//!   allocation. The allocating `Cholesky`/`Lu` wrappers are thin shims
+//!   over the same routines.
+//! * [`sched`] — OpenMP-style static/dynamic scheduling over scoped
+//!   threads. `parallel_rows_mut_with` and `parallel_reduce_with` hand
+//!   each worker a caller-owned **per-thread state**, which is how scratch
+//!   arenas and accumulators are reused across an entire fit.
+//! * [`memtrack`] — the intermediate-data budget that reproduces the
+//!   paper's O.O.M. boundaries arithmetically.
+//! * [`tensor`] / [`datagen`] — sparse/dense/core tensor types, I/O,
+//!   train/test splits, and the synthetic generators.
+//! * [`ptucker`] (`crates/core`) — the solver, organized as an
+//!   **engine/kernel/scratch** stack: the fit driver is generic over a
+//!   `ptucker::engine::RowUpdateKernel` (one implementation per variant —
+//!   Direct, Cached, Approx — monomorphized, no per-row variant
+//!   branching), and every per-row intermediate lives in a
+//!   `ptucker::engine::Scratch` arena allocated once per worker thread.
+//!   The net effect is a row-update loop with **zero heap allocations**;
+//!   adding a new backend means implementing one trait.
+//! * [`cp`], [`baselines`], [`discovery`] — the CP-ALS analogue (sharing
+//!   the same scratch arenas), the paper's competitors (wOpt/CSF/S-HOT,
+//!   ported onto the same allocation discipline), and the factor-analysis
+//!   discoveries.
+//!
+//! Offline note: crates.io is unreachable in this build environment, so
+//! `crates/shims/` vendors minimal API-compatible stand-ins for `rand`,
+//! `crossbeam`, `parking_lot`, `criterion` and `proptest`.
 
 #![forbid(unsafe_code)]
 
