@@ -14,8 +14,8 @@
 use crate::common::{run_hooi_loop, BaselineOptions};
 use ptucker::{FitResult, PtuckerError, Result};
 use ptucker_linalg::Matrix;
-use ptucker_sched::{parallel_reduce_with, parallel_rows_mut_with, Schedule};
-use ptucker_tensor::SparseTensor;
+use ptucker_sched::{parallel_reduce_with, parallel_rows_mut_balanced, Schedule};
+use ptucker_tensor::{ModeStreams, SparseTensor};
 
 /// Inner subspace-iteration sweeps per mode update. Warm starting from the
 /// previous factor makes a handful of sweeps sufficient; this constant
@@ -23,9 +23,23 @@ use ptucker_tensor::SparseTensor;
 /// iteration cap.
 const INNER_SWEEPS: usize = 5;
 
+/// Expands the running Kronecker product in `buf` by one factor row
+/// (`buf ← buf ⊗ row`, via the `tmp` ping-pong buffer).
+#[inline]
+fn kron_expand(buf: &mut Vec<f64>, tmp: &mut Vec<f64>, row: &[f64]) {
+    tmp.clear();
+    tmp.reserve(buf.len() * row.len());
+    for &a in buf.iter() {
+        for &b in row {
+            tmp.push(a * b);
+        }
+    }
+    std::mem::swap(buf, tmp);
+}
+
 /// Computes the on-the-fly Kronecker row `⊗_{k≠n} a⁽ᵏ⁾(iₖ, :)` for one
-/// nonzero (ascending `k`, skipping `n`), writing into `buf`/`tmp`
-/// (ping-pong) and returning the filled length.
+/// nonzero from its COO multi-index (ascending `k`, skipping `n`),
+/// writing into `buf`/`tmp` and returning the filled length.
 #[inline]
 fn kron_row(
     idx: &[usize],
@@ -40,15 +54,30 @@ fn kron_row(
         if k == mode {
             continue;
         }
-        let row = factor.row(idx[k]);
-        tmp.clear();
-        tmp.reserve(buf.len() * row.len());
-        for &a in buf.iter() {
-            for &b in row {
-                tmp.push(a * b);
-            }
+        kron_expand(buf, tmp, factor.row(idx[k]));
+    }
+    buf.len()
+}
+
+/// [`kron_row`] from a `ModeStream`'s packed other-mode indices (already
+/// ascending with `mode` skipped — the identical product order).
+#[inline]
+fn kron_row_packed(
+    others: &[u32],
+    mode: usize,
+    factors: &[Matrix],
+    buf: &mut Vec<f64>,
+    tmp: &mut Vec<f64>,
+) -> usize {
+    buf.clear();
+    buf.push(1.0);
+    let mut slot = 0;
+    for (k, factor) in factors.iter().enumerate() {
+        if k == mode {
+            continue;
         }
-        std::mem::swap(buf, tmp);
+        kron_expand(buf, tmp, factor.row(others[slot] as usize));
+        slot += 1;
     }
     buf.len()
 }
@@ -83,6 +112,15 @@ pub fn s_hot(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult> {
     let ranks = opts.ranks.clone();
     let threads = opts.threads;
     let budget = opts.budget.clone();
+    // The mode-major plan for the W-phase's row loop (the same streamed
+    // slice layout the P-Tucker engine runs on). Like the CSF baseline's
+    // compressed tree, this is a re-layout of the tensor itself, not
+    // per-iteration intermediate data, so it stays outside Definition 7's
+    // accounting and the cross-method O.O.M. boundaries keep comparing
+    // algorithmic intermediates (Table III). The P-Tucker engine meters
+    // its own plan anyway — the stricter reading; see the note in
+    // crates/core/src/als.rs.
+    let streams = ModeStreams::build(x)?;
 
     run_hooi_loop(x, opts, move |factors, n| {
         let m: usize = (0..dims.len())
@@ -150,22 +188,35 @@ pub fn s_hot(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult> {
 
             // W = Y Z, row-parallel over mode-n slices (the same shape as
             // the P-Tucker row update): W[i, :] = Σ_{α∈Ωᵢ} X_α · (k_αᵀ Z).
-            // Rows are disjoint, so no per-worker W copies and the sum
-            // order per row is fixed — deterministic for any thread count.
+            // The slice is walked through the mode's stream — contiguous
+            // values and packed other-mode indices — with contiguous row
+            // blocks balanced by |Ω⁽ⁿ⁾ᵢ| (work per row is nnz-proportional
+            // here exactly as in the P-Tucker row update). Rows are
+            // disjoint and per-row sum order is fixed — deterministic for
+            // any thread count.
             {
                 let z_ref = &z;
-                parallel_rows_mut_with(
+                let stream = streams.mode(n);
+                parallel_rows_mut_balanced(
                     w.as_mut_slice(),
                     j_n,
                     threads,
-                    Schedule::Static,
+                    |i| stream.slice_len(i),
                     &mut states,
                     |(_, kbuf, ktmp), i, wrow| {
                         wrow.fill(0.0);
-                        for &e in x.slice(n, i) {
-                            let idx = x.index(e);
-                            let xv = x.value(e);
-                            kron_row(idx, n, factors, kbuf, ktmp);
+                        let values = stream.values();
+                        let k_others = stream.other_count();
+                        let others = stream.others_flat();
+                        for pos in stream.slice_range(i) {
+                            let xv = values[pos];
+                            kron_row_packed(
+                                &others[pos * k_others..(pos + 1) * k_others],
+                                n,
+                                factors,
+                                kbuf,
+                                ktmp,
+                            );
                             for (r, &kv) in kbuf.iter().enumerate() {
                                 if kv == 0.0 {
                                     continue;

@@ -4,9 +4,15 @@
 //!
 //! Paper settings: `N = 3`, `I = 10⁶`, `|Ω| = 10⁷`, threads 1…20; expected
 //! near-linear speed-up and near-linear (gentle) memory growth in `T`
-//! (per-thread `O(J²)` buffers). The scheduling ablation on MovieLens
-//! (J = 10) shows dynamic ~1.5× faster than a naive static split because
-//! slice sizes are Zipf-skewed.
+//! (per-thread `O(J²)` buffers). The paper's scheduling ablation on
+//! MovieLens (J = 10) showed dynamic ~1.5× faster than a *naive
+//! equal-row-count* static split because slice sizes are Zipf-skewed.
+//! Since the mode-major plan landed, the engine's `Schedule::Static` is
+//! the **nnz-balanced** static partition (contiguous blocks of near-equal
+//! `Σ|Ω⁽ⁿ⁾ᵢ|`), so this ablation now measures dynamic vs balanced-static:
+//! a small gap here is the *success* criterion for the partitioner, not
+//! the paper's imbalance demonstration (the naive split no longer exists
+//! in the engine).
 //!
 //! NOTE: on a single-core machine the speed-up curve necessarily
 //! degenerates to ~1×; the harness still reports the measured curve and the
@@ -71,12 +77,12 @@ fn main() {
     let ranks4 = vec![5, 5, 5, 5];
     let threads = hw.clamp(2, 8);
     print_header(
-        "Sec IV-D: dynamic vs static scheduling on skewed MovieLens slices",
-        "schedule    time/iter",
+        "Sec IV-D: dynamic vs nnz-balanced static on skewed MovieLens slices",
+        "schedule         time/iter",
     );
     for (name, sched) in [
-        ("dynamic ", Schedule::dynamic()),
-        ("static  ", Schedule::Static),
+        ("dynamic      ", Schedule::dynamic()),
+        ("balanced stat", Schedule::Static),
     ] {
         let fit = PTucker::new(
             FitOptions::new(ranks4.clone())
@@ -93,7 +99,8 @@ fn main() {
         println!("{name}    {:>8.4}s", fit.stats.avg_seconds_per_iter());
     }
     println!(
-        "(paper: dynamic ~1.5x faster than naive static on 20 threads; on {threads} \
-         threads/{hw} cores the gap scales with real parallelism)"
+        "(paper: dynamic ~1.5x faster than a naive equal-row-count static split on 20 \
+         threads; the engine's static is now nnz-balanced, so near-parity with dynamic \
+         is expected — the naive split's imbalance is what both policies fix)"
     );
 }

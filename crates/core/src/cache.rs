@@ -79,13 +79,15 @@ impl PresTable {
     /// Accumulates δ for entry `e` using the cache (Algorithm 3 line 12),
     /// with the direct-product fallback for zero divisors.
     ///
-    /// `a_row_old` is the *current* (pre-update) row `a⁽ⁿ⁾(iₙ, ·)`.
+    /// `others` holds the entry's packed other-mode indices in stream
+    /// layout (ascending mode order, `mode` skipped); `a_row_old` is the
+    /// *current* (pre-update) row `a⁽ⁿ⁾(iₙ, ·)`.
     #[inline]
     pub fn accumulate_delta_cached(
         &self,
         delta: &mut [f64],
         e: usize,
-        entry_idx: &[usize],
+        others: &[u32],
         mode: usize,
         a_row_old: &[f64],
         core_idx: &[usize],
@@ -93,7 +95,7 @@ impl PresTable {
         factors: &[Matrix],
     ) {
         delta.fill(0.0);
-        let order = entry_idx.len();
+        let order = factors.len();
         let pres = self.row(e);
         for (b, &cached) in pres.iter().enumerate() {
             let beta = &core_idx[b * order..(b + 1) * order];
@@ -106,11 +108,13 @@ impl PresTable {
                 // P-TUCKER-CACHE conducts the multiplications as P-TUCKER
                 // does").
                 let mut w = core_vals[b];
+                let mut slot = 0;
                 for (k, factor) in factors.iter().enumerate() {
                     if k == mode {
                         continue;
                     }
-                    w *= factor[(entry_idx[k], beta[k])];
+                    w *= factor[(others[slot] as usize, beta[k])];
+                    slot += 1;
                     if w == 0.0 {
                         break;
                     }
@@ -203,6 +207,15 @@ mod tests {
         Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen::<f64>()).collect()).unwrap()
     }
 
+    /// Packs other-mode indices the way a `ModeStream` does.
+    fn pack_others(idx: &[usize], mode: usize) -> Vec<u32> {
+        idx.iter()
+            .enumerate()
+            .filter(|&(k, _)| k != mode)
+            .map(|(_, &i)| i as u32)
+            .collect()
+    }
+
     #[test]
     fn precompute_matches_direct_products() {
         let (x, factors, core) = setup();
@@ -238,7 +251,7 @@ mod tests {
                 pres.accumulate_delta_cached(
                     &mut cached,
                     e,
-                    idx,
+                    &pack_others(idx, mode),
                     mode,
                     &a_row,
                     core.flat_indices(),
@@ -274,7 +287,7 @@ mod tests {
         pres.accumulate_delta_cached(
             &mut cached,
             e,
-            idx,
+            &pack_others(idx, 0),
             0,
             &a_row,
             core.flat_indices(),

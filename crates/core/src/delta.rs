@@ -5,14 +5,35 @@
 //! `δ(j) = Σ_{β ∈ G, βₙ = j} G_β Π_{k≠n} a⁽ᵏ⁾(iₖ, βₖ)`.
 //! The row update accumulates `B += δδᵀ` and `c += X_α δ` over all entries
 //! in the row's slice `Ω⁽ⁿ⁾ᵢₙ`, which is the whole of Theorem 1.
+//!
+//! Two implementations of the same definition live here:
+//!
+//! * [`accumulate_delta`] — the reference *gather* kernel: full `N−1`
+//!   product per `(entry, core-entry)` pair from the entry's COO
+//!   multi-index. Test-gated: it survives as the equivalence baseline the
+//!   streamed kernels must reproduce (the bench crate hand-rolls the same
+//!   walk through public APIs for its gather-vs-stream comparison).
+//! * [`accumulate_delta_lex`] — the *prefix-reused* kernel the mode-major
+//!   plan runs on. Core entries are stored in lexicographic multi-index
+//!   order (dense construction, truncation and re-sparsification all
+//!   preserve it), so adjacent core entries share a multi-index prefix —
+//!   for a dense core the first `N−1` coordinates change only every `J_N`
+//!   entries. The kernel maintains a stack of prefix products
+//!   `prefix[d] = Π_{k<d, k≠n} a⁽ᵏ⁾(iₖ, βₖ)` and recomputes only the
+//!   suffix that changed, cutting the amortized multiplies per pair from
+//!   `N−1` toward ~1 *without* the Cache variant's `|Ω|×|G|` table.
 
 use ptucker_linalg::Matrix;
 
-/// Accumulates δ for one observed entry into `delta` (cleared first).
-///
-/// `core_idx`/`core_vals` are the core's flat entry storage; iterating the
-/// raw slices (rather than method calls per entry) keeps this hot loop free
-/// of bounds-check overhead in the interior.
+/// Deepest core order served by the stack-allocated prefix buffers of
+/// [`accumulate_delta_lex`]; higher orders take a (correct, allocation-free)
+/// per-entry recompute path. The paper's experiments top out at `N = 10`.
+const MAX_PREFIX_ORDER: usize = 16;
+
+/// Accumulates δ for one observed entry into `delta` (cleared first) by
+/// the original gather rule: one full `Π_{k≠n}` product per core entry
+/// from the entry's COO multi-index.
+#[cfg(test)]
 #[inline]
 pub(crate) fn accumulate_delta(
     delta: &mut [f64],
@@ -39,6 +60,86 @@ pub(crate) fn accumulate_delta(
         if w != 0.0 {
             delta[beta[mode]] += w;
         }
+    }
+}
+
+/// Accumulates δ for one streamed entry into `delta` (cleared first),
+/// reusing prefix products across lexicographically adjacent core entries.
+///
+/// `others` holds the entry's packed other-mode indices (ascending mode
+/// order, `mode` skipped) as produced by `ptucker_tensor::ModeStream`.
+/// The kernel is correct for *any* core-entry order (the shared prefix is
+/// measured against the immediately preceding entry, whatever it is);
+/// lexicographic order — which every `CoreTensor` constructor and
+/// truncation path preserves — is what makes the reuse effective, because
+/// adjacent entries then share all but their trailing coordinates.
+///
+/// `factors[mode]` is never read (it is the row data being updated and may
+/// be an empty placeholder during the sweep).
+#[inline]
+pub(crate) fn accumulate_delta_lex(
+    delta: &mut [f64],
+    others: &[u32],
+    mode: usize,
+    core_idx: &[usize],
+    core_vals: &[f64],
+    factors: &[Matrix],
+) {
+    delta.fill(0.0);
+    let order = factors.len();
+    debug_assert_eq!(others.len(), order - 1);
+    if order > MAX_PREFIX_ORDER {
+        // Degenerate-depth fallback: plain per-entry products (still
+        // allocation-free, just without prefix reuse).
+        for (b, &g) in core_vals.iter().enumerate() {
+            let beta = &core_idx[b * order..(b + 1) * order];
+            let mut w = g;
+            let mut slot = 0;
+            for (k, factor) in factors.iter().enumerate() {
+                if k == mode {
+                    continue;
+                }
+                w *= factor[(others[slot] as usize, beta[k])];
+                slot += 1;
+                if w == 0.0 {
+                    break;
+                }
+            }
+            if w != 0.0 {
+                delta[beta[mode]] += w;
+            }
+        }
+        return;
+    }
+    // Pin the entry's factor rows once: a⁽ᵏ⁾(iₖ, ·) for every k ≠ n. The
+    // inner loop then reads `rows[d][βd]` — one in-row load instead of a
+    // strided matrix index.
+    let mut rows: [&[f64]; MAX_PREFIX_ORDER] = [&[]; MAX_PREFIX_ORDER];
+    let mut slot = 0;
+    for (k, factor) in factors.iter().enumerate() {
+        if k == mode {
+            continue;
+        }
+        rows[k] = factor.row(others[slot] as usize);
+        slot += 1;
+    }
+    // prefix[d] = Π_{k<d, k≠mode} a⁽ᵏ⁾(iₖ, βₖ) for the *current* core
+    // entry; entries below the shared-prefix depth stay valid from the
+    // previous core entry, so only the changed suffix is recomputed.
+    let mut prefix = [1.0f64; MAX_PREFIX_ORDER + 1];
+    let mut prev: &[usize] = &[];
+    for (b, &g) in core_vals.iter().enumerate() {
+        let beta = &core_idx[b * order..(b + 1) * order];
+        let mut p = 0;
+        while p < prev.len() && prev[p] == beta[p] {
+            p += 1;
+        }
+        for d in p..order {
+            let a = if d == mode { 1.0 } else { rows[d][beta[d]] };
+            prefix[d + 1] = prefix[d] * a;
+        }
+        delta[beta[mode]] += g * prefix[order];
+        prev = beta;
     }
 }
 
@@ -129,6 +230,118 @@ mod tests {
             }
             assert!((delta[j1] - want).abs() < 1e-12, "j1={j1}");
         }
+    }
+
+    /// Packs the other-mode indices of `entry` the way a `ModeStream` does.
+    fn pack_others(entry: &[usize], mode: usize) -> Vec<u32> {
+        entry
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != mode)
+            .map(|(_, &i)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn lex_delta_matches_gather_delta() {
+        // Random-ish 3-mode setup, dense core, checked mode by mode.
+        let core = CoreTensor::dense_from_fn(vec![2, 3, 2], |i| {
+            (i[0] * 6 + i[1] * 2 + i[2]) as f64 * 0.3 - 1.0
+        })
+        .unwrap();
+        let factors = vec![
+            Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.25], &[1.5, 0.5]]),
+            Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.5, 1.5, -0.5]]),
+            Matrix::from_rows(&[&[0.25, 1.25], &[-0.75, 0.5]]),
+        ];
+        for entry in [[1usize, 0, 1], [2, 1, 0], [0, 0, 0]] {
+            for mode in 0..3 {
+                let j = core.dims()[mode];
+                let mut gather = vec![0.0; j];
+                accumulate_delta(
+                    &mut gather,
+                    &entry,
+                    mode,
+                    core.flat_indices(),
+                    core.values(),
+                    &factors,
+                );
+                let mut lex = vec![0.0; j];
+                accumulate_delta_lex(
+                    &mut lex,
+                    &pack_others(&entry, mode),
+                    mode,
+                    core.flat_indices(),
+                    core.values(),
+                    &factors,
+                );
+                for (a, b) in lex.iter().zip(&gather) {
+                    assert!((a - b).abs() < 1e-12, "entry {entry:?} mode {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lex_delta_matches_gather_on_truncated_core() {
+        // Truncation keeps lexicographic order but breaks the dense
+        // odometer pattern — prefix sharing must stay correct on gaps.
+        let mut core =
+            CoreTensor::dense_from_fn(vec![3, 2, 2], |i| (i[0] + i[1] + i[2]) as f64 + 0.5)
+                .unwrap();
+        core.retain_by_id(|e| e % 3 != 1);
+        let factors = vec![
+            Matrix::from_rows(&[&[0.5, -1.0, 0.0], &[2.0, 0.25, 1.0]]),
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.5, 1.5], &[0.75, -0.25]]),
+            Matrix::from_rows(&[&[0.25, 1.25], &[-0.75, 0.5]]),
+        ];
+        let entry = [1usize, 2, 0];
+        for mode in 0..3 {
+            let j = core.dims()[mode];
+            let mut gather = vec![0.0; j];
+            accumulate_delta(
+                &mut gather,
+                &entry,
+                mode,
+                core.flat_indices(),
+                core.values(),
+                &factors,
+            );
+            let mut lex = vec![0.0; j];
+            accumulate_delta_lex(
+                &mut lex,
+                &pack_others(&entry, mode),
+                mode,
+                core.flat_indices(),
+                core.values(),
+                &factors,
+            );
+            for (a, b) in lex.iter().zip(&gather) {
+                assert!((a - b).abs() < 1e-12, "mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn lex_delta_ignores_swept_mode_factor() {
+        // During a sweep factors[mode] is an empty placeholder; the lex
+        // kernel must never touch it.
+        let core = CoreTensor::dense_from_fn(vec![2, 2], |i| (i[0] + 2 * i[1]) as f64).unwrap();
+        let factors = vec![
+            Matrix::zeros(0, 0),
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
+        ];
+        let mut delta = vec![0.0; 2];
+        accumulate_delta_lex(
+            &mut delta,
+            &[1u32],
+            0,
+            core.flat_indices(),
+            core.values(),
+            &factors,
+        );
+        // δ(j0) = Σ_{j1} G(j0,j1)·a1[1, j1]: [0·3+2·4, 1·3+3·4].
+        assert_eq!(delta, vec![8.0, 15.0]);
     }
 
     #[test]

@@ -25,13 +25,21 @@
 //! memory-optimal default), [`CachedKernel`] owns the `|Ω|×|G|` `Pres`
 //! memoization table (Algorithm 3), and [`ApproxKernel`] is Direct plus
 //! per-iteration truncation of the noisiest core entries (Algorithm 4).
+//!
+//! All three kernels run on the **mode-major execution plan**
+//! ([`ptucker_tensor::ModeStreams`]): a row update walks its slice's
+//! values and packed other-mode indices linearly through the mode's
+//! [`ptucker_tensor::ModeStream`] instead of gathering per-entry through
+//! COO entry ids, and the δ products reuse lexicographic prefix products
+//! across adjacent core entries (see [`crate::delta`]). The plan is built
+//! once per fit and metered against the memory budget.
 
 use crate::cache::PresTable;
-use crate::delta::{accumulate_delta, accumulate_normal_eq};
+use crate::delta::{accumulate_delta_lex, accumulate_normal_eq};
 use crate::{approx, FitOptions, Result};
 use ptucker_linalg::{cholesky_solve_in_place, lu_solve_in_place, Matrix};
 use ptucker_memtrack::Reservation;
-use ptucker_tensor::{CoreTensor, SparseTensor};
+use ptucker_tensor::{CoreTensor, ModeStream, ModeStreams, SparseTensor};
 
 /// Per-thread scratch arena for the row update: every buffer the inner loop
 /// touches, allocated once and reused for every row the owning worker
@@ -151,11 +159,12 @@ impl Scratch {
 /// being updated), which is safe because δ products skip `k == mode`.
 #[derive(Debug)]
 pub struct ModeContext<'a> {
-    /// The observed tensor.
-    pub x: &'a SparseTensor,
+    /// The mode's streamed slice layout (values + packed other-mode
+    /// indices, slice-major).
+    pub stream: &'a ModeStream,
     /// All factor matrices (`factors[mode]` emptied for the sweep).
     pub factors: &'a [Matrix],
-    /// The core's flat index storage (`|G| × N`).
+    /// The core's flat index storage (`|G| × N`, lexicographic order).
     pub core_idx: &'a [usize],
     /// The core's values (`|G|`).
     pub core_vals: &'a [f64],
@@ -172,14 +181,14 @@ pub struct ModeContext<'a> {
 impl<'a> ModeContext<'a> {
     /// Assembles the context for updating `factors[mode]`.
     pub fn new(
-        x: &'a SparseTensor,
+        plan: &'a ModeStreams,
         factors: &'a [Matrix],
         core: &'a CoreTensor,
         mode: usize,
         opts: &FitOptions,
     ) -> Self {
         ModeContext {
-            x,
+            stream: plan.mode(mode),
             factors,
             core_idx: core.flat_indices(),
             core_vals: core.values(),
@@ -268,19 +277,22 @@ pub trait RowUpdateKernel: Sync {
     }
 }
 
-/// The shared row routine: slice walk, δ production (kernel-specific),
-/// rank-1 normal-equation accumulation, in-arena solve. `delta_fn` receives
-/// `(δ buffer, entry id, entry index, old row values)`.
+/// The shared row routine: a linear walk of the row's streamed slice, δ
+/// production (kernel-specific), rank-1 normal-equation accumulation,
+/// in-arena solve. `delta_fn` receives `(δ buffer, stream position, packed
+/// other-mode indices, old row values)`. Within a slice the stream
+/// preserves COO entry order, so subsampling by `stride` visits the same
+/// entries the gather path visited.
 #[inline]
 fn run_row(
     ctx: &ModeContext<'_>,
     scratch: &mut Scratch,
     i: usize,
     row: &mut [f64],
-    delta_fn: impl Fn(&mut [f64], usize, &[usize], &[f64]),
+    delta_fn: impl Fn(&mut [f64], usize, &[u32], &[f64]),
 ) -> bool {
-    let slice = ctx.x.slice(ctx.mode, i);
-    if slice.is_empty() {
+    let range = ctx.stream.slice_range(i);
+    if range.is_empty() {
         // No observations for this row: the regularized minimizer is the
         // zero vector (c = 0 in Eq. 9).
         row.fill(0.0);
@@ -288,22 +300,31 @@ fn run_row(
     }
     let j = ctx.j_n;
     scratch.begin_row(j);
-    for &e in slice.iter().step_by(ctx.stride) {
-        let idx = ctx.x.index(e);
-        delta_fn(&mut scratch.delta[..j], e, idx, &*row);
+    let values = ctx.stream.values();
+    let others = ctx.stream.others_flat();
+    let k = ctx.stream.other_count();
+    for pos in range.step_by(ctx.stride) {
+        delta_fn(
+            &mut scratch.delta[..j],
+            pos,
+            &others[pos * k..(pos + 1) * k],
+            &*row,
+        );
         accumulate_normal_eq(
             &mut scratch.b_upper[..j * j],
             &mut scratch.c[..j],
             &scratch.delta[..j],
-            ctx.x.value(e),
+            values[pos],
         );
     }
     scratch.solve(j, ctx.lambda, row)
 }
 
 /// The default P-Tucker kernel: δ recomputed from the factors for every
-/// entry — `O(T·J²)` intermediate memory (Theorem 4), `N·|G|` multiplies
-/// per entry.
+/// entry — `O(T·J²)` intermediate memory (Theorem 4). On the mode-major
+/// plan the recompute shares lexicographic prefix products across adjacent
+/// core entries, so the amortized multiplies per `(entry, core-entry)` pair
+/// drop from `N−1` toward ~1.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DirectKernel;
 
@@ -315,10 +336,10 @@ impl RowUpdateKernel for DirectKernel {
         i: usize,
         row: &mut [f64],
     ) -> bool {
-        run_row(ctx, scratch, i, row, |delta, _e, idx, _old_row| {
-            accumulate_delta(
+        run_row(ctx, scratch, i, row, |delta, _pos, others, _old_row| {
+            accumulate_delta_lex(
                 delta,
-                idx,
+                others,
                 ctx.mode,
                 ctx.core_idx,
                 ctx.core_vals,
@@ -386,11 +407,16 @@ impl RowUpdateKernel for CachedKernel {
             .table
             .as_ref()
             .expect("CachedKernel::prepare_fit must run before update_row");
-        run_row(ctx, scratch, i, row, |delta, e, idx, old_row| {
+        run_row(ctx, scratch, i, row, |delta, pos, others, old_row| {
+            // The table's rows stay in COO order (physically permuting
+            // |Ω|×|G| doubles per mode would need a second table-sized
+            // buffer, violating Theorem 6's memory bound); the stream maps
+            // each position to its entry id, and the |G| doubles behind it
+            // are still read linearly.
             table.accumulate_delta_cached(
                 delta,
-                e,
-                idx,
+                ctx.stream.entry_id(pos),
+                others,
                 ctx.mode,
                 old_row,
                 ctx.core_idx,
@@ -482,6 +508,65 @@ impl RowUpdateKernel for ApproxKernel {
     }
 }
 
+/// Test-only reference kernel: the pre-plan COO **gather** row update —
+/// entry ids through `SparseTensor::slice`, full `N−1` δ products per
+/// `(entry, core-entry)` pair. The streamed kernels are required to
+/// reproduce its fits (the acceptance bar for the mode-major refactor), so
+/// it lives here for the equivalence tests in `als.rs`.
+#[cfg(test)]
+#[derive(Debug, Default)]
+pub(crate) struct GatherReferenceKernel {
+    x: Option<SparseTensor>,
+}
+
+#[cfg(test)]
+impl RowUpdateKernel for GatherReferenceKernel {
+    fn prepare_fit(
+        &mut self,
+        x: &SparseTensor,
+        _factors: &[Matrix],
+        _core: &CoreTensor,
+        _opts: &FitOptions,
+    ) -> Result<()> {
+        self.x = Some(x.clone());
+        Ok(())
+    }
+
+    fn update_row(
+        &self,
+        ctx: &ModeContext<'_>,
+        scratch: &mut Scratch,
+        i: usize,
+        row: &mut [f64],
+    ) -> bool {
+        let x = self.x.as_ref().expect("prepare_fit runs first");
+        let slice = x.slice(ctx.mode, i);
+        if slice.is_empty() {
+            row.fill(0.0);
+            return true;
+        }
+        let j = ctx.j_n;
+        scratch.begin_row(j);
+        for &e in slice.iter().step_by(ctx.stride) {
+            crate::delta::accumulate_delta(
+                &mut scratch.delta[..j],
+                x.index(e),
+                ctx.mode,
+                ctx.core_idx,
+                ctx.core_vals,
+                ctx.factors,
+            );
+            accumulate_normal_eq(
+                &mut scratch.b_upper[..j * j],
+                &mut scratch.c[..j],
+                &scratch.delta[..j],
+                x.value(e),
+            );
+        }
+        scratch.solve(j, ctx.lambda, row)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,9 +643,10 @@ mod tests {
     #[test]
     fn direct_kernel_matches_dense_reference() {
         let (x, factors, core, opts) = setup();
+        let plan = ModeStreams::build(&x).unwrap();
         let mut scratch = Scratch::for_options(&opts);
         for mode in 0..3 {
-            let ctx = ModeContext::new(&x, &factors, &core, mode, &opts);
+            let ctx = ModeContext::new(&plan, &factors, &core, mode, &opts);
             for i in 0..x.dims()[mode] {
                 let mut row = factors[mode].row(i).to_vec();
                 assert!(DirectKernel.update_row(&ctx, &mut scratch, i, &mut row));
@@ -579,12 +665,13 @@ mod tests {
     #[test]
     fn cached_kernel_matches_direct_kernel() {
         let (x, factors, core, opts) = setup();
+        let plan = ModeStreams::build(&x).unwrap();
         let mut cached = CachedKernel::new();
         cached.prepare_fit(&x, &factors, &core, &opts).unwrap();
         let mut s1 = Scratch::for_options(&opts);
         let mut s2 = Scratch::for_options(&opts);
         for mode in 0..3 {
-            let ctx = ModeContext::new(&x, &factors, &core, mode, &opts);
+            let ctx = ModeContext::new(&plan, &factors, &core, mode, &opts);
             for i in 0..x.dims()[mode] {
                 let mut direct_row = factors[mode].row(i).to_vec();
                 let mut cached_row = factors[mode].row(i).to_vec();
@@ -601,7 +688,8 @@ mod tests {
     fn scratch_reuse_is_stateless_across_rows() {
         // A reused arena must give bitwise-identical results to a fresh one.
         let (x, factors, core, opts) = setup();
-        let ctx = ModeContext::new(&x, &factors, &core, 0, &opts);
+        let plan = ModeStreams::build(&x).unwrap();
+        let ctx = ModeContext::new(&plan, &factors, &core, 0, &opts);
         let mut reused = Scratch::for_options(&opts);
         // Dirty the arena on another row first.
         let mut sink = factors[0].row(1).to_vec();
@@ -622,19 +710,20 @@ mod tests {
     fn singular_unregularized_row_reports_failure() {
         // One observed entry, λ = 0 and rank 2 ⇒ B = δδᵀ is rank-1 singular.
         let x = SparseTensor::new(vec![2, 2], vec![(vec![0, 0], 1.0)]).unwrap();
+        let plan = ModeStreams::build(&x).unwrap();
         let factors = vec![
             Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]),
             Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]),
         ];
         let core = CoreTensor::dense_from_fn(vec![2, 2], |_| 1.0).unwrap();
         let opts = FitOptions::new(vec![2, 2]).lambda(0.0);
-        let ctx = ModeContext::new(&x, &factors, &core, 0, &opts);
+        let ctx = ModeContext::new(&plan, &factors, &core, 0, &opts);
         let mut scratch = Scratch::for_options(&opts);
         let mut row = vec![0.5, 0.5];
         assert!(!DirectKernel.update_row(&ctx, &mut scratch, 0, &mut row));
         // With regularization the same system solves.
         let opts = FitOptions::new(vec![2, 2]).lambda(0.1);
-        let ctx = ModeContext::new(&x, &factors, &core, 0, &opts);
+        let ctx = ModeContext::new(&plan, &factors, &core, 0, &opts);
         let mut row = vec![0.5, 0.5];
         assert!(DirectKernel.update_row(&ctx, &mut scratch, 0, &mut row));
     }

@@ -33,8 +33,8 @@
 use ptucker::engine::Scratch;
 use ptucker::{PtuckerError, Result};
 use ptucker_linalg::Matrix;
-use ptucker_sched::{parallel_reduce, parallel_rows_mut_with, Schedule};
-use ptucker_tensor::SparseTensor;
+use ptucker_sched::{parallel_reduce, parallel_rows_mut_scheduled, Schedule};
+use ptucker_tensor::{ModeStreams, SparseTensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -270,10 +270,14 @@ pub fn cp_als(x: &SparseTensor, opts: &CpOptions) -> Result<CpResult> {
     let mut scratch_pool: Vec<Scratch> =
         (0..opts.threads.max(1)).map(|_| Scratch::new(r)).collect();
 
+    // The same mode-major execution plan the Tucker engine runs on: built
+    // once per fit, every row update streams its slice linearly.
+    let plan = ModeStreams::build(x)?;
+
     for _ in 0..opts.max_iters {
         let t_iter = Instant::now();
         for n in 0..order {
-            update_factor(x, &mut factors, n, opts, &mut scratch_pool)?;
+            update_factor(x, &plan, &mut factors, n, opts, &mut scratch_pool)?;
         }
         let d = CpDecomposition {
             factors: factors.clone(),
@@ -307,10 +311,13 @@ pub fn cp_als(x: &SparseTensor, opts: &CpOptions) -> Result<CpResult> {
 
 /// Row-wise update of factor `n`: for each observed row solve
 /// `(B + λI) row = c` with `B = Σ δδᵀ`, `δ_α(r) = Π_{k≠n} a⁽ᵏ⁾(iₖ, r)`.
-/// Accumulation and solve run in the per-thread [`Scratch`] arenas — no
-/// heap allocation inside the row loop.
+/// The slice is walked through the mode's stream (values + packed
+/// other-mode indices, contiguous); δ is built as a Hadamard product of
+/// whole factor rows, and accumulation/solve run in the per-thread
+/// [`Scratch`] arenas — no heap allocation inside the row loop.
 fn update_factor(
     x: &SparseTensor,
+    plan: &ModeStreams,
     factors: &mut [Matrix],
     mode: usize,
     opts: &CpOptions,
@@ -323,50 +330,55 @@ fn update_factor(
     let failed = AtomicBool::new(false);
     {
         let factors_ro: &[Matrix] = factors;
-        parallel_rows_mut_with(
+        let stream = plan.mode(mode);
+        let k_others = stream.other_count();
+        let run = |scratch: &mut Scratch, i: usize, row: &mut [f64]| {
+            let range = stream.slice_range(i);
+            if range.is_empty() {
+                row.fill(0.0);
+                return;
+            }
+            let (delta, c, b_upper) = scratch.accumulators(r);
+            let values = stream.values();
+            let others = stream.others_flat();
+            for pos in range {
+                let o = &others[pos * k_others..(pos + 1) * k_others];
+                delta.fill(1.0);
+                let mut slot = 0;
+                for (k, f) in factors_ro.iter().enumerate() {
+                    if k == mode {
+                        continue;
+                    }
+                    let frow = f.row(o[slot] as usize);
+                    slot += 1;
+                    for (d, &a) in delta.iter_mut().zip(frow) {
+                        *d *= a;
+                    }
+                }
+                let xv = values[pos];
+                for j1 in 0..r {
+                    let d1 = delta[j1];
+                    c[j1] += xv * d1;
+                    if d1 == 0.0 {
+                        continue;
+                    }
+                    for j2 in j1..r {
+                        b_upper[j1 * r + j2] += d1 * delta[j2];
+                    }
+                }
+            }
+            if !scratch.solve(r, opts.lambda, row) {
+                failed.store(true, Ordering::Relaxed);
+            }
+        };
+        parallel_rows_mut_scheduled(
             &mut data,
             r,
             opts.threads,
             opts.schedule,
+            |i| stream.slice_len(i),
             scratch_pool,
-            |scratch, i, row| {
-                let slice = x.slice(mode, i);
-                if slice.is_empty() {
-                    row.fill(0.0);
-                    return;
-                }
-                let (delta, c, b_upper) = scratch.accumulators(r);
-                for &e in slice {
-                    let idx = x.index(e);
-                    for (j, d) in delta.iter_mut().enumerate() {
-                        let mut w = 1.0;
-                        for (k, f) in factors_ro.iter().enumerate() {
-                            if k == mode {
-                                continue;
-                            }
-                            w *= f[(idx[k], j)];
-                            if w == 0.0 {
-                                break;
-                            }
-                        }
-                        *d = w;
-                    }
-                    let xv = x.value(e);
-                    for j1 in 0..r {
-                        let d1 = delta[j1];
-                        c[j1] += xv * d1;
-                        if d1 == 0.0 {
-                            continue;
-                        }
-                        for j2 in j1..r {
-                            b_upper[j1 * r + j2] += d1 * delta[j2];
-                        }
-                    }
-                }
-                if !scratch.solve(r, opts.lambda, row) {
-                    failed.store(true, Ordering::Relaxed);
-                }
-            },
+            run,
         );
     }
     factors[mode] = Matrix::from_vec(i_n, r, data)?;

@@ -17,13 +17,17 @@
 //! * [`Schedule::Dynamic`] lets workers pull fixed-size chunks from a shared
 //!   atomic counter, exactly like `schedule(dynamic, chunk)`.
 //!
-//! Five entry points cover the paper's needs: [`parallel_for`] (indexed
+//! Six entry points cover the paper's needs: [`parallel_for`] (indexed
 //! side-effect-free tasks), [`parallel_reduce`] (e.g. summing squared errors)
 //! and [`parallel_rows_mut`] (updating disjoint rows of a row-major matrix
 //! in place, which is exactly the row-wise ALS update), plus the
 //! per-thread-state variants [`parallel_rows_mut_with`] and
 //! [`parallel_reduce_with`], which hand every worker a caller-owned state
-//! (a scratch arena, an accumulator) so hot loops run without allocating.
+//! (a scratch arena, an accumulator) so hot loops run without allocating,
+//! and [`parallel_rows_mut_balanced`] — static scheduling whose contiguous
+//! blocks are balanced by a per-row **weight** (`|Ω⁽ⁿ⁾ᵢ|` for the row
+//! update) via [`weighted_blocks`], so skew no longer needs a dynamic
+//! queue.
 //!
 //! ```
 //! use ptucker_sched::{parallel_reduce, Schedule};
@@ -81,6 +85,55 @@ impl Schedule {
             Schedule::Static => Schedule::Static,
         }
     }
+}
+
+/// Splits `n` rows into at most `t` contiguous blocks of near-equal
+/// **total weight**, where `weight(i)` is the cost of row `i` (for the
+/// P-Tucker row update: `|Ω⁽ⁿ⁾ᵢ|`, the row's observed-entry count).
+///
+/// This is the static answer to the load-imbalance problem the paper's
+/// Section III-D solves with dynamic scheduling: real tensors have heavily
+/// skewed slice sizes, so equal-*row-count* blocks leave some workers with
+/// most of the nonzeros. Equal-*weight* blocks restore balance while
+/// keeping static scheduling's zero queue contention and contiguous memory
+/// walk — which is exactly what the streamed slice layout wants.
+///
+/// Guarantees:
+/// * the returned blocks are contiguous, disjoint and cover `0..n` exactly;
+/// * every block is non-empty (so there are `min(t, n)` blocks — never an
+///   empty degenerate chunk);
+/// * all-zero weights degrade to the equal-row-count [`static_block`]
+///   partition.
+pub fn weighted_blocks(n: usize, t: usize, weight: impl Fn(usize) -> usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let t = t.max(1).min(n);
+    let total: usize = (0..n).map(&weight).sum();
+    if total == 0 {
+        return (0..t).map(|b| static_block(n, t, b)).collect();
+    }
+    let mut blocks = Vec::with_capacity(t);
+    let mut start = 0usize;
+    let mut cum = 0usize;
+    for b in 0..t - 1 {
+        // Cumulative-weight target for the end of block b, reached by
+        // walking whole rows (so a block overshoots by at most one row).
+        let target = ((b + 1) * total + t / 2) / t;
+        // Leave at least one row for each of the remaining blocks.
+        let max_end = n - (t - 1 - b);
+        let mut end = start;
+        while end < max_end && (end == start || cum < target) {
+            cum += weight(end);
+            end += 1;
+        }
+        blocks.push((start, end));
+        start = end;
+    }
+    // The last block takes everything left (trailing zero-weight rows
+    // included), which is what makes coverage exact by construction.
+    blocks.push((start, n));
+    blocks
 }
 
 /// Splits `n` iterations into `t` contiguous blocks of near-equal size.
@@ -322,28 +375,8 @@ pub fn parallel_rows_mut_with<S, F>(
     }
     match schedule.normalized() {
         Schedule::Static => {
-            // Split into T contiguous row blocks.
-            let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(t);
-            let mut rest = data;
-            let mut row_cursor = 0;
-            for b in 0..t {
-                let (lo, hi) = static_block(n_rows, t, b);
-                let (head, tail) = rest.split_at_mut((hi - lo) * row_len);
-                blocks.push((row_cursor, head));
-                rest = tail;
-                row_cursor = hi;
-            }
-            crossbeam::scope(|s| {
-                for ((first_row, block), state) in blocks.into_iter().zip(states.iter_mut()) {
-                    let f = &f;
-                    s.spawn(move |_| {
-                        for (k, row) in block.chunks_mut(row_len).enumerate() {
-                            f(state, first_row + k, row);
-                        }
-                    });
-                }
-            })
-            .expect("worker panicked in parallel_rows_mut(static)");
+            let blocks: Vec<(usize, usize)> = (0..t).map(|b| static_block(n_rows, t, b)).collect();
+            run_row_blocks(data, row_len, &blocks, states, &f);
         }
         Schedule::Dynamic { chunk } => {
             // Pre-split into chunk-sized groups of rows behind a queue.
@@ -379,6 +412,118 @@ pub fn parallel_rows_mut_with<S, F>(
             })
             .expect("worker panicked in parallel_rows_mut(dynamic)");
         }
+    }
+}
+
+/// Runs one worker per pre-computed contiguous row block: the shared
+/// backbone of [`parallel_rows_mut_with`]'s static arm and
+/// [`parallel_rows_mut_balanced`].
+fn run_row_blocks<S, F>(
+    data: &mut [f64],
+    row_len: usize,
+    blocks: &[(usize, usize)],
+    states: &mut [S],
+    f: &F,
+) where
+    S: Send,
+    F: Fn(&mut S, usize, &mut [f64]) + Sync,
+{
+    let mut parts: Vec<(usize, &mut [f64])> = Vec::with_capacity(blocks.len());
+    let mut rest = data;
+    for &(lo, hi) in blocks {
+        let (head, tail) = rest.split_at_mut((hi - lo) * row_len);
+        parts.push((lo, head));
+        rest = tail;
+    }
+    crossbeam::scope(|s| {
+        for ((first_row, block), state) in parts.into_iter().zip(states.iter_mut()) {
+            s.spawn(move |_| {
+                for (k, row) in block.chunks_mut(row_len).enumerate() {
+                    f(state, first_row + k, row);
+                }
+            });
+        }
+    })
+    .expect("worker panicked in run_row_blocks");
+}
+
+/// [`parallel_rows_mut_with`] under **nnz-balanced static scheduling**: rows
+/// are split into contiguous blocks of near-equal total `weight` (see
+/// [`weighted_blocks`]) instead of near-equal row count. For the P-Tucker
+/// row update, `weight(i) = |Ω⁽ⁿ⁾ᵢ|` makes a static sweep balanced under
+/// the slice-size skew of real tensors — the problem the paper's dynamic
+/// scheduling exists to solve — without a shared work queue.
+///
+/// Worker `b` receives `states[b]` and the `b`-th block; which rows land in
+/// which block depends only on the weights, so results are deterministic
+/// for a given `(weights, threads)` — and, because rows are independent,
+/// identical to any other schedule's.
+///
+/// # Panics
+/// Panics if `row_len == 0`, `data.len() % row_len != 0`, or `states` is
+/// shorter than the effective worker count.
+pub fn parallel_rows_mut_balanced<S, F>(
+    data: &mut [f64],
+    row_len: usize,
+    threads: usize,
+    weight: impl Fn(usize) -> usize,
+    states: &mut [S],
+    f: F,
+) where
+    S: Send,
+    F: Fn(&mut S, usize, &mut [f64]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "data length must be a multiple of row_len"
+    );
+    let n_rows = data.len() / row_len;
+    if n_rows == 0 {
+        return;
+    }
+    let t = effective_threads(threads, n_rows);
+    assert!(
+        states.len() >= t,
+        "need at least {t} per-thread states, got {}",
+        states.len()
+    );
+    if t == 1 {
+        let state = &mut states[0];
+        for (i, row) in data.chunks_mut(row_len).enumerate() {
+            f(state, i, row);
+        }
+        return;
+    }
+    let blocks = weighted_blocks(n_rows, t, weight);
+    run_row_blocks(data, row_len, &blocks, states, &f);
+}
+
+/// Schedule-dispatching row sweep: [`Schedule::Static`] routes to
+/// [`parallel_rows_mut_balanced`] with the given per-row `weight`
+/// (nnz-balanced contiguous blocks), [`Schedule::Dynamic`] to
+/// [`parallel_rows_mut_with`]'s chunked queue. This is the one place the
+/// engine-style "static means weight-balanced" policy lives, so every row
+/// loop (P-Tucker, CP-ALS, …) dispatches identically.
+///
+/// # Panics
+/// As [`parallel_rows_mut_balanced`] / [`parallel_rows_mut_with`].
+pub fn parallel_rows_mut_scheduled<S, F>(
+    data: &mut [f64],
+    row_len: usize,
+    threads: usize,
+    schedule: Schedule,
+    weight: impl Fn(usize) -> usize,
+    states: &mut [S],
+    f: F,
+) where
+    S: Send,
+    F: Fn(&mut S, usize, &mut [f64]) + Sync,
+{
+    match schedule.normalized() {
+        Schedule::Static => parallel_rows_mut_balanced(data, row_len, threads, weight, states, f),
+        dynamic => parallel_rows_mut_with(data, row_len, threads, dynamic, states, f),
     }
 }
 
@@ -752,6 +897,101 @@ mod tests {
         let mut data = vec![0.0; 8];
         let mut states = vec![0u8; 1];
         parallel_rows_mut_with(&mut data, 2, 4, Schedule::Static, &mut states, |_, _, _| {});
+    }
+
+    #[test]
+    fn weighted_blocks_cover_exactly_with_no_empty_chunks() {
+        // Skewed, uniform, zero and spiky weight shapes.
+        let shapes: Vec<Vec<usize>> = vec![
+            (0..64).collect(),                        // linear skew
+            vec![1; 37],                              // uniform
+            vec![0; 12],                              // all zero
+            vec![0, 0, 100, 0, 0, 0, 1, 1, 0, 0],     // one heavy row
+            vec![5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9], // heavy ends, zero middle
+        ];
+        for w in shapes {
+            let n = w.len();
+            for t in [1usize, 2, 3, 5, 16, 64] {
+                let blocks = weighted_blocks(n, t, |i| w[i]);
+                assert_eq!(blocks.len(), t.min(n).max(usize::from(n > 0)));
+                let mut next = 0;
+                for &(lo, hi) in &blocks {
+                    assert_eq!(lo, next, "blocks must be contiguous");
+                    assert!(hi > lo, "empty chunk ({lo}, {hi}) for w={w:?} t={t}");
+                    next = hi;
+                }
+                assert_eq!(next, n, "blocks must cover all rows");
+            }
+        }
+        assert!(weighted_blocks(0, 4, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn weighted_blocks_balance_skewed_weights() {
+        // Row i weighs i: equal-count blocks would give the last worker
+        // ~7/16 of the work; weighted blocks keep every worker near 1/4.
+        let n = 256;
+        let total: usize = (0..n).sum();
+        let blocks = weighted_blocks(n, 4, |i| i);
+        // Each boundary lands within one row weight of its cumulative
+        // target, so every block is within 2·max_weight of fair share.
+        let fair = total / 4;
+        let max_w = n - 1;
+        for &(lo, hi) in &blocks {
+            let w: usize = (lo..hi).sum();
+            assert!(
+                w <= fair + 2 * max_w && w + 2 * max_w >= fair,
+                "block ({lo},{hi}) weight {w} vs fair {fair}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_mut_balanced_matches_unweighted_results() {
+        // Rows are independent, so any partition must produce identical
+        // data; balanced scheduling only changes who computes what.
+        let rows = 41;
+        let cols = 3;
+        let weights: Vec<usize> = (0..rows).map(|i| (i * 7) % 13).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let mut a = vec![0.0; rows * cols];
+            let mut b = vec![0.0; rows * cols];
+            let fill = |_s: &mut (), i: usize, row: &mut [f64]| {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (i * cols + j) as f64;
+                }
+            };
+            let mut states = vec![(); threads];
+            parallel_rows_mut_balanced(&mut a, cols, threads, |i| weights[i], &mut states, fill);
+            parallel_rows_mut(&mut b, cols, threads, Schedule::Static, |i, row| {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (i * cols + j) as f64;
+                }
+            });
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rows_mut_balanced_each_row_once() {
+        let rows = 29;
+        let mut data = vec![0.0; rows * 2];
+        let mut states = vec![0usize; 4];
+        parallel_rows_mut_balanced(
+            &mut data,
+            2,
+            4,
+            |i| if i < 5 { 50 } else { 1 },
+            &mut states,
+            |count, i, row| {
+                *count += 1;
+                row.fill(i as f64 + 1.0);
+            },
+        );
+        assert_eq!(states.iter().sum::<usize>(), rows);
+        for i in 0..rows {
+            assert_eq!(data[i * 2], i as f64 + 1.0);
+        }
     }
 
     #[test]

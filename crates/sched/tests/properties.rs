@@ -1,0 +1,60 @@
+//! Property tests of the nnz-balanced partitioner: for arbitrary weight
+//! vectors and thread counts, the blocks must cover every row exactly once
+//! with no empty chunks, and running rows through the balanced entry point
+//! must touch each row exactly once.
+
+use proptest::prelude::*;
+use ptucker_sched::{parallel_rows_mut_balanced, weighted_blocks};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn weighted_blocks_partition_rows_exactly(
+        weights in proptest::collection::vec(0..40usize, 0..120),
+        t in 1..20usize,
+    ) {
+        let n = weights.len();
+        let blocks = weighted_blocks(n, t, |i| weights[i]);
+        if n == 0 {
+            prop_assert!(blocks.is_empty());
+            return Ok(());
+        }
+        prop_assert_eq!(blocks.len(), t.min(n));
+        let mut next = 0usize;
+        for &(lo, hi) in &blocks {
+            prop_assert_eq!(lo, next);
+            prop_assert!(hi > lo, "empty chunk ({}, {})", lo, hi);
+            next = hi;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    #[test]
+    fn balanced_rows_touch_each_row_once(
+        weights in proptest::collection::vec(0..9usize, 1..60),
+        threads in 1..9usize,
+    ) {
+        let rows = weights.len();
+        let mut data = vec![0.0f64; rows * 2];
+        let mut states = vec![0usize; threads];
+        parallel_rows_mut_balanced(
+            &mut data,
+            2,
+            threads,
+            |i| weights[i],
+            &mut states,
+            |count, i, row| {
+                *count += 1;
+                for v in row.iter_mut() {
+                    *v += i as f64 + 1.0;
+                }
+            },
+        );
+        prop_assert_eq!(states.iter().sum::<usize>(), rows);
+        for i in 0..rows {
+            prop_assert_eq!(data[i * 2], i as f64 + 1.0);
+            prop_assert_eq!(data[i * 2 + 1], i as f64 + 1.0);
+        }
+    }
+}

@@ -6,6 +6,10 @@
 //! * [`SparseTensor`] — COO storage for a partially observed tensor `X` with
 //!   per-mode slice indices (the paper's `Ω⁽ⁿ⁾ᵢₙ` sets) built once at
 //!   construction,
+//! * [`ModeStreams`] — the mode-major execution plan: per-mode streamed
+//!   slice layouts ([`ModeStream`]) that row-update kernels walk linearly
+//!   instead of gathering through entry ids (COO stays the source of
+//!   truth),
 //! * [`DenseTensor`] — strided dense storage with matricization
 //!   (Definition 2) and the n-mode product (Definition 3),
 //! * [`CoreTensor`] — the core `G`, dense at initialization but truncatable
@@ -36,6 +40,7 @@ mod error;
 mod io;
 mod sparse;
 mod split;
+mod stream;
 
 pub use core_tensor::CoreTensor;
 pub use dense::DenseTensor;
@@ -43,6 +48,7 @@ pub use error::TensorError;
 pub use io::{read_tsv, write_tsv};
 pub use sparse::{ModeIndex, SparseTensor};
 pub use split::TrainTestSplit;
+pub use stream::{ModeStream, ModeStreams};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -16,21 +16,25 @@ pub struct ModeIndex {
 
 impl ModeIndex {
     fn build(dim: usize, nnz: usize, mode_of: impl Fn(usize) -> usize) -> Self {
-        let mut counts = vec![0usize; dim + 1];
+        let mut offsets = vec![0usize; dim + 1];
         for e in 0..nnz {
-            counts[mode_of(e) + 1] += 1;
+            offsets[mode_of(e) + 1] += 1;
         }
         for i in 0..dim {
-            counts[i + 1] += counts[i];
+            offsets[i + 1] += offsets[i];
         }
-        let offsets = counts.clone();
-        let mut cursor = counts;
+        // Scatter using offsets[i] as slice i's write cursor; afterwards
+        // offsets[i] holds what offsets[i+1] held before (each cursor
+        // advanced to the start of the next slice), so a single rotate
+        // restores the boundaries — one buffer serves both roles.
         let mut entries = vec![0usize; nnz];
         for e in 0..nnz {
             let i = mode_of(e);
-            entries[cursor[i]] = e;
-            cursor[i] += 1;
+            entries[offsets[i]] = e;
+            offsets[i] += 1;
         }
+        offsets.rotate_right(1);
+        offsets[0] = 0;
         ModeIndex { offsets, entries }
     }
 
@@ -260,8 +264,13 @@ impl SparseTensor {
     /// Builds a new tensor with the same dims from a subset of entry ids
     /// (used by the train/test splitter).
     ///
+    /// Fast path: the copied entries were validated when `self` was built,
+    /// so this skips `from_flat`'s full bounds/finiteness re-checks and
+    /// goes straight to the per-mode index build.
+    ///
     /// # Errors
-    /// Propagates construction errors (cannot happen for valid ids).
+    /// None in practice (`Result` kept for API stability; out-of-range
+    /// entry ids panic, as any slice index does).
     pub fn subset(&self, entry_ids: &[usize]) -> Result<SparseTensor> {
         let order = self.order();
         let mut indices = Vec::with_capacity(entry_ids.len() * order);
@@ -270,7 +279,19 @@ impl SparseTensor {
             indices.extend_from_slice(self.index(e));
             values.push(self.value(e));
         }
-        SparseTensor::from_flat(self.dims.clone(), indices, values)
+        let nnz = values.len();
+        let mode_index = self
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(n, &dim)| ModeIndex::build(dim, nnz, |e| indices[e * order + n]))
+            .collect();
+        Ok(SparseTensor {
+            dims: self.dims.clone(),
+            indices,
+            values,
+            mode_index,
+        })
     }
 }
 
@@ -401,6 +422,32 @@ mod tests {
         assert_eq!(sub.value(0), 2.0);
         assert_eq!(sub.index(1), &[2, 1, 0]);
         assert_eq!(sub.value(1), 4.0);
+    }
+
+    #[test]
+    fn subset_fast_path_matches_validated_construction() {
+        // The fast path skips re-validation but must produce the exact
+        // structure `from_flat` would, mode indices included.
+        let x = sample();
+        for ids in [vec![], vec![2], vec![1, 3], vec![0, 1, 2, 3], vec![3, 0]] {
+            let fast = x.subset(&ids).unwrap();
+            let order = x.order();
+            let mut indices = Vec::new();
+            let mut values = Vec::new();
+            for &e in &ids {
+                indices.extend_from_slice(x.index(e));
+                values.push(x.value(e));
+            }
+            let slow = SparseTensor::from_flat(x.dims().to_vec(), indices, values).unwrap();
+            assert_eq!(fast.dims(), slow.dims());
+            assert_eq!(fast.flat_indices(), slow.flat_indices());
+            assert_eq!(fast.values(), slow.values());
+            for n in 0..order {
+                for i in 0..x.dims()[n] {
+                    assert_eq!(fast.slice(n, i), slow.slice(n, i), "ids {ids:?}");
+                }
+            }
+        }
     }
 
     #[test]

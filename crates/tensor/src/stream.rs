@@ -1,0 +1,289 @@
+//! Mode-major execution plans: the streamed slice layout.
+//!
+//! The per-mode [`crate::ModeIndex`] answers "which entries live in slice
+//! `iₙ`?" with a list of entry *ids* — every consumer then gathers the
+//! entry's value and multi-index through those ids, which turns the hottest
+//! loop of the row-wise update into a scatter/gather over the COO arrays.
+//!
+//! A [`ModeStream`] removes that indirection: for one mode, the entry
+//! values and the packed *other-mode* indices are physically reordered
+//! slice-by-slice, so walking a slice is a linear scan of contiguous
+//! memory. Within a slice, entries appear in ascending COO entry-id order —
+//! the same order `ModeIndex::slice` yields — so algorithms that subsample
+//! (`sample_stride`) or accumulate in slice order produce *identical*
+//! results on either layout.
+//!
+//! COO stays the source of truth; a [`ModeStreams`] plan is derived from a
+//! [`SparseTensor`] once per fit (`O(N·|Ω|)` time and memory) and is
+//! immutable afterwards. Other-mode indices and entry ids are stored as
+//! `u32` — half the memory traffic of `usize` on 64-bit targets, which is
+//! most of the point of a bandwidth-bound layout — so dimensionalities and
+//! `|Ω|` must fit in 32 bits (they do for every tensor in the paper by
+//! orders of magnitude; [`ModeStreams::build`] checks).
+
+use crate::{Result, SparseTensor, TensorError};
+use std::ops::Range;
+
+/// The streamed slice layout of one mode: values and packed other-mode
+/// indices in slice-major order, plus the stream-position → COO entry-id
+/// map for consumers that keep per-entry state in COO order (e.g. the
+/// P-Tucker-Cache `Pres` table).
+#[derive(Debug, Clone)]
+pub struct ModeStream {
+    mode: usize,
+    /// Number of *other* modes (`N − 1`): the per-entry stride of `others`.
+    other_count: usize,
+    /// `offsets[i]..offsets[i+1]` delimits slice `i`'s stream positions.
+    offsets: Vec<usize>,
+    /// Entry values in stream order.
+    values: Vec<f64>,
+    /// Packed other-mode indices: stream position `p` owns
+    /// `others[p*other_count..(p+1)*other_count]`, modes ascending with the
+    /// stream's own mode skipped.
+    others: Vec<u32>,
+    /// Stream position → COO entry id.
+    entry_ids: Vec<u32>,
+}
+
+impl ModeStream {
+    fn build(x: &SparseTensor, mode: usize) -> Self {
+        let order = x.order();
+        let other_count = order - 1;
+        let nnz = x.nnz();
+        let dim = x.dims()[mode];
+        let mut offsets = Vec::with_capacity(dim + 1);
+        let mut values = Vec::with_capacity(nnz);
+        let mut others = Vec::with_capacity(nnz * other_count);
+        let mut entry_ids = Vec::with_capacity(nnz);
+        offsets.push(0);
+        for i in 0..dim {
+            for &e in x.slice(mode, i) {
+                let idx = x.index(e);
+                values.push(x.value(e));
+                for (k, &ik) in idx.iter().enumerate() {
+                    if k != mode {
+                        others.push(ik as u32);
+                    }
+                }
+                entry_ids.push(e as u32);
+            }
+            offsets.push(values.len());
+        }
+        ModeStream {
+            mode,
+            other_count,
+            offsets,
+            values,
+            others,
+            entry_ids,
+        }
+    }
+
+    /// The mode this stream is laid out for.
+    #[inline]
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Number of other modes (`N − 1`) — the per-entry stride of
+    /// [`ModeStream::others`].
+    #[inline]
+    pub fn other_count(&self) -> usize {
+        self.other_count
+    }
+
+    /// Number of slices (`Iₙ`).
+    #[inline]
+    pub fn num_slices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The stream positions of slice `i` (`Ω⁽ⁿ⁾ᵢ` in stream coordinates).
+    #[inline]
+    pub fn slice_range(&self, i: usize) -> Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// `|Ω⁽ⁿ⁾ᵢ|` — the per-row work weight the nnz-balanced scheduler
+    /// partitions by.
+    #[inline]
+    pub fn slice_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// All values in stream order.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The flat packed other-mode index storage (stride
+    /// [`ModeStream::other_count`]).
+    #[inline]
+    pub fn others_flat(&self) -> &[u32] {
+        &self.others
+    }
+
+    /// The packed other-mode indices of stream position `p` (ascending
+    /// mode order, this stream's mode skipped).
+    #[inline]
+    pub fn others(&self, p: usize) -> &[u32] {
+        &self.others[p * self.other_count..(p + 1) * self.other_count]
+    }
+
+    /// The COO entry id behind stream position `p`.
+    #[inline]
+    pub fn entry_id(&self, p: usize) -> usize {
+        self.entry_ids[p] as usize
+    }
+}
+
+/// The full mode-major execution plan: one [`ModeStream`] per mode.
+#[derive(Debug, Clone)]
+pub struct ModeStreams {
+    streams: Vec<ModeStream>,
+}
+
+impl ModeStreams {
+    /// Derives the plan from COO — `O(N·|Ω|)`, done once per fit.
+    ///
+    /// # Errors
+    /// [`TensorError::InvalidDims`] if a dimensionality or `|Ω|` exceeds
+    /// `u32::MAX` (the packed-index width).
+    pub fn build(x: &SparseTensor) -> Result<Self> {
+        let lim = u32::MAX as usize;
+        if x.nnz() > lim {
+            return Err(TensorError::InvalidDims(format!(
+                "nnz {} exceeds the streamed layout's u32 entry-id width",
+                x.nnz()
+            )));
+        }
+        if let Some(&d) = x.dims().iter().find(|&&d| d > lim) {
+            return Err(TensorError::InvalidDims(format!(
+                "dimensionality {d} exceeds the streamed layout's u32 index width"
+            )));
+        }
+        Ok(ModeStreams {
+            streams: (0..x.order()).map(|n| ModeStream::build(x, n)).collect(),
+        })
+    }
+
+    /// The stream for `mode`.
+    #[inline]
+    pub fn mode(&self, mode: usize) -> &ModeStream {
+        &self.streams[mode]
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Bytes the plan for `x` will occupy — computable *before* building,
+    /// so callers can reserve against a memory budget first. Per mode:
+    /// `|Ω|` values (8 B), `(N−1)·|Ω|` packed indices (4 B), `|Ω|` entry
+    /// ids (4 B) and `Iₙ+1` offsets (8 B).
+    pub fn bytes_for(x: &SparseTensor) -> usize {
+        let nnz = x.nnz();
+        let order = x.order();
+        let per_mode_entries = nnz * 8 + (order - 1) * nnz * 4 + nnz * 4;
+        let offsets: usize = x.dims().iter().map(|&d| (d + 1) * 8).sum();
+        order * per_mode_entries + offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseTensor {
+        SparseTensor::new(
+            vec![3, 2, 2],
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 1, 1], 2.0),
+                (vec![1, 0, 1], 3.0),
+                (vec![2, 1, 0], 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stream_matches_coo_slice_order() {
+        let x = sample();
+        let plan = ModeStreams::build(&x).unwrap();
+        for n in 0..x.order() {
+            let s = plan.mode(n);
+            assert_eq!(s.mode(), n);
+            assert_eq!(s.num_slices(), x.dims()[n]);
+            assert_eq!(s.other_count(), x.order() - 1);
+            for i in 0..x.dims()[n] {
+                let range = s.slice_range(i);
+                assert_eq!(range.len(), x.slice(n, i).len());
+                assert_eq!(s.slice_len(i), x.slice_len(n, i));
+                for (p, &e) in range.zip(x.slice(n, i)) {
+                    assert_eq!(s.entry_id(p), e, "in-slice COO order preserved");
+                    assert_eq!(s.values()[p], x.value(e));
+                    let full = x.index(e);
+                    let mut slot = 0;
+                    for (k, &ik) in full.iter().enumerate() {
+                        if k == n {
+                            continue;
+                        }
+                        assert_eq!(s.others(p)[slot] as usize, ik, "mode {n} pos {p}");
+                        slot += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entry_ids_are_a_permutation() {
+        let x = sample();
+        let plan = ModeStreams::build(&x).unwrap();
+        for n in 0..x.order() {
+            let s = plan.mode(n);
+            let mut seen = vec![false; x.nnz()];
+            for p in 0..x.nnz() {
+                let e = s.entry_id(p);
+                assert!(!seen[e]);
+                seen[e] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn bytes_estimate_is_positive_and_scales_with_order() {
+        let x = sample();
+        let b = ModeStreams::bytes_for(&x);
+        // 3 modes × (4·8 + 2·4·4 + 4·4) B entries + offsets.
+        assert_eq!(b, 3 * (32 + 32 + 16) + (4 + 3 + 3) * 8);
+    }
+
+    #[test]
+    fn empty_tensor_streams() {
+        let x = SparseTensor::new(vec![3, 3], vec![]).unwrap();
+        let plan = ModeStreams::build(&x).unwrap();
+        for n in 0..2 {
+            let s = plan.mode(n);
+            for i in 0..3 {
+                assert!(s.slice_range(i).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn order_one_tensor_has_empty_others() {
+        let x = SparseTensor::new(vec![4], vec![(vec![1], 2.0), (vec![3], 5.0)]).unwrap();
+        let plan = ModeStreams::build(&x).unwrap();
+        let s = plan.mode(0);
+        assert_eq!(s.other_count(), 0);
+        assert_eq!(s.values(), &[2.0, 5.0]);
+        assert!(s.others(0).is_empty());
+        assert!(s.others(1).is_empty());
+    }
+}

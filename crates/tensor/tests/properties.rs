@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use ptucker_linalg::Matrix;
-use ptucker_tensor::{read_tsv, write_tsv, CoreTensor, DenseTensor, SparseTensor, TrainTestSplit};
+use ptucker_tensor::{
+    read_tsv, write_tsv, CoreTensor, DenseTensor, ModeStreams, SparseTensor, TrainTestSplit,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -131,6 +133,49 @@ proptest! {
         for e in 0..x.nnz() {
             prop_assert_eq!(y.index(e), x.index(e));
             prop_assert_eq!(y.value(e), x.value(e));
+        }
+    }
+
+    #[test]
+    fn mode_stream_is_a_permutation_of_coo(x in arb_sparse()) {
+        // Every mode's stream must hold, per slice, exactly the multiset of
+        // (full multi-index, value) pairs the COO slice holds — no entry
+        // lost, duplicated or mis-sliced by the physical reordering.
+        let plan = ModeStreams::build(&x).unwrap();
+        for n in 0..x.order() {
+            let s = plan.mode(n);
+            prop_assert_eq!(s.num_slices(), x.dims()[n]);
+            let mut streamed_total = 0usize;
+            for i in 0..x.dims()[n] {
+                let mut coo: Vec<(Vec<usize>, u64)> = x
+                    .slice(n, i)
+                    .iter()
+                    .map(|&e| (x.index(e).to_vec(), x.value(e).to_bits()))
+                    .collect();
+                let mut streamed: Vec<(Vec<usize>, u64)> = s
+                    .slice_range(i)
+                    .map(|p| {
+                        // Reassemble the full multi-index from the packed
+                        // other-mode indices plus the slice coordinate.
+                        let mut full = Vec::with_capacity(x.order());
+                        let mut slot = 0;
+                        for k in 0..x.order() {
+                            if k == n {
+                                full.push(i);
+                            } else {
+                                full.push(s.others(p)[slot] as usize);
+                                slot += 1;
+                            }
+                        }
+                        (full, s.values()[p].to_bits())
+                    })
+                    .collect();
+                streamed_total += streamed.len();
+                coo.sort();
+                streamed.sort();
+                prop_assert_eq!(streamed, coo, "mode {} slice {}", n, i);
+            }
+            prop_assert_eq!(streamed_total, x.nnz());
         }
     }
 }

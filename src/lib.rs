@@ -22,23 +22,34 @@
 //! * [`sched`] — OpenMP-style static/dynamic scheduling over scoped
 //!   threads. `parallel_rows_mut_with` and `parallel_reduce_with` hand
 //!   each worker a caller-owned **per-thread state**, which is how scratch
-//!   arenas and accumulators are reused across an entire fit.
+//!   arenas and accumulators are reused across an entire fit;
+//!   `parallel_rows_mut_balanced` partitions rows into contiguous blocks
+//!   of near-equal **nnz weight** (`weighted_blocks`), fixing static
+//!   scheduling's skew imbalance without a dynamic queue.
 //! * [`memtrack`] — the intermediate-data budget that reproduces the
 //!   paper's O.O.M. boundaries arithmetically.
 //! * [`tensor`] / [`datagen`] — sparse/dense/core tensor types, I/O,
-//!   train/test splits, and the synthetic generators.
-//! * [`ptucker`] (`crates/core`) — the solver, organized as an
-//!   **engine/kernel/scratch** stack: the fit driver is generic over a
-//!   `ptucker::engine::RowUpdateKernel` (one implementation per variant —
-//!   Direct, Cached, Approx — monomorphized, no per-row variant
-//!   branching), and every per-row intermediate lives in a
+//!   train/test splits, and the synthetic generators. `tensor` also owns
+//!   the **mode-major execution plan** (`ModeStreams`): per-mode streamed
+//!   slice layouts — values plus packed other-mode indices physically
+//!   reordered slice-by-slice — that every row-update loop in the
+//!   workspace walks linearly instead of gathering through COO entry ids.
+//! * [`ptucker`] (`crates/core`) — the solver, organized as a
+//!   **plan/engine/kernel/scratch** stack: the fit driver derives the
+//!   `ModeStreams` plan once per fit (metered in the memory budget), is
+//!   generic over a `ptucker::engine::RowUpdateKernel` (one implementation
+//!   per variant — Direct, Cached, Approx — monomorphized, no per-row
+//!   variant branching), and every per-row intermediate lives in a
 //!   `ptucker::engine::Scratch` arena allocated once per worker thread.
-//!   The net effect is a row-update loop with **zero heap allocations**;
-//!   adding a new backend means implementing one trait.
+//!   The Direct δ kernel walks core entries lexicographically and reuses
+//!   shared-prefix products, so the net effect is a row-update loop with
+//!   **zero heap allocations**, contiguous memory traffic, and ~1
+//!   amortized multiply per (entry, core-entry) pair; adding a new backend
+//!   means implementing one trait.
 //! * [`cp`], [`baselines`], [`discovery`] — the CP-ALS analogue (sharing
-//!   the same scratch arenas), the paper's competitors (wOpt/CSF/S-HOT,
-//!   ported onto the same allocation discipline), and the factor-analysis
-//!   discoveries.
+//!   the same scratch arenas and execution plan), the paper's competitors
+//!   (wOpt/CSF/S-HOT, with S-HOT's row loop on the same plan), and the
+//!   factor-analysis discoveries.
 //!
 //! Offline note: crates.io is unreachable in this build environment, so
 //! `crates/shims/` vendors minimal API-compatible stand-ins for `rand`,
