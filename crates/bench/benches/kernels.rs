@@ -1,13 +1,17 @@
 //! Criterion microbenchmarks of the hot kernels: the linear-algebra
 //! routines P-Tucker leans on (Cholesky/LU/QR/eigen at the paper's J
 //! sizes), the engine's row update — **COO gather baseline vs the
-//! mode-major streamed plan** for the Direct kernel, plus the Cached
-//! kernel on the plan — and the CSF TTMc against a brute-force Kronecker
-//! accumulation.
+//! prefix-reused scalar kernel vs the run-blocked micro-kernel** for the
+//! Direct path, the Cached kernel's sweep with a **COO-ordered vs
+//! stream-ordered Pres table**, and the CSF TTMc against a brute-force
+//! Kronecker accumulation.
 //!
 //! Besides the stdout report, the run emits `BENCH_kernels.json` at the
-//! workspace root: the gather-vs-stream medians at J ∈ {5, 10, 20}, the
-//! perf artifact CI (and future PRs) regress against.
+//! workspace root: the gather/scalar/blocked and COO-vs-stream cached
+//! medians at J ∈ {5, 10, 20}, the perf artifact CI (and future PRs)
+//! regress against. The `gather_ns`/`stream_direct_ns`/`speedup` fields
+//! keep their PR 2 meaning (`stream_direct` is whatever kernel
+//! `PTucker::fit` actually runs) so the trajectory stays comparable.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use ptucker::engine::{CachedKernel, DirectKernel, ModeContext, RowUpdateKernel, Scratch};
@@ -155,14 +159,165 @@ impl RowUpdateFixture {
             black_box(kernel.update_row(&ctx, scratch, i, row));
         }
     }
+
+    /// The PR 2 kernel this PR replaced: the prefix-reused **scalar** δ on
+    /// the streamed plan — a per-core-entry prefix stack, ~1 amortized
+    /// multiply per (entry, core-entry) pair, no run blocking — hand-rolled
+    /// through the public scratch/stream APIs for the scalar-vs-blocked
+    /// comparison.
+    fn scalar_lex_row_sweep(&self, scratch: &mut Scratch, row: &mut [f64]) {
+        let j = self.j;
+        let order = self.x.order();
+        let core_idx = self.core.flat_indices();
+        let core_vals = self.core.values();
+        let stream = self.plan.mode(0);
+        let values = stream.values();
+        let others_flat = stream.others_flat();
+        let k_others = stream.other_count();
+        for i in 0..self.x.dims()[0] {
+            row.copy_from_slice(self.factors[0].row(i));
+            let range = stream.slice_range(i);
+            if range.is_empty() {
+                row.fill(0.0);
+                continue;
+            }
+            {
+                let (delta, c, b_upper) = scratch.accumulators(j);
+                for pos in range {
+                    let others = &others_flat[pos * k_others..(pos + 1) * k_others];
+                    delta.fill(0.0);
+                    let mut rows: [&[f64]; 16] = [&[]; 16];
+                    for k in 1..order {
+                        rows[k - 1] = self.factors[k].row(others[k - 1] as usize);
+                    }
+                    let mut prefix = [1.0f64; 17];
+                    let mut prev: &[usize] = &[];
+                    for (b, &g) in core_vals.iter().enumerate() {
+                        let beta = &core_idx[b * order..(b + 1) * order];
+                        let mut p = 0;
+                        while p < prev.len() && prev[p] == beta[p] {
+                            p += 1;
+                        }
+                        for d in p..order {
+                            let a = if d == 0 { 1.0 } else { rows[d - 1][beta[d]] };
+                            prefix[d + 1] = prefix[d] * a;
+                        }
+                        delta[beta[0]] += g * prefix[order];
+                        prev = beta;
+                    }
+                    let xv = values[pos];
+                    for j1 in 0..j {
+                        let d1 = delta[j1];
+                        c[j1] += xv * d1;
+                        if d1 == 0.0 {
+                            continue;
+                        }
+                        for j2 in j1..j {
+                            b_upper[j1 * j + j2] += d1 * delta[j2];
+                        }
+                    }
+                }
+            }
+            black_box(scratch.solve(j, self.opts.lambda, row));
+        }
+    }
+
+    /// The pre-PR Cached sweep: the Pres table in **COO entry order**,
+    /// indirected through the stream's entry-id map per position — exactly
+    /// the access pattern the stream-ordered table removed, hand-rolled
+    /// over a locally built table.
+    fn coo_cached_row_sweep(&self, table: &[f64], scratch: &mut Scratch, row: &mut [f64]) {
+        let j = self.j;
+        let order = self.x.order();
+        let g = self.core.nnz();
+        let core_idx = self.core.flat_indices();
+        let core_vals = self.core.values();
+        let stream = self.plan.mode(0);
+        let values = stream.values();
+        let others_flat = stream.others_flat();
+        let k_others = stream.other_count();
+        for i in 0..self.x.dims()[0] {
+            row.copy_from_slice(self.factors[0].row(i));
+            let range = stream.slice_range(i);
+            if range.is_empty() {
+                row.fill(0.0);
+                continue;
+            }
+            {
+                let (delta, c, b_upper) = scratch.accumulators(j);
+                for pos in range {
+                    let e = stream.entry_id(pos);
+                    let others = &others_flat[pos * k_others..(pos + 1) * k_others];
+                    let pres = &table[e * g..(e + 1) * g];
+                    delta.fill(0.0);
+                    let old_row = self.factors[0].row(i);
+                    for (b, &cached) in pres.iter().enumerate() {
+                        let beta = &core_idx[b * order..(b + 1) * order];
+                        let j_n = beta[0];
+                        let a = old_row[j_n];
+                        if a != 0.0 {
+                            delta[j_n] += cached / a;
+                        } else {
+                            let mut w = core_vals[b];
+                            for k in 1..order {
+                                w *= self.factors[k][(others[k - 1] as usize, beta[k])];
+                                if w == 0.0 {
+                                    break;
+                                }
+                            }
+                            delta[j_n] += w;
+                        }
+                    }
+                    let xv = values[pos];
+                    for j1 in 0..j {
+                        let d1 = delta[j1];
+                        c[j1] += xv * d1;
+                        if d1 == 0.0 {
+                            continue;
+                        }
+                        for j2 in j1..j {
+                            b_upper[j1 * j + j2] += d1 * delta[j2];
+                        }
+                    }
+                }
+            }
+            black_box(scratch.solve(j, self.opts.lambda, row));
+        }
+    }
+
+    /// Builds the COO-ordered `|Ω|×|G|` Pres table the pre-PR cached sweep
+    /// reads (through public APIs; the engine's own table is stream-ordered
+    /// and private).
+    fn build_coo_table(&self) -> Vec<f64> {
+        let g = self.core.nnz();
+        let order = self.x.order();
+        let mut table = vec![0.0f64; self.x.nnz() * g];
+        for e in 0..self.x.nnz() {
+            let idx = self.x.index(e);
+            for b in 0..g {
+                let beta = self.core.index(b);
+                let mut w = self.core.value(b);
+                for k in 0..order {
+                    w *= self.factors[k][(idx[k], beta[k])];
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                table[e * g + b] = w;
+            }
+        }
+        table
+    }
 }
 
 /// The engine row-update guard: one full mode-0 row sweep (accumulate the
 /// normal equations over each row's slice, solve in the scratch arena) at
 /// the paper's rank scales. `gather` is the replaced COO entry-id path;
-/// `stream` is the mode-major plan with the prefix-reused δ kernel; the
-/// Cached kernel runs on the plan too. A regression here is a regression
-/// in every fit.
+/// `scalar_lex` is PR 2's prefix-reused scalar kernel on the plan;
+/// `stream_direct` is the run-blocked micro-kernel `PTucker::fit` runs
+/// now; `coo_cached`/`stream_cached` compare the Cached sweep with a
+/// COO-ordered vs stream-ordered Pres table. A regression here is a
+/// regression in every fit.
 fn bench_row_update(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut group = c.benchmark_group("row_update");
@@ -176,15 +331,28 @@ fn bench_row_update(c: &mut Criterion) {
             b.iter(|| fx.gather_row_sweep(&mut scratch, &mut row))
         });
 
+        group.bench_with_input(BenchmarkId::new("scalar_lex", j), &j, |b, _| {
+            let mut scratch = Scratch::new(j);
+            let mut row = vec![0.0; j];
+            b.iter(|| fx.scalar_lex_row_sweep(&mut scratch, &mut row))
+        });
+
         group.bench_with_input(BenchmarkId::new("stream_direct", j), &j, |b, _| {
             let mut scratch = Scratch::new(j);
             let mut row = vec![0.0; j];
             b.iter(|| fx.stream_row_sweep(&DirectKernel, &mut scratch, &mut row))
         });
 
+        let coo_table = fx.build_coo_table();
+        group.bench_with_input(BenchmarkId::new("coo_cached", j), &j, |b, _| {
+            let mut scratch = Scratch::new(j);
+            let mut row = vec![0.0; j];
+            b.iter(|| fx.coo_cached_row_sweep(&coo_table, &mut scratch, &mut row))
+        });
+
         let mut cached = CachedKernel::new();
         cached
-            .prepare_fit(&fx.x, &fx.factors, &fx.core, &fx.opts)
+            .prepare_fit(&fx.x, &fx.plan, &fx.factors, &fx.core, &fx.opts)
             .unwrap();
         group.bench_with_input(BenchmarkId::new("stream_cached", j), &j, |b, _| {
             let mut scratch = Scratch::new(j);
@@ -259,11 +427,17 @@ fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-/// Writes the gather-vs-stream perf artifact (`BENCH_kernels.json` at the
-/// workspace root): per J, the median ns of one full mode-0 row sweep on
-/// the COO gather baseline and on the streamed Direct kernel, plus their
-/// ratio. The acceptance bar for the mode-major plan is `speedup > 1` at
-/// every J.
+/// Writes the kernel perf artifact (`BENCH_kernels.json` at the workspace
+/// root): per J, the median ns of one full mode-0 row sweep on
+///
+/// * the COO gather baseline, PR 2's prefix-reused scalar kernel and the
+///   run-blocked micro-kernel (`stream_direct` — what `PTucker::fit`
+///   runs), with `speedup` = gather/blocked (the PR 2 series, directly
+///   comparable) and `speedup_vs_scalar` = scalar/blocked, and
+/// * the Cached sweep with a COO-ordered vs stream-ordered Pres table.
+///
+/// Acceptance bars: `speedup ≥ 1.5` at J = 20 and a cached-sweep speedup
+/// above 1 at every J.
 fn write_artifact() {
     let mut rng = StdRng::seed_from_u64(3);
     let mut lines = Vec::new();
@@ -272,18 +446,41 @@ fn write_artifact() {
         let mut scratch = Scratch::new(j);
         let mut row = vec![0.0; j];
         let gather = median_ns(15, || fx.gather_row_sweep(&mut scratch, &mut row));
+        let scalar = median_ns(15, || fx.scalar_lex_row_sweep(&mut scratch, &mut row));
         let stream = median_ns(15, || {
             fx.stream_row_sweep(&DirectKernel, &mut scratch, &mut row)
         });
         let speedup = gather / stream;
+        let vs_scalar = scalar / stream;
         println!(
-            "artifact row_update j={j}: gather {gather:.0} ns, stream {stream:.0} ns, \
-             speedup {speedup:.2}x"
+            "artifact row_update j={j}: gather {gather:.0} ns, scalar {scalar:.0} ns, \
+             blocked {stream:.0} ns, speedup {speedup:.2}x (vs scalar {vs_scalar:.2}x)"
         );
         lines.push(format!(
             "    {{\"bench\": \"row_update_mode0_sweep\", \"j\": {j}, \
-             \"gather_ns\": {gather:.1}, \"stream_direct_ns\": {stream:.1}, \
-             \"speedup\": {speedup:.3}}}"
+             \"gather_ns\": {gather:.1}, \"scalar_lex_ns\": {scalar:.1}, \
+             \"stream_direct_ns\": {stream:.1}, \"speedup\": {speedup:.3}, \
+             \"speedup_vs_scalar\": {vs_scalar:.3}}}"
+        ));
+
+        let coo_table = fx.build_coo_table();
+        let coo = median_ns(15, || {
+            fx.coo_cached_row_sweep(&coo_table, &mut scratch, &mut row)
+        });
+        let mut cached = CachedKernel::new();
+        cached
+            .prepare_fit(&fx.x, &fx.plan, &fx.factors, &fx.core, &fx.opts)
+            .unwrap();
+        let streamed = median_ns(15, || fx.stream_row_sweep(&cached, &mut scratch, &mut row));
+        let cached_speedup = coo / streamed;
+        println!(
+            "artifact cached_sweep j={j}: coo {coo:.0} ns, stream {streamed:.0} ns, \
+             speedup {cached_speedup:.2}x"
+        );
+        lines.push(format!(
+            "    {{\"bench\": \"cached_sweep_mode0\", \"j\": {j}, \
+             \"coo_table_ns\": {coo:.1}, \"stream_table_ns\": {streamed:.1}, \
+             \"speedup\": {cached_speedup:.3}}}"
         ));
     }
     let json = format!(

@@ -109,9 +109,10 @@ fn run_fit<K: RowUpdateKernel>(
         .collect();
 
     // Kernel-specific setup: the Cache variant precomputes its |Ω|×|G|
-    // table here (Algorithm 3 lines 1–4) and may exceed the budget; the
-    // Approx variant reserves its per-thread R(β) buffers.
-    kernel.prepare_fit(x, &factors, &core, opts)?;
+    // table here (Algorithm 3 lines 1–4, in mode 0's stream order) and may
+    // exceed the budget; the Approx variant reserves its per-thread R(β)
+    // buffers.
+    kernel.prepare_fit(x, &plan, &factors, &core, opts)?;
 
     let mut iterations: Vec<IterStats> = Vec::with_capacity(opts.max_iters);
     let mut prev_err = f64::INFINITY;
@@ -123,7 +124,7 @@ fn run_fit<K: RowUpdateKernel>(
         // Step 2-3: update factor matrices (Algorithm 2 line 3 /
         // Algorithm 3).
         for n in 0..order {
-            kernel.prepare_mode(x, &factors, n, &core, opts)?;
+            kernel.prepare_mode(x, &plan, &factors, n, &core, opts)?;
             update_factor(
                 x,
                 &plan,
@@ -134,7 +135,7 @@ fn run_fit<K: RowUpdateKernel>(
                 &kernel,
                 &mut scratch_pool,
             )?;
-            kernel.post_mode(x, &factors, n, &core, opts);
+            kernel.post_mode(x, &plan, &factors, n, &core, opts);
         }
 
         // Step 4: reconstruction error (Algorithm 2 line 4), parallel

@@ -1,5 +1,5 @@
 //! P-Tucker-Cache: the `Pres` memoization table (Algorithm 3, lines 1–4 and
-//! 16–19 of the paper).
+//! 16–19 of the paper), stored in **stream order**.
 //!
 //! `Pres[α][β] = G_β Π_{k=1..N} a⁽ᵏ⁾(iₖ, βₖ)` caches the full N-way product
 //! for every (observed entry, core entry) pair. During a mode-`n` row update
@@ -10,6 +10,29 @@
 //! `A⁽ⁿ⁾` changes, every cached product is rescaled by `a_new/a_old`
 //! (recomputed outright where `a_old = 0`).
 //!
+//! # Stream-ordered storage
+//!
+//! The table's rows are laid out in the [`ModeStream`] order of the mode
+//! currently being swept, not in COO entry order: position `p` of the
+//! sweep owns row `p` of the table, so a mode's whole row sweep reads the
+//! `|Ω|·|G|` doubles **strictly sequentially** — no entry-id indirection,
+//! no scattered row fetches. Between modes the table is carried into the
+//! next mode's order by [`PresTable::rescale_and_reorder`]: the per-mode
+//! rescale (the arithmetic pass) stays parallel, followed by an in-place
+//! cycle-chase permutation (one `|G|` carry row plus a transient
+//! `|Ω|`-byte visited map — **no** second table-sized buffer, so
+//! Theorem 6's memory bound is preserved; the permutation is pure memory
+//! movement, so its single thread rides bandwidth, not ALUs). The driver sweeps modes cyclically,
+//! so each sweep starts with the table already in the right order;
+//! [`PresTable::ensure_order`] re-aligns it for direct API users with
+//! other call patterns.
+//!
+//! The δ accumulation itself is run-blocked like the Direct kernel's (see
+//! [`crate::delta`]): within a run of core entries sharing their first
+//! `N−1` coordinates, a non-tail update mode has a constant divisor, so
+//! the run collapses to one contiguous sum over the cached products and a
+//! single division.
+//!
 //! The table is `|Ω|·|G|` doubles — the dominant memory cost (Theorem 6) —
 //! and is metered against the fit's [`MemoryBudget`], which is exactly how
 //! the Fig. 8(b) memory gap (≈29.5× at N = 10) is reproduced.
@@ -18,28 +41,32 @@ use crate::Result;
 use ptucker_linalg::Matrix;
 use ptucker_memtrack::{MemoryBudget, Reservation};
 use ptucker_sched::{parallel_rows_mut, Schedule};
-use ptucker_tensor::{CoreTensor, SparseTensor};
+use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor};
 
 /// The memoization table of P-Tucker-Cache.
 #[derive(Debug)]
 pub(crate) struct PresTable {
-    /// Row-major `|Ω| × |G|` products.
+    /// Row-major `|Ω| × |G|` products, rows in `order_mode`'s stream order.
     data: Vec<f64>,
     /// Row stride = `|G|` (fixed: Cache and Approx are mutually exclusive).
     g: usize,
+    /// The mode whose stream order the rows currently follow.
+    order_mode: usize,
     /// Keeps the budget reservation alive for the table's lifetime.
     _reservation: Reservation,
 }
 
 impl PresTable {
     /// Precomputes the full table in parallel (Algorithm 3 lines 1–4; the
-    /// paper uses static scheduling here — uniform work per row).
+    /// paper uses static scheduling here — uniform work per row), laid out
+    /// in **mode 0's stream order** (the first mode the driver sweeps).
     ///
     /// # Errors
     /// [`crate::PtuckerError::OutOfMemory`] if `|Ω|·|G|` doubles exceed the
     /// intermediate-data budget.
     pub fn compute(
         x: &SparseTensor,
+        plan: &ModeStreams,
         factors: &[Matrix],
         core: &CoreTensor,
         threads: usize,
@@ -52,8 +79,9 @@ impl PresTable {
         let order = x.order();
         let core_idx = core.flat_indices();
         let core_vals = core.values();
-        parallel_rows_mut(&mut data, g.max(1), threads, Schedule::Static, |e, row| {
-            let idx = x.index(e);
+        let stream = plan.mode(0);
+        parallel_rows_mut(&mut data, g.max(1), threads, Schedule::Static, |p, row| {
+            let idx = x.index(stream.entry_id(p));
             for (b, slot) in row.iter_mut().enumerate() {
                 *slot = product(
                     core_vals[b],
@@ -66,101 +94,187 @@ impl PresTable {
         Ok(PresTable {
             data,
             g,
+            order_mode: 0,
             _reservation: reservation,
         })
     }
 
-    /// The cached products for observed entry `e`.
-    #[inline]
-    pub fn row(&self, e: usize) -> &[f64] {
-        &self.data[e * self.g..(e + 1) * self.g]
+    /// The mode whose stream order the rows currently follow.
+    #[cfg(test)]
+    pub fn order_mode(&self) -> usize {
+        self.order_mode
     }
 
-    /// Accumulates δ for entry `e` using the cache (Algorithm 3 line 12),
-    /// with the direct-product fallback for zero divisors.
+    /// The cached products behind stream position `p` of the current
+    /// order mode's stream.
+    #[inline]
+    pub fn row_at(&self, p: usize) -> &[f64] {
+        &self.data[p * self.g..(p + 1) * self.g]
+    }
+
+    /// Accumulates δ for the entry at stream position `pos` using the
+    /// cache (Algorithm 3 line 12), run-blocked: for a non-tail update
+    /// mode the divisor `a⁽ⁿ⁾(iₙ, βₙ)` is constant over a run, so the run
+    /// collapses to one contiguous sum of cached products and a single
+    /// division. The direct-product fallback covers zero divisors (the
+    /// paper's caveat).
     ///
     /// `others` holds the entry's packed other-mode indices in stream
     /// layout (ascending mode order, `mode` skipped); `a_row_old` is the
-    /// *current* (pre-update) row `a⁽ⁿ⁾(iₙ, ·)`.
+    /// *current* (pre-update) row `a⁽ⁿ⁾(iₙ, ·)`; `runs` is the core's run
+    /// structure from `crate::delta::core_runs`.
+    ///
+    /// The table must currently be in `mode`'s stream order.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub fn accumulate_delta_cached(
         &self,
         delta: &mut [f64],
-        e: usize,
+        pos: usize,
         others: &[u32],
         mode: usize,
         a_row_old: &[f64],
         core_idx: &[usize],
         core_vals: &[f64],
+        runs: &[u32],
         factors: &[Matrix],
     ) {
+        debug_assert_eq!(self.order_mode, mode, "table must be in sweep order");
         delta.fill(0.0);
         let order = factors.len();
-        let pres = self.row(e);
-        for (b, &cached) in pres.iter().enumerate() {
-            let beta = &core_idx[b * order..(b + 1) * order];
-            let j_n = beta[mode];
-            let a = a_row_old[j_n];
-            if a != 0.0 {
-                delta[j_n] += cached / a;
-            } else {
-                // Fallback: direct Π_{k≠n} product (paper: "when a is 0,
-                // P-TUCKER-CACHE conducts the multiplications as P-TUCKER
-                // does").
-                let mut w = core_vals[b];
-                let mut slot = 0;
-                for (k, factor) in factors.iter().enumerate() {
-                    if k == mode {
-                        continue;
-                    }
-                    w *= factor[(others[slot] as usize, beta[k])];
-                    slot += 1;
-                    if w == 0.0 {
-                        break;
+        let last = order - 1;
+        let pres = self.row_at(pos);
+        for r in 0..runs.len() - 1 {
+            let base = runs[r] as usize;
+            let end = runs[r + 1] as usize;
+            if mode == last {
+                // The divisor varies with the tail coordinate: per-entry
+                // divisions, still a linear pass over the cached slice.
+                for b in base..end {
+                    let j_n = core_idx[b * order + last];
+                    let a = a_row_old[j_n];
+                    if a != 0.0 {
+                        delta[j_n] += pres[b] / a;
+                    } else {
+                        delta[j_n] += fallback_product(
+                            core_vals[b],
+                            &core_idx[b * order..(b + 1) * order],
+                            others,
+                            mode,
+                            factors,
+                        );
                     }
                 }
-                delta[j_n] += w;
+            } else {
+                // Constant divisor over the run: one contiguous sum, one
+                // division.
+                let j_n = core_idx[base * order + mode];
+                let a = a_row_old[j_n];
+                if a != 0.0 {
+                    let mut acc = 0.0;
+                    for &cached in &pres[base..end] {
+                        acc += cached;
+                    }
+                    delta[j_n] += acc / a;
+                } else {
+                    for b in base..end {
+                        delta[j_n] += fallback_product(
+                            core_vals[b],
+                            &core_idx[b * order..(b + 1) * order],
+                            others,
+                            mode,
+                            factors,
+                        );
+                    }
+                }
             }
         }
     }
 
-    /// Rescales the table after `A⁽ⁿ⁾` was updated (Algorithm 3 lines
+    /// Rescales the table after `A⁽ᵐᵒᵈᵉ⁾` was updated (Algorithm 3 lines
     /// 16–19): `Pres[α][β] *= a_new/a_old`, recomputing outright where
-    /// `a_old = 0`. Parallel with static scheduling, like the precompute.
-    pub fn update_mode(
+    /// `a_old = 0` — then permutes the rows from `mode`'s stream order
+    /// into `next_mode`'s, so the next sweep reads the table sequentially
+    /// again.
+    ///
+    /// The rescale — the `O(|Ω|·|G|)` *arithmetic* pass — runs in parallel
+    /// across `threads`, exactly like the original algorithm. The reorder
+    /// is a separate, purely memory-bound cycle-chase permutation (each
+    /// row moved once through a `|G|` carry buffer; a transient `|Ω|`-byte
+    /// visited map is the only bookkeeping, negligible next to the
+    /// `8·|Ω|·|G|`-byte table it permutes — **no** second table-sized
+    /// buffer, so Theorem 6's memory bound is preserved).
+    #[allow(clippy::too_many_arguments)]
+    pub fn rescale_and_reorder(
         &mut self,
         x: &SparseTensor,
+        plan: &ModeStreams,
         factors: &[Matrix],
         old_a: &Matrix,
         mode: usize,
+        next_mode: usize,
         core: &CoreTensor,
         threads: usize,
     ) {
-        let g = self.g;
+        debug_assert_eq!(self.order_mode, mode, "table must be in sweep order");
+        let g = self.g.max(1);
         let order = x.order();
         let core_idx = core.flat_indices();
         let core_vals = core.values();
         let new_a = &factors[mode];
-        parallel_rows_mut(
-            &mut self.data,
-            g.max(1),
-            threads,
-            Schedule::Static,
-            |e, row| {
-                let idx = x.index(e);
-                let i_n = idx[mode];
-                for (b, slot) in row.iter_mut().enumerate() {
-                    let beta = &core_idx[b * order..(b + 1) * order];
-                    let j_n = beta[mode];
-                    let old = old_a[(i_n, j_n)];
-                    if old != 0.0 {
-                        *slot *= new_a[(i_n, j_n)] / old;
-                    } else {
-                        *slot = product(core_vals[b], beta, idx, factors);
-                    }
+        let cur = plan.mode(mode);
+        parallel_rows_mut(&mut self.data, g, threads, Schedule::Static, |p, row| {
+            let idx = x.index(cur.entry_id(p));
+            let i_n = idx[mode];
+            for (b, slot) in row.iter_mut().enumerate() {
+                let beta = &core_idx[b * order..(b + 1) * order];
+                let j_n = beta[mode];
+                let old = old_a[(i_n, j_n)];
+                if old != 0.0 {
+                    *slot *= new_a[(i_n, j_n)] / old;
+                } else {
+                    *slot = product(core_vals[b], beta, idx, factors);
                 }
-            },
-        );
+            }
+        });
+        self.ensure_order(x, plan, next_mode);
+    }
+
+    /// Re-aligns the table to `mode`'s stream order (no rescaling): a
+    /// no-op when already there, otherwise an in-place cycle-chase
+    /// permutation — every row is read and written exactly once, through
+    /// one `|G|` carry buffer.
+    pub fn ensure_order(&mut self, x: &SparseTensor, plan: &ModeStreams, mode: usize) {
+        if self.order_mode == mode {
+            return;
+        }
+        let cur = plan.mode(self.order_mode);
+        let next = plan.mode(mode);
+        let nnz = x.nnz();
+        // σ(p) = destination of the row at current position p.
+        let sigma = |p: usize| next.position_of(cur.entry_id(p));
+        let mut visited = vec![false; nnz];
+        let mut carry = vec![0.0f64; self.g.max(1)];
+        for start in 0..nnz {
+            if visited[start] {
+                continue;
+            }
+            // Lift the cycle's first row out; then walk the cycle,
+            // swapping each destination's old row into the carry.
+            carry[..self.g].copy_from_slice(self.row_at(start));
+            visited[start] = true;
+            let mut p = sigma(start);
+            while p != start {
+                let row = &mut self.data[p * self.g..(p + 1) * self.g];
+                for (c, slot) in carry[..self.g].iter_mut().zip(row) {
+                    std::mem::swap(c, slot);
+                }
+                visited[p] = true;
+                p = sigma(p);
+            }
+            self.data[start * self.g..(start + 1) * self.g].copy_from_slice(&carry[..self.g]);
+        }
+        self.order_mode = mode;
     }
 }
 
@@ -177,15 +291,42 @@ fn product(g: f64, beta: &[usize], idx: &[usize], factors: &[Matrix]) -> f64 {
     w
 }
 
+/// The zero-divisor fallback: the direct `Π_{k≠n}` product from the
+/// entry's packed other-mode indices (paper: "when a is 0, P-TUCKER-CACHE
+/// conducts the multiplications as P-TUCKER does").
+#[inline]
+fn fallback_product(
+    g: f64,
+    beta: &[usize],
+    others: &[u32],
+    mode: usize,
+    factors: &[Matrix],
+) -> f64 {
+    let mut w = g;
+    let mut slot = 0;
+    for (k, factor) in factors.iter().enumerate() {
+        if k == mode {
+            continue;
+        }
+        w *= factor[(others[slot] as usize, beta[k])];
+        slot += 1;
+        if w == 0.0 {
+            break;
+        }
+    }
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::delta::accumulate_delta;
+    use crate::delta::{accumulate_delta, core_runs};
+    use proptest::prelude::*;
     use ptucker_memtrack::MemoryBudget;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (SparseTensor, Vec<Matrix>, CoreTensor) {
+    fn setup() -> (SparseTensor, Vec<Matrix>, CoreTensor, ModeStreams) {
         let mut rng = StdRng::seed_from_u64(21);
         let x = ptucker_tensor::SparseTensor::new(
             vec![3, 4],
@@ -199,7 +340,8 @@ mod tests {
         .unwrap();
         let factors = vec![random_matrix(3, 2, &mut rng), random_matrix(4, 2, &mut rng)];
         let core = CoreTensor::random_dense(vec![2, 2], &mut rng).unwrap();
-        (x, factors, core)
+        let plan = ModeStreams::build(&x).unwrap();
+        (x, factors, core, plan)
     }
 
     fn random_matrix(r: usize, c: usize, rng: &mut StdRng) -> Matrix {
@@ -217,25 +359,34 @@ mod tests {
     }
 
     #[test]
-    fn precompute_matches_direct_products() {
-        let (x, factors, core) = setup();
-        let pres = PresTable::compute(&x, &factors, &core, 2, &MemoryBudget::unlimited()).unwrap();
-        for e in 0..x.nnz() {
-            let idx = x.index(e);
+    fn precompute_is_stream_ordered_and_matches_direct_products() {
+        // The tentpole contract: `Pres` in stream order equals `Pres` in
+        // COO order looked up through the stream's entry-id map.
+        let (x, factors, core, plan) = setup();
+        let pres =
+            PresTable::compute(&x, &plan, &factors, &core, 2, &MemoryBudget::unlimited()).unwrap();
+        assert_eq!(pres.order_mode(), 0);
+        let stream = plan.mode(0);
+        for p in 0..x.nnz() {
+            let idx = x.index(stream.entry_id(p));
             for b in 0..core.nnz() {
                 let want = product(core.value(b), core.index(b), idx, &factors);
-                assert!((pres.row(e)[b] - want).abs() < 1e-12);
+                assert!((pres.row_at(p)[b] - want).abs() < 1e-12);
             }
         }
     }
 
     #[test]
     fn cached_delta_matches_direct_delta() {
-        let (x, factors, core) = setup();
-        let pres = PresTable::compute(&x, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+        let (x, factors, core, plan) = setup();
+        let mut pres =
+            PresTable::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+        let runs = core_runs(core.flat_indices(), core.order());
         for mode in 0..2 {
-            for e in 0..x.nnz() {
-                let idx = x.index(e);
+            pres.ensure_order(&x, &plan, mode);
+            let stream = plan.mode(mode);
+            for pos in 0..x.nnz() {
+                let idx = x.index(stream.entry_id(pos));
                 let j_n = core.dims()[mode];
                 let mut direct = vec![0.0; j_n];
                 accumulate_delta(
@@ -250,16 +401,17 @@ mod tests {
                 let mut cached = vec![0.0; j_n];
                 pres.accumulate_delta_cached(
                     &mut cached,
-                    e,
+                    pos,
                     &pack_others(idx, mode),
                     mode,
                     &a_row,
                     core.flat_indices(),
                     core.values(),
+                    &runs,
                     &factors,
                 );
                 for (c, d) in cached.iter().zip(&direct) {
-                    assert!((c - d).abs() < 1e-10, "mode={mode} e={e}");
+                    assert!((c - d).abs() < 1e-10, "mode={mode} pos={pos}");
                 }
             }
         }
@@ -267,12 +419,16 @@ mod tests {
 
     #[test]
     fn cached_delta_zero_divisor_fallback() {
-        let (x, mut factors, core) = setup();
+        let (x, mut factors, core, plan) = setup();
         // Zero out one factor value so the division path is impossible.
         factors[0][(0, 1)] = 0.0;
-        let pres = PresTable::compute(&x, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
-        let e = 0; // entry (0,0)
-        let idx = x.index(e);
+        let pres =
+            PresTable::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+        let runs = core_runs(core.flat_indices(), core.order());
+        let stream = plan.mode(0);
+        // Find the stream position of COO entry 0 — entry (0,0).
+        let pos = stream.position_of(0);
+        let idx = x.index(0);
         let mut direct = vec![0.0; 2];
         accumulate_delta(
             &mut direct,
@@ -286,12 +442,13 @@ mod tests {
         let mut cached = vec![0.0; 2];
         pres.accumulate_delta_cached(
             &mut cached,
-            e,
+            pos,
             &pack_others(idx, 0),
             0,
             &a_row,
             core.flat_indices(),
             core.values(),
+            &runs,
             &factors,
         );
         for (c, d) in cached.iter().zip(&direct) {
@@ -300,50 +457,123 @@ mod tests {
     }
 
     #[test]
-    fn update_mode_keeps_table_consistent() {
-        let (x, mut factors, core) = setup();
+    fn rescale_and_reorder_keeps_table_consistent() {
+        let (x, mut factors, core, plan) = setup();
         let mut pres =
-            PresTable::compute(&x, &factors, &core, 2, &MemoryBudget::unlimited()).unwrap();
-        // Change factor 1, including a zero→nonzero flip.
-        let old = factors[1].clone();
+            PresTable::compute(&x, &plan, &factors, &core, 2, &MemoryBudget::unlimited()).unwrap();
+        // Sweep mode 0 (no factor change yet), then "update" factor 0 and
+        // carry the table into mode 1's order, fused with the rescale.
+        let old = factors[0].clone();
         let mut rng = StdRng::seed_from_u64(99);
-        factors[1] = random_matrix(4, 2, &mut rng);
-        pres.update_mode(&x, &factors, &old, 1, &core, 2);
-        for e in 0..x.nnz() {
-            let idx = x.index(e);
+        factors[0] = random_matrix(3, 2, &mut rng);
+        pres.rescale_and_reorder(&x, &plan, &factors, &old, 0, 1, &core, 2);
+        assert_eq!(pres.order_mode(), 1);
+        let stream = plan.mode(1);
+        for p in 0..x.nnz() {
+            let idx = x.index(stream.entry_id(p));
             for b in 0..core.nnz() {
                 let want = product(core.value(b), core.index(b), idx, &factors);
                 assert!(
-                    (pres.row(e)[b] - want).abs() < 1e-10,
-                    "stale cache at e={e} b={b}"
+                    (pres.row_at(p)[b] - want).abs() < 1e-10,
+                    "stale cache at p={p} b={b}"
                 );
             }
         }
     }
 
     #[test]
-    fn update_mode_recomputes_after_zero_old_value() {
-        let (x, mut factors, core) = setup();
+    fn rescale_recomputes_after_zero_old_value() {
+        let (x, mut factors, core, plan) = setup();
         factors[0][(0, 0)] = 0.0;
         let mut pres =
-            PresTable::compute(&x, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+            PresTable::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
         let old = factors[0].clone();
         factors[0][(0, 0)] = 0.75; // zero → nonzero: division impossible
-        pres.update_mode(&x, &factors, &old, 0, &core, 1);
-        for e in 0..x.nnz() {
-            let idx = x.index(e);
+        pres.rescale_and_reorder(&x, &plan, &factors, &old, 0, 1, &core, 1);
+        let stream = plan.mode(1);
+        for p in 0..x.nnz() {
+            let idx = x.index(stream.entry_id(p));
             for b in 0..core.nnz() {
                 let want = product(core.value(b), core.index(b), idx, &factors);
-                assert!((pres.row(e)[b] - want).abs() < 1e-12);
+                assert!((pres.row_at(p)[b] - want).abs() < 1e-12);
             }
         }
     }
 
     #[test]
+    fn ensure_order_round_trips() {
+        let (x, factors, core, plan) = setup();
+        let mut pres =
+            PresTable::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+        let snapshot = pres.data.clone();
+        pres.ensure_order(&x, &plan, 1);
+        assert_eq!(pres.order_mode(), 1);
+        pres.ensure_order(&x, &plan, 0);
+        assert_eq!(pres.order_mode(), 0);
+        // Pure permutations there and back: bitwise identical.
+        for (a, b) in pres.data.iter().zip(&snapshot) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn budget_violation_is_oom() {
-        let (x, factors, core) = setup();
+        let (x, factors, core, plan) = setup();
         let tiny = MemoryBudget::new(16); // far below |Ω|*|G|*8 bytes
-        let err = PresTable::compute(&x, &factors, &core, 1, &tiny).unwrap_err();
+        let err = PresTable::compute(&x, &plan, &factors, &core, 1, &tiny).unwrap_err();
         assert!(matches!(err, crate::PtuckerError::OutOfMemory(_)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // Satellite property: the stream-ordered table equals the
+        // COO-ordered products through the entry-id map, for every mode
+        // order it is carried into and through full rescale cycles.
+        #[test]
+        fn stream_ordered_table_equals_coo_ordered_products(seed in 0..u64::MAX) {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dims = [4usize, 3, 3];
+            let nnz = rng.gen_range(4..20usize);
+            let x = ptucker_datagen::uniform_sparse(&dims, nnz, &mut rng);
+            let factors: Vec<Matrix> = dims
+                .iter()
+                .map(|&d| random_matrix(d, 2, &mut rng))
+                .collect();
+            let core = CoreTensor::random_dense(vec![2, 2, 2], &mut rng).unwrap();
+            let plan = ModeStreams::build(&x).unwrap();
+            let mut pres = PresTable::compute(
+                &x,
+                &plan,
+                &factors,
+                &core,
+                1,
+                &MemoryBudget::unlimited(),
+            )
+            .unwrap();
+            // Walk the driver's cyclic order with identity rescales, plus
+            // one arbitrary jump via ensure_order.
+            for mode in 0..3usize {
+                pres.ensure_order(&x, &plan, mode);
+                let stream = plan.mode(mode);
+                for p in 0..x.nnz() {
+                    let idx = x.index(stream.entry_id(p));
+                    for b in 0..core.nnz() {
+                        let want = product(core.value(b), core.index(b), idx, &factors);
+                        prop_assert!(
+                            (pres.row_at(p)[b] - want).abs() < 1e-12,
+                            "mode {} p {} b {}",
+                            mode,
+                            p,
+                            b
+                        );
+                    }
+                }
+                let old = factors[mode].clone();
+                let next = (mode + 1) % 3;
+                pres.rescale_and_reorder(&x, &plan, &factors, &old, mode, next, &core, 2);
+            }
+        }
     }
 }

@@ -6,29 +6,83 @@
 //! The row update accumulates `B += δδᵀ` and `c += X_α δ` over all entries
 //! in the row's slice `Ω⁽ⁿ⁾ᵢₙ`, which is the whole of Theorem 1.
 //!
-//! Two implementations of the same definition live here:
+//! Three implementations of the same definition live here:
 //!
 //! * [`accumulate_delta`] — the reference *gather* kernel: full `N−1`
 //!   product per `(entry, core-entry)` pair from the entry's COO
 //!   multi-index. Test-gated: it survives as the equivalence baseline the
 //!   streamed kernels must reproduce (the bench crate hand-rolls the same
 //!   walk through public APIs for its gather-vs-stream comparison).
-//! * [`accumulate_delta_lex`] — the *prefix-reused* kernel the mode-major
-//!   plan runs on. Core entries are stored in lexicographic multi-index
-//!   order (dense construction, truncation and re-sparsification all
-//!   preserve it), so adjacent core entries share a multi-index prefix —
-//!   for a dense core the first `N−1` coordinates change only every `J_N`
-//!   entries. The kernel maintains a stack of prefix products
-//!   `prefix[d] = Π_{k<d, k≠n} a⁽ᵏ⁾(iₖ, βₖ)` and recomputes only the
-//!   suffix that changed, cutting the amortized multiplies per pair from
-//!   `N−1` toward ~1 *without* the Cache variant's `|Ω|×|G|` table.
+//! * [`accumulate_delta_lex`] — the *prefix-reused scalar* kernel of the
+//!   first mode-major plan: a stack of prefix products
+//!   `prefix[d] = Π_{k<d, k≠n} a⁽ᵏ⁾(iₖ, βₖ)` recomputing only the suffix
+//!   that changed between lexicographically adjacent core entries.
+//!   Test-gated: it is the scalar baseline the blocked kernel must
+//!   reproduce (and the bench crate hand-rolls it for its
+//!   scalar-vs-blocked comparison).
+//! * [`accumulate_delta_blocked`] — the **run-blocked micro-kernel** the
+//!   engine runs on. `CoreTensor`'s lexicographic invariant means the core
+//!   entry list decomposes into maximal *runs* sharing their first `N−1`
+//!   coordinates (for a dense core: runs of length `J_N`, one per
+//!   `(β₁…β_{N−1})` prefix). [`core_runs`] finds the run boundaries once
+//!   per mode sweep; the kernel then computes **one shared prefix product
+//!   per run** (still prefix-reused across run heads) and processes the
+//!   run's tail as a single contiguous pass over the packed `core_vals`
+//!   slice:
+//!
+//!   * update mode = tail coordinate: `δ[β_N..] += w · g[β_N..]` — an
+//!     [`axpy`](ptucker_linalg::kernels::axpy) into the δ vector;
+//!   * otherwise: `δ[β_n] += w · Σ_{β_N} g[β_N]·a⁽ᴺ⁾(i_N, β_N)` — a
+//!     [`dot`](ptucker_linalg::kernels::dot) of the run's values against
+//!     the pinned tail factor row.
+//!
+//!   Both primitives are the chunked/SIMD micro-kernels from
+//!   `ptucker_linalg::kernels`, so the inner loop saturates the FMA units
+//!   instead of chasing a per-entry prefix stack. Runs whose tail
+//!   coordinates are non-contiguous (truncated cores) take an indexed
+//!   variant of the same loop.
 
+use ptucker_linalg::kernels::{axpy, dot, syr_in_place};
 use ptucker_linalg::Matrix;
 
 /// Deepest core order served by the stack-allocated prefix buffers of
-/// [`accumulate_delta_lex`]; higher orders take a (correct, allocation-free)
-/// per-entry recompute path. The paper's experiments top out at `N = 10`.
-const MAX_PREFIX_ORDER: usize = 16;
+/// [`accumulate_delta_blocked`] (and the test-gated
+/// [`accumulate_delta_lex`]); higher orders take a (correct,
+/// allocation-free) per-entry recompute path. The paper's experiments top
+/// out at `N = 10`.
+pub(crate) const MAX_PREFIX_ORDER: usize = 16;
+
+/// Finds the maximal runs of consecutive core entries sharing their first
+/// `N−1` coordinates — the blocking structure of
+/// [`accumulate_delta_blocked`]. Returns run boundaries in offset form:
+/// run `r` spans entries `runs[r]..runs[r+1]`.
+///
+/// The run structure depends only on the core (not on the mode being
+/// updated or the observed entry), so it is computed once per mode sweep
+/// by `engine::ModeContext::new` and shared by every row update — `O(N·|G|)`
+/// comparisons amortized over the whole sweep, nothing in the row loop.
+///
+/// For a dense lexicographic core the runs have length `J_N` exactly; for
+/// an order-1 core (no prefix coordinates) the whole entry list is one run.
+pub(crate) fn core_runs(core_idx: &[usize], order: usize) -> Vec<u32> {
+    let g = core_idx.len() / order.max(1);
+    let mut runs = Vec::with_capacity(g / 2 + 2);
+    runs.push(0u32);
+    if g == 0 {
+        return runs;
+    }
+    let head_len = order - 1;
+    let mut prev = &core_idx[..head_len];
+    for b in 1..g {
+        let head = &core_idx[b * order..b * order + head_len];
+        if head != prev {
+            runs.push(b as u32);
+            prev = head;
+        }
+    }
+    runs.push(g as u32);
+    runs
+}
 
 /// Accumulates δ for one observed entry into `delta` (cleared first) by
 /// the original gather rule: one full `Π_{k≠n}` product per core entry
@@ -63,8 +117,42 @@ pub(crate) fn accumulate_delta(
     }
 }
 
+/// Degenerate-depth fallback shared by the streamed kernels for orders
+/// beyond [`MAX_PREFIX_ORDER`]: plain per-entry products (still
+/// allocation-free, just without prefix reuse or run blocking).
+fn accumulate_delta_deep(
+    delta: &mut [f64],
+    others: &[u32],
+    mode: usize,
+    core_idx: &[usize],
+    core_vals: &[f64],
+    factors: &[Matrix],
+) {
+    let order = factors.len();
+    for (b, &g) in core_vals.iter().enumerate() {
+        let beta = &core_idx[b * order..(b + 1) * order];
+        let mut w = g;
+        let mut slot = 0;
+        for (k, factor) in factors.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            w *= factor[(others[slot] as usize, beta[k])];
+            slot += 1;
+            if w == 0.0 {
+                break;
+            }
+        }
+        if w != 0.0 {
+            delta[beta[mode]] += w;
+        }
+    }
+}
+
 /// Accumulates δ for one streamed entry into `delta` (cleared first),
-/// reusing prefix products across lexicographically adjacent core entries.
+/// reusing prefix products across lexicographically adjacent core entries
+/// — the scalar kernel the run-blocked micro-kernel replaced. Test-gated:
+/// it is the equivalence baseline for [`accumulate_delta_blocked`].
 ///
 /// `others` holds the entry's packed other-mode indices (ascending mode
 /// order, `mode` skipped) as produced by `ptucker_tensor::ModeStream`.
@@ -76,6 +164,7 @@ pub(crate) fn accumulate_delta(
 ///
 /// `factors[mode]` is never read (it is the row data being updated and may
 /// be an empty placeholder during the sweep).
+#[cfg(test)]
 #[inline]
 pub(crate) fn accumulate_delta_lex(
     delta: &mut [f64],
@@ -89,26 +178,7 @@ pub(crate) fn accumulate_delta_lex(
     let order = factors.len();
     debug_assert_eq!(others.len(), order - 1);
     if order > MAX_PREFIX_ORDER {
-        // Degenerate-depth fallback: plain per-entry products (still
-        // allocation-free, just without prefix reuse).
-        for (b, &g) in core_vals.iter().enumerate() {
-            let beta = &core_idx[b * order..(b + 1) * order];
-            let mut w = g;
-            let mut slot = 0;
-            for (k, factor) in factors.iter().enumerate() {
-                if k == mode {
-                    continue;
-                }
-                w *= factor[(others[slot] as usize, beta[k])];
-                slot += 1;
-                if w == 0.0 {
-                    break;
-                }
-            }
-            if w != 0.0 {
-                delta[beta[mode]] += w;
-            }
-        }
+        accumulate_delta_deep(delta, others, mode, core_idx, core_vals, factors);
         return;
     }
     // Pin the entry's factor rows once: a⁽ᵏ⁾(iₖ, ·) for every k ≠ n. The
@@ -143,22 +213,109 @@ pub(crate) fn accumulate_delta_lex(
     }
 }
 
-/// Rank-1 accumulation of the normal equations for one observed entry:
-/// `B += δδᵀ` (upper triangle only) and `c += x·δ`.
+/// Accumulates δ for one streamed entry into `delta` (cleared first) with
+/// the **run-blocked micro-kernel**: one shared prefix product per run of
+/// core entries (runs precomputed by [`core_runs`]), the run tail processed
+/// as a contiguous `dot`/`axpy` over the packed `core_vals` slice. See the
+/// module docs for the blocking argument.
+///
+/// `others` holds the entry's packed other-mode indices (ascending mode
+/// order, `mode` skipped) as produced by `ptucker_tensor::ModeStream`;
+/// `runs` must be `core_runs(core_idx, factors.len())` for the same core.
+/// `factors[mode]` is never read (it is the row data being updated and may
+/// be an empty placeholder during the sweep).
 #[inline]
-pub(crate) fn accumulate_normal_eq(b_upper: &mut [f64], c: &mut [f64], delta: &[f64], x: f64) {
-    let j_n = delta.len();
-    for j1 in 0..j_n {
-        let d1 = delta[j1];
-        c[j1] += x * d1;
-        if d1 == 0.0 {
+pub(crate) fn accumulate_delta_blocked(
+    delta: &mut [f64],
+    others: &[u32],
+    mode: usize,
+    core_idx: &[usize],
+    core_vals: &[f64],
+    runs: &[u32],
+    factors: &[Matrix],
+) {
+    delta.fill(0.0);
+    let order = factors.len();
+    debug_assert_eq!(others.len(), order - 1);
+    if order > MAX_PREFIX_ORDER {
+        accumulate_delta_deep(delta, others, mode, core_idx, core_vals, factors);
+        return;
+    }
+    let last = order - 1;
+    // Pin the entry's factor rows once: a⁽ᵏ⁾(iₖ, ·) for every k ≠ n.
+    let mut rows: [&[f64]; MAX_PREFIX_ORDER] = [&[]; MAX_PREFIX_ORDER];
+    let mut slot = 0;
+    for (k, factor) in factors.iter().enumerate() {
+        if k == mode {
             continue;
         }
-        let row = j1 * j_n;
-        for j2 in j1..j_n {
-            b_upper[row + j2] += d1 * delta[j2];
+        rows[k] = factor.row(others[slot] as usize);
+        slot += 1;
+    }
+    // The tail factor row a⁽ᴺ⁾(i_N, ·); empty (and unread) when the update
+    // mode *is* the tail coordinate.
+    let tail_row: &[f64] = if mode == last { &[] } else { rows[last] };
+    // prefix[d] = Π_{k<d, k≠mode} a⁽ᵏ⁾(iₖ, βₖ) over the run head's first
+    // `N−1` coordinates, reused across runs sharing a head prefix.
+    let mut prefix = [1.0f64; MAX_PREFIX_ORDER + 1];
+    let mut prev: &[usize] = &[];
+    for r in 0..runs.len() - 1 {
+        let base = runs[r] as usize;
+        let end = runs[r + 1] as usize;
+        let head = &core_idx[base * order..base * order + order];
+        let mut p = 0;
+        while p < prev.len() && prev[p] == head[p] {
+            p += 1;
+        }
+        for d in p..last {
+            let a = if d == mode { 1.0 } else { rows[d][head[d]] };
+            prefix[d + 1] = prefix[d] * a;
+        }
+        prev = &head[..last];
+        let w = prefix[last];
+        if w == 0.0 {
+            continue;
+        }
+        let vals = &core_vals[base..end];
+        let len = end - base;
+        // Strictly ascending tail coordinates are contiguous iff the
+        // endpoints span exactly `len` values (dense cores always do).
+        let t0 = core_idx[base * order + last];
+        let contiguous = core_idx[(end - 1) * order + last] - t0 + 1 == len;
+        if mode == last {
+            // δ[β_N] += w · g[β_N]: axpy into the δ vector.
+            if contiguous {
+                axpy(w, vals, &mut delta[t0..t0 + len]);
+            } else {
+                for (t, &g) in vals.iter().enumerate() {
+                    delta[core_idx[(base + t) * order + last]] += w * g;
+                }
+            }
+        } else {
+            // δ[βₙ] += w · Σ_{β_N} g[β_N]·a⁽ᴺ⁾(i_N, β_N): dot of the run's
+            // values against the pinned tail row.
+            let acc = if contiguous {
+                dot(vals, &tail_row[t0..t0 + len])
+            } else {
+                let mut acc = 0.0;
+                for (t, &g) in vals.iter().enumerate() {
+                    acc += g * tail_row[core_idx[(base + t) * order + last]];
+                }
+                acc
+            };
+            delta[head[mode]] += w * acc;
         }
     }
+}
+
+/// Rank-1 accumulation of the normal equations for one observed entry:
+/// `B += δδᵀ` (upper triangle only) and `c += x·δ` — expressed as the
+/// `axpy`/`syr` micro-kernel primitives so the accumulation rides the same
+/// blocked (and optionally SIMD) path as the δ production.
+#[inline]
+pub(crate) fn accumulate_normal_eq(b_upper: &mut [f64], c: &mut [f64], delta: &[f64], x: f64) {
+    axpy(x, delta, c);
+    syr_in_place(b_upper, delta.len(), delta);
 }
 
 /// Solves `(B + λI) x = c` for an upper-triangle-packed system, allocating
@@ -184,7 +341,10 @@ pub(crate) fn solve_row(b_upper: &[f64], c: &[f64], lambda: f64) -> Option<Vec<f
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use ptucker_tensor::CoreTensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn delta_matches_bruteforce() {
@@ -242,9 +402,54 @@ mod tests {
             .collect()
     }
 
+    /// Runs all three kernels on one setup and checks they agree at 1e-12.
+    fn assert_kernels_agree(core: &CoreTensor, factors: &[Matrix], entry: &[usize]) {
+        let runs = core_runs(core.flat_indices(), core.order());
+        for mode in 0..core.order() {
+            let j = core.dims()[mode];
+            let mut gather = vec![0.0; j];
+            accumulate_delta(
+                &mut gather,
+                entry,
+                mode,
+                core.flat_indices(),
+                core.values(),
+                factors,
+            );
+            let mut lex = vec![0.0; j];
+            accumulate_delta_lex(
+                &mut lex,
+                &pack_others(entry, mode),
+                mode,
+                core.flat_indices(),
+                core.values(),
+                factors,
+            );
+            let mut blocked = vec![0.0; j];
+            accumulate_delta_blocked(
+                &mut blocked,
+                &pack_others(entry, mode),
+                mode,
+                core.flat_indices(),
+                core.values(),
+                &runs,
+                factors,
+            );
+            for ((l, b), g) in lex.iter().zip(&blocked).zip(&gather) {
+                assert!((l - g).abs() < 1e-12, "lex: entry {entry:?} mode {mode}");
+                assert!(
+                    (b - g).abs() < 1e-12,
+                    "blocked: entry {entry:?} mode {mode}"
+                );
+            }
+        }
+    }
+
     #[test]
-    fn lex_delta_matches_gather_delta() {
-        // Random-ish 3-mode setup, dense core, checked mode by mode.
+    fn streamed_deltas_match_gather_delta() {
+        // Random-ish 3-mode setup, dense core, checked mode by mode
+        // (including mode == N−1, where the tail coordinate is the update
+        // mode and the blocked kernel takes its axpy path).
         let core = CoreTensor::dense_from_fn(vec![2, 3, 2], |i| {
             (i[0] * 6 + i[1] * 2 + i[2]) as f64 * 0.3 - 1.0
         })
@@ -255,7 +460,150 @@ mod tests {
             Matrix::from_rows(&[&[0.25, 1.25], &[-0.75, 0.5]]),
         ];
         for entry in [[1usize, 0, 1], [2, 1, 0], [0, 0, 0]] {
-            for mode in 0..3 {
+            assert_kernels_agree(&core, &factors, &entry);
+        }
+    }
+
+    #[test]
+    fn streamed_deltas_match_gather_on_truncated_core() {
+        // Truncation keeps lexicographic order but breaks the dense
+        // odometer pattern — prefix sharing must stay correct on gaps, and
+        // the blocked kernel must fall back to its indexed tail loop.
+        let mut core =
+            CoreTensor::dense_from_fn(vec![3, 2, 2], |i| (i[0] + i[1] + i[2]) as f64 + 0.5)
+                .unwrap();
+        core.retain_by_id(|e| e % 3 != 1);
+        let factors = vec![
+            Matrix::from_rows(&[&[0.5, -1.0, 0.0], &[2.0, 0.25, 1.0]]),
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.5, 1.5], &[0.75, -0.25]]),
+            Matrix::from_rows(&[&[0.25, 1.25], &[-0.75, 0.5]]),
+        ];
+        assert_kernels_agree(&core, &factors, &[1usize, 2, 0]);
+    }
+
+    #[test]
+    fn blocked_delta_ignores_swept_mode_factor() {
+        // During a sweep factors[mode] is an empty placeholder; the kernel
+        // must never touch it.
+        let core = CoreTensor::dense_from_fn(vec![2, 2], |i| (i[0] + 2 * i[1]) as f64).unwrap();
+        let runs = core_runs(core.flat_indices(), 2);
+        let factors = vec![
+            Matrix::zeros(0, 0),
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
+        ];
+        let mut delta = vec![0.0; 2];
+        accumulate_delta_blocked(
+            &mut delta,
+            &[1u32],
+            0,
+            core.flat_indices(),
+            core.values(),
+            &runs,
+            &factors,
+        );
+        // δ(j0) = Σ_{j1} G(j0,j1)·a1[1, j1]: [0·3+2·4, 1·3+3·4].
+        assert_eq!(delta, vec![8.0, 15.0]);
+    }
+
+    #[test]
+    fn core_runs_blocks_dense_cores_by_tail_rank() {
+        let core = CoreTensor::dense_from_fn(vec![2, 3, 4], |_| 1.0).unwrap();
+        let runs = core_runs(core.flat_indices(), 3);
+        // 2·3 = 6 runs of length J_N = 4 each.
+        assert_eq!(runs.len(), 7);
+        for w in runs.windows(2) {
+            assert_eq!(w[1] - w[0], 4);
+        }
+    }
+
+    #[test]
+    fn core_runs_order_one_is_single_run() {
+        let core = CoreTensor::dense_from_fn(vec![5], |_| 1.0).unwrap();
+        assert_eq!(core_runs(core.flat_indices(), 1), vec![0, 5]);
+    }
+
+    #[test]
+    fn core_runs_empty_core() {
+        assert_eq!(core_runs(&[], 3), vec![0]);
+    }
+
+    #[test]
+    fn core_runs_respects_truncation_gaps() {
+        let mut core = CoreTensor::dense_from_fn(vec![2, 3], |_| 1.0).unwrap();
+        core.retain_by_id(|e| e != 1); // kill (0,1): run (0,·) shrinks to 2
+        let runs = core_runs(core.flat_indices(), 2);
+        assert_eq!(runs, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn order_one_core_blocked_delta() {
+        // order == 1: no prefix coordinates; the whole core is one run and
+        // the axpy path scatters straight into δ.
+        let core = CoreTensor::from_entries(
+            vec![4],
+            vec![(vec![0], 2.0), (vec![2], -1.0), (vec![3], 0.5)],
+        )
+        .unwrap();
+        let runs = core_runs(core.flat_indices(), 1);
+        let factors = vec![Matrix::zeros(0, 0)];
+        let mut delta = vec![0.0; 4];
+        accumulate_delta_blocked(
+            &mut delta,
+            &[],
+            0,
+            core.flat_indices(),
+            core.values(),
+            &runs,
+            &factors,
+        );
+        assert_eq!(delta, vec![2.0, 0.0, -1.0, 0.5]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // Satellite property: the blocked (and, under `--features simd`,
+        // vectorized) δ equals the gather reference within 1e-12 for
+        // random sparse cores at every order up to MAX_PREFIX_ORDER and
+        // every mode — including `mode == N−1`, the axpy edge case.
+        #[test]
+        fn blocked_delta_matches_gather_reference(
+            order in 1..=MAX_PREFIX_ORDER,
+            seed in 0..u64::MAX,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Small per-mode ranks so deep orders stay affordable; the
+            // core is sparse (sampled cells), so runs have ragged lengths
+            // and gaps.
+            let dims: Vec<usize> = (0..order).map(|_| rng.gen_range(1..4usize)).collect();
+            let nnz = rng.gen_range(1..40usize);
+            let mut cells = std::collections::BTreeSet::new();
+            for _ in 0..nnz {
+                let idx: Vec<usize> = dims.iter().map(|&d| rng.gen_range(0..d)).collect();
+                cells.insert(idx);
+            }
+            let entries: Vec<(Vec<usize>, f64)> = cells
+                .into_iter()
+                .map(|idx| (idx, rng.gen::<f64>() * 2.0 - 1.0))
+                .collect();
+            let core = CoreTensor::from_entries(dims.clone(), entries).unwrap();
+            prop_assert!(core.is_lexicographic());
+            let i_dims: Vec<usize> = (0..order).map(|_| rng.gen_range(1..4usize)).collect();
+            let factors: Vec<Matrix> = i_dims
+                .iter()
+                .zip(&dims)
+                .map(|(&i_n, &j_n)| {
+                    Matrix::from_vec(
+                        i_n,
+                        j_n,
+                        (0..i_n * j_n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect(),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let entry: Vec<usize> = i_dims.iter().map(|&d| rng.gen_range(0..d)).collect();
+            let runs = core_runs(core.flat_indices(), order);
+            for mode in 0..order {
                 let j = core.dims()[mode];
                 let mut gather = vec![0.0; j];
                 accumulate_delta(
@@ -266,82 +614,28 @@ mod tests {
                     core.values(),
                     &factors,
                 );
-                let mut lex = vec![0.0; j];
-                accumulate_delta_lex(
-                    &mut lex,
+                let mut blocked = vec![0.0; j];
+                accumulate_delta_blocked(
+                    &mut blocked,
                     &pack_others(&entry, mode),
                     mode,
                     core.flat_indices(),
                     core.values(),
+                    &runs,
                     &factors,
                 );
-                for (a, b) in lex.iter().zip(&gather) {
-                    assert!((a - b).abs() < 1e-12, "entry {entry:?} mode {mode}");
+                for (b, g) in blocked.iter().zip(&gather) {
+                    prop_assert!(
+                        (b - g).abs() < 1e-12,
+                        "order {} mode {}: {} vs {}",
+                        order,
+                        mode,
+                        b,
+                        g
+                    );
                 }
             }
         }
-    }
-
-    #[test]
-    fn lex_delta_matches_gather_on_truncated_core() {
-        // Truncation keeps lexicographic order but breaks the dense
-        // odometer pattern — prefix sharing must stay correct on gaps.
-        let mut core =
-            CoreTensor::dense_from_fn(vec![3, 2, 2], |i| (i[0] + i[1] + i[2]) as f64 + 0.5)
-                .unwrap();
-        core.retain_by_id(|e| e % 3 != 1);
-        let factors = vec![
-            Matrix::from_rows(&[&[0.5, -1.0, 0.0], &[2.0, 0.25, 1.0]]),
-            Matrix::from_rows(&[&[1.0, 0.0], &[0.5, 1.5], &[0.75, -0.25]]),
-            Matrix::from_rows(&[&[0.25, 1.25], &[-0.75, 0.5]]),
-        ];
-        let entry = [1usize, 2, 0];
-        for mode in 0..3 {
-            let j = core.dims()[mode];
-            let mut gather = vec![0.0; j];
-            accumulate_delta(
-                &mut gather,
-                &entry,
-                mode,
-                core.flat_indices(),
-                core.values(),
-                &factors,
-            );
-            let mut lex = vec![0.0; j];
-            accumulate_delta_lex(
-                &mut lex,
-                &pack_others(&entry, mode),
-                mode,
-                core.flat_indices(),
-                core.values(),
-                &factors,
-            );
-            for (a, b) in lex.iter().zip(&gather) {
-                assert!((a - b).abs() < 1e-12, "mode {mode}");
-            }
-        }
-    }
-
-    #[test]
-    fn lex_delta_ignores_swept_mode_factor() {
-        // During a sweep factors[mode] is an empty placeholder; the lex
-        // kernel must never touch it.
-        let core = CoreTensor::dense_from_fn(vec![2, 2], |i| (i[0] + 2 * i[1]) as f64).unwrap();
-        let factors = vec![
-            Matrix::zeros(0, 0),
-            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
-        ];
-        let mut delta = vec![0.0; 2];
-        accumulate_delta_lex(
-            &mut delta,
-            &[1u32],
-            0,
-            core.flat_indices(),
-            core.values(),
-            &factors,
-        );
-        // δ(j0) = Σ_{j1} G(j0,j1)·a1[1, j1]: [0·3+2·4, 1·3+3·4].
-        assert_eq!(delta, vec![8.0, 15.0]);
     }
 
     #[test]

@@ -30,12 +30,15 @@
 //! ([`ptucker_tensor::ModeStreams`]): a row update walks its slice's
 //! values and packed other-mode indices linearly through the mode's
 //! [`ptucker_tensor::ModeStream`] instead of gathering per-entry through
-//! COO entry ids, and the δ products reuse lexicographic prefix products
-//! across adjacent core entries (see [`crate::delta`]). The plan is built
-//! once per fit and metered against the memory budget.
+//! COO entry ids, and the δ accumulation is **run-blocked** — one shared
+//! prefix product per run of lexicographic core entries, the run tail a
+//! contiguous `dot`/`axpy` micro-kernel over the packed core values (see
+//! [`crate::delta`] and `ptucker_linalg::kernels`). The plan is built
+//! once per fit and metered against the memory budget; the run structure
+//! is computed once per mode sweep in [`ModeContext::new`].
 
 use crate::cache::PresTable;
-use crate::delta::{accumulate_delta_lex, accumulate_normal_eq};
+use crate::delta::{accumulate_delta_blocked, accumulate_normal_eq, core_runs};
 use crate::{approx, FitOptions, Result};
 use ptucker_linalg::{cholesky_solve_in_place, lu_solve_in_place, Matrix};
 use ptucker_memtrack::Reservation;
@@ -168,6 +171,11 @@ pub struct ModeContext<'a> {
     pub core_idx: &'a [usize],
     /// The core's values (`|G|`).
     pub core_vals: &'a [f64],
+    /// Run boundaries of the core's lexicographic entry list (offsets into
+    /// the entry ids; see [`crate::delta`]): computed once per mode sweep
+    /// here so the blocked δ kernel spends nothing on run detection inside
+    /// the row loop.
+    pub runs: Vec<u32>,
     /// The mode being updated.
     pub mode: usize,
     /// Rank `Jₙ` of the mode being updated.
@@ -187,11 +195,16 @@ impl<'a> ModeContext<'a> {
         mode: usize,
         opts: &FitOptions,
     ) -> Self {
+        debug_assert!(
+            core.is_lexicographic(),
+            "CoreTensor's lex invariant feeds the run-blocked kernel"
+        );
         ModeContext {
             stream: plan.mode(mode),
             factors,
             core_idx: core.flat_indices(),
             core_vals: core.values(),
+            runs: core_runs(core.flat_indices(), core.order()),
             mode,
             j_n: opts.ranks[mode],
             stride: opts.sample_stride.max(1),
@@ -207,7 +220,8 @@ impl<'a> ModeContext<'a> {
 pub trait RowUpdateKernel: Sync {
     /// One-time setup before the first iteration (e.g. the Cache variant's
     /// `|Ω|×|G|` table precompute — the step that can exceed the memory
-    /// budget).
+    /// budget). `plan` is the fit's mode-major execution plan; kernels that
+    /// keep per-entry state in stream order lay it out here.
     ///
     /// # Errors
     /// [`crate::PtuckerError::OutOfMemory`] if the kernel's auxiliary state
@@ -215,6 +229,7 @@ pub trait RowUpdateKernel: Sync {
     fn prepare_fit(
         &mut self,
         _x: &SparseTensor,
+        _plan: &ModeStreams,
         _factors: &[Matrix],
         _core: &CoreTensor,
         _opts: &FitOptions,
@@ -223,13 +238,16 @@ pub trait RowUpdateKernel: Sync {
     }
 
     /// Called before each mode's row sweep, with the factors still in their
-    /// pre-update state (snapshot here what `post_mode` will need).
+    /// pre-update state (snapshot here what `post_mode` will need; kernels
+    /// with stream-ordered state re-align it to `mode`'s order here if the
+    /// call sequence ever deviates from the driver's cyclic one).
     ///
     /// # Errors
     /// Kernel-specific; the default never fails.
     fn prepare_mode(
         &mut self,
         _x: &SparseTensor,
+        _plan: &ModeStreams,
         _factors: &[Matrix],
         _mode: usize,
         _core: &CoreTensor,
@@ -254,10 +272,12 @@ pub trait RowUpdateKernel: Sync {
     ) -> bool;
 
     /// Called after `factors[mode]` has been replaced with its updated
-    /// values (e.g. the Cache variant rescales its table here).
+    /// values (e.g. the Cache variant rescales its table here and carries
+    /// it into the next mode's stream order).
     fn post_mode(
         &mut self,
         _x: &SparseTensor,
+        _plan: &ModeStreams,
         _factors: &[Matrix],
         _mode: usize,
         _core: &CoreTensor,
@@ -322,9 +342,9 @@ fn run_row(
 
 /// The default P-Tucker kernel: δ recomputed from the factors for every
 /// entry — `O(T·J²)` intermediate memory (Theorem 4). On the mode-major
-/// plan the recompute shares lexicographic prefix products across adjacent
-/// core entries, so the amortized multiplies per `(entry, core-entry)` pair
-/// drop from `N−1` toward ~1.
+/// plan the recompute is **run-blocked**: one shared prefix product per
+/// run of core entries, the run tail processed as a contiguous `dot`/`axpy`
+/// micro-kernel over the packed core values (see [`crate::delta`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DirectKernel;
 
@@ -337,12 +357,13 @@ impl RowUpdateKernel for DirectKernel {
         row: &mut [f64],
     ) -> bool {
         run_row(ctx, scratch, i, row, |delta, _pos, others, _old_row| {
-            accumulate_delta_lex(
+            accumulate_delta_blocked(
                 delta,
                 others,
                 ctx.mode,
                 ctx.core_idx,
                 ctx.core_vals,
+                &ctx.runs,
                 ctx.factors,
             )
         })
@@ -352,6 +373,14 @@ impl RowUpdateKernel for DirectKernel {
 /// The P-Tucker-Cache kernel: owns the `Pres` table of all
 /// `(entry, core-entry)` products, replacing the `N−1` multiplications per
 /// pair with one division (Theorem 5) at `O(|Ω|·|G|)` memory (Theorem 6).
+///
+/// The table is kept **in the stream order of the mode being swept**: the
+/// sweep reads it front to back with no entry-id indirection, and the
+/// per-mode rescale (Algorithm 3 lines 16–19, still parallel) is followed
+/// by an in-place cycle-chase permutation that carries the table into the
+/// *next* mode's stream order — no second table-sized buffer, so
+/// Theorem 6's memory bound is preserved (see
+/// [`PresTable::rescale_and_reorder`]).
 #[derive(Debug, Default)]
 pub struct CachedKernel {
     table: Option<PresTable>,
@@ -370,12 +399,14 @@ impl RowUpdateKernel for CachedKernel {
     fn prepare_fit(
         &mut self,
         x: &SparseTensor,
+        plan: &ModeStreams,
         factors: &[Matrix],
         core: &CoreTensor,
         opts: &FitOptions,
     ) -> Result<()> {
         self.table = Some(PresTable::compute(
             x,
+            plan,
             factors,
             core,
             opts.threads,
@@ -386,13 +417,20 @@ impl RowUpdateKernel for CachedKernel {
 
     fn prepare_mode(
         &mut self,
-        _x: &SparseTensor,
+        x: &SparseTensor,
+        plan: &ModeStreams,
         factors: &[Matrix],
         mode: usize,
         _core: &CoreTensor,
         _opts: &FitOptions,
     ) -> Result<()> {
         self.old_factor = Some(factors[mode].clone());
+        // No-op in the driver's cyclic sweep (post_mode already left the
+        // table in this mode's order); re-aligns it for direct API users
+        // that sweep modes in other patterns.
+        if let Some(table) = self.table.as_mut() {
+            table.ensure_order(x, plan, mode);
+        }
         Ok(())
     }
 
@@ -408,19 +446,18 @@ impl RowUpdateKernel for CachedKernel {
             .as_ref()
             .expect("CachedKernel::prepare_fit must run before update_row");
         run_row(ctx, scratch, i, row, |delta, pos, others, old_row| {
-            // The table's rows stay in COO order (physically permuting
-            // |Ω|×|G| doubles per mode would need a second table-sized
-            // buffer, violating Theorem 6's memory bound); the stream maps
-            // each position to its entry id, and the |G| doubles behind it
-            // are still read linearly.
+            // Stream-ordered table: position `pos` of the sweep owns row
+            // `pos` of the table, so the whole sweep reads the |Ω|×|G|
+            // doubles strictly sequentially.
             table.accumulate_delta_cached(
                 delta,
-                ctx.stream.entry_id(pos),
+                pos,
                 others,
                 ctx.mode,
                 old_row,
                 ctx.core_idx,
                 ctx.core_vals,
+                &ctx.runs,
                 ctx.factors,
             )
         })
@@ -429,6 +466,7 @@ impl RowUpdateKernel for CachedKernel {
     fn post_mode(
         &mut self,
         x: &SparseTensor,
+        plan: &ModeStreams,
         factors: &[Matrix],
         mode: usize,
         core: &CoreTensor,
@@ -439,7 +477,8 @@ impl RowUpdateKernel for CachedKernel {
             .take()
             .expect("CachedKernel::prepare_mode must run before post_mode");
         if let Some(table) = self.table.as_mut() {
-            table.update_mode(x, factors, &old, mode, core, opts.threads);
+            let next = (mode + 1) % plan.order();
+            table.rescale_and_reorder(x, plan, factors, &old, mode, next, core, opts.threads);
         }
     }
 }
@@ -469,6 +508,7 @@ impl RowUpdateKernel for ApproxKernel {
     fn prepare_fit(
         &mut self,
         _x: &SparseTensor,
+        _plan: &ModeStreams,
         _factors: &[Matrix],
         core: &CoreTensor,
         opts: &FitOptions,
@@ -524,6 +564,7 @@ impl RowUpdateKernel for GatherReferenceKernel {
     fn prepare_fit(
         &mut self,
         x: &SparseTensor,
+        _plan: &ModeStreams,
         _factors: &[Matrix],
         _core: &CoreTensor,
         _opts: &FitOptions,
@@ -667,10 +708,17 @@ mod tests {
         let (x, factors, core, opts) = setup();
         let plan = ModeStreams::build(&x).unwrap();
         let mut cached = CachedKernel::new();
-        cached.prepare_fit(&x, &factors, &core, &opts).unwrap();
+        cached
+            .prepare_fit(&x, &plan, &factors, &core, &opts)
+            .unwrap();
         let mut s1 = Scratch::for_options(&opts);
         let mut s2 = Scratch::for_options(&opts);
         for mode in 0..3 {
+            // Re-align the stream-ordered table to this mode (the fit
+            // driver's prepare_mode contract).
+            cached
+                .prepare_mode(&x, &plan, &factors, mode, &core, &opts)
+                .unwrap();
             let ctx = ModeContext::new(&plan, &factors, &core, mode, &opts);
             for i in 0..x.dims()[mode] {
                 let mut direct_row = factors[mode].row(i).to_vec();

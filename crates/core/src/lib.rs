@@ -47,11 +47,26 @@
 //!   `|Ω|×|G|` memoization table) and [`engine::ApproxKernel`]. A kernel
 //!   supplies the per-entry δ computation plus lifecycle hooks
 //!   (`prepare_fit`/`prepare_mode`/`post_mode`/`post_iter`); adding a new
-//!   backend is one new trait impl. The Direct δ walks core entries in
-//!   lexicographic order and reuses shared-prefix products across adjacent
-//!   entries, cutting the amortized multiplies per `(entry, core-entry)`
-//!   pair from `N−1` toward ~1 without the Cache variant's `|Ω|×|G|`
-//!   table.
+//!   backend is one new trait impl.
+//!
+//!   The δ accumulation itself is **run-blocked** (`delta.rs`):
+//!   `CoreTensor`'s lexicographic invariant decomposes the core entry list
+//!   into maximal runs sharing their first `N−1` coordinates (for a dense
+//!   core, runs of length `J_N`). Run boundaries are found once per mode
+//!   sweep; each run then costs one shared prefix product (still
+//!   prefix-reused across run heads) plus a single contiguous `dot` or
+//!   `axpy` micro-kernel over the packed core values
+//!   (`ptucker_linalg::kernels` — chunked scalar code that autovectorizes,
+//!   or the explicit AVX2+FMA path behind the **`simd`** feature with
+//!   runtime CPU detection). The downstream `B += δδᵀ` / `c += x·δ`
+//!   accumulation rides the same `syr`/`axpy` primitives, as does cp-ALS.
+//!
+//!   The Cached kernel keeps its `Pres` table in the **stream order of the
+//!   mode being swept** (`cache.rs`): a sweep reads the `|Ω|×|G|` doubles
+//!   strictly sequentially with no entry-id indirection; the per-mode
+//!   rescale stays parallel and a memory-bound in-place cycle-chase
+//!   permutation then carries the table into the next mode's order — no
+//!   second table-sized buffer, preserving Theorem 6's memory bound.
 //! * **Scratch** ([`engine::Scratch`]): a per-thread arena holding every
 //!   per-row intermediate (δ, `c`, the `B` triangle, the solver workspace
 //!   and pivots). One arena is allocated per worker at fit start — metered

@@ -32,6 +32,7 @@
 
 use ptucker::engine::Scratch;
 use ptucker::{PtuckerError, Result};
+use ptucker_linalg::kernels::{axpy, hadamard_in_place, syr_in_place};
 use ptucker_linalg::Matrix;
 use ptucker_sched::{parallel_reduce, parallel_rows_mut_scheduled, Schedule};
 use ptucker_tensor::{ModeStreams, SparseTensor};
@@ -313,8 +314,10 @@ pub fn cp_als(x: &SparseTensor, opts: &CpOptions) -> Result<CpResult> {
 /// `(B + λI) row = c` with `B = Σ δδᵀ`, `δ_α(r) = Π_{k≠n} a⁽ᵏ⁾(iₖ, r)`.
 /// The slice is walked through the mode's stream (values + packed
 /// other-mode indices, contiguous); δ is built as a Hadamard product of
-/// whole factor rows, and accumulation/solve run in the per-thread
-/// [`Scratch`] arenas — no heap allocation inside the row loop.
+/// whole factor rows and the normal equations accumulate through the same
+/// `hadamard`/`axpy`/`syr` micro-kernels (`ptucker_linalg::kernels`) as
+/// the Tucker engine's blocked path, in the per-thread [`Scratch`] arenas
+/// — no heap allocation inside the row loop.
 fn update_factor(
     x: &SparseTensor,
     plan: &ModeStreams,
@@ -349,23 +352,11 @@ fn update_factor(
                     if k == mode {
                         continue;
                     }
-                    let frow = f.row(o[slot] as usize);
+                    hadamard_in_place(delta, f.row(o[slot] as usize));
                     slot += 1;
-                    for (d, &a) in delta.iter_mut().zip(frow) {
-                        *d *= a;
-                    }
                 }
-                let xv = values[pos];
-                for j1 in 0..r {
-                    let d1 = delta[j1];
-                    c[j1] += xv * d1;
-                    if d1 == 0.0 {
-                        continue;
-                    }
-                    for j2 in j1..r {
-                        b_upper[j1 * r + j2] += d1 * delta[j2];
-                    }
-                }
+                axpy(values[pos], delta, c);
+                syr_in_place(b_upper, r, delta);
             }
             if !scratch.solve(r, opts.lambda, row) {
                 failed.store(true, Ordering::Relaxed);

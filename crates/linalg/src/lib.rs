@@ -16,6 +16,15 @@
 //! `J^{N-1}`-sized Gram matrices for the baselines), so textbook dense
 //! algorithms are appropriate and match LAPACK behaviour at these sizes.
 //!
+//! On top of the factorizations, [`kernels`] supplies the BLAS-1/2
+//! micro-kernel primitives (`dot`/`axpy`/`syr_in_place`/
+//! `hadamard_in_place`) the run-blocked δ accumulation is built from —
+//! chunked scalar code that autovectorizes everywhere, plus an explicit
+//! AVX2+FMA path behind the **`simd`** cargo feature with runtime CPU
+//! detection and scalar fallback. The `simd` feature is the only part of
+//! the workspace that uses `unsafe` (the `std::arch` intrinsic calls);
+//! without it this crate still forbids unsafe code outright.
+//!
 //! # Quick example
 //!
 //! ```
@@ -29,12 +38,14 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![allow(clippy::needless_range_loop)]
 
 mod cholesky;
 mod eigen;
 mod error;
+pub mod kernels;
 mod lu;
 mod matrix;
 mod qr;

@@ -11,6 +11,19 @@ use rand::Rng;
 /// "noisy" entries each iteration (Algorithm 4), after which the core is
 /// genuinely sparse — the entry-list representation makes the truncated δ
 /// loops (`O(|G|)` per observed entry) automatic.
+///
+/// # Invariant: lexicographic entry order
+///
+/// Entries are **always stored in strictly ascending lexicographic
+/// multi-index order**. The run-blocked δ micro-kernels depend on it:
+/// adjacent entries share multi-index prefixes, so the kernel computes one
+/// shared prefix product per *run* of entries and vectorizes over the run's
+/// tail coordinates. Every constructor establishes the order
+/// ([`CoreTensor::from_entries`] sorts its input; the dense and
+/// [`CoreTensor::from_dense`] paths produce it by construction) and every
+/// mutation path preserves it ([`CoreTensor::retain_by_id`] keeps a
+/// subsequence), each backed by a debug assertion — new core manipulations
+/// cannot silently regress the kernels to their slow path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreTensor {
     dims: Vec<usize>,
@@ -50,26 +63,33 @@ impl CoreTensor {
             indices.extend_from_slice(&idx);
             values.push(f(&idx));
         }
-        Ok(CoreTensor {
+        let core = CoreTensor {
             dims,
             indices,
             values,
-        })
+        };
+        debug_assert!(core.is_lexicographic(), "odometer order is lex order");
+        Ok(core)
     }
 
     /// Builds a (possibly sparse) core from explicit entries.
     ///
+    /// The entries are sorted into the type's lexicographic multi-index
+    /// order, so callers may supply them in any order — entry *ids* refer
+    /// to the sorted layout. Duplicate multi-indices are merged by summing
+    /// their values (the same superposition every δ kernel and
+    /// [`CoreTensor::to_dense`] would apply), keeping the order *strictly*
+    /// ascending.
+    ///
     /// # Errors
     /// Index/arity/value validation as in
     /// [`crate::SparseTensor::new`].
-    pub fn from_entries(dims: Vec<usize>, entries: Vec<(Vec<usize>, f64)>) -> Result<Self> {
+    pub fn from_entries(dims: Vec<usize>, mut entries: Vec<(Vec<usize>, f64)>) -> Result<Self> {
         if dims.is_empty() || dims.contains(&0) {
             return Err(TensorError::InvalidDims("bad core dims".into()));
         }
         let order = dims.len();
-        let mut indices = Vec::with_capacity(entries.len() * order);
-        let mut values = Vec::with_capacity(entries.len());
-        for (e, (idx, val)) in entries.into_iter().enumerate() {
+        for (e, (idx, val)) in entries.iter().enumerate() {
             if idx.len() != order {
                 return Err(TensorError::OrderMismatch {
                     expected: order,
@@ -88,14 +108,33 @@ impl CoreTensor {
             if !val.is_finite() {
                 return Err(TensorError::NonFiniteValue { entry: e });
             }
-            indices.extend_from_slice(&idx);
-            values.push(val);
         }
-        Ok(CoreTensor {
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut indices = Vec::with_capacity(entries.len() * order);
+        let mut values: Vec<f64> = Vec::with_capacity(entries.len());
+        for (idx, val) in entries {
+            if indices.len() >= order && indices[indices.len() - order..] == idx[..] {
+                let slot = values.last_mut().expect("non-empty alongside indices");
+                *slot += val;
+                // Two finite inputs can still overflow when merged; the
+                // constructor's no-non-finite guarantee covers the sum.
+                if !slot.is_finite() {
+                    return Err(TensorError::NonFiniteValue {
+                        entry: values.len() - 1,
+                    });
+                }
+            } else {
+                indices.extend_from_slice(&idx);
+                values.push(val);
+            }
+        }
+        let core = CoreTensor {
             dims,
             indices,
             values,
-        })
+        };
+        debug_assert!(core.is_lexicographic(), "sort established lex order");
+        Ok(core)
     }
 
     /// Order `N` of the core.
@@ -158,8 +197,18 @@ impl CoreTensor {
         (0..self.nnz()).map(move |e| (self.index(e), self.value(e)))
     }
 
+    /// Whether the entries are in strictly ascending lexicographic
+    /// multi-index order — the type invariant the run-blocked δ kernels
+    /// rely on. Public so consumers (and property tests) can check the
+    /// contract; every constructor/mutation path debug-asserts it.
+    pub fn is_lexicographic(&self) -> bool {
+        let order = self.order();
+        (1..self.nnz()).all(|e| self.indices[(e - 1) * order..e * order] < self.index(e)[..])
+    }
+
     /// Keeps only the entries whose id satisfies `keep` (P-Tucker-Approx
-    /// truncation). Entry ids are renumbered compactly afterwards.
+    /// truncation). Entry ids are renumbered compactly afterwards; a
+    /// subsequence of lexicographic entries stays lexicographic.
     pub fn retain_by_id(&mut self, keep: impl Fn(usize) -> bool) {
         let order = self.order();
         let mut w = 0usize;
@@ -177,6 +226,7 @@ impl CoreTensor {
         }
         self.values.truncate(w);
         self.indices.truncate(w * order);
+        debug_assert!(self.is_lexicographic(), "retain keeps a subsequence");
     }
 
     /// Frobenius norm over retained entries.
@@ -216,11 +266,13 @@ impl CoreTensor {
                 values.push(v);
             }
         }
-        Ok(CoreTensor {
+        let core = CoreTensor {
             dims: d.dims().to_vec(),
             indices,
             values,
-        })
+        };
+        debug_assert!(core.is_lexicographic(), "linear scan order is lex order");
+        Ok(core)
     }
 
     /// In-place n-mode product `G ← G ×ₙ M` with square `M ∈ R^{Jₙ×Jₙ}` —
@@ -273,6 +325,90 @@ mod tests {
         for e in 0..g.nnz() {
             assert!(seen.insert(g.index(e).to_vec()));
         }
+    }
+
+    #[test]
+    fn constructors_establish_lexicographic_order() {
+        // Shuffled explicit entries are sorted into the invariant order.
+        let g = CoreTensor::from_entries(
+            vec![2, 3],
+            vec![
+                (vec![1, 2], 4.0),
+                (vec![0, 1], 2.0),
+                (vec![1, 0], 3.0),
+                (vec![0, 0], 1.0),
+            ],
+        )
+        .unwrap();
+        assert!(g.is_lexicographic());
+        assert_eq!(g.index(0), &[0, 0]);
+        assert_eq!(g.value(0), 1.0);
+        assert_eq!(g.index(3), &[1, 2]);
+        assert_eq!(g.value(3), 4.0);
+        // Dense construction, dense round-trip and truncation all keep it.
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut d = CoreTensor::random_dense(vec![3, 2, 2], &mut rng).unwrap();
+        assert!(d.is_lexicographic());
+        assert!(CoreTensor::from_dense(&d.to_dense().unwrap(), 0.0)
+            .unwrap()
+            .is_lexicographic());
+        d.retain_by_id(|e| e % 3 != 0);
+        assert!(d.is_lexicographic());
+        d.mode_product_in_place(1, &Matrix::from_rows(&[&[0.5, 1.0], &[1.0, -0.5]]), 0.0)
+            .unwrap();
+        assert!(d.is_lexicographic());
+    }
+
+    #[test]
+    fn from_entries_merges_duplicate_indices() {
+        // Duplicates previously rode through as repeated entries (every δ
+        // kernel summed them); the strict-order invariant merges them at
+        // construction with the same superposition semantics.
+        let g = CoreTensor::from_entries(
+            vec![1, 4],
+            vec![
+                (vec![0, 1], 1.0),
+                (vec![0, 0], 2.0),
+                (vec![0, 1], 0.5),
+                (vec![0, 3], -1.0),
+                (vec![0, 1], 0.25),
+            ],
+        )
+        .unwrap();
+        assert!(g.is_lexicographic());
+        assert_eq!(g.nnz(), 3);
+        assert_eq!(g.index(0), &[0, 0]);
+        assert_eq!(g.value(0), 2.0);
+        assert_eq!(g.index(1), &[0, 1]);
+        assert_eq!(g.value(1), 1.75);
+        assert_eq!(g.index(2), &[0, 3]);
+        assert_eq!(g.value(2), -1.0);
+    }
+
+    #[test]
+    fn from_entries_rejects_non_finite_merge() {
+        // Two finite duplicates whose sum overflows must be rejected like
+        // any other non-finite value.
+        let err = CoreTensor::from_entries(vec![1], vec![(vec![0], f64::MAX), (vec![0], f64::MAX)])
+            .unwrap_err();
+        assert!(matches!(err, TensorError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn is_lexicographic_detects_violations() {
+        // Constructed directly (same module) — no public path produces this.
+        let out_of_order = CoreTensor {
+            dims: vec![2, 2],
+            indices: vec![1, 0, 0, 1],
+            values: vec![1.0, 2.0],
+        };
+        assert!(!out_of_order.is_lexicographic());
+        let duplicate = CoreTensor {
+            dims: vec![2, 2],
+            indices: vec![0, 1, 0, 1],
+            values: vec![1.0, 2.0],
+        };
+        assert!(!duplicate.is_lexicographic(), "order must be strict");
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub struct ModeStream {
     others: Vec<u32>,
     /// Stream position → COO entry id.
     entry_ids: Vec<u32>,
+    /// COO entry id → stream position (the inverse of `entry_ids`).
+    /// Consumers that keep per-entry state *in this stream's order* — the
+    /// stream-ordered `Pres` table of P-Tucker-Cache — use it to compute
+    /// the permutation that carries that state from one mode's order to
+    /// another's.
+    entry_positions: Vec<u32>,
 }
 
 impl ModeStream {
@@ -55,10 +61,12 @@ impl ModeStream {
         let mut values = Vec::with_capacity(nnz);
         let mut others = Vec::with_capacity(nnz * other_count);
         let mut entry_ids = Vec::with_capacity(nnz);
+        let mut entry_positions = vec![0u32; nnz];
         offsets.push(0);
         for i in 0..dim {
             for &e in x.slice(mode, i) {
                 let idx = x.index(e);
+                entry_positions[e] = values.len() as u32;
                 values.push(x.value(e));
                 for (k, &ik) in idx.iter().enumerate() {
                     if k != mode {
@@ -76,6 +84,7 @@ impl ModeStream {
             values,
             others,
             entry_ids,
+            entry_positions,
         }
     }
 
@@ -136,6 +145,13 @@ impl ModeStream {
     pub fn entry_id(&self, p: usize) -> usize {
         self.entry_ids[p] as usize
     }
+
+    /// The stream position holding COO entry `e` (inverse of
+    /// [`ModeStream::entry_id`]).
+    #[inline]
+    pub fn position_of(&self, e: usize) -> usize {
+        self.entry_positions[e] as usize
+    }
 }
 
 /// The full mode-major execution plan: one [`ModeStream`] per mode.
@@ -183,11 +199,12 @@ impl ModeStreams {
     /// Bytes the plan for `x` will occupy — computable *before* building,
     /// so callers can reserve against a memory budget first. Per mode:
     /// `|Ω|` values (8 B), `(N−1)·|Ω|` packed indices (4 B), `|Ω|` entry
-    /// ids (4 B) and `Iₙ+1` offsets (8 B).
+    /// ids plus `|Ω|` inverse positions (4 B each) and `Iₙ+1` offsets
+    /// (8 B).
     pub fn bytes_for(x: &SparseTensor) -> usize {
         let nnz = x.nnz();
         let order = x.order();
-        let per_mode_entries = nnz * 8 + (order - 1) * nnz * 4 + nnz * 4;
+        let per_mode_entries = nnz * 8 + (order - 1) * nnz * 4 + 2 * nnz * 4;
         let offsets: usize = x.dims().iter().map(|&d| (d + 1) * 8).sum();
         order * per_mode_entries + offsets
     }
@@ -251,6 +268,7 @@ mod tests {
                 let e = s.entry_id(p);
                 assert!(!seen[e]);
                 seen[e] = true;
+                assert_eq!(s.position_of(e), p, "inverse map round-trips");
             }
             assert!(seen.iter().all(|&b| b));
         }
@@ -260,8 +278,8 @@ mod tests {
     fn bytes_estimate_is_positive_and_scales_with_order() {
         let x = sample();
         let b = ModeStreams::bytes_for(&x);
-        // 3 modes × (4·8 + 2·4·4 + 4·4) B entries + offsets.
-        assert_eq!(b, 3 * (32 + 32 + 16) + (4 + 3 + 3) * 8);
+        // 3 modes × (4·8 + 2·4·4 + 2·4·4) B entries + offsets.
+        assert_eq!(b, 3 * (32 + 32 + 32) + (4 + 3 + 3) * 8);
     }
 
     #[test]

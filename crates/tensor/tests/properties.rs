@@ -137,6 +137,44 @@ proptest! {
     }
 
     #[test]
+    fn core_constructors_and_mutations_preserve_lex_order(
+        dims in proptest::collection::vec(1..5usize, 1..5),
+        raw in proptest::collection::vec(
+            (proptest::collection::vec(0..100usize, 8), -5.0..5.0f64),
+            1..25,
+        ),
+        keep_mod in 2usize..4,
+        seed in 0u64..100,
+    ) {
+        // The CoreTensor type contract: every constructor establishes
+        // strictly ascending lexicographic entry order (from_entries even
+        // from shuffled input) and every mutation preserves it — the
+        // invariant the run-blocked δ kernel's fast path rides on.
+        let order = dims.len();
+        let mut cells = std::collections::BTreeMap::new();
+        for (idx, v) in &raw {
+            let idx: Vec<usize> = idx[..order]
+                .iter()
+                .zip(&dims)
+                .map(|(i, d)| i % d)
+                .collect();
+            cells.insert(idx, *v);
+        }
+        // Deliberately feed the entries in reverse-sorted (non-lex) order.
+        let entries: Vec<(Vec<usize>, f64)> = cells.into_iter().rev().collect();
+        let mut g = CoreTensor::from_entries(dims.clone(), entries).unwrap();
+        prop_assert!(g.is_lexicographic());
+        g.retain_by_id(|e| e % keep_mod == 0);
+        prop_assert!(g.is_lexicographic());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = CoreTensor::random_dense(dims.clone(), &mut rng).unwrap();
+        prop_assert!(d.is_lexicographic());
+        prop_assert!(CoreTensor::from_dense(&d.to_dense().unwrap(), 0.0)
+            .unwrap()
+            .is_lexicographic());
+    }
+
+    #[test]
     fn mode_stream_is_a_permutation_of_coo(x in arb_sparse()) {
         // Every mode's stream must hold, per slice, exactly the multiset of
         // (full multi-index, value) pairs the COO slice holds — no entry

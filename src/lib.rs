@@ -18,7 +18,13 @@
 //!   `lu_solve_in_place`): they factor in caller-provided buffers and
 //!   overwrite the right-hand side, so solver loops can run without heap
 //!   allocation. The allocating `Cholesky`/`Lu` wrappers are thin shims
-//!   over the same routines.
+//!   over the same routines. `linalg::kernels` adds the BLAS-1/2
+//!   **micro-kernel primitives** (`dot`/`axpy`/`syr_in_place`/
+//!   `hadamard_in_place`) every row-update inner loop is built from:
+//!   chunked scalar code that autovectorizes anywhere, plus explicit
+//!   AVX2+FMA `dot`/`axpy` paths behind the workspace-wide `simd` feature
+//!   (runtime CPU detection, scalar fallback; CI tests both
+//!   configurations).
 //! * [`sched`] — OpenMP-style static/dynamic scheduling over scoped
 //!   threads. `parallel_rows_mut_with` and `parallel_reduce_with` hand
 //!   each worker a caller-owned **per-thread state**, which is how scratch
@@ -41,11 +47,16 @@
 //!   per variant — Direct, Cached, Approx — monomorphized, no per-row
 //!   variant branching), and every per-row intermediate lives in a
 //!   `ptucker::engine::Scratch` arena allocated once per worker thread.
-//!   The Direct δ kernel walks core entries lexicographically and reuses
-//!   shared-prefix products, so the net effect is a row-update loop with
-//!   **zero heap allocations**, contiguous memory traffic, and ~1
-//!   amortized multiply per (entry, core-entry) pair; adding a new backend
-//!   means implementing one trait.
+//!   The δ accumulation is **run-blocked**: the `CoreTensor` type
+//!   guarantees lexicographic entry order, so the core decomposes into
+//!   runs sharing their first `N−1` coordinates, and each run costs one
+//!   shared prefix product plus a contiguous `dot`/`axpy` micro-kernel
+//!   over the packed core values. The Cached variant stores its `Pres`
+//!   table in the swept mode's stream order (sequential sweeps; a
+//!   parallel rescale plus an in-place cycle-chase reorder between
+//!   modes). The net effect is a row-update loop with **zero heap
+//!   allocations**, strictly sequential memory traffic, and FMA-saturating
+//!   inner loops; adding a new backend means implementing one trait.
 //! * [`cp`], [`baselines`], [`discovery`] — the CP-ALS analogue (sharing
 //!   the same scratch arenas and execution plan), the paper's competitors
 //!   (wOpt/CSF/S-HOT, with S-HOT's row loop on the same plan), and the
