@@ -260,6 +260,7 @@ where
             converged,
             total_seconds: t0.elapsed().as_secs_f64(),
             peak_intermediate_bytes: opts.budget.peak(),
+            peak_spilled_bytes: 0,
             final_error,
         },
     })

@@ -11,11 +11,13 @@
 //! medians at J ∈ {5, 10, 20}, the perf artifact CI (and future PRs)
 //! regress against. The `gather_ns`/`stream_direct_ns`/`speedup` fields
 //! keep their PR 2 meaning (`stream_direct` is whatever kernel
-//! `PTucker::fit` actually runs) so the trajectory stays comparable.
+//! `PTucker::fit` actually runs) so the trajectory stays comparable. A
+//! `windowed_fit` series prices the out-of-core path: the same Direct
+//! fit in-memory vs through spilled slice-aligned windows.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use ptucker::engine::{CachedKernel, DirectKernel, ModeContext, RowUpdateKernel, Scratch};
-use ptucker::FitOptions;
+use ptucker::{FitOptions, MemoryBudget, PTucker};
 use ptucker_baselines::CsfTensor;
 use ptucker_linalg::{leading_left_singular_vectors, sym_eigen, Matrix};
 use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor};
@@ -481,6 +483,49 @@ fn write_artifact() {
             "    {{\"bench\": \"cached_sweep_mode0\", \"j\": {j}, \
              \"coo_table_ns\": {coo:.1}, \"stream_table_ns\": {streamed:.1}, \
              \"speedup\": {cached_speedup:.3}}}"
+        ));
+    }
+
+    // Out-of-core overhead: the same Direct fit in-memory vs through
+    // spilled windowed sweeps (a 1-byte budget forces the minimum window
+    // capacity — the worst case for windowing overhead). The trajectories
+    // are bitwise identical; this series prices the scratch-file I/O.
+    {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = ptucker_datagen::uniform_sparse(&[32, 24, 16], 400, &mut rng);
+        let opts = |budget: MemoryBudget| {
+            FitOptions::new(vec![5, 5, 5])
+                .max_iters(2)
+                .tol(0.0)
+                .threads(1)
+                .seed(7)
+                .budget(budget)
+        };
+        let in_memory = median_ns(5, || {
+            let fit = PTucker::new(opts(MemoryBudget::unlimited()))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            assert_eq!(fit.stats.peak_spilled_bytes, 0);
+            black_box(fit);
+        });
+        let windowed = median_ns(5, || {
+            let fit = PTucker::new(opts(MemoryBudget::new(1)))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            assert!(fit.stats.peak_spilled_bytes > 0);
+            black_box(fit);
+        });
+        let overhead = windowed / in_memory;
+        println!(
+            "artifact windowed_fit j=5: in-memory {in_memory:.0} ns, \
+             windowed {windowed:.0} ns, overhead {overhead:.2}x"
+        );
+        lines.push(format!(
+            "    {{\"bench\": \"windowed_fit\", \"j\": 5, \
+             \"in_memory_ns\": {in_memory:.1}, \"windowed_ns\": {windowed:.1}, \
+             \"overhead\": {overhead:.3}}}"
         ));
     }
     let json = format!(

@@ -44,16 +44,44 @@ impl PTucker {
     /// (or `max_iters`), then QR orthogonalization with the matching core
     /// update.
     ///
+    /// When the in-memory working set — the execution plan, the scratch
+    /// arenas and the variant's auxiliary state (notably the Cache
+    /// variant's `|Ω|×|G|` table) — exceeds the [`crate::MemoryBudget`]
+    /// and the budget's policy is `BudgetPolicy::Spill` (the default),
+    /// the fit transparently runs **out of core**: the plan (and table)
+    /// spill to scratch files and every mode sweep proceeds over
+    /// slice-aligned windows, reproducing the in-memory fit's trajectory
+    /// exactly. `FitStats::peak_spilled_bytes` reports the disk
+    /// footprint. Under `BudgetPolicy::Strict` overflow stays fatal, as
+    /// the paper's O.O.M. experiments require.
+    ///
     /// # Errors
     /// * [`PtuckerError::InvalidConfig`] if the options do not match `x`'s
     ///   shape.
     /// * [`PtuckerError::OutOfMemory`] if intermediate data exceed the
-    ///   budget (notably the Cache variant's `|Ω|×|G|` table).
+    ///   budget under `BudgetPolicy::Strict`.
+    /// * [`PtuckerError::Tensor`] if scratch-file I/O fails on the
+    ///   spilled path.
     /// * [`PtuckerError::Linalg`] on numerically fatal systems (only
     ///   possible with `lambda == 0`).
     pub fn fit(&self, x: &SparseTensor) -> Result<FitResult> {
         let opts = &self.opts;
         opts.validate_for(x.dims())?;
+        if crate::window::spill_required(x, opts) {
+            return match opts.variant {
+                Variant::Default => {
+                    crate::window::run_fit_windowed(x, opts, crate::window::WinDirect)
+                }
+                Variant::Cache => {
+                    crate::window::run_fit_windowed(x, opts, crate::window::WinCached::new())
+                }
+                Variant::Approx { truncation_rate } => crate::window::run_fit_windowed(
+                    x,
+                    opts,
+                    crate::window::WinApprox::new(truncation_rate),
+                ),
+            };
+        }
         // The only variant dispatch in the solver: pick the kernel once and
         // monomorphize the whole fit loop over it.
         match opts.variant {
@@ -169,9 +197,25 @@ fn run_fit<K: RowUpdateKernel>(
     drop(kernel);
     drop(scratch_pool);
 
-    // Step 6: orthogonalize via QR and push R into the core
-    // (Algorithm 2 lines 8–11): A⁽ⁿ⁾ = Q⁽ⁿ⁾R⁽ⁿ⁾, A⁽ⁿ⁾ ← Q⁽ⁿ⁾,
-    // G ← G ×ₙ R⁽ⁿ⁾ — reconstruction preserved exactly.
+    finish_fit(x, factors, core, opts, iterations, converged, t_start)
+}
+
+/// The post-iteration phase shared **verbatim** by the in-memory and the
+/// windowed fit drivers (their bitwise-equivalence guarantee depends on
+/// it being one function): QR orthogonalization with the matching core
+/// update (Algorithm 2 lines 8–11: A⁽ⁿ⁾ = Q⁽ⁿ⁾R⁽ⁿ⁾, A⁽ⁿ⁾ ← Q⁽ⁿ⁾,
+/// G ← G ×ₙ R⁽ⁿ⁾ — reconstruction preserved exactly), the optional
+/// observed-entry core refit extension, the final error measurement, and
+/// the stats assembly.
+pub(crate) fn finish_fit(
+    x: &SparseTensor,
+    mut factors: Vec<Matrix>,
+    mut core: CoreTensor,
+    opts: &FitOptions,
+    iterations: Vec<IterStats>,
+    converged: bool,
+    t_start: Instant,
+) -> Result<FitResult> {
     for (n, factor) in factors.iter_mut().enumerate() {
         let qr = factor.qr()?;
         let (q, r) = qr.into_parts();
@@ -179,7 +223,6 @@ fn run_fit<K: RowUpdateKernel>(
         core.mode_product_in_place(n, &r, 0.0)?;
     }
 
-    // Extension: refit the core over observed entries (off by default).
     if opts.refit_core {
         refit_core_observed(x, &factors, &mut core, opts.threads, opts.schedule);
     }
@@ -191,6 +234,7 @@ fn run_fit<K: RowUpdateKernel>(
         converged,
         total_seconds: t_start.elapsed().as_secs_f64(),
         peak_intermediate_bytes: opts.budget.peak(),
+        peak_spilled_bytes: opts.budget.peak_spilled(),
         final_error,
     };
     Ok(FitResult {
@@ -200,7 +244,9 @@ fn run_fit<K: RowUpdateKernel>(
 }
 
 /// Random factor matrices with entries in `[0, 1)` (Algorithm 2 line 1).
-fn init_factors(dims: &[usize], ranks: &[usize], rng: &mut StdRng) -> Vec<Matrix> {
+/// Shared with the windowed driver so both paths draw the identical
+/// initialization from a seed.
+pub(crate) fn init_factors(dims: &[usize], ranks: &[usize], rng: &mut StdRng) -> Vec<Matrix> {
     dims.iter()
         .zip(ranks)
         .map(|(&i_n, &j_n)| {
@@ -314,7 +360,7 @@ pub(crate) fn sum_squared_error_raw(
 /// point of this problem, the refit can only lower the reconstruction
 /// error. Cost is `O(|Ω|·|G|²)` — affordable for the small/truncated cores
 /// this extension targets, and the reason it is off by default.
-fn refit_core_observed(
+pub(crate) fn refit_core_observed(
     x: &SparseTensor,
     factors: &[Matrix],
     core: &mut CoreTensor,

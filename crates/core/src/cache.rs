@@ -39,9 +39,9 @@
 
 use crate::Result;
 use ptucker_linalg::Matrix;
-use ptucker_memtrack::{MemoryBudget, Reservation};
+use ptucker_memtrack::{MemoryBudget, Reservation, ScratchFile, SpillReservation};
 use ptucker_sched::{parallel_rows_mut, Schedule};
-use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor};
+use ptucker_tensor::{CoreTensor, ModeStreams, SliceWindows, SparseTensor};
 
 /// The memoization table of P-Tucker-Cache.
 #[derive(Debug)]
@@ -140,55 +140,17 @@ impl PresTable {
         factors: &[Matrix],
     ) {
         debug_assert_eq!(self.order_mode, mode, "table must be in sweep order");
-        delta.fill(0.0);
-        let order = factors.len();
-        let last = order - 1;
-        let pres = self.row_at(pos);
-        for r in 0..runs.len() - 1 {
-            let base = runs[r] as usize;
-            let end = runs[r + 1] as usize;
-            if mode == last {
-                // The divisor varies with the tail coordinate: per-entry
-                // divisions, still a linear pass over the cached slice.
-                for b in base..end {
-                    let j_n = core_idx[b * order + last];
-                    let a = a_row_old[j_n];
-                    if a != 0.0 {
-                        delta[j_n] += pres[b] / a;
-                    } else {
-                        delta[j_n] += fallback_product(
-                            core_vals[b],
-                            &core_idx[b * order..(b + 1) * order],
-                            others,
-                            mode,
-                            factors,
-                        );
-                    }
-                }
-            } else {
-                // Constant divisor over the run: one contiguous sum, one
-                // division.
-                let j_n = core_idx[base * order + mode];
-                let a = a_row_old[j_n];
-                if a != 0.0 {
-                    let mut acc = 0.0;
-                    for &cached in &pres[base..end] {
-                        acc += cached;
-                    }
-                    delta[j_n] += acc / a;
-                } else {
-                    for b in base..end {
-                        delta[j_n] += fallback_product(
-                            core_vals[b],
-                            &core_idx[b * order..(b + 1) * order],
-                            others,
-                            mode,
-                            factors,
-                        );
-                    }
-                }
-            }
-        }
+        cached_delta_for_entry(
+            delta,
+            self.row_at(pos),
+            others,
+            mode,
+            a_row_old,
+            core_idx,
+            core_vals,
+            runs,
+            factors,
+        );
     }
 
     /// Rescales the table after `A⁽ᵐᵒᵈᵉ⁾` was updated (Algorithm 3 lines
@@ -218,24 +180,13 @@ impl PresTable {
     ) {
         debug_assert_eq!(self.order_mode, mode, "table must be in sweep order");
         let g = self.g.max(1);
-        let order = x.order();
         let core_idx = core.flat_indices();
         let core_vals = core.values();
         let new_a = &factors[mode];
         let cur = plan.mode(mode);
         parallel_rows_mut(&mut self.data, g, threads, Schedule::Static, |p, row| {
             let idx = x.index(cur.entry_id(p));
-            let i_n = idx[mode];
-            for (b, slot) in row.iter_mut().enumerate() {
-                let beta = &core_idx[b * order..(b + 1) * order];
-                let j_n = beta[mode];
-                let old = old_a[(i_n, j_n)];
-                if old != 0.0 {
-                    *slot *= new_a[(i_n, j_n)] / old;
-                } else {
-                    *slot = product(core_vals[b], beta, idx, factors);
-                }
-            }
+            rescale_entry_row(row, idx, mode, old_a, new_a, core_idx, core_vals, factors);
         });
         self.ensure_order(x, plan, next_mode);
     }
@@ -278,9 +229,337 @@ impl PresTable {
     }
 }
 
+/// The out-of-core `Pres` table: the same `|Ω|×|G|` memoization, spilled
+/// to its own scratch file and touched one slice-aligned **tile** at a
+/// time.
+///
+/// Rows follow the swept mode's stream order exactly like [`PresTable`],
+/// so a windowed sweep over `ptucker_tensor::SliceWindows` reads one
+/// contiguous byte range of the file per window ([`SpilledPresTable::
+/// load_tile`] into a pinned tile buffer). The per-mode rescale +
+/// reorder runs window-at-a-time too: each source tile is rescaled in
+/// parallel with the **identical** per-row arithmetic as the in-memory
+/// table ([`rescale_entry_row`]) and its rows scatter-written into a
+/// second file region in the next mode's stream order — sorted by
+/// destination and coalesced, so consecutive destination rows share one
+/// write. The two regions ping-pong across modes — on disk, where
+/// capacity is not what Definition 7 meters; resident memory stays one
+/// tile plus its same-sized staging buffer and the `(dest, src)`
+/// permutation pairs (all counted in the window-capacity formula).
+#[derive(Debug)]
+pub(crate) struct SpilledPresTable {
+    file: ScratchFile,
+    /// Row stride = `|G|`.
+    g: usize,
+    /// Byte offsets of the two ping-pong regions (each `|Ω|·|G|` doubles).
+    regions: [u64; 2],
+    /// Which region currently holds the table.
+    active: usize,
+    /// The mode whose stream order the rows currently follow.
+    order_mode: usize,
+    /// The pinned tile: the active window's rows, resident.
+    tile: Vec<f64>,
+    /// Reusable `(destination, source)` position pairs for the batched
+    /// reorder scatter.
+    perm: Vec<(u32, u32)>,
+    /// Staging buffer assembling runs of consecutive destination rows so
+    /// each run costs one write instead of one per entry.
+    staging: Vec<f64>,
+    _spill: SpillReservation,
+}
+
+impl SpilledPresTable {
+    fn row_off(&self, region: usize, p: usize) -> u64 {
+        self.regions[region] + p as u64 * self.g as u64 * 8
+    }
+
+    /// Precomputes the full table window-at-a-time into the scratch file,
+    /// in **mode 0's stream order** (the first mode the driver sweeps).
+    /// `windows` is the fit's shared sweeper: its capacity bounds each
+    /// tile to the same window extents the row sweeps will use.
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::Tensor`] (I/O) if scratch-file access fails.
+    pub fn compute(
+        x: &SparseTensor,
+        factors: &[Matrix],
+        core: &CoreTensor,
+        threads: usize,
+        budget: &MemoryBudget,
+        windows: &mut SliceWindows<'_>,
+    ) -> Result<Self> {
+        let g = core.nnz();
+        let bytes = x.nnz() as u64 * g as u64 * 8;
+        let file = ScratchFile::create().map_err(ptucker_tensor::TensorError::from)?;
+        let regions = [
+            file.reserve_region(bytes)
+                .map_err(ptucker_tensor::TensorError::from)?,
+            file.reserve_region(bytes)
+                .map_err(ptucker_tensor::TensorError::from)?,
+        ];
+        let spill = budget.record_spill(2 * bytes as usize);
+        // Buffers sized for the largest possible window (capacity or one
+        // oversized slice), so no window reallocates them mid-sweep.
+        let max_pos = windows.max_window_positions();
+        let mut table = SpilledPresTable {
+            file,
+            g,
+            regions,
+            active: 0,
+            order_mode: 0,
+            tile: Vec::with_capacity(max_pos.saturating_mul(g)),
+            perm: Vec::with_capacity(max_pos),
+            staging: Vec::with_capacity(max_pos.saturating_mul(g)),
+            _spill: spill,
+        };
+        let order = x.order();
+        let core_idx = core.flat_indices();
+        let core_vals = core.values();
+        // Only the entry ids are needed here (the multi-index comes from
+        // COO), so the sweep reads just the ids section of each window.
+        windows.rewind(0);
+        while let Some(w) = windows.next_ids_window()? {
+            let len = w.entry_ids.len();
+            table.tile.resize(len * g, 0.0);
+            parallel_rows_mut(
+                &mut table.tile,
+                g.max(1),
+                threads,
+                Schedule::Static,
+                |p, row| {
+                    let idx = x.index(w.entry_ids[p] as usize);
+                    for (b, slot) in row.iter_mut().enumerate() {
+                        *slot = product(
+                            core_vals[b],
+                            &core_idx[b * order..(b + 1) * order],
+                            idx,
+                            factors,
+                        );
+                    }
+                },
+            );
+            table
+                .file
+                .write_f64s(table.row_off(0, w.base), &table.tile)
+                .map_err(ptucker_tensor::TensorError::from)?;
+        }
+        Ok(table)
+    }
+
+    /// The mode whose stream order the rows currently follow.
+    pub fn order_mode(&self) -> usize {
+        self.order_mode
+    }
+
+    /// Loads the tile for the window starting at global stream position
+    /// `base` with `len` positions. Resident memory stays this one tile
+    /// (the buffer's capacity is pinned after the first window).
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::Tensor`] (I/O) if the read fails.
+    pub fn load_tile(&mut self, base: usize, len: usize) -> Result<()> {
+        self.tile.resize(len * self.g, 0.0);
+        let off = self.row_off(self.active, base);
+        self.file
+            .read_f64s(off, &mut self.tile)
+            .map_err(ptucker_tensor::TensorError::from)?;
+        Ok(())
+    }
+
+    /// The cached products of the loaded tile's window-local position `p`.
+    #[inline]
+    pub fn tile_row(&self, p: usize) -> &[f64] {
+        &self.tile[p * self.g..(p + 1) * self.g]
+    }
+
+    /// The windowed analogue of [`PresTable::rescale_and_reorder`]: every
+    /// source-order tile is rescaled in parallel (identical per-row
+    /// arithmetic) and scatter-written into the inactive region in
+    /// `next_mode`'s stream order; the regions then swap. `windows` is
+    /// the fit's shared sweeper, rewound to `mode` here.
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::Tensor`] (I/O) if scratch-file access fails.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rescale_and_reorder(
+        &mut self,
+        x: &SparseTensor,
+        plan: &ModeStreams,
+        factors: &[Matrix],
+        old_a: &Matrix,
+        mode: usize,
+        next_mode: usize,
+        core: &CoreTensor,
+        threads: usize,
+        windows: &mut SliceWindows<'_>,
+    ) -> Result<()> {
+        debug_assert_eq!(self.order_mode, mode, "table must be in sweep order");
+        let g = self.g;
+        let core_idx = core.flat_indices();
+        let core_vals = core.values();
+        let new_a = &factors[mode];
+        let next_sp = plan.spilled_mode(next_mode);
+        let src = self.active;
+        let dst = 1 - src;
+        // The rescale needs each position's COO entry id only (the
+        // multi-index comes from COO), so the sweep reads just the ids
+        // section of each window.
+        windows.rewind(mode);
+        while let Some(w) = windows.next_ids_window()? {
+            let len = w.entry_ids.len();
+            self.tile.resize(len * g, 0.0);
+            self.file
+                .read_f64s(
+                    self.regions[src] + w.base as u64 * g as u64 * 8,
+                    &mut self.tile,
+                )
+                .map_err(ptucker_tensor::TensorError::from)?;
+            parallel_rows_mut(
+                &mut self.tile,
+                g.max(1),
+                threads,
+                Schedule::Static,
+                |p, row| {
+                    let idx = x.index(w.entry_ids[p] as usize);
+                    rescale_entry_row(row, idx, mode, old_a, new_a, core_idx, core_vals, factors);
+                },
+            );
+            // Scatter the rescaled rows into the destination region in
+            // `next_mode`'s order — batched: destinations are sorted and
+            // every run of consecutive positions is staged contiguously
+            // and written with one syscall, so a window costs O(runs)
+            // writes rather than one per entry.
+            self.perm.clear();
+            self.perm.extend((0..len).map(|p| {
+                let q = next_sp.position_of(w.entry_ids[p] as usize);
+                (q as u32, p as u32)
+            }));
+            self.perm.sort_unstable();
+            let mut i = 0;
+            while i < len {
+                let q0 = self.perm[i].0 as usize;
+                let mut run = 1;
+                while i + run < len && self.perm[i + run].0 as usize == q0 + run {
+                    run += 1;
+                }
+                self.staging.clear();
+                for &(_, p) in &self.perm[i..i + run] {
+                    let p = p as usize;
+                    self.staging
+                        .extend_from_slice(&self.tile[p * g..(p + 1) * g]);
+                }
+                self.file
+                    .write_f64s(self.regions[dst] + q0 as u64 * g as u64 * 8, &self.staging)
+                    .map_err(ptucker_tensor::TensorError::from)?;
+                i += run;
+            }
+        }
+        self.active = dst;
+        self.order_mode = next_mode;
+        Ok(())
+    }
+}
+
+/// The run-blocked cached-δ arithmetic for one entry, operating on the
+/// entry's cached-product row wherever it lives — the in-memory
+/// [`PresTable`] and the windowed tile of a [`SpilledPresTable`] both call
+/// this, so the two execution paths are **bitwise identical** per row.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cached_delta_for_entry(
+    delta: &mut [f64],
+    pres: &[f64],
+    others: &[u32],
+    mode: usize,
+    a_row_old: &[f64],
+    core_idx: &[usize],
+    core_vals: &[f64],
+    runs: &[u32],
+    factors: &[Matrix],
+) {
+    delta.fill(0.0);
+    let order = factors.len();
+    let last = order - 1;
+    for r in 0..runs.len() - 1 {
+        let base = runs[r] as usize;
+        let end = runs[r + 1] as usize;
+        if mode == last {
+            // The divisor varies with the tail coordinate: per-entry
+            // divisions, still a linear pass over the cached slice.
+            for b in base..end {
+                let j_n = core_idx[b * order + last];
+                let a = a_row_old[j_n];
+                if a != 0.0 {
+                    delta[j_n] += pres[b] / a;
+                } else {
+                    delta[j_n] += fallback_product(
+                        core_vals[b],
+                        &core_idx[b * order..(b + 1) * order],
+                        others,
+                        mode,
+                        factors,
+                    );
+                }
+            }
+        } else {
+            // Constant divisor over the run: one contiguous sum, one
+            // division.
+            let j_n = core_idx[base * order + mode];
+            let a = a_row_old[j_n];
+            if a != 0.0 {
+                let mut acc = 0.0;
+                for &cached in &pres[base..end] {
+                    acc += cached;
+                }
+                delta[j_n] += acc / a;
+            } else {
+                for b in base..end {
+                    delta[j_n] += fallback_product(
+                        core_vals[b],
+                        &core_idx[b * order..(b + 1) * order],
+                        others,
+                        mode,
+                        factors,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The Algorithm-3 lines 16–19 rescale for one entry's cached-product row:
+/// `Pres[α][β] *= a_new/a_old`, recomputed outright where `a_old = 0`.
+/// Shared by the in-memory and the spilled tables (bitwise-identical
+/// arithmetic on both paths).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rescale_entry_row(
+    row: &mut [f64],
+    idx: &[usize],
+    mode: usize,
+    old_a: &Matrix,
+    new_a: &Matrix,
+    core_idx: &[usize],
+    core_vals: &[f64],
+    factors: &[Matrix],
+) {
+    let order = idx.len();
+    let i_n = idx[mode];
+    for (b, slot) in row.iter_mut().enumerate() {
+        let beta = &core_idx[b * order..(b + 1) * order];
+        let j_n = beta[mode];
+        let old = old_a[(i_n, j_n)];
+        if old != 0.0 {
+            *slot *= new_a[(i_n, j_n)] / old;
+        } else {
+            *slot = product(core_vals[b], beta, idx, factors);
+        }
+    }
+}
+
 /// `G_β Π_{k=1..N} a⁽ᵏ⁾(iₖ, βₖ)` — the cached quantity.
 #[inline]
-fn product(g: f64, beta: &[usize], idx: &[usize], factors: &[Matrix]) -> f64 {
+pub(crate) fn product(g: f64, beta: &[usize], idx: &[usize], factors: &[Matrix]) -> f64 {
     let mut w = g;
     for (k, factor) in factors.iter().enumerate() {
         w *= factor[(idx[k], beta[k])];

@@ -33,7 +33,7 @@
 //! COO entry ids, and the δ accumulation is **run-blocked** — one shared
 //! prefix product per run of lexicographic core entries, the run tail a
 //! contiguous `dot`/`axpy` micro-kernel over the packed core values (see
-//! [`crate::delta`] and `ptucker_linalg::kernels`). The plan is built
+//! `crate::delta` and `ptucker_linalg::kernels`). The plan is built
 //! once per fit and metered against the memory budget; the run structure
 //! is computed once per mode sweep in [`ModeContext::new`].
 
@@ -172,7 +172,7 @@ pub struct ModeContext<'a> {
     /// The core's values (`|G|`).
     pub core_vals: &'a [f64],
     /// Run boundaries of the core's lexicographic entry list (offsets into
-    /// the entry ids; see [`crate::delta`]): computed once per mode sweep
+    /// the entry ids; see `crate::delta`): computed once per mode sweep
     /// here so the blocked δ kernel spends nothing on run detection inside
     /// the row loop.
     pub runs: Vec<u32>,
@@ -187,7 +187,8 @@ pub struct ModeContext<'a> {
 }
 
 impl<'a> ModeContext<'a> {
-    /// Assembles the context for updating `factors[mode]`.
+    /// Assembles the context for updating `factors[mode]` on a fully
+    /// resident plan.
     pub fn new(
         plan: &'a ModeStreams,
         factors: &'a [Matrix],
@@ -195,16 +196,52 @@ impl<'a> ModeContext<'a> {
         mode: usize,
         opts: &FitOptions,
     ) -> Self {
+        Self::for_stream(plan.mode(mode), factors, core, mode, opts)
+    }
+
+    /// Assembles the context for a sweep over an arbitrary [`ModeStream`]
+    /// view of `mode` — the whole resident stream, or one slice-aligned
+    /// window of a spilled plan (`ptucker_tensor::SliceWindows`), whose
+    /// slices and positions are then window-local.
+    pub fn for_stream(
+        stream: &'a ModeStream,
+        factors: &'a [Matrix],
+        core: &'a CoreTensor,
+        mode: usize,
+        opts: &FitOptions,
+    ) -> Self {
+        Self::with_runs(
+            stream,
+            factors,
+            core,
+            mode,
+            opts,
+            core_runs(core.flat_indices(), core.order()),
+        )
+    }
+
+    /// [`ModeContext::for_stream`] with a precomputed run structure — for
+    /// callers that sweep many stream views of the same mode (the windowed
+    /// driver: one context per window) and compute `core_runs` once for
+    /// the whole sweep. `runs` must be `core_runs` of this `core`.
+    pub(crate) fn with_runs(
+        stream: &'a ModeStream,
+        factors: &'a [Matrix],
+        core: &'a CoreTensor,
+        mode: usize,
+        opts: &FitOptions,
+        runs: Vec<u32>,
+    ) -> Self {
         debug_assert!(
             core.is_lexicographic(),
             "CoreTensor's lex invariant feeds the run-blocked kernel"
         );
         ModeContext {
-            stream: plan.mode(mode),
+            stream,
             factors,
             core_idx: core.flat_indices(),
             core_vals: core.values(),
-            runs: core_runs(core.flat_indices(), core.order()),
+            runs,
             mode,
             j_n: opts.ranks[mode],
             stride: opts.sample_stride.max(1),
@@ -304,7 +341,7 @@ pub trait RowUpdateKernel: Sync {
 /// preserves COO entry order, so subsampling by `stride` visits the same
 /// entries the gather path visited.
 #[inline]
-fn run_row(
+pub(crate) fn run_row(
     ctx: &ModeContext<'_>,
     scratch: &mut Scratch,
     i: usize,
@@ -344,7 +381,7 @@ fn run_row(
 /// entry — `O(T·J²)` intermediate memory (Theorem 4). On the mode-major
 /// plan the recompute is **run-blocked**: one shared prefix product per
 /// run of core entries, the run tail processed as a contiguous `dot`/`axpy`
-/// micro-kernel over the packed core values (see [`crate::delta`]).
+/// micro-kernel over the packed core values (see `crate::delta`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DirectKernel;
 
@@ -380,7 +417,7 @@ impl RowUpdateKernel for DirectKernel {
 /// by an in-place cycle-chase permutation that carries the table into the
 /// *next* mode's stream order — no second table-sized buffer, so
 /// Theorem 6's memory bound is preserved (see
-/// [`PresTable::rescale_and_reorder`]).
+/// `PresTable::rescale_and_reorder`).
 #[derive(Debug, Default)]
 pub struct CachedKernel {
     table: Option<PresTable>,

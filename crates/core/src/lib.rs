@@ -76,6 +76,17 @@
 //!   allocations**. The solves themselves run through
 //!   `ptucker_linalg`'s in-place `cholesky_solve_in_place` /
 //!   `lu_solve_in_place` on those buffers.
+//! * **Out-of-core execution** (`window`, private): when the in-memory
+//!   working set — plan, scratch, the Cache table — exceeds the
+//!   [`MemoryBudget`] and its policy is [`BudgetPolicy::Spill`] (the
+//!   default), [`PTucker::fit`] transparently spills the plan (and
+//!   table) to unlinked scratch files and sweeps each mode in
+//!   slice-aligned windows (`ptucker_tensor::SliceWindows`), one pinned
+//!   buffer resident at a time. The per-row code is the same
+//!   monomorphized kernel path, so the windowed fit reproduces the
+//!   in-memory trajectory bitwise; `FitStats::peak_spilled_bytes`
+//!   reports the disk footprint. [`BudgetPolicy::Strict`] restores the
+//!   paper's hard O.O.M. boundary.
 //!
 //! # Example
 //!
@@ -107,6 +118,51 @@
 //! assert!(result.decomposition.orthogonality_defect() < 1e-10);
 //! let _missing = result.decomposition.predict(&[3, 0, 2]);
 //! ```
+//!
+//! # Out-of-core example
+//!
+//! The same fit under a [`MemoryBudget`] far too small for the execution
+//! plan: the default [`BudgetPolicy::Spill`] completes it through spilled
+//! windowed sweeps instead of erroring, with an identical trajectory.
+//!
+//! ```
+//! use ptucker::{BudgetPolicy, FitOptions, MemoryBudget, PTucker};
+//! use ptucker_tensor::SparseTensor;
+//!
+//! let x = SparseTensor::new(
+//!     vec![4, 4, 3],
+//!     vec![
+//!         (vec![0, 0, 0], 0.9),
+//!         (vec![1, 1, 1], 0.8),
+//!         (vec![2, 2, 2], 0.7),
+//!         (vec![3, 3, 0], 0.6),
+//!         (vec![0, 1, 2], 0.5),
+//!         (vec![2, 0, 1], 0.4),
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! let opts = |budget| {
+//!     FitOptions::new(vec![2, 2, 2]).max_iters(5).tol(0.0).seed(7).budget(budget)
+//! };
+//! let in_memory = PTucker::new(opts(MemoryBudget::unlimited())).unwrap().fit(&x).unwrap();
+//! assert_eq!(in_memory.stats.peak_spilled_bytes, 0);
+//!
+//! // A 64-byte budget cannot hold the plan; the fit spills and completes.
+//! let budget = MemoryBudget::new(64);
+//! assert_eq!(budget.policy(), BudgetPolicy::Spill);
+//! let spilled = PTucker::new(opts(budget)).unwrap().fit(&x).unwrap();
+//! assert!(spilled.stats.peak_spilled_bytes > 0);
+//! assert_eq!(
+//!     in_memory.stats.final_error.to_bits(),
+//!     spilled.stats.final_error.to_bits(),
+//!     "windowed sweeps reproduce the in-memory fit exactly",
+//! );
+//!
+//! // The paper's hard O.O.M. boundary survives behind an explicit policy.
+//! let strict = MemoryBudget::with_policy(64, BudgetPolicy::Strict);
+//! assert!(PTucker::new(opts(strict)).unwrap().fit(&x).is_err());
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -122,6 +178,7 @@ pub mod engine;
 mod error;
 mod options;
 mod stats;
+mod window;
 
 pub use als::PTucker;
 pub use decomposition::TuckerDecomposition;
@@ -131,7 +188,7 @@ pub use stats::{FitResult, FitStats, IterStats};
 
 // Re-exported for harness convenience: callers configuring a fit usually
 // need the schedule and budget types too.
-pub use ptucker_memtrack::MemoryBudget;
+pub use ptucker_memtrack::{BudgetPolicy, MemoryBudget};
 pub use ptucker_sched::Schedule;
 
 /// Convenience alias for results produced by this crate.
@@ -384,12 +441,25 @@ mod tests {
     }
 
     #[test]
-    fn cache_oom_with_tiny_budget() {
+    fn cache_overflow_spills_by_default_and_fails_under_strict() {
+        // Since the out-of-core path landed, a default-policy budget too
+        // small for the |Ω|×|G| Pres table spills it (plus the plan) to
+        // disk and completes; the paper's hard O.O.M. boundary survives
+        // behind BudgetPolicy::Strict.
         let x = planted(10);
         let opts = FitOptions::new(vec![2, 2, 2])
+            .max_iters(2)
             .variant(Variant::Cache)
             .budget(MemoryBudget::new(1024));
-        let err = PTucker::new(opts).unwrap().fit(&x).unwrap_err();
+        let fit = PTucker::new(opts).unwrap().fit(&x).unwrap();
+        assert!(
+            fit.stats.peak_spilled_bytes > 0,
+            "tiny default-policy budget must have spilled"
+        );
+        let strict = FitOptions::new(vec![2, 2, 2])
+            .variant(Variant::Cache)
+            .budget(MemoryBudget::with_policy(1024, BudgetPolicy::Strict));
+        let err = PTucker::new(strict).unwrap().fit(&x).unwrap_err();
         assert!(matches!(err, PtuckerError::OutOfMemory(_)));
     }
 

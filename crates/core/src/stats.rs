@@ -30,6 +30,11 @@ pub struct FitStats {
     /// of the paper; what Table III's memory column and Figs. 8b/10b
     /// measure).
     pub peak_intermediate_bytes: usize,
+    /// High-water mark of intermediate data **spilled to disk** in bytes:
+    /// 0 for an in-memory fit; for an out-of-core fit, the scratch-file
+    /// footprint of the execution plan (and, for the Cache variant, its
+    /// double-buffered `Pres` table).
+    pub peak_spilled_bytes: usize,
     /// Reconstruction error of the returned (orthogonalized) model.
     pub final_error: f64,
 }
@@ -88,6 +93,7 @@ mod tests {
             converged: true,
             total_seconds: secs.iter().sum(),
             peak_intermediate_bytes: 0,
+            peak_spilled_bytes: 0,
             final_error: *errs.last().unwrap_or(&0.0),
         }
     }
@@ -101,6 +107,7 @@ mod tests {
             converged: false,
             total_seconds: 0.0,
             peak_intermediate_bytes: 0,
+            peak_spilled_bytes: 0,
             final_error: 0.0,
         };
         assert_eq!(empty.avg_seconds_per_iter(), 0.0);

@@ -1,0 +1,689 @@
+//! Out-of-core fitting: windowed sweeps over a spilled execution plan.
+//!
+//! The in-memory fit driver ([`crate::als`]) requires the whole
+//! `O(N·|Ω|)`-word [`ModeStreams`] plan — and, for the Cache variant, the
+//! `|Ω|×|G|` `Pres` table — to fit the [`MemoryBudget`]. That is exactly
+//! where the paper's competitors die (Figs. 6, 7, 11), and this module is
+//! how P-Tucker keeps going: when [`spill_required`] finds the in-memory
+//! working set over budget (and the budget's policy is
+//! [`BudgetPolicy::Spill`]), the fit runs here instead:
+//!
+//! * The plan is built **spilled** ([`ModeStreams::build_spilled`]): bulk
+//!   arrays stream to an unlinked scratch file; RAM keeps per-mode slice
+//!   offsets and inverse entry maps.
+//! * Each mode's row sweep walks [`SliceWindows`]: slice-aligned,
+//!   budget-sized windows loaded one at a time into a pinned buffer and
+//!   presented as an ordinary `ModeStream` view, so the per-row kernel
+//!   code — [`crate::engine::run_row`], the run-blocked δ micro-kernels,
+//!   the in-arena solves — is the **same code** the in-memory path runs.
+//!   Rows are only updated from their own slice, windows are slice-
+//!   aligned, and each row's arithmetic is self-contained, so a windowed
+//!   fit reproduces the in-memory fit **bitwise** per row update.
+//! * The Cache variant's `Pres` table spills alongside
+//!   ([`crate::cache::SpilledPresTable`]): its rows follow the sweep
+//!   order, so each window touches one contiguous table range (one tile
+//!   read per window), and the per-mode rescale + permutation into the
+//!   next mode's order runs tile-at-a-time into a second file region.
+//!
+//! Memory accounting: the spilled path's irreducible floor — plan
+//! metadata, scratch arenas, the pinned window buffer (+ Pres tile) — is
+//! booked with [`MemoryBudget::reserve_unchecked`], so
+//! `peak_intermediate_bytes` stays honest even when it exceeds the
+//! configured budget (a budget below the floor cannot be *met*, only
+//! approached at slice granularity); file bytes are tracked separately
+//! and reported as `peak_spilled_bytes`.
+
+use crate::als::{finish_fit, init_factors, sum_squared_error_raw};
+use crate::cache::{cached_delta_for_entry, SpilledPresTable};
+use crate::delta::core_runs;
+use crate::engine::{run_row, DirectKernel, ModeContext, RowUpdateKernel, Scratch};
+use crate::{approx, FitOptions, FitResult, IterStats, PtuckerError, Result, Variant};
+use ptucker_linalg::Matrix;
+use ptucker_memtrack::BudgetPolicy;
+use ptucker_sched::{parallel_rows_mut_scheduled, Schedule};
+use ptucker_tensor::{CoreTensor, ModeStreams, SliceWindows, SparseTensor, Window};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Bytes the **in-memory** fit path will reserve up front for `x` under
+/// `opts`: the resident plan, the per-thread scratch arenas, and the
+/// variant's auxiliary state (the Cache table; Approx's `R(β)` buffers).
+pub(crate) fn in_memory_bytes(x: &SparseTensor, opts: &FitOptions) -> usize {
+    let g: usize = opts.ranks.iter().product();
+    let j_max = opts.ranks.iter().copied().max().unwrap_or(1);
+    let scratch = opts.threads * Scratch::doubles(j_max) * 8;
+    let aux = match opts.variant {
+        Variant::Cache => x.nnz().saturating_mul(g) * 8,
+        Variant::Approx { truncation_rate } if truncation_rate > 0.0 => opts.threads * 2 * g * 8,
+        _ => 0,
+    };
+    ModeStreams::bytes_for(x)
+        .saturating_add(scratch)
+        .saturating_add(aux)
+}
+
+/// Whether `PTucker::fit` must take the out-of-core path: the budget's
+/// policy allows spilling and the in-memory working set would not fit.
+pub(crate) fn spill_required(x: &SparseTensor, opts: &FitOptions) -> bool {
+    opts.budget.policy() == BudgetPolicy::Spill && !opts.budget.would_fit(in_memory_bytes(x, opts))
+}
+
+/// Resident bytes one window position costs: its stream entry (value +
+/// packed other-mode indices + entry id) plus, for the Cache variant, its
+/// `|G|`-double `Pres` tile row.
+pub(crate) fn bytes_per_position(order: usize, tile_doubles: usize) -> usize {
+    8 + 4 * (order - 1) + 4 + 8 * tile_doubles
+}
+
+/// Window capacity in stream positions for the remaining budget: the
+/// remaining bytes divided over the per-position cost, at least 1 (windows
+/// are slice-aligned, so a huge slice is taken whole regardless — the
+/// slice-granularity floor).
+pub(crate) fn window_capacity(available: usize, order: usize, tile_doubles: usize) -> usize {
+    (available / bytes_per_position(order, tile_doubles)).max(1)
+}
+
+/// A P-Tucker variant's behavior under windowed execution. The mirror of
+/// [`RowUpdateKernel`] for the out-of-core driver, with one extra hook:
+/// [`WindowKernel::load_window`] runs between windows (sequentially) so
+/// kernels with spilled per-entry state can page in the matching tile.
+pub(crate) trait WindowKernel: Sync {
+    /// Doubles of per-position state this kernel keeps resident during a
+    /// sweep — Cache: the `|G|` tile row, its `|G|` staging-buffer twin
+    /// for the coalesced reorder scatter, and one double's worth of
+    /// `(dest, src)` permutation pair. Sizes the window capacity.
+    fn tile_doubles(&self, _core: &CoreTensor) -> usize {
+        0
+    }
+
+    /// One-time setup after the spilled plan exists (Cache: stream the
+    /// `Pres` table to its scratch file, through the fit's shared
+    /// sweeper).
+    #[allow(clippy::too_many_arguments)]
+    fn prepare_fit(
+        &mut self,
+        _x: &SparseTensor,
+        _plan: &ModeStreams,
+        _factors: &[Matrix],
+        _core: &CoreTensor,
+        _opts: &FitOptions,
+        _windows: &mut SliceWindows<'_>,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called before each mode's row sweep with the pre-update factors.
+    fn prepare_mode(&mut self, _factors: &[Matrix], _mode: usize) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called for each window before its (parallel) row updates.
+    fn load_window(&mut self, _w: &Window<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    /// Updates one factor row; `local_i` and the context's stream are
+    /// window-local. Same contract as [`RowUpdateKernel::update_row`].
+    fn update_row(
+        &self,
+        ctx: &ModeContext<'_>,
+        scratch: &mut Scratch,
+        local_i: usize,
+        row: &mut [f64],
+    ) -> bool;
+
+    /// Called after `factors[mode]` has been replaced (Cache: rescale the
+    /// spilled table tile-at-a-time and carry it into the next mode's
+    /// stream order). `windows` is the fit's shared sweeper, rewound by
+    /// the kernel as needed.
+    #[allow(clippy::too_many_arguments)]
+    fn post_mode(
+        &mut self,
+        _x: &SparseTensor,
+        _plan: &ModeStreams,
+        _factors: &[Matrix],
+        _mode: usize,
+        _core: &CoreTensor,
+        _opts: &FitOptions,
+        _windows: &mut SliceWindows<'_>,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called once per outer iteration after the error measurement.
+    fn post_iter(
+        &mut self,
+        _x: &SparseTensor,
+        _factors: &[Matrix],
+        _core: &mut CoreTensor,
+        _opts: &FitOptions,
+    ) {
+    }
+}
+
+/// Windowed Direct: δ recomputed from the factors — stateless, so the
+/// in-memory [`DirectKernel`] row routine runs verbatim on window views.
+#[derive(Debug, Default)]
+pub(crate) struct WinDirect;
+
+impl WindowKernel for WinDirect {
+    fn update_row(
+        &self,
+        ctx: &ModeContext<'_>,
+        scratch: &mut Scratch,
+        local_i: usize,
+        row: &mut [f64],
+    ) -> bool {
+        DirectKernel.update_row(ctx, scratch, local_i, row)
+    }
+}
+
+/// Windowed Approx: Direct row updates plus the per-iteration core
+/// truncation (which reads COO + factors only — nothing windowed).
+#[derive(Debug)]
+pub(crate) struct WinApprox {
+    truncation_rate: f64,
+    /// Floor booking for the per-thread `R(β)`/contribution buffers (the
+    /// in-memory kernel reserves the same bytes, but checked).
+    _scratch: Option<ptucker_memtrack::Reservation>,
+}
+
+impl WinApprox {
+    pub fn new(truncation_rate: f64) -> Self {
+        WinApprox {
+            truncation_rate,
+            _scratch: None,
+        }
+    }
+}
+
+impl WindowKernel for WinApprox {
+    fn prepare_fit(
+        &mut self,
+        _x: &SparseTensor,
+        _plan: &ModeStreams,
+        _factors: &[Matrix],
+        core: &CoreTensor,
+        opts: &FitOptions,
+        _windows: &mut SliceWindows<'_>,
+    ) -> Result<()> {
+        if self.truncation_rate > 0.0 {
+            self._scratch = Some(
+                opts.budget
+                    .reserve_unchecked(opts.threads * 2 * core.nnz() * 8),
+            );
+        }
+        Ok(())
+    }
+
+    fn update_row(
+        &self,
+        ctx: &ModeContext<'_>,
+        scratch: &mut Scratch,
+        local_i: usize,
+        row: &mut [f64],
+    ) -> bool {
+        DirectKernel.update_row(ctx, scratch, local_i, row)
+    }
+
+    fn post_iter(
+        &mut self,
+        x: &SparseTensor,
+        factors: &[Matrix],
+        core: &mut CoreTensor,
+        opts: &FitOptions,
+    ) {
+        if self.truncation_rate > 0.0 {
+            let r = approx::partial_errors(x, factors, core, opts.threads, opts.schedule);
+            approx::truncate_noisy(core, &r, self.truncation_rate);
+        }
+    }
+}
+
+/// Windowed Cache: the `Pres` table spilled to its own scratch file, one
+/// tile resident at a time, rescaled/permuted window-at-a-time between
+/// modes. Per-row arithmetic is shared with the in-memory table
+/// ([`cached_delta_for_entry`]), so the fits agree bitwise.
+#[derive(Debug, Default)]
+pub(crate) struct WinCached {
+    table: Option<SpilledPresTable>,
+    old_factor: Option<Matrix>,
+}
+
+impl WinCached {
+    pub fn new() -> Self {
+        WinCached::default()
+    }
+}
+
+impl WindowKernel for WinCached {
+    fn tile_doubles(&self, core: &CoreTensor) -> usize {
+        2 * core.nnz() + 1
+    }
+
+    fn prepare_fit(
+        &mut self,
+        x: &SparseTensor,
+        _plan: &ModeStreams,
+        factors: &[Matrix],
+        core: &CoreTensor,
+        opts: &FitOptions,
+        windows: &mut SliceWindows<'_>,
+    ) -> Result<()> {
+        self.table = Some(SpilledPresTable::compute(
+            x,
+            factors,
+            core,
+            opts.threads,
+            &opts.budget,
+            windows,
+        )?);
+        Ok(())
+    }
+
+    fn prepare_mode(&mut self, factors: &[Matrix], mode: usize) -> Result<()> {
+        self.old_factor = Some(factors[mode].clone());
+        debug_assert_eq!(
+            self.table.as_ref().map(|t| t.order_mode()),
+            Some(mode),
+            "driver sweeps cyclically, so the spilled table is pre-aligned"
+        );
+        Ok(())
+    }
+
+    fn load_window(&mut self, w: &Window<'_>) -> Result<()> {
+        let table = self.table.as_mut().expect("prepare_fit runs first");
+        table.load_tile(w.base, w.stream.values().len())
+    }
+
+    fn update_row(
+        &self,
+        ctx: &ModeContext<'_>,
+        scratch: &mut Scratch,
+        local_i: usize,
+        row: &mut [f64],
+    ) -> bool {
+        let table = self.table.as_ref().expect("prepare_fit runs first");
+        run_row(ctx, scratch, local_i, row, |delta, pos, others, old_row| {
+            cached_delta_for_entry(
+                delta,
+                table.tile_row(pos),
+                others,
+                ctx.mode,
+                old_row,
+                ctx.core_idx,
+                ctx.core_vals,
+                &ctx.runs,
+                ctx.factors,
+            )
+        })
+    }
+
+    fn post_mode(
+        &mut self,
+        x: &SparseTensor,
+        plan: &ModeStreams,
+        factors: &[Matrix],
+        mode: usize,
+        core: &CoreTensor,
+        opts: &FitOptions,
+        windows: &mut SliceWindows<'_>,
+    ) -> Result<()> {
+        let old = self
+            .old_factor
+            .take()
+            .expect("prepare_mode runs before post_mode");
+        let table = self.table.as_mut().expect("prepare_fit runs first");
+        let next = (mode + 1) % plan.order();
+        table.rescale_and_reorder(
+            x,
+            plan,
+            factors,
+            &old,
+            mode,
+            next,
+            core,
+            opts.threads,
+            windows,
+        )
+    }
+}
+
+/// The out-of-core fit driver: Algorithm 2 on a spilled plan, every mode
+/// sweep windowed. Mirrors [`crate::als::run_fit`] step for step — same
+/// RNG sequence, same per-row arithmetic, same convergence test — so its
+/// trajectory matches the in-memory fit bitwise.
+pub(crate) fn run_fit_windowed<K: WindowKernel>(
+    x: &SparseTensor,
+    opts: &FitOptions,
+    mut kernel: K,
+) -> Result<FitResult> {
+    let t_start = Instant::now();
+    let order = x.order();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Step 1: identical initialization to the in-memory driver.
+    let mut factors = init_factors(x.dims(), &opts.ranks, &mut rng);
+    let mut core = CoreTensor::random_dense(opts.ranks.clone(), &mut rng)?;
+
+    // The spilled plan: bulk arrays stream to the scratch file; the
+    // resident floor (offsets + inverse maps) books itself unchecked.
+    opts.budget.reset_peak();
+    let plan = ModeStreams::build_spilled(x, &opts.budget)?;
+
+    // Per-thread scratch arenas: part of the irreducible floor.
+    let j_max = opts.ranks.iter().copied().max().unwrap_or(1);
+    let _row_scratch = opts
+        .budget
+        .reserve_unchecked(opts.threads * Scratch::doubles(j_max) * 8);
+    let mut scratch_pool: Vec<Scratch> = (0..opts.threads.max(1))
+        .map(|_| Scratch::new(j_max))
+        .collect();
+
+    // Window capacity from what is left of the budget; the pinned window
+    // buffer (+ Pres tile for Cache) is the rest of the floor. A slice
+    // larger than the capacity is still taken whole — windows are
+    // slice-aligned — so the buffer is sized for the larger of the two.
+    let tile_doubles = kernel.tile_doubles(&core);
+    let cap = window_capacity(opts.budget.available(), order, tile_doubles);
+    let max_slice = (0..order)
+        .map(|n| plan.spilled_mode(n).max_slice_len())
+        .max()
+        .unwrap_or(1);
+    let _window_buffers = opts
+        .budget
+        .reserve_unchecked(cap.max(max_slice) * bytes_per_position(order, tile_doubles));
+    // The fit's one sweeper: its pinned buffer is allocated here, sized
+    // for any mode, and rewound for every sweep of every iteration.
+    let mut sweeper = plan.windows(0, cap);
+
+    // Kernel setup: the Cache variant streams its |Ω|×|G| table to disk
+    // here, tile by tile.
+    kernel.prepare_fit(x, &plan, &factors, &core, opts, &mut sweeper)?;
+
+    let mut iterations: Vec<IterStats> = Vec::with_capacity(opts.max_iters);
+    let mut prev_err = f64::INFINITY;
+    let mut converged = false;
+
+    for iter in 0..opts.max_iters {
+        let t_iter = Instant::now();
+
+        for n in 0..order {
+            kernel.prepare_mode(&factors, n)?;
+            update_factor_windowed(
+                x,
+                &mut factors,
+                n,
+                &core,
+                opts,
+                &mut kernel,
+                &mut scratch_pool,
+                &mut sweeper,
+            )?;
+            kernel.post_mode(x, &plan, &factors, n, &core, opts, &mut sweeper)?;
+        }
+
+        // Error + convergence: COO-based, byte-identical to the in-memory
+        // driver.
+        let err = sum_squared_error_raw(x, &factors, &core, opts.threads, Schedule::Static).sqrt();
+        kernel.post_iter(x, &factors, &mut core, opts);
+
+        iterations.push(IterStats {
+            iter,
+            reconstruction_error: err,
+            seconds: t_iter.elapsed().as_secs_f64(),
+            core_nnz: core.nnz(),
+        });
+
+        if err.is_finite()
+            && prev_err.is_finite()
+            && (prev_err - err).abs() <= opts.tol * prev_err.max(f64::EPSILON)
+        {
+            converged = true;
+            break;
+        }
+        prev_err = err;
+    }
+    // Release the kernel's spilled table and the arenas before
+    // post-processing, like the in-memory driver.
+    drop(kernel);
+    drop(scratch_pool);
+    drop(sweeper);
+
+    // Post-processing (QR + refit + final error + stats) is the *same
+    // function* the in-memory driver runs — it cannot drift.
+    finish_fit(x, factors, core, opts, iterations, converged, t_start)
+}
+
+/// One mode's windowed row sweep: windows load sequentially (the fit's
+/// shared pinned buffer, plus the kernel's tile), rows within a window
+/// update in parallel with the same scheduling policies as the in-memory
+/// sweep.
+#[allow(clippy::too_many_arguments)]
+fn update_factor_windowed<K: WindowKernel>(
+    x: &SparseTensor,
+    factors: &mut [Matrix],
+    mode: usize,
+    core: &CoreTensor,
+    opts: &FitOptions,
+    kernel: &mut K,
+    scratch_pool: &mut [Scratch],
+    windows: &mut SliceWindows<'_>,
+) -> Result<()> {
+    let i_n = x.dims()[mode];
+    let j_n = opts.ranks[mode];
+    let a_n = std::mem::replace(&mut factors[mode], Matrix::zeros(0, 0));
+    let mut data = a_n.into_vec();
+    let solve_failed = AtomicBool::new(false);
+    {
+        // Run structure once per mode sweep; every window's context
+        // shares it (a clone is one small memcpy, not a core rescan).
+        let runs = core_runs(core.flat_indices(), core.order());
+        windows.rewind(mode);
+        while let Some(w) = windows.next_window()? {
+            kernel.load_window(&w)?;
+            let k: &K = kernel;
+            let ctx = ModeContext::with_runs(w.stream, factors, core, mode, opts, runs.clone());
+            let lo = w.slices.start;
+            let rows = &mut data[lo * j_n..w.slices.end * j_n];
+            parallel_rows_mut_scheduled(
+                rows,
+                j_n,
+                opts.threads,
+                opts.schedule,
+                |r| ctx.stream.slice_len(r),
+                scratch_pool,
+                |scratch, r, row| {
+                    if !k.update_row(&ctx, scratch, r, row) {
+                        solve_failed.store(true, Ordering::Relaxed);
+                    }
+                },
+            );
+        }
+    }
+    factors[mode] = Matrix::from_vec(i_n, j_n, data)?;
+    if solve_failed.load(Ordering::Relaxed) {
+        return Err(PtuckerError::Linalg(
+            ptucker_linalg::LinalgError::Singular { pivot: 0 },
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryBudget, PTucker};
+    use ptucker_datagen::planted_lowrank;
+    use rand::SeedableRng;
+
+    fn planted() -> SparseTensor {
+        let mut rng = StdRng::seed_from_u64(71);
+        planted_lowrank(&[14, 12, 10], &[2, 2, 2], 700, 0.01, &mut rng).tensor
+    }
+
+    fn base_opts() -> FitOptions {
+        FitOptions::new(vec![2, 2, 2])
+            .max_iters(5)
+            .tol(0.0)
+            .threads(2)
+            .seed(33)
+    }
+
+    /// A 1-byte budget: the resident floor books itself unchecked, the
+    /// remaining budget is 0, so the window capacity collapses to the
+    /// minimum of one position — every nonempty slice becomes (at least)
+    /// its own window, guaranteeing many windows per mode.
+    fn spill_budget() -> MemoryBudget {
+        MemoryBudget::new(1)
+    }
+
+    /// Tentpole acceptance: for all three kernels, a fit whose plan (+
+    /// Pres table for Cached) exceeds the budget completes via spilled
+    /// windowed sweeps and reproduces the in-memory trajectory within
+    /// 1e-9 — under a budget forcing ≥ 3 windows per mode.
+    #[test]
+    fn windowed_fit_reproduces_in_memory_fit_for_all_kernels() {
+        let x = planted();
+        // The 1-byte budget yields capacity 1; check it forces ≥ 3
+        // windows on every mode before asserting trajectories.
+        let probe = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        for n in 0..x.order() {
+            let windows = probe.spilled_mode(n).window_count(1);
+            assert!(windows >= 3, "mode {n}: only {windows} windows");
+        }
+        for variant in [
+            Variant::Default,
+            Variant::Cache,
+            Variant::Approx {
+                truncation_rate: 0.2,
+            },
+        ] {
+            let in_mem = PTucker::new(base_opts().variant(variant))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            assert_eq!(in_mem.stats.peak_spilled_bytes, 0, "{variant:?} spilled");
+            let windowed = PTucker::new(base_opts().variant(variant).budget(spill_budget()))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            assert!(
+                windowed.stats.peak_spilled_bytes >= ModeStreams::spilled_bytes_for(&x),
+                "{variant:?} did not spill its plan"
+            );
+            assert_eq!(
+                in_mem.stats.iterations.len(),
+                windowed.stats.iterations.len(),
+                "{variant:?}"
+            );
+            for (a, b) in in_mem
+                .stats
+                .iterations
+                .iter()
+                .zip(&windowed.stats.iterations)
+            {
+                let rel = (a.reconstruction_error - b.reconstruction_error).abs()
+                    / a.reconstruction_error.max(1e-12);
+                assert!(rel < 1e-9, "{variant:?} iter {}: rel {rel}", a.iter);
+                assert_eq!(a.core_nnz, b.core_nnz, "{variant:?} iter {}", a.iter);
+            }
+            let rel = (in_mem.stats.final_error - windowed.stats.final_error).abs()
+                / in_mem.stats.final_error.max(1e-12);
+            assert!(rel < 1e-9, "{variant:?} final: rel {rel}");
+            // And the factors agree bitwise: same rows, same arithmetic.
+            for (fa, fb) in in_mem
+                .decomposition
+                .factors
+                .iter()
+                .zip(&windowed.decomposition.factors)
+            {
+                for (a, b) in fa.as_slice().iter().zip(fb.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{variant:?} factor drift");
+                }
+            }
+        }
+    }
+
+    /// Multi-slice windows (a moderate budget between the floor and the
+    /// full plan) must agree with the in-memory fit too — this exercises
+    /// window extents greater than one slice.
+    #[test]
+    fn windowed_fit_with_multi_slice_windows_matches() {
+        let x = planted();
+        let opts = base_opts().max_iters(3);
+        let in_mem = PTucker::new(opts.clone()).unwrap().fit(&x).unwrap();
+        // Roughly half the in-memory requirement: forces spilling while
+        // leaving room for windows spanning several slices.
+        let budget = MemoryBudget::new(in_memory_bytes(&x, &opts) / 2);
+        let windowed = PTucker::new(opts.budget(budget)).unwrap().fit(&x).unwrap();
+        for (a, b) in in_mem
+            .stats
+            .iterations
+            .iter()
+            .zip(&windowed.stats.iterations)
+        {
+            assert_eq!(
+                a.reconstruction_error.to_bits(),
+                b.reconstruction_error.to_bits(),
+                "iter {}",
+                a.iter
+            );
+        }
+    }
+
+    /// Strict policy preserves the paper's hard O.O.M. boundary.
+    #[test]
+    fn strict_budget_still_fails_hard() {
+        let x = planted();
+        let opts = base_opts().budget(ptucker_memtrack::MemoryBudget::with_policy(
+            1024,
+            BudgetPolicy::Strict,
+        ));
+        let err = PTucker::new(opts).unwrap().fit(&x).unwrap_err();
+        assert!(matches!(err, PtuckerError::OutOfMemory(_)));
+    }
+
+    /// The spill decision is exact: a budget of precisely the in-memory
+    /// requirement stays in memory; one byte less spills.
+    #[test]
+    fn spill_threshold_is_the_in_memory_working_set() {
+        let x = planted();
+        let opts = base_opts().max_iters(1);
+        let need = in_memory_bytes(&x, &opts);
+        let stay = PTucker::new(opts.clone().budget(MemoryBudget::new(need)))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        assert_eq!(stay.stats.peak_spilled_bytes, 0);
+        let spill = PTucker::new(opts.budget(MemoryBudget::new(need - 1)))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        assert!(spill.stats.peak_spilled_bytes > 0);
+    }
+
+    /// The spilled Cache fit reports its double-buffered table on disk.
+    #[test]
+    fn spilled_cache_reports_table_bytes() {
+        let x = planted();
+        let g = 8; // 2·2·2
+        let fit = PTucker::new(
+            base_opts()
+                .max_iters(2)
+                .variant(Variant::Cache)
+                .budget(spill_budget()),
+        )
+        .unwrap()
+        .fit(&x)
+        .unwrap();
+        let table_bytes = 2 * x.nnz() * g * 8;
+        assert!(
+            fit.stats.peak_spilled_bytes >= ModeStreams::spilled_bytes_for(&x) + table_bytes,
+            "peak_spilled {} missing the table ({table_bytes})",
+            fit.stats.peak_spilled_bytes
+        );
+    }
+}

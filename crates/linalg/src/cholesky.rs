@@ -84,7 +84,7 @@ impl Cholesky {
 
     /// The explicit inverse `A⁻¹` (solves against the identity).
     ///
-    /// The paper's Algorithm 3 line 14 literally "find[s] the inverse matrix
+    /// The paper's Algorithm 3 line 14 literally "find\[s\] the inverse matrix
     /// of `[B + λI]`"; [`Cholesky::solve`] is preferred, but the inverse is
     /// provided for parity and for the ablation benchmark.
     pub fn inverse(&self) -> Matrix {

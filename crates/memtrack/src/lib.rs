@@ -24,9 +24,47 @@
 //! assert_eq!(budget.peak(), 8000);
 //! assert!(budget.reserve_f64(1 << 20).is_err()); // 8 MiB > 1 MiB budget
 //! ```
+//!
+//! # Spilling: file-backed reservations
+//!
+//! Since the out-of-core execution path landed, exceeding the budget is no
+//! longer necessarily fatal: a consumer can *spill* its data plane to a
+//! [`ScratchFile`] and keep only slice-aligned windows resident. Two pieces
+//! of this crate support that path:
+//!
+//! * [`BudgetPolicy`] records, per budget, whether overflow should spill
+//!   (the default) or hard-fail like the paper's O.O.M. boundaries
+//!   ([`BudgetPolicy::Strict`]). The policy does **not** change how
+//!   [`MemoryBudget::reserve`] behaves — it is a contract consulted by the
+//!   solver when *deciding between* the in-memory and the spilled execution
+//!   plans.
+//! * File-backed bytes are accounted separately from resident bytes:
+//!   [`MemoryBudget::record_spill`] tracks them without counting against
+//!   the RAM budget (disk is not the scarce resource Definition 7 is
+//!   about), and [`MemoryBudget::peak_spilled`] reports their high-water
+//!   mark so a fit can state exactly how much of its data plane lived on
+//!   disk.
+//!
+//! ```
+//! use ptucker_memtrack::{BudgetPolicy, MemoryBudget};
+//!
+//! let spill = MemoryBudget::new(1 << 10);
+//! assert_eq!(spill.policy(), BudgetPolicy::Spill);
+//! let s = spill.record_spill(1 << 20); // 1 MiB on disk: fine
+//! assert_eq!(spill.in_use(), 0);       // …and invisible to the RAM meter
+//! assert_eq!(spill.peak_spilled(), 1 << 20);
+//! drop(s);
+//!
+//! let strict = MemoryBudget::with_policy(1 << 10, BudgetPolicy::Strict);
+//! assert_eq!(strict.policy(), BudgetPolicy::Strict);
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+mod scratch;
+
+pub use scratch::ScratchFile;
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -57,11 +95,36 @@ impl fmt::Display for OutOfMemory {
 
 impl std::error::Error for OutOfMemory {}
 
+/// What a consumer should do when its data plane does not fit the budget.
+///
+/// The policy is carried by the [`MemoryBudget`] because it is a property
+/// of the *reservation regime* the user configured, not of any single
+/// algorithm: the same budget is threaded through the solver, its kernels
+/// and the execution plan, and they must all agree on whether overflow
+/// spills or fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetPolicy {
+    /// Overflow spills: consumers that support an out-of-core path (the
+    /// P-Tucker execution plan and the Cached variant's `Pres` table) move
+    /// their data plane to a [`ScratchFile`] and keep only windows
+    /// resident. This is the default since the windowed sweeps landed.
+    #[default]
+    Spill,
+    /// Overflow is fatal: every reservation failure surfaces as the
+    /// paper's O.O.M. outcome, exactly as before spilling existed. This is
+    /// what the cross-method memory-boundary experiments (Figs. 6, 7, 11)
+    /// use, since the competitors have no spilled mode.
+    Strict,
+}
+
 #[derive(Debug)]
 struct Inner {
     budget: usize,
+    policy: BudgetPolicy,
     in_use: AtomicUsize,
     peak: AtomicUsize,
+    spill_in_use: AtomicUsize,
+    spill_peak: AtomicUsize,
 }
 
 /// A shareable intermediate-data budget with peak tracking.
@@ -74,13 +137,22 @@ pub struct MemoryBudget {
 }
 
 impl MemoryBudget {
-    /// Creates a budget of `bytes` bytes.
+    /// Creates a budget of `bytes` bytes with the default
+    /// [`BudgetPolicy::Spill`] policy.
     pub fn new(bytes: usize) -> Self {
+        MemoryBudget::with_policy(bytes, BudgetPolicy::default())
+    }
+
+    /// Creates a budget of `bytes` bytes with an explicit overflow policy.
+    pub fn with_policy(bytes: usize, policy: BudgetPolicy) -> Self {
         MemoryBudget {
             inner: Arc::new(Inner {
                 budget: bytes,
+                policy,
                 in_use: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
+                spill_in_use: AtomicUsize::new(0),
+                spill_peak: AtomicUsize::new(0),
             }),
         }
     }
@@ -95,9 +167,20 @@ impl MemoryBudget {
         self.inner.budget
     }
 
+    /// What consumers should do when their data plane exceeds the budget.
+    pub fn policy(&self) -> BudgetPolicy {
+        self.inner.policy
+    }
+
     /// Bytes currently reserved.
     pub fn in_use(&self) -> usize {
         self.inner.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still reservable before the limit (0 when over budget, which
+    /// [`MemoryBudget::reserve_unchecked`] can cause).
+    pub fn available(&self) -> usize {
+        self.inner.budget.saturating_sub(self.in_use())
     }
 
     /// High-water mark of reserved bytes since creation (or the last
@@ -106,10 +189,24 @@ impl MemoryBudget {
         self.inner.peak.load(Ordering::Relaxed)
     }
 
-    /// Resets the peak tracker to the current usage (not to zero, so live
-    /// reservations stay visible).
+    /// Bytes currently recorded as spilled to disk.
+    pub fn spilled_in_use(&self) -> usize {
+        self.inner.spill_in_use.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of spilled bytes since creation (or the last
+    /// [`MemoryBudget::reset_peak`]).
+    pub fn peak_spilled(&self) -> usize {
+        self.inner.spill_peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets both peak trackers to the current usage (not to zero, so
+    /// live reservations stay visible).
     pub fn reset_peak(&self) {
         self.inner.peak.store(self.in_use(), Ordering::Relaxed);
+        self.inner
+            .spill_peak
+            .store(self.spilled_in_use(), Ordering::Relaxed);
     }
 
     /// Reserves `bytes` bytes, failing if the budget would be exceeded.
@@ -157,6 +254,46 @@ impl MemoryBudget {
     /// [`OutOfMemory`] if the implied byte count exceeds the budget.
     pub fn reserve_f64(&self, n: usize) -> Result<Reservation, OutOfMemory> {
         self.reserve(n.saturating_mul(std::mem::size_of::<f64>()))
+    }
+
+    /// Reserves `bytes` bytes **without** checking the limit. The bytes
+    /// still count toward [`MemoryBudget::in_use`] and
+    /// [`MemoryBudget::peak`], so the reported high-water mark stays
+    /// honest even when it exceeds the configured budget.
+    ///
+    /// This exists for the spilled execution path's *irreducible floor*:
+    /// a windowed sweep cannot hold less than one slice-aligned window
+    /// (plus per-mode offsets and scratch arenas) resident, and under
+    /// [`BudgetPolicy::Spill`] that floor proceeds rather than fails.
+    /// Strict consumers must keep using [`MemoryBudget::reserve`].
+    pub fn reserve_unchecked(&self, bytes: usize) -> Reservation {
+        let new = self
+            .inner
+            .in_use
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        self.inner.peak.fetch_max(new, Ordering::Relaxed);
+        Reservation {
+            budget: self.clone(),
+            bytes,
+        }
+    }
+
+    /// Records `bytes` bytes written to a [`ScratchFile`] (or any other
+    /// disk-backed store). Spilled bytes are tracked separately from the
+    /// RAM meter — disk is not the resource Definition 7 bounds — and
+    /// released when the returned guard drops.
+    pub fn record_spill(&self, bytes: usize) -> SpillReservation {
+        let new = self
+            .inner
+            .spill_in_use
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        self.inner.spill_peak.fetch_max(new, Ordering::Relaxed);
+        SpillReservation {
+            budget: self.clone(),
+            bytes,
+        }
     }
 
     /// Checks whether `bytes` *could* be reserved right now without actually
@@ -212,6 +349,41 @@ impl Reservation {
 impl Drop for Reservation {
     fn drop(&mut self) {
         self.budget.release(self.bytes);
+    }
+}
+
+/// RAII guard for bytes recorded as spilled to disk; releases on drop.
+///
+/// Created by [`MemoryBudget::record_spill`]. Unlike [`Reservation`], the
+/// tracked bytes never count against the RAM budget.
+#[derive(Debug)]
+pub struct SpillReservation {
+    budget: MemoryBudget,
+    bytes: usize,
+}
+
+impl SpillReservation {
+    /// Size of this spill record in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Grows this spill record by `extra` bytes (e.g. an appended region).
+    pub fn grow(&mut self, extra: usize) {
+        let g = self.budget.record_spill(extra);
+        self.bytes += g.bytes;
+        std::mem::forget(g);
+    }
+}
+
+impl Drop for SpillReservation {
+    fn drop(&mut self) {
+        let prev = self
+            .budget
+            .inner
+            .spill_in_use
+            .fetch_sub(self.bytes, Ordering::Relaxed);
+        debug_assert!(prev >= self.bytes, "released more spill than recorded");
     }
 }
 
@@ -325,5 +497,51 @@ mod tests {
         let b = MemoryBudget::new(usize::MAX);
         let _r = b.reserve(usize::MAX - 10).unwrap();
         assert!(b.reserve(usize::MAX).is_err());
+    }
+
+    #[test]
+    fn default_policy_is_spill_and_strict_is_explicit() {
+        assert_eq!(MemoryBudget::new(10).policy(), BudgetPolicy::Spill);
+        let strict = MemoryBudget::with_policy(10, BudgetPolicy::Strict);
+        assert_eq!(strict.policy(), BudgetPolicy::Strict);
+        // Policy never changes the reserve primitive itself.
+        assert!(strict.reserve(11).is_err());
+        assert!(MemoryBudget::new(10).reserve(11).is_err());
+    }
+
+    #[test]
+    fn reserve_unchecked_tracks_but_never_fails() {
+        let b = MemoryBudget::new(100);
+        let r = b.reserve_unchecked(250);
+        assert_eq!(b.in_use(), 250);
+        assert_eq!(b.peak(), 250);
+        assert_eq!(b.available(), 0);
+        drop(r);
+        assert_eq!(b.in_use(), 0);
+        assert_eq!(b.peak(), 250, "over-budget floor stays in the peak");
+    }
+
+    #[test]
+    fn spill_accounting_is_separate_from_ram() {
+        let b = MemoryBudget::new(100);
+        let mut s = b.record_spill(1_000_000);
+        assert_eq!(b.in_use(), 0, "spilled bytes never hit the RAM meter");
+        assert_eq!(b.spilled_in_use(), 1_000_000);
+        s.grow(500_000);
+        assert_eq!(s.bytes(), 1_500_000);
+        assert_eq!(b.peak_spilled(), 1_500_000);
+        drop(s);
+        assert_eq!(b.spilled_in_use(), 0);
+        assert_eq!(b.peak_spilled(), 1_500_000);
+        b.reset_peak();
+        assert_eq!(b.peak_spilled(), 0);
+    }
+
+    #[test]
+    fn available_reflects_reservations() {
+        let b = MemoryBudget::new(100);
+        assert_eq!(b.available(), 100);
+        let _r = b.reserve(70).unwrap();
+        assert_eq!(b.available(), 30);
     }
 }

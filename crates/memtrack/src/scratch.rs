@@ -1,0 +1,296 @@
+//! Anonymous scratch files for spilled intermediate data.
+//!
+//! A [`ScratchFile`] is the disk half of a file-backed reservation: when a
+//! data plane exceeds the [`crate::MemoryBudget`] under
+//! [`crate::BudgetPolicy::Spill`], its bulk arrays move here and only
+//! windows of them stay resident. The file is created in the system temp
+//! directory and unlinked immediately (where the platform allows), so it
+//! never outlives the process even on a crash; the remaining handle is the
+//! only way to reach the bytes.
+//!
+//! All offsets are in bytes from the start of the file. Typed helpers
+//! convert `f64`/`u32` slices through a fixed stack buffer, so reading a
+//! window allocates nothing beyond the caller's destination slice.
+//!
+//! ```
+//! use ptucker_memtrack::ScratchFile;
+//!
+//! let f = ScratchFile::create().unwrap();
+//! let off = f.append_f64s(&[1.0, 2.0, 3.0]).unwrap();
+//! let mut back = [0.0; 2];
+//! f.read_f64s(off + 8, &mut back).unwrap(); // skip the first value
+//! assert_eq!(back, [2.0, 3.0]);
+//! assert_eq!(f.len(), 24);
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Stack buffer for typed conversion: 1024 `f64`s / 2048 `u32`s per syscall.
+const CHUNK_BYTES: usize = 8192;
+
+/// Process-unique counter so concurrent scratch files never collide.
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug)]
+struct Inner {
+    file: File,
+    /// Current logical length in bytes (appends go here).
+    len: u64,
+}
+
+/// An unlinked temporary file for spilled tensor data.
+///
+/// Interior-mutable and `Sync`: reads and writes lock the underlying file
+/// (seek + I/O must be atomic per operation), so it can be shared across
+/// the worker threads of a fit. The windowed execution path only touches
+/// it between parallel sections, so the lock is uncontended in practice.
+#[derive(Debug)]
+pub struct ScratchFile {
+    inner: Mutex<Inner>,
+    /// Set only when the eager unlink failed (non-Unix platforms): the
+    /// path to remove on drop.
+    cleanup: Option<PathBuf>,
+}
+
+impl ScratchFile {
+    /// Creates an empty scratch file in [`std::env::temp_dir`].
+    ///
+    /// # Errors
+    /// Any I/O error from creating or opening the file.
+    pub fn create() -> io::Result<Self> {
+        let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("ptucker-spill-{}-{seq}.bin", std::process::id()));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        // Unlink eagerly: on Unix the open handle keeps the data alive and
+        // the name disappears at once, so a crashed process leaks nothing.
+        let cleanup = match std::fs::remove_file(&path) {
+            Ok(()) => None,
+            Err(_) => Some(path),
+        };
+        Ok(ScratchFile {
+            inner: Mutex::new(Inner { file, len: 0 }),
+            cleanup,
+        })
+    }
+
+    /// Current logical length in bytes.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().expect("scratch lock").len
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extends the file by `bytes` zero bytes and returns the starting
+    /// offset of the new region — used to lay out a table whose rows are
+    /// then scatter-written with [`ScratchFile::write_f64s`].
+    ///
+    /// # Errors
+    /// Any I/O error from resizing the file.
+    pub fn reserve_region(&self, bytes: u64) -> io::Result<u64> {
+        let mut inner = self.inner.lock().expect("scratch lock");
+        let start = inner.len;
+        let new_len = start + bytes;
+        inner.file.set_len(new_len)?;
+        inner.len = new_len;
+        Ok(start)
+    }
+
+    fn write_chunked(
+        &self,
+        offset: Option<u64>,
+        total_bytes: usize,
+        mut fill: impl FnMut(&mut [u8; CHUNK_BYTES], usize) -> usize,
+    ) -> io::Result<u64> {
+        let mut inner = self.inner.lock().expect("scratch lock");
+        let start = offset.unwrap_or(inner.len);
+        inner.file.seek(SeekFrom::Start(start))?;
+        let mut buf = [0u8; CHUNK_BYTES];
+        let mut done = 0;
+        while done < total_bytes {
+            let n = fill(&mut buf, done);
+            inner.file.write_all(&buf[..n])?;
+            done += n;
+        }
+        inner.len = inner.len.max(start + total_bytes as u64);
+        Ok(start)
+    }
+
+    fn read_chunked(
+        &self,
+        offset: u64,
+        total_bytes: usize,
+        mut drain: impl FnMut(&[u8], usize),
+    ) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("scratch lock");
+        inner.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = [0u8; CHUNK_BYTES];
+        let mut done = 0;
+        while done < total_bytes {
+            let n = (total_bytes - done).min(CHUNK_BYTES);
+            inner.file.read_exact(&mut buf[..n])?;
+            drain(&buf[..n], done);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Appends `data` and returns the byte offset it starts at.
+    ///
+    /// # Errors
+    /// Any I/O error from the write.
+    pub fn append_f64s(&self, data: &[f64]) -> io::Result<u64> {
+        self.write_f64s_impl(None, data)
+    }
+
+    /// Writes `data` at byte `offset` (little-endian `f64`s).
+    ///
+    /// # Errors
+    /// Any I/O error from the write.
+    pub fn write_f64s(&self, offset: u64, data: &[f64]) -> io::Result<()> {
+        self.write_f64s_impl(Some(offset), data).map(|_| ())
+    }
+
+    fn write_f64s_impl(&self, offset: Option<u64>, data: &[f64]) -> io::Result<u64> {
+        self.write_chunked(offset, data.len() * 8, |buf, done_bytes| {
+            let start = done_bytes / 8;
+            let count = (data.len() - start).min(CHUNK_BYTES / 8);
+            for (slot, v) in buf.chunks_exact_mut(8).zip(&data[start..start + count]) {
+                slot.copy_from_slice(&v.to_le_bytes());
+            }
+            count * 8
+        })
+    }
+
+    /// Appends `data` and returns the byte offset it starts at.
+    ///
+    /// # Errors
+    /// Any I/O error from the write.
+    pub fn append_u32s(&self, data: &[u32]) -> io::Result<u64> {
+        self.write_u32s_impl(None, data)
+    }
+
+    /// Writes `data` at byte `offset` (little-endian `u32`s).
+    ///
+    /// # Errors
+    /// Any I/O error from the write.
+    pub fn write_u32s(&self, offset: u64, data: &[u32]) -> io::Result<()> {
+        self.write_u32s_impl(Some(offset), data).map(|_| ())
+    }
+
+    fn write_u32s_impl(&self, offset: Option<u64>, data: &[u32]) -> io::Result<u64> {
+        self.write_chunked(offset, data.len() * 4, |buf, done_bytes| {
+            let start = done_bytes / 4;
+            let count = (data.len() - start).min(CHUNK_BYTES / 4);
+            for (slot, v) in buf.chunks_exact_mut(4).zip(&data[start..start + count]) {
+                slot.copy_from_slice(&v.to_le_bytes());
+            }
+            count * 4
+        })
+    }
+
+    /// Fills `out` from byte `offset` (little-endian `f64`s).
+    ///
+    /// # Errors
+    /// Any I/O error, including reading past the end of the file.
+    pub fn read_f64s(&self, offset: u64, out: &mut [f64]) -> io::Result<()> {
+        self.read_chunked(offset, out.len() * 8, |bytes, done_bytes| {
+            let start = done_bytes / 8;
+            for (slot, chunk) in out[start..].iter_mut().zip(bytes.chunks_exact(8)) {
+                *slot = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+        })
+    }
+
+    /// Fills `out` from byte `offset` (little-endian `u32`s).
+    ///
+    /// # Errors
+    /// Any I/O error, including reading past the end of the file.
+    pub fn read_u32s(&self, offset: u64, out: &mut [u32]) -> io::Result<()> {
+        self.read_chunked(offset, out.len() * 4, |bytes, done_bytes| {
+            let start = done_bytes / 4;
+            for (slot, chunk) in out[start..].iter_mut().zip(bytes.chunks_exact(4)) {
+                *slot = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+        })
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        if let Some(path) = self.cleanup.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64_and_u32_sections() {
+        let f = ScratchFile::create().unwrap();
+        let vals: Vec<f64> = (0..1500).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let ids: Vec<u32> = (0..3000).map(|i| i * 7 + 1).collect();
+        let off_v = f.append_f64s(&vals).unwrap();
+        let off_i = f.append_u32s(&ids).unwrap();
+        assert_eq!(off_v, 0);
+        assert_eq!(off_i, 1500 * 8);
+        assert_eq!(f.len(), 1500 * 8 + 3000 * 4);
+
+        let mut vback = vec![0.0; 1500];
+        f.read_f64s(off_v, &mut vback).unwrap();
+        assert_eq!(vback, vals);
+        // Windowed read: positions 100..228.
+        let mut iback = vec![0u32; 128];
+        f.read_u32s(off_i + 100 * 4, &mut iback).unwrap();
+        assert_eq!(iback, &ids[100..228]);
+    }
+
+    #[test]
+    fn scatter_writes_into_reserved_region() {
+        let f = ScratchFile::create().unwrap();
+        let region = f.reserve_region(4 * 8).unwrap();
+        // Write rows out of order, as the spilled Pres permutation does.
+        f.write_f64s(region + 3 * 8, &[33.0]).unwrap();
+        f.write_f64s(region, &[11.0]).unwrap();
+        f.write_f64s(region + 8, &[22.0, 23.0]).unwrap();
+        let mut back = [0.0; 4];
+        f.read_f64s(region, &mut back).unwrap();
+        assert_eq!(back, [11.0, 22.0, 23.0, 33.0]);
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let f = ScratchFile::create().unwrap();
+        f.append_f64s(&[1.0]).unwrap();
+        let mut out = [0.0; 2];
+        assert!(f.read_f64s(0, &mut out).is_err());
+    }
+
+    #[test]
+    fn values_crossing_chunk_boundaries_survive() {
+        // > CHUNK_BYTES of data forces multiple syscalls per call.
+        let f = ScratchFile::create().unwrap();
+        let n = CHUNK_BYTES / 8 * 3 + 17;
+        let vals: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let off = f.append_f64s(&vals).unwrap();
+        let mut back = vec![0.0; n];
+        f.read_f64s(off, &mut back).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -9,7 +9,10 @@
 //! * [`ModeStreams`] — the mode-major execution plan: per-mode streamed
 //!   slice layouts ([`ModeStream`]) that row-update kernels walk linearly
 //!   instead of gathering through entry ids (COO stays the source of
-//!   truth),
+//!   truth). Its storage is a [`StreamStore`]: fully resident, or
+//!   **spilled** to an unlinked scratch file and consumed through
+//!   [`SliceWindows`] — slice-aligned, budget-sized windows filled into
+//!   one pinned buffer, the substrate of the out-of-core fit path,
 //! * [`DenseTensor`] — strided dense storage with matricization
 //!   (Definition 2) and the n-mode product (Definition 3),
 //! * [`CoreTensor`] — the core `G`, dense at initialization but truncatable
@@ -48,7 +51,9 @@ pub use error::TensorError;
 pub use io::{read_tsv, write_tsv};
 pub use sparse::{ModeIndex, SparseTensor};
 pub use split::TrainTestSplit;
-pub use stream::{ModeStream, ModeStreams};
+pub use stream::{
+    IdsWindow, ModeStream, ModeStreams, SliceWindows, SpilledModeStream, StreamStore, Window,
+};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -20,9 +20,25 @@
 //! most of the point of a bandwidth-bound layout — so dimensionalities and
 //! `|Ω|` must fit in 32 bits (they do for every tensor in the paper by
 //! orders of magnitude; [`ModeStreams::build`] checks).
+//!
+//! # Out-of-core plans
+//!
+//! The plan's storage is a [`StreamStore`]: either every mode's stream is
+//! resident ([`ModeStreams::build`]) or the bulk arrays — values, packed
+//! other-mode indices and entry ids — live in an unlinked
+//! [`ScratchFile`](ptucker_memtrack::ScratchFile) and only the per-mode
+//! slice offsets and inverse entry maps stay in RAM
+//! ([`ModeStreams::build_spilled`]). A spilled mode is consumed through
+//! [`SliceWindows`]: an iterator of **slice-aligned, budget-sized
+//! windows**, each presented as an ordinary [`ModeStream`] view (slice `i`
+//! of the window ↔ global slice `lo + i`) filled into one pinned buffer —
+//! the row-update loop downstream stays zero-heap-allocation, windows
+//! merely rebind which part of the file that buffer holds.
 
 use crate::{Result, SparseTensor, TensorError};
+use ptucker_memtrack::{MemoryBudget, Reservation, ScratchFile, SpillReservation};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// The streamed slice layout of one mode: values and packed other-mode
 /// indices in slice-major order, plus the stream-position → COO entry-id
@@ -154,19 +170,145 @@ impl ModeStream {
     }
 }
 
-/// The full mode-major execution plan: one [`ModeStream`] per mode.
-#[derive(Debug, Clone)]
+/// Where a [`ModeStreams`] plan keeps its bulk arrays.
+#[derive(Debug)]
+pub enum StreamStore {
+    /// Every mode's stream is fully resident — the default whenever the
+    /// plan fits the memory budget.
+    InMemory(Vec<ModeStream>),
+    /// The bulk arrays (values, packed other-mode indices, entry ids) of
+    /// every mode live in a per-fit scratch file; RAM holds only the
+    /// per-mode slice offsets and inverse entry maps. Consumed through
+    /// [`SliceWindows`].
+    Spilled {
+        /// The unlinked per-fit scratch file holding every mode's
+        /// sections.
+        file: Arc<ScratchFile>,
+        /// Per-mode metadata and section offsets into `file`.
+        modes: Vec<SpilledModeStream>,
+        /// Keeps the resident-metadata bytes visible to the RAM meter for
+        /// the plan's lifetime.
+        _resident: Reservation,
+        /// Keeps the on-disk bytes visible to the spill meter for the
+        /// plan's lifetime.
+        _spill: SpillReservation,
+    },
+}
+
+/// A mode's stream whose bulk arrays live in the plan's scratch file.
+///
+/// RAM keeps the slice offsets (`Iₙ+1` words) and the COO-entry-id →
+/// stream-position inverse map (`|Ω|` packed `u32`s — needed by consumers
+/// that permute stream-ordered state between modes, like the Cached
+/// variant's spilled `Pres` table). Everything per-position — values,
+/// packed other-mode indices, entry ids — is read back window-at-a-time
+/// through [`SliceWindows`].
+#[derive(Debug)]
+pub struct SpilledModeStream {
+    mode: usize,
+    other_count: usize,
+    offsets: Vec<usize>,
+    entry_positions: Vec<u32>,
+    max_slice_len: usize,
+    /// Byte offsets of this mode's sections in the plan's scratch file.
+    values_off: u64,
+    others_off: u64,
+    ids_off: u64,
+}
+
+impl SpilledModeStream {
+    /// The mode this stream is laid out for.
+    #[inline]
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Number of other modes (`N − 1`).
+    #[inline]
+    pub fn other_count(&self) -> usize {
+        self.other_count
+    }
+
+    /// Number of slices (`Iₙ`).
+    #[inline]
+    pub fn num_slices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total stream positions (`|Ω|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    /// Whether the stream holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The **global** stream positions of slice `i`.
+    #[inline]
+    pub fn slice_range(&self, i: usize) -> Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// `|Ω⁽ⁿ⁾ᵢ|` for slice `i`.
+    #[inline]
+    pub fn slice_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// The largest slice's position count — the irreducible window size,
+    /// since windows are slice-aligned.
+    #[inline]
+    pub fn max_slice_len(&self) -> usize {
+        self.max_slice_len
+    }
+
+    /// The global stream position holding COO entry `e`.
+    #[inline]
+    pub fn position_of(&self, e: usize) -> usize {
+        self.entry_positions[e] as usize
+    }
+
+    /// Number of slice-aligned windows a sweep with `cap_positions` of
+    /// window capacity will take (no I/O; pure offset arithmetic).
+    pub fn window_count(&self, cap_positions: usize) -> usize {
+        let cap = cap_positions.max(1);
+        let mut n = 0;
+        let mut lo = 0;
+        while lo < self.num_slices() {
+            lo = window_extent(&self.offsets, lo, cap);
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Returns the exclusive upper slice bound of the window starting at slice
+/// `lo`: the longest run of whole slices whose combined positions fit
+/// `cap`, but always at least one slice (a slice larger than `cap` forms a
+/// singleton window — windows never split slices).
+fn window_extent(offsets: &[usize], lo: usize, cap: usize) -> usize {
+    let start = offsets[lo];
+    let num_slices = offsets.len() - 1;
+    let mut hi = lo + 1;
+    while hi < num_slices && offsets[hi + 1] - start <= cap {
+        hi += 1;
+    }
+    hi
+}
+
+/// The full mode-major execution plan: one stream per mode, resident or
+/// spilled (see [`StreamStore`]).
+#[derive(Debug)]
 pub struct ModeStreams {
-    streams: Vec<ModeStream>,
+    store: StreamStore,
 }
 
 impl ModeStreams {
-    /// Derives the plan from COO — `O(N·|Ω|)`, done once per fit.
-    ///
-    /// # Errors
-    /// [`TensorError::InvalidDims`] if a dimensionality or `|Ω|` exceeds
-    /// `u32::MAX` (the packed-index width).
-    pub fn build(x: &SparseTensor) -> Result<Self> {
+    fn check_widths(x: &SparseTensor) -> Result<()> {
         let lim = u32::MAX as usize;
         if x.nnz() > lim {
             return Err(TensorError::InvalidDims(format!(
@@ -179,34 +321,401 @@ impl ModeStreams {
                 "dimensionality {d} exceeds the streamed layout's u32 index width"
             )));
         }
+        Ok(())
+    }
+
+    /// Derives the fully resident plan from COO — `O(N·|Ω|)`, done once
+    /// per fit.
+    ///
+    /// # Errors
+    /// [`TensorError::InvalidDims`] if a dimensionality or `|Ω|` exceeds
+    /// `u32::MAX` (the packed-index width).
+    pub fn build(x: &SparseTensor) -> Result<Self> {
+        Self::check_widths(x)?;
         Ok(ModeStreams {
-            streams: (0..x.order()).map(|n| ModeStream::build(x, n)).collect(),
+            store: StreamStore::InMemory((0..x.order()).map(|n| ModeStream::build(x, n)).collect()),
         })
     }
 
-    /// The stream for `mode`.
+    /// Derives the plan with its bulk arrays **spilled to a scratch
+    /// file**, streaming each mode's sections to disk slice-by-slice
+    /// through a bounded append buffer — peak transient memory during the
+    /// build is the buffer plus one mode's resident metadata, not the
+    /// full `O(N·|Ω|)` plan.
+    ///
+    /// The resident metadata (offsets + inverse entry maps) is booked with
+    /// [`MemoryBudget::reserve_unchecked`] — it is the irreducible floor
+    /// of the out-of-core path — and the file bytes with
+    /// [`MemoryBudget::record_spill`]; both guards live inside the
+    /// returned plan.
+    ///
+    /// # Errors
+    /// [`TensorError::InvalidDims`] as for [`ModeStreams::build`], or
+    /// [`TensorError::Io`] if scratch-file I/O fails.
+    pub fn build_spilled(x: &SparseTensor, budget: &MemoryBudget) -> Result<Self> {
+        Self::check_widths(x)?;
+        const FLUSH: usize = 1024;
+        let file = ScratchFile::create()?;
+        let nnz = x.nnz();
+        let order = x.order();
+        let other_count = order - 1;
+        let mut modes = Vec::with_capacity(order);
+        let mut vbuf: Vec<f64> = Vec::with_capacity(FLUSH);
+        let mut obuf: Vec<u32> = Vec::with_capacity(FLUSH * other_count);
+        let mut ibuf: Vec<u32> = Vec::with_capacity(FLUSH);
+        for mode in 0..order {
+            let dim = x.dims()[mode];
+            let mut offsets = Vec::with_capacity(dim + 1);
+            let mut entry_positions = vec![0u32; nnz];
+            let values_off = file.reserve_region(nnz as u64 * 8)?;
+            let others_off = file.reserve_region(nnz as u64 * other_count as u64 * 4)?;
+            let ids_off = file.reserve_region(nnz as u64 * 4)?;
+            let mut written = 0usize;
+            let mut max_slice_len = 0usize;
+            offsets.push(0);
+            for i in 0..dim {
+                for &e in x.slice(mode, i) {
+                    entry_positions[e] = (written + vbuf.len()) as u32;
+                    vbuf.push(x.value(e));
+                    for (k, &ik) in x.index(e).iter().enumerate() {
+                        if k != mode {
+                            obuf.push(ik as u32);
+                        }
+                    }
+                    ibuf.push(e as u32);
+                    if vbuf.len() == FLUSH {
+                        file.write_f64s(values_off + written as u64 * 8, &vbuf)?;
+                        file.write_u32s(
+                            others_off + written as u64 * other_count as u64 * 4,
+                            &obuf,
+                        )?;
+                        file.write_u32s(ids_off + written as u64 * 4, &ibuf)?;
+                        written += vbuf.len();
+                        vbuf.clear();
+                        obuf.clear();
+                        ibuf.clear();
+                    }
+                }
+                offsets.push(written + vbuf.len());
+                max_slice_len = max_slice_len.max(x.slice_len(mode, i));
+            }
+            if !vbuf.is_empty() {
+                file.write_f64s(values_off + written as u64 * 8, &vbuf)?;
+                file.write_u32s(others_off + written as u64 * other_count as u64 * 4, &obuf)?;
+                file.write_u32s(ids_off + written as u64 * 4, &ibuf)?;
+                vbuf.clear();
+                obuf.clear();
+                ibuf.clear();
+            }
+            modes.push(SpilledModeStream {
+                mode,
+                other_count,
+                offsets,
+                entry_positions,
+                max_slice_len,
+                values_off,
+                others_off,
+                ids_off,
+            });
+        }
+        let resident = budget.reserve_unchecked(Self::resident_bytes_for(x));
+        let spill = budget.record_spill(file.len() as usize);
+        Ok(ModeStreams {
+            store: StreamStore::Spilled {
+                file: Arc::new(file),
+                modes,
+                _resident: resident,
+                _spill: spill,
+            },
+        })
+    }
+
+    /// The resident stream for `mode`.
+    ///
+    /// # Panics
+    /// Panics on a spilled plan — its per-position data is only reachable
+    /// window-at-a-time through [`ModeStreams::windows`].
     #[inline]
     pub fn mode(&self, mode: usize) -> &ModeStream {
-        &self.streams[mode]
+        match &self.store {
+            StreamStore::InMemory(streams) => &streams[mode],
+            StreamStore::Spilled { .. } => {
+                panic!("ModeStreams::mode on a spilled plan; iterate SliceWindows instead")
+            }
+        }
+    }
+
+    /// The spilled metadata for `mode`.
+    ///
+    /// # Panics
+    /// Panics on an in-memory plan (use [`ModeStreams::mode`]).
+    #[inline]
+    pub fn spilled_mode(&self, mode: usize) -> &SpilledModeStream {
+        match &self.store {
+            StreamStore::Spilled { modes, .. } => &modes[mode],
+            StreamStore::InMemory(_) => {
+                panic!("ModeStreams::spilled_mode on an in-memory plan")
+            }
+        }
+    }
+
+    /// Whether the bulk arrays live in a scratch file.
+    #[inline]
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.store, StreamStore::Spilled { .. })
+    }
+
+    /// The plan's storage — for consumers that need to branch on it.
+    #[inline]
+    pub fn store(&self) -> &StreamStore {
+        &self.store
+    }
+
+    /// A windowed sweep over a spilled mode: slice-aligned windows of at
+    /// most `cap_positions` stream positions each (single oversized slices
+    /// become singleton windows), filled into one pinned buffer.
+    ///
+    /// The buffer is allocated once here, sized so that **any** mode's
+    /// sweep fits (capacity vs. the plan-wide largest slice), so the
+    /// sweeper can be reused for the whole fit — call
+    /// [`SliceWindows::rewind`] to restart it on another mode without
+    /// reallocating.
+    ///
+    /// # Panics
+    /// Panics on an in-memory plan — windows exist to bound residency, and
+    /// an in-memory plan is already fully resident.
+    pub fn windows(&self, mode: usize, cap_positions: usize) -> SliceWindows<'_> {
+        let (file, modes) = match &self.store {
+            StreamStore::Spilled { file, modes, .. } => (&**file, &modes[..]),
+            StreamStore::InMemory(_) => {
+                panic!("ModeStreams::windows on an in-memory plan")
+            }
+        };
+        let cap = cap_positions.max(1);
+        let max_slice = modes.iter().map(|m| m.max_slice_len).max().unwrap_or(0);
+        let max_slices = modes.iter().map(|m| m.num_slices()).max().unwrap_or(0);
+        let buf_cap = cap.max(max_slice);
+        let other_count = modes.first().map_or(0, |m| m.other_count);
+        SliceWindows {
+            modes,
+            file,
+            mode,
+            cap,
+            next_slice: 0,
+            buf: ModeStream {
+                mode,
+                other_count,
+                offsets: Vec::with_capacity(max_slices + 1),
+                values: Vec::with_capacity(buf_cap),
+                others: Vec::with_capacity(buf_cap * other_count),
+                entry_ids: Vec::with_capacity(buf_cap),
+                entry_positions: Vec::new(),
+            },
+        }
     }
 
     /// Number of modes.
     #[inline]
     pub fn order(&self) -> usize {
-        self.streams.len()
+        match &self.store {
+            StreamStore::InMemory(streams) => streams.len(),
+            StreamStore::Spilled { modes, .. } => modes.len(),
+        }
     }
 
-    /// Bytes the plan for `x` will occupy — computable *before* building,
-    /// so callers can reserve against a memory budget first. Per mode:
-    /// `|Ω|` values (8 B), `(N−1)·|Ω|` packed indices (4 B), `|Ω|` entry
-    /// ids plus `|Ω|` inverse positions (4 B each) and `Iₙ+1` offsets
-    /// (8 B).
+    /// Bytes the fully resident plan for `x` will occupy — computable
+    /// *before* building, so callers can reserve against a memory budget
+    /// first. Per mode: `|Ω|` values (8 B), `(N−1)·|Ω|` packed indices
+    /// (4 B), `|Ω|` entry ids plus `|Ω|` inverse positions (4 B each) and
+    /// `Iₙ+1` offsets (8 B).
     pub fn bytes_for(x: &SparseTensor) -> usize {
         let nnz = x.nnz();
         let order = x.order();
         let per_mode_entries = nnz * 8 + (order - 1) * nnz * 4 + 2 * nnz * 4;
         let offsets: usize = x.dims().iter().map(|&d| (d + 1) * 8).sum();
         order * per_mode_entries + offsets
+    }
+
+    /// RAM bytes a **spilled** plan for `x` keeps resident: per-mode slice
+    /// offsets plus the inverse entry maps.
+    pub fn resident_bytes_for(x: &SparseTensor) -> usize {
+        let offsets: usize = x.dims().iter().map(|&d| (d + 1) * 8).sum();
+        offsets + x.order() * x.nnz() * 4
+    }
+
+    /// Scratch-file bytes a spilled plan for `x` writes: per mode, values
+    /// (8 B), packed other-mode indices (4 B each) and entry ids (4 B).
+    pub fn spilled_bytes_for(x: &SparseTensor) -> usize {
+        let nnz = x.nnz();
+        let order = x.order();
+        order * (nnz * 8 + (order - 1) * nnz * 4 + nnz * 4)
+    }
+}
+
+/// A lending iterator of slice-aligned windows over a spilled plan, one
+/// mode at a time.
+///
+/// Each [`SliceWindows::next_window`] call refills **one pinned buffer**
+/// (allocated once, at construction, sized for any mode's sweep) from the
+/// scratch file and presents it as an ordinary [`ModeStream`] whose slice
+/// `i` is global slice `window.slices.start + i` and whose positions are
+/// window-local (`global = window.base + local`). The buffer is reused —
+/// across windows, and across modes via [`SliceWindows::rewind`] — so at
+/// most one window is resident at a time, a whole fit allocates the
+/// buffer once, and the row loop downstream performs no heap allocation.
+#[derive(Debug)]
+pub struct SliceWindows<'a> {
+    modes: &'a [SpilledModeStream],
+    file: &'a ScratchFile,
+    mode: usize,
+    cap: usize,
+    next_slice: usize,
+    buf: ModeStream,
+}
+
+/// The entry-id section of one slice-aligned window (see
+/// [`SliceWindows::next_ids_window`]).
+#[derive(Debug)]
+pub struct IdsWindow<'a> {
+    /// The global slice range this window covers.
+    pub slices: Range<usize>,
+    /// Global stream position of the window's first entry.
+    pub base: usize,
+    /// COO entry ids, window-local (`entry_ids[p]` is the entry at
+    /// global position `base + p`).
+    pub entry_ids: &'a [u32],
+}
+
+/// One slice-aligned window of a spilled mode's stream.
+#[derive(Debug)]
+pub struct Window<'a> {
+    /// The global slice range this window covers.
+    pub slices: Range<usize>,
+    /// Global stream position of the window's first entry (window-local
+    /// position `p` ↔ global position `base + p`).
+    pub base: usize,
+    /// The window as a resident [`ModeStream`] view: slices and positions
+    /// are window-local; `position_of` is unavailable (the inverse map
+    /// stays with the [`SpilledModeStream`]).
+    pub stream: &'a ModeStream,
+}
+
+impl<'a> SliceWindows<'a> {
+    /// The spilled metadata of the mode currently being swept.
+    #[inline]
+    fn sp(&self) -> &'a SpilledModeStream {
+        &self.modes[self.mode]
+    }
+
+    /// Loads the next window into the pinned buffer, or returns `None`
+    /// when every slice has been covered.
+    ///
+    /// # Errors
+    /// [`TensorError::Io`] if reading the scratch file fails.
+    pub fn next_window(&mut self) -> Result<Option<Window<'_>>> {
+        let sp = self.sp();
+        let num = sp.num_slices();
+        if self.next_slice >= num {
+            return Ok(None);
+        }
+        let lo = self.next_slice;
+        let hi = window_extent(&sp.offsets, lo, self.cap);
+        let start = sp.offsets[lo];
+        let len = sp.offsets[hi] - start;
+        let k = sp.other_count;
+        let b = &mut self.buf;
+        b.offsets.clear();
+        b.offsets
+            .extend(sp.offsets[lo..=hi].iter().map(|&o| o - start));
+        b.values.resize(len, 0.0);
+        self.file
+            .read_f64s(sp.values_off + start as u64 * 8, &mut b.values)?;
+        b.others.resize(len * k, 0);
+        self.file
+            .read_u32s(sp.others_off + start as u64 * k as u64 * 4, &mut b.others)?;
+        b.entry_ids.resize(len, 0);
+        self.file
+            .read_u32s(sp.ids_off + start as u64 * 4, &mut b.entry_ids)?;
+        self.next_slice = hi;
+        Ok(Some(Window {
+            slices: lo..hi,
+            base: start,
+            stream: &self.buf,
+        }))
+    }
+
+    /// Like [`SliceWindows::next_window`], but reads **only the entry-id
+    /// section** of the next window — for consumers that map stream
+    /// positions to COO entries without touching values or packed
+    /// indices (the spilled `Pres` table's build and rescale sweeps),
+    /// cutting their scratch-file read volume to the 4 bytes per
+    /// position they actually use.
+    ///
+    /// Shares the sweep cursor with `next_window`: a sweep must use one
+    /// of the two consistently between rewinds.
+    ///
+    /// # Errors
+    /// [`TensorError::Io`] if reading the scratch file fails.
+    pub fn next_ids_window(&mut self) -> Result<Option<IdsWindow<'_>>> {
+        let sp = self.sp();
+        let num = sp.num_slices();
+        if self.next_slice >= num {
+            return Ok(None);
+        }
+        let lo = self.next_slice;
+        let hi = window_extent(&sp.offsets, lo, self.cap);
+        let start = sp.offsets[lo];
+        let len = sp.offsets[hi] - start;
+        let b = &mut self.buf;
+        b.entry_ids.resize(len, 0);
+        self.file
+            .read_u32s(sp.ids_off + start as u64 * 4, &mut b.entry_ids)?;
+        self.next_slice = hi;
+        Ok(Some(IdsWindow {
+            slices: lo..hi,
+            base: start,
+            entry_ids: &b.entry_ids,
+        }))
+    }
+
+    /// The most positions any window of any mode can hold:
+    /// the capacity, or a single oversized slice. Consumers sizing
+    /// per-position side buffers (e.g. the spilled `Pres` tile) should
+    /// use this, not [`SliceWindows::capacity`], so no window ever
+    /// reallocates them mid-sweep.
+    pub fn max_window_positions(&self) -> usize {
+        let max_slice = self
+            .modes
+            .iter()
+            .map(|m| m.max_slice_len)
+            .max()
+            .unwrap_or(0);
+        self.cap.max(max_slice)
+    }
+
+    /// Restarts the sweep on `mode`'s first window, reusing the pinned
+    /// buffer — how one sweeper serves every mode of a whole fit.
+    pub fn rewind(&mut self, mode: usize) {
+        assert!(mode < self.modes.len(), "mode {mode} out of range");
+        self.mode = mode;
+        self.buf.mode = mode;
+        self.next_slice = 0;
+    }
+
+    /// Rewinds to the current mode's first window (the pinned buffer is
+    /// kept).
+    pub fn reset(&mut self) {
+        self.next_slice = 0;
+    }
+
+    /// Number of windows a full sweep of the current mode takes (no I/O).
+    pub fn window_count(&self) -> usize {
+        self.sp().window_count(self.cap)
+    }
+
+    /// The window capacity in stream positions.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 }
 
@@ -292,6 +801,102 @@ mod tests {
                 assert!(s.slice_range(i).is_empty());
             }
         }
+    }
+
+    #[test]
+    fn spilled_windows_reproduce_resident_streams() {
+        use ptucker_memtrack::MemoryBudget;
+        let x = sample();
+        let budget = MemoryBudget::unlimited();
+        let resident = ModeStreams::build(&x).unwrap();
+        let spilled = ModeStreams::build_spilled(&x, &budget).unwrap();
+        assert!(spilled.is_spilled() && !resident.is_spilled());
+        assert_eq!(budget.spilled_in_use(), ModeStreams::spilled_bytes_for(&x));
+        assert_eq!(budget.in_use(), ModeStreams::resident_bytes_for(&x));
+        for n in 0..x.order() {
+            let full = resident.mode(n);
+            let sp = spilled.spilled_mode(n);
+            assert_eq!(sp.len(), x.nnz());
+            for e in 0..x.nnz() {
+                assert_eq!(sp.position_of(e), full.position_of(e));
+            }
+            // Tiny capacity: every window is exactly one slice.
+            let mut w = spilled.windows(n, 1);
+            assert_eq!(w.window_count(), x.dims()[n]);
+            let mut covered = 0;
+            while let Some(win) = w.next_window().unwrap() {
+                assert_eq!(win.slices.len(), 1);
+                let i = win.slices.start;
+                assert_eq!(win.base, full.slice_range(i).start);
+                let local = win.stream.slice_range(0);
+                assert_eq!(local.len(), full.slice_len(i));
+                for p in local {
+                    let g = win.base + p;
+                    assert_eq!(win.stream.values()[p], full.values()[g]);
+                    assert_eq!(win.stream.entry_id(p), full.entry_id(g));
+                    assert_eq!(win.stream.others(p), full.others(g));
+                }
+                covered += win.stream.values().len();
+            }
+            assert_eq!(covered, x.nnz());
+        }
+    }
+
+    #[test]
+    fn oversized_slice_becomes_singleton_window() {
+        use ptucker_memtrack::MemoryBudget;
+        // Mode 0 slice 0 holds 3 entries — above a capacity of 2 — and must
+        // still be taken whole (windows never split slices).
+        let x = SparseTensor::new(
+            vec![2, 4],
+            vec![
+                (vec![0, 0], 1.0),
+                (vec![0, 1], 2.0),
+                (vec![0, 3], 3.0),
+                (vec![1, 2], 4.0),
+            ],
+        )
+        .unwrap();
+        let plan = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        let mut w = plan.windows(0, 2);
+        let first = w.next_window().unwrap().unwrap();
+        assert_eq!(first.slices, 0..1);
+        assert_eq!(first.stream.values(), &[1.0, 2.0, 3.0]);
+        let second = w.next_window().unwrap().unwrap();
+        assert_eq!(second.slices, 1..2);
+        assert_eq!(second.stream.values(), &[4.0]);
+        assert!(w.next_window().unwrap().is_none());
+        // Empty slices merge into neighbours under a large capacity.
+        let mut w = plan.windows(1, 100);
+        let all = w.next_window().unwrap().unwrap();
+        assert_eq!(all.slices, 0..4);
+        assert_eq!(all.stream.num_slices(), 4);
+        assert!(w.next_window().unwrap().is_none());
+    }
+
+    #[test]
+    fn window_reset_replays_the_sweep() {
+        use ptucker_memtrack::MemoryBudget;
+        let x = sample();
+        let plan = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        let mut w = plan.windows(0, 2);
+        let first: Vec<f64> = w.next_window().unwrap().unwrap().stream.values().to_vec();
+        while w.next_window().unwrap().is_some() {}
+        w.reset();
+        let again: Vec<f64> = w.next_window().unwrap().unwrap().stream.values().to_vec();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn spilled_empty_tensor() {
+        use ptucker_memtrack::MemoryBudget;
+        let x = SparseTensor::new(vec![3, 3], vec![]).unwrap();
+        let plan = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        let mut w = plan.windows(0, 10);
+        let win = w.next_window().unwrap().unwrap();
+        assert_eq!(win.slices, 0..3);
+        assert!(win.stream.values().is_empty());
+        assert!(w.next_window().unwrap().is_none());
     }
 
     #[test]

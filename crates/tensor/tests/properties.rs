@@ -216,4 +216,55 @@ proptest! {
             prop_assert_eq!(streamed_total, x.nnz());
         }
     }
+
+    // Out-of-core satellite: a windowed sweep over a spilled plan covers
+    // the stream *exactly* — every slice appears in exactly one window,
+    // in order, window boundaries are slice-aligned, every stream
+    // position is visited once with the same (value, entry id, packed
+    // indices) triple the resident stream holds, and no window exceeds
+    // the capacity unless it is a single oversized slice.
+    #[test]
+    fn slice_windows_cover_the_stream_exactly(x in arb_sparse(), cap in 1..12usize) {
+        let budget = ptucker_memtrack::MemoryBudget::unlimited();
+        let resident = ModeStreams::build(&x).unwrap();
+        let spilled = ModeStreams::build_spilled(&x, &budget).unwrap();
+        for n in 0..x.order() {
+            let full = resident.mode(n);
+            let mut windows = spilled.windows(n, cap);
+            let mut expected_windows = windows.window_count();
+            let mut next_slice = 0usize;
+            let mut next_pos = 0usize;
+            while let Some(w) = windows.next_window().unwrap() {
+                prop_assert!(expected_windows > 0, "more windows than planned");
+                expected_windows -= 1;
+                // Slice-aligned, in-order, gapless.
+                prop_assert_eq!(w.slices.start, next_slice);
+                prop_assert!(w.slices.end > w.slices.start);
+                prop_assert_eq!(w.base, next_pos);
+                let len = w.stream.values().len();
+                prop_assert!(
+                    len <= cap || w.slices.len() == 1,
+                    "over-capacity window with {} slices",
+                    w.slices.len()
+                );
+                // Window-local view matches the resident stream.
+                prop_assert_eq!(w.stream.num_slices(), w.slices.len());
+                for (local_i, i) in w.slices.clone().enumerate() {
+                    let local = w.stream.slice_range(local_i);
+                    prop_assert_eq!(local.len(), full.slice_len(i));
+                    for p in local {
+                        let g = w.base + p;
+                        prop_assert_eq!(w.stream.values()[p].to_bits(), full.values()[g].to_bits());
+                        prop_assert_eq!(w.stream.entry_id(p), full.entry_id(g));
+                        prop_assert_eq!(w.stream.others(p), full.others(g));
+                    }
+                }
+                next_slice = w.slices.end;
+                next_pos += len;
+            }
+            prop_assert_eq!(next_slice, x.dims()[n], "every slice covered");
+            prop_assert_eq!(next_pos, x.nnz(), "every position covered once");
+            prop_assert_eq!(expected_windows, 0, "window_count matches the sweep");
+        }
+    }
 }

@@ -33,13 +33,19 @@
 //!   of near-equal **nnz weight** (`weighted_blocks`), fixing static
 //!   scheduling's skew imbalance without a dynamic queue.
 //! * [`memtrack`] — the intermediate-data budget that reproduces the
-//!   paper's O.O.M. boundaries arithmetically.
+//!   paper's O.O.M. boundaries arithmetically, now with a per-budget
+//!   `BudgetPolicy` (overflow **spills** by default, or stays fatal under
+//!   `Strict`), separate spill accounting, and the unlinked `ScratchFile`
+//!   the out-of-core path stores its bulk arrays in.
 //! * [`tensor`] / [`datagen`] — sparse/dense/core tensor types, I/O,
 //!   train/test splits, and the synthetic generators. `tensor` also owns
 //!   the **mode-major execution plan** (`ModeStreams`): per-mode streamed
 //!   slice layouts — values plus packed other-mode indices physically
 //!   reordered slice-by-slice — that every row-update loop in the
 //!   workspace walks linearly instead of gathering through COO entry ids.
+//!   A plan's storage is a `StreamStore`: fully resident, or spilled to a
+//!   scratch file and consumed through `SliceWindows` (slice-aligned,
+//!   budget-sized windows refilling one pinned buffer).
 //! * [`ptucker`] (`crates/core`) — the solver, organized as a
 //!   **plan/engine/kernel/scratch** stack: the fit driver derives the
 //!   `ModeStreams` plan once per fit (metered in the memory budget), is
@@ -54,9 +60,14 @@
 //!   over the packed core values. The Cached variant stores its `Pres`
 //!   table in the swept mode's stream order (sequential sweeps; a
 //!   parallel rescale plus an in-place cycle-chase reorder between
-//!   modes). The net effect is a row-update loop with **zero heap
-//!   allocations**, strictly sequential memory traffic, and FMA-saturating
-//!   inner loops; adding a new backend means implementing one trait.
+//!   modes). When the working set exceeds the memory budget,
+//!   `PTucker::fit` switches to the **out-of-core driver**: the plan and
+//!   the Pres table spill to scratch files and every mode sweep runs
+//!   window-by-window over slice-aligned chunks, reproducing the
+//!   in-memory trajectory bitwise (see `ARCHITECTURE.md`). The net
+//!   effect is a row-update loop with **zero heap allocations**,
+//!   strictly sequential memory traffic, and FMA-saturating inner
+//!   loops; adding a new backend means implementing one trait.
 //! * [`cp`], [`baselines`], [`discovery`] — the CP-ALS analogue (sharing
 //!   the same scratch arenas and execution plan), the paper's competitors
 //!   (wOpt/CSF/S-HOT, with S-HOT's row loop on the same plan), and the

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: generated data → fits → metrics →
 //! discovery, exercising the same pipelines the paper's experiments use.
 
-use ptucker::{FitOptions, MemoryBudget, PTucker, PtuckerError, Schedule, Variant};
+use ptucker::{BudgetPolicy, FitOptions, MemoryBudget, PTucker, PtuckerError, Schedule, Variant};
 use ptucker_baselines::{s_hot, tucker_csf, tucker_wopt, BaselineOptions};
 use ptucker_datagen::{planted_lowrank, realworld, uniform_sparse};
 use ptucker_discovery::{cluster_purity, discover_concepts, discover_relations};
@@ -124,6 +124,10 @@ fn discovery_pipeline_recovers_planted_genres() {
 fn oom_boundaries_by_method() {
     // One workload, three budgets: the ordering of memory appetites is
     // wOpt (dense) > Cache (|Ω|·|G|) > CSF (I·J^{N-1}) > P-Tucker (T·J²).
+    // The cross-method boundary matrix runs under BudgetPolicy::Strict —
+    // the paper's regime, where overflow is O.O.M. for everyone. (Under
+    // the default Spill policy P-Tucker never O.O.M.s; see
+    // `spill_semantics_replace_oom_for_ptucker` below.)
     let mut rng = StdRng::seed_from_u64(8);
     let x = uniform_sparse(&[40, 40, 40], 2_000, &mut rng);
     let ranks = vec![4, 4, 4];
@@ -149,28 +153,72 @@ fn oom_boundaries_by_method() {
             tucker_wopt(&x, &bopts).is_ok(),
         ]
     };
+    let strict = |bytes: usize| MemoryBudget::with_policy(bytes, BudgetPolicy::Strict);
 
     // Plenty for everyone.
-    assert_eq!(fit_with(MemoryBudget::new(64 << 20)), [true; 4]);
+    assert_eq!(fit_with(strict(64 << 20)), [true; 4]);
     // 300 KB: kills wOpt (needs ~1 MB dense) and Cache (2000*64*8 = 1 MB),
     // CSF needs 40*16*8 = 5 KB → lives; P-Tucker needs ~KBs → lives.
-    assert_eq!(
-        fit_with(MemoryBudget::new(300 << 10)),
-        [true, false, true, false]
-    );
-    // P-Tucker's metered footprint is now its mode-major plan (O(N·|Ω|)
+    assert_eq!(fit_with(strict(300 << 10)), [true, false, true, false]);
+    // P-Tucker's metered footprint is its mode-major plan (O(N·|Ω|)
     // words, ~120 KB here) plus Theorem 4's T·(2J²+2J) doubles of scratch
     // (~640 B): it must fit with the plan plus a little headroom…
     let plan_bytes = ptucker_suite::tensor::ModeStreams::bytes_for(&x);
-    let fits = fit_with(MemoryBudget::new(plan_bytes + (4 << 10)));
+    let fits = fit_with(strict(plan_bytes + (4 << 10)));
     assert!(
         fits[0],
         "P-Tucker should fit in plan ({plan_bytes} B) + 4 KiB of scratch"
     );
     // …and report the paper's O.O.M. below the plan size, like everyone
     // whose data plane exceeds the machine.
-    let tiny = fit_with(MemoryBudget::new(1 << 10));
+    let tiny = fit_with(strict(1 << 10));
     assert_eq!(tiny, [false, false, false, false]);
+}
+
+#[test]
+fn spill_semantics_replace_oom_for_ptucker() {
+    // Under the default BudgetPolicy::Spill, budgets that used to O.O.M.
+    // P-Tucker now complete out of core: the plan (and the Cache table)
+    // move to scratch files, sweeps run over slice-aligned windows, and
+    // the fit reports its disk footprint. The baselines have no spilled
+    // mode, so the same budget still kills them — the paper's headline
+    // separation, now *survived* instead of merely reproduced.
+    let mut rng = StdRng::seed_from_u64(8);
+    let x = uniform_sparse(&[40, 40, 40], 2_000, &mut rng);
+    let ranks = vec![4, 4, 4];
+    let tiny = MemoryBudget::new(1 << 10);
+    assert_eq!(tiny.policy(), BudgetPolicy::Spill);
+
+    let popts = FitOptions::new(ranks.clone())
+        .max_iters(2)
+        .seed(1)
+        .threads(2)
+        .budget(tiny.clone());
+    let direct = PTucker::new(popts.clone()).unwrap().fit(&x).unwrap();
+    assert!(direct.stats.peak_spilled_bytes > 0);
+    let cached = PTucker::new(popts.clone().variant(Variant::Cache))
+        .unwrap()
+        .fit(&x)
+        .unwrap();
+    assert!(cached.stats.peak_spilled_bytes > direct.stats.peak_spilled_bytes);
+    // Same seed, same trajectory as an unconstrained in-memory fit.
+    let roomy = PTucker::new(popts.budget(MemoryBudget::unlimited()))
+        .unwrap()
+        .fit(&x)
+        .unwrap();
+    for (a, b) in roomy.stats.iterations.iter().zip(&direct.stats.iterations) {
+        let rel = (a.reconstruction_error - b.reconstruction_error).abs()
+            / a.reconstruction_error.max(1e-12);
+        assert!(rel < 1e-9, "iter {}: rel {rel}", a.iter);
+    }
+    // Zero-imputing baselines still die at this budget.
+    let bopts = BaselineOptions::new(ranks)
+        .max_iters(1)
+        .seed(1)
+        .threads(2)
+        .budget(tiny);
+    assert!(tucker_csf(&x, &bopts).is_err());
+    assert!(tucker_wopt(&x, &bopts).is_err());
 }
 
 #[test]
