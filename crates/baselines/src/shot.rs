@@ -13,6 +13,7 @@
 
 use crate::common::{run_hooi_loop, BaselineOptions};
 use ptucker::{FitResult, PtuckerError, Result};
+use ptucker_linalg::kernels::axpy;
 use ptucker_linalg::Matrix;
 use ptucker_sched::{parallel_reduce_with, parallel_rows_mut_balanced, Schedule};
 use ptucker_tensor::{ModeStreams, SparseTensor};
@@ -175,11 +176,11 @@ pub fn s_hot(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult> {
                             if kv == 0.0 {
                                 continue;
                             }
-                            let w = xv * kv;
+                            // Z[r, :] += (X_α·k_α[r]) · U[iₙ, :] — the
+                            // axpy micro-kernel (SIMD under `--features
+                            // simd`), like the engine's δ accumulation.
                             let off = r * j_n;
-                            for (j, &uv) in u_row.iter().enumerate() {
-                                zacc[off + j] += w * uv;
-                            }
+                            axpy(xv * kv, u_row, &mut zacc[off..off + j_n]);
                         }
                     },
                 );
@@ -221,11 +222,12 @@ pub fn s_hot(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult> {
                                 if kv == 0.0 {
                                     continue;
                                 }
-                                let zrow = z_ref.row(r);
-                                let scale = xv * kv;
-                                for (j, &zv) in zrow.iter().enumerate() {
-                                    wrow[j] += scale * zv;
-                                }
+                                // W[i, :] += (X_α·k_α[r]) · Z[r, :]: the
+                                // W-phase inner loop is one contiguous
+                                // axpy per kron position — the last
+                                // scalar-style walk in this baseline,
+                                // now on the shared micro-kernels.
+                                axpy(xv * kv, z_ref.row(r), wrow);
                             }
                         }
                     },

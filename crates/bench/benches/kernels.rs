@@ -353,8 +353,17 @@ fn bench_row_update(c: &mut Criterion) {
         });
 
         let mut cached = CachedKernel::new();
+        let mut sweep = fx.plan.sweep_source(0, usize::MAX, false);
         cached
-            .prepare_fit(&fx.x, &fx.plan, &fx.factors, &fx.core, &fx.opts)
+            .prepare_fit(
+                &fx.x,
+                &fx.plan,
+                &fx.factors,
+                &fx.core,
+                &fx.opts,
+                &mut sweep,
+                false,
+            )
             .unwrap();
         group.bench_with_input(BenchmarkId::new("stream_cached", j), &j, |b, _| {
             let mut scratch = Scratch::new(j);
@@ -470,8 +479,17 @@ fn write_artifact() {
             fx.coo_cached_row_sweep(&coo_table, &mut scratch, &mut row)
         });
         let mut cached = CachedKernel::new();
+        let mut sweep = fx.plan.sweep_source(0, usize::MAX, false);
         cached
-            .prepare_fit(&fx.x, &fx.plan, &fx.factors, &fx.core, &fx.opts)
+            .prepare_fit(
+                &fx.x,
+                &fx.plan,
+                &fx.factors,
+                &fx.core,
+                &fx.opts,
+                &mut sweep,
+                false,
+            )
             .unwrap();
         let streamed = median_ns(15, || fx.stream_row_sweep(&cached, &mut scratch, &mut row));
         let cached_speedup = coo / streamed;
@@ -488,8 +506,9 @@ fn write_artifact() {
 
     // Out-of-core overhead: the same Direct fit in-memory vs through
     // spilled windowed sweeps (a 1-byte budget forces the minimum window
-    // capacity — the worst case for windowing overhead). The trajectories
-    // are bitwise identical; this series prices the scratch-file I/O.
+    // capacity — the worst case for windowing overhead; windows this
+    // small read synchronously, prefetch or not). The trajectories are
+    // bitwise identical; this series prices the scratch-file I/O.
     {
         let mut rng = StdRng::seed_from_u64(4);
         let x = ptucker_datagen::uniform_sparse(&[32, 24, 16], 400, &mut rng);
@@ -526,6 +545,69 @@ fn write_artifact() {
             "    {{\"bench\": \"windowed_fit\", \"j\": 5, \
              \"in_memory_ns\": {in_memory:.1}, \"windowed_ns\": {windowed:.1}, \
              \"overhead\": {overhead:.3}}}"
+        ));
+    }
+
+    // Double-buffering: a larger spilled fit whose windows clear the
+    // prefetch threshold, run with the background refill on vs off. The
+    // `overhead` fields are relative to the same fit fully in memory, so
+    // the prefetch-on figure is directly comparable to the single-buffer
+    // `windowed_fit` series above. Note the overlap can only materialize
+    // with a core to spare: on a single-CPU runner the two figures are
+    // noise-identical (the worker just timeshares), and the win shows on
+    // multi-core machines where the refill parse rides a free core.
+    {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = ptucker_datagen::uniform_sparse(&[96, 72, 48], 20_000, &mut rng);
+        let plan_bytes = ModeStreams::bytes_for(&x);
+        let opts = |budget: MemoryBudget, prefetch: bool| {
+            FitOptions::new(vec![5, 5, 5])
+                .max_iters(2)
+                .tol(0.0)
+                .threads(2)
+                .seed(7)
+                .prefetch(prefetch)
+                .budget(budget)
+        };
+        let in_memory = median_ns(5, || {
+            let fit = PTucker::new(opts(MemoryBudget::unlimited(), true))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            assert_eq!(fit.stats.peak_spilled_bytes, 0);
+            black_box(fit);
+        });
+        // A quarter of the plan: several multi-slice windows per mode,
+        // each window read hundreds of KiB.
+        let budget = plan_bytes / 4;
+        let single = median_ns(5, || {
+            let fit = PTucker::new(opts(MemoryBudget::new(budget), false))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            assert!(fit.stats.peak_spilled_bytes > 0);
+            black_box(fit);
+        });
+        let double = median_ns(5, || {
+            let fit = PTucker::new(opts(MemoryBudget::new(budget), true))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            assert!(fit.stats.peak_spilled_bytes > 0);
+            black_box(fit);
+        });
+        let overhead_single = single / in_memory;
+        let overhead_double = double / in_memory;
+        println!(
+            "artifact windowed_fit_prefetch j=5: in-memory {in_memory:.0} ns, \
+             single-buffer {single:.0} ns ({overhead_single:.2}x), \
+             double-buffer {double:.0} ns ({overhead_double:.2}x)"
+        );
+        lines.push(format!(
+            "    {{\"bench\": \"windowed_fit_prefetch\", \"j\": 5, \
+             \"in_memory_ns\": {in_memory:.1}, \"single_buffer_ns\": {single:.1}, \
+             \"double_buffer_ns\": {double:.1}, \"overhead_single\": {overhead_single:.3}, \
+             \"overhead\": {overhead_double:.3}}}"
         ));
     }
     let json = format!(

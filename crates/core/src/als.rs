@@ -1,6 +1,36 @@
-//! The P-Tucker fit driver (Algorithms 2 and 3 of the paper).
+//! The P-Tucker fit driver (Algorithms 2 and 3 of the paper) — **one**
+//! driver for every placement.
+//!
+//! There is a single `run_fit`: every mode sweep iterates the
+//! slice-aligned windows of a [`ptucker_tensor::SweepSource`]. Where the
+//! working set lives is decided once, up front, by the [`placement`] gate:
+//!
+//! * **All resident** — the plan, scratch arenas and the variant's
+//!   auxiliary state fit the [`crate::MemoryBudget`]: the sweep source
+//!   yields one zero-copy full-stream window per mode, which *is* the
+//!   classic in-memory fit.
+//! * **Hybrid spill** (Cache variant) — the plan fits but the `|Ω|×|G|`
+//!   `Pres` table alone does not: the plan stays resident and only the
+//!   table spills; sweeps are windowed at the table's tile granularity
+//!   over zero-copy views of the resident plan.
+//! * **Full spill** — the plan itself does not fit: it is built spilled
+//!   ([`ModeStreams::build_spilled`]) and windows refill a pinned buffer
+//!   from the scratch file — with **double-buffered prefetch** when the
+//!   windows are large enough to amortize it, overlapping the next
+//!   window's read with the current window's row updates.
+//!
+//! The per-row kernel code, the RNG sequence, the error measurement and
+//! the convergence test are byte-identical across placements, so spilled
+//! and hybrid fits reproduce the fully resident fit **bitwise**. Under
+//! [`BudgetPolicy::Strict`] the gate is bypassed, every reservation is
+//! checked, and overflow surfaces as the paper's O.O.M. outcome.
+//!
+//! The reconstruction-error pass ([`sum_squared_error_raw`]) reads only
+//! COO and the model — never the plan or a window — so spilled fits
+//! compute the residual without materializing anything; its inner loop is
+//! the run-blocked [`crate::delta::reconstruct_entry_blocked`] micro-kernel.
 
-use crate::delta::solve_row;
+use crate::delta::{core_runs, reconstruct_entry_blocked, solve_row};
 use crate::engine::{
     ApproxKernel, CachedKernel, DirectKernel, ModeContext, RowUpdateKernel, Scratch,
 };
@@ -8,12 +38,20 @@ use crate::{
     FitOptions, FitResult, FitStats, IterStats, PtuckerError, Result, TuckerDecomposition, Variant,
 };
 use ptucker_linalg::Matrix;
+use ptucker_memtrack::BudgetPolicy;
 use ptucker_sched::{parallel_reduce, parallel_rows_mut_scheduled, Schedule};
-use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor};
+use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor, SweepSource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Below this many bytes per window read, the background prefetch worker
+/// costs more in hand-off latency than the read it hides: windows smaller
+/// than this are read synchronously even when `FitOptions::prefetch` is
+/// on. 32 KiB is comfortably past the crossover on page-cached scratch
+/// files.
+const PREFETCH_MIN_WINDOW_BYTES: usize = 32 << 10;
 
 /// The P-Tucker solver: scalable Tucker factorization for sparse tensors.
 ///
@@ -48,40 +86,27 @@ impl PTucker {
     /// arenas and the variant's auxiliary state (notably the Cache
     /// variant's `|Ω|×|G|` table) — exceeds the [`crate::MemoryBudget`]
     /// and the budget's policy is `BudgetPolicy::Spill` (the default),
-    /// the fit transparently runs **out of core**: the plan (and table)
-    /// spill to scratch files and every mode sweep proceeds over
-    /// slice-aligned windows, reproducing the in-memory fit's trajectory
-    /// exactly. `FitStats::peak_spilled_bytes` reports the disk
-    /// footprint. Under `BudgetPolicy::Strict` overflow stays fatal, as
-    /// the paper's O.O.M. experiments require.
+    /// the fit transparently runs **out of core**: as much state as
+    /// overflows — just the Cache table (hybrid spilling), or the plan
+    /// and table both — moves to scratch files and every mode sweep
+    /// proceeds over slice-aligned windows, reproducing the fully
+    /// resident fit's trajectory exactly.
+    /// `FitStats::peak_spilled_bytes` reports the disk footprint. Under
+    /// `BudgetPolicy::Strict` overflow stays fatal, as the paper's
+    /// O.O.M. experiments require.
     ///
     /// # Errors
     /// * [`PtuckerError::InvalidConfig`] if the options do not match `x`'s
     ///   shape.
     /// * [`PtuckerError::OutOfMemory`] if intermediate data exceed the
     ///   budget under `BudgetPolicy::Strict`.
-    /// * [`PtuckerError::Tensor`] if scratch-file I/O fails on the
-    ///   spilled path.
+    /// * [`PtuckerError::Tensor`] if scratch-file I/O fails on a spilled
+    ///   path.
     /// * [`PtuckerError::Linalg`] on numerically fatal systems (only
     ///   possible with `lambda == 0`).
     pub fn fit(&self, x: &SparseTensor) -> Result<FitResult> {
         let opts = &self.opts;
         opts.validate_for(x.dims())?;
-        if crate::window::spill_required(x, opts) {
-            return match opts.variant {
-                Variant::Default => {
-                    crate::window::run_fit_windowed(x, opts, crate::window::WinDirect)
-                }
-                Variant::Cache => {
-                    crate::window::run_fit_windowed(x, opts, crate::window::WinCached::new())
-                }
-                Variant::Approx { truncation_rate } => crate::window::run_fit_windowed(
-                    x,
-                    opts,
-                    crate::window::WinApprox::new(truncation_rate),
-                ),
-            };
-        }
         // The only variant dispatch in the solver: pick the kernel once and
         // monomorphize the whole fit loop over it.
         match opts.variant {
@@ -94,8 +119,98 @@ impl PTucker {
     }
 }
 
+/// Where a fit's data plane lives, decided once before anything is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Placement {
+    /// The execution plan goes to a scratch file (full spill).
+    spill_plan: bool,
+    /// The kernel's spillable auxiliary state — the Cache variant's
+    /// `Pres` table — goes to a scratch file. Implied by `spill_plan`;
+    /// on its own this is **hybrid spilling** (plan resident, table not).
+    spill_table: bool,
+}
+
+impl Placement {
+    fn resident() -> Self {
+        Placement {
+            spill_plan: false,
+            spill_table: false,
+        }
+    }
+
+    fn windowed(&self) -> bool {
+        self.spill_plan || self.spill_table
+    }
+}
+
+/// Bytes the fit keeps resident regardless of the spill decision: the
+/// mode-major plan, the per-thread scratch arenas (Theorem 4), and the
+/// Approx variant's per-thread `R(β)` buffers (tiny; not worth a spilled
+/// representation).
+fn resident_floor_bytes(x: &SparseTensor, opts: &FitOptions) -> usize {
+    let g: usize = opts.ranks.iter().product();
+    let j_max = opts.ranks.iter().copied().max().unwrap_or(1);
+    let scratch = opts.threads * Scratch::doubles(j_max) * 8;
+    let aux = match opts.variant {
+        Variant::Approx { truncation_rate } if truncation_rate > 0.0 => opts.threads * 2 * g * 8,
+        _ => 0,
+    };
+    ModeStreams::bytes_for(x)
+        .saturating_add(scratch)
+        .saturating_add(aux)
+}
+
+/// Bytes of the Cache variant's `|Ω|×|G|` table — the one piece of
+/// auxiliary state with its own spilled representation (0 for the other
+/// variants).
+fn table_bytes(x: &SparseTensor, opts: &FitOptions) -> usize {
+    match opts.variant {
+        Variant::Cache => {
+            let g: usize = opts.ranks.iter().product();
+            x.nnz().saturating_mul(g) * 8
+        }
+        _ => 0,
+    }
+}
+
+/// Bytes the fully resident fit will reserve up front for `x` under
+/// `opts` — the placement gate's all-resident threshold, and the exact
+/// boundary below which a Spill-policy budget starts spilling.
+pub(crate) fn in_memory_bytes(x: &SparseTensor, opts: &FitOptions) -> usize {
+    resident_floor_bytes(x, opts).saturating_add(table_bytes(x, opts))
+}
+
+/// The placement gate: all-resident when everything fits; hybrid (table
+/// only) when the floor fits but the Cache table does not; full spill
+/// otherwise. Under [`BudgetPolicy::Strict`] everything is declared
+/// resident and the checked reservations downstream produce the paper's
+/// O.O.M. outcome.
+fn placement(x: &SparseTensor, opts: &FitOptions) -> Placement {
+    if opts.budget.policy() != BudgetPolicy::Spill {
+        return Placement::resident();
+    }
+    let floor = resident_floor_bytes(x, opts);
+    let table = table_bytes(x, opts);
+    if opts.budget.would_fit(in_memory_bytes(x, opts)) {
+        Placement::resident()
+    } else if opts.budget.would_fit(floor) {
+        Placement {
+            spill_plan: false,
+            spill_table: table > 0,
+        }
+    } else {
+        Placement {
+            spill_plan: true,
+            spill_table: table > 0,
+        }
+    }
+}
+
 /// The kernel-generic fit driver (Algorithm 2, with the variant behavior
-/// factored into `K`'s hooks).
+/// factored into `K`'s hooks) — the **only** fit driver: mode sweeps
+/// iterate a [`SweepSource`], so resident, hybrid-spilled and fully
+/// spilled fits run the same loop (a resident fit's sweep is one
+/// full-stream window per mode).
 fn run_fit<K: RowUpdateKernel>(
     x: &SparseTensor,
     opts: &FitOptions,
@@ -109,6 +224,9 @@ fn run_fit<K: RowUpdateKernel>(
     let mut factors = init_factors(x.dims(), &opts.ranks, &mut rng);
     let mut core = CoreTensor::random_dense(opts.ranks.clone(), &mut rng)?;
 
+    opts.budget.reset_peak();
+    let place = placement(x, opts);
+
     // The mode-major execution plan: one streamed slice layout per mode,
     // derived from COO once per fit so every row sweep walks contiguous
     // values/indices instead of gathering through entry ids. Metered
@@ -119,28 +237,103 @@ fn run_fit<K: RowUpdateKernel>(
     // boundaries keep Table III's meaning. The engine deliberately takes
     // the *stricter* reading for its own plan: it is per-fit derived data
     // the budget must be able to refuse, so P-Tucker's reported peak (and
-    // OOM boundary) includes it.
-    opts.budget.reset_peak();
-    let _plan_reservation = opts.budget.reserve(ModeStreams::bytes_for(x))?;
-    let plan = ModeStreams::build(x)?;
+    // OOM boundary) includes it. A spilled plan books its resident floor
+    // (offsets + inverse entry maps) unchecked and its file bytes on the
+    // spill meter.
+    let mut plan_reservation = None;
+    let plan = if place.spill_plan {
+        ModeStreams::build_spilled(x, &opts.budget)?
+    } else {
+        plan_reservation = Some(opts.budget.reserve(ModeStreams::bytes_for(x))?);
+        ModeStreams::build(x)?
+    };
+    let _plan_reservation = plan_reservation;
 
     // Allocate one scratch arena per worker thread, once for the whole fit;
     // every row of every mode of every iteration reuses them. Metered as
     // Theorem 4's per-thread intermediates: δ, c (J) and B, solve
-    // workspace (J²) per thread.
+    // workspace (J²) per thread — checked while anything is resident,
+    // an unchecked part of the irreducible floor once the plan spilled.
     let j_max = opts.ranks.iter().copied().max().unwrap_or(1);
-    let _row_scratch = opts
-        .budget
-        .reserve_f64(opts.threads * Scratch::doubles(j_max))?;
+    let scratch_doubles = opts.threads * Scratch::doubles(j_max);
+    let _row_scratch = if place.spill_plan {
+        opts.budget.reserve_unchecked(scratch_doubles * 8)
+    } else {
+        opts.budget.reserve_f64(scratch_doubles)?
+    };
     let mut scratch_pool: Vec<Scratch> = (0..opts.threads.max(1))
         .map(|_| Scratch::new(j_max))
         .collect();
 
-    // Kernel-specific setup: the Cache variant precomputes its |Ω|×|G|
-    // table here (Algorithm 3 lines 1–4, in mode 0's stream order) and may
-    // exceed the budget; the Approx variant reserves its per-thread R(β)
-    // buffers.
-    kernel.prepare_fit(x, &plan, &factors, &core, opts)?;
+    // Window capacity from what is left of the budget. Each windowed
+    // stream position costs its plan bytes (value + packed indices +
+    // entry id — only if the plan is spilled) plus its Pres tile doubles
+    // (only if the table is: the tile row, its staging twin for the
+    // coalesced reorder scatter, and one double's worth of (dest, src)
+    // permutation pair). A slice larger than the capacity is still taken
+    // whole — windows are slice-aligned — so pinned buffers are sized for
+    // the larger of the two. With prefetch the plan buffer exists
+    // **twice**, so the per-position cost doubles its stream part and the
+    // capacity halves accordingly — the two buffers together fit the
+    // remaining budget, they don't overshoot it; prefetch only engages if
+    // the halved windows still clear the amortization threshold.
+    let g = core.nnz();
+    let tile_doubles = if place.spill_table { 2 * g + 1 } else { 0 };
+    let stream_pos_bytes = if place.spill_plan {
+        8 + 4 * (order - 1) + 4
+    } else {
+        0
+    };
+    let cap_for = |buffer_copies: usize| {
+        (opts.budget.available() / (buffer_copies * stream_pos_bytes + 8 * tile_doubles).max(1))
+            .max(1)
+    };
+    let (cap, prefetch) = if !place.windowed() {
+        (usize::MAX, false)
+    } else if place.spill_plan
+        && opts.prefetch
+        && cap_for(2).saturating_mul(stream_pos_bytes) >= PREFETCH_MIN_WINDOW_BYTES
+    {
+        (cap_for(2), true)
+    } else {
+        (cap_for(1), false)
+    };
+    let mut _window_buffers: Vec<ptucker_memtrack::Reservation> = Vec::new();
+    if place.windowed() {
+        let buf_positions = cap.max(plan.max_slice_len()).min(x.nnz().max(1));
+        if place.spill_plan {
+            let copies = if prefetch { 2 } else { 1 };
+            _window_buffers.push(
+                opts.budget
+                    .reserve_unchecked(copies * buf_positions * stream_pos_bytes),
+            );
+        }
+        if place.spill_table {
+            _window_buffers.push(
+                opts.budget
+                    .reserve_unchecked(buf_positions * 8 * tile_doubles),
+            );
+        }
+    }
+    // The fit's one sweep source: pinned buffers (if any) are allocated
+    // here, sized for any mode, and rewound for every sweep of every
+    // iteration.
+    let mut sweep = plan.sweep_source(0, cap, prefetch);
+
+    // Kernel-specific setup: the Cache variant computes its |Ω|×|G|
+    // table here (Algorithm 3 lines 1–4, in mode 0's stream order) —
+    // resident when it fits, streamed to its own scratch file when the
+    // gate said to spill it; the Approx variant reserves its per-thread
+    // R(β) buffers.
+    kernel.prepare_fit(
+        x,
+        &plan,
+        &factors,
+        &core,
+        opts,
+        &mut sweep,
+        place.spill_table,
+    )?;
 
     let mut iterations: Vec<IterStats> = Vec::with_capacity(opts.max_iters);
     let mut prev_err = f64::INFINITY;
@@ -155,19 +348,21 @@ fn run_fit<K: RowUpdateKernel>(
             kernel.prepare_mode(x, &plan, &factors, n, &core, opts)?;
             update_factor(
                 x,
-                &plan,
                 &mut factors,
                 n,
                 &core,
                 opts,
-                &kernel,
+                &mut kernel,
                 &mut scratch_pool,
+                &mut sweep,
             )?;
-            kernel.post_mode(x, &plan, &factors, n, &core, opts);
+            kernel.post_mode(x, &plan, &factors, n, &core, opts, &mut sweep)?;
         }
 
         // Step 4: reconstruction error (Algorithm 2 line 4), parallel
-        // with static scheduling (Section III-D, section 3).
+        // with static scheduling (Section III-D, section 3). COO-based on
+        // every placement — the bitwise spilled ≡ resident guarantee
+        // depends on the error being window-independent.
         let err = sum_squared_error_raw(x, &factors, &core, opts.threads, Schedule::Static).sqrt();
 
         // Step 5: per-iteration kernel hook — Approx truncation
@@ -191,23 +386,23 @@ fn run_fit<K: RowUpdateKernel>(
         }
         prev_err = err;
     }
-    // Release kernel state (notably the Cache table's budget reservation)
-    // before the post-processing phase, like the paper's Algorithm 3 which
-    // frees Pres after the iterations.
+    // Release kernel state (notably the Cache table's budget reservation
+    // or scratch file), the arenas and the sweep buffers before the
+    // post-processing phase, like the paper's Algorithm 3 which frees
+    // Pres after the iterations.
     drop(kernel);
     drop(scratch_pool);
+    drop(sweep);
 
     finish_fit(x, factors, core, opts, iterations, converged, t_start)
 }
 
-/// The post-iteration phase shared **verbatim** by the in-memory and the
-/// windowed fit drivers (their bitwise-equivalence guarantee depends on
-/// it being one function): QR orthogonalization with the matching core
+/// The post-iteration phase: QR orthogonalization with the matching core
 /// update (Algorithm 2 lines 8–11: A⁽ⁿ⁾ = Q⁽ⁿ⁾R⁽ⁿ⁾, A⁽ⁿ⁾ ← Q⁽ⁿ⁾,
 /// G ← G ×ₙ R⁽ⁿ⁾ — reconstruction preserved exactly), the optional
 /// observed-entry core refit extension, the final error measurement, and
 /// the stats assembly.
-pub(crate) fn finish_fit(
+fn finish_fit(
     x: &SparseTensor,
     mut factors: Vec<Matrix>,
     mut core: CoreTensor,
@@ -244,9 +439,7 @@ pub(crate) fn finish_fit(
 }
 
 /// Random factor matrices with entries in `[0, 1)` (Algorithm 2 line 1).
-/// Shared with the windowed driver so both paths draw the identical
-/// initialization from a seed.
-pub(crate) fn init_factors(dims: &[usize], ranks: &[usize], rng: &mut StdRng) -> Vec<Matrix> {
+fn init_factors(dims: &[usize], ranks: &[usize], rng: &mut StdRng) -> Vec<Matrix> {
     dims.iter()
         .zip(ranks)
         .map(|(&i_n, &j_n)| {
@@ -257,26 +450,31 @@ pub(crate) fn init_factors(dims: &[usize], ranks: &[usize], rng: &mut StdRng) ->
 }
 
 /// Updates one factor matrix with the row-wise rule (Algorithm 3 lines
-/// 5–15), fully parallel over rows of the mode's streamed layout. Each
-/// worker thread receives one [`Scratch`] arena from `scratch_pool` and
-/// hands it to the kernel for every row it processes — the loop performs no
-/// heap allocation.
+/// 5–15), sweeping the mode's [`SweepSource`] window by window — one
+/// zero-copy full-stream window on a resident plan, budget-sized
+/// pinned-buffer refills on a spilled one. Windows load sequentially
+/// (interleaved with the kernel's `begin_window` tile pages and, with
+/// prefetch, overlapped with the next window's read); rows **within** a
+/// window update fully in parallel, each worker thread reusing one
+/// [`Scratch`] arena from `scratch_pool` — the loop performs no heap
+/// allocation.
 ///
 /// Scheduling: [`Schedule::Dynamic`] pulls row chunks from a shared queue
 /// (the paper's Section III-D answer to slice-size skew);
-/// [`Schedule::Static`] now partitions rows into contiguous blocks balanced
+/// [`Schedule::Static`] partitions rows into contiguous blocks balanced
 /// by `|Ω⁽ⁿ⁾ᵢ|` — the same imbalance fix without queue contention. Rows
-/// are independent, so both schedules produce identical factors.
+/// are independent and each row's arithmetic is self-contained, so every
+/// schedule and every window partition produces identical factors.
 #[allow(clippy::too_many_arguments)]
 fn update_factor<K: RowUpdateKernel>(
     x: &SparseTensor,
-    plan: &ModeStreams,
     factors: &mut [Matrix],
     mode: usize,
     core: &CoreTensor,
     opts: &FitOptions,
-    kernel: &K,
+    kernel: &mut K,
     scratch_pool: &mut [Scratch],
+    sweep: &mut SweepSource<'_>,
 ) -> Result<()> {
     let i_n = x.dims()[mode];
     let j_n = opts.ranks[mode];
@@ -288,20 +486,30 @@ fn update_factor<K: RowUpdateKernel>(
     let mut data = a_n.into_vec();
     let solve_failed = AtomicBool::new(false);
     {
-        let ctx = ModeContext::new(plan, factors, core, mode, opts);
-        parallel_rows_mut_scheduled(
-            &mut data,
-            j_n,
-            opts.threads,
-            opts.schedule,
-            |i| ctx.stream.slice_len(i),
-            scratch_pool,
-            |scratch, i, row| {
-                if !kernel.update_row(&ctx, scratch, i, row) {
-                    solve_failed.store(true, Ordering::Relaxed);
-                }
-            },
-        );
+        // Run structure once per mode sweep; every window's context
+        // shares it (a clone is one small memcpy, not a core rescan).
+        let runs = core_runs(core.flat_indices(), core.order());
+        sweep.rewind(mode);
+        while let Some(w) = sweep.next_window()? {
+            kernel.begin_window(&w)?;
+            let k: &K = kernel;
+            let ctx =
+                ModeContext::with_runs(w.stream, w.base, factors, core, mode, opts, runs.clone());
+            let rows = &mut data[w.slices.start * j_n..w.slices.end * j_n];
+            parallel_rows_mut_scheduled(
+                rows,
+                j_n,
+                opts.threads,
+                opts.schedule,
+                |r| ctx.stream.slice_len(r),
+                scratch_pool,
+                |scratch, r, row| {
+                    if !k.update_row(&ctx, scratch, r, row) {
+                        solve_failed.store(true, Ordering::Relaxed);
+                    }
+                },
+            );
+        }
     }
     factors[mode] = Matrix::from_vec(i_n, j_n, data)?;
     if solve_failed.load(Ordering::Relaxed) {
@@ -314,6 +522,14 @@ fn update_factor<K: RowUpdateKernel>(
 
 /// Sum of squared residuals `Σ_{α∈Ω} (X_α − x̂_α)²` without materializing a
 /// decomposition (borrowed factors/core; used inside the fit loop).
+///
+/// The reconstruction inner loop is the run-blocked micro-kernel
+/// ([`reconstruct_entry_blocked`]): one shared prefix product per run of
+/// lexicographic core entries, the run tail one contiguous
+/// [`ptucker_linalg::kernels::dot`] — the run structure is computed once
+/// per call and shared by every entry. Reads only COO and the model, so
+/// the residual costs the same on every plan placement: spilled fits
+/// never touch their scratch files here.
 pub(crate) fn sum_squared_error_raw(
     x: &SparseTensor,
     factors: &[Matrix],
@@ -321,28 +537,16 @@ pub(crate) fn sum_squared_error_raw(
     threads: usize,
     schedule: Schedule,
 ) -> f64 {
-    let order = x.order();
     let core_idx = core.flat_indices();
     let core_vals = core.values();
+    let runs = core_runs(core_idx, core.order());
     parallel_reduce(
         x.nnz(),
         threads,
         schedule,
         || 0.0f64,
         |acc, e| {
-            let idx = x.index(e);
-            let mut rec = 0.0;
-            for (b, &g) in core_vals.iter().enumerate() {
-                let beta = &core_idx[b * order..(b + 1) * order];
-                let mut w = g;
-                for (k, factor) in factors.iter().enumerate() {
-                    w *= factor[(idx[k], beta[k])];
-                    if w == 0.0 {
-                        break;
-                    }
-                }
-                rec += w;
-            }
+            let rec = reconstruct_entry_blocked(x.index(e), core_idx, core_vals, &runs, factors);
             let d = x.value(e) - rec;
             acc + d * d
         },
@@ -431,7 +635,53 @@ pub(crate) fn refit_core_observed(
 mod tests {
     use super::*;
     use crate::engine::{ApproxKernel, CachedKernel, DirectKernel, GatherReferenceKernel};
+    use crate::MemoryBudget;
+    use proptest::prelude::*;
     use ptucker_datagen::planted_lowrank;
+
+    fn planted() -> SparseTensor {
+        let mut rng = StdRng::seed_from_u64(71);
+        planted_lowrank(&[14, 12, 10], &[2, 2, 2], 700, 0.01, &mut rng).tensor
+    }
+
+    fn base_opts() -> FitOptions {
+        FitOptions::new(vec![2, 2, 2])
+            .max_iters(5)
+            .tol(0.0)
+            .threads(2)
+            .seed(33)
+    }
+
+    /// A 1-byte budget: the resident floor books itself unchecked, the
+    /// remaining budget is 0, so the window capacity collapses to the
+    /// minimum of one position — every nonempty slice becomes (at least)
+    /// its own window, guaranteeing many windows per mode.
+    fn spill_budget() -> MemoryBudget {
+        MemoryBudget::new(1)
+    }
+
+    fn assert_bitwise_equal(a: &FitResult, b: &FitResult, tag: &str) {
+        assert_eq!(a.stats.iterations.len(), b.stats.iterations.len(), "{tag}");
+        for (ia, ib) in a.stats.iterations.iter().zip(&b.stats.iterations) {
+            assert_eq!(
+                ia.reconstruction_error.to_bits(),
+                ib.reconstruction_error.to_bits(),
+                "{tag} iter {}",
+                ia.iter
+            );
+            assert_eq!(ia.core_nnz, ib.core_nnz, "{tag} iter {}", ia.iter);
+        }
+        assert_eq!(
+            a.stats.final_error.to_bits(),
+            b.stats.final_error.to_bits(),
+            "{tag} final"
+        );
+        for (fa, fb) in a.decomposition.factors.iter().zip(&b.decomposition.factors) {
+            for (va, vb) in fa.as_slice().iter().zip(fb.as_slice()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{tag} factor drift");
+            }
+        }
+    }
 
     /// Acceptance bar for the mode-major plan: every kernel on the streamed
     /// layout must reproduce the COO gather path's fit — per-iteration
@@ -471,8 +721,9 @@ mod tests {
     }
 
     /// The plan itself is intermediate data: its reservation must show up
-    /// in the reported peak, and a budget too small for the streams must
-    /// fail with the paper's O.O.M. outcome before any iteration runs.
+    /// in the reported peak, and — under the paper's Strict regime — a
+    /// budget too small for the streams must fail with the O.O.M. outcome
+    /// before any iteration runs.
     #[test]
     fn plan_memory_is_metered() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
@@ -485,11 +736,271 @@ mod tests {
             "peak {} must include the {plan_bytes} B plan",
             fit.stats.peak_intermediate_bytes
         );
-        let tiny = FitOptions::new(vec![2, 2, 2])
-            .max_iters(1)
-            .seed(1)
-            .budget(crate::MemoryBudget::new(plan_bytes - 1));
+        let tiny =
+            FitOptions::new(vec![2, 2, 2])
+                .max_iters(1)
+                .seed(1)
+                .budget(MemoryBudget::with_policy(
+                    plan_bytes - 1,
+                    BudgetPolicy::Strict,
+                ));
         let err = run_fit(&x, &tiny, DirectKernel).unwrap_err();
         assert!(matches!(err, PtuckerError::OutOfMemory(_)));
+    }
+
+    /// Tentpole acceptance: for all three kernels, a fit whose plan (+
+    /// Pres table for Cached) exceeds the budget completes via spilled
+    /// windowed sweeps and reproduces the in-memory fit **bitwise** —
+    /// under a budget forcing ≥ 3 windows per mode.
+    #[test]
+    fn windowed_fit_reproduces_in_memory_fit_for_all_kernels() {
+        let x = planted();
+        // The 1-byte budget yields capacity 1; check it forces ≥ 3
+        // windows on every mode before asserting trajectories.
+        let probe = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        for n in 0..x.order() {
+            let windows = probe.spilled_mode(n).window_count(1);
+            assert!(windows >= 3, "mode {n}: only {windows} windows");
+        }
+        for variant in [
+            Variant::Default,
+            Variant::Cache,
+            Variant::Approx {
+                truncation_rate: 0.2,
+            },
+        ] {
+            let in_mem = PTucker::new(base_opts().variant(variant))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            assert_eq!(in_mem.stats.peak_spilled_bytes, 0, "{variant:?} spilled");
+            let windowed = PTucker::new(base_opts().variant(variant).budget(spill_budget()))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            assert!(
+                windowed.stats.peak_spilled_bytes >= ModeStreams::spilled_bytes_for(&x),
+                "{variant:?} did not spill its plan"
+            );
+            assert_bitwise_equal(&in_mem, &windowed, &format!("{variant:?}"));
+        }
+    }
+
+    /// Multi-slice windows (a moderate budget between the floor and the
+    /// full plan) must agree with the in-memory fit too — this exercises
+    /// window extents greater than one slice.
+    #[test]
+    fn windowed_fit_with_multi_slice_windows_matches() {
+        let x = planted();
+        let opts = base_opts().max_iters(3);
+        let in_mem = PTucker::new(opts.clone()).unwrap().fit(&x).unwrap();
+        // Roughly half the in-memory requirement: forces spilling while
+        // leaving room for windows spanning several slices.
+        let budget = MemoryBudget::new(in_memory_bytes(&x, &opts) / 2);
+        let windowed = PTucker::new(opts.budget(budget)).unwrap().fit(&x).unwrap();
+        assert_bitwise_equal(&in_mem, &windowed, "multi-slice");
+    }
+
+    /// Hybrid-spill acceptance: a Cached fit whose plan fits the budget
+    /// but whose |Ω|×|G| Pres table does not keeps the plan resident and
+    /// spills **only the table** — bitwise identical to the fully
+    /// resident fit, and with a strictly smaller disk footprint than the
+    /// all-or-nothing full spill.
+    #[test]
+    fn hybrid_spill_keeps_plan_resident_and_matches_bitwise() {
+        let x = planted();
+        let opts = base_opts().max_iters(3).variant(Variant::Cache);
+        let floor = resident_floor_bytes(&x, &opts);
+        let table = table_bytes(&x, &opts);
+        assert!(table > 0);
+        // Fits the floor with slack for window/tile buffers, but not the
+        // table.
+        let budget_bytes = floor + table / 2;
+        assert!(budget_bytes < in_memory_bytes(&x, &opts));
+
+        let resident = PTucker::new(opts.clone().budget(MemoryBudget::unlimited()))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        assert_eq!(resident.stats.peak_spilled_bytes, 0);
+
+        let hybrid = PTucker::new(opts.clone().budget(MemoryBudget::new(budget_bytes)))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        // The table spilled (double-buffered regions on disk) …
+        assert!(
+            hybrid.stats.peak_spilled_bytes >= 2 * table,
+            "hybrid fit did not spill the table: {} < {}",
+            hybrid.stats.peak_spilled_bytes,
+            2 * table
+        );
+        // … but the plan did not.
+        assert!(
+            hybrid.stats.peak_spilled_bytes < 2 * table + ModeStreams::spilled_bytes_for(&x),
+            "hybrid fit spilled the plan too"
+        );
+
+        let full = PTucker::new(opts.budget(spill_budget()))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        assert!(
+            hybrid.stats.peak_spilled_bytes < full.stats.peak_spilled_bytes,
+            "hybrid spill ({} B) must beat the full spill ({} B)",
+            hybrid.stats.peak_spilled_bytes,
+            full.stats.peak_spilled_bytes
+        );
+
+        assert_bitwise_equal(&resident, &hybrid, "hybrid");
+        assert_bitwise_equal(&resident, &full, "full-spill");
+    }
+
+    /// Strict policy preserves the paper's hard O.O.M. boundary.
+    #[test]
+    fn strict_budget_still_fails_hard() {
+        let x = planted();
+        let opts = base_opts().budget(ptucker_memtrack::MemoryBudget::with_policy(
+            1024,
+            BudgetPolicy::Strict,
+        ));
+        let err = PTucker::new(opts).unwrap().fit(&x).unwrap_err();
+        assert!(matches!(err, PtuckerError::OutOfMemory(_)));
+    }
+
+    /// The spill decision is exact: a budget of precisely the in-memory
+    /// requirement stays in memory; one byte less spills.
+    #[test]
+    fn spill_threshold_is_the_in_memory_working_set() {
+        let x = planted();
+        let opts = base_opts().max_iters(1);
+        let need = in_memory_bytes(&x, &opts);
+        let stay = PTucker::new(opts.clone().budget(MemoryBudget::new(need)))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        assert_eq!(stay.stats.peak_spilled_bytes, 0);
+        let spill = PTucker::new(opts.budget(MemoryBudget::new(need - 1)))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        assert!(spill.stats.peak_spilled_bytes > 0);
+    }
+
+    /// The spilled Cache fit reports its double-buffered table on disk.
+    #[test]
+    fn spilled_cache_reports_table_bytes() {
+        let x = planted();
+        let g = 8; // 2·2·2
+        let fit = PTucker::new(
+            base_opts()
+                .max_iters(2)
+                .variant(Variant::Cache)
+                .budget(spill_budget()),
+        )
+        .unwrap()
+        .fit(&x)
+        .unwrap();
+        let table_bytes = 2 * x.nnz() * g * 8;
+        assert!(
+            fit.stats.peak_spilled_bytes >= ModeStreams::spilled_bytes_for(&x) + table_bytes,
+            "peak_spilled {} missing the table ({table_bytes})",
+            fit.stats.peak_spilled_bytes
+        );
+    }
+
+    /// Double-buffered prefetch changes when scratch-file bytes are read,
+    /// never their values: a spilled fit big enough to clear the prefetch
+    /// threshold must agree bitwise with the same fit with prefetch off —
+    /// and with the fully resident fit.
+    #[test]
+    fn prefetched_spilled_fit_is_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = planted_lowrank(&[80, 60, 40], &[2, 2, 2], 20_000, 0.01, &mut rng).tensor;
+        let opts = |prefetch: bool, budget: MemoryBudget| {
+            FitOptions::new(vec![2, 2, 2])
+                .max_iters(2)
+                .tol(0.0)
+                .threads(2)
+                .seed(3)
+                .prefetch(prefetch)
+                .budget(budget)
+        };
+        // A third of the plan: after the spilled plan's resident floor
+        // (~N·|Ω|·4 B of inverse maps) the leftover budget still yields
+        // double-buffered windows of ~100 KiB — comfortably past
+        // PREFETCH_MIN_WINDOW_BYTES even at the halved prefetch capacity.
+        let budget_bytes = ModeStreams::bytes_for(&x) / 3;
+        let floor = ModeStreams::resident_bytes_for(&x);
+        assert!(
+            (budget_bytes - floor) / 2 >= 2 * PREFETCH_MIN_WINDOW_BYTES,
+            "fixture too small to engage prefetch"
+        );
+        let resident = PTucker::new(opts(true, MemoryBudget::unlimited()))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        let prefetched = PTucker::new(opts(true, MemoryBudget::new(budget_bytes)))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        let plain = PTucker::new(opts(false, MemoryBudget::new(budget_bytes)))
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+        assert!(prefetched.stats.peak_spilled_bytes > 0);
+        assert_bitwise_equal(&resident, &prefetched, "prefetch-vs-resident");
+        assert_bitwise_equal(&prefetched, &plain, "prefetch-vs-plain");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        // Satellite property: the unified driver's single-full-window
+        // (in-memory) path and its many-window spilled path walk the same
+        // trajectory bitwise for every kernel, across random tensors and
+        // seeds — windowing is an execution detail, never a semantic.
+        #[test]
+        fn unified_driver_is_window_partition_invariant(seed in 0..u64::MAX) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = planted_lowrank(&[11, 9, 8], &[2, 2, 2], 350, 0.02, &mut rng).tensor;
+            for variant in [
+                Variant::Default,
+                Variant::Cache,
+                Variant::Approx { truncation_rate: 0.25 },
+            ] {
+                let opts = FitOptions::new(vec![2, 2, 2])
+                    .max_iters(3)
+                    .tol(0.0)
+                    .threads(2)
+                    .seed(seed ^ 0x5eed)
+                    .variant(variant);
+                let in_mem = PTucker::new(opts.clone()).unwrap().fit(&x).unwrap();
+                let windowed = PTucker::new(opts.budget(MemoryBudget::new(1)))
+                    .unwrap()
+                    .fit(&x)
+                    .unwrap();
+                prop_assert!(windowed.stats.peak_spilled_bytes > 0);
+                for (a, b) in in_mem.stats.iterations.iter().zip(&windowed.stats.iterations) {
+                    prop_assert_eq!(
+                        a.reconstruction_error.to_bits(),
+                        b.reconstruction_error.to_bits(),
+                        "{:?} iter {}",
+                        variant,
+                        a.iter
+                    );
+                }
+                for (fa, fb) in in_mem
+                    .decomposition
+                    .factors
+                    .iter()
+                    .zip(&windowed.decomposition.factors)
+                {
+                    for (va, vb) in fa.as_slice().iter().zip(fb.as_slice()) {
+                        prop_assert_eq!(va.to_bits(), vb.to_bits(), "{:?} factors", variant);
+                    }
+                }
+            }
+        }
     }
 }

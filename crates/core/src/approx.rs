@@ -13,6 +13,7 @@
 //! `full_α` is the complete reconstruction. Entries with the highest `R(β)`
 //! hurt the most and are truncated (top `p·|G|` per iteration).
 
+use crate::delta::{core_runs, entry_contributions_blocked};
 use ptucker_linalg::Matrix;
 use ptucker_sched::{parallel_reduce, Schedule};
 use ptucker_tensor::{CoreTensor, SparseTensor};
@@ -20,9 +21,16 @@ use ptucker_tensor::{CoreTensor, SparseTensor};
 /// Computes `R(β)` (Eq. 13) for every retained core entry, in parallel over
 /// the observed entries. Returned in core-entry order.
 ///
-/// Cost is `O(N·|Ω|·|G|)` — the same order as one factor-update sweep, which
-/// is why the paper notes P-Tucker-Approx "may require few iterations to run
-/// faster than P-Tucker due to overheads from calculating R(β)".
+/// The per-entry contribution pass is the run-blocked micro-kernel
+/// (`delta::entry_contributions_blocked`): one shared prefix
+/// product per run of lexicographic core entries instead of `N−1`
+/// multiplications per `(entry, core-entry)` pair, with the run structure
+/// computed once per call.
+///
+/// Cost is `O(|Ω|·|G|)` multiplies — below one factor-update sweep's
+/// constant, though the paper's note that P-Tucker-Approx "may require few
+/// iterations to run faster than P-Tucker due to overheads from
+/// calculating R(β)" still applies.
 pub fn partial_errors(
     x: &SparseTensor,
     factors: &[Matrix],
@@ -31,30 +39,24 @@ pub fn partial_errors(
     schedule: Schedule,
 ) -> Vec<f64> {
     let g = core.nnz();
-    let order = x.order();
     let core_idx = core.flat_indices();
     let core_vals = core.values();
+    let runs = core_runs(core_idx, core.order());
     let (racc, _buf) = parallel_reduce(
         x.nnz(),
         threads,
         schedule,
         || (vec![0.0f64; g], vec![0.0f64; g]),
         |(mut racc, mut contrib), e| {
-            let idx = x.index(e);
             let xv = x.value(e);
-            let mut full = 0.0;
-            for (b, &gv) in core_vals.iter().enumerate() {
-                let beta = &core_idx[b * order..(b + 1) * order];
-                let mut w = gv;
-                for (k, factor) in factors.iter().enumerate() {
-                    w *= factor[(idx[k], beta[k])];
-                    if w == 0.0 {
-                        break;
-                    }
-                }
-                contrib[b] = w;
-                full += w;
-            }
+            let full = entry_contributions_blocked(
+                x.index(e),
+                core_idx,
+                core_vals,
+                &runs,
+                factors,
+                &mut contrib,
+            );
             for (r, &c) in racc.iter_mut().zip(contrib.iter()) {
                 // (X - rest - c)² - (X - rest)² with rest = full - c.
                 *r += c * (c - 2.0 * xv + 2.0 * (full - c));

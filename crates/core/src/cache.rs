@@ -38,10 +38,11 @@
 //! the Fig. 8(b) memory gap (≈29.5× at N = 10) is reproduced.
 
 use crate::Result;
+use ptucker_linalg::kernels::div_add_nonzero;
 use ptucker_linalg::Matrix;
 use ptucker_memtrack::{MemoryBudget, Reservation, ScratchFile, SpillReservation};
 use ptucker_sched::{parallel_rows_mut, Schedule};
-use ptucker_tensor::{CoreTensor, ModeStreams, SliceWindows, SparseTensor};
+use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor, SweepSource};
 
 /// The memoization table of P-Tucker-Cache.
 #[derive(Debug)]
@@ -234,7 +235,7 @@ impl PresTable {
 /// time.
 ///
 /// Rows follow the swept mode's stream order exactly like [`PresTable`],
-/// so a windowed sweep over `ptucker_tensor::SliceWindows` reads one
+/// so a windowed sweep over a [`SweepSource`] reads one
 /// contiguous byte range of the file per window ([`SpilledPresTable::
 /// load_tile`] into a pinned tile buffer). The per-mode rescale +
 /// reorder runs window-at-a-time too: each source tile is rescaled in
@@ -275,8 +276,10 @@ impl SpilledPresTable {
 
     /// Precomputes the full table window-at-a-time into the scratch file,
     /// in **mode 0's stream order** (the first mode the driver sweeps).
-    /// `windows` is the fit's shared sweeper: its capacity bounds each
-    /// tile to the same window extents the row sweeps will use.
+    /// `windows` is the fit's shared sweep source: its capacity bounds
+    /// each tile to the same window extents the row sweeps will use. The
+    /// source may be resident (hybrid spilling: plan in RAM, table on
+    /// disk) or itself spilled — only the entry ids are read either way.
     ///
     /// # Errors
     /// [`crate::PtuckerError::Tensor`] (I/O) if scratch-file access fails.
@@ -286,7 +289,7 @@ impl SpilledPresTable {
         core: &CoreTensor,
         threads: usize,
         budget: &MemoryBudget,
-        windows: &mut SliceWindows<'_>,
+        windows: &mut SweepSource<'_>,
     ) -> Result<Self> {
         let g = core.nnz();
         let bytes = x.nnz() as u64 * g as u64 * 8;
@@ -376,7 +379,10 @@ impl SpilledPresTable {
     /// source-order tile is rescaled in parallel (identical per-row
     /// arithmetic) and scatter-written into the inactive region in
     /// `next_mode`'s stream order; the regions then swap. `windows` is
-    /// the fit's shared sweeper, rewound to `mode` here.
+    /// the fit's shared sweep source, rewound to `mode` here; the
+    /// destination permutation comes from the plan's resident inverse
+    /// entry maps, so the sweep works over resident and spilled plans
+    /// alike.
     ///
     /// # Errors
     /// [`crate::PtuckerError::Tensor`] (I/O) if scratch-file access fails.
@@ -391,14 +397,13 @@ impl SpilledPresTable {
         next_mode: usize,
         core: &CoreTensor,
         threads: usize,
-        windows: &mut SliceWindows<'_>,
+        windows: &mut SweepSource<'_>,
     ) -> Result<()> {
         debug_assert_eq!(self.order_mode, mode, "table must be in sweep order");
         let g = self.g;
         let core_idx = core.flat_indices();
         let core_vals = core.values();
         let new_a = &factors[mode];
-        let next_sp = plan.spilled_mode(next_mode);
         let src = self.active;
         let dst = 1 - src;
         // The rescale needs each position's COO entry id only (the
@@ -431,7 +436,7 @@ impl SpilledPresTable {
             // writes rather than one per entry.
             self.perm.clear();
             self.perm.extend((0..len).map(|p| {
-                let q = next_sp.position_of(w.entry_ids[p] as usize);
+                let q = plan.position_of(next_mode, w.entry_ids[p] as usize);
                 (q as u32, p as u32)
             }));
             self.perm.sort_unstable();
@@ -484,21 +489,51 @@ pub(crate) fn cached_delta_for_entry(
         let base = runs[r] as usize;
         let end = runs[r + 1] as usize;
         if mode == last {
-            // The divisor varies with the tail coordinate: per-entry
-            // divisions, still a linear pass over the cached slice.
-            for b in base..end {
-                let j_n = core_idx[b * order + last];
-                let a = a_row_old[j_n];
-                if a != 0.0 {
-                    delta[j_n] += pres[b] / a;
-                } else {
-                    delta[j_n] += fallback_product(
-                        core_vals[b],
-                        &core_idx[b * order..(b + 1) * order],
-                        others,
-                        mode,
-                        factors,
-                    );
+            // The divisor varies with the tail coordinate. For a
+            // contiguous tail (dense cores always), the run is one
+            // vectorizable `δ[t] += pres[t] / a_old[t]` pass — the `simd`
+            // feature's `_mm256_div_pd` path with the zero-divisor lanes
+            // blended out — and only runs that actually hit a zero divisor
+            // rescan for the direct-product fallback (the paper's caveat).
+            let len = end - base;
+            let t0 = core_idx[base * order + last];
+            let contiguous = core_idx[(end - 1) * order + last] - t0 + 1 == len;
+            if contiguous {
+                if div_add_nonzero(
+                    &mut delta[t0..t0 + len],
+                    &pres[base..end],
+                    &a_row_old[t0..t0 + len],
+                ) {
+                    for b in base..end {
+                        let j_n = core_idx[b * order + last];
+                        if a_row_old[j_n] == 0.0 {
+                            delta[j_n] += fallback_product(
+                                core_vals[b],
+                                &core_idx[b * order..(b + 1) * order],
+                                others,
+                                mode,
+                                factors,
+                            );
+                        }
+                    }
+                }
+            } else {
+                // Truncation gaps: per-entry divisions, still a linear
+                // pass over the cached slice.
+                for b in base..end {
+                    let j_n = core_idx[b * order + last];
+                    let a = a_row_old[j_n];
+                    if a != 0.0 {
+                        delta[j_n] += pres[b] / a;
+                    } else {
+                        delta[j_n] += fallback_product(
+                            core_vals[b],
+                            &core_idx[b * order..(b + 1) * order],
+                            others,
+                            mode,
+                            factors,
+                        );
+                    }
                 }
             }
         } else {

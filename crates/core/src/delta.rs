@@ -308,6 +308,183 @@ pub(crate) fn accumulate_delta_blocked(
     }
 }
 
+/// Reconstructs one observed entry, `x̂_α = Σ_β G_β Πₖ a⁽ᵏ⁾(iₖ, βₖ)`, with
+/// the **run-blocked micro-kernel**: one shared prefix product per run of
+/// core entries (all `N` factor rows pinned once — no mode is skipped
+/// here), the run tail a single contiguous [`dot`] of the packed core
+/// values against the tail factor row. This is the reconstruction inner
+/// loop of the residual `Σ (X_α − x̂_α)²` — structurally the same blocking
+/// as [`accumulate_delta_blocked`], accumulated into one scalar instead of
+/// a δ vector.
+///
+/// `runs` must be [`core_runs`] of the same core. Reads only the entry's
+/// COO multi-index and the factors, so the residual pass needs neither the
+/// execution plan nor any window — spilled fits compute it without
+/// touching their scratch files.
+#[inline]
+pub(crate) fn reconstruct_entry_blocked(
+    entry_idx: &[usize],
+    core_idx: &[usize],
+    core_vals: &[f64],
+    runs: &[u32],
+    factors: &[Matrix],
+) -> f64 {
+    let order = factors.len();
+    if order > MAX_PREFIX_ORDER {
+        return reconstruct_entry_scalar(entry_idx, core_idx, core_vals, factors);
+    }
+    let last = order - 1;
+    // Pin every factor row once: a⁽ᵏ⁾(iₖ, ·) for all k.
+    let mut rows: [&[f64]; MAX_PREFIX_ORDER] = [&[]; MAX_PREFIX_ORDER];
+    for (k, factor) in factors.iter().enumerate() {
+        rows[k] = factor.row(entry_idx[k]);
+    }
+    let tail_row = rows[last];
+    let mut prefix = [1.0f64; MAX_PREFIX_ORDER + 1];
+    let mut prev: &[usize] = &[];
+    let mut rec = 0.0;
+    for r in 0..runs.len() - 1 {
+        let base = runs[r] as usize;
+        let end = runs[r + 1] as usize;
+        let head = &core_idx[base * order..base * order + order];
+        let mut p = 0;
+        while p < prev.len() && prev[p] == head[p] {
+            p += 1;
+        }
+        for d in p..last {
+            prefix[d + 1] = prefix[d] * rows[d][head[d]];
+        }
+        prev = &head[..last];
+        let w = prefix[last];
+        if w == 0.0 {
+            continue;
+        }
+        let vals = &core_vals[base..end];
+        let len = end - base;
+        let t0 = core_idx[base * order + last];
+        let contiguous = core_idx[(end - 1) * order + last] - t0 + 1 == len;
+        let acc = if contiguous {
+            dot(vals, &tail_row[t0..t0 + len])
+        } else {
+            let mut acc = 0.0;
+            for (t, &g) in vals.iter().enumerate() {
+                acc += g * tail_row[core_idx[(base + t) * order + last]];
+            }
+            acc
+        };
+        rec += w * acc;
+    }
+    rec
+}
+
+/// Scalar per-core-entry reconstruction: the deep-order (> 16) fallback of
+/// [`reconstruct_entry_blocked`] and its equivalence baseline in tests.
+fn reconstruct_entry_scalar(
+    entry_idx: &[usize],
+    core_idx: &[usize],
+    core_vals: &[f64],
+    factors: &[Matrix],
+) -> f64 {
+    let order = entry_idx.len();
+    let mut rec = 0.0;
+    for (b, &g) in core_vals.iter().enumerate() {
+        let beta = &core_idx[b * order..(b + 1) * order];
+        let mut w = g;
+        for (k, factor) in factors.iter().enumerate() {
+            w *= factor[(entry_idx[k], beta[k])];
+            if w == 0.0 {
+                break;
+            }
+        }
+        rec += w;
+    }
+    rec
+}
+
+/// Like [`reconstruct_entry_blocked`], but also records each core entry's
+/// individual contribution `c_{αβ}` into `contrib` (size `|G|`) and
+/// returns their sum `x̂_α` — the quantities P-Tucker-Approx's partial
+/// reconstruction error `R(β)` (Eq. 13) needs per observed entry. One
+/// shared prefix per run; the run tail is a single fused
+/// multiply-and-accumulate pass over the packed core values and the tail
+/// factor row.
+#[inline]
+pub(crate) fn entry_contributions_blocked(
+    entry_idx: &[usize],
+    core_idx: &[usize],
+    core_vals: &[f64],
+    runs: &[u32],
+    factors: &[Matrix],
+    contrib: &mut [f64],
+) -> f64 {
+    let order = factors.len();
+    if order > MAX_PREFIX_ORDER {
+        let mut full = 0.0;
+        for (b, slot) in contrib.iter_mut().enumerate() {
+            let beta = &core_idx[b * order..(b + 1) * order];
+            let mut w = core_vals[b];
+            for (k, factor) in factors.iter().enumerate() {
+                w *= factor[(entry_idx[k], beta[k])];
+                if w == 0.0 {
+                    break;
+                }
+            }
+            *slot = w;
+            full += w;
+        }
+        return full;
+    }
+    let last = order - 1;
+    let mut rows: [&[f64]; MAX_PREFIX_ORDER] = [&[]; MAX_PREFIX_ORDER];
+    for (k, factor) in factors.iter().enumerate() {
+        rows[k] = factor.row(entry_idx[k]);
+    }
+    let tail_row = rows[last];
+    let mut prefix = [1.0f64; MAX_PREFIX_ORDER + 1];
+    let mut prev: &[usize] = &[];
+    let mut full = 0.0;
+    for r in 0..runs.len() - 1 {
+        let base = runs[r] as usize;
+        let end = runs[r + 1] as usize;
+        let head = &core_idx[base * order..base * order + order];
+        let mut p = 0;
+        while p < prev.len() && prev[p] == head[p] {
+            p += 1;
+        }
+        for d in p..last {
+            prefix[d + 1] = prefix[d] * rows[d][head[d]];
+        }
+        prev = &head[..last];
+        let w = prefix[last];
+        if w == 0.0 {
+            contrib[base..end].fill(0.0);
+            continue;
+        }
+        let vals = &core_vals[base..end];
+        let len = end - base;
+        let t0 = core_idx[base * order + last];
+        let contiguous = core_idx[(end - 1) * order + last] - t0 + 1 == len;
+        if contiguous {
+            for ((slot, &g), &a) in contrib[base..end]
+                .iter_mut()
+                .zip(vals)
+                .zip(&tail_row[t0..t0 + len])
+            {
+                let c = w * (g * a);
+                *slot = c;
+                full += c;
+            }
+        } else {
+            for (t, &g) in vals.iter().enumerate() {
+                let c = w * (g * tail_row[core_idx[(base + t) * order + last]]);
+                contrib[base + t] = c;
+                full += c;
+            }
+        }
+    }
+    full
+}
+
 /// Rank-1 accumulation of the normal equations for one observed entry:
 /// `B += δδᵀ` (upper triangle only) and `c += x·δ` — expressed as the
 /// `axpy`/`syr` micro-kernel primitives so the accumulation rides the same
@@ -603,6 +780,55 @@ mod tests {
                 .collect();
             let entry: Vec<usize> = i_dims.iter().map(|&d| rng.gen_range(0..d)).collect();
             let runs = core_runs(core.flat_indices(), order);
+            // The run-blocked reconstruction and per-entry contributions
+            // (the error / R(β) micro-kernels) must match the scalar walk.
+            {
+                let scalar = reconstruct_entry_scalar(
+                    &entry,
+                    core.flat_indices(),
+                    core.values(),
+                    &factors,
+                );
+                let blocked = reconstruct_entry_blocked(
+                    &entry,
+                    core.flat_indices(),
+                    core.values(),
+                    &runs,
+                    &factors,
+                );
+                prop_assert!(
+                    (blocked - scalar).abs() < 1e-12 * (1.0 + scalar.abs()),
+                    "reconstruct: {} vs {}",
+                    blocked,
+                    scalar
+                );
+                let mut contrib = vec![0.0; core.nnz()];
+                let full = entry_contributions_blocked(
+                    &entry,
+                    core.flat_indices(),
+                    core.values(),
+                    &runs,
+                    &factors,
+                    &mut contrib,
+                );
+                let mut sum = 0.0;
+                for (b, &c) in contrib.iter().enumerate() {
+                    let beta = core.index(b);
+                    let mut w = core.value(b);
+                    for (k, factor) in factors.iter().enumerate() {
+                        w *= factor[(entry[k], beta[k])];
+                    }
+                    prop_assert!(
+                        (c - w).abs() < 1e-12 * (1.0 + w.abs()),
+                        "contrib[{}]: {} vs {}",
+                        b,
+                        c,
+                        w
+                    );
+                    sum += c;
+                }
+                prop_assert!((full - sum).abs() < 1e-9 * (1.0 + sum.abs()));
+            }
             for mode in 0..order {
                 let j = core.dims()[mode];
                 let mut gather = vec![0.0; j];

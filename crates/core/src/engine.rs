@@ -37,12 +37,12 @@
 //! once per fit and metered against the memory budget; the run structure
 //! is computed once per mode sweep in [`ModeContext::new`].
 
-use crate::cache::PresTable;
+use crate::cache::{cached_delta_for_entry, PresTable, SpilledPresTable};
 use crate::delta::{accumulate_delta_blocked, accumulate_normal_eq, core_runs};
 use crate::{approx, FitOptions, Result};
 use ptucker_linalg::{cholesky_solve_in_place, lu_solve_in_place, Matrix};
 use ptucker_memtrack::Reservation;
-use ptucker_tensor::{CoreTensor, ModeStream, ModeStreams, SparseTensor};
+use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor, StreamView, SweepSource, Window};
 
 /// Per-thread scratch arena for the row update: every buffer the inner loop
 /// touches, allocated once and reused for every row the owning worker
@@ -155,16 +155,22 @@ impl Scratch {
     }
 }
 
-/// Shared, read-only context for one mode's row sweep.
+/// Shared, read-only context for one window of one mode's row sweep.
 ///
-/// Built once per `update_factor` call and borrowed by every row closure;
+/// Built once per window (once per mode for an in-memory fit, whose sweep
+/// is a single full-stream window) and borrowed by every row closure;
 /// `factors[mode]` is empty during the sweep (its storage is the row data
 /// being updated), which is safe because δ products skip `k == mode`.
 #[derive(Debug)]
 pub struct ModeContext<'a> {
-    /// The mode's streamed slice layout (values + packed other-mode
-    /// indices, slice-major).
-    pub stream: &'a ModeStream,
+    /// The window's streamed slice layout (values + packed other-mode
+    /// indices, slice-major; slices and positions window-local).
+    pub stream: StreamView<'a>,
+    /// Global stream position of the view's local position 0. Kernels with
+    /// fit-wide per-position state in stream order (the resident `Pres`
+    /// table) address it at `base + local`; for a full-stream view this is
+    /// 0 and local positions *are* global.
+    pub base: usize,
     /// All factor matrices (`factors[mode]` emptied for the sweep).
     pub factors: &'a [Matrix],
     /// The core's flat index storage (`|G| × N`, lexicographic order).
@@ -188,7 +194,7 @@ pub struct ModeContext<'a> {
 
 impl<'a> ModeContext<'a> {
     /// Assembles the context for updating `factors[mode]` on a fully
-    /// resident plan.
+    /// resident plan (one full-stream window; positions global).
     pub fn new(
         plan: &'a ModeStreams,
         factors: &'a [Matrix],
@@ -196,15 +202,16 @@ impl<'a> ModeContext<'a> {
         mode: usize,
         opts: &FitOptions,
     ) -> Self {
-        Self::for_stream(plan.mode(mode), factors, core, mode, opts)
+        Self::for_view(plan.mode(mode).view(), 0, factors, core, mode, opts)
     }
 
-    /// Assembles the context for a sweep over an arbitrary [`ModeStream`]
-    /// view of `mode` — the whole resident stream, or one slice-aligned
-    /// window of a spilled plan (`ptucker_tensor::SliceWindows`), whose
-    /// slices and positions are then window-local.
-    pub fn for_stream(
-        stream: &'a ModeStream,
+    /// Assembles the context for a sweep over an arbitrary [`StreamView`]
+    /// of `mode` — the whole resident stream, or one slice-aligned window
+    /// of any [`SweepSource`], whose slices and positions are then
+    /// window-local with global position `base + local`.
+    pub fn for_view(
+        stream: StreamView<'a>,
+        base: usize,
         factors: &'a [Matrix],
         core: &'a CoreTensor,
         mode: usize,
@@ -212,6 +219,7 @@ impl<'a> ModeContext<'a> {
     ) -> Self {
         Self::with_runs(
             stream,
+            base,
             factors,
             core,
             mode,
@@ -220,12 +228,13 @@ impl<'a> ModeContext<'a> {
         )
     }
 
-    /// [`ModeContext::for_stream`] with a precomputed run structure — for
-    /// callers that sweep many stream views of the same mode (the windowed
-    /// driver: one context per window) and compute `core_runs` once for
-    /// the whole sweep. `runs` must be `core_runs` of this `core`.
+    /// [`ModeContext::for_view`] with a precomputed run structure — for
+    /// the fit driver, which sweeps many windows of the same mode and
+    /// computes `core_runs` once for the whole sweep. `runs` must be
+    /// `core_runs` of this `core`.
     pub(crate) fn with_runs(
-        stream: &'a ModeStream,
+        stream: StreamView<'a>,
+        base: usize,
         factors: &'a [Matrix],
         core: &'a CoreTensor,
         mode: usize,
@@ -238,6 +247,7 @@ impl<'a> ModeContext<'a> {
         );
         ModeContext {
             stream,
+            base,
             factors,
             core_idx: core.flat_indices(),
             core_vals: core.values(),
@@ -254,15 +264,30 @@ impl<'a> ModeContext<'a> {
 /// hooks. The fit driver is generic over this trait, so each variant's
 /// inner loop is monomorphized — adding a variant means implementing this
 /// trait, not editing the solver.
+///
+/// There is exactly **one** fit driver: every mode sweep iterates the
+/// slice-aligned windows of a [`SweepSource`] (a single full-stream window
+/// for an in-memory fit). Kernels with fit-wide per-position state
+/// therefore get two window-shaped hooks alongside the classic lifecycle:
+/// [`RowUpdateKernel::begin_window`] (page in the matching state tile) and
+/// the `sweep` handle threaded through `prepare_fit`/`post_mode` (stream
+/// spilled state tile-at-a-time). Kernels without such state — Direct,
+/// Approx — implement none of them; the defaults are no-ops.
 pub trait RowUpdateKernel: Sync {
     /// One-time setup before the first iteration (e.g. the Cache variant's
     /// `|Ω|×|G|` table precompute — the step that can exceed the memory
-    /// budget). `plan` is the fit's mode-major execution plan; kernels that
-    /// keep per-entry state in stream order lay it out here.
+    /// budget). `plan` is the fit's mode-major execution plan; kernels
+    /// that keep per-entry state in stream order lay it out here. `sweep`
+    /// is the fit's shared window source (rewind it as needed);
+    /// `spill_aux` is the placement gate's verdict on this kernel's
+    /// auxiliary state — `true` means it must go to disk (the plan is
+    /// spilled, or the state alone overflows a Spill-policy budget:
+    /// **hybrid spilling**).
     ///
     /// # Errors
-    /// [`crate::PtuckerError::OutOfMemory`] if the kernel's auxiliary state
-    /// exceeds the intermediate-data budget.
+    /// [`crate::PtuckerError::OutOfMemory`] if the kernel's resident
+    /// auxiliary state exceeds the intermediate-data budget, or
+    /// [`crate::PtuckerError::Tensor`] on spilled-state I/O failure.
     fn prepare_fit(
         &mut self,
         _x: &SparseTensor,
@@ -270,6 +295,8 @@ pub trait RowUpdateKernel: Sync {
         _factors: &[Matrix],
         _core: &CoreTensor,
         _opts: &FitOptions,
+        _sweep: &mut SweepSource<'_>,
+        _spill_aux: bool,
     ) -> Result<()> {
         Ok(())
     }
@@ -293,11 +320,24 @@ pub trait RowUpdateKernel: Sync {
         Ok(())
     }
 
+    /// Called for each window of a mode's sweep, before its (parallel) row
+    /// updates — kernels with spilled per-position state page in the
+    /// matching tile here. Windows arrive sequentially, so `&mut self` is
+    /// sound; an in-memory fit calls this exactly once per mode with the
+    /// full-stream window.
+    ///
+    /// # Errors
+    /// Kernel-specific (tile I/O); the default never fails.
+    fn begin_window(&mut self, _w: &Window<'_>) -> Result<()> {
+        Ok(())
+    }
+
     /// Updates one factor row in place (Algorithm 3 lines 5–15): accumulate
     /// the normal equations over the row's observed slice into `scratch`,
     /// then solve into `row`. On entry `row` holds the *old* row values
-    /// (the cached kernel reads them as divisors). Returns `false` if the
-    /// system was exactly singular (only possible with `lambda == 0`).
+    /// (the cached kernel reads them as divisors). `i` and the context's
+    /// stream are window-local. Returns `false` if the system was exactly
+    /// singular (only possible with `lambda == 0`).
     ///
     /// Must not allocate: everything lives in `scratch`.
     fn update_row(
@@ -310,7 +350,11 @@ pub trait RowUpdateKernel: Sync {
 
     /// Called after `factors[mode]` has been replaced with its updated
     /// values (e.g. the Cache variant rescales its table here and carries
-    /// it into the next mode's stream order).
+    /// it into the next mode's stream order, windowed through `sweep` when
+    /// the table is spilled).
+    ///
+    /// # Errors
+    /// Kernel-specific (spilled-state I/O); the default never fails.
     fn post_mode(
         &mut self,
         _x: &SparseTensor,
@@ -319,7 +363,9 @@ pub trait RowUpdateKernel: Sync {
         _mode: usize,
         _core: &CoreTensor,
         _opts: &FitOptions,
-    ) {
+        _sweep: &mut SweepSource<'_>,
+    ) -> Result<()> {
+        Ok(())
     }
 
     /// Called once per outer iteration after the reconstruction error is
@@ -407,6 +453,19 @@ impl RowUpdateKernel for DirectKernel {
     }
 }
 
+/// Where a [`CachedKernel`]'s `Pres` table lives — decided once per fit by
+/// the placement gate.
+#[derive(Debug)]
+enum TableStore {
+    /// The full `|Ω|×|G|` table resident (the paper's setting).
+    Resident(PresTable),
+    /// The table in its own scratch file, one window-sized tile resident
+    /// at a time — used whenever the plan itself is spilled, **or** when
+    /// the plan fits but the table alone overflows the budget (hybrid
+    /// spilling).
+    Spilled(SpilledPresTable),
+}
+
 /// The P-Tucker-Cache kernel: owns the `Pres` table of all
 /// `(entry, core-entry)` products, replacing the `N−1` multiplications per
 /// pair with one division (Theorem 5) at `O(|Ω|·|G|)` memory (Theorem 6).
@@ -418,9 +477,16 @@ impl RowUpdateKernel for DirectKernel {
 /// *next* mode's stream order — no second table-sized buffer, so
 /// Theorem 6's memory bound is preserved (see
 /// `PresTable::rescale_and_reorder`).
+///
+/// When the placement gate rules the table out of RAM it spills to its own
+/// scratch file: [`RowUpdateKernel::begin_window`]
+/// pages in each window's tile, and the rescale+reorder runs
+/// tile-at-a-time into a ping-pong file region. The per-row arithmetic
+/// (`cache::cached_delta_for_entry`) is shared between both placements, so
+/// resident, hybrid-spilled and fully spilled fits agree **bitwise**.
 #[derive(Debug, Default)]
 pub struct CachedKernel {
-    table: Option<PresTable>,
+    table: Option<TableStore>,
     /// Pre-update snapshot of the mode's factor, for the table rescale.
     old_factor: Option<Matrix>,
 }
@@ -440,15 +506,28 @@ impl RowUpdateKernel for CachedKernel {
         factors: &[Matrix],
         core: &CoreTensor,
         opts: &FitOptions,
+        sweep: &mut SweepSource<'_>,
+        spill_aux: bool,
     ) -> Result<()> {
-        self.table = Some(PresTable::compute(
-            x,
-            plan,
-            factors,
-            core,
-            opts.threads,
-            &opts.budget,
-        )?);
+        self.table = Some(if spill_aux {
+            TableStore::Spilled(SpilledPresTable::compute(
+                x,
+                factors,
+                core,
+                opts.threads,
+                &opts.budget,
+                sweep,
+            )?)
+        } else {
+            TableStore::Resident(PresTable::compute(
+                x,
+                plan,
+                factors,
+                core,
+                opts.threads,
+                &opts.budget,
+            )?)
+        });
         Ok(())
     }
 
@@ -462,11 +541,24 @@ impl RowUpdateKernel for CachedKernel {
         _opts: &FitOptions,
     ) -> Result<()> {
         self.old_factor = Some(factors[mode].clone());
-        // No-op in the driver's cyclic sweep (post_mode already left the
-        // table in this mode's order); re-aligns it for direct API users
-        // that sweep modes in other patterns.
-        if let Some(table) = self.table.as_mut() {
-            table.ensure_order(x, plan, mode);
+        match self.table.as_mut() {
+            // No-op in the driver's cyclic sweep (post_mode already left
+            // the table in this mode's order); re-aligns it for direct API
+            // users that sweep modes in other patterns.
+            Some(TableStore::Resident(table)) => table.ensure_order(x, plan, mode),
+            Some(TableStore::Spilled(table)) => debug_assert_eq!(
+                table.order_mode(),
+                mode,
+                "the driver sweeps cyclically, so the spilled table is pre-aligned"
+            ),
+            None => {}
+        }
+        Ok(())
+    }
+
+    fn begin_window(&mut self, w: &Window<'_>) -> Result<()> {
+        if let Some(TableStore::Spilled(table)) = self.table.as_mut() {
+            table.load_tile(w.base, w.stream.len())?;
         }
         Ok(())
     }
@@ -485,18 +577,32 @@ impl RowUpdateKernel for CachedKernel {
         run_row(ctx, scratch, i, row, |delta, pos, others, old_row| {
             // Stream-ordered table: position `pos` of the sweep owns row
             // `pos` of the table, so the whole sweep reads the |Ω|×|G|
-            // doubles strictly sequentially.
-            table.accumulate_delta_cached(
-                delta,
-                pos,
-                others,
-                ctx.mode,
-                old_row,
-                ctx.core_idx,
-                ctx.core_vals,
-                &ctx.runs,
-                ctx.factors,
-            )
+            // doubles strictly sequentially. A resident table is addressed
+            // globally; a spilled tile is window-local like `pos` itself.
+            match table {
+                TableStore::Resident(t) => t.accumulate_delta_cached(
+                    delta,
+                    ctx.base + pos,
+                    others,
+                    ctx.mode,
+                    old_row,
+                    ctx.core_idx,
+                    ctx.core_vals,
+                    &ctx.runs,
+                    ctx.factors,
+                ),
+                TableStore::Spilled(t) => cached_delta_for_entry(
+                    delta,
+                    t.tile_row(pos),
+                    others,
+                    ctx.mode,
+                    old_row,
+                    ctx.core_idx,
+                    ctx.core_vals,
+                    &ctx.runs,
+                    ctx.factors,
+                ),
+            }
         })
     }
 
@@ -508,15 +614,33 @@ impl RowUpdateKernel for CachedKernel {
         mode: usize,
         core: &CoreTensor,
         opts: &FitOptions,
-    ) {
+        sweep: &mut SweepSource<'_>,
+    ) -> Result<()> {
         let old = self
             .old_factor
             .take()
             .expect("CachedKernel::prepare_mode must run before post_mode");
-        if let Some(table) = self.table.as_mut() {
-            let next = (mode + 1) % plan.order();
-            table.rescale_and_reorder(x, plan, factors, &old, mode, next, core, opts.threads);
+        let next = (mode + 1) % plan.order();
+        match self.table.as_mut() {
+            Some(TableStore::Resident(table)) => {
+                table.rescale_and_reorder(x, plan, factors, &old, mode, next, core, opts.threads);
+            }
+            Some(TableStore::Spilled(table)) => {
+                table.rescale_and_reorder(
+                    x,
+                    plan,
+                    factors,
+                    &old,
+                    mode,
+                    next,
+                    core,
+                    opts.threads,
+                    sweep,
+                )?;
+            }
+            None => {}
         }
+        Ok(())
     }
 }
 
@@ -549,14 +673,22 @@ impl RowUpdateKernel for ApproxKernel {
         _factors: &[Matrix],
         core: &CoreTensor,
         opts: &FitOptions,
+        sweep: &mut SweepSource<'_>,
+        _spill_aux: bool,
     ) -> Result<()> {
         // Approx folds per-thread R(β)/contribution buffers on top of the
         // row scratch (both |G|-sized). At rate 0 `post_iter` never
         // computes R(β), so reserving would make the degenerate variant
         // OOM (and report peak memory) differently from the bit-identical
-        // Direct fit.
+        // Direct fit. On a spilled plan the buffers are part of the
+        // out-of-core path's irreducible floor: booked, but unfailing.
         if self.truncation_rate > 0.0 {
-            self._scratch = Some(opts.budget.reserve_f64(opts.threads * 2 * core.nnz())?);
+            let doubles = opts.threads * 2 * core.nnz();
+            self._scratch = Some(if sweep.is_spilled() {
+                opts.budget.reserve_unchecked(doubles * 8)
+            } else {
+                opts.budget.reserve_f64(doubles)?
+            });
         }
         Ok(())
     }
@@ -605,6 +737,8 @@ impl RowUpdateKernel for GatherReferenceKernel {
         _factors: &[Matrix],
         _core: &CoreTensor,
         _opts: &FitOptions,
+        _sweep: &mut SweepSource<'_>,
+        _spill_aux: bool,
     ) -> Result<()> {
         self.x = Some(x.clone());
         Ok(())
@@ -745,8 +879,9 @@ mod tests {
         let (x, factors, core, opts) = setup();
         let plan = ModeStreams::build(&x).unwrap();
         let mut cached = CachedKernel::new();
+        let mut sweep = plan.sweep_source(0, usize::MAX, false);
         cached
-            .prepare_fit(&x, &plan, &factors, &core, &opts)
+            .prepare_fit(&x, &plan, &factors, &core, &opts, &mut sweep, false)
             .unwrap();
         let mut s1 = Scratch::for_options(&opts);
         let mut s2 = Scratch::for_options(&opts);

@@ -32,14 +32,19 @@
 //!   are physically reordered slice-by-slice, so a row update streams
 //!   through contiguous memory instead of gathering per-entry through COO
 //!   entry ids. The plan is derived from COO once per fit (COO stays the
-//!   source of truth) and metered against the [`MemoryBudget`]; it is the
-//!   substrate every future backend (SIMD δ, out-of-core streams, sharded
-//!   fits) consumes.
-//! * **Engine** ([`engine`]): the kernel-generic fit driver. `PTucker::fit`
-//!   matches [`Variant`] exactly once, picks a kernel, and hands it to a
-//!   fit loop that is *generic over the kernel type* — the per-row code is
-//!   monomorphized, with no variant branching inside the loop. Row sweeps
-//!   are parallelized with either the paper's dynamic schedule or
+//!   source of truth) and metered against the [`MemoryBudget`]; its
+//!   storage is resident or spilled to a scratch file, and either
+//!   placement is swept through the same `ptucker_tensor::SweepSource`
+//!   abstraction.
+//! * **Engine** ([`engine`]): the kernel-generic fit driver — there is
+//!   exactly **one**. `PTucker::fit` matches [`Variant`] exactly once,
+//!   picks a kernel, and hands it to a fit loop that is *generic over the
+//!   kernel type* — the per-row code is monomorphized, with no variant
+//!   branching inside the loop. Every mode sweep iterates the
+//!   slice-aligned windows of a `SweepSource`; an in-memory fit's sweep
+//!   is a single zero-copy full-stream window, so "in-memory" and
+//!   "out-of-core" are placements of one loop, not two drivers. Row
+//!   sweeps are parallelized with either the paper's dynamic schedule or
 //!   nnz-balanced static blocks (`ptucker_sched::weighted_blocks`), both
 //!   addressing the same `|Ω⁽ⁿ⁾ᵢ|` skew.
 //! * **Kernels** ([`engine::RowUpdateKernel`]): one implementation per
@@ -76,17 +81,21 @@
 //!   allocations**. The solves themselves run through
 //!   `ptucker_linalg`'s in-place `cholesky_solve_in_place` /
 //!   `lu_solve_in_place` on those buffers.
-//! * **Out-of-core execution** (`window`, private): when the in-memory
-//!   working set — plan, scratch, the Cache table — exceeds the
-//!   [`MemoryBudget`] and its policy is [`BudgetPolicy::Spill`] (the
-//!   default), [`PTucker::fit`] transparently spills the plan (and
-//!   table) to unlinked scratch files and sweeps each mode in
-//!   slice-aligned windows (`ptucker_tensor::SliceWindows`), one pinned
-//!   buffer resident at a time. The per-row code is the same
-//!   monomorphized kernel path, so the windowed fit reproduces the
-//!   in-memory trajectory bitwise; `FitStats::peak_spilled_bytes`
-//!   reports the disk footprint. [`BudgetPolicy::Strict`] restores the
-//!   paper's hard O.O.M. boundary.
+//! * **Placement** (the gate in `als`): when the in-memory working set —
+//!   plan, scratch, the Cache table — exceeds the [`MemoryBudget`] and
+//!   its policy is [`BudgetPolicy::Spill`] (the default),
+//!   [`PTucker::fit`] transparently moves exactly as much as overflows
+//!   to unlinked scratch files: the Cache table alone when the plan
+//!   still fits (**hybrid spilling** — sweeps then window zero-copy
+//!   views of the resident plan at the table's tile granularity), or
+//!   the plan and table both. Spilled plan windows refill pinned
+//!   buffers, **double-buffered** with a background prefetch thread
+//!   when the windows are large enough to amortize it. The per-row code
+//!   is the same monomorphized kernel path on every placement, so
+//!   spilled and hybrid fits reproduce the resident trajectory bitwise;
+//!   `FitStats::peak_spilled_bytes` reports the disk footprint.
+//!   [`BudgetPolicy::Strict`] restores the paper's hard O.O.M.
+//!   boundary.
 //!
 //! # Example
 //!
@@ -178,7 +187,6 @@ pub mod engine;
 mod error;
 mod options;
 mod stats;
-mod window;
 
 pub use als::PTucker;
 pub use decomposition::TuckerDecomposition;

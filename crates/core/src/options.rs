@@ -68,6 +68,13 @@ pub struct FitOptions {
     /// Extension (paper future work): during factor updates, use every
     /// `sample_stride`-th observed entry of each slice (1 = use all).
     pub sample_stride: usize,
+    /// Out-of-core fits only: overlap each window's scratch-file read with
+    /// the previous window's row updates (a second pinned buffer + a
+    /// background refill thread — both buffers are counted against the
+    /// budget). On by default; the driver still reads synchronously when
+    /// windows are too small to amortize the hand-off. Never changes
+    /// results — spilled sweeps are bitwise identical either way.
+    pub prefetch: bool,
 }
 
 impl FitOptions {
@@ -87,6 +94,7 @@ impl FitOptions {
             budget: MemoryBudget::default(),
             refit_core: false,
             sample_stride: 1,
+            prefetch: true,
         }
     }
 
@@ -147,6 +155,13 @@ impl FitOptions {
     /// Sets the observed-entry sampling stride (1 = no sampling).
     pub fn sample_stride(mut self, stride: usize) -> Self {
         self.sample_stride = stride;
+        self
+    }
+
+    /// Enables/disables the double-buffered window prefetch of out-of-core
+    /// fits (on by default; irrelevant to fits that stay resident).
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
         self
     }
 
@@ -227,6 +242,7 @@ mod tests {
         assert_eq!(o.max_iters, 20);
         assert_eq!(o.sample_stride, 1);
         assert!(!o.refit_core);
+        assert!(o.prefetch);
         assert!(o.validate().is_ok());
     }
 

@@ -8,7 +8,10 @@
 //! * [`axpy`] — `y += α·x`, the per-run δ scatter when it is (and the rows
 //!   of [`syr_in_place`]),
 //! * [`syr_in_place`] — the triangular rank-1 update `B += δδᵀ`,
-//! * [`hadamard_in_place`] — `y *= x`, CP-ALS's whole-row δ product.
+//! * [`hadamard_in_place`] — `y *= x`, CP-ALS's whole-row δ product,
+//! * [`div_add_nonzero`] — `y += num/den` with zero divisors skipped, the
+//!   P-Tucker-Cache cached-δ divide (`_mm256_div_pd` with a compare/blend
+//!   for the zero-divisor lanes on the SIMD path).
 //!
 //! [`dot`] and [`axpy`] — the primitives the hot loops spend their time
 //! in — each have two implementations behind one safe entry point:
@@ -92,6 +95,47 @@ pub fn hadamard_in_place(y: &mut [f64], x: &[f64]) {
     }
 }
 
+/// `y[i] += num[i] / den[i]` wherever `den[i] != 0`, skipping zero
+/// divisors; returns whether any divisor was zero — the P-Tucker-Cache
+/// cached-δ inner loop (Theorem 5's one-division-per-pair), whose
+/// zero-divisor positions the *caller* patches with the direct-product
+/// fallback (the paper's explicit caveat).
+///
+/// The AVX2 path (`simd` feature) does the whole quotient with
+/// `_mm256_div_pd` and a compare/blend that restores the *original* `y`
+/// in the lanes whose divisor is zero; the scalar path branches per
+/// element. Both add exactly one rounded quotient per nonzero-divisor
+/// element — and leave zero-divisor slots bitwise untouched (sign of
+/// `-0.0` included) — in the same element order, so the two paths are
+/// bitwise identical (division has no FMA contraction to diverge on).
+///
+/// # Panics
+/// Debug-asserts `num.len() == den.len()` and `num.len() <= y.len()`.
+#[inline]
+pub fn div_add_nonzero(y: &mut [f64], num: &[f64], den: &[f64]) -> bool {
+    debug_assert_eq!(num.len(), den.len());
+    debug_assert!(num.len() <= y.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if let Some(saw_zero) = avx2::try_div_add_nonzero(y, num, den) {
+        return saw_zero;
+    }
+    div_add_nonzero_scalar(y, num, den)
+}
+
+/// The scalar divide-add: per-element branch on the divisor.
+#[inline]
+fn div_add_nonzero_scalar(y: &mut [f64], num: &[f64], den: &[f64]) -> bool {
+    let mut saw_zero = false;
+    for ((yi, &n), &d) in y.iter_mut().zip(num).zip(den) {
+        if d != 0.0 {
+            *yi += n / d;
+        } else {
+            saw_zero = true;
+        }
+    }
+    saw_zero
+}
+
 /// The autovectorizable scalar dot: four independent accumulator lanes
 /// over 4-element blocks, reduced in the same `(l₀+l₂)+(l₁+l₃)` order as
 /// the SIMD path's horizontal sum.
@@ -127,9 +171,10 @@ fn axpy_scalar(alpha: f64, x: &[f64], y: &mut [f64]) {
 #[allow(unsafe_code)]
 mod avx2 {
     use std::arch::x86_64::{
-        __m256d, _mm256_castpd256_pd128, _mm256_extractf128_pd, _mm256_fmadd_pd, _mm256_loadu_pd,
+        __m256d, _mm256_add_pd, _mm256_blendv_pd, _mm256_castpd256_pd128, _mm256_cmp_pd,
+        _mm256_div_pd, _mm256_extractf128_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_movemask_pd,
         _mm256_set1_pd, _mm256_setzero_pd, _mm256_storeu_pd, _mm_add_pd, _mm_add_sd, _mm_cvtsd_f64,
-        _mm_unpackhi_pd,
+        _mm_unpackhi_pd, _CMP_EQ_OQ,
     };
 
     /// Whether this CPU supports the AVX2+FMA path. `std` caches the
@@ -185,6 +230,47 @@ mod avx2 {
             tail = a[i].mul_add(b[i], tail);
         }
         hsum(acc) + tail
+    }
+
+    /// Safe dispatch for the cached-δ divide: performs the masked
+    /// `y += num/den` and returns `Some(saw_zero)` on AVX2+FMA CPUs,
+    /// leaves `y` untouched and returns `None` otherwise.
+    #[inline]
+    pub(super) fn try_div_add_nonzero(y: &mut [f64], num: &[f64], den: &[f64]) -> Option<bool> {
+        // SAFETY: `enabled` verified AVX2+FMA support on this CPU.
+        enabled().then(|| unsafe { div_add_nonzero(y, num, den) })
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA (callers check [`enabled`]).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn div_add_nonzero(y: &mut [f64], num: &[f64], den: &[f64]) -> bool {
+        let n = num.len().min(den.len()).min(y.len());
+        let blocks = n / 4;
+        let zero = _mm256_setzero_pd();
+        let mut zero_lanes = 0i32;
+        for i in 0..blocks {
+            let vn = _mm256_loadu_pd(num.as_ptr().add(i * 4));
+            let vd = _mm256_loadu_pd(den.as_ptr().add(i * 4));
+            let vy = _mm256_loadu_pd(y.as_ptr().add(i * 4));
+            // Quotient + add everywhere (0-divisor lanes produce ±inf/NaN),
+            // then blend the *original* y back into those lanes — leaving
+            // them untouched exactly like the scalar branch does (an added
+            // +0.0 would flip a -0.0 accumulator's sign bit).
+            let mask = _mm256_cmp_pd::<_CMP_EQ_OQ>(vd, zero);
+            let sum = _mm256_add_pd(vy, _mm256_div_pd(vn, vd));
+            zero_lanes |= _mm256_movemask_pd(mask);
+            _mm256_storeu_pd(y.as_mut_ptr().add(i * 4), _mm256_blendv_pd(sum, vy, mask));
+        }
+        let mut saw_zero = zero_lanes != 0;
+        for i in blocks * 4..n {
+            if den[i] != 0.0 {
+                y[i] += num[i] / den[i];
+            } else {
+                saw_zero = true;
+            }
+        }
+        saw_zero
     }
 
     /// # Safety
@@ -264,6 +350,55 @@ mod tests {
         let mut y = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         hadamard_in_place(&mut y, &[2.0, 0.5, -1.0, 0.0]);
         assert_eq!(y, vec![2.0, 1.0, -3.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn div_add_skips_zero_divisors_and_reports_them() {
+        // Lengths straddling the 4-lane blocks, zeros in both the vector
+        // body and the tail.
+        for n in [1usize, 3, 4, 5, 8, 11, 16, 19] {
+            let num: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 0.75).collect();
+            let den: Vec<f64> = (0..n)
+                .map(|i| if i % 3 == 1 { 0.0 } else { i as f64 - 4.5 })
+                .collect();
+            let mut y: Vec<f64> = (0..n).map(|i| 0.25 * i as f64).collect();
+            let mut want = y.clone();
+            let mut want_zero = false;
+            for i in 0..n {
+                if den[i] != 0.0 {
+                    want[i] += num[i] / den[i];
+                } else {
+                    want_zero = true;
+                }
+            }
+            let saw_zero = div_add_nonzero(&mut y, &num, &den);
+            assert_eq!(saw_zero, want_zero, "n={n}");
+            for (g, w) in y.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn div_add_all_nonzero_reports_false() {
+        let mut y = vec![1.0; 6];
+        let saw = div_add_nonzero(&mut y, &[2.0; 6], &[4.0; 6]);
+        assert!(!saw);
+        assert!(y.iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn div_add_leaves_zero_divisor_slots_bitwise_untouched() {
+        // A zero divisor must leave y exactly as it was — even a -0.0,
+        // whose sign bit an added +0.0 would flip. Covers vector-body and
+        // tail lanes on both code paths.
+        let mut y = vec![-0.0f64; 7];
+        let num = vec![1.0; 7];
+        let den = vec![0.0; 7];
+        assert!(div_add_nonzero(&mut y, &num, &den));
+        for v in &y {
+            assert_eq!(v.to_bits(), (-0.0f64).to_bits());
+        }
     }
 
     #[test]

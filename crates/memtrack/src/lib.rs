@@ -36,8 +36,9 @@
 //!   (the default) or hard-fail like the paper's O.O.M. boundaries
 //!   ([`BudgetPolicy::Strict`]). The policy does **not** change how
 //!   [`MemoryBudget::reserve`] behaves — it is a contract consulted by the
-//!   solver when *deciding between* the in-memory and the spilled execution
-//!   plans.
+//!   solver's *placement gate*, which spills only what overflows: the
+//!   whole execution plan, or just a variant's auxiliary table (hybrid
+//!   spilling) when the plan itself still fits.
 //! * File-backed bytes are accounted separately from resident bytes:
 //!   [`MemoryBudget::record_spill`] tracks them without counting against
 //!   the RAM budget (disk is not the scarce resource Definition 7 is

@@ -146,6 +146,33 @@ impl ScratchFile {
         Ok(())
     }
 
+    /// Writes raw bytes at byte `offset` — for interleaved record
+    /// sections whose typed layout the caller owns. One lock + seek +
+    /// write per call, no conversion buffer.
+    ///
+    /// # Errors
+    /// Any I/O error from the write.
+    pub fn write_bytes(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("scratch lock");
+        inner.file.seek(SeekFrom::Start(offset))?;
+        inner.file.write_all(data)?;
+        inner.len = inner.len.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    /// Fills `out` with raw bytes from byte `offset` — the read half of
+    /// [`ScratchFile::write_bytes`]: one lock + seek + read straight into
+    /// the caller's buffer, which is what makes an interleaved window
+    /// refill a single syscall instead of one per section.
+    ///
+    /// # Errors
+    /// Any I/O error, including reading past the end of the file.
+    pub fn read_bytes(&self, offset: u64, out: &mut [u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("scratch lock");
+        inner.file.seek(SeekFrom::Start(offset))?;
+        inner.file.read_exact(out)
+    }
+
     /// Appends `data` and returns the byte offset it starts at.
     ///
     /// # Errors
@@ -270,6 +297,21 @@ mod tests {
         let mut back = [0.0; 4];
         f.read_f64s(region, &mut back).unwrap();
         assert_eq!(back, [11.0, 22.0, 23.0, 33.0]);
+    }
+
+    #[test]
+    fn raw_byte_sections_roundtrip() {
+        let f = ScratchFile::create().unwrap();
+        let region = f.reserve_region(64).unwrap();
+        let rec: Vec<u8> = (0..40u8).collect();
+        f.write_bytes(region + 8, &rec).unwrap();
+        let mut back = vec![0u8; 40];
+        f.read_bytes(region + 8, &mut back).unwrap();
+        assert_eq!(back, rec);
+        assert!(f.len() >= 48);
+        // Reading past the end errors like the typed readers.
+        let mut over = vec![0u8; 128];
+        assert!(f.read_bytes(region, &mut over).is_err());
     }
 
     #[test]

@@ -49,6 +49,86 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A dedicated background worker thread processing requests in FIFO order
+/// — the I/O half of a double-buffered pipeline.
+///
+/// The out-of-core fit path uses one of these per windowed sweeper: the
+/// main thread submits "refill this buffer from the scratch file" requests
+/// and computes on the *other* buffer while the worker reads, overlapping
+/// window I/O with the row sweep. The type is deliberately generic (any
+/// `Send` request/response) so other producers — a future shard
+/// all-reduce, asynchronous artifact writers — can reuse it.
+///
+/// Requests own everything they need (buffers move through the channel and
+/// come back in the response), so the worker holds no borrows and the
+/// thread is `'static`. Dropping the `Background` closes the request
+/// channel, lets the worker drain what is in flight, and joins it.
+///
+/// ```
+/// use ptucker_sched::Background;
+///
+/// let worker = Background::spawn(|x: u64| x * 2);
+/// worker.submit(21).unwrap();
+/// assert_eq!(worker.recv(), Some(42));
+/// ```
+#[derive(Debug)]
+pub struct Background<Req: Send + 'static, Resp: Send + 'static> {
+    tx: Option<mpsc::Sender<Req>>,
+    rx: mpsc::Receiver<Resp>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> Background<Req, Resp> {
+    /// Spawns the worker thread running `f` on every submitted request,
+    /// responses delivered in submission order.
+    pub fn spawn<F>(mut f: F) -> Self
+    where
+        F: FnMut(Req) -> Resp + Send + 'static,
+    {
+        let (tx, req_rx) = mpsc::channel::<Req>();
+        let (resp_tx, rx) = mpsc::channel::<Resp>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(req) = req_rx.recv() {
+                // A closed response channel means the owner is gone;
+                // finish quietly.
+                if resp_tx.send(f(req)).is_err() {
+                    break;
+                }
+            }
+        });
+        Background {
+            tx: Some(tx),
+            rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Queues a request for the worker. Returns `Err` with the request if
+    /// the worker thread has died (it never does unless `f` panicked).
+    pub fn submit(&self, req: Req) -> Result<(), Req> {
+        match self.tx.as_ref().expect("sender lives until drop").send(req) {
+            Ok(()) => Ok(()),
+            Err(mpsc::SendError(req)) => Err(req),
+        }
+    }
+
+    /// Blocks until the next response arrives; `None` if the worker died
+    /// with requests outstanding.
+    pub fn recv(&self) -> Option<Resp> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> Drop for Background<Req, Resp> {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
 
 /// Work-distribution policy, mirroring OpenMP's `schedule` clause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -992,6 +1072,28 @@ mod tests {
         for i in 0..rows {
             assert_eq!(data[i * 2], i as f64 + 1.0);
         }
+    }
+
+    #[test]
+    fn background_worker_preserves_fifo_order() {
+        let worker = Background::spawn(|(buf, scale): (Vec<f64>, f64)| {
+            buf.into_iter().map(|v| v * scale).collect::<Vec<f64>>()
+        });
+        for i in 0..16 {
+            worker.submit((vec![i as f64; 4], 2.0)).unwrap();
+        }
+        for i in 0..16 {
+            let resp = worker.recv().expect("worker alive");
+            assert_eq!(resp, vec![2.0 * i as f64; 4]);
+        }
+    }
+
+    #[test]
+    fn background_worker_drop_with_inflight_request_joins() {
+        // Dropping with an unconsumed response must not hang or panic.
+        let worker = Background::spawn(|x: u32| x + 1);
+        worker.submit(1).unwrap();
+        drop(worker);
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //!   slice layouts ([`ModeStream`]) that row-update kernels walk linearly
 //!   instead of gathering through entry ids (COO stays the source of
 //!   truth). Its storage is a [`StreamStore`]: fully resident, or
-//!   **spilled** to an unlinked scratch file and consumed through
-//!   [`SliceWindows`] — slice-aligned, budget-sized windows filled into
-//!   one pinned buffer, the substrate of the out-of-core fit path,
+//!   **spilled** to an unlinked scratch file. Either placement is swept
+//!   through one abstraction, [`SweepSource`] — slice-aligned windows
+//!   presented as [`StreamView`]s: zero-copy sub-views of a resident
+//!   stream, or [`SliceWindows`] refills of pinned buffers (optionally
+//!   double-buffered with a background prefetch) — the substrate of the
+//!   unified fit driver,
 //! * [`DenseTensor`] — strided dense storage with matricization
 //!   (Definition 2) and the n-mode product (Definition 3),
 //! * [`CoreTensor`] — the core `G`, dense at initialization but truncatable
@@ -52,7 +55,8 @@ pub use io::{read_tsv, write_tsv};
 pub use sparse::{ModeIndex, SparseTensor};
 pub use split::TrainTestSplit;
 pub use stream::{
-    IdsWindow, ModeStream, ModeStreams, SliceWindows, SpilledModeStream, StreamStore, Window,
+    IdsWindow, ModeStream, ModeStreams, SliceWindows, SpilledModeStream, StreamStore, StreamView,
+    SweepSource, Window,
 };
 
 /// Convenience alias for results produced by this crate.

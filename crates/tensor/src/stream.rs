@@ -21,22 +21,41 @@
 //! `|Ω|` must fit in 32 bits (they do for every tensor in the paper by
 //! orders of magnitude; [`ModeStreams::build`] checks).
 //!
-//! # Out-of-core plans
+//! # One sweep abstraction for every placement
 //!
 //! The plan's storage is a [`StreamStore`]: either every mode's stream is
 //! resident ([`ModeStreams::build`]) or the bulk arrays — values, packed
 //! other-mode indices and entry ids — live in an unlinked
 //! [`ScratchFile`](ptucker_memtrack::ScratchFile) and only the per-mode
 //! slice offsets and inverse entry maps stay in RAM
-//! ([`ModeStreams::build_spilled`]). A spilled mode is consumed through
-//! [`SliceWindows`]: an iterator of **slice-aligned, budget-sized
-//! windows**, each presented as an ordinary [`ModeStream`] view (slice `i`
-//! of the window ↔ global slice `lo + i`) filled into one pinned buffer —
-//! the row-update loop downstream stays zero-heap-allocation, windows
-//! merely rebind which part of the file that buffer holds.
+//! ([`ModeStreams::build_spilled`]).
+//!
+//! Consumers never branch on the placement. [`ModeStreams::sweep_source`]
+//! yields a [`SweepSource`]: a lending iterator of **slice-aligned
+//! windows**, each presented as a [`StreamView`] — contiguous values,
+//! packed indices and entry ids with window-local slices and positions.
+//! Over a resident plan a window is a zero-copy sub-view of the stream
+//! (one window covering the whole stream when the capacity is unbounded);
+//! over a spilled plan it is a [`SliceWindows`] refill of a pinned buffer
+//! from the scratch file. The fit driver downstream is therefore *one*
+//! loop: the in-memory fit is the single-full-window special case of the
+//! windowed fit, and the per-row arithmetic is byte-identical on every
+//! placement.
+//!
+//! # Double-buffered prefetch
+//!
+//! A spilled sweep can overlap its scratch-file reads with the row
+//! computation: with `prefetch` enabled, [`SliceWindows`] pins a *second*
+//! buffer and hands refill requests to a [`ptucker_sched::Background`]
+//! worker thread, so window `w+1` streams in from disk while the rows of
+//! window `w` are being updated. Prefetching changes only *when* bytes are
+//! read, never their values — sweeps are bitwise identical with it on or
+//! off. Budget accounting is the caller's job (the fit driver books both
+//! pinned buffers).
 
 use crate::{Result, SparseTensor, TensorError};
 use ptucker_memtrack::{MemoryBudget, Reservation, ScratchFile, SpillReservation};
+use ptucker_sched::Background;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -168,6 +187,131 @@ impl ModeStream {
     pub fn position_of(&self, e: usize) -> usize {
         self.entry_positions[e] as usize
     }
+
+    /// The whole stream as a [`StreamView`] (slices and positions global).
+    #[inline]
+    pub fn view(&self) -> StreamView<'_> {
+        self.view_range(0, self.num_slices())
+    }
+
+    /// A zero-copy [`StreamView`] of slices `lo..hi` — slice `i` of the
+    /// view is global slice `lo + i`, position `p` is global position
+    /// `offsets[lo] + p`. This is how a resident plan serves slice-aligned
+    /// windows without touching a byte.
+    #[inline]
+    pub fn view_range(&self, lo: usize, hi: usize) -> StreamView<'_> {
+        let start = self.offsets[lo];
+        let end = self.offsets[hi];
+        StreamView {
+            mode: self.mode,
+            other_count: self.other_count,
+            offsets: &self.offsets[lo..=hi],
+            values: &self.values[start..end],
+            others: &self.others[start * self.other_count..end * self.other_count],
+            entry_ids: &self.entry_ids[start..end],
+        }
+    }
+
+    /// The largest slice's position count.
+    fn max_slice_len(&self) -> usize {
+        (0..self.num_slices())
+            .map(|i| self.slice_len(i))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A borrowed, window-local view of (part of) one mode's stream — the one
+/// shape every row sweep consumes, whatever the plan's placement.
+///
+/// Slices and positions are **window-local**: slice `i` of the view is
+/// global slice `window.slices.start + i`, position `p` is global position
+/// `window.base + p`. A view over a whole resident stream has local ==
+/// global. Copyable (it is five slims slices), so sweep contexts embed it
+/// by value.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamView<'a> {
+    mode: usize,
+    other_count: usize,
+    /// Covered slice boundaries; may carry a global bias (`offsets[0]`),
+    /// which every accessor subtracts — a resident sub-view borrows the
+    /// stream's global offsets, a pinned spill buffer stores them
+    /// pre-localized.
+    offsets: &'a [usize],
+    values: &'a [f64],
+    others: &'a [u32],
+    entry_ids: &'a [u32],
+}
+
+impl<'a> StreamView<'a> {
+    /// The mode this view's stream is laid out for.
+    #[inline]
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Number of other modes (`N − 1`) — the per-entry stride of
+    /// [`StreamView::others_flat`].
+    #[inline]
+    pub fn other_count(&self) -> usize {
+        self.other_count
+    }
+
+    /// Number of slices this view covers.
+    #[inline]
+    pub fn num_slices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total stream positions in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the view holds no positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The window-local positions of local slice `i`.
+    #[inline]
+    pub fn slice_range(&self, i: usize) -> Range<usize> {
+        let bias = self.offsets[0];
+        self.offsets[i] - bias..self.offsets[i + 1] - bias
+    }
+
+    /// `|Ω⁽ⁿ⁾ᵢ|` for local slice `i`.
+    #[inline]
+    pub fn slice_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// All values in the view, window-local.
+    #[inline]
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// The flat packed other-mode index storage (stride
+    /// [`StreamView::other_count`]), window-local.
+    #[inline]
+    pub fn others_flat(&self) -> &'a [u32] {
+        self.others
+    }
+
+    /// The packed other-mode indices of window-local position `p`.
+    #[inline]
+    pub fn others(&self, p: usize) -> &'a [u32] {
+        &self.others[p * self.other_count..(p + 1) * self.other_count]
+    }
+
+    /// The COO entry id behind window-local position `p`.
+    #[inline]
+    pub fn entry_id(&self, p: usize) -> usize {
+        self.entry_ids[p] as usize
+    }
 }
 
 /// Where a [`ModeStreams`] plan keeps its bulk arrays.
@@ -179,7 +323,7 @@ pub enum StreamStore {
     /// The bulk arrays (values, packed other-mode indices, entry ids) of
     /// every mode live in a per-fit scratch file; RAM holds only the
     /// per-mode slice offsets and inverse entry maps. Consumed through
-    /// [`SliceWindows`].
+    /// [`SweepSource`] / [`SliceWindows`].
     Spilled {
         /// The unlinked per-fit scratch file holding every mode's
         /// sections.
@@ -210,9 +354,9 @@ pub struct SpilledModeStream {
     offsets: Vec<usize>,
     entry_positions: Vec<u32>,
     max_slice_len: usize,
-    /// Byte offsets of this mode's sections in the plan's scratch file.
-    values_off: u64,
-    others_off: u64,
+    /// Byte offsets of this mode's sections in the plan's scratch file:
+    /// the interleaved per-position records, and the ids-only copy.
+    rec_off: u64,
     ids_off: u64,
 }
 
@@ -286,6 +430,12 @@ impl SpilledModeStream {
     }
 }
 
+/// Bytes of one interleaved spilled-stream record: the value (8 B), the
+/// packed other-mode indices (4 B each) and the entry id (4 B).
+fn record_stride(other_count: usize) -> usize {
+    8 + 4 * other_count + 4
+}
+
 /// Returns the exclusive upper slice bound of the window starting at slice
 /// `lo`: the longest run of whole slices whose combined positions fit
 /// `cap`, but always at least one slice (a slice larger than `cap` forms a
@@ -343,6 +493,14 @@ impl ModeStreams {
     /// build is the buffer plus one mode's resident metadata, not the
     /// full `O(N·|Ω|)` plan.
     ///
+    /// Each mode writes two sections: the per-position data **interleaved
+    /// as fixed-stride records** (`value f64 | packed other-mode u32s |
+    /// entry id u32`), so any window of positions is one contiguous byte
+    /// range — a refill is a single read, not one per array — plus a
+    /// separate entry-id section for the ids-only sweeps (the spilled
+    /// `Pres` table's build/rescale), which keep their 4-bytes-per-
+    /// position read volume.
+    ///
     /// The resident metadata (offsets + inverse entry maps) is booked with
     /// [`MemoryBudget::reserve_unchecked`] — it is the irreducible floor
     /// of the out-of-core path — and the file bytes with
@@ -359,52 +517,45 @@ impl ModeStreams {
         let nnz = x.nnz();
         let order = x.order();
         let other_count = order - 1;
+        let stride = record_stride(other_count);
         let mut modes = Vec::with_capacity(order);
-        let mut vbuf: Vec<f64> = Vec::with_capacity(FLUSH);
-        let mut obuf: Vec<u32> = Vec::with_capacity(FLUSH * other_count);
+        let mut rbuf: Vec<u8> = Vec::with_capacity(FLUSH * stride);
         let mut ibuf: Vec<u32> = Vec::with_capacity(FLUSH);
         for mode in 0..order {
             let dim = x.dims()[mode];
             let mut offsets = Vec::with_capacity(dim + 1);
             let mut entry_positions = vec![0u32; nnz];
-            let values_off = file.reserve_region(nnz as u64 * 8)?;
-            let others_off = file.reserve_region(nnz as u64 * other_count as u64 * 4)?;
+            let rec_off = file.reserve_region(nnz as u64 * stride as u64)?;
             let ids_off = file.reserve_region(nnz as u64 * 4)?;
             let mut written = 0usize;
             let mut max_slice_len = 0usize;
             offsets.push(0);
             for i in 0..dim {
                 for &e in x.slice(mode, i) {
-                    entry_positions[e] = (written + vbuf.len()) as u32;
-                    vbuf.push(x.value(e));
+                    entry_positions[e] = (written + ibuf.len()) as u32;
+                    rbuf.extend_from_slice(&x.value(e).to_le_bytes());
                     for (k, &ik) in x.index(e).iter().enumerate() {
                         if k != mode {
-                            obuf.push(ik as u32);
+                            rbuf.extend_from_slice(&(ik as u32).to_le_bytes());
                         }
                     }
+                    rbuf.extend_from_slice(&(e as u32).to_le_bytes());
                     ibuf.push(e as u32);
-                    if vbuf.len() == FLUSH {
-                        file.write_f64s(values_off + written as u64 * 8, &vbuf)?;
-                        file.write_u32s(
-                            others_off + written as u64 * other_count as u64 * 4,
-                            &obuf,
-                        )?;
+                    if ibuf.len() == FLUSH {
+                        file.write_bytes(rec_off + written as u64 * stride as u64, &rbuf)?;
                         file.write_u32s(ids_off + written as u64 * 4, &ibuf)?;
-                        written += vbuf.len();
-                        vbuf.clear();
-                        obuf.clear();
+                        written += ibuf.len();
+                        rbuf.clear();
                         ibuf.clear();
                     }
                 }
-                offsets.push(written + vbuf.len());
+                offsets.push(written + ibuf.len());
                 max_slice_len = max_slice_len.max(x.slice_len(mode, i));
             }
-            if !vbuf.is_empty() {
-                file.write_f64s(values_off + written as u64 * 8, &vbuf)?;
-                file.write_u32s(others_off + written as u64 * other_count as u64 * 4, &obuf)?;
+            if !ibuf.is_empty() {
+                file.write_bytes(rec_off + written as u64 * stride as u64, &rbuf)?;
                 file.write_u32s(ids_off + written as u64 * 4, &ibuf)?;
-                vbuf.clear();
-                obuf.clear();
+                rbuf.clear();
                 ibuf.clear();
             }
             modes.push(SpilledModeStream {
@@ -413,8 +564,7 @@ impl ModeStreams {
                 offsets,
                 entry_positions,
                 max_slice_len,
-                values_off,
-                others_off,
+                rec_off,
                 ids_off,
             });
         }
@@ -434,13 +584,13 @@ impl ModeStreams {
     ///
     /// # Panics
     /// Panics on a spilled plan — its per-position data is only reachable
-    /// window-at-a-time through [`ModeStreams::windows`].
+    /// window-at-a-time through [`ModeStreams::sweep_source`].
     #[inline]
     pub fn mode(&self, mode: usize) -> &ModeStream {
         match &self.store {
             StreamStore::InMemory(streams) => &streams[mode],
             StreamStore::Spilled { .. } => {
-                panic!("ModeStreams::mode on a spilled plan; iterate SliceWindows instead")
+                panic!("ModeStreams::mode on a spilled plan; iterate a SweepSource instead")
             }
         }
     }
@@ -471,46 +621,128 @@ impl ModeStreams {
         &self.store
     }
 
-    /// A windowed sweep over a spilled mode: slice-aligned windows of at
-    /// most `cap_positions` stream positions each (single oversized slices
-    /// become singleton windows), filled into one pinned buffer.
+    /// The stream position of COO entry `e` in `mode`'s layout, on either
+    /// placement (resident streams and spilled plans both keep the inverse
+    /// entry map in RAM).
+    #[inline]
+    pub fn position_of(&self, mode: usize, e: usize) -> usize {
+        match &self.store {
+            StreamStore::InMemory(streams) => streams[mode].position_of(e),
+            StreamStore::Spilled { modes, .. } => modes[mode].position_of(e),
+        }
+    }
+
+    /// The largest slice's position count across **all** modes — the
+    /// irreducible window extent of any slice-aligned sweep.
+    pub fn max_slice_len(&self) -> usize {
+        match &self.store {
+            StreamStore::InMemory(streams) => {
+                streams.iter().map(|s| s.max_slice_len()).max().unwrap_or(0)
+            }
+            StreamStore::Spilled { modes, .. } => {
+                modes.iter().map(|m| m.max_slice_len).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Total stream positions per mode (`|Ω|`).
+    fn total_positions(&self) -> usize {
+        match &self.store {
+            StreamStore::InMemory(streams) => streams.first().map_or(0, |s| s.values.len()),
+            StreamStore::Spilled { modes, .. } => modes.first().map_or(0, |m| m.len()),
+        }
+    }
+
+    /// The one way to sweep a mode: a [`SweepSource`] of slice-aligned
+    /// windows of at most `cap_positions` stream positions each (single
+    /// oversized slices become singleton windows).
     ///
-    /// The buffer is allocated once here, sized so that **any** mode's
-    /// sweep fits (capacity vs. the plan-wide largest slice), so the
-    /// sweeper can be reused for the whole fit — call
-    /// [`SliceWindows::rewind`] to restart it on another mode without
-    /// reallocating.
+    /// * On a **resident** plan, windows are zero-copy
+    ///   [`StreamView`]s of the stream — with an effectively unbounded
+    ///   capacity the whole sweep is one window, which is exactly the
+    ///   classic in-memory fit.
+    /// * On a **spilled** plan this is a [`SliceWindows`] sweep: windows
+    ///   refill a pinned buffer from the scratch file; with `prefetch` a
+    ///   second pinned buffer and a background worker overlap the next
+    ///   window's read with the current window's compute.
+    ///
+    /// The source is reusable for a whole fit: [`SweepSource::rewind`]
+    /// restarts it on another mode without reallocating.
+    pub fn sweep_source(
+        &self,
+        mode: usize,
+        cap_positions: usize,
+        prefetch: bool,
+    ) -> SweepSource<'_> {
+        match &self.store {
+            StreamStore::InMemory(streams) => SweepSource {
+                inner: SourceInner::Resident {
+                    streams,
+                    mode,
+                    cap: cap_positions.max(1),
+                    next_slice: 0,
+                },
+            },
+            StreamStore::Spilled { .. } => SweepSource {
+                inner: SourceInner::Spilled(Box::new(self.windows(mode, cap_positions, prefetch))),
+            },
+        }
+    }
+
+    /// A windowed sweep over a spilled mode (the spilled arm of
+    /// [`ModeStreams::sweep_source`], exposed for direct window-level
+    /// consumers and tests). `prefetch` enables the second pinned buffer
+    /// and the background refill worker.
     ///
     /// # Panics
-    /// Panics on an in-memory plan — windows exist to bound residency, and
-    /// an in-memory plan is already fully resident.
-    pub fn windows(&self, mode: usize, cap_positions: usize) -> SliceWindows<'_> {
+    /// Panics on an in-memory plan — use [`ModeStreams::sweep_source`],
+    /// which serves zero-copy views there.
+    pub fn windows(&self, mode: usize, cap_positions: usize, prefetch: bool) -> SliceWindows<'_> {
         let (file, modes) = match &self.store {
-            StreamStore::Spilled { file, modes, .. } => (&**file, &modes[..]),
+            StreamStore::Spilled { file, modes, .. } => (file, &modes[..]),
             StreamStore::InMemory(_) => {
                 panic!("ModeStreams::windows on an in-memory plan")
             }
         };
         let cap = cap_positions.max(1);
+        let total = self.total_positions();
         let max_slice = modes.iter().map(|m| m.max_slice_len).max().unwrap_or(0);
         let max_slices = modes.iter().map(|m| m.num_slices()).max().unwrap_or(0);
-        let buf_cap = cap.max(max_slice);
+        // A pinned buffer never needs more than the capacity, one oversized
+        // slice, or the whole stream — whichever binds.
+        let buf_cap = cap.max(max_slice).min(total);
         let other_count = modes.first().map_or(0, |m| m.other_count);
+        let pinned = || WindowBuf {
+            offsets: Vec::with_capacity(max_slices + 1),
+            values: Vec::with_capacity(buf_cap),
+            others: Vec::with_capacity(buf_cap * other_count),
+            entry_ids: Vec::with_capacity(buf_cap),
+            raw: Vec::with_capacity(RAW_CHUNK.min(buf_cap.max(1) * record_stride(other_count))),
+        };
+        let (spare, worker) = if prefetch {
+            let file = Arc::clone(file);
+            (
+                Some(pinned()),
+                Some(Background::spawn(
+                    move |(mut buf, spec): (WindowBuf, RefillSpec)| {
+                        let res = refill(&file, &mut buf, &spec);
+                        (buf, spec, res)
+                    },
+                )),
+            )
+        } else {
+            (None, None)
+        };
         SliceWindows {
             modes,
-            file,
+            file: Arc::clone(file),
             mode,
             cap,
             next_slice: 0,
-            buf: ModeStream {
-                mode,
-                other_count,
-                offsets: Vec::with_capacity(max_slices + 1),
-                values: Vec::with_capacity(buf_cap),
-                others: Vec::with_capacity(buf_cap * other_count),
-                entry_ids: Vec::with_capacity(buf_cap),
-                entry_positions: Vec::new(),
-            },
+            current: pinned(),
+            spare,
+            worker,
+            inflight: None,
         }
     }
 
@@ -543,38 +775,31 @@ impl ModeStreams {
         offsets + x.order() * x.nnz() * 4
     }
 
-    /// Scratch-file bytes a spilled plan for `x` writes: per mode, values
-    /// (8 B), packed other-mode indices (4 B each) and entry ids (4 B).
+    /// Scratch-file bytes a spilled plan for `x` writes: per mode, the
+    /// interleaved per-position records (value 8 B + packed other-mode
+    /// indices 4 B each + entry id 4 B) plus the ids-only section (4 B per
+    /// position) serving the cheap ids sweeps.
     pub fn spilled_bytes_for(x: &SparseTensor) -> usize {
         let nnz = x.nnz();
         let order = x.order();
-        order * (nnz * 8 + (order - 1) * nnz * 4 + nnz * 4)
+        order * (nnz * record_stride(order - 1) + nnz * 4)
     }
 }
 
-/// A lending iterator of slice-aligned windows over a spilled plan, one
-/// mode at a time.
-///
-/// Each [`SliceWindows::next_window`] call refills **one pinned buffer**
-/// (allocated once, at construction, sized for any mode's sweep) from the
-/// scratch file and presents it as an ordinary [`ModeStream`] whose slice
-/// `i` is global slice `window.slices.start + i` and whose positions are
-/// window-local (`global = window.base + local`). The buffer is reused —
-/// across windows, and across modes via [`SliceWindows::rewind`] — so at
-/// most one window is resident at a time, a whole fit allocates the
-/// buffer once, and the row loop downstream performs no heap allocation.
+/// One slice-aligned window of a mode sweep.
 #[derive(Debug)]
-pub struct SliceWindows<'a> {
-    modes: &'a [SpilledModeStream],
-    file: &'a ScratchFile,
-    mode: usize,
-    cap: usize,
-    next_slice: usize,
-    buf: ModeStream,
+pub struct Window<'a> {
+    /// The global slice range this window covers.
+    pub slices: Range<usize>,
+    /// Global stream position of the window's first entry (window-local
+    /// position `p` ↔ global position `base + p`).
+    pub base: usize,
+    /// The window's data: slices and positions are window-local.
+    pub stream: StreamView<'a>,
 }
 
 /// The entry-id section of one slice-aligned window (see
-/// [`SliceWindows::next_ids_window`]).
+/// [`SweepSource::next_ids_window`]).
 #[derive(Debug)]
 pub struct IdsWindow<'a> {
     /// The global slice range this window covers.
@@ -586,18 +811,285 @@ pub struct IdsWindow<'a> {
     pub entry_ids: &'a [u32],
 }
 
-/// One slice-aligned window of a spilled mode's stream.
+/// A lending iterator of slice-aligned windows over one mode of a plan —
+/// resident (zero-copy views) or spilled (pinned-buffer refills) — so the
+/// fit driver is a single loop over either placement.
+///
+/// Create with [`ModeStreams::sweep_source`]; rewind with
+/// [`SweepSource::rewind`] to sweep another mode with the same buffers.
 #[derive(Debug)]
-pub struct Window<'a> {
-    /// The global slice range this window covers.
-    pub slices: Range<usize>,
-    /// Global stream position of the window's first entry (window-local
-    /// position `p` ↔ global position `base + p`).
-    pub base: usize,
-    /// The window as a resident [`ModeStream`] view: slices and positions
-    /// are window-local; `position_of` is unavailable (the inverse map
-    /// stays with the [`SpilledModeStream`]).
-    pub stream: &'a ModeStream,
+pub struct SweepSource<'a> {
+    inner: SourceInner<'a>,
+}
+
+#[derive(Debug)]
+enum SourceInner<'a> {
+    Resident {
+        streams: &'a [ModeStream],
+        mode: usize,
+        cap: usize,
+        next_slice: usize,
+    },
+    // Boxed: the sweeper (pinned-buffer headers, prefetch plumbing) is an
+    // order of magnitude larger than the resident cursor.
+    Spilled(Box<SliceWindows<'a>>),
+}
+
+impl<'a> SweepSource<'a> {
+    /// Whether windows are refilled from a scratch file (`true`) or served
+    /// as zero-copy views of a resident plan (`false`).
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.inner, SourceInner::Spilled(_))
+    }
+
+    /// Restarts the sweep on `mode`'s first window, reusing any pinned
+    /// buffers — how one source serves every mode of a whole fit.
+    pub fn rewind(&mut self, mode: usize) {
+        match &mut self.inner {
+            SourceInner::Resident {
+                streams,
+                mode: m,
+                next_slice,
+                ..
+            } => {
+                assert!(mode < streams.len(), "mode {mode} out of range");
+                *m = mode;
+                *next_slice = 0;
+            }
+            SourceInner::Spilled(w) => w.rewind(mode),
+        }
+    }
+
+    /// Rewinds to the current mode's first window.
+    pub fn reset(&mut self) {
+        match &mut self.inner {
+            SourceInner::Resident { next_slice, .. } => *next_slice = 0,
+            SourceInner::Spilled(w) => w.reset(),
+        }
+    }
+
+    /// The window capacity in stream positions.
+    pub fn capacity(&self) -> usize {
+        match &self.inner {
+            SourceInner::Resident { cap, .. } => *cap,
+            SourceInner::Spilled(w) => w.capacity(),
+        }
+    }
+
+    /// The most positions any window of any mode can hold: the capacity,
+    /// a single oversized slice, or the whole stream — whichever binds.
+    /// Consumers sizing per-position side buffers (the spilled `Pres`
+    /// tile) use this so no window ever reallocates them mid-sweep.
+    pub fn max_window_positions(&self) -> usize {
+        match &self.inner {
+            SourceInner::Resident { streams, cap, .. } => {
+                let max_slice = streams.iter().map(|s| s.max_slice_len()).max().unwrap_or(0);
+                let total = streams.first().map_or(0, |s| s.values.len());
+                (*cap).max(max_slice).min(total)
+            }
+            SourceInner::Spilled(w) => w.max_window_positions(),
+        }
+    }
+
+    /// Number of windows a full sweep of the current mode takes (no I/O).
+    pub fn window_count(&self) -> usize {
+        match &self.inner {
+            SourceInner::Resident {
+                streams, mode, cap, ..
+            } => {
+                let s = &streams[*mode];
+                let mut n = 0;
+                let mut cursor = 0;
+                while resident_step(s, *cap, &mut cursor).is_some() {
+                    n += 1;
+                }
+                n
+            }
+            SourceInner::Spilled(w) => w.window_count(),
+        }
+    }
+
+    /// Yields the next window, or `None` when every slice of the current
+    /// mode has been covered.
+    ///
+    /// # Errors
+    /// [`TensorError::Io`] if a spilled refill fails (a resident source
+    /// never errors).
+    pub fn next_window(&mut self) -> Result<Option<Window<'_>>> {
+        match &mut self.inner {
+            SourceInner::Resident {
+                streams,
+                mode,
+                cap,
+                next_slice,
+            } => {
+                let s = &streams[*mode];
+                Ok(resident_step(s, *cap, next_slice).map(|(lo, hi)| Window {
+                    slices: lo..hi,
+                    base: s.offsets[lo],
+                    stream: s.view_range(lo, hi),
+                }))
+            }
+            SourceInner::Spilled(w) => w.next_window(),
+        }
+    }
+
+    /// Like [`SweepSource::next_window`], but yields **only the entry-id
+    /// section** — for consumers that map stream positions to COO entries
+    /// without touching values or packed indices (the spilled `Pres`
+    /// table's build and rescale sweeps), cutting a spilled sweep's read
+    /// volume to the 4 bytes per position they actually use. Shares the
+    /// cursor with `next_window`: a sweep must use one of the two
+    /// consistently between rewinds.
+    ///
+    /// # Errors
+    /// [`TensorError::Io`] if a spilled read fails.
+    pub fn next_ids_window(&mut self) -> Result<Option<IdsWindow<'_>>> {
+        match &mut self.inner {
+            SourceInner::Resident {
+                streams,
+                mode,
+                cap,
+                next_slice,
+            } => {
+                let s = &streams[*mode];
+                Ok(
+                    resident_step(s, *cap, next_slice).map(|(lo, hi)| IdsWindow {
+                        slices: lo..hi,
+                        base: s.offsets[lo],
+                        entry_ids: &s.entry_ids[s.offsets[lo]..s.offsets[hi]],
+                    }),
+                )
+            }
+            SourceInner::Spilled(w) => w.next_ids_window(),
+        }
+    }
+}
+
+/// The one copy of the resident sweep's cursor rule: the slice extent of
+/// the window starting at `*cursor` (or `None` past the last slice),
+/// advancing the cursor — shared by `next_window`, `next_ids_window` and
+/// `window_count`, mirroring how the spilled arm centralizes the same
+/// stepping in `SliceWindows::spec`.
+fn resident_step(s: &ModeStream, cap: usize, cursor: &mut usize) -> Option<(usize, usize)> {
+    if *cursor >= s.num_slices() {
+        return None;
+    }
+    let lo = *cursor;
+    let hi = window_extent(&s.offsets, lo, cap);
+    *cursor = hi;
+    Some((lo, hi))
+}
+
+/// One pinned refill buffer of a spilled sweep: the bulk arrays of the
+/// window it last held, plus its localized slice offsets.
+#[derive(Debug)]
+struct WindowBuf {
+    offsets: Vec<usize>,
+    values: Vec<f64>,
+    others: Vec<u32>,
+    entry_ids: Vec<u32>,
+    /// Fixed-size staging chunk for the interleaved record read — the
+    /// refill reads up to [`RAW_CHUNK`] bytes per syscall and parses them
+    /// into the typed arrays, so window size never grows this buffer.
+    raw: Vec<u8>,
+}
+
+/// Everything a refill needs, by value, so the background worker borrows
+/// nothing: the window's slice range, its global position range and the
+/// mode's section offsets in the scratch file.
+#[derive(Debug, Clone, Copy)]
+struct RefillSpec {
+    lo: usize,
+    hi: usize,
+    start: usize,
+    len: usize,
+    other_count: usize,
+    rec_off: u64,
+    ids_off: u64,
+}
+
+/// Bytes of interleaved records read per refill syscall (a multiple of
+/// any record stride is not required — chunks are cut at record
+/// boundaries).
+const RAW_CHUNK: usize = 64 << 10;
+
+/// Reads one window's bulk arrays into `buf` (offsets are the main
+/// thread's job — they come from resident metadata, not the file). Shared
+/// by the synchronous path and the prefetch worker, so both fill buffers
+/// identically.
+///
+/// The window is one contiguous range of interleaved records, so the read
+/// is a single sequential pass ([`RAW_CHUNK`]-sized syscalls through a
+/// fixed staging buffer) parsed into the typed arrays — one read per
+/// window where the sectioned layout needed three.
+fn refill(file: &ScratchFile, buf: &mut WindowBuf, spec: &RefillSpec) -> std::io::Result<()> {
+    let stride = record_stride(spec.other_count);
+    buf.values.clear();
+    buf.values.reserve(spec.len);
+    buf.others.clear();
+    buf.others.reserve(spec.len * spec.other_count);
+    buf.entry_ids.clear();
+    buf.entry_ids.reserve(spec.len);
+    let recs_per_chunk = (RAW_CHUNK / stride).max(1);
+    let mut done = 0usize;
+    while done < spec.len {
+        let n = recs_per_chunk.min(spec.len - done);
+        buf.raw.resize(n * stride, 0);
+        file.read_bytes(
+            spec.rec_off + (spec.start + done) as u64 * stride as u64,
+            &mut buf.raw,
+        )?;
+        for rec in buf.raw.chunks_exact(stride) {
+            buf.values.push(f64::from_le_bytes(
+                rec[..8].try_into().expect("8-byte field"),
+            ));
+            let mut off = 8;
+            for _ in 0..spec.other_count {
+                buf.others.push(u32::from_le_bytes(
+                    rec[off..off + 4].try_into().expect("4-byte field"),
+                ));
+                off += 4;
+            }
+            buf.entry_ids.push(u32::from_le_bytes(
+                rec[off..off + 4].try_into().expect("4-byte field"),
+            ));
+        }
+        done += n;
+    }
+    Ok(())
+}
+
+/// The spilled arm of [`SweepSource`]: slice-aligned windows refilled from
+/// the plan's scratch file into pinned buffers.
+///
+/// Single-buffered, each [`SliceWindows::next_window`] call reads the
+/// window synchronously into one pinned buffer. With prefetch (see
+/// [`ModeStreams::windows`]), a second pinned buffer and a
+/// [`ptucker_sched::Background`] worker pipeline the reads: presenting
+/// window `w` immediately queues the read of window `w+1` into the idle
+/// buffer, so the scratch-file I/O runs concurrently with whatever the
+/// caller computes on window `w`. At most two windows are ever resident;
+/// buffers are allocated once and reused across windows and modes.
+#[derive(Debug)]
+pub struct SliceWindows<'a> {
+    modes: &'a [SpilledModeStream],
+    file: Arc<ScratchFile>,
+    mode: usize,
+    cap: usize,
+    /// First slice of the next window to *present*.
+    next_slice: usize,
+    /// The buffer backing the currently presented window.
+    current: WindowBuf,
+    /// The idle second buffer (prefetch mode only; `None` while its
+    /// contents are in flight on the worker).
+    spare: Option<WindowBuf>,
+    /// The refill worker (prefetch mode only).
+    #[allow(clippy::type_complexity)]
+    worker:
+        Option<Background<(WindowBuf, RefillSpec), (WindowBuf, RefillSpec, std::io::Result<()>)>>,
+    /// The spec of the refill currently in flight, if any.
+    inflight: Option<RefillSpec>,
 }
 
 impl<'a> SliceWindows<'a> {
@@ -607,8 +1099,39 @@ impl<'a> SliceWindows<'a> {
         &self.modes[self.mode]
     }
 
-    /// Loads the next window into the pinned buffer, or returns `None`
-    /// when every slice has been covered.
+    /// The refill spec of the window starting at slice `lo` of the current
+    /// mode.
+    fn spec(&self, lo: usize) -> RefillSpec {
+        let sp = self.sp();
+        let hi = window_extent(&sp.offsets, lo, self.cap);
+        let start = sp.offsets[lo];
+        RefillSpec {
+            lo,
+            hi,
+            start,
+            len: sp.offsets[hi] - start,
+            other_count: sp.other_count,
+            rec_off: sp.rec_off,
+            ids_off: sp.ids_off,
+        }
+    }
+
+    /// Joins any in-flight prefetch, discarding its data but recovering
+    /// its buffer. Called before any cursor movement that invalidates the
+    /// queued read (rewind/reset/ids sweeps) and on drop-by-scope.
+    fn drain(&mut self) {
+        if self.inflight.take().is_some() {
+            let worker = self.worker.as_ref().expect("inflight implies a worker");
+            if let Some((buf, _, _)) = worker.recv() {
+                self.spare = Some(buf);
+            }
+        }
+    }
+
+    /// Loads the next window into a pinned buffer, or returns `None` when
+    /// every slice has been covered. In prefetch mode the data was
+    /// (usually) already read by the background worker; presenting the
+    /// window queues the read of the one after it.
     ///
     /// # Errors
     /// [`TensorError::Io`] if reading the scratch file fails.
@@ -616,40 +1139,65 @@ impl<'a> SliceWindows<'a> {
         let sp = self.sp();
         let num = sp.num_slices();
         if self.next_slice >= num {
+            debug_assert!(
+                self.inflight.is_none(),
+                "prefetch queued past the sweep end"
+            );
             return Ok(None);
         }
-        let lo = self.next_slice;
-        let hi = window_extent(&sp.offsets, lo, self.cap);
-        let start = sp.offsets[lo];
-        let len = sp.offsets[hi] - start;
-        let k = sp.other_count;
-        let b = &mut self.buf;
-        b.offsets.clear();
-        b.offsets
-            .extend(sp.offsets[lo..=hi].iter().map(|&o| o - start));
-        b.values.resize(len, 0.0);
-        self.file
-            .read_f64s(sp.values_off + start as u64 * 8, &mut b.values)?;
-        b.others.resize(len * k, 0);
-        self.file
-            .read_u32s(sp.others_off + start as u64 * k as u64 * 4, &mut b.others)?;
-        b.entry_ids.resize(len, 0);
-        self.file
-            .read_u32s(sp.ids_off + start as u64 * 4, &mut b.entry_ids)?;
-        self.next_slice = hi;
+        let spec = self.spec(self.next_slice);
+        match self.inflight.take() {
+            Some(queued) => {
+                // The cursor only moves through this method between
+                // rewinds, so the queued window must be the one due next.
+                debug_assert_eq!((queued.lo, queued.hi), (spec.lo, spec.hi));
+                let worker = self.worker.as_ref().expect("inflight implies a worker");
+                let (buf, _, res) = worker.recv().expect("prefetch worker died");
+                res.map_err(TensorError::from)?;
+                self.spare = Some(std::mem::replace(&mut self.current, buf));
+            }
+            None => refill(&self.file, &mut self.current, &spec).map_err(TensorError::from)?,
+        }
+        self.current.offsets.clear();
+        self.current.offsets.extend(
+            sp.offsets[spec.lo..=spec.hi]
+                .iter()
+                .map(|&o| o - spec.start),
+        );
+        self.next_slice = spec.hi;
+        // Queue the following window's read into the idle buffer while the
+        // caller computes on this one.
+        if self.next_slice < num {
+            if let Some(worker) = &self.worker {
+                let next_spec = self.spec(self.next_slice);
+                let buf = self
+                    .spare
+                    .take()
+                    .expect("idle buffer present when no read is in flight");
+                match worker.submit((buf, next_spec)) {
+                    Ok(()) => self.inflight = Some(next_spec),
+                    Err((buf, _)) => self.spare = Some(buf),
+                }
+            }
+        }
         Ok(Some(Window {
-            slices: lo..hi,
-            base: start,
-            stream: &self.buf,
+            slices: spec.lo..spec.hi,
+            base: spec.start,
+            stream: StreamView {
+                mode: self.mode,
+                other_count: spec.other_count,
+                offsets: &self.current.offsets,
+                values: &self.current.values,
+                others: &self.current.others,
+                entry_ids: &self.current.entry_ids,
+            },
         }))
     }
 
     /// Like [`SliceWindows::next_window`], but reads **only the entry-id
-    /// section** of the next window — for consumers that map stream
-    /// positions to COO entries without touching values or packed
-    /// indices (the spilled `Pres` table's build and rescale sweeps),
-    /// cutting their scratch-file read volume to the 4 bytes per
-    /// position they actually use.
+    /// section** of the next window. Always synchronous (ids sweeps
+    /// interleave with other I/O on the consumer side, so pipelining them
+    /// buys nothing); any in-flight bulk prefetch is drained first.
     ///
     /// Shares the sweep cursor with `next_window`: a sweep must use one
     /// of the two consistently between rewinds.
@@ -657,32 +1205,29 @@ impl<'a> SliceWindows<'a> {
     /// # Errors
     /// [`TensorError::Io`] if reading the scratch file fails.
     pub fn next_ids_window(&mut self) -> Result<Option<IdsWindow<'_>>> {
+        self.drain();
         let sp = self.sp();
-        let num = sp.num_slices();
-        if self.next_slice >= num {
+        if self.next_slice >= sp.num_slices() {
             return Ok(None);
         }
-        let lo = self.next_slice;
-        let hi = window_extent(&sp.offsets, lo, self.cap);
-        let start = sp.offsets[lo];
-        let len = sp.offsets[hi] - start;
-        let b = &mut self.buf;
-        b.entry_ids.resize(len, 0);
+        let spec = self.spec(self.next_slice);
+        self.current.entry_ids.resize(spec.len, 0);
         self.file
-            .read_u32s(sp.ids_off + start as u64 * 4, &mut b.entry_ids)?;
-        self.next_slice = hi;
+            .read_u32s(
+                spec.ids_off + spec.start as u64 * 4,
+                &mut self.current.entry_ids,
+            )
+            .map_err(TensorError::from)?;
+        self.next_slice = spec.hi;
         Ok(Some(IdsWindow {
-            slices: lo..hi,
-            base: start,
-            entry_ids: &b.entry_ids,
+            slices: spec.lo..spec.hi,
+            base: spec.start,
+            entry_ids: &self.current.entry_ids,
         }))
     }
 
-    /// The most positions any window of any mode can hold:
-    /// the capacity, or a single oversized slice. Consumers sizing
-    /// per-position side buffers (e.g. the spilled `Pres` tile) should
-    /// use this, not [`SliceWindows::capacity`], so no window ever
-    /// reallocates them mid-sweep.
+    /// The most positions any window of any mode can hold: the capacity, a
+    /// single oversized slice, or the whole stream — whichever binds.
     pub fn max_window_positions(&self) -> usize {
         let max_slice = self
             .modes
@@ -690,21 +1235,23 @@ impl<'a> SliceWindows<'a> {
             .map(|m| m.max_slice_len)
             .max()
             .unwrap_or(0);
-        self.cap.max(max_slice)
+        let total = self.modes.first().map_or(0, |m| m.len());
+        self.cap.max(max_slice).min(total)
     }
 
     /// Restarts the sweep on `mode`'s first window, reusing the pinned
-    /// buffer — how one sweeper serves every mode of a whole fit.
+    /// buffers — how one sweeper serves every mode of a whole fit.
     pub fn rewind(&mut self, mode: usize) {
         assert!(mode < self.modes.len(), "mode {mode} out of range");
+        self.drain();
         self.mode = mode;
-        self.buf.mode = mode;
         self.next_slice = 0;
     }
 
-    /// Rewinds to the current mode's first window (the pinned buffer is
+    /// Rewinds to the current mode's first window (the pinned buffers are
     /// kept).
     pub fn reset(&mut self) {
+        self.drain();
         self.next_slice = 0;
     }
 
@@ -778,6 +1325,7 @@ mod tests {
                 assert!(!seen[e]);
                 seen[e] = true;
                 assert_eq!(s.position_of(e), p, "inverse map round-trips");
+                assert_eq!(plan.position_of(n, e), p);
             }
             assert!(seen.iter().all(|&b| b));
         }
@@ -803,9 +1351,94 @@ mod tests {
         }
     }
 
+    /// A resident sweep with unbounded capacity is exactly one zero-copy
+    /// window per mode whose view is position-for-position the stream —
+    /// the unified fit driver's in-memory case.
+    #[test]
+    fn resident_sweep_source_is_one_full_window() {
+        let x = sample();
+        let plan = ModeStreams::build(&x).unwrap();
+        let mut source = plan.sweep_source(0, usize::MAX, false);
+        assert!(!source.is_spilled());
+        for n in 0..x.order() {
+            source.rewind(n);
+            assert_eq!(source.window_count(), 1);
+            let w = source.next_window().unwrap().unwrap();
+            assert_eq!(w.slices, 0..x.dims()[n]);
+            assert_eq!(w.base, 0);
+            let full = plan.mode(n);
+            assert_eq!(w.stream.len(), x.nnz());
+            assert_eq!(w.stream.num_slices(), full.num_slices());
+            for i in 0..full.num_slices() {
+                assert_eq!(w.stream.slice_range(i), full.slice_range(i));
+            }
+            for p in 0..x.nnz() {
+                assert_eq!(w.stream.values()[p], full.values()[p]);
+                assert_eq!(w.stream.entry_id(p), full.entry_id(p));
+                assert_eq!(w.stream.others(p), full.others(p));
+            }
+            assert!(source.next_window().unwrap().is_none());
+        }
+    }
+
+    /// A capacity-bounded resident sweep yields slice-aligned sub-views
+    /// matching the stream (the hybrid-spill case: plan resident, a
+    /// per-position side table windowed).
+    #[test]
+    fn resident_sweep_source_windows_are_zero_copy_subviews() {
+        let x = sample();
+        let plan = ModeStreams::build(&x).unwrap();
+        for n in 0..x.order() {
+            let full = plan.mode(n);
+            let mut source = plan.sweep_source(n, 1, false);
+            let mut covered = 0;
+            let mut next_slice = 0;
+            while let Some(w) = source.next_window().unwrap() {
+                assert_eq!(w.slices.start, next_slice);
+                next_slice = w.slices.end;
+                assert_eq!(w.base, full.slice_range(w.slices.start).start);
+                for (local_i, i) in w.slices.clone().enumerate() {
+                    let local = w.stream.slice_range(local_i);
+                    assert_eq!(local.len(), full.slice_len(i));
+                    for p in local {
+                        let g = w.base + p;
+                        assert_eq!(w.stream.values()[p], full.values()[g]);
+                        assert_eq!(w.stream.entry_id(p), full.entry_id(g));
+                        assert_eq!(w.stream.others(p), full.others(g));
+                    }
+                }
+                covered += w.stream.len();
+            }
+            assert_eq!(next_slice, x.dims()[n]);
+            assert_eq!(covered, x.nnz());
+        }
+    }
+
+    /// Ids windows agree between the resident and spilled sources.
+    #[test]
+    fn ids_windows_match_across_placements() {
+        let x = sample();
+        let resident = ModeStreams::build(&x).unwrap();
+        let spilled = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        for n in 0..x.order() {
+            let mut a = resident.sweep_source(n, 2, false);
+            let mut b = spilled.sweep_source(n, 2, false);
+            loop {
+                match (a.next_ids_window().unwrap(), b.next_ids_window().unwrap()) {
+                    (Some(wa), Some(wb)) => {
+                        assert_eq!(wa.slices, wb.slices);
+                        assert_eq!(wa.base, wb.base);
+                        assert_eq!(wa.entry_ids, wb.entry_ids);
+                    }
+                    (None, None) => break,
+                    _ => panic!("window counts diverged on mode {n}"),
+                }
+            }
+        }
+    }
+
     #[test]
     fn spilled_windows_reproduce_resident_streams() {
-        use ptucker_memtrack::MemoryBudget;
         let x = sample();
         let budget = MemoryBudget::unlimited();
         let resident = ModeStreams::build(&x).unwrap();
@@ -813,38 +1446,39 @@ mod tests {
         assert!(spilled.is_spilled() && !resident.is_spilled());
         assert_eq!(budget.spilled_in_use(), ModeStreams::spilled_bytes_for(&x));
         assert_eq!(budget.in_use(), ModeStreams::resident_bytes_for(&x));
-        for n in 0..x.order() {
-            let full = resident.mode(n);
-            let sp = spilled.spilled_mode(n);
-            assert_eq!(sp.len(), x.nnz());
-            for e in 0..x.nnz() {
-                assert_eq!(sp.position_of(e), full.position_of(e));
-            }
-            // Tiny capacity: every window is exactly one slice.
-            let mut w = spilled.windows(n, 1);
-            assert_eq!(w.window_count(), x.dims()[n]);
-            let mut covered = 0;
-            while let Some(win) = w.next_window().unwrap() {
-                assert_eq!(win.slices.len(), 1);
-                let i = win.slices.start;
-                assert_eq!(win.base, full.slice_range(i).start);
-                let local = win.stream.slice_range(0);
-                assert_eq!(local.len(), full.slice_len(i));
-                for p in local {
-                    let g = win.base + p;
-                    assert_eq!(win.stream.values()[p], full.values()[g]);
-                    assert_eq!(win.stream.entry_id(p), full.entry_id(g));
-                    assert_eq!(win.stream.others(p), full.others(g));
+        for prefetch in [false, true] {
+            for n in 0..x.order() {
+                let full = resident.mode(n);
+                let sp = spilled.spilled_mode(n);
+                assert_eq!(sp.len(), x.nnz());
+                for e in 0..x.nnz() {
+                    assert_eq!(sp.position_of(e), full.position_of(e));
                 }
-                covered += win.stream.values().len();
+                // Tiny capacity: every window is exactly one slice.
+                let mut w = spilled.windows(n, 1, prefetch);
+                assert_eq!(w.window_count(), x.dims()[n]);
+                let mut covered = 0;
+                while let Some(win) = w.next_window().unwrap() {
+                    assert_eq!(win.slices.len(), 1);
+                    let i = win.slices.start;
+                    assert_eq!(win.base, full.slice_range(i).start);
+                    let local = win.stream.slice_range(0);
+                    assert_eq!(local.len(), full.slice_len(i));
+                    for p in local {
+                        let g = win.base + p;
+                        assert_eq!(win.stream.values()[p], full.values()[g]);
+                        assert_eq!(win.stream.entry_id(p), full.entry_id(g));
+                        assert_eq!(win.stream.others(p), full.others(g));
+                    }
+                    covered += win.stream.len();
+                }
+                assert_eq!(covered, x.nnz(), "prefetch={prefetch}");
             }
-            assert_eq!(covered, x.nnz());
         }
     }
 
     #[test]
     fn oversized_slice_becomes_singleton_window() {
-        use ptucker_memtrack::MemoryBudget;
         // Mode 0 slice 0 holds 3 entries — above a capacity of 2 — and must
         // still be taken whole (windows never split slices).
         let x = SparseTensor::new(
@@ -858,7 +1492,7 @@ mod tests {
         )
         .unwrap();
         let plan = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
-        let mut w = plan.windows(0, 2);
+        let mut w = plan.windows(0, 2, false);
         let first = w.next_window().unwrap().unwrap();
         assert_eq!(first.slices, 0..1);
         assert_eq!(first.stream.values(), &[1.0, 2.0, 3.0]);
@@ -867,7 +1501,7 @@ mod tests {
         assert_eq!(second.stream.values(), &[4.0]);
         assert!(w.next_window().unwrap().is_none());
         // Empty slices merge into neighbours under a large capacity.
-        let mut w = plan.windows(1, 100);
+        let mut w = plan.windows(1, 100, false);
         let all = w.next_window().unwrap().unwrap();
         assert_eq!(all.slices, 0..4);
         assert_eq!(all.stream.num_slices(), 4);
@@ -876,23 +1510,52 @@ mod tests {
 
     #[test]
     fn window_reset_replays_the_sweep() {
-        use ptucker_memtrack::MemoryBudget;
         let x = sample();
         let plan = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
-        let mut w = plan.windows(0, 2);
-        let first: Vec<f64> = w.next_window().unwrap().unwrap().stream.values().to_vec();
-        while w.next_window().unwrap().is_some() {}
-        w.reset();
-        let again: Vec<f64> = w.next_window().unwrap().unwrap().stream.values().to_vec();
-        assert_eq!(first, again);
+        for prefetch in [false, true] {
+            let mut w = plan.windows(0, 2, prefetch);
+            let first: Vec<f64> = w.next_window().unwrap().unwrap().stream.values().to_vec();
+            while w.next_window().unwrap().is_some() {}
+            w.reset();
+            let again: Vec<f64> = w.next_window().unwrap().unwrap().stream.values().to_vec();
+            assert_eq!(first, again);
+        }
+    }
+
+    /// Rewinding mid-sweep with a prefetch in flight must discard the
+    /// queued window cleanly and replay the new mode from its start.
+    #[test]
+    fn prefetch_survives_midsweep_rewind() {
+        let x = sample();
+        let plan = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        let resident = ModeStreams::build(&x).unwrap();
+        let mut w = plan.windows(0, 1, true);
+        let _ = w.next_window().unwrap().unwrap(); // queues slice 1's read
+        w.rewind(1);
+        let full = resident.mode(1);
+        let mut covered = 0;
+        while let Some(win) = w.next_window().unwrap() {
+            for p in 0..win.stream.len() {
+                let g = win.base + p;
+                assert_eq!(win.stream.values()[p], full.values()[g]);
+                assert_eq!(win.stream.entry_id(p), full.entry_id(g));
+            }
+            covered += win.stream.len();
+        }
+        assert_eq!(covered, x.nnz());
+        // And ids sweeps drain the pipeline too.
+        w.rewind(2);
+        let _ = w.next_window().unwrap().unwrap();
+        w.rewind(0);
+        let ids = w.next_ids_window().unwrap().unwrap();
+        assert_eq!(ids.entry_ids.len(), x.slice_len(0, 0));
     }
 
     #[test]
     fn spilled_empty_tensor() {
-        use ptucker_memtrack::MemoryBudget;
         let x = SparseTensor::new(vec![3, 3], vec![]).unwrap();
         let plan = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
-        let mut w = plan.windows(0, 10);
+        let mut w = plan.windows(0, 10, false);
         let win = w.next_window().unwrap().unwrap();
         assert_eq!(win.slices, 0..3);
         assert!(win.stream.values().is_empty());

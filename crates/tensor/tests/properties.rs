@@ -222,15 +222,21 @@ proptest! {
     // in order, window boundaries are slice-aligned, every stream
     // position is visited once with the same (value, entry id, packed
     // indices) triple the resident stream holds, and no window exceeds
-    // the capacity unless it is a single oversized slice.
+    // the capacity unless it is a single oversized slice. Holds with the
+    // background prefetch (double-buffered) pipeline on and off —
+    // prefetching changes when bytes are read, never what they are.
     #[test]
-    fn slice_windows_cover_the_stream_exactly(x in arb_sparse(), cap in 1..12usize) {
+    fn slice_windows_cover_the_stream_exactly(
+        x in arb_sparse(),
+        cap in 1..12usize,
+        prefetch in any::<bool>(),
+    ) {
         let budget = ptucker_memtrack::MemoryBudget::unlimited();
         let resident = ModeStreams::build(&x).unwrap();
         let spilled = ModeStreams::build_spilled(&x, &budget).unwrap();
         for n in 0..x.order() {
             let full = resident.mode(n);
-            let mut windows = spilled.windows(n, cap);
+            let mut windows = spilled.windows(n, cap, prefetch);
             let mut expected_windows = windows.window_count();
             let mut next_slice = 0usize;
             let mut next_pos = 0usize;

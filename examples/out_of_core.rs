@@ -1,8 +1,10 @@
-//! Out-of-core fitting: the same tensor fitted twice — once with room to
-//! spare, once under a memory budget far too small for the execution plan
-//! (and the Cache variant's `Pres` table) — showing that the budgeted fit
-//! spills to scratch files, sweeps slice-aligned windows, and still lands
-//! on the *identical* trajectory.
+//! Out-of-core fitting: the same tensor fitted three times — once with
+//! room to spare, once under a budget that fits the execution plan but
+//! not the Cache variant's `Pres` table (**hybrid spilling**: only the
+//! table goes to disk), and once under a budget far too small for either
+//! (full spill, with double-buffered window prefetch) — showing that all
+//! three land on the *identical* trajectory while spilling strictly less
+//! the more memory they are given.
 //!
 //! ```text
 //! cargo run --release --example out_of_core
@@ -10,17 +12,21 @@
 
 use ptucker::{BudgetPolicy, FitOptions, MemoryBudget, PTucker, Variant};
 use ptucker_datagen::planted_lowrank;
+use ptucker_tensor::ModeStreams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let x = planted_lowrank(&[60, 50, 40], &[3, 3, 3], 12_000, 0.02, &mut rng).tensor;
+    let plan_bytes = ModeStreams::bytes_for(&x);
+    let table_bytes = x.nnz() * 27 * 8; // |Ω| × |G| doubles
     println!(
-        "tensor: dims {:?}, |Ω| = {}; in-memory plan would need {} B",
+        "tensor: dims {:?}, |Ω| = {}; resident plan {} B, Pres table {} B",
         x.dims(),
         x.nnz(),
-        ptucker_tensor::ModeStreams::bytes_for(&x)
+        plan_bytes,
+        table_bytes
     );
 
     let opts = |budget: MemoryBudget| {
@@ -39,26 +45,47 @@ fn main() {
         .fit(&x)
         .expect("in-memory fit");
 
-    // 2. A 64 KiB budget — far below the plan, let alone the Pres table.
+    // 2. Hybrid spill: a budget holding the plan (plus slack for tile
+    //    buffers) but not the |Ω|×|G| table. The plan stays resident; only
+    //    the table streams to a scratch file, tile by tile.
+    let hybrid_budget = plan_bytes + plan_bytes / 2;
+    assert!(hybrid_budget < plan_bytes + table_bytes);
+    let hybrid = PTucker::new(opts(MemoryBudget::new(hybrid_budget)))
+        .unwrap()
+        .fit(&x)
+        .expect("hybrid fit");
+
+    // 3. A 64 KiB budget — far below the plan, let alone the Pres table.
     //    Under the default BudgetPolicy::Spill the fit completes out of
     //    core instead of reporting the paper's O.O.M.
-    let budget = MemoryBudget::new(64 << 10);
-    assert_eq!(budget.policy(), BudgetPolicy::Spill);
-    let spilled = PTucker::new(opts(budget))
+    let tiny = MemoryBudget::new(64 << 10);
+    assert_eq!(tiny.policy(), BudgetPolicy::Spill);
+    let spilled = PTucker::new(opts(tiny))
         .unwrap()
         .fit(&x)
         .expect("the windowed path must complete where the in-memory path could not");
 
-    println!("\niter   in-memory error    out-of-core error");
-    for (a, b) in roomy.stats.iterations.iter().zip(&spilled.stats.iterations) {
+    println!("\niter   in-memory error    hybrid error       out-of-core error");
+    for ((a, h), b) in roomy
+        .stats
+        .iterations
+        .iter()
+        .zip(&hybrid.stats.iterations)
+        .zip(&spilled.stats.iterations)
+    {
         println!(
-            "{:>4}   {:<16.10} {:<16.10}",
-            a.iter, a.reconstruction_error, b.reconstruction_error
+            "{:>4}   {:<16.10} {:<16.10} {:<16.10}",
+            a.iter, a.reconstruction_error, h.reconstruction_error, b.reconstruction_error
         );
-        assert!(
-            (a.reconstruction_error - b.reconstruction_error).abs()
-                <= 1e-9 * a.reconstruction_error,
-            "trajectories must agree"
+        assert_eq!(
+            a.reconstruction_error.to_bits(),
+            h.reconstruction_error.to_bits(),
+            "hybrid trajectory must agree bitwise"
+        );
+        assert_eq!(
+            a.reconstruction_error.to_bits(),
+            b.reconstruction_error.to_bits(),
+            "spilled trajectory must agree bitwise"
         );
     }
     println!(
@@ -66,11 +93,16 @@ fn main() {
         roomy.stats.peak_intermediate_bytes
     );
     println!(
+        "hybrid:      peak resident {} B, spilled {} B (table only — plan stayed in RAM)",
+        hybrid.stats.peak_intermediate_bytes, hybrid.stats.peak_spilled_bytes
+    );
+    println!(
         "out-of-core: peak resident {} B, spilled {} B to scratch files",
         spilled.stats.peak_intermediate_bytes, spilled.stats.peak_spilled_bytes
     );
+    assert!(hybrid.stats.peak_spilled_bytes < spilled.stats.peak_spilled_bytes);
 
-    // 3. The paper's hard O.O.M. boundary is still available when an
+    // 4. The paper's hard O.O.M. boundary is still available when an
     //    experiment needs it: BudgetPolicy::Strict.
     let strict = MemoryBudget::with_policy(64 << 10, BudgetPolicy::Strict);
     let err = PTucker::new(opts(strict)).unwrap().fit(&x).unwrap_err();

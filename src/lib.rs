@@ -44,8 +44,10 @@
 //!   reordered slice-by-slice — that every row-update loop in the
 //!   workspace walks linearly instead of gathering through COO entry ids.
 //!   A plan's storage is a `StreamStore`: fully resident, or spilled to a
-//!   scratch file and consumed through `SliceWindows` (slice-aligned,
-//!   budget-sized windows refilling one pinned buffer).
+//!   scratch file. Either placement is swept through one `SweepSource`
+//!   abstraction — slice-aligned windows served as zero-copy views of a
+//!   resident stream, or as pinned-buffer refills from the scratch file
+//!   (double-buffered with a background prefetch worker).
 //! * [`ptucker`] (`crates/core`) — the solver, organized as a
 //!   **plan/engine/kernel/scratch** stack: the fit driver derives the
 //!   `ModeStreams` plan once per fit (metered in the memory budget), is
