@@ -210,7 +210,7 @@ pub fn s_hot(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult> {
                         let k_others = stream.other_count();
                         let others = stream.others_flat();
                         for pos in stream.slice_range(i) {
-                            let xv = values[pos];
+                            let xv = values.at(pos);
                             kron_row_packed(
                                 &others[pos * k_others..(pos + 1) * k_others],
                                 n,

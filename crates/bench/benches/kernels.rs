@@ -14,11 +14,19 @@
 //! `PTucker::fit` actually runs) so the trajectory stays comparable. A
 //! `windowed_fit` series prices the out-of-core path: the same Direct
 //! fit in-memory vs through spilled slice-aligned windows.
+//!
+//! Two mixed-precision series ride along: `mixed_precision` compares the
+//! Cached sweep with f32 vs f64 Pres/value storage (resident row sweeps
+//! and fully spilled fits, J ∈ {5, 10, 20}), and `avx512_kernels` prices
+//! the dispatched dot/axpy/div-add primitives (including the widening
+//! f32-input variants) against hand-rolled scalar loops, recording which
+//! SIMD tier the binary was built with and whether the CPU has `avx512f`.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use ptucker::engine::{CachedKernel, DirectKernel, ModeContext, RowUpdateKernel, Scratch};
-use ptucker::{FitOptions, MemoryBudget, PTucker};
+use ptucker::{FitOptions, MemoryBudget, PTucker, StoragePrecision, Variant};
 use ptucker_baselines::CsfTensor;
+use ptucker_linalg::kernels;
 use ptucker_linalg::{leading_left_singular_vectors, sym_eigen, Matrix};
 use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor};
 use rand::rngs::StdRng;
@@ -73,9 +81,16 @@ struct RowUpdateFixture {
 
 impl RowUpdateFixture {
     fn new(j: usize, rng: &mut StdRng) -> Self {
+        Self::new_at(j, rng, StoragePrecision::F64)
+    }
+
+    /// Like [`RowUpdateFixture::new`] but with the plan values and the
+    /// Cached kernel's Pres table stored at `precision` (the
+    /// `mixed_precision` series builds one fixture per precision).
+    fn new_at(j: usize, rng: &mut StdRng, precision: StoragePrecision) -> Self {
         let dims = [32usize, 24, 16];
         let x = ptucker_datagen::uniform_sparse(&dims, 400, rng);
-        let plan = ModeStreams::build(&x).unwrap();
+        let plan = ModeStreams::build_at(&x, precision).unwrap();
         let factors: Vec<Matrix> = dims
             .iter()
             .map(|&d| {
@@ -83,7 +98,9 @@ impl RowUpdateFixture {
             })
             .collect();
         let core = CoreTensor::random_dense(vec![j, j, j], rng).unwrap();
-        let opts = FitOptions::new(vec![j, j, j]).lambda(0.01);
+        let opts = FitOptions::new(vec![j, j, j])
+            .lambda(0.01)
+            .precision(precision);
         RowUpdateFixture {
             x,
             plan,
@@ -207,7 +224,7 @@ impl RowUpdateFixture {
                         delta[beta[0]] += g * prefix[order];
                         prev = beta;
                     }
-                    let xv = values[pos];
+                    let xv = values.at(pos);
                     for j1 in 0..j {
                         let d1 = delta[j1];
                         c[j1] += xv * d1;
@@ -270,7 +287,7 @@ impl RowUpdateFixture {
                             delta[j_n] += w;
                         }
                     }
-                    let xv = values[pos];
+                    let xv = values.at(pos);
                     for j1 in 0..j {
                         let d1 = delta[j1];
                         c[j1] += xv * d1;
@@ -610,6 +627,157 @@ fn write_artifact() {
              \"overhead\": {overhead_double:.3}}}"
         ));
     }
+    // Mixed precision: the same Cached sweep with f32 vs f64 storage.
+    // `resident` times one mode-0 row sweep against the in-RAM Pres
+    // table; `spilled` times a whole 2-iteration Cache-variant fit with a
+    // 1-byte budget (plan + table both on disk), where f32 also halves
+    // every scratch-file transfer. Accumulation is f64 in both columns —
+    // the speedup is pure storage traffic.
+    for &j in &[5usize, 10, 20] {
+        let mut sweep_ns = [0.0f64; 2];
+        let mut fit_ns = [0.0f64; 2];
+        for (slot, precision) in [StoragePrecision::F64, StoragePrecision::F32]
+            .into_iter()
+            .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(3);
+            let fx = RowUpdateFixture::new_at(j, &mut rng, precision);
+            let mut cached = CachedKernel::new();
+            let mut sweep = fx.plan.sweep_source(0, usize::MAX, false);
+            cached
+                .prepare_fit(
+                    &fx.x,
+                    &fx.plan,
+                    &fx.factors,
+                    &fx.core,
+                    &fx.opts,
+                    &mut sweep,
+                    false,
+                )
+                .unwrap();
+            let mut scratch = Scratch::new(j);
+            let mut row = vec![0.0; j];
+            sweep_ns[slot] = median_ns(15, || fx.stream_row_sweep(&cached, &mut scratch, &mut row));
+            // Ranks clamped to the fixture's dims (J = 20 > I₂ = 16).
+            let fit_ranks: Vec<usize> = fx.x.dims().iter().map(|&d| j.min(d)).collect();
+            fit_ns[slot] = median_ns(5, || {
+                let fit = PTucker::new(
+                    FitOptions::new(fit_ranks.clone())
+                        .max_iters(2)
+                        .tol(0.0)
+                        .threads(1)
+                        .seed(7)
+                        .variant(Variant::Cache)
+                        .precision(precision)
+                        .budget(MemoryBudget::new(1)),
+                )
+                .unwrap()
+                .fit(&fx.x)
+                .unwrap();
+                assert!(fit.stats.peak_spilled_bytes > 0);
+                black_box(fit);
+            });
+        }
+        let resident_speedup = sweep_ns[0] / sweep_ns[1];
+        let spilled_speedup = fit_ns[0] / fit_ns[1];
+        println!(
+            "artifact mixed_precision j={j}: resident f64 {:.0} ns / f32 {:.0} ns \
+             ({resident_speedup:.2}x), spilled f64 {:.0} ns / f32 {:.0} ns \
+             ({spilled_speedup:.2}x)",
+            sweep_ns[0], sweep_ns[1], fit_ns[0], fit_ns[1]
+        );
+        lines.push(format!(
+            "    {{\"bench\": \"mixed_precision\", \"j\": {j}, \"placement\": \"resident\", \
+             \"f64_ns\": {:.1}, \"f32_ns\": {:.1}, \"speedup\": {resident_speedup:.3}}}",
+            sweep_ns[0], sweep_ns[1]
+        ));
+        lines.push(format!(
+            "    {{\"bench\": \"mixed_precision\", \"j\": {j}, \"placement\": \"spilled\", \
+             \"f64_ns\": {:.1}, \"f32_ns\": {:.1}, \"speedup\": {spilled_speedup:.3}}}",
+            fit_ns[0], fit_ns[1]
+        ));
+    }
+
+    // SIMD kernel tier: the dispatched primitives vs hand-rolled scalar
+    // loops at a bandwidth-visible length. The JSON records which tier the
+    // binary was built with (`avx512_built`) and whether this CPU can run
+    // it (`avx512_cpu`) — with the feature off or the CPU lacking
+    // `avx512f`, the dispatched column *is* the AVX2-or-scalar fallback,
+    // which is exactly the fallback-cleanliness claim.
+    {
+        let n = 4096usize;
+        let mut rng = StdRng::seed_from_u64(11);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let den: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 0.5).collect();
+        let mut y = vec![0.0f64; n];
+        let avx512_built = cfg!(feature = "simd-avx512");
+        #[cfg(target_arch = "x86_64")]
+        let avx512_cpu = std::arch::is_x86_feature_detected!("avx512f");
+        #[cfg(not(target_arch = "x86_64"))]
+        let avx512_cpu = false;
+
+        let dot_scalar = median_ns(15, || {
+            let mut s = 0.0;
+            for i in 0..n {
+                s += a[i] * b[i];
+            }
+            black_box(s);
+        });
+        let dot_simd = median_ns(15, || {
+            black_box(kernels::dot(&a, &b));
+        });
+        let dot_f32_simd = median_ns(15, || {
+            black_box(kernels::dot_f32_f64(&a32, &b));
+        });
+        let axpy_scalar = median_ns(15, || {
+            for i in 0..n {
+                y[i] += 1.0001 * a[i];
+            }
+            black_box(&mut y);
+        });
+        let axpy_simd = median_ns(15, || {
+            kernels::axpy(1.0001, &a, &mut y);
+            black_box(&mut y);
+        });
+        let axpy_f32_simd = median_ns(15, || {
+            kernels::axpy_into_f64(1.0001, &a32, &mut y);
+            black_box(&mut y);
+        });
+        let div_scalar = median_ns(15, || {
+            for i in 0..n {
+                y[i] += a[i] / den[i];
+            }
+            black_box(&mut y);
+        });
+        let div_simd = median_ns(15, || {
+            black_box(kernels::div_add_nonzero(&mut y, &a, &den));
+        });
+        let div_f32_simd = median_ns(15, || {
+            black_box(kernels::div_add_nonzero_f32(&mut y, &a32, &den));
+        });
+        for (kernel, scalar, simd, f32_in) in [
+            ("dot", dot_scalar, dot_simd, dot_f32_simd),
+            ("axpy", axpy_scalar, axpy_simd, axpy_f32_simd),
+            ("div_add_nonzero", div_scalar, div_simd, div_f32_simd),
+        ] {
+            println!(
+                "artifact avx512_kernels {kernel} n={n}: scalar {scalar:.0} ns, \
+                 dispatched {simd:.0} ns ({:.2}x), f32-input {f32_in:.0} ns \
+                 (built avx512: {avx512_built}, cpu avx512f: {avx512_cpu})",
+                scalar / simd
+            );
+            lines.push(format!(
+                "    {{\"bench\": \"avx512_kernels\", \"kernel\": \"{kernel}\", \"n\": {n}, \
+                 \"scalar_ns\": {scalar:.1}, \"dispatched_ns\": {simd:.1}, \
+                 \"f32_input_ns\": {f32_in:.1}, \"speedup\": {:.3}, \
+                 \"avx512_built\": {avx512_built}, \"avx512_cpu\": {avx512_cpu}}}",
+                scalar / simd
+            ));
+        }
+    }
+
     let json = format!(
         "{{\n  \"suite\": \"kernels\",\n  \"tensor\": \"uniform 32x24x16, 400 nnz\",\n  \
          \"results\": [\n{}\n  ]\n}}\n",

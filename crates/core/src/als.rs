@@ -155,19 +155,21 @@ fn resident_floor_bytes(x: &SparseTensor, opts: &FitOptions) -> usize {
         Variant::Approx { truncation_rate } if truncation_rate > 0.0 => opts.threads * 2 * g * 8,
         _ => 0,
     };
-    ModeStreams::bytes_for(x)
+    ModeStreams::bytes_for_at(x, opts.precision)
         .saturating_add(scratch)
         .saturating_add(aux)
 }
 
 /// Bytes of the Cache variant's `|Ω|×|G|` table — the one piece of
 /// auxiliary state with its own spilled representation (0 for the other
-/// variants).
+/// variants). Scales with the fit's storage precision: an f32 table is
+/// half the footprint, which is exactly how `StoragePrecision::F32`
+/// doubles the budget's reach before the gate starts spilling.
 fn table_bytes(x: &SparseTensor, opts: &FitOptions) -> usize {
     match opts.variant {
         Variant::Cache => {
             let g: usize = opts.ranks.iter().product();
-            x.nnz().saturating_mul(g) * 8
+            x.nnz().saturating_mul(g) * opts.precision.value_bytes()
         }
         _ => 0,
     }
@@ -242,10 +244,13 @@ fn run_fit<K: RowUpdateKernel>(
     // spill meter.
     let mut plan_reservation = None;
     let plan = if place.spill_plan {
-        ModeStreams::build_spilled(x, &opts.budget)?
+        ModeStreams::build_spilled_at(x, &opts.budget, opts.precision)?
     } else {
-        plan_reservation = Some(opts.budget.reserve(ModeStreams::bytes_for(x))?);
-        ModeStreams::build(x)?
+        plan_reservation = Some(
+            opts.budget
+                .reserve(ModeStreams::bytes_for_at(x, opts.precision))?,
+        );
+        ModeStreams::build_at(x, opts.precision)?
     };
     let _plan_reservation = plan_reservation;
 
@@ -278,14 +283,17 @@ fn run_fit<K: RowUpdateKernel>(
     // remaining budget, they don't overshoot it; prefetch only engages if
     // the halved windows still clear the amortization threshold.
     let g = core.nnz();
-    let tile_doubles = if place.spill_table { 2 * g + 1 } else { 0 };
+    let vb = opts.precision.value_bytes();
+    // Per-position tile cost: the Pres row and its staging twin at the
+    // storage precision, plus the 8-byte (dest, src) permutation pair.
+    let tile_pos_bytes = if place.spill_table { 2 * g * vb + 8 } else { 0 };
     let stream_pos_bytes = if place.spill_plan {
-        8 + 4 * (order - 1) + 4
+        vb + 4 * (order - 1) + 4
     } else {
         0
     };
     let cap_for = |buffer_copies: usize| {
-        (opts.budget.available() / (buffer_copies * stream_pos_bytes + 8 * tile_doubles).max(1))
+        (opts.budget.available() / (buffer_copies * stream_pos_bytes + tile_pos_bytes).max(1))
             .max(1)
     };
     let (cap, prefetch) = if !place.windowed() {
@@ -311,7 +319,7 @@ fn run_fit<K: RowUpdateKernel>(
         if place.spill_table {
             _window_buffers.push(
                 opts.budget
-                    .reserve_unchecked(buf_positions * 8 * tile_doubles),
+                    .reserve_unchecked(buf_positions * tile_pos_bytes),
             );
         }
     }
@@ -635,7 +643,7 @@ pub(crate) fn refit_core_observed(
 mod tests {
     use super::*;
     use crate::engine::{ApproxKernel, CachedKernel, DirectKernel, GatherReferenceKernel};
-    use crate::MemoryBudget;
+    use crate::{MemoryBudget, StoragePrecision};
     use proptest::prelude::*;
     use ptucker_datagen::planted_lowrank;
 
@@ -953,8 +961,84 @@ mod tests {
         assert_bitwise_equal(&prefetched, &plain, "prefetch-vs-plain");
     }
 
+    /// Mixed-precision acceptance: with f32 *storage* but f64
+    /// *accumulation*, the fit trajectory must track the full-f64 run to
+    /// roughly f32 machine precision — the quantization error of the
+    /// inputs, not a compounding iteration-by-iteration drift. Also pins
+    /// the accounting side: the placement gate sees half-size plan and
+    /// table footprints under `StoragePrecision::F32`.
+    #[test]
+    fn f32_storage_tracks_f64_fit_within_quantization_noise() {
+        let x = planted();
+        for variant in [Variant::Default, Variant::Cache] {
+            let opts64 = base_opts().variant(variant);
+            let opts32 = base_opts()
+                .variant(variant)
+                .precision(StoragePrecision::F32);
+            let f64_fit = PTucker::new(opts64).unwrap().fit(&x).unwrap();
+            let f32_fit = PTucker::new(opts32).unwrap().fit(&x).unwrap();
+            assert_eq!(
+                f64_fit.stats.iterations.len(),
+                f32_fit.stats.iterations.len(),
+                "{variant:?}: precision changed iteration count at tol=0"
+            );
+            for (a, b) in f64_fit
+                .stats
+                .iterations
+                .iter()
+                .zip(&f32_fit.stats.iterations)
+            {
+                let rel = (a.reconstruction_error - b.reconstruction_error).abs()
+                    / a.reconstruction_error.max(1e-12);
+                assert!(
+                    rel < 1e-4,
+                    "{variant:?} iter {}: f32-vs-f64 rel drift {rel}",
+                    a.iter
+                );
+            }
+        }
+        // Accounting: f32 halves exactly the value payload of the plan and
+        // the Cache table — the gate must see those smaller numbers.
+        let o64 = base_opts().variant(Variant::Cache);
+        let o32 = o64.clone().precision(StoragePrecision::F32);
+        assert_eq!(
+            table_bytes(&x, &o64) - table_bytes(&x, &o32),
+            x.nnz() * 8 * 4,
+            "f32 table should drop 4 bytes per cell"
+        );
+        assert!(resident_floor_bytes(&x, &o32) < resident_floor_bytes(&x, &o64));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(6))]
+
+        // Tentpole property: storage precision is orthogonal to placement.
+        // An f32-storage fit quantizes each value exactly once at plan
+        // build; after that, resident and spilled windows widen the same
+        // stored bits through the same f64 kernels — so the in-memory path
+        // and the 1-byte-budget many-window path must agree bitwise,
+        // exactly as the f64 invariant below.
+        #[test]
+        fn f32_storage_fit_is_window_partition_invariant(seed in 0..u64::MAX) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = planted_lowrank(&[11, 9, 8], &[2, 2, 2], 350, 0.02, &mut rng).tensor;
+            for variant in [Variant::Default, Variant::Cache] {
+                let opts = FitOptions::new(vec![2, 2, 2])
+                    .max_iters(3)
+                    .tol(0.0)
+                    .threads(2)
+                    .seed(seed ^ 0xf32)
+                    .variant(variant)
+                    .precision(StoragePrecision::F32);
+                let in_mem = PTucker::new(opts.clone()).unwrap().fit(&x).unwrap();
+                let windowed = PTucker::new(opts.budget(MemoryBudget::new(1)))
+                    .unwrap()
+                    .fit(&x)
+                    .unwrap();
+                prop_assert!(windowed.stats.peak_spilled_bytes > 0);
+                assert_bitwise_equal(&in_mem, &windowed, "f32 windowed-vs-resident");
+            }
+        }
 
         // Satellite property: the unified driver's single-full-window
         // (in-memory) path and its many-window spilled path walk the same

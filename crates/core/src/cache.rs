@@ -15,7 +15,7 @@
 //! The table's rows are laid out in the [`ModeStream`] order of the mode
 //! currently being swept, not in COO entry order: position `p` of the
 //! sweep owns row `p` of the table, so a mode's whole row sweep reads the
-//! `|Ω|·|G|` doubles **strictly sequentially** — no entry-id indirection,
+//! `|Ω|·|G|` elements **strictly sequentially** — no entry-id indirection,
 //! no scattered row fetches. Between modes the table is carried into the
 //! next mode's order by [`PresTable::rescale_and_reorder`]: the per-mode
 //! rescale (the arithmetic pass) stays parallel, followed by an in-place
@@ -33,22 +33,128 @@
 //! the run collapses to one contiguous sum over the cached products and a
 //! single division.
 //!
-//! The table is `|Ω|·|G|` doubles — the dominant memory cost (Theorem 6) —
-//! and is metered against the fit's [`MemoryBudget`], which is exactly how
-//! the Fig. 8(b) memory gap (≈29.5× at N = 10) is reproduced.
+//! The table is `|Ω|·|G|` elements of the fit's [`StoragePrecision`] —
+//! the dominant memory cost (Theorem 6), halved outright by f32 storage —
+//! and is metered against the fit's [`MemoryBudget`] at the per-precision
+//! element size, which is exactly how the Fig. 8(b) memory gap (≈29.5× at
+//! N = 10) is reproduced.
 
 use crate::Result;
-use ptucker_linalg::kernels::div_add_nonzero;
+use ptucker_linalg::kernels::{div_add_nonzero, div_add_nonzero_f32, sum_widened};
 use ptucker_linalg::Matrix;
 use ptucker_memtrack::{MemoryBudget, Reservation, ScratchFile, SpillReservation};
 use ptucker_sched::{parallel_rows_mut, Schedule};
-use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor, SweepSource};
+use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor, StoragePrecision, SweepSource};
 
-/// The memoization table of P-Tucker-Cache.
+/// The element type of a `Pres` table: the storage half of the fit's
+/// [`StoragePrecision`] axis applied to the cache. Products are computed
+/// in `f64`, stored at the element's width ([`PresElem::from_f64`] rounds
+/// once for `f32`), and widened back to `f64` at every use — so the two
+/// implementations share the identical run-blocked arithmetic and differ
+/// only in stored bits and bytes moved.
+pub(crate) trait PresElem: Copy + Send + Sync + Default + std::fmt::Debug + 'static {
+    /// The precision this element realizes (sizing, placement gates).
+    const PRECISION: StoragePrecision;
+
+    /// Rounds a computed `f64` product onto this element's storage grid.
+    fn from_f64(v: f64) -> Self;
+
+    /// Widens a stored element back to `f64` (exact).
+    fn to_f64(self) -> f64;
+
+    /// `δ[t] += pres[t] / den[t]` over the nonzero divisors of `den`,
+    /// leaving zero-divisor slots untouched; returns whether any divisor
+    /// was zero. One rounded `f64` quotient per element on every SIMD
+    /// tier — bitwise identical across placements.
+    fn div_add(delta: &mut [f64], pres: &[Self], den: &[f64]) -> bool;
+
+    /// The `f64` sum of a run of cached products (the constant-divisor
+    /// collapse of non-tail modes).
+    fn sum(pres: &[Self]) -> f64;
+
+    /// Reads `out.len()` elements from a scratch file at `off`.
+    fn read(file: &ScratchFile, off: u64, out: &mut [Self]) -> std::io::Result<()>;
+
+    /// Writes `data` to a scratch file at `off`.
+    fn write(file: &ScratchFile, off: u64, data: &[Self]) -> std::io::Result<()>;
+}
+
+impl PresElem for f64 {
+    const PRECISION: StoragePrecision = StoragePrecision::F64;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn div_add(delta: &mut [f64], pres: &[Self], den: &[f64]) -> bool {
+        div_add_nonzero(delta, pres, den)
+    }
+
+    #[inline]
+    fn sum(pres: &[Self]) -> f64 {
+        // Sequential: the classic f64 table's summation order, kept
+        // bit-for-bit (regression anchor for the pre-precision engine).
+        let mut acc = 0.0;
+        for &c in pres {
+            acc += c;
+        }
+        acc
+    }
+
+    fn read(file: &ScratchFile, off: u64, out: &mut [Self]) -> std::io::Result<()> {
+        file.read_f64s(off, out)
+    }
+
+    fn write(file: &ScratchFile, off: u64, data: &[Self]) -> std::io::Result<()> {
+        file.write_f64s(off, data)
+    }
+}
+
+impl PresElem for f32 {
+    const PRECISION: StoragePrecision = StoragePrecision::F32;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn div_add(delta: &mut [f64], pres: &[Self], den: &[f64]) -> bool {
+        div_add_nonzero_f32(delta, pres, den)
+    }
+
+    #[inline]
+    fn sum(pres: &[Self]) -> f64 {
+        sum_widened(pres)
+    }
+
+    fn read(file: &ScratchFile, off: u64, out: &mut [Self]) -> std::io::Result<()> {
+        file.read_f32s(off, out)
+    }
+
+    fn write(file: &ScratchFile, off: u64, data: &[Self]) -> std::io::Result<()> {
+        file.write_f32s(off, data)
+    }
+}
+
+/// The memoization table of P-Tucker-Cache, stored at element type `E`
+/// (the fit's [`StoragePrecision`]).
 #[derive(Debug)]
-pub(crate) struct PresTable {
+pub(crate) struct PresTable<E: PresElem> {
     /// Row-major `|Ω| × |G|` products, rows in `order_mode`'s stream order.
-    data: Vec<f64>,
+    data: Vec<E>,
     /// Row stride = `|G|` (fixed: Cache and Approx are mutually exclusive).
     g: usize,
     /// The mode whose stream order the rows currently follow.
@@ -57,14 +163,16 @@ pub(crate) struct PresTable {
     _reservation: Reservation,
 }
 
-impl PresTable {
+impl<E: PresElem> PresTable<E> {
     /// Precomputes the full table in parallel (Algorithm 3 lines 1–4; the
     /// paper uses static scheduling here — uniform work per row), laid out
     /// in **mode 0's stream order** (the first mode the driver sweeps).
+    /// Each product is computed in `f64` and rounded once onto `E`'s
+    /// storage grid.
     ///
     /// # Errors
-    /// [`crate::PtuckerError::OutOfMemory`] if `|Ω|·|G|` doubles exceed the
-    /// intermediate-data budget.
+    /// [`crate::PtuckerError::OutOfMemory`] if `|Ω|·|G|` elements exceed
+    /// the intermediate-data budget.
     pub fn compute(
         x: &SparseTensor,
         plan: &ModeStreams,
@@ -75,8 +183,8 @@ impl PresTable {
     ) -> Result<Self> {
         let g = core.nnz();
         let cells = x.nnz().saturating_mul(g);
-        let reservation = budget.reserve_f64(cells)?;
-        let mut data = vec![0.0f64; cells];
+        let reservation = budget.reserve(cells.saturating_mul(E::PRECISION.value_bytes()))?;
+        let mut data = vec![E::default(); cells];
         let order = x.order();
         let core_idx = core.flat_indices();
         let core_vals = core.values();
@@ -84,12 +192,12 @@ impl PresTable {
         parallel_rows_mut(&mut data, g.max(1), threads, Schedule::Static, |p, row| {
             let idx = x.index(stream.entry_id(p));
             for (b, slot) in row.iter_mut().enumerate() {
-                *slot = product(
+                *slot = E::from_f64(product(
                     core_vals[b],
                     &core_idx[b * order..(b + 1) * order],
                     idx,
                     factors,
-                );
+                ));
             }
         });
         Ok(PresTable {
@@ -109,7 +217,7 @@ impl PresTable {
     /// The cached products behind stream position `p` of the current
     /// order mode's stream.
     #[inline]
-    pub fn row_at(&self, p: usize) -> &[f64] {
+    pub fn row_at(&self, p: usize) -> &[E] {
         &self.data[p * self.g..(p + 1) * self.g]
     }
 
@@ -206,7 +314,7 @@ impl PresTable {
         // σ(p) = destination of the row at current position p.
         let sigma = |p: usize| next.position_of(cur.entry_id(p));
         let mut visited = vec![false; nnz];
-        let mut carry = vec![0.0f64; self.g.max(1)];
+        let mut carry = vec![E::default(); self.g.max(1)];
         for start in 0..nnz {
             if visited[start] {
                 continue;
@@ -248,30 +356,30 @@ impl PresTable {
 /// tile plus its same-sized staging buffer and the `(dest, src)`
 /// permutation pairs (all counted in the window-capacity formula).
 #[derive(Debug)]
-pub(crate) struct SpilledPresTable {
+pub(crate) struct SpilledPresTable<E: PresElem> {
     file: ScratchFile,
     /// Row stride = `|G|`.
     g: usize,
-    /// Byte offsets of the two ping-pong regions (each `|Ω|·|G|` doubles).
+    /// Byte offsets of the two ping-pong regions (each `|Ω|·|G|` elements).
     regions: [u64; 2],
     /// Which region currently holds the table.
     active: usize,
     /// The mode whose stream order the rows currently follow.
     order_mode: usize,
     /// The pinned tile: the active window's rows, resident.
-    tile: Vec<f64>,
+    tile: Vec<E>,
     /// Reusable `(destination, source)` position pairs for the batched
     /// reorder scatter.
     perm: Vec<(u32, u32)>,
     /// Staging buffer assembling runs of consecutive destination rows so
     /// each run costs one write instead of one per entry.
-    staging: Vec<f64>,
+    staging: Vec<E>,
     _spill: SpillReservation,
 }
 
-impl SpilledPresTable {
+impl<E: PresElem> SpilledPresTable<E> {
     fn row_off(&self, region: usize, p: usize) -> u64 {
-        self.regions[region] + p as u64 * self.g as u64 * 8
+        self.regions[region] + p as u64 * self.g as u64 * E::PRECISION.value_bytes() as u64
     }
 
     /// Precomputes the full table window-at-a-time into the scratch file,
@@ -292,7 +400,7 @@ impl SpilledPresTable {
         windows: &mut SweepSource<'_>,
     ) -> Result<Self> {
         let g = core.nnz();
-        let bytes = x.nnz() as u64 * g as u64 * 8;
+        let bytes = x.nnz() as u64 * g as u64 * E::PRECISION.value_bytes() as u64;
         let file = ScratchFile::create().map_err(ptucker_tensor::TensorError::from)?;
         let regions = [
             file.reserve_region(bytes)
@@ -323,7 +431,7 @@ impl SpilledPresTable {
         windows.rewind(0);
         while let Some(w) = windows.next_ids_window()? {
             let len = w.entry_ids.len();
-            table.tile.resize(len * g, 0.0);
+            table.tile.resize(len * g, E::default());
             parallel_rows_mut(
                 &mut table.tile,
                 g.max(1),
@@ -332,19 +440,17 @@ impl SpilledPresTable {
                 |p, row| {
                     let idx = x.index(w.entry_ids[p] as usize);
                     for (b, slot) in row.iter_mut().enumerate() {
-                        *slot = product(
+                        *slot = E::from_f64(product(
                             core_vals[b],
                             &core_idx[b * order..(b + 1) * order],
                             idx,
                             factors,
-                        );
+                        ));
                     }
                 },
             );
-            table
-                .file
-                .write_f64s(table.row_off(0, w.base), &table.tile)
-                .map_err(ptucker_tensor::TensorError::from)?;
+            let off = table.row_off(0, w.base);
+            E::write(&table.file, off, &table.tile).map_err(ptucker_tensor::TensorError::from)?;
         }
         Ok(table)
     }
@@ -361,17 +467,15 @@ impl SpilledPresTable {
     /// # Errors
     /// [`crate::PtuckerError::Tensor`] (I/O) if the read fails.
     pub fn load_tile(&mut self, base: usize, len: usize) -> Result<()> {
-        self.tile.resize(len * self.g, 0.0);
+        self.tile.resize(len * self.g, E::default());
         let off = self.row_off(self.active, base);
-        self.file
-            .read_f64s(off, &mut self.tile)
-            .map_err(ptucker_tensor::TensorError::from)?;
+        E::read(&self.file, off, &mut self.tile).map_err(ptucker_tensor::TensorError::from)?;
         Ok(())
     }
 
     /// The cached products of the loaded tile's window-local position `p`.
     #[inline]
-    pub fn tile_row(&self, p: usize) -> &[f64] {
+    pub fn tile_row(&self, p: usize) -> &[E] {
         &self.tile[p * self.g..(p + 1) * self.g]
     }
 
@@ -412,12 +516,9 @@ impl SpilledPresTable {
         windows.rewind(mode);
         while let Some(w) = windows.next_ids_window()? {
             let len = w.entry_ids.len();
-            self.tile.resize(len * g, 0.0);
-            self.file
-                .read_f64s(
-                    self.regions[src] + w.base as u64 * g as u64 * 8,
-                    &mut self.tile,
-                )
+            self.tile.resize(len * g, E::default());
+            let src_off = self.row_off(src, w.base);
+            E::read(&self.file, src_off, &mut self.tile)
                 .map_err(ptucker_tensor::TensorError::from)?;
             parallel_rows_mut(
                 &mut self.tile,
@@ -453,8 +554,8 @@ impl SpilledPresTable {
                     self.staging
                         .extend_from_slice(&self.tile[p * g..(p + 1) * g]);
                 }
-                self.file
-                    .write_f64s(self.regions[dst] + q0 as u64 * g as u64 * 8, &self.staging)
+                let dst_off = self.row_off(dst, q0);
+                E::write(&self.file, dst_off, &self.staging)
                     .map_err(ptucker_tensor::TensorError::from)?;
                 i += run;
             }
@@ -471,9 +572,9 @@ impl SpilledPresTable {
 /// this, so the two execution paths are **bitwise identical** per row.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn cached_delta_for_entry(
+pub(crate) fn cached_delta_for_entry<E: PresElem>(
     delta: &mut [f64],
-    pres: &[f64],
+    pres: &[E],
     others: &[u32],
     mode: usize,
     a_row_old: &[f64],
@@ -499,7 +600,7 @@ pub(crate) fn cached_delta_for_entry(
             let t0 = core_idx[base * order + last];
             let contiguous = core_idx[(end - 1) * order + last] - t0 + 1 == len;
             if contiguous {
-                if div_add_nonzero(
+                if E::div_add(
                     &mut delta[t0..t0 + len],
                     &pres[base..end],
                     &a_row_old[t0..t0 + len],
@@ -524,7 +625,7 @@ pub(crate) fn cached_delta_for_entry(
                     let j_n = core_idx[b * order + last];
                     let a = a_row_old[j_n];
                     if a != 0.0 {
-                        delta[j_n] += pres[b] / a;
+                        delta[j_n] += pres[b].to_f64() / a;
                     } else {
                         delta[j_n] += fallback_product(
                             core_vals[b],
@@ -542,11 +643,7 @@ pub(crate) fn cached_delta_for_entry(
             let j_n = core_idx[base * order + mode];
             let a = a_row_old[j_n];
             if a != 0.0 {
-                let mut acc = 0.0;
-                for &cached in &pres[base..end] {
-                    acc += cached;
-                }
-                delta[j_n] += acc / a;
+                delta[j_n] += E::sum(&pres[base..end]) / a;
             } else {
                 for b in base..end {
                     delta[j_n] += fallback_product(
@@ -568,8 +665,8 @@ pub(crate) fn cached_delta_for_entry(
 /// arithmetic on both paths).
 #[inline]
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn rescale_entry_row(
-    row: &mut [f64],
+pub(crate) fn rescale_entry_row<E: PresElem>(
+    row: &mut [E],
     idx: &[usize],
     mode: usize,
     old_a: &Matrix,
@@ -585,9 +682,11 @@ pub(crate) fn rescale_entry_row(
         let j_n = beta[mode];
         let old = old_a[(i_n, j_n)];
         if old != 0.0 {
-            *slot *= new_a[(i_n, j_n)] / old;
+            // Widen, scale in f64, round back once — for f64 exactly the
+            // classic `*slot *= new/old`.
+            *slot = E::from_f64(slot.to_f64() * (new_a[(i_n, j_n)] / old));
         } else {
-            *slot = product(core_vals[b], beta, idx, factors);
+            *slot = E::from_f64(product(core_vals[b], beta, idx, factors));
         }
     }
 }
@@ -678,7 +777,8 @@ mod tests {
         // COO order looked up through the stream's entry-id map.
         let (x, factors, core, plan) = setup();
         let pres =
-            PresTable::compute(&x, &plan, &factors, &core, 2, &MemoryBudget::unlimited()).unwrap();
+            PresTable::<f64>::compute(&x, &plan, &factors, &core, 2, &MemoryBudget::unlimited())
+                .unwrap();
         assert_eq!(pres.order_mode(), 0);
         let stream = plan.mode(0);
         for p in 0..x.nnz() {
@@ -694,7 +794,8 @@ mod tests {
     fn cached_delta_matches_direct_delta() {
         let (x, factors, core, plan) = setup();
         let mut pres =
-            PresTable::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+            PresTable::<f64>::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited())
+                .unwrap();
         let runs = core_runs(core.flat_indices(), core.order());
         for mode in 0..2 {
             pres.ensure_order(&x, &plan, mode);
@@ -737,7 +838,8 @@ mod tests {
         // Zero out one factor value so the division path is impossible.
         factors[0][(0, 1)] = 0.0;
         let pres =
-            PresTable::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+            PresTable::<f64>::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited())
+                .unwrap();
         let runs = core_runs(core.flat_indices(), core.order());
         let stream = plan.mode(0);
         // Find the stream position of COO entry 0 — entry (0,0).
@@ -774,7 +876,8 @@ mod tests {
     fn rescale_and_reorder_keeps_table_consistent() {
         let (x, mut factors, core, plan) = setup();
         let mut pres =
-            PresTable::compute(&x, &plan, &factors, &core, 2, &MemoryBudget::unlimited()).unwrap();
+            PresTable::<f64>::compute(&x, &plan, &factors, &core, 2, &MemoryBudget::unlimited())
+                .unwrap();
         // Sweep mode 0 (no factor change yet), then "update" factor 0 and
         // carry the table into mode 1's order, fused with the rescale.
         let old = factors[0].clone();
@@ -800,7 +903,8 @@ mod tests {
         let (x, mut factors, core, plan) = setup();
         factors[0][(0, 0)] = 0.0;
         let mut pres =
-            PresTable::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+            PresTable::<f64>::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited())
+                .unwrap();
         let old = factors[0].clone();
         factors[0][(0, 0)] = 0.75; // zero → nonzero: division impossible
         pres.rescale_and_reorder(&x, &plan, &factors, &old, 0, 1, &core, 1);
@@ -818,7 +922,8 @@ mod tests {
     fn ensure_order_round_trips() {
         let (x, factors, core, plan) = setup();
         let mut pres =
-            PresTable::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited()).unwrap();
+            PresTable::<f64>::compute(&x, &plan, &factors, &core, 1, &MemoryBudget::unlimited())
+                .unwrap();
         let snapshot = pres.data.clone();
         pres.ensure_order(&x, &plan, 1);
         assert_eq!(pres.order_mode(), 1);
@@ -834,8 +939,55 @@ mod tests {
     fn budget_violation_is_oom() {
         let (x, factors, core, plan) = setup();
         let tiny = MemoryBudget::new(16); // far below |Ω|*|G|*8 bytes
-        let err = PresTable::compute(&x, &plan, &factors, &core, 1, &tiny).unwrap_err();
+        let err = PresTable::<f64>::compute(&x, &plan, &factors, &core, 1, &tiny).unwrap_err();
         assert!(matches!(err, crate::PtuckerError::OutOfMemory(_)));
+    }
+
+    /// Mixed-precision contract at the table layer: an f32 table holds
+    /// exactly the f64 product narrowed once — no double rounding, no
+    /// f32 arithmetic. (`product` runs in f64; the cast is the only
+    /// lossy step.)
+    #[test]
+    fn f32_table_stores_once_narrowed_products_bitwise() {
+        let (x, factors, core, plan) = setup();
+        let pres =
+            PresTable::<f32>::compute(&x, &plan, &factors, &core, 2, &MemoryBudget::unlimited())
+                .unwrap();
+        let stream = plan.mode(0);
+        for p in 0..x.nnz() {
+            let idx = x.index(stream.entry_id(p));
+            for b in 0..core.nnz() {
+                let want = product(core.value(b), core.index(b), idx, &factors) as f32;
+                assert_eq!(pres.row_at(p)[b].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    /// The f32 resident table and the f32 spilled tiles must expose the
+    /// same bits for every row — spilling is storage, not arithmetic.
+    /// (Hybrid layout: plan in RAM, table on disk, 2-position windows.)
+    #[test]
+    fn f32_spilled_tiles_match_resident_table_bitwise() {
+        let (x, factors, core, plan) = setup();
+        let budget = MemoryBudget::unlimited();
+        let resident = PresTable::<f32>::compute(&x, &plan, &factors, &core, 2, &budget).unwrap();
+        let mut source = plan.sweep_source(0, 2, false);
+        let mut spilled =
+            SpilledPresTable::<f32>::compute(&x, &factors, &core, 2, &budget, &mut source).unwrap();
+        source.rewind(0);
+        while let Some(w) = source.next_window().unwrap() {
+            let (base, len) = (w.base, w.stream.len());
+            spilled.load_tile(base, len).unwrap();
+            for off in 0..len {
+                for (a, b) in resident
+                    .row_at(base + off)
+                    .iter()
+                    .zip(spilled.tile_row(off))
+                {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 
     proptest! {
@@ -857,7 +1009,7 @@ mod tests {
                 .collect();
             let core = CoreTensor::random_dense(vec![2, 2, 2], &mut rng).unwrap();
             let plan = ModeStreams::build(&x).unwrap();
-            let mut pres = PresTable::compute(
+            let mut pres = PresTable::<f64>::compute(
                 &x,
                 &plan,
                 &factors,

@@ -37,9 +37,9 @@
 //! once per fit and metered against the memory budget; the run structure
 //! is computed once per mode sweep in [`ModeContext::new`].
 
-use crate::cache::{cached_delta_for_entry, PresTable, SpilledPresTable};
+use crate::cache::{cached_delta_for_entry, PresElem, PresTable, SpilledPresTable};
 use crate::delta::{accumulate_delta_blocked, accumulate_normal_eq, core_runs};
-use crate::{approx, FitOptions, Result};
+use crate::{approx, FitOptions, Result, StoragePrecision};
 use ptucker_linalg::{cholesky_solve_in_place, lu_solve_in_place, Matrix};
 use ptucker_memtrack::Reservation;
 use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor, StreamView, SweepSource, Window};
@@ -417,7 +417,7 @@ pub(crate) fn run_row(
             &mut scratch.b_upper[..j * j],
             &mut scratch.c[..j],
             &scratch.delta[..j],
-            values[pos],
+            values.at(pos),
         );
     }
     scratch.solve(j, ctx.lambda, row)
@@ -454,16 +454,147 @@ impl RowUpdateKernel for DirectKernel {
 }
 
 /// Where a [`CachedKernel`]'s `Pres` table lives — decided once per fit by
-/// the placement gate.
+/// the placement gate. Generic over the table's element type `E`, the
+/// fit's storage precision.
 #[derive(Debug)]
-enum TableStore {
+enum TableStore<E: PresElem> {
     /// The full `|Ω|×|G|` table resident (the paper's setting).
-    Resident(PresTable),
+    Resident(PresTable<E>),
     /// The table in its own scratch file, one window-sized tile resident
     /// at a time — used whenever the plan itself is spilled, **or** when
     /// the plan fits but the table alone overflows the budget (hybrid
     /// spilling).
-    Spilled(SpilledPresTable),
+    Spilled(SpilledPresTable<E>),
+}
+
+impl<E: PresElem> TableStore<E> {
+    fn compute(
+        x: &SparseTensor,
+        plan: &ModeStreams,
+        factors: &[Matrix],
+        core: &CoreTensor,
+        opts: &FitOptions,
+        sweep: &mut SweepSource<'_>,
+        spill_aux: bool,
+    ) -> Result<Self> {
+        Ok(if spill_aux {
+            TableStore::Spilled(SpilledPresTable::compute(
+                x,
+                factors,
+                core,
+                opts.threads,
+                &opts.budget,
+                sweep,
+            )?)
+        } else {
+            TableStore::Resident(PresTable::compute(
+                x,
+                plan,
+                factors,
+                core,
+                opts.threads,
+                &opts.budget,
+            )?)
+        })
+    }
+
+    fn align(&mut self, x: &SparseTensor, plan: &ModeStreams, mode: usize) {
+        match self {
+            // No-op in the driver's cyclic sweep (post_mode already left
+            // the table in this mode's order); re-aligns it for direct API
+            // users that sweep modes in other patterns.
+            TableStore::Resident(table) => table.ensure_order(x, plan, mode),
+            TableStore::Spilled(table) => debug_assert_eq!(
+                table.order_mode(),
+                mode,
+                "the driver sweeps cyclically, so the spilled table is pre-aligned"
+            ),
+        }
+    }
+
+    fn begin_window(&mut self, w: &Window<'_>) -> Result<()> {
+        if let TableStore::Spilled(table) = self {
+            table.load_tile(w.base, w.stream.len())?;
+        }
+        Ok(())
+    }
+
+    /// The per-entry cached-δ accumulation, addressed globally for a
+    /// resident table and tile-locally for a spilled one — the identical
+    /// run-blocked arithmetic (`cache::cached_delta_for_entry`) either way.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn delta(
+        &self,
+        delta: &mut [f64],
+        base: usize,
+        pos: usize,
+        others: &[u32],
+        mode: usize,
+        old_row: &[f64],
+        core_idx: &[usize],
+        core_vals: &[f64],
+        runs: &[u32],
+        factors: &[Matrix],
+    ) {
+        match self {
+            TableStore::Resident(t) => t.accumulate_delta_cached(
+                delta,
+                base + pos,
+                others,
+                mode,
+                old_row,
+                core_idx,
+                core_vals,
+                runs,
+                factors,
+            ),
+            TableStore::Spilled(t) => cached_delta_for_entry(
+                delta,
+                t.tile_row(pos),
+                others,
+                mode,
+                old_row,
+                core_idx,
+                core_vals,
+                runs,
+                factors,
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rescale_and_reorder(
+        &mut self,
+        x: &SparseTensor,
+        plan: &ModeStreams,
+        factors: &[Matrix],
+        old: &Matrix,
+        mode: usize,
+        next: usize,
+        core: &CoreTensor,
+        threads: usize,
+        sweep: &mut SweepSource<'_>,
+    ) -> Result<()> {
+        match self {
+            TableStore::Resident(table) => {
+                table.rescale_and_reorder(x, plan, factors, old, mode, next, core, threads);
+                Ok(())
+            }
+            TableStore::Spilled(table) => {
+                table.rescale_and_reorder(x, plan, factors, old, mode, next, core, threads, sweep)
+            }
+        }
+    }
+}
+
+/// A [`TableStore`] at either storage precision — the runtime dispatch
+/// point of the precision axis. Exactly one `match` per kernel hook; the
+/// per-row arithmetic below it is monomorphized per element type.
+#[derive(Debug)]
+enum AnyTable {
+    F64(TableStore<f64>),
+    F32(TableStore<f32>),
 }
 
 /// The P-Tucker-Cache kernel: owns the `Pres` table of all
@@ -486,7 +617,7 @@ enum TableStore {
 /// resident, hybrid-spilled and fully spilled fits agree **bitwise**.
 #[derive(Debug, Default)]
 pub struct CachedKernel {
-    table: Option<TableStore>,
+    table: Option<AnyTable>,
     /// Pre-update snapshot of the mode's factor, for the table rescale.
     old_factor: Option<Matrix>,
 }
@@ -509,24 +640,13 @@ impl RowUpdateKernel for CachedKernel {
         sweep: &mut SweepSource<'_>,
         spill_aux: bool,
     ) -> Result<()> {
-        self.table = Some(if spill_aux {
-            TableStore::Spilled(SpilledPresTable::compute(
-                x,
-                factors,
-                core,
-                opts.threads,
-                &opts.budget,
-                sweep,
-            )?)
-        } else {
-            TableStore::Resident(PresTable::compute(
-                x,
-                plan,
-                factors,
-                core,
-                opts.threads,
-                &opts.budget,
-            )?)
+        self.table = Some(match opts.precision {
+            StoragePrecision::F64 => AnyTable::F64(TableStore::compute(
+                x, plan, factors, core, opts, sweep, spill_aux,
+            )?),
+            StoragePrecision::F32 => AnyTable::F32(TableStore::compute(
+                x, plan, factors, core, opts, sweep, spill_aux,
+            )?),
         });
         Ok(())
     }
@@ -542,25 +662,19 @@ impl RowUpdateKernel for CachedKernel {
     ) -> Result<()> {
         self.old_factor = Some(factors[mode].clone());
         match self.table.as_mut() {
-            // No-op in the driver's cyclic sweep (post_mode already left
-            // the table in this mode's order); re-aligns it for direct API
-            // users that sweep modes in other patterns.
-            Some(TableStore::Resident(table)) => table.ensure_order(x, plan, mode),
-            Some(TableStore::Spilled(table)) => debug_assert_eq!(
-                table.order_mode(),
-                mode,
-                "the driver sweeps cyclically, so the spilled table is pre-aligned"
-            ),
+            Some(AnyTable::F64(table)) => table.align(x, plan, mode),
+            Some(AnyTable::F32(table)) => table.align(x, plan, mode),
             None => {}
         }
         Ok(())
     }
 
     fn begin_window(&mut self, w: &Window<'_>) -> Result<()> {
-        if let Some(TableStore::Spilled(table)) = self.table.as_mut() {
-            table.load_tile(w.base, w.stream.len())?;
+        match self.table.as_mut() {
+            Some(AnyTable::F64(table)) => table.begin_window(w),
+            Some(AnyTable::F32(table)) => table.begin_window(w),
+            None => Ok(()),
         }
-        Ok(())
     }
 
     fn update_row(
@@ -577,12 +691,13 @@ impl RowUpdateKernel for CachedKernel {
         run_row(ctx, scratch, i, row, |delta, pos, others, old_row| {
             // Stream-ordered table: position `pos` of the sweep owns row
             // `pos` of the table, so the whole sweep reads the |Ω|×|G|
-            // doubles strictly sequentially. A resident table is addressed
+            // elements strictly sequentially. A resident table is addressed
             // globally; a spilled tile is window-local like `pos` itself.
             match table {
-                TableStore::Resident(t) => t.accumulate_delta_cached(
+                AnyTable::F64(t) => t.delta(
                     delta,
-                    ctx.base + pos,
+                    ctx.base,
+                    pos,
                     others,
                     ctx.mode,
                     old_row,
@@ -591,9 +706,10 @@ impl RowUpdateKernel for CachedKernel {
                     &ctx.runs,
                     ctx.factors,
                 ),
-                TableStore::Spilled(t) => cached_delta_for_entry(
+                AnyTable::F32(t) => t.delta(
                     delta,
-                    t.tile_row(pos),
+                    ctx.base,
+                    pos,
                     others,
                     ctx.mode,
                     old_row,
@@ -622,10 +738,20 @@ impl RowUpdateKernel for CachedKernel {
             .expect("CachedKernel::prepare_mode must run before post_mode");
         let next = (mode + 1) % plan.order();
         match self.table.as_mut() {
-            Some(TableStore::Resident(table)) => {
-                table.rescale_and_reorder(x, plan, factors, &old, mode, next, core, opts.threads);
+            Some(AnyTable::F64(table)) => {
+                table.rescale_and_reorder(
+                    x,
+                    plan,
+                    factors,
+                    &old,
+                    mode,
+                    next,
+                    core,
+                    opts.threads,
+                    sweep,
+                )?;
             }
-            Some(TableStore::Spilled(table)) => {
+            Some(AnyTable::F32(table)) => {
                 table.rescale_and_reorder(
                     x,
                     plan,

@@ -191,7 +191,7 @@ mod stats;
 pub use als::PTucker;
 pub use decomposition::TuckerDecomposition;
 pub use error::PtuckerError;
-pub use options::{FitOptions, Variant};
+pub use options::{FitOptions, StoragePrecision, Variant};
 pub use stats::{FitResult, FitStats, IterStats};
 
 // Re-exported for harness convenience: callers configuring a fit usually

@@ -26,6 +26,17 @@ pub enum Variant {
     },
 }
 
+/// Storage precision for the *streamed* data of a fit: the execution
+/// plan's entry values and (for [`Variant::Cache`]) the Pres table, both
+/// resident and spilled. Re-exported from `ptucker-tensor`, which owns the
+/// stored representations; [`StoragePrecision::F32`] halves the
+/// bytes-per-entry of the bandwidth-bound sweeps and doubles how far a
+/// [`MemoryBudget`] reaches before spilling, at the cost of rounding each
+/// observed value once to `f32` on ingest. Arithmetic always stays `f64`,
+/// and the fit's placement guarantee (resident ≡ hybrid ≡ spilled
+/// bitwise) holds *within* each precision.
+pub use ptucker_tensor::StoragePrecision;
+
 /// Configuration for a P-Tucker fit. Construct with
 /// [`FitOptions::new`] and chain the builder methods.
 ///
@@ -75,6 +86,10 @@ pub struct FitOptions {
     /// windows are too small to amortize the hand-off. Never changes
     /// results — spilled sweeps are bitwise identical either way.
     pub prefetch: bool,
+    /// Storage precision for streamed data (plan values, Pres table).
+    /// Default [`StoragePrecision::F64`]; see [`StoragePrecision`] for the
+    /// f32-storage/f64-arithmetic trade-off.
+    pub precision: StoragePrecision,
 }
 
 impl FitOptions {
@@ -95,6 +110,7 @@ impl FitOptions {
             refit_core: false,
             sample_stride: 1,
             prefetch: true,
+            precision: StoragePrecision::F64,
         }
     }
 
@@ -162,6 +178,12 @@ impl FitOptions {
     /// fits (on by default; irrelevant to fits that stay resident).
     pub fn prefetch(mut self, on: bool) -> Self {
         self.prefetch = on;
+        self
+    }
+
+    /// Sets the storage precision for streamed data (f64 default).
+    pub fn precision(mut self, precision: StoragePrecision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -243,6 +265,25 @@ mod tests {
         assert_eq!(o.sample_stride, 1);
         assert!(!o.refit_core);
         assert!(o.prefetch);
+        assert_eq!(o.precision, StoragePrecision::F64);
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn precision_semantics() {
+        assert_eq!(StoragePrecision::F64.value_bytes(), 8);
+        assert_eq!(StoragePrecision::F32.value_bytes(), 4);
+        // Quantize: identity for f64, one rounding for f32.
+        let v = 0.1f64;
+        assert_eq!(StoragePrecision::F64.quantize(v).to_bits(), v.to_bits());
+        assert_eq!(
+            StoragePrecision::F32.quantize(v).to_bits(),
+            (0.1f32 as f64).to_bits()
+        );
+        // Already-representable values survive the f32 round-trip exactly.
+        assert_eq!(StoragePrecision::F32.quantize(0.5), 0.5);
+        let o = FitOptions::new(vec![2]).precision(StoragePrecision::F32);
+        assert_eq!(o.precision, StoragePrecision::F32);
         assert!(o.validate().is_ok());
     }
 

@@ -355,7 +355,7 @@ fn update_factor(
                     hadamard_in_place(delta, f.row(o[slot] as usize));
                     slot += 1;
                 }
-                axpy(values[pos], delta, c);
+                axpy(values.at(pos), delta, c);
                 syr_in_place(b_upper, r, delta);
             }
             if !scratch.solve(r, opts.lambda, row) {

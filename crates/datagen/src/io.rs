@@ -1,0 +1,75 @@
+//! Dataset emission at a chosen storage precision.
+//!
+//! The generators in this crate produce in-memory [`SparseTensor`]s; the
+//! experiment scripts persist them in the authors' whitespace TSV format.
+//! These wrappers pick the value formatting by [`StoragePrecision`], so an
+//! end-to-end f32 pipeline (generate → write → read → fit with
+//! `StoragePrecision::F32`) quantizes exactly once at write time and never
+//! round-trips through an f64 text representation: `write_dataset(F32)`
+//! emits shortest-roundtrip f32 literals and `read_dataset(F32)` parses
+//! them back to the identical f32 bits.
+
+use ptucker_tensor::{
+    read_tsv, read_tsv_f32, write_tsv, write_tsv_f32, Result, SparseTensor, StoragePrecision,
+};
+use std::path::Path;
+
+/// Writes `x` in the 1-based whitespace TSV format, with values formatted
+/// at `precision` ([`write_tsv`] / [`write_tsv_f32`]).
+///
+/// # Errors
+/// [`ptucker_tensor::TensorError::Io`] on filesystem problems.
+pub fn write_dataset<P: AsRef<Path>>(
+    path: P,
+    x: &SparseTensor,
+    precision: StoragePrecision,
+) -> Result<()> {
+    match precision {
+        StoragePrecision::F64 => write_tsv(path, x),
+        StoragePrecision::F32 => write_tsv_f32(path, x),
+    }
+}
+
+/// Reads a TSV dataset with values parsed at `precision` ([`read_tsv`] /
+/// [`read_tsv_f32`]); the inverse of [`write_dataset`] at the same
+/// precision.
+///
+/// # Errors
+/// As for [`read_tsv`].
+pub fn read_dataset<P: AsRef<Path>>(path: P, precision: StoragePrecision) -> Result<SparseTensor> {
+    match precision {
+        StoragePrecision::F64 => read_tsv(path),
+        StoragePrecision::F32 => read_tsv_f32(path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn f32_pipeline_quantizes_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = crate::uniform_sparse(&[6, 5, 4], 40, &mut rng);
+        let dir = std::env::temp_dir().join("ptucker_datagen_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("u.tsv");
+        write_dataset(&path, &x, StoragePrecision::F32).unwrap();
+        let back = read_dataset(&path, StoragePrecision::F32).unwrap();
+        assert_eq!(back.nnz(), x.nnz());
+        for e in 0..x.nnz() {
+            // One narrowing at write time; the read recovers those bits.
+            let want = (x.value(e) as f32) as f64;
+            assert_eq!(back.value(e).to_bits(), want.to_bits());
+        }
+        // And the f64 path still round-trips bit-exactly.
+        write_dataset(&path, &x, StoragePrecision::F64).unwrap();
+        let back = read_dataset(&path, StoragePrecision::F64).unwrap();
+        for e in 0..x.nnz() {
+            assert_eq!(back.value(e).to_bits(), x.value(e).to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,11 +19,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod io;
 mod lowrank;
 pub mod realworld;
 mod uniform;
 mod zipf;
 
+pub use io::{read_dataset, write_dataset};
 pub use lowrank::{planted_cp, planted_lowrank, reconstruct_at, PlantedTensor};
 pub use uniform::uniform_sparse;
 pub use zipf::Zipf;

@@ -20,10 +20,15 @@
 //! micro-kernel primitives (`dot`/`axpy`/`syr_in_place`/
 //! `hadamard_in_place`) the run-blocked δ accumulation is built from —
 //! chunked scalar code that autovectorizes everywhere, plus an explicit
-//! AVX2+FMA path behind the **`simd`** cargo feature with runtime CPU
-//! detection and scalar fallback. The `simd` feature is the only part of
+//! AVX2+FMA path behind the **`simd`** cargo feature and a 512-bit
+//! `avx512f` path behind **`simd-avx512`**, each with runtime CPU
+//! detection and scalar fallback. The SIMD features are the only part of
 //! the workspace that uses `unsafe` (the `std::arch` intrinsic calls);
-//! without it this crate still forbids unsafe code outright.
+//! without them this crate still forbids unsafe code outright. Alongside
+//! the f64 primitives, [`kernels`] carries mixed-precision variants
+//! (`dot_f32_f64`, `axpy_into_f64`, `div_add_nonzero_f32`, widening
+//! helpers) for the engine's f32 storage mode — 4-byte streams, f64
+//! arithmetic.
 //!
 //! # Quick example
 //!
@@ -38,7 +43,10 @@
 //! ```
 
 #![deny(missing_docs)]
-#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(
+    not(any(feature = "simd", feature = "simd-avx512")),
+    forbid(unsafe_code)
+)]
 #![deny(unsafe_code)]
 #![allow(clippy::needless_range_loop)]
 

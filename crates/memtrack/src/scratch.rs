@@ -200,6 +200,35 @@ impl ScratchFile {
         })
     }
 
+    /// Appends `data` and returns the byte offset it starts at
+    /// (little-endian `f32`s — the storage half of the engine's
+    /// mixed-precision mode).
+    ///
+    /// # Errors
+    /// Any I/O error from the write.
+    pub fn append_f32s(&self, data: &[f32]) -> io::Result<u64> {
+        self.write_f32s_impl(None, data)
+    }
+
+    /// Writes `data` at byte `offset` (little-endian `f32`s).
+    ///
+    /// # Errors
+    /// Any I/O error from the write.
+    pub fn write_f32s(&self, offset: u64, data: &[f32]) -> io::Result<()> {
+        self.write_f32s_impl(Some(offset), data).map(|_| ())
+    }
+
+    fn write_f32s_impl(&self, offset: Option<u64>, data: &[f32]) -> io::Result<u64> {
+        self.write_chunked(offset, data.len() * 4, |buf, done_bytes| {
+            let start = done_bytes / 4;
+            let count = (data.len() - start).min(CHUNK_BYTES / 4);
+            for (slot, v) in buf.chunks_exact_mut(4).zip(&data[start..start + count]) {
+                slot.copy_from_slice(&v.to_le_bytes());
+            }
+            count * 4
+        })
+    }
+
     /// Appends `data` and returns the byte offset it starts at.
     ///
     /// # Errors
@@ -236,6 +265,21 @@ impl ScratchFile {
             let start = done_bytes / 8;
             for (slot, chunk) in out[start..].iter_mut().zip(bytes.chunks_exact(8)) {
                 *slot = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+        })
+    }
+
+    /// Fills `out` from byte `offset` (little-endian `f32`s). The
+    /// round-trip through disk is bit-preserving, so f32-storage spills
+    /// reload the exact values that were written.
+    ///
+    /// # Errors
+    /// Any I/O error, including reading past the end of the file.
+    pub fn read_f32s(&self, offset: u64, out: &mut [f32]) -> io::Result<()> {
+        self.read_chunked(offset, out.len() * 4, |bytes, done_bytes| {
+            let start = done_bytes / 4;
+            for (slot, chunk) in out[start..].iter_mut().zip(bytes.chunks_exact(4)) {
+                *slot = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
             }
         })
     }
@@ -312,6 +356,29 @@ mod tests {
         // Reading past the end errors like the typed readers.
         let mut over = vec![0u8; 128];
         assert!(f.read_bytes(region, &mut over).is_err());
+    }
+
+    #[test]
+    fn roundtrip_f32_sections_bit_preserving() {
+        let f = ScratchFile::create().unwrap();
+        // Cross the chunk boundary and include awkward bit patterns.
+        let n = CHUNK_BYTES / 4 + 33;
+        let mut vals: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+        vals[0] = -0.0;
+        vals[1] = f32::MIN_POSITIVE / 2.0; // subnormal
+        let off = f.append_f32s(&vals).unwrap();
+        assert_eq!(f.len(), n as u64 * 4);
+        let mut back = vec![0.0f32; n];
+        f.read_f32s(off, &mut back).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Scatter write into a reserved region, windowed read back.
+        let region = f.reserve_region(6 * 4).unwrap();
+        f.write_f32s(region + 2 * 4, &[5.5, 6.5]).unwrap();
+        let mut w = [0.0f32; 2];
+        f.read_f32s(region + 2 * 4, &mut w).unwrap();
+        assert_eq!(w, [5.5, 6.5]);
     }
 
     #[test]

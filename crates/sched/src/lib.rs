@@ -383,14 +383,15 @@ where
 ///
 /// # Panics
 /// Panics if `row_len == 0` or `data.len() % row_len != 0`.
-pub fn parallel_rows_mut<F>(
-    data: &mut [f64],
+pub fn parallel_rows_mut<T, F>(
+    data: &mut [T],
     row_len: usize,
     threads: usize,
     schedule: Schedule,
     f: F,
 ) where
-    F: Fn(usize, &mut [f64]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     // Stateless rows are the `S = ()` case of the per-thread-state variant.
     let mut states = vec![(); threads.max(1)];
@@ -419,16 +420,17 @@ pub fn parallel_rows_mut<F>(
 /// # Panics
 /// Panics if `row_len == 0`, `data.len() % row_len != 0`, or `states` is
 /// shorter than the effective worker count.
-pub fn parallel_rows_mut_with<S, F>(
-    data: &mut [f64],
+pub fn parallel_rows_mut_with<T, S, F>(
+    data: &mut [T],
     row_len: usize,
     threads: usize,
     schedule: Schedule,
     states: &mut [S],
     f: F,
 ) where
+    T: Send,
     S: Send,
-    F: Fn(&mut S, usize, &mut [f64]) + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
 {
     assert!(row_len > 0, "row_len must be positive");
     assert_eq!(
@@ -460,7 +462,7 @@ pub fn parallel_rows_mut_with<S, F>(
         }
         Schedule::Dynamic { chunk } => {
             // Pre-split into chunk-sized groups of rows behind a queue.
-            let mut groups: Vec<(usize, &mut [f64])> = Vec::new();
+            let mut groups: Vec<(usize, &mut [T])> = Vec::new();
             let mut rest = data;
             let mut row_cursor = 0;
             while !rest.is_empty() {
@@ -498,17 +500,18 @@ pub fn parallel_rows_mut_with<S, F>(
 /// Runs one worker per pre-computed contiguous row block: the shared
 /// backbone of [`parallel_rows_mut_with`]'s static arm and
 /// [`parallel_rows_mut_balanced`].
-fn run_row_blocks<S, F>(
-    data: &mut [f64],
+fn run_row_blocks<T, S, F>(
+    data: &mut [T],
     row_len: usize,
     blocks: &[(usize, usize)],
     states: &mut [S],
     f: &F,
 ) where
+    T: Send,
     S: Send,
-    F: Fn(&mut S, usize, &mut [f64]) + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
 {
-    let mut parts: Vec<(usize, &mut [f64])> = Vec::with_capacity(blocks.len());
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(blocks.len());
     let mut rest = data;
     for &(lo, hi) in blocks {
         let (head, tail) = rest.split_at_mut((hi - lo) * row_len);

@@ -16,6 +16,22 @@ use std::path::Path;
 /// [`TensorError::Io`] for filesystem problems, plus tensor-construction
 /// validation errors.
 pub fn read_tsv<P: AsRef<Path>>(path: P) -> Result<SparseTensor> {
+    read_tsv_impl(path, false)
+}
+
+/// [`read_tsv`] with values parsed **as `f32`** and widened to `f64` — for
+/// end-to-end f32 pipelines: the tensor's values land exactly on the f32
+/// storage grid the engine's `StoragePrecision::F32` mode uses, so reading
+/// an f32 value file and fitting with f32 storage involves no second
+/// rounding (the f64 text round-trip is skipped).
+///
+/// # Errors
+/// As for [`read_tsv`].
+pub fn read_tsv_f32<P: AsRef<Path>>(path: P) -> Result<SparseTensor> {
+    read_tsv_impl(path, true)
+}
+
+fn read_tsv_impl<P: AsRef<Path>>(path: P, f32_values: bool) -> Result<SparseTensor> {
     let file = File::open(path)?;
     let mut reader = BufReader::new(file);
 
@@ -72,10 +88,18 @@ pub fn read_tsv<P: AsRef<Path>>(path: P) -> Result<SparseTensor> {
             dims[k] = dims[k].max(one_based);
             indices.push(zero_based);
         }
-        let v: f64 = fields[n].parse().map_err(|_| TensorError::Parse {
-            line: line_no,
-            message: format!("bad value '{}'", fields[n]),
-        })?;
+        let v: f64 = if f32_values {
+            let v32: f32 = fields[n].parse().map_err(|_| TensorError::Parse {
+                line: line_no,
+                message: format!("bad value '{}'", fields[n]),
+            })?;
+            v32 as f64
+        } else {
+            fields[n].parse().map_err(|_| TensorError::Parse {
+                line: line_no,
+                message: format!("bad value '{}'", fields[n]),
+            })?
+        };
         values.push(v);
     }
 
@@ -102,6 +126,27 @@ pub fn write_tsv<P: AsRef<Path>>(path: P, tensor: &SparseTensor) -> Result<()> {
             write!(w, "{} ", i + 1)?;
         }
         writeln!(w, "{}", tensor.value(e))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// [`write_tsv`] with values emitted at **`f32` precision** (each value is
+/// rounded to `f32` once before formatting): the emit half of an
+/// end-to-end f32 pipeline. Rust's shortest-roundtrip float formatting
+/// guarantees [`read_tsv_f32`] recovers the f32 bits exactly.
+///
+/// # Errors
+/// [`TensorError::Io`] on write failures.
+pub fn write_tsv_f32<P: AsRef<Path>>(path: P, tensor: &SparseTensor) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for e in 0..tensor.nnz() {
+        let idx = tensor.index(e);
+        for &i in idx {
+            write!(w, "{} ", i + 1)?;
+        }
+        writeln!(w, "{}", tensor.value(e) as f32)?;
     }
     w.flush()?;
     Ok(())
@@ -153,6 +198,35 @@ mod tests {
             assert_eq!(t2.index(e), t.index(e));
             assert_eq!(t2.value(e), t.value(e));
         }
+    }
+
+    #[test]
+    fn f32_value_files_roundtrip_on_the_f32_grid() {
+        // Values chosen off the f32 grid: write_tsv_f32 rounds once, and
+        // read_tsv_f32 recovers exactly those f32 bits (shortest-roundtrip
+        // formatting), so an f32 pipeline has no second rounding.
+        let t = SparseTensor::new(
+            vec![2, 2],
+            vec![(vec![0, 0], 0.1), (vec![1, 1], 1.0e-7), (vec![0, 1], -2.5)],
+        )
+        .unwrap();
+        let p = std::env::temp_dir()
+            .join("ptucker-tensor-io-tests")
+            .join("f32grid.tsv");
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        write_tsv_f32(&p, &t).unwrap();
+        let t2 = read_tsv_f32(&p).unwrap();
+        assert_eq!(t2.nnz(), 3);
+        for e in 0..3 {
+            assert_eq!(t2.index(e), t.index(e));
+            let want = t.value(e) as f32 as f64;
+            assert_eq!(t2.value(e).to_bits(), want.to_bits());
+        }
+        // An f64 reader sees the same decimal text, widened differently
+        // only when the value is off the f64-representable f32 decimal —
+        // shortest-roundtrip f32 decimals parse exactly as f64 too.
+        let t3 = read_tsv(&p).unwrap();
+        assert_eq!(t3.value(0) as f32, 0.1f32);
     }
 
     #[test]

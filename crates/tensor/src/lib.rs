@@ -44,6 +44,7 @@ mod core_tensor;
 mod dense;
 mod error;
 mod io;
+mod precision;
 mod sparse;
 mod split;
 mod stream;
@@ -51,12 +52,13 @@ mod stream;
 pub use core_tensor::CoreTensor;
 pub use dense::DenseTensor;
 pub use error::TensorError;
-pub use io::{read_tsv, write_tsv};
+pub use io::{read_tsv, read_tsv_f32, write_tsv, write_tsv_f32};
+pub use precision::StoragePrecision;
 pub use sparse::{ModeIndex, SparseTensor};
 pub use split::TrainTestSplit;
 pub use stream::{
     IdsWindow, ModeStream, ModeStreams, SliceWindows, SpilledModeStream, StreamStore, StreamView,
-    SweepSource, Window,
+    SweepSource, ValuesView, Window,
 };
 
 /// Convenience alias for results produced by this crate.

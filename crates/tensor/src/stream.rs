@@ -53,11 +53,118 @@
 //! off. Budget accounting is the caller's job (the fit driver books both
 //! pinned buffers).
 
-use crate::{Result, SparseTensor, TensorError};
+use crate::{Result, SparseTensor, StoragePrecision, TensorError};
 use ptucker_memtrack::{MemoryBudget, Reservation, ScratchFile, SpillReservation};
 use ptucker_sched::Background;
 use std::ops::Range;
 use std::sync::Arc;
+
+/// Owned value storage at the plan's [`StoragePrecision`]: entry values in
+/// stream order, as 8-byte or 4-byte slots.
+#[derive(Debug, Clone)]
+enum ValueStore {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+}
+
+impl ValueStore {
+    fn with_capacity(precision: StoragePrecision, n: usize) -> Self {
+        match precision {
+            StoragePrecision::F64 => ValueStore::F64(Vec::with_capacity(n)),
+            StoragePrecision::F32 => ValueStore::F32(Vec::with_capacity(n)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ValueStore::F64(v) => v.len(),
+            ValueStore::F32(v) => v.len(),
+        }
+    }
+
+    /// Appends `v` rounded to the store's precision.
+    fn push(&mut self, v: f64) {
+        match self {
+            ValueStore::F64(vec) => vec.push(v),
+            ValueStore::F32(vec) => vec.push(v as f32),
+        }
+    }
+
+    fn clear_reserve(&mut self, n: usize) {
+        match self {
+            ValueStore::F64(vec) => {
+                vec.clear();
+                vec.reserve(n);
+            }
+            ValueStore::F32(vec) => {
+                vec.clear();
+                vec.reserve(n);
+            }
+        }
+    }
+
+    fn view(&self, start: usize, end: usize) -> ValuesView<'_> {
+        match self {
+            ValueStore::F64(vec) => ValuesView::F64(&vec[start..end]),
+            ValueStore::F32(vec) => ValuesView::F32(&vec[start..end]),
+        }
+    }
+}
+
+/// A borrowed slice of stream values at either storage precision — the
+/// value half of a [`StreamView`]. [`ValuesView::at`] widens f32 storage
+/// to `f64` at load (an exact conversion), so consumers are
+/// precision-blind: one code path, f64 arithmetic everywhere.
+#[derive(Debug, Clone, Copy)]
+pub enum ValuesView<'a> {
+    /// 8-byte storage.
+    F64(&'a [f64]),
+    /// 4-byte storage, widened per element by [`ValuesView::at`].
+    F32(&'a [f32]),
+}
+
+impl<'a> ValuesView<'a> {
+    /// Number of values in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ValuesView::F64(v) => v.len(),
+            ValuesView::F32(v) => v.len(),
+        }
+    }
+
+    /// Whether the view holds no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at position `p`, widened to `f64`.
+    #[inline]
+    pub fn at(&self, p: usize) -> f64 {
+        match self {
+            ValuesView::F64(v) => v[p],
+            ValuesView::F32(v) => v[p] as f64,
+        }
+    }
+
+    /// The storage precision behind the view.
+    #[inline]
+    pub fn precision(&self) -> StoragePrecision {
+        match self {
+            ValuesView::F64(_) => StoragePrecision::F64,
+            ValuesView::F32(_) => StoragePrecision::F32,
+        }
+    }
+
+    /// All values widened into an owned `f64` vector (tests, diagnostics).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            ValuesView::F64(v) => v.to_vec(),
+            ValuesView::F32(v) => v.iter().map(|&x| x as f64).collect(),
+        }
+    }
+}
 
 /// The streamed slice layout of one mode: values and packed other-mode
 /// indices in slice-major order, plus the stream-position → COO entry-id
@@ -70,8 +177,8 @@ pub struct ModeStream {
     other_count: usize,
     /// `offsets[i]..offsets[i+1]` delimits slice `i`'s stream positions.
     offsets: Vec<usize>,
-    /// Entry values in stream order.
-    values: Vec<f64>,
+    /// Entry values in stream order, at the plan's storage precision.
+    values: ValueStore,
     /// Packed other-mode indices: stream position `p` owns
     /// `others[p*other_count..(p+1)*other_count]`, modes ascending with the
     /// stream's own mode skipped.
@@ -87,13 +194,13 @@ pub struct ModeStream {
 }
 
 impl ModeStream {
-    fn build(x: &SparseTensor, mode: usize) -> Self {
+    fn build(x: &SparseTensor, mode: usize, precision: StoragePrecision) -> Self {
         let order = x.order();
         let other_count = order - 1;
         let nnz = x.nnz();
         let dim = x.dims()[mode];
         let mut offsets = Vec::with_capacity(dim + 1);
-        let mut values = Vec::with_capacity(nnz);
+        let mut values = ValueStore::with_capacity(precision, nnz);
         let mut others = Vec::with_capacity(nnz * other_count);
         let mut entry_ids = Vec::with_capacity(nnz);
         let mut entry_positions = vec![0u32; nnz];
@@ -155,10 +262,16 @@ impl ModeStream {
         self.offsets[i + 1] - self.offsets[i]
     }
 
-    /// All values in stream order.
+    /// All values in stream order, behind a precision-blind view.
     #[inline]
-    pub fn values(&self) -> &[f64] {
-        &self.values
+    pub fn values(&self) -> ValuesView<'_> {
+        self.values.view(0, self.values.len())
+    }
+
+    /// The value at stream position `p`, widened to `f64`.
+    #[inline]
+    pub fn value(&self, p: usize) -> f64 {
+        self.values().at(p)
     }
 
     /// The flat packed other-mode index storage (stride
@@ -206,7 +319,7 @@ impl ModeStream {
             mode: self.mode,
             other_count: self.other_count,
             offsets: &self.offsets[lo..=hi],
-            values: &self.values[start..end],
+            values: self.values.view(start, end),
             others: &self.others[start * self.other_count..end * self.other_count],
             entry_ids: &self.entry_ids[start..end],
         }
@@ -238,7 +351,7 @@ pub struct StreamView<'a> {
     /// stream's global offsets, a pinned spill buffer stores them
     /// pre-localized.
     offsets: &'a [usize],
-    values: &'a [f64],
+    values: ValuesView<'a>,
     others: &'a [u32],
     entry_ids: &'a [u32],
 }
@@ -288,10 +401,17 @@ impl<'a> StreamView<'a> {
         self.offsets[i + 1] - self.offsets[i]
     }
 
-    /// All values in the view, window-local.
+    /// All values in the view, window-local, behind a precision-blind
+    /// view ([`ValuesView::at`] widens f32 storage at load).
     #[inline]
-    pub fn values(&self) -> &'a [f64] {
+    pub fn values(&self) -> ValuesView<'a> {
         self.values
+    }
+
+    /// The value at window-local position `p`, widened to `f64`.
+    #[inline]
+    pub fn value(&self, p: usize) -> f64 {
+        self.values.at(p)
     }
 
     /// The flat packed other-mode index storage (stride
@@ -430,10 +550,11 @@ impl SpilledModeStream {
     }
 }
 
-/// Bytes of one interleaved spilled-stream record: the value (8 B), the
-/// packed other-mode indices (4 B each) and the entry id (4 B).
-fn record_stride(other_count: usize) -> usize {
-    8 + 4 * other_count + 4
+/// Bytes of one interleaved spilled-stream record: the value (8 B or 4 B
+/// by storage precision), the packed other-mode indices (4 B each) and
+/// the entry id (4 B).
+fn record_stride(other_count: usize, precision: StoragePrecision) -> usize {
+    precision.value_bytes() + 4 * other_count + 4
 }
 
 /// Returns the exclusive upper slice bound of the window starting at slice
@@ -455,6 +576,9 @@ fn window_extent(offsets: &[usize], lo: usize, cap: usize) -> usize {
 #[derive(Debug)]
 pub struct ModeStreams {
     store: StreamStore,
+    /// Storage precision of the values (resident vectors and spilled
+    /// records alike).
+    precision: StoragePrecision,
 }
 
 impl ModeStreams {
@@ -481,9 +605,24 @@ impl ModeStreams {
     /// [`TensorError::InvalidDims`] if a dimensionality or `|Ω|` exceeds
     /// `u32::MAX` (the packed-index width).
     pub fn build(x: &SparseTensor) -> Result<Self> {
+        Self::build_at(x, StoragePrecision::F64)
+    }
+
+    /// [`ModeStreams::build`] at an explicit storage precision: with
+    /// [`StoragePrecision::F32`] every entry value is rounded to `f32`
+    /// once here and stored in 4-byte slots; consumers widen at load.
+    ///
+    /// # Errors
+    /// As for [`ModeStreams::build`].
+    pub fn build_at(x: &SparseTensor, precision: StoragePrecision) -> Result<Self> {
         Self::check_widths(x)?;
         Ok(ModeStreams {
-            store: StreamStore::InMemory((0..x.order()).map(|n| ModeStream::build(x, n)).collect()),
+            store: StreamStore::InMemory(
+                (0..x.order())
+                    .map(|n| ModeStream::build(x, n, precision))
+                    .collect(),
+            ),
+            precision,
         })
     }
 
@@ -511,13 +650,28 @@ impl ModeStreams {
     /// [`TensorError::InvalidDims`] as for [`ModeStreams::build`], or
     /// [`TensorError::Io`] if scratch-file I/O fails.
     pub fn build_spilled(x: &SparseTensor, budget: &MemoryBudget) -> Result<Self> {
+        Self::build_spilled_at(x, budget, StoragePrecision::F64)
+    }
+
+    /// [`ModeStreams::build_spilled`] at an explicit storage precision:
+    /// with [`StoragePrecision::F32`] the value field of every interleaved
+    /// record shrinks to 4 bytes (the same rounded bits a resident f32
+    /// plan stores, so the two placements stay bitwise interchangeable).
+    ///
+    /// # Errors
+    /// As for [`ModeStreams::build_spilled`].
+    pub fn build_spilled_at(
+        x: &SparseTensor,
+        budget: &MemoryBudget,
+        precision: StoragePrecision,
+    ) -> Result<Self> {
         Self::check_widths(x)?;
         const FLUSH: usize = 1024;
         let file = ScratchFile::create()?;
         let nnz = x.nnz();
         let order = x.order();
         let other_count = order - 1;
-        let stride = record_stride(other_count);
+        let stride = record_stride(other_count, precision);
         let mut modes = Vec::with_capacity(order);
         let mut rbuf: Vec<u8> = Vec::with_capacity(FLUSH * stride);
         let mut ibuf: Vec<u32> = Vec::with_capacity(FLUSH);
@@ -533,7 +687,14 @@ impl ModeStreams {
             for i in 0..dim {
                 for &e in x.slice(mode, i) {
                     entry_positions[e] = (written + ibuf.len()) as u32;
-                    rbuf.extend_from_slice(&x.value(e).to_le_bytes());
+                    match precision {
+                        StoragePrecision::F64 => {
+                            rbuf.extend_from_slice(&x.value(e).to_le_bytes());
+                        }
+                        StoragePrecision::F32 => {
+                            rbuf.extend_from_slice(&(x.value(e) as f32).to_le_bytes());
+                        }
+                    }
                     for (k, &ik) in x.index(e).iter().enumerate() {
                         if k != mode {
                             rbuf.extend_from_slice(&(ik as u32).to_le_bytes());
@@ -577,7 +738,14 @@ impl ModeStreams {
                 _resident: resident,
                 _spill: spill,
             },
+            precision,
         })
+    }
+
+    /// The storage precision of the plan's values.
+    #[inline]
+    pub fn precision(&self) -> StoragePrecision {
+        self.precision
     }
 
     /// The resident stream for `mode`.
@@ -648,7 +816,7 @@ impl ModeStreams {
     /// Total stream positions per mode (`|Ω|`).
     fn total_positions(&self) -> usize {
         match &self.store {
-            StreamStore::InMemory(streams) => streams.first().map_or(0, |s| s.values.len()),
+            StreamStore::InMemory(streams) => streams.first().map_or(0, |s| s.entry_ids.len()),
             StreamStore::Spilled { modes, .. } => modes.first().map_or(0, |m| m.len()),
         }
     }
@@ -712,12 +880,15 @@ impl ModeStreams {
         // slice, or the whole stream — whichever binds.
         let buf_cap = cap.max(max_slice).min(total);
         let other_count = modes.first().map_or(0, |m| m.other_count);
+        let precision = self.precision;
         let pinned = || WindowBuf {
             offsets: Vec::with_capacity(max_slices + 1),
-            values: Vec::with_capacity(buf_cap),
+            values: ValueStore::with_capacity(precision, buf_cap),
             others: Vec::with_capacity(buf_cap * other_count),
             entry_ids: Vec::with_capacity(buf_cap),
-            raw: Vec::with_capacity(RAW_CHUNK.min(buf_cap.max(1) * record_stride(other_count))),
+            raw: Vec::with_capacity(
+                RAW_CHUNK.min(buf_cap.max(1) * record_stride(other_count, precision)),
+            ),
         };
         let (spare, worker) = if prefetch {
             let file = Arc::clone(file);
@@ -738,6 +909,7 @@ impl ModeStreams {
             file: Arc::clone(file),
             mode,
             cap,
+            precision,
             next_slice: 0,
             current: pinned(),
             spare,
@@ -759,11 +931,19 @@ impl ModeStreams {
     /// *before* building, so callers can reserve against a memory budget
     /// first. Per mode: `|Ω|` values (8 B), `(N−1)·|Ω|` packed indices
     /// (4 B), `|Ω|` entry ids plus `|Ω|` inverse positions (4 B each) and
-    /// `Iₙ+1` offsets (8 B).
+    /// `Iₙ+1` offsets (8 B). Defaults to f64 values; see
+    /// [`ModeStreams::bytes_for_at`].
     pub fn bytes_for(x: &SparseTensor) -> usize {
+        Self::bytes_for_at(x, StoragePrecision::F64)
+    }
+
+    /// [`ModeStreams::bytes_for`] at an explicit storage precision (the
+    /// value term shrinks to 4 B per position under
+    /// [`StoragePrecision::F32`]).
+    pub fn bytes_for_at(x: &SparseTensor, precision: StoragePrecision) -> usize {
         let nnz = x.nnz();
         let order = x.order();
-        let per_mode_entries = nnz * 8 + (order - 1) * nnz * 4 + 2 * nnz * 4;
+        let per_mode_entries = nnz * precision.value_bytes() + (order - 1) * nnz * 4 + 2 * nnz * 4;
         let offsets: usize = x.dims().iter().map(|&d| (d + 1) * 8).sum();
         order * per_mode_entries + offsets
     }
@@ -776,13 +956,20 @@ impl ModeStreams {
     }
 
     /// Scratch-file bytes a spilled plan for `x` writes: per mode, the
-    /// interleaved per-position records (value 8 B + packed other-mode
-    /// indices 4 B each + entry id 4 B) plus the ids-only section (4 B per
-    /// position) serving the cheap ids sweeps.
+    /// interleaved per-position records (value 8 B/4 B by precision +
+    /// packed other-mode indices 4 B each + entry id 4 B) plus the
+    /// ids-only section (4 B per position) serving the cheap ids sweeps.
+    /// Defaults to f64 values; see [`ModeStreams::spilled_bytes_for_at`].
     pub fn spilled_bytes_for(x: &SparseTensor) -> usize {
+        Self::spilled_bytes_for_at(x, StoragePrecision::F64)
+    }
+
+    /// [`ModeStreams::spilled_bytes_for`] at an explicit storage
+    /// precision.
+    pub fn spilled_bytes_for_at(x: &SparseTensor, precision: StoragePrecision) -> usize {
         let nnz = x.nnz();
         let order = x.order();
-        order * (nnz * record_stride(order - 1) + nnz * 4)
+        order * (nnz * record_stride(order - 1, precision) + nnz * 4)
     }
 }
 
@@ -884,7 +1071,7 @@ impl<'a> SweepSource<'a> {
         match &self.inner {
             SourceInner::Resident { streams, cap, .. } => {
                 let max_slice = streams.iter().map(|s| s.max_slice_len()).max().unwrap_or(0);
-                let total = streams.first().map_or(0, |s| s.values.len());
+                let total = streams.first().map_or(0, |s| s.entry_ids.len());
                 (*cap).max(max_slice).min(total)
             }
             SourceInner::Spilled(w) => w.max_window_positions(),
@@ -986,7 +1173,10 @@ fn resident_step(s: &ModeStream, cap: usize, cursor: &mut usize) -> Option<(usiz
 #[derive(Debug)]
 struct WindowBuf {
     offsets: Vec<usize>,
-    values: Vec<f64>,
+    /// Values at the plan's storage precision — a spilled f32 plan keeps
+    /// its pinned windows in 4-byte slots too, so the sweep's resident
+    /// footprint and memory traffic match the precision's promise.
+    values: ValueStore,
     others: Vec<u32>,
     entry_ids: Vec<u32>,
     /// Fixed-size staging chunk for the interleaved record read — the
@@ -1005,6 +1195,7 @@ struct RefillSpec {
     start: usize,
     len: usize,
     other_count: usize,
+    precision: StoragePrecision,
     rec_off: u64,
     ids_off: u64,
 }
@@ -1024,9 +1215,9 @@ const RAW_CHUNK: usize = 64 << 10;
 /// fixed staging buffer) parsed into the typed arrays — one read per
 /// window where the sectioned layout needed three.
 fn refill(file: &ScratchFile, buf: &mut WindowBuf, spec: &RefillSpec) -> std::io::Result<()> {
-    let stride = record_stride(spec.other_count);
-    buf.values.clear();
-    buf.values.reserve(spec.len);
+    let vbytes = spec.precision.value_bytes();
+    let stride = record_stride(spec.other_count, spec.precision);
+    buf.values.clear_reserve(spec.len);
     buf.others.clear();
     buf.others.reserve(spec.len * spec.other_count);
     buf.entry_ids.clear();
@@ -1041,10 +1232,18 @@ fn refill(file: &ScratchFile, buf: &mut WindowBuf, spec: &RefillSpec) -> std::io
             &mut buf.raw,
         )?;
         for rec in buf.raw.chunks_exact(stride) {
-            buf.values.push(f64::from_le_bytes(
-                rec[..8].try_into().expect("8-byte field"),
-            ));
-            let mut off = 8;
+            // The value field is stored at the plan's precision; keep it
+            // there — a pinned f32 window stays 4 bytes per value and the
+            // consumer widens at load, exactly like a resident f32 plan.
+            match &mut buf.values {
+                ValueStore::F64(vec) => vec.push(f64::from_le_bytes(
+                    rec[..8].try_into().expect("8-byte field"),
+                )),
+                ValueStore::F32(vec) => vec.push(f32::from_le_bytes(
+                    rec[..4].try_into().expect("4-byte field"),
+                )),
+            }
+            let mut off = vbytes;
             for _ in 0..spec.other_count {
                 buf.others.push(u32::from_le_bytes(
                     rec[off..off + 4].try_into().expect("4-byte field"),
@@ -1077,6 +1276,9 @@ pub struct SliceWindows<'a> {
     file: Arc<ScratchFile>,
     mode: usize,
     cap: usize,
+    /// The plan's storage precision (sizes the value field of every
+    /// refill's record parse).
+    precision: StoragePrecision,
     /// First slice of the next window to *present*.
     next_slice: usize,
     /// The buffer backing the currently presented window.
@@ -1111,6 +1313,7 @@ impl<'a> SliceWindows<'a> {
             start,
             len: sp.offsets[hi] - start,
             other_count: sp.other_count,
+            precision: self.precision,
             rec_off: sp.rec_off,
             ids_off: sp.ids_off,
         }
@@ -1187,7 +1390,7 @@ impl<'a> SliceWindows<'a> {
                 mode: self.mode,
                 other_count: spec.other_count,
                 offsets: &self.current.offsets,
-                values: &self.current.values,
+                values: self.current.values.view(0, self.current.values.len()),
                 others: &self.current.others,
                 entry_ids: &self.current.entry_ids,
             },
@@ -1298,7 +1501,7 @@ mod tests {
                 assert_eq!(s.slice_len(i), x.slice_len(n, i));
                 for (p, &e) in range.zip(x.slice(n, i)) {
                     assert_eq!(s.entry_id(p), e, "in-slice COO order preserved");
-                    assert_eq!(s.values()[p], x.value(e));
+                    assert_eq!(s.value(p), x.value(e));
                     let full = x.index(e);
                     let mut slot = 0;
                     for (k, &ik) in full.iter().enumerate() {
@@ -1373,7 +1576,7 @@ mod tests {
                 assert_eq!(w.stream.slice_range(i), full.slice_range(i));
             }
             for p in 0..x.nnz() {
-                assert_eq!(w.stream.values()[p], full.values()[p]);
+                assert_eq!(w.stream.value(p), full.value(p));
                 assert_eq!(w.stream.entry_id(p), full.entry_id(p));
                 assert_eq!(w.stream.others(p), full.others(p));
             }
@@ -1402,7 +1605,7 @@ mod tests {
                     assert_eq!(local.len(), full.slice_len(i));
                     for p in local {
                         let g = w.base + p;
-                        assert_eq!(w.stream.values()[p], full.values()[g]);
+                        assert_eq!(w.stream.value(p), full.value(g));
                         assert_eq!(w.stream.entry_id(p), full.entry_id(g));
                         assert_eq!(w.stream.others(p), full.others(g));
                     }
@@ -1466,7 +1669,7 @@ mod tests {
                     assert_eq!(local.len(), full.slice_len(i));
                     for p in local {
                         let g = win.base + p;
-                        assert_eq!(win.stream.values()[p], full.values()[g]);
+                        assert_eq!(win.stream.value(p), full.value(g));
                         assert_eq!(win.stream.entry_id(p), full.entry_id(g));
                         assert_eq!(win.stream.others(p), full.others(g));
                     }
@@ -1495,10 +1698,10 @@ mod tests {
         let mut w = plan.windows(0, 2, false);
         let first = w.next_window().unwrap().unwrap();
         assert_eq!(first.slices, 0..1);
-        assert_eq!(first.stream.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(first.stream.values().to_f64_vec(), vec![1.0, 2.0, 3.0]);
         let second = w.next_window().unwrap().unwrap();
         assert_eq!(second.slices, 1..2);
-        assert_eq!(second.stream.values(), &[4.0]);
+        assert_eq!(second.stream.values().to_f64_vec(), vec![4.0]);
         assert!(w.next_window().unwrap().is_none());
         // Empty slices merge into neighbours under a large capacity.
         let mut w = plan.windows(1, 100, false);
@@ -1514,10 +1717,22 @@ mod tests {
         let plan = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
         for prefetch in [false, true] {
             let mut w = plan.windows(0, 2, prefetch);
-            let first: Vec<f64> = w.next_window().unwrap().unwrap().stream.values().to_vec();
+            let first: Vec<f64> = w
+                .next_window()
+                .unwrap()
+                .unwrap()
+                .stream
+                .values()
+                .to_f64_vec();
             while w.next_window().unwrap().is_some() {}
             w.reset();
-            let again: Vec<f64> = w.next_window().unwrap().unwrap().stream.values().to_vec();
+            let again: Vec<f64> = w
+                .next_window()
+                .unwrap()
+                .unwrap()
+                .stream
+                .values()
+                .to_f64_vec();
             assert_eq!(first, again);
         }
     }
@@ -1537,7 +1752,7 @@ mod tests {
         while let Some(win) = w.next_window().unwrap() {
             for p in 0..win.stream.len() {
                 let g = win.base + p;
-                assert_eq!(win.stream.values()[p], full.values()[g]);
+                assert_eq!(win.stream.value(p), full.value(g));
                 assert_eq!(win.stream.entry_id(p), full.entry_id(g));
             }
             covered += win.stream.len();
@@ -1568,8 +1783,89 @@ mod tests {
         let plan = ModeStreams::build(&x).unwrap();
         let s = plan.mode(0);
         assert_eq!(s.other_count(), 0);
-        assert_eq!(s.values(), &[2.0, 5.0]);
+        assert_eq!(s.values().to_f64_vec(), vec![2.0, 5.0]);
         assert!(s.others(0).is_empty());
         assert!(s.others(1).is_empty());
+    }
+
+    /// Off-f32-grid values: used by the precision tests so the one-time
+    /// ingest rounding is observable.
+    fn off_grid_sample() -> SparseTensor {
+        SparseTensor::new(
+            vec![3, 2, 2],
+            vec![
+                (vec![0, 0, 0], 0.1),
+                (vec![0, 1, 1], 1.0e-7),
+                (vec![1, 0, 1], -0.3),
+                (vec![2, 1, 0], 1234.5678),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// An f32 plan rounds each value exactly once on ingest — every
+    /// widened value equals `quantize(coo value)` bitwise — and the
+    /// resident and spilled placements hold identical bits (the spilled
+    /// 4-byte record field round-trips the same f32).
+    #[test]
+    fn f32_plans_quantize_once_and_match_across_placements() {
+        let x = off_grid_sample();
+        let q = StoragePrecision::F32;
+        let resident = ModeStreams::build_at(&x, q).unwrap();
+        let spilled = ModeStreams::build_spilled_at(&x, &MemoryBudget::unlimited(), q).unwrap();
+        assert_eq!(resident.precision(), q);
+        assert_eq!(spilled.precision(), q);
+        for n in 0..x.order() {
+            let full = resident.mode(n);
+            assert_eq!(full.values().precision(), q);
+            for p in 0..x.nnz() {
+                let e = full.entry_id(p);
+                assert_eq!(
+                    full.value(p).to_bits(),
+                    q.quantize(x.value(e)).to_bits(),
+                    "one rounding, at ingest"
+                );
+            }
+            for cap in [1, 2, usize::MAX] {
+                let mut w = spilled.windows(n, cap, false);
+                while let Some(win) = w.next_window().unwrap() {
+                    assert_eq!(win.stream.values().precision(), q);
+                    for p in 0..win.stream.len() {
+                        let g = win.base + p;
+                        assert_eq!(
+                            win.stream.value(p).to_bits(),
+                            full.value(g).to_bits(),
+                            "placement-bitwise within f32"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The f64→f32 storage switch shaves exactly 4 bytes per entry per
+    /// mode off both placements' size formulas — what the `als`
+    /// placement gate keys on.
+    #[test]
+    fn f32_size_formulas_drop_four_bytes_per_value() {
+        let x = sample();
+        let per_value = x.order() * x.nnz() * 4;
+        assert_eq!(
+            ModeStreams::bytes_for_at(&x, StoragePrecision::F64)
+                - ModeStreams::bytes_for_at(&x, StoragePrecision::F32),
+            per_value
+        );
+        assert_eq!(
+            ModeStreams::spilled_bytes_for_at(&x, StoragePrecision::F64)
+                - ModeStreams::spilled_bytes_for_at(&x, StoragePrecision::F32),
+            per_value
+        );
+        assert_eq!(
+            ModeStreams::bytes_for(&x),
+            ModeStreams::bytes_for_at(&x, StoragePrecision::F64)
+        );
+        // record_stride: value + packed others + entry id.
+        assert_eq!(record_stride(2, StoragePrecision::F64), 8 + 8 + 4);
+        assert_eq!(record_stride(2, StoragePrecision::F32), 4 + 8 + 4);
     }
 }

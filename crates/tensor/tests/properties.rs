@@ -205,7 +205,7 @@ proptest! {
                                 slot += 1;
                             }
                         }
-                        (full, s.values()[p].to_bits())
+                        (full, s.value(p).to_bits())
                     })
                     .collect();
                 streamed_total += streamed.len();
@@ -260,7 +260,7 @@ proptest! {
                     prop_assert_eq!(local.len(), full.slice_len(i));
                     for p in local {
                         let g = w.base + p;
-                        prop_assert_eq!(w.stream.values()[p].to_bits(), full.values()[g].to_bits());
+                        prop_assert_eq!(w.stream.value(p).to_bits(), full.value(g).to_bits());
                         prop_assert_eq!(w.stream.entry_id(p), full.entry_id(g));
                         prop_assert_eq!(w.stream.others(p), full.others(g));
                     }
