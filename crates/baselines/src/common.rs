@@ -262,6 +262,9 @@ where
             peak_intermediate_bytes: opts.budget.peak(),
             peak_spilled_bytes: 0,
             final_error,
+            bytes_sent: 0,
+            bytes_received: 0,
+            prefetch_engaged: false,
         },
     })
 }

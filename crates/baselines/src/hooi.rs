@@ -106,6 +106,9 @@ pub fn tucker_als(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult>
             peak_intermediate_bytes: opts.budget.peak(),
             peak_spilled_bytes: 0,
             final_error,
+            bytes_sent: 0,
+            bytes_received: 0,
+            prefetch_engaged: false,
         },
     })
 }

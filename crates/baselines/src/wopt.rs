@@ -276,6 +276,9 @@ pub fn tucker_wopt(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult
             peak_intermediate_bytes: opts.budget.peak(),
             peak_spilled_bytes: 0,
             final_error,
+            bytes_sent: 0,
+            bytes_received: 0,
+            prefetch_engaged: false,
         },
     })
 }

@@ -565,14 +565,17 @@ fn write_artifact() {
         ));
     }
 
-    // Double-buffering: a larger spilled fit whose windows clear the
-    // prefetch threshold, run with the background refill on vs off. The
-    // `overhead` fields are relative to the same fit fully in memory, so
-    // the prefetch-on figure is directly comparable to the single-buffer
-    // `windowed_fit` series above. Note the overlap can only materialize
-    // with a core to spare: on a single-CPU runner the two figures are
-    // noise-identical (the worker just timeshares), and the win shows on
-    // multi-core machines where the refill parse rides a free core.
+    // Double-buffering: a larger spilled fit run with prefetch requested
+    // vs off. The `overhead` fields are relative to the same fit fully
+    // in memory, so the prefetch-on figure is directly comparable to the
+    // single-buffer `windowed_fit` series above. Prefetch self-gates:
+    // it only engages when the halved windows still clear the 128 KiB
+    // amortization threshold AND a second hardware thread exists for the
+    // refill to ride (recorded as `cpus`) — otherwise the requested-on
+    // column falls back to the identical single-buffer path, so it can
+    // never lose to the single buffer it replaces. On this fixture at a
+    // quarter-plan budget the double-buffered windows are ~60 KiB, below
+    // the threshold — exactly the configuration that used to regress 6%.
     {
         let mut rng = StdRng::seed_from_u64(9);
         let x = ptucker_datagen::uniform_sparse(&[96, 72, 48], 20_000, &mut rng);
@@ -597,34 +600,70 @@ fn write_artifact() {
         // A quarter of the plan: several multi-slice windows per mode,
         // each window read hundreds of KiB.
         let budget = plan_bytes / 4;
-        let single = median_ns(5, || {
-            let fit = PTucker::new(opts(MemoryBudget::new(budget), false))
+        let spilled_once = |prefetch: bool| {
+            let t = Instant::now();
+            let fit = PTucker::new(opts(MemoryBudget::new(budget), prefetch))
                 .unwrap()
                 .fit(&x)
                 .unwrap();
             assert!(fit.stats.peak_spilled_bytes > 0);
+            let engaged = fit.stats.prefetch_engaged;
             black_box(fit);
-        });
-        let double = median_ns(5, || {
-            let fit = PTucker::new(opts(MemoryBudget::new(budget), true))
-                .unwrap()
-                .fit(&x)
-                .unwrap();
-            assert!(fit.stats.peak_spilled_bytes > 0);
-            black_box(fit);
-        });
+            (t.elapsed().as_nanos() as f64, engaged)
+        };
+        // One untimed run warms the page cache and reports whether the
+        // gate engaged prefetch at all on this host/fixture.
+        let (_, engaged) = spilled_once(true);
+        let med = |mut runs: Vec<f64>| {
+            runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            runs[runs.len() / 2]
+        };
+        let (single, double) = if engaged {
+            // The two spilled columns are sampled as back-to-back *pairs*
+            // (single, then prefetch) and the prefetch column is derived
+            // from the median per-pair ratio — shared-host drift
+            // (page-cache warming, background load) moves both halves of
+            // a pair together, so the ratio is far more stable than two
+            // independently-sampled medians.
+            let mut single_runs = Vec::new();
+            let mut pair_ratios = Vec::new();
+            for _ in 0..7 {
+                let (s, _) = spilled_once(false);
+                let (d, _) = spilled_once(true);
+                single_runs.push(s);
+                pair_ratios.push(d / s);
+            }
+            let single = med(single_runs);
+            (single, single * med(pair_ratios))
+        } else {
+            // The gate declined prefetch (windows below the threshold or
+            // no spare hardware thread), so "prefetch requested" executes
+            // the identical single-buffer path — any measured difference
+            // between the two columns would be pure noise reported as
+            // signal. Pool every sample into one median for both columns.
+            let mut runs = Vec::new();
+            for _ in 0..5 {
+                runs.push(spilled_once(false).0);
+                runs.push(spilled_once(true).0);
+            }
+            let pooled = med(runs);
+            (pooled, pooled)
+        };
         let overhead_single = single / in_memory;
         let overhead_double = double / in_memory;
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
         println!(
             "artifact windowed_fit_prefetch j=5: in-memory {in_memory:.0} ns, \
              single-buffer {single:.0} ns ({overhead_single:.2}x), \
-             double-buffer {double:.0} ns ({overhead_double:.2}x)"
+             prefetch-requested {double:.0} ns ({overhead_double:.2}x), \
+             engaged {engaged}, {cpus} cpu(s)"
         );
         lines.push(format!(
             "    {{\"bench\": \"windowed_fit_prefetch\", \"j\": 5, \
              \"in_memory_ns\": {in_memory:.1}, \"single_buffer_ns\": {single:.1}, \
              \"double_buffer_ns\": {double:.1}, \"overhead_single\": {overhead_single:.3}, \
-             \"overhead\": {overhead_double:.3}}}"
+             \"overhead\": {overhead_double:.3}, \"prefetch_engaged\": {engaged}, \
+             \"cpus\": {cpus}}}"
         ));
     }
     // Mixed precision: the same Cached sweep with f32 vs f64 storage.
@@ -696,6 +735,54 @@ fn write_artifact() {
              \"f64_ns\": {:.1}, \"f32_ns\": {:.1}, \"speedup\": {spilled_speedup:.3}}}",
             fit_ns[0], fit_ns[1]
         ));
+    }
+
+    // Sharded fit: the K-way row-parallel driver (thread-transport
+    // workers — same framed byte protocol as spawned processes, minus
+    // the process startup noise) vs the plain single-process fit. Every
+    // row is bitwise identical to `solo`; `bytes_moved` is the
+    // coordinator's total comms volume (the one-time Plan per worker
+    // dominates at this scale — the per-mode steady state is only
+    // O(I_n·J) doubles each way). On a shared-memory host the sweep is
+    // already thread-parallel, so K>1 prices the orchestration rather
+    // than promising speedup; the series exists to track that overhead
+    // and the wire volume as both evolve.
+    {
+        use ptucker_shard::{ShardedFit, WorkerSpawn};
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = ptucker_datagen::uniform_sparse(&[96, 72, 48], 20_000, &mut rng);
+        let opts = FitOptions::new(vec![5, 5, 5])
+            .max_iters(2)
+            .tol(0.0)
+            .threads(2)
+            .seed(7);
+        let solo_fit = PTucker::new(opts.clone()).unwrap().fit(&x).unwrap();
+        let solo = median_ns(3, || {
+            black_box(PTucker::new(opts.clone()).unwrap().fit(&x).unwrap());
+        });
+        for k in [1usize, 2, 4] {
+            let sharded = ShardedFit::new(k, WorkerSpawn::Threads);
+            let out = sharded.fit(&x, opts.clone()).unwrap();
+            assert_eq!(
+                out.fit.stats.final_error.to_bits(),
+                solo_fit.stats.final_error.to_bits(),
+                "sharded K={k} diverged from the single-process fit"
+            );
+            let bytes_moved = out.fit.stats.bytes_sent + out.fit.stats.bytes_received;
+            let wall = median_ns(3, || {
+                black_box(sharded.fit(&x, opts.clone()).unwrap());
+            });
+            let overhead = wall / solo;
+            println!(
+                "artifact sharded_fit K={k}: solo {solo:.0} ns, sharded {wall:.0} ns \
+                 ({overhead:.2}x), {bytes_moved} B moved"
+            );
+            lines.push(format!(
+                "    {{\"bench\": \"sharded_fit\", \"workers\": {k}, \
+                 \"solo_ns\": {solo:.1}, \"sharded_ns\": {wall:.1}, \
+                 \"overhead\": {overhead:.3}, \"bytes_moved\": {bytes_moved}}}"
+            ));
+        }
     }
 
     // SIMD kernel tier: the dispatched primitives vs hand-rolled scalar

@@ -15,6 +15,9 @@ pub enum PtuckerError {
     Linalg(LinalgError),
     /// A tensor operation failed.
     Tensor(TensorError),
+    /// A distributed fit-sync hook failed (transport error, protocol
+    /// mismatch, or a peer process exiting early).
+    Sync(String),
 }
 
 impl fmt::Display for PtuckerError {
@@ -24,6 +27,7 @@ impl fmt::Display for PtuckerError {
             PtuckerError::OutOfMemory(e) => write!(f, "{e}"),
             PtuckerError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             PtuckerError::Tensor(e) => write!(f, "tensor failure: {e}"),
+            PtuckerError::Sync(msg) => write!(f, "fit sync failure: {msg}"),
         }
     }
 }
@@ -34,7 +38,7 @@ impl std::error::Error for PtuckerError {
             PtuckerError::OutOfMemory(e) => Some(e),
             PtuckerError::Linalg(e) => Some(e),
             PtuckerError::Tensor(e) => Some(e),
-            PtuckerError::InvalidConfig(_) => None,
+            PtuckerError::InvalidConfig(_) | PtuckerError::Sync(_) => None,
         }
     }
 }

@@ -187,12 +187,14 @@ pub mod engine;
 mod error;
 mod options;
 mod stats;
+pub mod sync;
 
 pub use als::PTucker;
 pub use decomposition::TuckerDecomposition;
 pub use error::PtuckerError;
 pub use options::{FitOptions, StoragePrecision, Variant};
 pub use stats::{FitResult, FitStats, IterStats};
+pub use sync::{FitSync, LocalSync};
 
 // Re-exported for harness convenience: callers configuring a fit usually
 // need the schedule and budget types too.

@@ -51,7 +51,7 @@ pub use ptucker_tensor::StoragePrecision;
 ///     .seed(42);
 /// assert!(opts.validate().is_ok());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FitOptions {
     /// Core dimensionalities `J₁ … J_N` (the Tucker ranks).
     pub ranks: Vec<usize>,

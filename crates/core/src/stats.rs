@@ -37,6 +37,20 @@ pub struct FitStats {
     pub peak_spilled_bytes: usize,
     /// Reconstruction error of the returned (orthogonalized) model.
     pub final_error: f64,
+    /// Bytes this process sent to fit-sync peers (factor rows, stats,
+    /// control frames). Zero on single-process fits; populated by the
+    /// `ptucker-shard` coordinator/worker drivers.
+    pub bytes_sent: u64,
+    /// Bytes this process received from fit-sync peers. Zero on
+    /// single-process fits.
+    pub bytes_received: u64,
+    /// Whether the background prefetch pipeline actually ran. `false`
+    /// when nothing spilled, when [`crate::FitOptions::prefetch`] was
+    /// off, or when the driver's self-gate declined it (windows below
+    /// the amortization threshold, or no spare hardware thread for the
+    /// refill to ride). Lets harnesses distinguish "prefetch measured"
+    /// from "prefetch requested but identical to the single buffer".
+    pub prefetch_engaged: bool,
 }
 
 impl FitStats {
@@ -95,6 +109,9 @@ mod tests {
             peak_intermediate_bytes: 0,
             peak_spilled_bytes: 0,
             final_error: *errs.last().unwrap_or(&0.0),
+            bytes_sent: 0,
+            bytes_received: 0,
+            prefetch_engaged: false,
         }
     }
 
@@ -109,6 +126,9 @@ mod tests {
             peak_intermediate_bytes: 0,
             peak_spilled_bytes: 0,
             final_error: 0.0,
+            bytes_sent: 0,
+            bytes_received: 0,
+            prefetch_engaged: false,
         };
         assert_eq!(empty.avg_seconds_per_iter(), 0.0);
     }

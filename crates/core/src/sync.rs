@@ -1,0 +1,85 @@
+//! Coordination hooks for distributed (multi-process) fits.
+//!
+//! The row-wise update rule makes ALS embarrassingly parallel across
+//! rows: a row's closed-form solve reads only that row's observed
+//! entries, the other factors and the core. A distributed fit therefore
+//! needs exactly two things beyond the single-process driver: each
+//! process must sweep **only the rows it owns** per mode, and the
+//! updated rows must be **all-reduced** (gathered from their owners and
+//! re-broadcast merged) before the next mode reads them through the δ
+//! product. [`FitSync`] is that seam: `run_fit` calls its hooks at the
+//! row-range and factor-sync points, and everything else — placement,
+//! windows, kernels, the error pass — is shard-oblivious.
+//!
+//! Every hook has a no-op default, and [`LocalSync`] (the implementation
+//! behind [`crate::PTucker::fit`]) overrides nothing, so a
+//! single-process fit pays only an inlined empty call. The multi-process
+//! coordinator and worker drivers live in the `ptucker-shard` crate; the
+//! bitwise coordinator/worker ≡ single-process guarantee rests on all
+//! replicas starting from the same seeded RNG, sweeping disjoint
+//! covering row ranges, and merging by deterministic concatenation.
+
+use crate::{FitStats, Result};
+use std::ops::Range;
+
+/// Hooks the fit driver calls at each coordination point of a
+/// (potentially distributed) fit. See the [module docs](self) for the
+/// protocol; all methods default to the single-process no-op.
+pub trait FitSync {
+    /// Called once per `(iteration, mode)` pair, before the mode's rows
+    /// are updated — the lockstep barrier of a distributed fit.
+    ///
+    /// # Errors
+    /// Implementations fail here when a peer is out of step or gone.
+    fn begin_mode(&mut self, iter: usize, mode: usize) -> Result<()> {
+        let _ = (iter, mode);
+        Ok(())
+    }
+
+    /// The contiguous subrange of `mode`'s `rows` rows this process owns
+    /// and will update. The default owns everything; a shard returns its
+    /// block; a pure coordinator returns an empty range (it only merges).
+    fn row_range(&mut self, mode: usize, rows: usize) -> Range<usize> {
+        let _ = mode;
+        0..rows
+    }
+
+    /// The all-reduce point: called after this process updated its row
+    /// range of `mode`'s factor (row-major in `data`, `j_n` columns) and
+    /// before the merged factor is installed for the next mode's δ
+    /// products. Implementations exchange owned rows with their peers
+    /// and overwrite `data` with the merged factor. `local_ok` is
+    /// whether every local row solve succeeded; implementations must
+    /// propagate a peer's failure as an error so all processes abandon
+    /// the fit together.
+    ///
+    /// # Errors
+    /// Transport failures, or a peer reporting a failed solve.
+    fn sync_factor(
+        &mut self,
+        mode: usize,
+        j_n: usize,
+        data: &mut [f64],
+        local_ok: bool,
+    ) -> Result<()> {
+        let _ = (mode, j_n, data, local_ok);
+        Ok(())
+    }
+
+    /// Called once after the fit completes, with the assembled stats —
+    /// where a distributed driver exchanges final stats and fills
+    /// [`FitStats::bytes_sent`] / [`FitStats::bytes_received`].
+    ///
+    /// # Errors
+    /// Transport failures during the final exchange.
+    fn finish(&mut self, stats: &mut FitStats) -> Result<()> {
+        let _ = stats;
+        Ok(())
+    }
+}
+
+/// The single-process [`FitSync`]: every hook keeps its no-op default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalSync;
+
+impl FitSync for LocalSync {}

@@ -137,6 +137,18 @@ pub struct MemoryBudget {
     inner: Arc<Inner>,
 }
 
+/// Equality is configuration equality (limit and policy); the transient
+/// accounting state (in-use/peak counters) is deliberately ignored, so a
+/// budget round-tripped through a wire format or rebuilt from its
+/// parameters compares equal to the original.
+impl PartialEq for MemoryBudget {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.budget == other.inner.budget && self.inner.policy == other.inner.policy
+    }
+}
+
+impl Eq for MemoryBudget {}
+
 impl MemoryBudget {
     /// Creates a budget of `bytes` bytes with the default
     /// [`BudgetPolicy::Spill`] policy.

@@ -1,0 +1,9 @@
+//! Standalone sharded-fit worker: speaks the `ptucker-shard` protocol
+//! on stdin/stdout until the coordinator shuts it down.
+
+fn main() {
+    if let Err(e) = ptucker_shard::worker_stdio() {
+        eprintln!("ptucker-shard-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,637 @@
+//! Multi-process sharded P-Tucker fits.
+//!
+//! A coordinator spawns `K` workers (separate processes over stdio
+//! pipes, or in-process threads over a Unix socket pair — both speak the
+//! identical byte protocol) and runs the ALS sweep in lockstep with
+//! them. Every process holds a full deterministic replica of the fit —
+//! same seeded factor/core init, same plans, same replicated error pass
+//! — but each worker only *updates* the factor rows it owns
+//! (nnz-balanced via [`ptucker_sched::weighted_blocks`]). After each
+//! mode the coordinator gathers the owners' rows, concatenates them (the
+//! ranges are disjoint, so the merge involves no floating-point
+//! arithmetic and is trivially deterministic) and broadcasts the merged
+//! factor before the next mode begins. Only `O(I_n·J)` doubles per mode
+//! cross the wire — execution-plan windows and `Pres` tiles never do.
+//!
+//! The result is **bitwise identical** to a single-process
+//! [`ptucker::PTucker::fit`] with the same options, for every kernel
+//! variant and for resident and spilled placements alike.
+//!
+//! ```no_run
+//! use ptucker::FitOptions;
+//! use ptucker_shard::{ShardedFit, WorkerSpawn};
+//! # fn demo(x: &ptucker_tensor::SparseTensor) -> Result<(), ptucker_shard::ShardError> {
+//! // `worker_guard()` first thing in main() makes any binary shardable.
+//! ptucker_shard::worker_guard();
+//! let sharded = ShardedFit::new(2, WorkerSpawn::CurrentExe);
+//! let out = sharded.fit(x, FitOptions::new(vec![4, 4, 4]).seed(7))?;
+//! println!("moved {} bytes", out.fit.stats.bytes_sent);
+//! # Ok(()) }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod protocol;
+pub mod transport;
+mod worker;
+
+pub use transport::{fnv1a, ByteCounters, Channel, Frame, PROTOCOL_VERSION};
+pub use worker::worker_loop;
+
+use protocol::{Message, PlanMsg, WorkerStatsMsg};
+use ptucker::engine::{ApproxKernel, DirectKernel};
+use ptucker::sync::FitSync;
+use ptucker::FitOptions;
+use ptucker::{FitResult, FitStats, PTucker, PtuckerError, Variant};
+use ptucker_sched::Background;
+use ptucker_tensor::SparseTensor;
+use std::fmt;
+use std::io;
+use std::ops::Range;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::thread::JoinHandle;
+
+/// Argument that flips a [`worker_guard`]-instrumented binary into
+/// worker mode when the coordinator re-executes itself.
+pub const WORKER_ARG: &str = "--ptucker-shard-worker";
+
+/// Anything that can go wrong running a sharded fit.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A transport read/write failed (broken pipe, closed socket, EOF
+    /// from a peer that exited early, corrupt frame).
+    Io(io::Error),
+    /// The byte stream was intact but the conversation was not: version
+    /// mismatch, unexpected message, malformed payload, bad shard plan.
+    Protocol(String),
+    /// The underlying fit failed (on this process or, via the shared
+    /// `ok` flag, on a peer).
+    Fit(PtuckerError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard transport error: {e}"),
+            ShardError::Protocol(msg) => write!(f, "shard protocol error: {msg}"),
+            ShardError::Fit(e) => write!(f, "shard fit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io(e) => Some(e),
+            ShardError::Protocol(_) => None,
+            ShardError::Fit(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// Runs the worker protocol over this process's stdin/stdout. This is
+/// what the `ptucker-shard-worker` binary does, and what
+/// [`worker_guard`] dispatches to.
+///
+/// # Errors
+/// Transport/protocol failures or any error of the underlying fit.
+pub fn worker_stdio() -> Result<FitResult, ShardError> {
+    worker_loop(io::stdin().lock(), io::stdout().lock())
+}
+
+/// Call this first thing in `main()` to make a binary usable as a
+/// [`WorkerSpawn::CurrentExe`] target: if [`WORKER_ARG`] is present on
+/// the command line the process runs the worker protocol on its stdio
+/// and exits (status 0 on a clean fit, 1 otherwise); if not, it returns
+/// immediately and `main()` proceeds as the coordinator.
+pub fn worker_guard() {
+    if std::env::args().any(|a| a == WORKER_ARG) {
+        match worker_stdio() {
+            Ok(_) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("ptucker-shard worker: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// How the coordinator obtains its `K` workers.
+#[derive(Debug, Clone)]
+pub enum WorkerSpawn {
+    /// Spawn the given binary (e.g. `ptucker-shard-worker`, or any
+    /// binary that calls [`worker_guard`]) once per worker, speaking the
+    /// protocol over its stdin/stdout. [`WORKER_ARG`] is passed so
+    /// guarded binaries enter worker mode.
+    Binary(PathBuf),
+    /// Re-execute [`std::env::current_exe`] with [`WORKER_ARG`]; the
+    /// target must call [`worker_guard`] early in `main()`.
+    CurrentExe,
+    /// Run workers as in-process threads over Unix socket pairs. Same
+    /// byte protocol, same framing, same checksums — only the transport
+    /// differs — which makes this the cheap way to property-test the
+    /// protocol and to benchmark sharding without process startup noise.
+    Threads,
+}
+
+/// One request to a worker's background I/O thread. Pairing discipline:
+/// every submit is matched by exactly one collect, in order — that is
+/// what lets a broadcast overlap the writes to all `K` workers.
+enum IoReq {
+    Send(Box<Message>),
+    Recv,
+}
+
+type IoResp = Result<Option<Message>, ShardError>;
+
+/// A connected worker: its framed channel (owned by a
+/// [`Background`] I/O thread so sends/recvs to different workers
+/// overlap), byte counters, and the process/thread to reap at the end.
+struct WorkerHandle {
+    id: u32,
+    io: Option<Background<IoReq, IoResp>>,
+    counters: ByteCounters,
+    child: Option<Child>,
+    thread: Option<JoinHandle<Result<FitResult, ShardError>>>,
+}
+
+impl WorkerHandle {
+    fn from_channel<R, W>(id: u32, mut chan: Channel<R, W>) -> Self
+    where
+        R: io::Read + Send + 'static,
+        W: io::Write + Send + 'static,
+    {
+        let counters = chan.counters();
+        let io = Background::spawn(move |req: IoReq| match req {
+            IoReq::Send(msg) => protocol::send(&mut chan, &msg).map(|()| None),
+            IoReq::Recv => protocol::recv(&mut chan).map(Some),
+        });
+        WorkerHandle {
+            id,
+            io: Some(io),
+            counters,
+            child: None,
+            thread: None,
+        }
+    }
+
+    fn io(&self) -> &Background<IoReq, IoResp> {
+        self.io.as_ref().expect("io thread lives until reap")
+    }
+
+    fn submit(&self, req: IoReq) -> Result<(), ShardError> {
+        self.io()
+            .submit(req)
+            .map_err(|_| ShardError::Protocol(format!("worker {} I/O thread died", self.id)))
+    }
+
+    /// Collects the response to the oldest outstanding submit.
+    fn collect(&self) -> Result<Option<Message>, ShardError> {
+        self.io()
+            .recv()
+            .ok_or_else(|| ShardError::Protocol(format!("worker {} I/O thread died", self.id)))?
+    }
+
+    /// Collects a response that must be a message (a completed `Recv`).
+    fn collect_msg(&self) -> Result<Message, ShardError> {
+        self.collect()?.ok_or_else(|| {
+            ShardError::Protocol(format!(
+                "worker {}: send ack where a message was expected",
+                self.id
+            ))
+        })
+    }
+
+    /// Clean shutdown after a successful fit: the worker has already
+    /// been sent `Shutdown`, so it is exiting on its own.
+    fn reap(&mut self) -> Result<(), ShardError> {
+        drop(self.io.take());
+        if let Some(mut child) = self.child.take() {
+            let status = child.wait()?;
+            if !status.success() {
+                return Err(ShardError::Protocol(format!(
+                    "worker {} exited with {status}",
+                    self.id
+                )));
+            }
+        }
+        if let Some(t) = self.thread.take() {
+            match t.join() {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(ShardError::Protocol(format!("worker {} panicked", self.id))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Teardown on the error path: kill the process first so the I/O
+    /// thread's pending read (if any) unblocks with EOF, then join
+    /// everything, ignoring the worker's own (expected) failure.
+    fn abort(&mut self) {
+        if let Some(child) = self.child.as_mut() {
+            let _ = child.kill();
+        }
+        drop(self.io.take());
+        if let Some(mut child) = self.child.take() {
+            let _ = child.wait();
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.abort();
+    }
+}
+
+/// The coordinator's [`FitSync`]: it owns no rows (its `row_range` is
+/// empty, so its sweeps touch no plan windows), merges the workers'
+/// rows after every mode, and broadcasts the result.
+struct CoordSync<'a> {
+    handles: &'a [WorkerHandle],
+    /// `ranges[w][m]` — worker `w`'s owned rows of mode `m`.
+    ranges: &'a [Vec<Range<usize>>],
+    worker_stats: Vec<WorkerStatsMsg>,
+}
+
+fn sync_err(e: ShardError) -> PtuckerError {
+    PtuckerError::Sync(e.to_string())
+}
+
+impl CoordSync<'_> {
+    /// Sends `msg` to every worker through the background I/O threads —
+    /// the `K` writes overlap — then collects the acks.
+    fn broadcast(&self, msg: &Message) -> Result<(), ShardError> {
+        for h in self.handles {
+            h.submit(IoReq::Send(Box::new(msg.clone())))?;
+        }
+        for h in self.handles {
+            h.collect()?;
+        }
+        Ok(())
+    }
+}
+
+impl FitSync for CoordSync<'_> {
+    fn begin_mode(&mut self, iter: usize, mode: usize) -> ptucker::Result<()> {
+        self.broadcast(&Message::ModeStart {
+            iter: iter as u64,
+            mode: mode as u32,
+        })
+        .map_err(sync_err)
+    }
+
+    fn row_range(&mut self, _mode: usize, _rows: usize) -> Range<usize> {
+        0..0
+    }
+
+    fn sync_factor(
+        &mut self,
+        mode: usize,
+        j_n: usize,
+        data: &mut [f64],
+        local_ok: bool,
+    ) -> ptucker::Result<()> {
+        // Gather: the recvs were all submitted before any collect, so
+        // slow workers overlap; the merge order (worker 0..K) is fixed,
+        // and the ranges are disjoint, so the merged factor is
+        // deterministic regardless of arrival order.
+        for h in self.handles {
+            h.submit(IoReq::Recv).map_err(sync_err)?;
+        }
+        let mut ok = local_ok;
+        for (w, h) in self.handles.iter().enumerate() {
+            let msg = h.collect_msg().map_err(sync_err)?;
+            let rows = match msg {
+                Message::Rows(r) => r,
+                m => {
+                    return Err(sync_err(worker::unexpected("Rows", &m)));
+                }
+            };
+            let expected = &self.ranges[w][mode];
+            let (lo, hi) = (rows.lo as usize, rows.hi as usize);
+            if rows.mode as usize != mode || lo != expected.start || hi != expected.end {
+                return Err(PtuckerError::Sync(format!(
+                    "worker {w} sent rows {lo}..{hi} of mode {}, expected {expected:?} of mode {mode}",
+                    rows.mode
+                )));
+            }
+            if rows.data.len() != (hi - lo) * j_n || hi * j_n > data.len() {
+                return Err(PtuckerError::Sync(format!(
+                    "worker {w} sent {} doubles for rows {lo}..{hi} (J={j_n})",
+                    rows.data.len()
+                )));
+            }
+            data[lo * j_n..hi * j_n].copy_from_slice(&rows.data);
+            ok &= rows.ok;
+        }
+        self.broadcast(&Message::FactorSync {
+            mode: mode as u32,
+            ok,
+            data: data.to_vec(),
+        })
+        .map_err(sync_err)?;
+        if !ok {
+            // Same error a single-process fit returns from its own
+            // failed row solve; every worker raises it too.
+            return Err(worker::solve_failure());
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, stats: &mut FitStats) -> ptucker::Result<()> {
+        for h in self.handles {
+            h.submit(IoReq::Recv).map_err(sync_err)?;
+        }
+        for h in self.handles {
+            match h.collect_msg().map_err(sync_err)? {
+                Message::Stats(s) => self.worker_stats.push(s),
+                m => return Err(sync_err(worker::unexpected("Stats", &m))),
+            }
+        }
+        self.broadcast(&Message::Shutdown).map_err(sync_err)?;
+        stats.bytes_sent = self.handles.iter().map(|h| h.counters.sent()).sum();
+        stats.bytes_received = self.handles.iter().map(|h| h.counters.received()).sum();
+        Ok(())
+    }
+}
+
+/// What a sharded fit returns: the fit (bitwise identical to the
+/// single-process one, except `FitStats::bytes_sent`/`bytes_received`
+/// which report the coordinator's comms volume) plus each worker's
+/// share of the work.
+#[derive(Debug, Clone)]
+pub struct ShardedFitResult {
+    /// The fitted model and statistics, from the coordinator's replica.
+    pub fit: FitResult,
+    /// Per-worker totals, in worker order.
+    pub worker_stats: Vec<WorkerStatsMsg>,
+}
+
+/// Coordinator for a `K`-worker sharded fit.
+#[derive(Debug, Clone)]
+pub struct ShardedFit {
+    workers: usize,
+    spawn: WorkerSpawn,
+}
+
+impl ShardedFit {
+    /// A coordinator that will run `workers` workers obtained via
+    /// `spawn`. `workers` is clamped to at least 1.
+    pub fn new(workers: usize, spawn: WorkerSpawn) -> Self {
+        ShardedFit {
+            workers: workers.max(1),
+            spawn,
+        }
+    }
+
+    /// Runs a sharded fit with nnz-balanced row ownership
+    /// ([`nnz_balanced_ranges`]).
+    ///
+    /// # Errors
+    /// Spawn/transport/protocol failures, or the fit error every process
+    /// raises identically (e.g. a singular row solve on any shard).
+    pub fn fit(&self, x: &SparseTensor, opts: FitOptions) -> Result<ShardedFitResult, ShardError> {
+        self.fit_with_ranges(x, opts, nnz_balanced_ranges(x, self.workers))
+    }
+
+    /// Like [`ShardedFit::fit`] but with explicit row ownership:
+    /// `ranges[w][m]` is worker `w`'s rows of mode `m`. Per mode, the
+    /// ranges must tile `0..dims[m]` contiguously in worker order
+    /// (empty ranges are fine) — that is what makes the merge a plain
+    /// concatenation.
+    ///
+    /// # Errors
+    /// As [`ShardedFit::fit`], plus [`ShardError::Protocol`] on a plan
+    /// that does not tile every mode.
+    pub fn fit_with_ranges(
+        &self,
+        x: &SparseTensor,
+        opts: FitOptions,
+        ranges: Vec<Vec<Range<usize>>>,
+    ) -> Result<ShardedFitResult, ShardError> {
+        validate_ranges(x, self.workers, &ranges)?;
+        let mut handles = Vec::with_capacity(self.workers);
+        for id in 0..self.workers as u32 {
+            handles.push(self.spawn_worker(id)?);
+        }
+        // Handshake + plan, per worker. Submitting everything before
+        // collecting anything overlaps worker startup and plan builds.
+        for (w, h) in handles.iter().enumerate() {
+            h.submit(IoReq::Send(Box::new(Message::Hello {
+                version: PROTOCOL_VERSION,
+                worker_id: h.id,
+                workers: self.workers as u32,
+            })))?;
+            h.submit(IoReq::Recv)?;
+            h.submit(IoReq::Send(Box::new(Message::Plan(PlanMsg {
+                opts: opts.clone(),
+                dims: x.dims().to_vec(),
+                indices: x.flat_indices().to_vec(),
+                values: x.values().to_vec(),
+                ranges: ranges[w].clone(),
+            }))))?;
+        }
+        for h in &handles {
+            h.collect()?; // Hello ack
+            match h.collect_msg()? {
+                Message::Hello {
+                    version, worker_id, ..
+                } if version == PROTOCOL_VERSION && worker_id == h.id => {}
+                Message::Hello { version, .. } => {
+                    return Err(ShardError::Protocol(format!(
+                        "worker {} answered with protocol version {version}, expected {PROTOCOL_VERSION}",
+                        h.id
+                    )));
+                }
+                m => return Err(worker::unexpected("Hello", &m)),
+            }
+            h.collect()?; // Plan ack
+        }
+
+        let solver = PTucker::new(opts.clone()).map_err(ShardError::Fit)?;
+        let mut sync = CoordSync {
+            handles: &handles,
+            ranges: &ranges,
+            worker_stats: Vec::new(),
+        };
+        // The coordinator updates no rows, so the `Pres` cache tables
+        // would be pure overhead: drive `Variant::Cache` with the direct
+        // kernel. `Approx` keeps its kernel because the per-iteration
+        // entry truncation must replicate bit-for-bit everywhere.
+        let fit = match opts.variant {
+            Variant::Approx { truncation_rate } => {
+                solver.fit_with_kernel(x, ApproxKernel::new(truncation_rate), &mut sync)
+            }
+            Variant::Default | Variant::Cache => solver.fit_with_kernel(x, DirectKernel, &mut sync),
+        };
+        let worker_stats = std::mem::take(&mut sync.worker_stats);
+        drop(sync);
+        match fit {
+            Ok(fit) => {
+                for h in &mut handles {
+                    h.reap()?;
+                }
+                Ok(ShardedFitResult { fit, worker_stats })
+            }
+            Err(e) => {
+                for h in &mut handles {
+                    h.abort();
+                }
+                Err(ShardError::Fit(e))
+            }
+        }
+    }
+
+    fn spawn_worker(&self, id: u32) -> Result<WorkerHandle, ShardError> {
+        match &self.spawn {
+            WorkerSpawn::Binary(path) => spawn_process(id, path.clone()),
+            WorkerSpawn::CurrentExe => spawn_process(id, std::env::current_exe()?),
+            WorkerSpawn::Threads => {
+                let (coord, side) = UnixStream::pair()?;
+                let reader = side.try_clone()?;
+                let thread = std::thread::Builder::new()
+                    .name(format!("ptucker-shard-worker-{id}"))
+                    .spawn(move || worker_loop(reader, side))?;
+                let mut h = WorkerHandle::from_channel(id, Channel::new(coord.try_clone()?, coord));
+                h.thread = Some(thread);
+                Ok(h)
+            }
+        }
+    }
+}
+
+fn spawn_process(id: u32, path: PathBuf) -> Result<WorkerHandle, ShardError> {
+    let mut child = Command::new(path)
+        .arg(WORKER_ARG)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdin = child
+        .stdin
+        .take()
+        .ok_or_else(|| ShardError::Protocol("spawned worker has no stdin".into()))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| ShardError::Protocol("spawned worker has no stdout".into()))?;
+    let mut h = WorkerHandle::from_channel(id, Channel::new(stdout, stdin));
+    h.child = Some(child);
+    Ok(h)
+}
+
+/// nnz-balanced row ownership: for every mode, rows are split into `K`
+/// contiguous blocks of roughly equal observed-entry count via
+/// [`ptucker_sched::weighted_blocks`]. When a mode has fewer rows than
+/// workers, the surplus workers own an empty range there.
+pub fn nnz_balanced_ranges(x: &SparseTensor, workers: usize) -> Vec<Vec<Range<usize>>> {
+    let k = workers.max(1);
+    let mut out = vec![Vec::with_capacity(x.order()); k];
+    for m in 0..x.order() {
+        let dim = x.dims()[m];
+        let blocks = ptucker_sched::weighted_blocks(dim, k, |i| x.slice_len(m, i));
+        for (w, ranges) in out.iter_mut().enumerate() {
+            let r = blocks.get(w).map_or(dim..dim, |&(lo, hi)| lo..hi);
+            ranges.push(r);
+        }
+    }
+    out
+}
+
+/// Checks that `ranges[w][m]` tiles `0..dims[m]` contiguously in worker
+/// order for every mode.
+fn validate_ranges(
+    x: &SparseTensor,
+    workers: usize,
+    ranges: &[Vec<Range<usize>>],
+) -> Result<(), ShardError> {
+    if ranges.len() != workers {
+        return Err(ShardError::Protocol(format!(
+            "{} range sets for {workers} workers",
+            ranges.len()
+        )));
+    }
+    for m in 0..x.order() {
+        let dim = x.dims()[m];
+        let mut pos = 0usize;
+        for (w, rs) in ranges.iter().enumerate() {
+            let r = rs.get(m).ok_or_else(|| {
+                ShardError::Protocol(format!("worker {w} has no range for mode {m}"))
+            })?;
+            if r.start != pos || r.end < r.start {
+                return Err(ShardError::Protocol(format!(
+                    "mode {m}: worker {w} owns {r:?} but the previous worker ended at {pos}"
+                )));
+            }
+            pos = r.end;
+        }
+        if pos != dim {
+            return Err(ShardError::Protocol(format!(
+                "mode {m}: ranges cover 0..{pos} of 0..{dim}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptucker_tensor::SparseTensor;
+
+    fn small() -> SparseTensor {
+        // 4×3 with lopsided rows: row 0 holds most entries.
+        SparseTensor::from_flat(
+            vec![4, 3],
+            vec![0, 0, 0, 1, 0, 2, 1, 0, 2, 1, 3, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn balanced_ranges_tile_every_mode() {
+        let x = small();
+        for k in 1..=6 {
+            let ranges = nnz_balanced_ranges(&x, k);
+            assert_eq!(ranges.len(), k.max(1));
+            validate_ranges(&x, k.max(1), &ranges).unwrap();
+        }
+    }
+
+    #[test]
+    fn surplus_workers_get_empty_ranges() {
+        let x = small();
+        let ranges = nnz_balanced_ranges(&x, 6);
+        // Mode 1 has only 3 rows; workers beyond it own nothing there.
+        assert!(ranges.iter().filter(|r| r[1].is_empty()).count() >= 3);
+        validate_ranges(&x, 6, &ranges).unwrap();
+    }
+
+    #[test]
+    fn bad_plans_are_rejected() {
+        let x = small();
+        // Gap.
+        let bad = vec![vec![0..1, 0..3], vec![2..4, 3..3]];
+        assert!(validate_ranges(&x, 2, &bad).is_err());
+        // Short cover.
+        let bad = vec![vec![0..1, 0..3], vec![1..3, 3..3]];
+        assert!(validate_ranges(&x, 2, &bad).is_err());
+        // Wrong worker count.
+        assert!(validate_ranges(&x, 2, &[vec![0..4, 0..3]]).is_err());
+    }
+}

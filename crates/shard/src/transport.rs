@@ -1,0 +1,221 @@
+//! Length-prefixed framed transport with checksums and byte accounting.
+//!
+//! A frame is `[len: u32 LE] [tag: u8] [payload: len-1 bytes]
+//! [checksum: u64 LE]` where `len` counts the tag plus the payload and
+//! the checksum is FNV-1a 64 over them. The framing carries no type
+//! information beyond the tag — message bodies are encoded by
+//! [`crate::protocol`] — and no compression: the steady-state traffic is
+//! factor rows (`O(I_n·J)` doubles per mode), which are already dense.
+//!
+//! [`Channel`] works over any `Read`/`Write` pair — the stdin/stdout
+//! pipes of a spawned worker, or a [`std::os::unix::net::UnixStream`]
+//! for in-process thread workers — and counts bytes both ways through
+//! shared [`ByteCounters`], so the coordinator can report comms volume
+//! (`FitStats::bytes_sent`/`bytes_received`) even after the channel has
+//! been moved onto its background I/O thread.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Version negotiated by the `Hello` exchange; bumped whenever the frame
+/// layout or any message encoding changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Frames larger than this are rejected as corruption before any
+/// allocation happens (1 GiB — far beyond any factor or plan message
+/// this crate produces).
+const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// FNV-1a 64-bit over `bytes` — cheap, allocation-free, and plenty for
+/// catching framing bugs and torn pipes (this is an integrity check, not
+/// an authenticity one).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Monotonic sent/received byte totals of one [`Channel`], shared by
+/// reference so they stay readable after the channel moves to a
+/// background I/O thread.
+#[derive(Debug, Clone, Default)]
+pub struct ByteCounters {
+    sent: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+}
+
+impl ByteCounters {
+    /// Total bytes written so far, framing included.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read so far, framing included.
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+}
+
+/// One framed, checksummed, byte-counted duplex connection.
+#[derive(Debug)]
+pub struct Channel<R, W> {
+    reader: R,
+    writer: W,
+    counters: ByteCounters,
+    /// Reusable frame staging buffer (one allocation per connection, not
+    /// per message).
+    buf: Vec<u8>,
+}
+
+/// A raw frame: the tag byte plus its payload, checksum already
+/// verified.
+#[derive(Debug)]
+pub struct Frame {
+    /// The message tag (see [`crate::protocol`]).
+    pub tag: u8,
+    /// The encoded message body.
+    pub payload: Vec<u8>,
+}
+
+impl<R: Read, W: Write> Channel<R, W> {
+    /// Wraps a `Read`/`Write` pair with fresh byte counters.
+    pub fn new(reader: R, writer: W) -> Self {
+        Channel {
+            reader,
+            writer,
+            counters: ByteCounters::default(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// A shared handle to this channel's byte counters.
+    pub fn counters(&self) -> ByteCounters {
+        self.counters.clone()
+    }
+
+    /// Writes one frame (single `write_all` + flush, so a frame is never
+    /// interleaved with another writer's bytes).
+    ///
+    /// # Errors
+    /// Propagates transport I/O failures.
+    pub fn send_frame(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(1 + payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_FRAME_BYTES)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+        self.buf.clear();
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.push(tag);
+        self.buf.extend_from_slice(payload);
+        let sum = fnv1a(&self.buf[4..]);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.writer.write_all(&self.buf)?;
+        self.writer.flush()?;
+        self.counters
+            .sent
+            .fetch_add(self.buf.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads one frame, verifying length bounds and the checksum.
+    ///
+    /// # Errors
+    /// Transport I/O failures, `UnexpectedEof` on a closed peer, or
+    /// `InvalidData` on a corrupt frame.
+    pub fn recv_frame(&mut self) -> io::Result<Frame> {
+        let mut head = [0u8; 4];
+        self.reader.read_exact(&mut head)?;
+        let len = u32::from_le_bytes(head);
+        if len == 0 || len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        self.buf.clear();
+        self.buf.resize(len as usize, 0);
+        self.reader.read_exact(&mut self.buf)?;
+        let mut sum = [0u8; 8];
+        self.reader.read_exact(&mut sum)?;
+        if fnv1a(&self.buf) != u64::from_le_bytes(sum) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame checksum mismatch",
+            ));
+        }
+        self.counters
+            .received
+            .fetch_add(4 + u64::from(len) + 8, Ordering::Relaxed);
+        Ok(Frame {
+            tag: self.buf[0],
+            payload: self.buf[1..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(tag: u8, payload: &[u8]) -> Frame {
+        let mut wire = Vec::new();
+        {
+            let mut tx = Channel::new(io::empty(), &mut wire);
+            tx.send_frame(tag, payload).unwrap();
+            assert_eq!(tx.counters().sent(), wire.len() as u64);
+        }
+        let mut rx = Channel::new(wire.as_slice(), io::sink());
+        let f = rx.recv_frame().unwrap();
+        assert_eq!(rx.counters().received(), wire.len() as u64);
+        f
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = roundtrip(7, b"hello shard");
+        assert_eq!(f.tag, 7);
+        assert_eq!(f.payload, b"hello shard");
+        let empty = roundtrip(1, b"");
+        assert_eq!(empty.tag, 1);
+        assert!(empty.payload.is_empty());
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut wire = Vec::new();
+        Channel::new(io::empty(), &mut wire)
+            .send_frame(3, b"abcdef")
+            .unwrap();
+        wire[7] ^= 0x40; // flip a payload bit
+        let err = Channel::new(wire.as_slice(), io::sink())
+            .recv_frame()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut wire = Vec::new();
+        Channel::new(io::empty(), &mut wire)
+            .send_frame(3, b"abcdef")
+            .unwrap();
+        wire.truncate(wire.len() - 3);
+        let err = Channel::new(wire.as_slice(), io::sink())
+            .recv_frame()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_before_allocation() {
+        let wire = u32::MAX.to_le_bytes();
+        let err = Channel::new(wire.as_slice(), io::sink())
+            .recv_frame()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

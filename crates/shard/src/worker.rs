@@ -1,0 +1,231 @@
+//! The worker side of a sharded fit: a full deterministic fit replica
+//! whose row sweeps are restricted to the shard it owns.
+//!
+//! A worker does **not** receive factors, plans or windows — it receives
+//! the COO tensor and the fit options once ([`crate::protocol::Message::Plan`])
+//! and rebuilds everything locally: the same seeded RNG produces the
+//! same initial factors and core on every process, the same plan builder
+//! produces the same execution plan, and the replicated error pass
+//! (needing only COO and the model) produces the same convergence
+//! decisions. The only
+//! divergence is which rows each process updates — repaired every mode
+//! by the `Rows`/`FactorSync` all-reduce — which is what makes a
+//! K-shard fit bitwise identical to the single-process one.
+
+use crate::protocol::{self, Message, PlanMsg, RowsMsg, WorkerStatsMsg};
+use crate::transport::Channel;
+use crate::{ShardError, PROTOCOL_VERSION};
+use ptucker::sync::FitSync;
+use ptucker::{FitResult, FitStats, PTucker, PtuckerError};
+use ptucker_linalg::LinalgError;
+use ptucker_tensor::SparseTensor;
+use std::io::{Read, Write};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Converts a transport/protocol failure into the fit error the hooks
+/// must return.
+fn sync_err(e: ShardError) -> PtuckerError {
+    PtuckerError::Sync(e.to_string())
+}
+
+/// The error every process returns when **some** shard's row solve
+/// failed — the same error a single-process fit returns from its own
+/// failed solve, so sharding preserves error semantics.
+pub(crate) fn solve_failure() -> PtuckerError {
+    PtuckerError::Linalg(LinalgError::Singular { pivot: 0 })
+}
+
+pub(crate) fn unexpected(expected: &str, got: &Message) -> ShardError {
+    ShardError::Protocol(format!("expected {expected}, got {}", got.name()))
+}
+
+/// [`FitSync`] implementation driving one worker's fit replica.
+struct WorkerSync<'a, R: Read, W: Write> {
+    chan: &'a mut Channel<R, W>,
+    /// Owned row range per mode.
+    ranges: Vec<Range<usize>>,
+    /// Observed entries in the owned range, per mode (precomputed; a
+    /// sweep of mode `m` touches exactly this many stream positions).
+    mode_nnz: Vec<u64>,
+    rows_updated: u64,
+    nnz_processed: u64,
+    t_start: Instant,
+}
+
+impl<R: Read, W: Write> FitSync for WorkerSync<'_, R, W> {
+    fn begin_mode(&mut self, iter: usize, mode: usize) -> ptucker::Result<()> {
+        match protocol::recv(self.chan).map_err(sync_err)? {
+            Message::ModeStart { iter: i, mode: m }
+                if i == iter as u64 && m == mode as u32 =>
+            {
+                Ok(())
+            }
+            Message::ModeStart { iter: i, mode: m } => Err(PtuckerError::Sync(format!(
+                "lockstep broken: coordinator at iter {i} mode {m}, worker at iter {iter} mode {mode}"
+            ))),
+            m => Err(sync_err(unexpected("ModeStart", &m))),
+        }
+    }
+
+    fn row_range(&mut self, mode: usize, rows: usize) -> Range<usize> {
+        let r = self.ranges[mode].clone();
+        debug_assert!(
+            r.end <= rows,
+            "owned range validated against dims at startup"
+        );
+        let _ = rows;
+        self.rows_updated += (r.end - r.start) as u64;
+        self.nnz_processed += self.mode_nnz[mode];
+        r
+    }
+
+    fn sync_factor(
+        &mut self,
+        mode: usize,
+        j_n: usize,
+        data: &mut [f64],
+        local_ok: bool,
+    ) -> ptucker::Result<()> {
+        let r = &self.ranges[mode];
+        protocol::send(
+            self.chan,
+            &Message::Rows(RowsMsg {
+                mode: mode as u32,
+                lo: r.start as u64,
+                hi: r.end as u64,
+                ok: local_ok,
+                data: data[r.start * j_n..r.end * j_n].to_vec(),
+            }),
+        )
+        .map_err(sync_err)?;
+        match protocol::recv(self.chan).map_err(sync_err)? {
+            Message::FactorSync {
+                mode: m,
+                ok,
+                data: merged,
+            } if m == mode as u32 => {
+                if !ok {
+                    return Err(solve_failure());
+                }
+                if merged.len() != data.len() {
+                    return Err(PtuckerError::Sync(format!(
+                        "merged factor has {} doubles, expected {}",
+                        merged.len(),
+                        data.len()
+                    )));
+                }
+                data.copy_from_slice(&merged);
+                Ok(())
+            }
+            m => Err(sync_err(unexpected("FactorSync", &m))),
+        }
+    }
+
+    fn finish(&mut self, stats: &mut FitStats) -> ptucker::Result<()> {
+        let counters = self.chan.counters();
+        stats.bytes_sent = counters.sent();
+        stats.bytes_received = counters.received();
+        protocol::send(
+            self.chan,
+            &Message::Stats(WorkerStatsMsg {
+                rows_updated: self.rows_updated,
+                nnz_processed: self.nnz_processed,
+                wall_seconds: self.t_start.elapsed().as_secs_f64(),
+                bytes_sent: counters.sent(),
+                bytes_received: counters.received(),
+            }),
+        )
+        .map_err(sync_err)?;
+        match protocol::recv(self.chan).map_err(sync_err)? {
+            Message::Shutdown => Ok(()),
+            m => Err(sync_err(unexpected("Shutdown", &m))),
+        }
+    }
+}
+
+/// Runs the worker protocol to completion over an established transport:
+/// handshake, plan receipt, the sharded fit replica, stats, shutdown.
+/// This is the entire worker — the same function serves a spawned
+/// process (stdin/stdout pipes) and an in-process thread worker (a Unix
+/// socket pair), which is what lets the thread transport property-test
+/// the byte protocol itself.
+///
+/// # Errors
+/// Transport/protocol failures, or any error of the underlying fit.
+pub fn worker_loop<R: Read, W: Write>(reader: R, writer: W) -> Result<FitResult, ShardError> {
+    let mut chan = Channel::new(reader, writer);
+    let (worker_id, workers) = match protocol::recv(&mut chan)? {
+        Message::Hello {
+            version,
+            worker_id,
+            workers,
+        } => {
+            if version != PROTOCOL_VERSION {
+                return Err(ShardError::Protocol(format!(
+                    "protocol version mismatch: coordinator {version}, worker {PROTOCOL_VERSION}"
+                )));
+            }
+            (worker_id, workers)
+        }
+        m => return Err(unexpected("Hello", &m)),
+    };
+    protocol::send(
+        &mut chan,
+        &Message::Hello {
+            version: PROTOCOL_VERSION,
+            worker_id,
+            workers,
+        },
+    )?;
+    let plan = match protocol::recv(&mut chan)? {
+        Message::Plan(p) => p,
+        m => return Err(unexpected("Plan", &m)),
+    };
+    run_shard(&mut chan, plan)
+}
+
+/// Rebuilds the tensor and runs the restricted fit replica.
+fn run_shard<R: Read, W: Write>(
+    chan: &mut Channel<R, W>,
+    plan: PlanMsg,
+) -> Result<FitResult, ShardError> {
+    let t_start = Instant::now();
+    let PlanMsg {
+        opts,
+        dims,
+        indices,
+        values,
+        ranges,
+    } = plan;
+    let x =
+        SparseTensor::from_flat(dims, indices, values).map_err(|e| ShardError::Fit(e.into()))?;
+    if ranges.len() != x.order() {
+        return Err(ShardError::Protocol(format!(
+            "{} shard ranges for an order-{} tensor",
+            ranges.len(),
+            x.order()
+        )));
+    }
+    for (m, r) in ranges.iter().enumerate() {
+        if r.start > r.end || r.end > x.dims()[m] {
+            return Err(ShardError::Protocol(format!(
+                "shard range {r:?} out of bounds for mode {m} ({} rows)",
+                x.dims()[m]
+            )));
+        }
+    }
+    let mode_nnz = (0..x.order())
+        .map(|m| ranges[m].clone().map(|i| x.slice_len(m, i) as u64).sum())
+        .collect();
+    let solver = PTucker::new(opts).map_err(ShardError::Fit)?;
+    let mut sync = WorkerSync {
+        chan,
+        ranges,
+        mode_nnz,
+        rows_updated: 0,
+        nnz_processed: 0,
+        t_start,
+    };
+    solver.fit_with_sync(&x, &mut sync).map_err(ShardError::Fit)
+}

@@ -849,6 +849,8 @@ impl ModeStreams {
                     mode,
                     cap: cap_positions.max(1),
                     next_slice: 0,
+                    start_slice: 0,
+                    end_slice: streams[mode].num_slices(),
                 },
             },
             StreamStore::Spilled { .. } => SweepSource {
@@ -911,6 +913,8 @@ impl ModeStreams {
             cap,
             precision,
             next_slice: 0,
+            start_slice: 0,
+            end_slice: modes[mode].num_slices(),
             current: pinned(),
             spare,
             worker,
@@ -1016,6 +1020,8 @@ enum SourceInner<'a> {
         mode: usize,
         cap: usize,
         next_slice: usize,
+        start_slice: usize,
+        end_slice: usize,
     },
     // Boxed: the sweeper (pinned-buffer headers, prefetch plumbing) is an
     // order of magnitude larger than the resident cursor.
@@ -1030,27 +1036,72 @@ impl<'a> SweepSource<'a> {
     }
 
     /// Restarts the sweep on `mode`'s first window, reusing any pinned
-    /// buffers — how one source serves every mode of a whole fit.
+    /// buffers — how one source serves every mode of a whole fit. Clears
+    /// any slice restriction set by [`SweepSource::rewind_range`].
     pub fn rewind(&mut self, mode: usize) {
         match &mut self.inner {
             SourceInner::Resident {
                 streams,
                 mode: m,
                 next_slice,
+                start_slice,
+                end_slice,
                 ..
             } => {
                 assert!(mode < streams.len(), "mode {mode} out of range");
                 *m = mode;
                 *next_slice = 0;
+                *start_slice = 0;
+                *end_slice = streams[mode].num_slices();
             }
             SourceInner::Spilled(w) => w.rewind(mode),
         }
     }
 
-    /// Rewinds to the current mode's first window.
+    /// Restarts the sweep on `mode`, restricted to the slice subrange
+    /// `slices` — the shard of a distributed row-parallel fit. Windows
+    /// keep their **global** slice ids and stream bases, so window
+    /// consumers are restriction-oblivious; an empty range yields no
+    /// windows at all. The restriction holds until the next
+    /// [`SweepSource::rewind`] or `rewind_range`.
+    ///
+    /// # Panics
+    /// If `mode` is out of range, `slices` ends past the mode's slice
+    /// count, or `slices.start > slices.end`.
+    pub fn rewind_range(&mut self, mode: usize, slices: std::ops::Range<usize>) {
+        match &mut self.inner {
+            SourceInner::Resident {
+                streams,
+                mode: m,
+                next_slice,
+                start_slice,
+                end_slice,
+                ..
+            } => {
+                assert!(mode < streams.len(), "mode {mode} out of range");
+                let num = streams[mode].num_slices();
+                assert!(
+                    slices.start <= slices.end && slices.end <= num,
+                    "slice range {slices:?} out of bounds for {num} slices"
+                );
+                *m = mode;
+                *next_slice = slices.start;
+                *start_slice = slices.start;
+                *end_slice = slices.end;
+            }
+            SourceInner::Spilled(w) => w.rewind_range(mode, slices),
+        }
+    }
+
+    /// Rewinds to the current mode's first window (of the current slice
+    /// restriction, if any).
     pub fn reset(&mut self) {
         match &mut self.inner {
-            SourceInner::Resident { next_slice, .. } => *next_slice = 0,
+            SourceInner::Resident {
+                next_slice,
+                start_slice,
+                ..
+            } => *next_slice = *start_slice,
             SourceInner::Spilled(w) => w.reset(),
         }
     }
@@ -1078,16 +1129,22 @@ impl<'a> SweepSource<'a> {
         }
     }
 
-    /// Number of windows a full sweep of the current mode takes (no I/O).
+    /// Number of windows a full sweep of the current mode (restricted to
+    /// the current slice subrange, if any) takes (no I/O).
     pub fn window_count(&self) -> usize {
         match &self.inner {
             SourceInner::Resident {
-                streams, mode, cap, ..
+                streams,
+                mode,
+                cap,
+                start_slice,
+                end_slice,
+                ..
             } => {
                 let s = &streams[*mode];
                 let mut n = 0;
-                let mut cursor = 0;
-                while resident_step(s, *cap, &mut cursor).is_some() {
+                let mut cursor = *start_slice;
+                while resident_step(s, *cap, &mut cursor, *end_slice).is_some() {
                     n += 1;
                 }
                 n
@@ -1109,13 +1166,17 @@ impl<'a> SweepSource<'a> {
                 mode,
                 cap,
                 next_slice,
+                end_slice,
+                ..
             } => {
                 let s = &streams[*mode];
-                Ok(resident_step(s, *cap, next_slice).map(|(lo, hi)| Window {
-                    slices: lo..hi,
-                    base: s.offsets[lo],
-                    stream: s.view_range(lo, hi),
-                }))
+                Ok(
+                    resident_step(s, *cap, next_slice, *end_slice).map(|(lo, hi)| Window {
+                        slices: lo..hi,
+                        base: s.offsets[lo],
+                        stream: s.view_range(lo, hi),
+                    }),
+                )
             }
             SourceInner::Spilled(w) => w.next_window(),
         }
@@ -1138,10 +1199,12 @@ impl<'a> SweepSource<'a> {
                 mode,
                 cap,
                 next_slice,
+                end_slice,
+                ..
             } => {
                 let s = &streams[*mode];
                 Ok(
-                    resident_step(s, *cap, next_slice).map(|(lo, hi)| IdsWindow {
+                    resident_step(s, *cap, next_slice, *end_slice).map(|(lo, hi)| IdsWindow {
                         slices: lo..hi,
                         base: s.offsets[lo],
                         entry_ids: &s.entry_ids[s.offsets[lo]..s.offsets[hi]],
@@ -1154,16 +1217,21 @@ impl<'a> SweepSource<'a> {
 }
 
 /// The one copy of the resident sweep's cursor rule: the slice extent of
-/// the window starting at `*cursor` (or `None` past the last slice),
-/// advancing the cursor — shared by `next_window`, `next_ids_window` and
-/// `window_count`, mirroring how the spilled arm centralizes the same
-/// stepping in `SliceWindows::spec`.
-fn resident_step(s: &ModeStream, cap: usize, cursor: &mut usize) -> Option<(usize, usize)> {
-    if *cursor >= s.num_slices() {
+/// the window starting at `*cursor` (or `None` at the sweep's `end`
+/// slice bound), advancing the cursor — shared by `next_window`,
+/// `next_ids_window` and `window_count`, mirroring how the spilled arm
+/// centralizes the same stepping in `SliceWindows::spec`.
+fn resident_step(
+    s: &ModeStream,
+    cap: usize,
+    cursor: &mut usize,
+    end: usize,
+) -> Option<(usize, usize)> {
+    if *cursor >= end {
         return None;
     }
     let lo = *cursor;
-    let hi = window_extent(&s.offsets, lo, cap);
+    let hi = window_extent(&s.offsets[..=end], lo, cap);
     *cursor = hi;
     Some((lo, hi))
 }
@@ -1281,6 +1349,12 @@ pub struct SliceWindows<'a> {
     precision: StoragePrecision,
     /// First slice of the next window to *present*.
     next_slice: usize,
+    /// First slice of the current sweep — 0 for a full-mode sweep, the
+    /// shard's lower bound under [`SliceWindows::rewind_range`].
+    start_slice: usize,
+    /// Exclusive upper slice bound of the current sweep — the mode's
+    /// slice count for a full-mode sweep.
+    end_slice: usize,
     /// The buffer backing the currently presented window.
     current: WindowBuf,
     /// The idle second buffer (prefetch mode only; `None` while its
@@ -1305,7 +1379,7 @@ impl<'a> SliceWindows<'a> {
     /// mode.
     fn spec(&self, lo: usize) -> RefillSpec {
         let sp = self.sp();
-        let hi = window_extent(&sp.offsets, lo, self.cap);
+        let hi = window_extent(&sp.offsets[..=self.end_slice], lo, self.cap);
         let start = sp.offsets[lo];
         RefillSpec {
             lo,
@@ -1340,7 +1414,7 @@ impl<'a> SliceWindows<'a> {
     /// [`TensorError::Io`] if reading the scratch file fails.
     pub fn next_window(&mut self) -> Result<Option<Window<'_>>> {
         let sp = self.sp();
-        let num = sp.num_slices();
+        let num = self.end_slice;
         if self.next_slice >= num {
             debug_assert!(
                 self.inflight.is_none(),
@@ -1409,8 +1483,7 @@ impl<'a> SliceWindows<'a> {
     /// [`TensorError::Io`] if reading the scratch file fails.
     pub fn next_ids_window(&mut self) -> Result<Option<IdsWindow<'_>>> {
         self.drain();
-        let sp = self.sp();
-        if self.next_slice >= sp.num_slices() {
+        if self.next_slice >= self.end_slice {
             return Ok(None);
         }
         let spec = self.spec(self.next_slice);
@@ -1443,24 +1516,57 @@ impl<'a> SliceWindows<'a> {
     }
 
     /// Restarts the sweep on `mode`'s first window, reusing the pinned
-    /// buffers — how one sweeper serves every mode of a whole fit.
+    /// buffers — how one sweeper serves every mode of a whole fit. Clears
+    /// any slice restriction set by [`SliceWindows::rewind_range`].
     pub fn rewind(&mut self, mode: usize) {
         assert!(mode < self.modes.len(), "mode {mode} out of range");
         self.drain();
         self.mode = mode;
         self.next_slice = 0;
+        self.start_slice = 0;
+        self.end_slice = self.modes[mode].num_slices();
     }
 
-    /// Rewinds to the current mode's first window (the pinned buffers are
-    /// kept).
+    /// Restarts the sweep on `mode` restricted to the slice subrange
+    /// `slices` — the spilled arm of [`SweepSource::rewind_range`].
+    /// Windows keep global slice ids and stream bases; the restriction
+    /// holds until the next `rewind`/`rewind_range`.
+    ///
+    /// # Panics
+    /// If `mode` or `slices` is out of bounds.
+    pub fn rewind_range(&mut self, mode: usize, slices: std::ops::Range<usize>) {
+        assert!(mode < self.modes.len(), "mode {mode} out of range");
+        let num = self.modes[mode].num_slices();
+        assert!(
+            slices.start <= slices.end && slices.end <= num,
+            "slice range {slices:?} out of bounds for {num} slices"
+        );
+        self.drain();
+        self.mode = mode;
+        self.next_slice = slices.start;
+        self.start_slice = slices.start;
+        self.end_slice = slices.end;
+    }
+
+    /// Rewinds to the current mode's first window (of the current slice
+    /// restriction, if any; the pinned buffers are kept).
     pub fn reset(&mut self) {
         self.drain();
-        self.next_slice = 0;
+        self.next_slice = self.start_slice;
     }
 
-    /// Number of windows a full sweep of the current mode takes (no I/O).
+    /// Number of windows a full sweep of the current mode (restricted to
+    /// the current slice subrange, if any) takes (no I/O).
     pub fn window_count(&self) -> usize {
-        self.sp().window_count(self.cap)
+        let sp = self.sp();
+        let offsets = &sp.offsets[..=self.end_slice];
+        let mut n = 0;
+        let mut lo = self.start_slice;
+        while lo < self.end_slice {
+            lo = window_extent(offsets, lo, self.cap);
+            n += 1;
+        }
+        n
     }
 
     /// The window capacity in stream positions.
@@ -1614,6 +1720,63 @@ mod tests {
             }
             assert_eq!(next_slice, x.dims()[n]);
             assert_eq!(covered, x.nnz());
+        }
+    }
+
+    /// A range-restricted sweep (the sharded fit's per-worker row
+    /// ownership) yields exactly the owned slices — windows keep their
+    /// global slice ids and stream bases — for resident and spilled
+    /// placement alike, and a plain `rewind` clears the restriction.
+    #[test]
+    fn rewind_range_restricts_the_sweep() {
+        let x = sample();
+        let resident = ModeStreams::build(&x).unwrap();
+        let spilled = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        for (plan, tag) in [(&resident, "resident"), (&spilled, "spilled")] {
+            for n in 0..x.order() {
+                let full = resident.mode(n);
+                let dim = x.dims()[n];
+                for lo in 0..=dim {
+                    for hi in lo..=dim {
+                        let mut source = plan.sweep_source(n, 1, false);
+                        source.rewind_range(n, lo..hi);
+                        let mut next_slice = lo;
+                        let mut windows = 0;
+                        while let Some(w) = source.next_window().unwrap() {
+                            assert_eq!(w.slices.start, next_slice, "{tag} mode {n}");
+                            next_slice = w.slices.end;
+                            assert!(w.slices.end <= hi, "{tag}: window past the range");
+                            assert_eq!(w.base, full.slice_range(w.slices.start).start);
+                            for (local_i, i) in w.slices.clone().enumerate() {
+                                let local = w.stream.slice_range(local_i);
+                                assert_eq!(local.len(), full.slice_len(i), "{tag}");
+                                for p in local {
+                                    let g = w.base + p;
+                                    assert_eq!(w.stream.value(p), full.value(g), "{tag}");
+                                    assert_eq!(w.stream.entry_id(p), full.entry_id(g));
+                                }
+                            }
+                            windows += 1;
+                        }
+                        assert_eq!(next_slice, if lo == hi { lo } else { hi }, "{tag}");
+                        assert_eq!(windows, source.window_count(), "{tag} window_count");
+                        if lo == hi {
+                            assert_eq!(windows, 0, "{tag}: empty range must be silent");
+                        }
+                        // A plain rewind clears the restriction entirely.
+                        source.rewind(n);
+                        let mut covered = 0;
+                        while let Some(w) = source.next_window().unwrap() {
+                            covered += w.stream.len();
+                        }
+                        assert_eq!(
+                            covered,
+                            x.nnz(),
+                            "{tag}: rewind must restore the full sweep"
+                        );
+                    }
+                }
+            }
         }
     }
 
