@@ -785,6 +785,94 @@ fn write_artifact() {
         }
     }
 
+    // Fault-tolerant sharding: what the robustness machinery costs, all
+    // runs bitwise identical to the single-process fit.
+    // `policy_overhead` prices an *undisturbed* K=2 fit under a fault
+    // policy (the coordinator drives the real variant kernel so it can
+    // resweep and checkpoint, and every wait is deadline-aware);
+    // `reassign`/`respawn` price a worker death — an injected dropped
+    // frame, so the deadline machinery (probe → revive → condemn) runs
+    // in full, then the coordinator covers the rows and recovers —
+    // including the detection timeouts; `checkpoint_c1` prices
+    // cadence-1 checkpointing to disk on top of the policy.
+    {
+        use ptucker_shard::{FaultPolicy, Recovery, ShardedFit, WorkerSpawn};
+        use std::time::Duration;
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = ptucker_datagen::uniform_sparse(&[96, 72, 48], 20_000, &mut rng);
+        let opts = FitOptions::new(vec![5, 5, 5])
+            .max_iters(2)
+            .tol(0.0)
+            .threads(2)
+            .seed(7);
+        let solo_fit = PTucker::new(opts.clone()).unwrap().fit(&x).unwrap();
+        let solo = median_ns(3, || {
+            black_box(PTucker::new(opts.clone()).unwrap().fit(&x).unwrap());
+        });
+        let tight = |recovery| FaultPolicy {
+            frame_timeout: Duration::from_millis(30),
+            worker_retries: 1,
+            backoff: Duration::ZERO,
+            recovery,
+        };
+        let ckpt = std::env::temp_dir().join(format!("ptk-bench-ckpt-{}.bin", std::process::id()));
+        let cases: [(&str, ShardedFit, FitOptions); 4] = [
+            (
+                "policy_overhead",
+                ShardedFit::new(2, WorkerSpawn::Threads).fault_policy(FaultPolicy::default()),
+                opts.clone(),
+            ),
+            (
+                "reassign",
+                ShardedFit::new(2, WorkerSpawn::Threads)
+                    .fault_policy(tight(Recovery::Reassign))
+                    .inject_fault(1, "send:rows:2:drop"),
+                opts.clone(),
+            ),
+            (
+                "respawn",
+                ShardedFit::new(2, WorkerSpawn::Threads)
+                    .fault_policy(tight(Recovery::Respawn))
+                    .inject_fault(1, "send:rows:2:drop"),
+                opts.clone(),
+            ),
+            (
+                "checkpoint_c1",
+                ShardedFit::new(2, WorkerSpawn::Threads).fault_policy(FaultPolicy::default()),
+                opts.clone().checkpoint_every(1).checkpoint_path(&ckpt),
+            ),
+        ];
+        for (mode, sharded, run_opts) in cases {
+            let out = sharded.fit(&x, run_opts.clone()).unwrap();
+            assert_eq!(
+                out.fit.stats.final_error.to_bits(),
+                solo_fit.stats.final_error.to_bits(),
+                "faulted sharded fit ({mode}) diverged from the single-process fit"
+            );
+            let faulted = mode == "reassign" || mode == "respawn";
+            assert_eq!(
+                !out.recovered.is_empty(),
+                faulted,
+                "{mode}: unexpected recovery log {:?}",
+                out.recovered
+            );
+            let wall = median_ns(3, || {
+                black_box(sharded.fit(&x, run_opts.clone()).unwrap());
+            });
+            let overhead = wall / solo;
+            println!(
+                "artifact sharded_fit_faults {mode}: solo {solo:.0} ns, \
+                 fit {wall:.0} ns ({overhead:.2}x)"
+            );
+            lines.push(format!(
+                "    {{\"bench\": \"sharded_fit_faults\", \"mode\": \"{mode}\", \
+                 \"workers\": 2, \"solo_ns\": {solo:.1}, \"fit_ns\": {wall:.1}, \
+                 \"overhead\": {overhead:.3}}}"
+            ));
+        }
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
     // SIMD kernel tier: the dispatched primitives vs hand-rolled scalar
     // loops at a bandwidth-visible length. The JSON records which tier the
     // binary was built with (`avx512_built`) and whether this CPU can run

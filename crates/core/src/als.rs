@@ -30,6 +30,7 @@
 //! compute the residual without materializing anything; its inner loop is
 //! the run-blocked [`crate::delta::reconstruct_entry_blocked`] micro-kernel.
 
+use crate::checkpoint::FitCheckpoint;
 use crate::delta::{core_runs, reconstruct_entry_blocked, solve_row};
 use crate::engine::{
     ApproxKernel, CachedKernel, DirectKernel, ModeContext, RowUpdateKernel, Scratch,
@@ -44,6 +45,7 @@ use ptucker_sched::{parallel_reduce, parallel_rows_mut_scheduled, Schedule};
 use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor, SweepSource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
@@ -133,15 +135,35 @@ impl PTucker {
     /// Everything [`PTucker::fit`] returns, plus whatever the hooks
     /// surface (typically [`PtuckerError::Sync`]).
     pub fn fit_with_sync<S: FitSync>(&self, x: &SparseTensor, sync: &mut S) -> Result<FitResult> {
+        self.fit_with_sync_resume(x, sync, None)
+    }
+
+    /// Like [`PTucker::fit_with_sync`], but continuing from an in-memory
+    /// [`FitCheckpoint`] instead of (or in addition to)
+    /// `FitOptions::resume_from` — how a fault-tolerant coordinator seeds
+    /// a respawned `ptucker-shard` worker from checkpoint *bytes* it
+    /// serialized itself, with no file round trip. When `resume` is
+    /// `Some` it takes precedence over `resume_from`.
+    ///
+    /// # Errors
+    /// Everything [`PTucker::fit_with_sync`] returns, plus
+    /// [`PtuckerError::Checkpoint`] if the checkpoint does not belong to
+    /// this exact fit (fingerprint or shape mismatch).
+    pub fn fit_with_sync_resume<S: FitSync>(
+        &self,
+        x: &SparseTensor,
+        sync: &mut S,
+        resume: Option<FitCheckpoint>,
+    ) -> Result<FitResult> {
         let opts = &self.opts;
         opts.validate_for(x.dims())?;
         // The only variant dispatch in the solver: pick the kernel once and
         // monomorphize the whole fit loop over it.
         match opts.variant {
-            Variant::Default => run_fit(x, opts, DirectKernel, sync),
-            Variant::Cache => run_fit(x, opts, CachedKernel::new(), sync),
+            Variant::Default => run_fit(x, opts, DirectKernel, sync, resume),
+            Variant::Cache => run_fit(x, opts, CachedKernel::new(), sync, resume),
             Variant::Approx { truncation_rate } => {
-                run_fit(x, opts, ApproxKernel::new(truncation_rate), sync)
+                run_fit(x, opts, ApproxKernel::new(truncation_rate), sync, resume)
             }
         }
     }
@@ -163,9 +185,29 @@ impl PTucker {
         kernel: K,
         sync: &mut S,
     ) -> Result<FitResult> {
+        self.fit_with_kernel_resume(x, kernel, sync, None)
+    }
+
+    /// [`PTucker::fit_with_kernel`] continuing from an in-memory
+    /// [`FitCheckpoint`] (see [`PTucker::fit_with_sync_resume`]). The
+    /// checkpoint's `kernel_aux` must match `kernel` — a coordinator
+    /// substituting [`DirectKernel`] under [`Variant::Cache`] clears the
+    /// aux section before resuming, since it never owns the table the
+    /// aux bytes describe.
+    ///
+    /// # Errors
+    /// Everything [`PTucker::fit_with_kernel`] returns, plus
+    /// [`PtuckerError::Checkpoint`] on fingerprint/shape/aux mismatch.
+    pub fn fit_with_kernel_resume<K: RowUpdateKernel, S: FitSync>(
+        &self,
+        x: &SparseTensor,
+        kernel: K,
+        sync: &mut S,
+        resume: Option<FitCheckpoint>,
+    ) -> Result<FitResult> {
         let opts = &self.opts;
         opts.validate_for(x.dims())?;
-        run_fit(x, opts, kernel, sync)
+        run_fit(x, opts, kernel, sync, resume)
     }
 }
 
@@ -268,6 +310,7 @@ fn run_fit<K: RowUpdateKernel, S: FitSync>(
     opts: &FitOptions,
     mut kernel: K,
     sync: &mut S,
+    resume: Option<FitCheckpoint>,
 ) -> Result<FitResult> {
     let t_start = Instant::now();
     let order = x.order();
@@ -398,8 +441,64 @@ fn run_fit<K: RowUpdateKernel, S: FitSync>(
     let mut iterations: Vec<IterStats> = Vec::with_capacity(opts.max_iters);
     let mut prev_err = f64::INFINITY;
     let mut converged = false;
+    let mut start_iter = 0usize;
 
-    for iter in 0..opts.max_iters {
+    // The configuration fingerprint ties a checkpoint to this exact fit.
+    // It hashes every observed entry, so it is computed at most once:
+    // eagerly when the options say checkpoints are in play, lazily if
+    // only the sync layer asks for a snapshot (`FitSync::end_iter`).
+    let mut fingerprint: Option<u64> =
+        if resume.is_some() || opts.checkpoint_path.is_some() || opts.resume_from.is_some() {
+            Some(FitCheckpoint::fingerprint(x, opts))
+        } else {
+            None
+        };
+
+    // Resume: the fit ran its full initialization above — same RNG
+    // sequence, same placement, same kernel layout — and now overwrites
+    // the model state with the checkpoint's. `load_aux` runs after
+    // `prepare_fit` so the kernel's structures are already sized; at an
+    // iteration boundary the Cache table is in mode 0's stream order,
+    // matching the freshly built one, and the import replaces its exact
+    // (incrementally rescaled) element values — which a rebuild from the
+    // checkpointed factors could *not* reproduce bitwise.
+    let resume = match resume {
+        Some(ckpt) => Some(ckpt),
+        None => match &opts.resume_from {
+            Some(path) => Some(FitCheckpoint::load(path)?),
+            None => None,
+        },
+    };
+    if let Some(ckpt) = resume {
+        let want = fingerprint.expect("computed above whenever a resume is present");
+        if ckpt.fingerprint != want {
+            return Err(PtuckerError::Checkpoint(format!(
+                "checkpoint was written by a different fit (its fingerprint {:#018x}, this \
+                 fit's {:#018x}) — tensor, ranks, seed, variant, precision, λ or stride \
+                 disagree",
+                ckpt.fingerprint, want
+            )));
+        }
+        if ckpt.factors.len() != order
+            || ckpt
+                .factors
+                .iter()
+                .zip(x.dims().iter().zip(&opts.ranks))
+                .any(|(m, (&d, &r))| m.rows() != d || m.cols() != r)
+        {
+            return Err(PtuckerError::Checkpoint(
+                "checkpointed factor shapes do not match this fit".into(),
+            ));
+        }
+        factors = ckpt.factors;
+        core = ckpt.core;
+        kernel.load_aux(&ckpt.kernel_aux)?;
+        prev_err = ckpt.prev_err;
+        iterations = ckpt.iterations;
+        start_iter = ckpt.next_iter;
+    }
+
+    for iter in start_iter..opts.max_iters {
         let t_iter = Instant::now();
 
         // Step 2-3: update factor matrices (Algorithm 2 line 3 /
@@ -447,6 +546,42 @@ fn run_fit<K: RowUpdateKernel, S: FitSync>(
             break;
         }
         prev_err = err;
+
+        // Iteration-boundary fault tolerance: persist a checkpoint at the
+        // configured cadence, then give the sync layer an on-demand
+        // serializer (a fault-tolerant coordinator seeds respawned
+        // workers with it). A converged iteration breaks above and never
+        // checkpoints — resuming re-runs the converging iteration
+        // deterministically and stops at the same place.
+        if let Some(path) = &opts.checkpoint_path {
+            if (iter + 1) % opts.checkpoint_every.max(1) == 0 {
+                let fp = *fingerprint.get_or_insert_with(|| FitCheckpoint::fingerprint(x, opts));
+                snapshot_checkpoint(
+                    &kernel,
+                    fp,
+                    iter + 1,
+                    prev_err,
+                    &iterations,
+                    &factors,
+                    &core,
+                )?
+                .store(path)?;
+            }
+        }
+        let mut make_checkpoint = || {
+            let fp = *fingerprint.get_or_insert_with(|| FitCheckpoint::fingerprint(x, opts));
+            snapshot_checkpoint(
+                &kernel,
+                fp,
+                iter + 1,
+                prev_err,
+                &iterations,
+                &factors,
+                &core,
+            )
+            .map(|c| c.encode())
+        };
+        sync.end_iter(iter, &mut make_checkpoint)?;
     }
     // Release kernel state (notably the Cache table's budget reservation
     // or scratch file), the arenas and the sweep buffers before the
@@ -508,6 +643,32 @@ fn finish_fit<S: FitSync>(
     })
 }
 
+/// Serializes the fit's full current state at an iteration boundary —
+/// the model, the convergence bookkeeping, and the kernel's auxiliary
+/// state (the Cache variant's incrementally rescaled `Pres` table, which
+/// no rebuild can reproduce bitwise).
+fn snapshot_checkpoint<K: RowUpdateKernel>(
+    kernel: &K,
+    fingerprint: u64,
+    next_iter: usize,
+    prev_err: f64,
+    iterations: &[IterStats],
+    factors: &[Matrix],
+    core: &CoreTensor,
+) -> Result<FitCheckpoint> {
+    let mut kernel_aux = Vec::new();
+    kernel.save_aux(&mut kernel_aux)?;
+    Ok(FitCheckpoint {
+        fingerprint,
+        next_iter,
+        prev_err,
+        iterations: iterations.to_vec(),
+        factors: factors.to_vec(),
+        core: core.clone(),
+        kernel_aux,
+    })
+}
+
 /// Random factor matrices with entries in `[0, 1)` (Algorithm 2 line 1).
 fn init_factors(dims: &[usize], ranks: &[usize], rng: &mut StdRng) -> Vec<Matrix> {
     dims.iter()
@@ -535,6 +696,53 @@ fn init_factors(dims: &[usize], ranks: &[usize], rng: &mut StdRng) -> Vec<Matrix
 /// by `|Ω⁽ⁿ⁾ᵢ|` — the same imbalance fix without queue contention. Rows
 /// are independent and each row's arithmetic is self-contained, so every
 /// schedule and every window partition produces identical factors.
+/// One restricted row sweep of `mode`: window-by-window kernel row
+/// updates for `rows`, written into the full factor buffer `data`
+/// (`i_n × j_n`, row-major — window slice ranges are global row
+/// indices). Factored out of [`update_factor`] so the *same* engine —
+/// same kernel, schedule, scratch arenas and window mechanics — serves
+/// both the main owned-range sweep and the `resweep` callback handed to
+/// [`FitSync::sync_factor`] (a fault-tolerant coordinator re-covering a
+/// dead peer's rows bitwise). Returns whether every solve succeeded.
+#[allow(clippy::too_many_arguments)]
+fn sweep_rows<K: RowUpdateKernel>(
+    factors: &[Matrix],
+    mode: usize,
+    core: &CoreTensor,
+    opts: &FitOptions,
+    kernel: &mut K,
+    scratch_pool: &mut [Scratch],
+    sweep: &mut SweepSource<'_>,
+    runs: &[u32],
+    rows: Range<usize>,
+    j_n: usize,
+    data: &mut [f64],
+) -> Result<bool> {
+    let solve_failed = AtomicBool::new(false);
+    sweep.rewind_range(mode, rows);
+    while let Some(w) = sweep.next_window()? {
+        kernel.begin_window(&w)?;
+        let k: &K = kernel;
+        let ctx =
+            ModeContext::with_runs(w.stream, w.base, factors, core, mode, opts, runs.to_vec());
+        let window_rows = &mut data[w.slices.start * j_n..w.slices.end * j_n];
+        parallel_rows_mut_scheduled(
+            window_rows,
+            j_n,
+            opts.threads,
+            opts.schedule,
+            |r| ctx.stream.slice_len(r),
+            scratch_pool,
+            |scratch, r, row| {
+                if !k.update_row(&ctx, scratch, r, row) {
+                    solve_failed.store(true, Ordering::Relaxed);
+                }
+            },
+        );
+    }
+    Ok(!solve_failed.load(Ordering::Relaxed))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn update_factor<K: RowUpdateKernel, S: FitSync>(
     x: &SparseTensor,
@@ -560,41 +768,50 @@ fn update_factor<K: RowUpdateKernel, S: FitSync>(
     // row values, which live in `data`).
     let a_n = std::mem::replace(&mut factors[mode], Matrix::zeros(0, 0));
     let mut data = a_n.into_vec();
-    let solve_failed = AtomicBool::new(false);
-    {
-        // Run structure once per mode sweep; every window's context
-        // shares it (a clone is one small memcpy, not a core rescan).
-        let runs = core_runs(core.flat_indices(), core.order());
-        sweep.rewind_range(mode, owned.clone());
-        while let Some(w) = sweep.next_window()? {
-            kernel.begin_window(&w)?;
-            let k: &K = kernel;
-            let ctx =
-                ModeContext::with_runs(w.stream, w.base, factors, core, mode, opts, runs.clone());
-            let rows = &mut data[w.slices.start * j_n..w.slices.end * j_n];
-            parallel_rows_mut_scheduled(
-                rows,
-                j_n,
-                opts.threads,
-                opts.schedule,
-                |r| ctx.stream.slice_len(r),
-                scratch_pool,
-                |scratch, r, row| {
-                    if !k.update_row(&ctx, scratch, r, row) {
-                        solve_failed.store(true, Ordering::Relaxed);
-                    }
-                },
-            );
-        }
-    }
+    // Run structure once per mode sweep; every window's context shares it
+    // (a clone is one small memcpy, not a core rescan).
+    let runs = core_runs(core.flat_indices(), core.order());
+    let local_ok = sweep_rows(
+        factors,
+        mode,
+        core,
+        opts,
+        kernel,
+        scratch_pool,
+        sweep,
+        &runs,
+        owned,
+        j_n,
+        &mut data,
+    )?;
     // All-reduce point: trade the owned rows for the merged factor before
     // it is installed for the next mode's δ products. No-op (and
     // `local_ok` always observed true → still an error below) on a
     // single-process fit; the distributed hook overwrites `data` and
     // surfaces any *peer's* failed solve as its own error, so every
-    // process abandons the fit together.
-    let local_ok = !solve_failed.load(Ordering::Relaxed);
-    sync.sync_factor(mode, j_n, &mut data, local_ok)?;
+    // process abandons the fit together. The `resweep` callback hands the
+    // sync layer this same sweep engine, restricted to arbitrary row
+    // ranges — a fault-tolerant coordinator covers a dead peer's rows
+    // with it, bitwise identically to the peer's own sweep.
+    {
+        let shared: &[Matrix] = factors;
+        let mut resweep = |rows: Range<usize>, buf: &mut [f64]| {
+            sweep_rows(
+                shared,
+                mode,
+                core,
+                opts,
+                kernel,
+                scratch_pool,
+                sweep,
+                &runs,
+                rows,
+                j_n,
+                buf,
+            )
+        };
+        sync.sync_factor(mode, j_n, &mut data, local_ok, &mut resweep)?;
+    }
     factors[mode] = Matrix::from_vec(i_n, j_n, data)?;
     if !local_ok {
         return Err(PtuckerError::Linalg(
@@ -783,11 +1000,17 @@ mod tests {
             .tol(0.0)
             .threads(2)
             .seed(33);
-        let reference =
-            run_fit(&x, &opts, GatherReferenceKernel::default(), &mut LocalSync).unwrap();
-        let direct = run_fit(&x, &opts, DirectKernel, &mut LocalSync).unwrap();
-        let cached = run_fit(&x, &opts, CachedKernel::new(), &mut LocalSync).unwrap();
-        let approx0 = run_fit(&x, &opts, ApproxKernel::new(0.0), &mut LocalSync).unwrap();
+        let reference = run_fit(
+            &x,
+            &opts,
+            GatherReferenceKernel::default(),
+            &mut LocalSync,
+            None,
+        )
+        .unwrap();
+        let direct = run_fit(&x, &opts, DirectKernel, &mut LocalSync, None).unwrap();
+        let cached = run_fit(&x, &opts, CachedKernel::new(), &mut LocalSync, None).unwrap();
+        let approx0 = run_fit(&x, &opts, ApproxKernel::new(0.0), &mut LocalSync, None).unwrap();
         assert_eq!(reference.stats.iterations.len(), 5);
         for (name, got) in [
             ("direct", &direct),
@@ -815,7 +1038,7 @@ mod tests {
         let x = planted_lowrank(&[10, 9, 8], &[2, 2, 2], 300, 0.01, &mut rng).tensor;
         let plan_bytes = ptucker_tensor::ModeStreams::bytes_for(&x);
         let opts = FitOptions::new(vec![2, 2, 2]).max_iters(1).seed(1);
-        let fit = run_fit(&x, &opts, DirectKernel, &mut LocalSync).unwrap();
+        let fit = run_fit(&x, &opts, DirectKernel, &mut LocalSync, None).unwrap();
         assert!(
             fit.stats.peak_intermediate_bytes >= plan_bytes,
             "peak {} must include the {plan_bytes} B plan",
@@ -829,7 +1052,7 @@ mod tests {
                     plan_bytes - 1,
                     BudgetPolicy::Strict,
                 ));
-        let err = run_fit(&x, &tiny, DirectKernel, &mut LocalSync).unwrap_err();
+        let err = run_fit(&x, &tiny, DirectKernel, &mut LocalSync, None).unwrap_err();
         assert!(matches!(err, PtuckerError::OutOfMemory(_)));
     }
 
@@ -1174,6 +1397,60 @@ mod tests {
                     }
                 }
             }
+        }
+
+        // Satellite property: a fit interrupted at an arbitrary iteration
+        // and resumed from its checkpoint walks bitwise the same
+        // trajectory as the uninterrupted fit — for every kernel variant
+        // and for resident and spilled placement alike. This is the
+        // contract that makes worker respawn and `resume_from` safe: a
+        // checkpoint is the *complete* replica state (factors, core, RNG
+        // already consumed at init, kernel aux tables, error history).
+        #[test]
+        fn checkpoint_resume_is_bitwise(seed in 0..u64::MAX) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = planted_lowrank(&[11, 9, 8], &[2, 2, 2], 350, 0.02, &mut rng).tensor;
+            let total = 4usize;
+            let cut = 1 + (seed % (total as u64 - 1)) as usize; // 1..total
+            let variant = [
+                Variant::Default,
+                Variant::Cache,
+                Variant::Approx { truncation_rate: 0.25 },
+            ][(seed % 3) as usize];
+            let budget = if seed & 1 == 0 {
+                MemoryBudget::unlimited()
+            } else {
+                MemoryBudget::new(1)
+            };
+            let dir = std::env::temp_dir().join(format!("ptk-resume-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("ckpt-{seed:016x}.bin"));
+            let opts = FitOptions::new(vec![2, 2, 2])
+                .tol(0.0)
+                .threads(2)
+                .seed(seed ^ 0xc4e)
+                .variant(variant)
+                .budget(budget);
+            let solo = PTucker::new(opts.clone().max_iters(total))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            let interrupted = PTucker::new(
+                opts.clone()
+                    .max_iters(cut)
+                    .checkpoint_every(1)
+                    .checkpoint_path(&path),
+            )
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+            prop_assert_eq!(interrupted.stats.iterations.len(), cut);
+            let resumed = PTucker::new(opts.max_iters(total).resume_from(&path))
+                .unwrap()
+                .fit(&x)
+                .unwrap();
+            let _ = std::fs::remove_file(&path);
+            assert_bitwise_equal(&solo, &resumed, "resumed-vs-uninterrupted");
         }
     }
 }

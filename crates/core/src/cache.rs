@@ -149,6 +149,10 @@ impl PresElem for f32 {
     }
 }
 
+/// Elements moved per syscall when streaming a whole spilled table
+/// (checkpoint export/import): bounded resident memory, few syscalls.
+const STREAM_CHUNK_ELEMS: usize = 1 << 16;
+
 /// The memoization table of P-Tucker-Cache, stored at element type `E`
 /// (the fit's [`StoragePrecision`]).
 #[derive(Debug)]
@@ -209,9 +213,41 @@ impl<E: PresElem> PresTable<E> {
     }
 
     /// The mode whose stream order the rows currently follow.
-    #[cfg(test)]
     pub fn order_mode(&self) -> usize {
         self.order_mode
+    }
+
+    /// Appends every table element, widened to `f64` little-endian bits,
+    /// to `out` — the checkpoint representation (see
+    /// [`crate::engine::RowUpdateKernel::save_aux`]). Widening is exact
+    /// for both precisions, so export → import is lossless.
+    pub fn export_state(&self, out: &mut Vec<u8>) {
+        out.reserve(self.data.len() * 8);
+        for e in &self.data {
+            out.extend_from_slice(&e.to_f64().to_bits().to_le_bytes());
+        }
+    }
+
+    /// Overwrites the table's elements from an [`PresTable::export_state`]
+    /// byte stream; the table must already have its final shape (built by
+    /// `compute` on the resumed fit's identical inputs).
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::Checkpoint`] if the byte count disagrees
+    /// with the table's `|Ω|·|G|` elements.
+    pub fn import_state(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.len() != self.data.len() * 8 {
+            return Err(crate::PtuckerError::Checkpoint(format!(
+                "checkpointed Pres table holds {} bytes, this fit's table needs {}",
+                bytes.len(),
+                self.data.len() * 8
+            )));
+        }
+        for (slot, chunk) in self.data.iter_mut().zip(bytes.chunks_exact(8)) {
+            let bits = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+            *slot = E::from_f64(f64::from_bits(bits));
+        }
+        Ok(())
     }
 
     /// The cached products behind stream position `p` of the current
@@ -360,6 +396,9 @@ pub(crate) struct SpilledPresTable<E: PresElem> {
     file: ScratchFile,
     /// Row stride = `|G|`.
     g: usize,
+    /// Total rows (`|Ω|`) per region — the bound for whole-table streams
+    /// (checkpoint export/import).
+    rows: usize,
     /// Byte offsets of the two ping-pong regions (each `|Ω|·|G|` elements).
     regions: [u64; 2],
     /// Which region currently holds the table.
@@ -415,6 +454,7 @@ impl<E: PresElem> SpilledPresTable<E> {
         let mut table = SpilledPresTable {
             file,
             g,
+            rows: x.nnz(),
             regions,
             active: 0,
             order_mode: 0,
@@ -477,6 +517,68 @@ impl<E: PresElem> SpilledPresTable<E> {
     #[inline]
     pub fn tile_row(&self, p: usize) -> &[E] {
         &self.tile[p * self.g..(p + 1) * self.g]
+    }
+
+    /// Streams the active region's elements, widened to `f64`
+    /// little-endian bits, into `out` — the spilled analogue of
+    /// [`PresTable::export_state`], chunked so resident memory stays one
+    /// bounded buffer regardless of table size.
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::Checkpoint`] on scratch-file I/O failure.
+    pub fn export_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        let total = self.rows * self.g;
+        out.reserve(total * 8);
+        let mut buf = vec![E::default(); STREAM_CHUNK_ELEMS.min(total.max(1))];
+        let mut p = 0usize;
+        while p < total {
+            let n = (total - p).min(buf.len());
+            let off = self.regions[self.active] + p as u64 * E::PRECISION.value_bytes() as u64;
+            E::read(&self.file, off, &mut buf[..n]).map_err(|e| {
+                crate::PtuckerError::Checkpoint(format!("read spilled Pres table: {e}"))
+            })?;
+            for e in &buf[..n] {
+                out.extend_from_slice(&e.to_f64().to_bits().to_le_bytes());
+            }
+            p += n;
+        }
+        Ok(())
+    }
+
+    /// Overwrites the active region's elements from an
+    /// [`SpilledPresTable::export_state`] byte stream (same chunked
+    /// streaming; the table must already have its final shape).
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::Checkpoint`] on a byte-count mismatch or
+    /// scratch-file I/O failure.
+    pub fn import_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let total = self.rows * self.g;
+        if bytes.len() != total * 8 {
+            return Err(crate::PtuckerError::Checkpoint(format!(
+                "checkpointed Pres table holds {} bytes, this fit's table needs {}",
+                bytes.len(),
+                total * 8
+            )));
+        }
+        let mut buf: Vec<E> = Vec::with_capacity(STREAM_CHUNK_ELEMS.min(total.max(1)));
+        let mut p = 0usize;
+        let mut chunks = bytes.chunks_exact(8);
+        while p < total {
+            let n = (total - p).min(STREAM_CHUNK_ELEMS);
+            buf.clear();
+            for _ in 0..n {
+                let chunk = chunks.next().expect("length validated above");
+                let bits = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+                buf.push(E::from_f64(f64::from_bits(bits)));
+            }
+            let off = self.regions[self.active] + p as u64 * E::PRECISION.value_bytes() as u64;
+            E::write(&self.file, off, &buf).map_err(|e| {
+                crate::PtuckerError::Checkpoint(format!("write spilled Pres table: {e}"))
+            })?;
+            p += n;
+        }
+        Ok(())
     }
 
     /// The windowed analogue of [`PresTable::rescale_and_reorder`]: every

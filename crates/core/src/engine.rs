@@ -378,6 +378,43 @@ pub trait RowUpdateKernel: Sync {
         _opts: &FitOptions,
     ) {
     }
+
+    /// Serializes the kernel's auxiliary fit state into `out`, for a
+    /// [`crate::checkpoint::FitCheckpoint`]'s `kernel_aux` section. Only
+    /// kernels whose state is *not* reproducible by recomputation need
+    /// this: the Cache variant's incrementally rescaled `Pres` table
+    /// drifts bitwise from a fresh rebuild (the ratio rescale rounds
+    /// differently than the outright product), so a bitwise resume must
+    /// carry its exact element values. The default writes nothing.
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::Checkpoint`] (state unavailable) or I/O
+    /// failures reading spilled state.
+    fn save_aux(&self, _out: &mut Vec<u8>) -> Result<()> {
+        Ok(())
+    }
+
+    /// Restores the state written by [`RowUpdateKernel::save_aux`], after
+    /// [`RowUpdateKernel::prepare_fit`] has sized and laid out the
+    /// kernel's structures. The default accepts only an empty section —
+    /// a kernel without auxiliary state refuses a checkpoint that
+    /// carries some (variant mismatch), by name rather than by silently
+    /// ignoring it.
+    ///
+    /// # Errors
+    /// [`crate::PtuckerError::Checkpoint`] on any mismatch between the
+    /// bytes and the kernel's prepared state.
+    fn load_aux(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::PtuckerError::Checkpoint(format!(
+                "this kernel has no auxiliary state, but the checkpoint carries {} bytes of it \
+                 — was the checkpoint written by a different variant?",
+                bytes.len()
+            )))
+        }
+    }
 }
 
 /// The shared row routine: a linear walk of the row's streamed slice, δ
@@ -586,6 +623,30 @@ impl<E: PresElem> TableStore<E> {
             }
         }
     }
+
+    fn order_mode(&self) -> usize {
+        match self {
+            TableStore::Resident(table) => table.order_mode(),
+            TableStore::Spilled(table) => table.order_mode(),
+        }
+    }
+
+    fn export_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        match self {
+            TableStore::Resident(table) => {
+                table.export_state(out);
+                Ok(())
+            }
+            TableStore::Spilled(table) => table.export_state(out),
+        }
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<()> {
+        match self {
+            TableStore::Resident(table) => table.import_state(bytes),
+            TableStore::Spilled(table) => table.import_state(bytes),
+        }
+    }
 }
 
 /// A [`TableStore`] at either storage precision — the runtime dispatch
@@ -767,6 +828,64 @@ impl RowUpdateKernel for CachedKernel {
             None => {}
         }
         Ok(())
+    }
+
+    /// Checkpoint section: `[order_mode: u8][precision: u8]` followed by
+    /// every table element widened to `f64` little-endian bits — exact
+    /// for both precisions, so the round trip is lossless.
+    fn save_aux(&self, out: &mut Vec<u8>) -> Result<()> {
+        let table = self.table.as_ref().ok_or_else(|| {
+            crate::PtuckerError::Checkpoint(
+                "CachedKernel has no table to checkpoint (prepare_fit has not run)".into(),
+            )
+        })?;
+        match table {
+            AnyTable::F64(t) => {
+                out.push(t.order_mode() as u8);
+                out.push(0);
+                t.export_state(out)
+            }
+            AnyTable::F32(t) => {
+                out.push(t.order_mode() as u8);
+                out.push(1);
+                t.export_state(out)
+            }
+        }
+    }
+
+    fn load_aux(&mut self, bytes: &[u8]) -> Result<()> {
+        let ck = crate::PtuckerError::Checkpoint;
+        let table = self
+            .table
+            .as_mut()
+            .ok_or_else(|| ck("CachedKernel::prepare_fit must run before load_aux".into()))?;
+        let [order_mode, precision, elems @ ..] = bytes else {
+            return Err(ck(
+                "checkpoint is missing the Cache variant's Pres-table state — was it written \
+                 by a different variant?"
+                    .into(),
+            ));
+        };
+        let (have_mode, want_precision) = match table {
+            AnyTable::F64(t) => (t.order_mode(), 0u8),
+            AnyTable::F32(t) => (t.order_mode(), 1u8),
+        };
+        if *precision != want_precision {
+            return Err(ck(format!(
+                "checkpointed Pres table has precision tag {precision}, this fit expects \
+                 {want_precision}"
+            )));
+        }
+        if *order_mode as usize != have_mode {
+            return Err(ck(format!(
+                "checkpointed Pres table is in mode {order_mode}'s stream order, the prepared \
+                 table is in mode {have_mode}'s"
+            )));
+        }
+        match table {
+            AnyTable::F64(t) => t.import_state(elems),
+            AnyTable::F32(t) => t.import_state(elems),
+        }
     }
 }
 

@@ -18,6 +18,9 @@ pub enum PtuckerError {
     /// A distributed fit-sync hook failed (transport error, protocol
     /// mismatch, or a peer process exiting early).
     Sync(String),
+    /// A checkpoint could not be written, read, or applied (I/O failure,
+    /// checksum mismatch, version/fingerprint disagreement).
+    Checkpoint(String),
 }
 
 impl fmt::Display for PtuckerError {
@@ -28,6 +31,7 @@ impl fmt::Display for PtuckerError {
             PtuckerError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             PtuckerError::Tensor(e) => write!(f, "tensor failure: {e}"),
             PtuckerError::Sync(msg) => write!(f, "fit sync failure: {msg}"),
+            PtuckerError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }
@@ -38,7 +42,9 @@ impl std::error::Error for PtuckerError {
             PtuckerError::OutOfMemory(e) => Some(e),
             PtuckerError::Linalg(e) => Some(e),
             PtuckerError::Tensor(e) => Some(e),
-            PtuckerError::InvalidConfig(_) | PtuckerError::Sync(_) => None,
+            PtuckerError::InvalidConfig(_)
+            | PtuckerError::Sync(_)
+            | PtuckerError::Checkpoint(_) => None,
         }
     }
 }

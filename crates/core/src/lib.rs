@@ -181,6 +181,7 @@
 mod als;
 pub mod approx;
 mod cache;
+pub mod checkpoint;
 mod decomposition;
 mod delta;
 pub mod engine;
@@ -190,6 +191,7 @@ mod stats;
 pub mod sync;
 
 pub use als::PTucker;
+pub use checkpoint::FitCheckpoint;
 pub use decomposition::TuckerDecomposition;
 pub use error::PtuckerError;
 pub use options::{FitOptions, StoragePrecision, Variant};

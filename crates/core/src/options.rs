@@ -90,6 +90,23 @@ pub struct FitOptions {
     /// Default [`StoragePrecision::F64`]; see [`StoragePrecision`] for the
     /// f32-storage/f64-arithmetic trade-off.
     pub precision: StoragePrecision,
+    /// When set, the fit atomically snapshots its full state (factors,
+    /// core, iteration counter, per-iteration stats, kernel auxiliary
+    /// state) to this path every [`FitOptions::checkpoint_every`]
+    /// iterations, so an interrupted fit can continue **bitwise** via
+    /// [`FitOptions::resume_from`]. `None` (the default) checkpoints
+    /// nothing.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Checkpoint cadence in iterations (1 = after every iteration).
+    /// Ignored unless [`FitOptions::checkpoint_path`] is set.
+    pub checkpoint_every: usize,
+    /// When set, the fit loads this checkpoint after initialization and
+    /// continues from its recorded iteration instead of iteration 0. The
+    /// resumed trajectory — including the already-recorded iteration
+    /// stats — is bitwise identical to the uninterrupted fit's. The
+    /// checkpoint must match the fit's configuration and tensor (a
+    /// fingerprint is verified).
+    pub resume_from: Option<std::path::PathBuf>,
 }
 
 impl FitOptions {
@@ -111,6 +128,9 @@ impl FitOptions {
             sample_stride: 1,
             prefetch: true,
             precision: StoragePrecision::F64,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume_from: None,
         }
     }
 
@@ -187,6 +207,27 @@ impl FitOptions {
         self
     }
 
+    /// Enables periodic checkpointing to `path` (atomic write-temp +
+    /// fsync + rename; see [`crate::checkpoint::FitCheckpoint`]).
+    pub fn checkpoint_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Sets the checkpoint cadence in iterations (default 1).
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resumes the fit from a checkpoint written by a previous run with
+    /// [`FitOptions::checkpoint_path`]; the continued trajectory is
+    /// bitwise identical to the uninterrupted fit's.
+    pub fn resume_from(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
     /// Checks internal consistency (rank positivity, rate ranges, …).
     ///
     /// # Errors
@@ -224,6 +265,11 @@ impl FitOptions {
                     "truncation_rate must be in [0, 1)".into(),
                 ));
             }
+        }
+        if self.checkpoint_every == 0 {
+            return Err(PtuckerError::InvalidConfig(
+                "checkpoint_every must be >= 1".into(),
+            ));
         }
         Ok(())
     }

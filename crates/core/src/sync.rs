@@ -22,6 +22,12 @@
 use crate::{FitStats, Result};
 use std::ops::Range;
 
+/// The driver's local row-update engine, handed back to the sync layer
+/// by [`FitSync::sync_factor`]: `resweep(rows, data)` re-runs the
+/// mode's row updates for `rows` in place on `data`, returning whether
+/// every solve succeeded.
+pub type Resweep<'a> = dyn FnMut(Range<usize>, &mut [f64]) -> Result<bool> + 'a;
+
 /// Hooks the fit driver calls at each coordination point of a
 /// (potentially distributed) fit. See the [module docs](self) for the
 /// protocol; all methods default to the single-process no-op.
@@ -53,6 +59,14 @@ pub trait FitSync {
     /// propagate a peer's failure as an error so all processes abandon
     /// the fit together.
     ///
+    /// `resweep` is the driver's local row-update engine handed back to
+    /// the sync layer: `resweep(rows, data)` re-runs the mode's row
+    /// updates for `rows` in place on `data` with the *same* kernel,
+    /// schedule and window mechanics as the main sweep, returning whether
+    /// every solve succeeded. A fault-tolerant coordinator uses it to
+    /// cover a dead peer's rows bitwise; single-process sync never calls
+    /// it.
+    ///
     /// # Errors
     /// Transport failures, or a peer reporting a failed solve.
     fn sync_factor(
@@ -61,8 +75,27 @@ pub trait FitSync {
         j_n: usize,
         data: &mut [f64],
         local_ok: bool,
+        resweep: &mut Resweep<'_>,
     ) -> Result<()> {
-        let _ = (mode, j_n, data, local_ok);
+        let _ = (mode, j_n, data, local_ok, resweep);
+        Ok(())
+    }
+
+    /// Called once at the end of every completed (non-breaking) ALS
+    /// iteration, after the convergence bookkeeping. `make_checkpoint`
+    /// serializes the fit's full current state (see
+    /// [`crate::checkpoint::FitCheckpoint`]) on demand — a distributed
+    /// coordinator calls it to seed a respawned worker; the local driver
+    /// itself persists checkpoints before invoking this hook.
+    ///
+    /// # Errors
+    /// Transport or serialization failures.
+    fn end_iter(
+        &mut self,
+        iter: usize,
+        make_checkpoint: &mut dyn FnMut() -> Result<Vec<u8>>,
+    ) -> Result<()> {
+        let _ = (iter, make_checkpoint);
         Ok(())
     }
 

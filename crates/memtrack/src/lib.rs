@@ -65,7 +65,7 @@
 
 mod scratch;
 
-pub use scratch::ScratchFile;
+pub use scratch::{ScratchCorruption, ScratchFile};
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};

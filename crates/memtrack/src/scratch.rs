@@ -23,6 +23,7 @@
 //! assert_eq!(f.len(), 24);
 //! ```
 
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
@@ -31,6 +32,97 @@ use std::sync::Mutex;
 
 /// Stack buffer for typed conversion: 1024 `f64`s / 2048 `u32`s per syscall.
 const CHUNK_BYTES: usize = 8192;
+
+/// A spilled window asked for bytes its reservation does not hold: the
+/// offset/length pair disagrees with the file's reserved extent, meaning
+/// the scratch file was truncated or the caller's bookkeeping is corrupt.
+/// Surfaced as the payload of an [`io::ErrorKind::InvalidData`] error so
+/// existing `io::Result` plumbing carries it, but typed so harnesses can
+/// downcast and name the corruption instead of reading silent garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScratchCorruption {
+    /// Byte offset the read started at.
+    pub offset: u64,
+    /// Bytes the window asked for.
+    pub requested: u64,
+    /// Bytes actually reserved in the file.
+    pub reserved: u64,
+}
+
+impl fmt::Display for ScratchCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "spilled window at offset {} wants {} bytes but only {} are reserved \
+             — scratch file corrupt or truncated",
+            self.offset, self.requested, self.reserved
+        )
+    }
+}
+
+impl std::error::Error for ScratchCorruption {}
+
+/// Reads exactly `buf.len()` bytes, retrying interrupted (`EINTR`) and
+/// short reads explicitly — the scratch path must never propagate a
+/// partial window as if it were full.
+///
+/// # Errors
+/// [`io::ErrorKind::UnexpectedEof`] on end-of-stream, or any non-`EINTR`
+/// I/O error from the reader.
+pub(crate) fn read_full(r: &mut impl Read, mut buf: &mut [u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match r.read(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "scratch read hit end of file before filling the window",
+                ))
+            }
+            Ok(n) => buf = &mut buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes all of `buf`, retrying interrupted (`EINTR`) and short writes.
+///
+/// # Errors
+/// [`io::ErrorKind::WriteZero`] if the writer stops accepting bytes, or
+/// any non-`EINTR` I/O error from the writer.
+pub(crate) fn write_full(w: &mut impl Write, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match w.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "scratch write accepted zero bytes",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `(offset, len)` window against the file's reserved extent,
+/// producing the typed [`ScratchCorruption`] error on overrun.
+fn check_window(offset: u64, len: u64, reserved: u64) -> io::Result<()> {
+    if offset.checked_add(len).is_none_or(|end| end > reserved) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            ScratchCorruption {
+                offset,
+                requested: len,
+                reserved,
+            },
+        ));
+    }
+    Ok(())
+}
 
 /// Process-unique counter so concurrent scratch files never collide.
 static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -120,7 +212,7 @@ impl ScratchFile {
         let mut done = 0;
         while done < total_bytes {
             let n = fill(&mut buf, done);
-            inner.file.write_all(&buf[..n])?;
+            write_full(&mut inner.file, &buf[..n])?;
             done += n;
         }
         inner.len = inner.len.max(start + total_bytes as u64);
@@ -134,12 +226,13 @@ impl ScratchFile {
         mut drain: impl FnMut(&[u8], usize),
     ) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("scratch lock");
+        check_window(offset, total_bytes as u64, inner.len)?;
         inner.file.seek(SeekFrom::Start(offset))?;
         let mut buf = [0u8; CHUNK_BYTES];
         let mut done = 0;
         while done < total_bytes {
             let n = (total_bytes - done).min(CHUNK_BYTES);
-            inner.file.read_exact(&mut buf[..n])?;
+            read_full(&mut inner.file, &mut buf[..n])?;
             drain(&buf[..n], done);
             done += n;
         }
@@ -155,7 +248,7 @@ impl ScratchFile {
     pub fn write_bytes(&self, offset: u64, data: &[u8]) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("scratch lock");
         inner.file.seek(SeekFrom::Start(offset))?;
-        inner.file.write_all(data)?;
+        write_full(&mut inner.file, data)?;
         inner.len = inner.len.max(offset + data.len() as u64);
         Ok(())
     }
@@ -166,11 +259,14 @@ impl ScratchFile {
     /// refill a single syscall instead of one per section.
     ///
     /// # Errors
-    /// Any I/O error, including reading past the end of the file.
+    /// A typed [`ScratchCorruption`] (as [`io::ErrorKind::InvalidData`])
+    /// when the window overruns the file's reserved extent, or any I/O
+    /// error from the read itself.
     pub fn read_bytes(&self, offset: u64, out: &mut [u8]) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("scratch lock");
+        check_window(offset, out.len() as u64, inner.len)?;
         inner.file.seek(SeekFrom::Start(offset))?;
-        inner.file.read_exact(out)
+        read_full(&mut inner.file, out)
     }
 
     /// Appends `data` and returns the byte offset it starts at.
@@ -387,6 +483,109 @@ mod tests {
         f.append_f64s(&[1.0]).unwrap();
         let mut out = [0.0; 2];
         assert!(f.read_f64s(0, &mut out).is_err());
+    }
+
+    #[test]
+    fn window_overrun_is_typed_corruption() {
+        // Satellite: a spilled window whose byte count disagrees with its
+        // reservation must surface as a named corruption error, not
+        // silent garbage or a bare EOF.
+        let f = ScratchFile::create().unwrap();
+        let region = f.reserve_region(32).unwrap();
+        let mut out = vec![0u8; 40];
+        let err = f.read_bytes(region, &mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let inner = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<ScratchCorruption>())
+            .expect("typed ScratchCorruption payload");
+        assert_eq!(
+            *inner,
+            ScratchCorruption {
+                offset: region,
+                requested: 40,
+                reserved: 32,
+            }
+        );
+        assert!(format!("{inner}").contains("corrupt or truncated"));
+        // The typed readers share the same guard.
+        let mut f64s = vec![0.0f64; 5];
+        let err = f.read_f64s(region, &mut f64s).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// A reader that serves one `EINTR` before every successful short
+    /// read — the signal-heavy worst case `read_full` must absorb.
+    struct InterruptingReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        interrupt_next: bool,
+    }
+
+    impl Read for InterruptingReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+            }
+            self.interrupt_next = true;
+            let n = buf.len().min(3).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// A writer accepting at most 2 bytes per call, with an `EINTR`
+    /// before each — exercises `write_full`'s short-write retry loop.
+    struct InterruptingWriter {
+        data: Vec<u8>,
+        interrupt_next: bool,
+    }
+
+    impl Write for InterruptingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+            }
+            self.interrupt_next = true;
+            let n = buf.len().min(2);
+            self.data.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn read_full_retries_eintr_and_short_reads() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut r = InterruptingReader {
+            data: &data,
+            pos: 0,
+            interrupt_next: true,
+        };
+        let mut out = vec![0u8; 64];
+        read_full(&mut r, &mut out).unwrap();
+        assert_eq!(out, data);
+        // Exhausted stream: UnexpectedEof, not a partial fill.
+        let mut more = [0u8; 1];
+        let err = read_full(&mut r, &mut more).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn write_full_retries_eintr_and_short_writes() {
+        let mut w = InterruptingWriter {
+            data: Vec::new(),
+            interrupt_next: true,
+        };
+        let payload: Vec<u8> = (0..33u8).collect();
+        write_full(&mut w, &payload).unwrap();
+        assert_eq!(w.data, payload);
     }
 
     #[test]

@@ -119,6 +119,31 @@ impl<Req: Send + 'static, Resp: Send + 'static> Background<Req, Resp> {
     pub fn recv(&self) -> Option<Resp> {
         self.rx.recv().ok()
     }
+
+    /// Waits up to `timeout` for the next response — the deadline-aware
+    /// sibling of [`Background::recv`]. A timed-out wait leaves the
+    /// response in flight: a later `recv`/`recv_timeout` still collects
+    /// it, so callers can probe liveness (heartbeats) without losing the
+    /// outstanding request.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> RecvTimeout<Resp> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resp) => RecvTimeout::Ready(resp),
+            Err(mpsc::RecvTimeoutError::Timeout) => RecvTimeout::TimedOut,
+            Err(mpsc::RecvTimeoutError::Disconnected) => RecvTimeout::Disconnected,
+        }
+    }
+}
+
+/// Outcome of a [`Background::recv_timeout`] wait.
+#[derive(Debug)]
+pub enum RecvTimeout<Resp> {
+    /// A response arrived within the deadline.
+    Ready(Resp),
+    /// The deadline elapsed with the worker still running; the response
+    /// (if any) is still in flight and can be collected later.
+    TimedOut,
+    /// The worker thread is gone and no further responses will arrive.
+    Disconnected,
 }
 
 impl<Req: Send + 'static, Resp: Send + 'static> Drop for Background<Req, Resp> {

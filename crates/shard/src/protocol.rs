@@ -1,16 +1,18 @@
 //! The sharded-fit message set and its wire encoding.
 //!
-//! Seven messages run a whole fit:
+//! Nine messages run a whole fit:
 //!
 //! | message      | direction | payload                                          |
 //! |--------------|-----------|--------------------------------------------------|
 //! | `Hello`      | both      | protocol version, worker id, worker count        |
-//! | `Plan`       | coord → w | fit options, COO tensor, this worker's row ranges|
+//! | `Plan`       | coord → w | fit options, COO tensor, this worker's row ranges, optional resume checkpoint and fault spec |
 //! | `ModeStart`  | coord → w | iteration and mode about to be swept             |
 //! | `Rows`       | w → coord | the worker's updated factor rows (+ solve flag)  |
 //! | `FactorSync` | coord → w | the merged factor for the mode (+ global flag)   |
 //! | `Stats`      | w → coord | per-worker rows/nnz/wall/byte totals             |
 //! | `Shutdown`   | coord → w | clean end of the run                             |
+//! | `Heartbeat`  | both      | liveness probe (coordinator) and echo (worker)   |
+//! | `Reassign`   | coord → w | the worker's new per-mode row ownership          |
 //!
 //! Only `Plan` carries bulk data, exactly once per worker; the per-mode
 //! steady state is `Rows` + `FactorSync` — `O(I_n·J)` doubles each —
@@ -39,7 +41,7 @@ pub enum Message {
         workers: u32,
     },
     /// Everything a worker needs to run its replica of the fit.
-    Plan(PlanMsg),
+    Plan(Box<PlanMsg>),
     /// Lockstep marker: the `(iter, mode)` sweep both sides enter next.
     ModeStart {
         /// Zero-based ALS iteration.
@@ -63,6 +65,21 @@ pub enum Message {
     Stats(WorkerStatsMsg),
     /// Clean end of the run.
     Shutdown,
+    /// Liveness probe. The coordinator sends one when a worker misses a
+    /// frame deadline; a live worker echoes it back from its receive
+    /// loop, which is what distinguishes a *slow* worker (echoes) from a
+    /// *silent* one (doesn't) before the fault policy declares it dead.
+    Heartbeat,
+    /// Mid-fit ownership change: the receiving worker's owned row range
+    /// per mode, replacing the ranges it got with its plan. Sent under
+    /// `Recovery::Reassign` when a dead worker's rows are redistributed
+    /// to a surviving neighbor, always *before* the `FactorSync` of the
+    /// mode the death was detected in, so the new ownership is in place
+    /// before the next mode's sweep.
+    Reassign {
+        /// The receiver's new owned row range per mode.
+        ranges: Vec<Range<usize>>,
+    },
 }
 
 /// Body of [`Message::Plan`].
@@ -79,6 +96,15 @@ pub struct PlanMsg {
     pub values: Vec<f64>,
     /// This worker's owned row range per mode.
     pub ranges: Vec<Range<usize>>,
+    /// Encoded `ptucker::FitCheckpoint` bytes to resume from instead of
+    /// starting at iteration 0 — how a respawned worker (or a whole
+    /// sharded fit resuming a checkpointed run) rejoins mid-trajectory,
+    /// bitwise. `None` for a fresh fit.
+    pub resume: Option<Vec<u8>>,
+    /// Fault-injection spec to install on the worker's transport (see
+    /// [`crate::transport::FaultInjector::parse`]); test/chaos tooling
+    /// only. `None` in production.
+    pub fault: Option<String>,
 }
 
 /// Body of [`Message::Rows`].
@@ -120,6 +146,25 @@ const TAG_ROWS: u8 = 4;
 const TAG_FACTOR_SYNC: u8 = 5;
 const TAG_STATS: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_HEARTBEAT: u8 = 8;
+const TAG_REASSIGN: u8 = 9;
+
+/// Maps a lowercase message name to its frame tag — the vocabulary of
+/// [`crate::transport::FaultInjector::parse`] specs.
+pub(crate) fn tag_by_name(name: &str) -> Option<u8> {
+    Some(match name {
+        "hello" => TAG_HELLO,
+        "plan" => TAG_PLAN,
+        "modestart" => TAG_MODE_START,
+        "rows" => TAG_ROWS,
+        "factorsync" => TAG_FACTOR_SYNC,
+        "stats" => TAG_STATS,
+        "shutdown" => TAG_SHUTDOWN,
+        "heartbeat" => TAG_HEARTBEAT,
+        "reassign" => TAG_REASSIGN,
+        _ => return None,
+    })
+}
 
 /// Little-endian byte writer over a growable buffer.
 #[derive(Default)]
@@ -154,6 +199,19 @@ impl Enc {
         self.usize(v.len());
         for &x in v {
             self.f64(x);
+        }
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.0.extend_from_slice(v);
+    }
+    fn opt_bytes(&mut self, v: Option<&[u8]>) {
+        match v {
+            None => self.bool(false),
+            Some(b) => {
+                self.bool(true);
+                self.bytes(b);
+            }
         }
     }
 }
@@ -229,6 +287,24 @@ impl<'a> Dec<'a> {
         (0..n).map(|_| self.f64()).collect()
     }
 
+    fn bytes_vec(&mut self) -> Result<Vec<u8>, ShardError> {
+        let n = self.usize()?;
+        if n > self.checked_len(1)? {
+            return Err(ShardError::Protocol(
+                "byte-string length overruns payload".into(),
+            ));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn opt_bytes(&mut self) -> Result<Option<Vec<u8>>, ShardError> {
+        if self.bool()? {
+            Ok(Some(self.bytes_vec()?))
+        } else {
+            Ok(None)
+        }
+    }
+
     fn finish(&self) -> Result<(), ShardError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -281,6 +357,24 @@ fn encode_opts(e: &mut Enc, o: &FitOptions) {
         StoragePrecision::F64 => 0,
         StoragePrecision::F32 => 1,
     });
+    // Checkpointing fields, for codec fidelity. The coordinator strips
+    // `checkpoint_path`/`resume_from` from the plans it sends (only the
+    // coordinator touches checkpoint files; workers resume from in-plan
+    // bytes), so workers only ever see `None` here. Paths travel as
+    // UTF-8 (lossily, which is moot for the stripped production path).
+    e.usize(o.checkpoint_every);
+    e.opt_bytes(
+        o.checkpoint_path
+            .as_ref()
+            .map(|p| p.to_string_lossy().into_owned().into_bytes())
+            .as_deref(),
+    );
+    e.opt_bytes(
+        o.resume_from
+            .as_ref()
+            .map(|p| p.to_string_lossy().into_owned().into_bytes())
+            .as_deref(),
+    );
 }
 
 fn decode_opts(d: &mut Dec<'_>) -> Result<FitOptions, ShardError> {
@@ -315,7 +409,14 @@ fn decode_opts(d: &mut Dec<'_>) -> Result<FitOptions, ShardError> {
         1 => StoragePrecision::F32,
         t => return Err(ShardError::Protocol(format!("bad precision tag {t}"))),
     };
-    Ok(FitOptions::new(ranks)
+    let checkpoint_every = d.usize()?;
+    let utf8_path = |bytes: Vec<u8>| {
+        String::from_utf8(bytes)
+            .map_err(|_| ShardError::Protocol("checkpoint path is not UTF-8".into()))
+    };
+    let checkpoint_path = d.opt_bytes()?.map(utf8_path).transpose()?;
+    let resume_from = d.opt_bytes()?.map(utf8_path).transpose()?;
+    let mut opts = FitOptions::new(ranks)
         .lambda(lambda)
         .max_iters(max_iters)
         .tol(tol)
@@ -327,7 +428,15 @@ fn decode_opts(d: &mut Dec<'_>) -> Result<FitOptions, ShardError> {
         .refit_core(refit_core)
         .sample_stride(sample_stride)
         .prefetch(prefetch)
-        .precision(precision))
+        .precision(precision)
+        .checkpoint_every(checkpoint_every);
+    if let Some(p) = checkpoint_path {
+        opts = opts.checkpoint_path(p);
+    }
+    if let Some(p) = resume_from {
+        opts = opts.resume_from(p);
+    }
+    Ok(opts)
 }
 
 impl Message {
@@ -355,6 +464,8 @@ impl Message {
                     e.usize(r.start);
                     e.usize(r.end);
                 }
+                e.opt_bytes(p.resume.as_deref());
+                e.opt_bytes(p.fault.as_ref().map(|s| s.as_bytes()));
                 TAG_PLAN
             }
             Message::ModeStart { iter, mode } => {
@@ -385,6 +496,15 @@ impl Message {
                 TAG_STATS
             }
             Message::Shutdown => TAG_SHUTDOWN,
+            Message::Heartbeat => TAG_HEARTBEAT,
+            Message::Reassign { ranges } => {
+                e.usize(ranges.len());
+                for r in ranges {
+                    e.usize(r.start);
+                    e.usize(r.end);
+                }
+                TAG_REASSIGN
+            }
         };
         (tag, e.0)
     }
@@ -413,13 +533,23 @@ impl Message {
                     let end = d.usize()?;
                     ranges.push(start..end);
                 }
-                Message::Plan(PlanMsg {
+                let resume = d.opt_bytes()?;
+                let fault = d
+                    .opt_bytes()?
+                    .map(|b| {
+                        String::from_utf8(b)
+                            .map_err(|_| ShardError::Protocol("fault spec is not UTF-8".into()))
+                    })
+                    .transpose()?;
+                Message::Plan(Box::new(PlanMsg {
                     opts,
                     dims,
                     indices,
                     values,
                     ranges,
-                })
+                    resume,
+                    fault,
+                }))
             }
             TAG_MODE_START => Message::ModeStart {
                 iter: d.u64()?,
@@ -445,6 +575,17 @@ impl Message {
                 bytes_received: d.u64()?,
             }),
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_HEARTBEAT => Message::Heartbeat,
+            TAG_REASSIGN => {
+                let n = d.usize()?;
+                let mut ranges = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    let start = d.usize()?;
+                    let end = d.usize()?;
+                    ranges.push(start..end);
+                }
+                Message::Reassign { ranges }
+            }
             t => return Err(ShardError::Protocol(format!("unknown frame tag {t}"))),
         };
         d.finish()?;
@@ -461,6 +602,8 @@ impl Message {
             Message::FactorSync { .. } => "FactorSync",
             Message::Stats(_) => "Stats",
             Message::Shutdown => "Shutdown",
+            Message::Heartbeat => "Heartbeat",
+            Message::Reassign { .. } => "Reassign",
         }
     }
 }
@@ -500,7 +643,7 @@ mod tests {
             worker_id: 3,
             workers: 4,
         });
-        roundtrip(&Message::Plan(PlanMsg {
+        roundtrip(&Message::Plan(Box::new(PlanMsg {
             opts: FitOptions::new(vec![2, 3])
                 .lambda(0.02)
                 .max_iters(7)
@@ -515,12 +658,17 @@ mod tests {
                 .refit_core(true)
                 .sample_stride(3)
                 .prefetch(false)
-                .precision(StoragePrecision::F32),
+                .precision(StoragePrecision::F32)
+                .checkpoint_every(2)
+                .checkpoint_path("/tmp/x.ckpt")
+                .resume_from("/tmp/y.ckpt"),
             dims: vec![4, 5],
             indices: vec![0, 1, 3, 4],
             values: vec![1.5, -2.25],
             ranges: vec![0..2, 1..5],
-        }));
+            resume: Some(vec![7, 8, 9]),
+            fault: Some("send:rows:1:drop".into()),
+        })));
         roundtrip(&Message::ModeStart { iter: 9, mode: 2 });
         roundtrip(&Message::Rows(RowsMsg {
             mode: 1,
@@ -542,6 +690,10 @@ mod tests {
             bytes_received: 256,
         }));
         roundtrip(&Message::Shutdown);
+        roundtrip(&Message::Heartbeat);
+        roundtrip(&Message::Reassign {
+            ranges: vec![0..3, 2..2, 5..9],
+        });
     }
 
     const PROTOCOL_VERSION_FOR_TEST: u32 = crate::PROTOCOL_VERSION;

@@ -1,4 +1,5 @@
-//! Length-prefixed framed transport with checksums and byte accounting.
+//! Length-prefixed framed transport with checksums, byte accounting,
+//! read deadlines and deterministic fault injection.
 //!
 //! A frame is `[len: u32 LE] [tag: u8] [payload: len-1 bytes]
 //! [checksum: u64 LE]` where `len` counts the tag plus the payload and
@@ -13,14 +14,30 @@
 //! shared [`ByteCounters`], so the coordinator can report comms volume
 //! (`FitStats::bytes_sent`/`bytes_received`) even after the channel has
 //! been moved onto its background I/O thread.
+//!
+//! Two seams support the fault-tolerance layer:
+//!
+//! * [`DeadlineCapable`] exposes descriptor-level read deadlines
+//!   ([`Channel::set_read_timeout`]) on transports that have them
+//!   (Unix sockets), so a silent peer surfaces as a timed-out read
+//!   instead of a forever-blocked thread; pipe transports get the same
+//!   protection one layer up, from the coordinator's deadline-aware
+//!   response collection.
+//! * [`FaultInjector`] intercepts frames at this, the lowest layer —
+//!   dropping, corrupting, delaying them or killing the process — which
+//!   is what lets the fault-injection test suite exercise every
+//!   recovery path deterministically over the *real* framing code.
 
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Version negotiated by the `Hello` exchange; bumped whenever the frame
-/// layout or any message encoding changes.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// layout or any message encoding changes. Version 2 added the
+/// `Heartbeat` and `Reassign` messages and the plan's `resume`/`fault`
+/// fields.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Frames larger than this are rejected as corruption before any
 /// allocation happens (1 GiB — far beyond any factor or plan message
@@ -60,6 +77,196 @@ impl ByteCounters {
     }
 }
 
+/// Where in the transport a fault-injection rule applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// The rule fires as a frame is written.
+    Send,
+    /// The rule fires as a frame is read.
+    Recv,
+}
+
+/// What a matched fault-injection rule does to its frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Silently discard the frame: the sender believes it was delivered,
+    /// the receiver never sees it.
+    Drop,
+    /// Flip one bit of the frame *after* its checksum was computed, so
+    /// the receiving side detects the corruption.
+    Corrupt,
+    /// Stall the frame for the given duration before letting it through
+    /// untouched — a hung-but-alive peer.
+    Delay(Duration),
+    /// SIGKILL the current process mid-protocol: sudden worker death
+    /// with no flushing, no unwinding, no goodbye.
+    Kill,
+}
+
+/// One injection rule: perform [`FaultRule::action`] on the
+/// [`FaultRule::nth`] (1-based) frame observed at [`FaultRule::point`]
+/// whose tag matches [`FaultRule::tag`] (`None` matches every tag).
+/// Each rule fires exactly once.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Send side or receive side of the channel.
+    pub point: FaultPoint,
+    /// Frame tag to match (`None` = any).
+    pub tag: Option<u8>,
+    /// 1-based match ordinal at which the rule fires.
+    pub nth: u64,
+    /// The fault to perform.
+    pub action: FaultAction,
+}
+
+#[derive(Debug)]
+struct RuleState {
+    rule: FaultRule,
+    seen: u64,
+    fired: bool,
+}
+
+/// Deterministic transport-level fault injection: a rule table consulted
+/// by [`Channel::send_frame`] / [`Channel::recv_frame`] on every frame.
+/// Cloning shares the table (rules fire once *globally*), so a single
+/// injector can be observed from a test while installed in a channel.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    rules: Arc<Mutex<Vec<RuleState>>>,
+}
+
+impl FaultInjector {
+    /// An injector with no rules (it never fires).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule, builder style.
+    #[must_use]
+    pub fn rule(self, rule: FaultRule) -> Self {
+        self.rules.lock().expect("injector lock").push(RuleState {
+            rule,
+            seen: 0,
+            fired: false,
+        });
+        self
+    }
+
+    /// Parses a fault spec string: `;`-separated rules of the form
+    /// `point:tag:nth:action[:millis]`, where `point` is `send` or
+    /// `recv`, `tag` is a lowercase message name (`rows`, `modestart`,
+    /// `factorsync`, …) or `any`, `nth` is the 1-based match ordinal,
+    /// and `action` is one of `drop`, `corrupt`, `kill` or `delay` (the
+    /// latter taking the stall length in milliseconds as a fifth field).
+    /// For example `"send:rows:2:delay:1500"` stalls the second `Rows`
+    /// frame this side writes by 1.5 seconds.
+    ///
+    /// This is the format `ShardedFit::inject_fault` ships to workers in
+    /// the plan's `fault` field.
+    ///
+    /// # Errors
+    /// A description of the first malformed rule.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut inj = FaultInjector::new();
+        for rule in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            let parts: Vec<&str> = rule.split(':').collect();
+            if parts.len() < 4 {
+                return Err(format!(
+                    "fault rule `{rule}`: expected point:tag:nth:action[:millis]"
+                ));
+            }
+            let point = match parts[0] {
+                "send" => FaultPoint::Send,
+                "recv" => FaultPoint::Recv,
+                p => return Err(format!("fault rule `{rule}`: unknown point `{p}`")),
+            };
+            let tag = match parts[1] {
+                "any" | "*" => None,
+                name => Some(
+                    crate::protocol::tag_by_name(name)
+                        .ok_or_else(|| format!("fault rule `{rule}`: unknown message `{name}`"))?,
+                ),
+            };
+            let nth: u64 = parts[2]
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("fault rule `{rule}`: bad ordinal `{}`", parts[2]))?;
+            let action = match (parts[3], parts.get(4)) {
+                ("drop", None) => FaultAction::Drop,
+                ("corrupt", None) => FaultAction::Corrupt,
+                ("kill", None) => FaultAction::Kill,
+                ("delay", Some(ms)) => FaultAction::Delay(Duration::from_millis(
+                    ms.parse()
+                        .map_err(|_| format!("fault rule `{rule}`: bad delay `{ms}`"))?,
+                )),
+                _ => return Err(format!("fault rule `{rule}`: bad action `{}`", parts[3])),
+            };
+            inj = inj.rule(FaultRule {
+                point,
+                tag,
+                nth,
+                action,
+            });
+        }
+        Ok(inj)
+    }
+
+    /// Consults the table for a frame with `tag` observed at `point`;
+    /// returns the action of the first rule that fires, if any.
+    fn fire(&self, point: FaultPoint, tag: u8) -> Option<FaultAction> {
+        let mut rules = self.rules.lock().expect("injector lock");
+        let mut hit = None;
+        for rs in rules.iter_mut() {
+            if rs.rule.point != point {
+                continue;
+            }
+            if rs.rule.tag.is_some_and(|t| t != tag) {
+                continue;
+            }
+            rs.seen += 1;
+            if hit.is_none() && !rs.fired && rs.seen == rs.rule.nth {
+                rs.fired = true;
+                hit = Some(rs.rule.action);
+            }
+        }
+        hit
+    }
+}
+
+/// SIGKILLs the current process — the [`FaultAction::Kill`] endgame. The
+/// process dies with no unwinding, exactly like an OOM kill or a crashed
+/// node, which is the failure the recovery machinery must survive.
+fn kill_self() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    // SIGKILL cannot be masked; reaching this line means the `kill`
+    // binary itself was unavailable — exit hard instead.
+    std::process::exit(137);
+}
+
+/// Transports whose read side supports a descriptor-level deadline, so a
+/// peer that stops talking surfaces as a timed-out read
+/// (`ErrorKind::WouldBlock`/`TimedOut`) instead of a forever-blocked
+/// thread. Implemented for [`std::os::unix::net::UnixStream`]; plain
+/// pipes have no such knob, which is why the coordinator also enforces
+/// deadlines one layer up when collecting responses.
+pub trait DeadlineCapable {
+    /// Sets (or, with `None`, clears) the read deadline.
+    ///
+    /// # Errors
+    /// The underlying `setsockopt`-style failure.
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl DeadlineCapable for std::os::unix::net::UnixStream {
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
 /// One framed, checksummed, byte-counted duplex connection.
 #[derive(Debug)]
 pub struct Channel<R, W> {
@@ -69,6 +276,8 @@ pub struct Channel<R, W> {
     /// Reusable frame staging buffer (one allocation per connection, not
     /// per message).
     buf: Vec<u8>,
+    /// Fault injection hook; `None` outside the fault test/chaos paths.
+    faults: Option<FaultInjector>,
 }
 
 /// A raw frame: the tag byte plus its payload, checksum already
@@ -81,6 +290,19 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
+impl<R: DeadlineCapable, W> Channel<R, W> {
+    /// Applies a read deadline to the underlying transport: a
+    /// [`Channel::recv_frame`] with no peer bytes for `timeout` fails
+    /// with `ErrorKind::WouldBlock` (or `TimedOut`) instead of blocking
+    /// forever. `None` restores blocking reads.
+    ///
+    /// # Errors
+    /// The transport's own failure to apply the deadline.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.set_read_deadline(timeout)
+    }
+}
+
 impl<R: Read, W: Write> Channel<R, W> {
     /// Wraps a `Read`/`Write` pair with fresh byte counters.
     pub fn new(reader: R, writer: W) -> Self {
@@ -89,12 +311,19 @@ impl<R: Read, W: Write> Channel<R, W> {
             writer,
             counters: ByteCounters::default(),
             buf: Vec::new(),
+            faults: None,
         }
     }
 
     /// A shared handle to this channel's byte counters.
     pub fn counters(&self) -> ByteCounters {
         self.counters.clone()
+    }
+
+    /// Installs a fault injector consulted on every subsequent frame in
+    /// both directions.
+    pub fn inject_faults(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
     }
 
     /// Writes one frame (single `write_all` + flush, so a frame is never
@@ -113,6 +342,20 @@ impl<R: Read, W: Write> Channel<R, W> {
         self.buf.extend_from_slice(payload);
         let sum = fnv1a(&self.buf[4..]);
         self.buf.extend_from_slice(&sum.to_le_bytes());
+        if let Some(action) = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.fire(FaultPoint::Send, tag))
+        {
+            match action {
+                FaultAction::Drop => return Ok(()),
+                // The checksum is already in the buffer, so flipping a
+                // bit of the body makes the receiver reject the frame.
+                FaultAction::Corrupt => self.buf[3 + len as usize] ^= 0x40,
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::Kill => kill_self(),
+            }
+        }
         self.writer.write_all(&self.buf)?;
         self.writer.flush()?;
         self.counters
@@ -127,33 +370,50 @@ impl<R: Read, W: Write> Channel<R, W> {
     /// Transport I/O failures, `UnexpectedEof` on a closed peer, or
     /// `InvalidData` on a corrupt frame.
     pub fn recv_frame(&mut self) -> io::Result<Frame> {
-        let mut head = [0u8; 4];
-        self.reader.read_exact(&mut head)?;
-        let len = u32::from_le_bytes(head);
-        if len == 0 || len > MAX_FRAME_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad frame length {len}"),
-            ));
+        loop {
+            let mut head = [0u8; 4];
+            self.reader.read_exact(&mut head)?;
+            let len = u32::from_le_bytes(head);
+            if len == 0 || len > MAX_FRAME_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad frame length {len}"),
+                ));
+            }
+            self.buf.clear();
+            self.buf.resize(len as usize, 0);
+            self.reader.read_exact(&mut self.buf)?;
+            let mut sum = [0u8; 8];
+            self.reader.read_exact(&mut sum)?;
+            self.counters
+                .received
+                .fetch_add(4 + u64::from(len) + 8, Ordering::Relaxed);
+            let tag = self.buf[0];
+            if let Some(action) = self
+                .faults
+                .as_ref()
+                .and_then(|f| f.fire(FaultPoint::Recv, tag))
+            {
+                match action {
+                    // The frame vanishes before anyone decodes it; keep
+                    // reading, as if the peer had never sent it.
+                    FaultAction::Drop => continue,
+                    FaultAction::Corrupt => self.buf[len as usize - 1] ^= 0x40,
+                    FaultAction::Delay(d) => std::thread::sleep(d),
+                    FaultAction::Kill => kill_self(),
+                }
+            }
+            if fnv1a(&self.buf) != u64::from_le_bytes(sum) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "frame checksum mismatch",
+                ));
+            }
+            return Ok(Frame {
+                tag: self.buf[0],
+                payload: self.buf[1..].to_vec(),
+            });
         }
-        self.buf.clear();
-        self.buf.resize(len as usize, 0);
-        self.reader.read_exact(&mut self.buf)?;
-        let mut sum = [0u8; 8];
-        self.reader.read_exact(&mut sum)?;
-        if fnv1a(&self.buf) != u64::from_le_bytes(sum) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "frame checksum mismatch",
-            ));
-        }
-        self.counters
-            .received
-            .fetch_add(4 + u64::from(len) + 8, Ordering::Relaxed);
-        Ok(Frame {
-            tag: self.buf[0],
-            payload: self.buf[1..].to_vec(),
-        })
     }
 }
 
@@ -217,5 +477,108 @@ mod tests {
             .recv_frame()
             .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn injector_drops_the_nth_send() {
+        let mut wire = Vec::new();
+        {
+            let mut tx = Channel::new(io::empty(), &mut wire);
+            tx.inject_faults(FaultInjector::new().rule(FaultRule {
+                point: FaultPoint::Send,
+                tag: None,
+                nth: 2,
+                action: FaultAction::Drop,
+            }));
+            tx.send_frame(1, b"first").unwrap();
+            tx.send_frame(2, b"second").unwrap(); // vanishes
+            tx.send_frame(3, b"third").unwrap();
+        }
+        let mut rx = Channel::new(wire.as_slice(), io::sink());
+        assert_eq!(rx.recv_frame().unwrap().tag, 1);
+        assert_eq!(rx.recv_frame().unwrap().tag, 3);
+    }
+
+    #[test]
+    fn injector_corrupts_detectably() {
+        let mut wire = Vec::new();
+        {
+            let mut tx = Channel::new(io::empty(), &mut wire);
+            tx.inject_faults(FaultInjector::new().rule(FaultRule {
+                point: FaultPoint::Send,
+                tag: Some(5),
+                nth: 1,
+                action: FaultAction::Corrupt,
+            }));
+            tx.send_frame(4, b"clean").unwrap();
+            tx.send_frame(5, b"dirty").unwrap();
+        }
+        let mut rx = Channel::new(wire.as_slice(), io::sink());
+        assert_eq!(rx.recv_frame().unwrap().tag, 4);
+        let err = rx.recv_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn injector_drops_on_the_recv_side_too() {
+        let mut wire = Vec::new();
+        {
+            let mut tx = Channel::new(io::empty(), &mut wire);
+            tx.send_frame(1, b"skipped").unwrap();
+            tx.send_frame(2, b"seen").unwrap();
+        }
+        let mut rx = Channel::new(wire.as_slice(), io::sink());
+        rx.inject_faults(FaultInjector::new().rule(FaultRule {
+            point: FaultPoint::Recv,
+            tag: Some(1),
+            nth: 1,
+            action: FaultAction::Drop,
+        }));
+        assert_eq!(rx.recv_frame().unwrap().tag, 2);
+    }
+
+    #[test]
+    fn injector_delay_stalls_the_frame() {
+        let mut wire = Vec::new();
+        let mut tx = Channel::new(io::empty(), &mut wire);
+        tx.inject_faults(FaultInjector::new().rule(FaultRule {
+            point: FaultPoint::Send,
+            tag: None,
+            nth: 1,
+            action: FaultAction::Delay(Duration::from_millis(60)),
+        }));
+        let t0 = std::time::Instant::now();
+        tx.send_frame(1, b"slow").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        assert!(FaultInjector::parse("send:rows:2:drop").is_ok());
+        assert!(FaultInjector::parse("recv:any:1:corrupt; send:modestart:3:delay:250").is_ok());
+        assert!(FaultInjector::parse("send:rows:1:kill").is_ok());
+        // Malformed specs name the offending rule.
+        assert!(FaultInjector::parse("sideways:rows:1:drop").is_err());
+        assert!(FaultInjector::parse("send:nosuchmsg:1:drop").is_err());
+        assert!(FaultInjector::parse("send:rows:0:drop").is_err());
+        assert!(FaultInjector::parse("send:rows:1:delay").is_err());
+        assert!(FaultInjector::parse("send:rows:1:explode").is_err());
+    }
+
+    #[test]
+    fn unix_stream_read_deadline_times_out() {
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let chan = Channel::new(a.try_clone().unwrap(), a);
+        chan.set_read_timeout(Some(Duration::from_millis(40)))
+            .unwrap();
+        let mut chan = chan;
+        let err = chan.recv_frame().unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a timeout kind, got {err:?}"
+        );
     }
 }

@@ -11,12 +11,27 @@
 //! divergence is which rows each process updates — repaired every mode
 //! by the `Rows`/`FactorSync` all-reduce — which is what makes a
 //! K-shard fit bitwise identical to the single-process one.
+//!
+//! Fault tolerance adds three things on this side:
+//!
+//! - **Heartbeats**: at every receive point, a [`Message::Heartbeat`] is
+//!   echoed straight back and the expected message awaited again — that
+//!   is how the coordinator distinguishes a slow worker (echo arrives)
+//!   from a dead one (pipe error) or a hung one (silence).
+//! - **Reassignment**: a [`Message::Reassign`] received while awaiting
+//!   `FactorSync` replaces the worker's owned row ranges in place — the
+//!   coordinator widens a survivor's shard to absorb a dead neighbour's
+//!   rows mid-fit.
+//! - **Resume**: a plan may carry an encoded
+//!   [`ptucker::FitCheckpoint`]; the worker then joins an in-flight fit
+//!   at the checkpoint's iteration instead of iteration 0 (how a
+//!   respawned replacement catches up bitwise).
 
 use crate::protocol::{self, Message, PlanMsg, RowsMsg, WorkerStatsMsg};
-use crate::transport::Channel;
+use crate::transport::{Channel, FaultInjector};
 use crate::{ShardError, PROTOCOL_VERSION};
 use ptucker::sync::FitSync;
-use ptucker::{FitResult, FitStats, PTucker, PtuckerError};
+use ptucker::{FitCheckpoint, FitResult, FitStats, PTucker, PtuckerError};
 use ptucker_linalg::LinalgError;
 use ptucker_tensor::SparseTensor;
 use std::io::{Read, Write};
@@ -40,22 +55,77 @@ pub(crate) fn unexpected(expected: &str, got: &Message) -> ShardError {
     ShardError::Protocol(format!("expected {expected}, got {}", got.name()))
 }
 
+/// Observed entries in the owned range, per mode — a sweep of mode `m`
+/// touches exactly this many stream positions. Recomputed after a
+/// reassignment widens the shard.
+fn ranges_nnz(x: &SparseTensor, ranges: &[Range<usize>]) -> Vec<u64> {
+    (0..x.order())
+        .map(|m| ranges[m].clone().map(|i| x.slice_len(m, i) as u64).sum())
+        .collect()
+}
+
 /// [`FitSync`] implementation driving one worker's fit replica.
 struct WorkerSync<'a, R: Read, W: Write> {
     chan: &'a mut Channel<R, W>,
+    x: &'a SparseTensor,
     /// Owned row range per mode.
     ranges: Vec<Range<usize>>,
-    /// Observed entries in the owned range, per mode (precomputed; a
-    /// sweep of mode `m` touches exactly this many stream positions).
+    /// Precomputed per-mode owned-entry counts (see [`ranges_nnz`]).
     mode_nnz: Vec<u64>,
     rows_updated: u64,
     nnz_processed: u64,
     t_start: Instant,
 }
 
+impl<R: Read, W: Write> WorkerSync<'_, R, W> {
+    /// Receives the next fit-protocol message, transparently servicing
+    /// control traffic: heartbeats are echoed (liveness probes must not
+    /// desynchronise the fit conversation) and reassignments are applied
+    /// in place, then the wait resumes.
+    fn recv_expected(&mut self) -> Result<Message, ShardError> {
+        loop {
+            match protocol::recv(self.chan)? {
+                Message::Heartbeat => protocol::send(self.chan, &Message::Heartbeat)?,
+                Message::Reassign { ranges } => self.apply_reassign(ranges)?,
+                m => return Ok(m),
+            }
+        }
+    }
+
+    /// Installs a widened shard sent by the coordinator after a peer
+    /// died. Validated like the original plan's ranges; `mode_nnz` is
+    /// recomputed so the stats stay honest.
+    fn apply_reassign(&mut self, ranges: Vec<Range<usize>>) -> Result<(), ShardError> {
+        validate_shard_ranges(self.x, &ranges)?;
+        self.mode_nnz = ranges_nnz(self.x, &ranges);
+        self.ranges = ranges;
+        Ok(())
+    }
+}
+
+/// Checks a per-mode range vector against the tensor's dimensions.
+fn validate_shard_ranges(x: &SparseTensor, ranges: &[Range<usize>]) -> Result<(), ShardError> {
+    if ranges.len() != x.order() {
+        return Err(ShardError::Protocol(format!(
+            "{} shard ranges for an order-{} tensor",
+            ranges.len(),
+            x.order()
+        )));
+    }
+    for (m, r) in ranges.iter().enumerate() {
+        if r.start > r.end || r.end > x.dims()[m] {
+            return Err(ShardError::Protocol(format!(
+                "shard range {r:?} out of bounds for mode {m} ({} rows)",
+                x.dims()[m]
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl<R: Read, W: Write> FitSync for WorkerSync<'_, R, W> {
     fn begin_mode(&mut self, iter: usize, mode: usize) -> ptucker::Result<()> {
-        match protocol::recv(self.chan).map_err(sync_err)? {
+        match self.recv_expected().map_err(sync_err)? {
             Message::ModeStart { iter: i, mode: m }
                 if i == iter as u64 && m == mode as u32 =>
             {
@@ -86,8 +156,9 @@ impl<R: Read, W: Write> FitSync for WorkerSync<'_, R, W> {
         j_n: usize,
         data: &mut [f64],
         local_ok: bool,
+        _resweep: &mut ptucker::sync::Resweep<'_>,
     ) -> ptucker::Result<()> {
-        let r = &self.ranges[mode];
+        let r = self.ranges[mode].clone();
         protocol::send(
             self.chan,
             &Message::Rows(RowsMsg {
@@ -99,7 +170,10 @@ impl<R: Read, W: Write> FitSync for WorkerSync<'_, R, W> {
             }),
         )
         .map_err(sync_err)?;
-        match protocol::recv(self.chan).map_err(sync_err)? {
+        // A Reassign, if one is coming this mode, arrives *before* the
+        // FactorSync — recv_expected applies it, so the widened shard is
+        // in place before the next mode's row_range is consulted.
+        match self.recv_expected().map_err(sync_err)? {
             Message::FactorSync {
                 mode: m,
                 ok,
@@ -137,7 +211,7 @@ impl<R: Read, W: Write> FitSync for WorkerSync<'_, R, W> {
             }),
         )
         .map_err(sync_err)?;
-        match protocol::recv(self.chan).map_err(sync_err)? {
+        match self.recv_expected().map_err(sync_err)? {
             Message::Shutdown => Ok(()),
             m => Err(sync_err(unexpected("Shutdown", &m))),
         }
@@ -178,11 +252,18 @@ pub fn worker_loop<R: Read, W: Write>(reader: R, writer: W) -> Result<FitResult,
             workers,
         },
     )?;
-    let plan = match protocol::recv(&mut chan)? {
+    let mut plan = match protocol::recv(&mut chan)? {
         Message::Plan(p) => p,
         m => return Err(unexpected("Plan", &m)),
     };
-    run_shard(&mut chan, plan)
+    // Chaos harness: a plan may carry a fault spec for *this* worker.
+    // Installed after the handshake so the rule counters start at the
+    // first fit-protocol frame (ModeStart is recv #1).
+    if let Some(spec) = plan.fault.take() {
+        let inj = FaultInjector::parse(&spec).map_err(ShardError::Protocol)?;
+        chan.inject_faults(inj);
+    }
+    run_shard(&mut chan, *plan)
 }
 
 /// Rebuilds the tensor and runs the restricted fit replica.
@@ -197,35 +278,28 @@ fn run_shard<R: Read, W: Write>(
         indices,
         values,
         ranges,
+        resume,
+        fault: _,
     } = plan;
     let x =
         SparseTensor::from_flat(dims, indices, values).map_err(|e| ShardError::Fit(e.into()))?;
-    if ranges.len() != x.order() {
-        return Err(ShardError::Protocol(format!(
-            "{} shard ranges for an order-{} tensor",
-            ranges.len(),
-            x.order()
-        )));
-    }
-    for (m, r) in ranges.iter().enumerate() {
-        if r.start > r.end || r.end > x.dims()[m] {
-            return Err(ShardError::Protocol(format!(
-                "shard range {r:?} out of bounds for mode {m} ({} rows)",
-                x.dims()[m]
-            )));
-        }
-    }
-    let mode_nnz = (0..x.order())
-        .map(|m| ranges[m].clone().map(|i| x.slice_len(m, i) as u64).sum())
-        .collect();
+    validate_shard_ranges(&x, &ranges)?;
+    let resume_ckpt = match resume {
+        Some(bytes) => Some(FitCheckpoint::decode(&bytes).map_err(ShardError::Fit)?),
+        None => None,
+    };
+    let mode_nnz = ranges_nnz(&x, &ranges);
     let solver = PTucker::new(opts).map_err(ShardError::Fit)?;
     let mut sync = WorkerSync {
         chan,
+        x: &x,
         ranges,
         mode_nnz,
         rows_updated: 0,
         nnz_processed: 0,
         t_start,
     };
-    solver.fit_with_sync(&x, &mut sync).map_err(ShardError::Fit)
+    solver
+        .fit_with_sync_resume(&x, &mut sync, resume_ckpt)
+        .map_err(ShardError::Fit)
 }
