@@ -21,6 +21,10 @@
 //! the dispatched dot/axpy/div-add primitives (including the widening
 //! f32-input variants) against hand-rolled scalar loops, recording which
 //! SIMD tier the binary was built with and whether the CPU has `avx512f`.
+//!
+//! A `serve_queries` series prices the read path end to end: batched
+//! point and top-K queries against a live `ptucker-serve` socket, with
+//! per-request p50/p99 latency and per-query throughput.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use ptucker::engine::{CachedKernel, DirectKernel, ModeContext, RowUpdateKernel, Scratch};
@@ -871,6 +875,116 @@ fn write_artifact() {
             ));
         }
         let _ = std::fs::remove_file(&ckpt);
+    }
+
+    // Serving read path: round-trip latency and throughput of batched
+    // point and top-K queries against a live `ptucker-serve` instance
+    // over a Unix socket — one client, one connection, requests timed
+    // end to end (encode → socket → snapshot lookup → reply decode).
+    // `p50_ns`/`p99_ns` are per *request* (one batch); `throughput_per_s`
+    // counts individual queries (batch entries) per second. The model is
+    // a recommender-shaped rank-8 decomposition; top-K scans all of
+    // mode 0's rows per context, so its row count is the work knob.
+    {
+        use ptucker::{Predictor, TuckerDecomposition};
+        use ptucker_serve::{serve, ServeOptions};
+        let mut rng = StdRng::seed_from_u64(21);
+        let dims = [4096usize, 512, 128];
+        let ranks = [8usize, 8, 8];
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| {
+                Matrix::from_vec(d, 8, (0..d * 8).map(|_| rng.gen::<f64>() - 0.5).collect())
+                    .unwrap()
+            })
+            .collect();
+        let core = CoreTensor::random_dense(ranks.to_vec(), &mut rng).unwrap();
+        let predictor = Predictor::new(TuckerDecomposition { factors, core }).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("ptk-bench-serve-{}.sock", std::process::id()));
+        let handle = serve(&path, predictor, ServeOptions::default()).unwrap();
+        let mut client = handle.connect().unwrap();
+
+        let percentile = |sorted: &[f64], p: f64| {
+            let i = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[i]
+        };
+        let requests = 400usize;
+
+        // Point queries, 64 entries per request.
+        let point_batch = 64usize;
+        let point_reqs: Vec<Vec<usize>> = (0..requests)
+            .map(|_| {
+                (0..point_batch)
+                    .flat_map(|_| dims.map(|d| rng.gen_range(0..d)))
+                    .collect()
+            })
+            .collect();
+        for req in point_reqs.iter().take(20) {
+            client.point_batch(req).unwrap(); // warm-up
+        }
+        let mut point_ns: Vec<f64> = point_reqs
+            .iter()
+            .map(|req| {
+                let t = Instant::now();
+                black_box(client.point_batch(req).unwrap());
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        point_ns.sort_by(|a, b| a.total_cmp(b));
+        let point_total: f64 = point_ns.iter().sum();
+        let point_qps = (requests * point_batch) as f64 * 1e9 / point_total;
+        let (p50, p99) = (percentile(&point_ns, 0.5), percentile(&point_ns, 0.99));
+        println!(
+            "artifact serve_queries point: batch {point_batch}, p50 {p50:.0} ns, \
+             p99 {p99:.0} ns, {point_qps:.0} points/s"
+        );
+        lines.push(format!(
+            "    {{\"bench\": \"serve_queries\", \"query\": \"point\", \
+             \"batch\": {point_batch}, \"requests\": {requests}, \"p50_ns\": {p50:.1}, \
+             \"p99_ns\": {p99:.1}, \"throughput_per_s\": {point_qps:.1}}}"
+        ));
+
+        // Top-K queries, 8 contexts per request, K = 10 over mode 0.
+        let (mode, k, topk_batch) = (0usize, 10usize, 8usize);
+        let topk_reqs: Vec<Vec<usize>> = (0..requests)
+            .map(|_| {
+                (0..topk_batch)
+                    .flat_map(|_| [rng.gen_range(0..dims[1]), rng.gen_range(0..dims[2])])
+                    .collect()
+            })
+            .collect();
+        for req in topk_reqs.iter().take(20) {
+            client.top_k_batch(mode, req, topk_batch, k).unwrap(); // warm-up
+        }
+        let mut topk_ns: Vec<f64> = topk_reqs
+            .iter()
+            .map(|req| {
+                let t = Instant::now();
+                black_box(client.top_k_batch(mode, req, topk_batch, k).unwrap());
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        topk_ns.sort_by(|a, b| a.total_cmp(b));
+        let topk_total: f64 = topk_ns.iter().sum();
+        let topk_qps = (requests * topk_batch) as f64 * 1e9 / topk_total;
+        let (p50, p99) = (percentile(&topk_ns, 0.5), percentile(&topk_ns, 0.99));
+        println!(
+            "artifact serve_queries topk: rows {}, k {k}, batch {topk_batch}, \
+             p50 {p50:.0} ns, p99 {p99:.0} ns, {topk_qps:.0} contexts/s",
+            dims[mode]
+        );
+        lines.push(format!(
+            "    {{\"bench\": \"serve_queries\", \"query\": \"topk\", \"rows\": {}, \
+             \"k\": {k}, \"batch\": {topk_batch}, \"requests\": {requests}, \
+             \"p50_ns\": {p50:.1}, \"p99_ns\": {p99:.1}, \
+             \"throughput_per_s\": {topk_qps:.1}}}",
+            dims[mode]
+        ));
+
+        client.goodbye().unwrap();
+        let stats = handle.shutdown().unwrap();
+        assert_eq!(stats.worker_panics, 0);
     }
 
     // SIMD kernel tier: the dispatched primitives vs hand-rolled scalar

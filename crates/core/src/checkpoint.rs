@@ -51,7 +51,7 @@ const FORMAT_VERSION: u32 = 1;
 
 /// 64-bit FNV-1a — local copy (the shard crate has its own for frame
 /// checksums; the core crate cannot depend on it).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -62,25 +62,25 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Incremental FNV-1a, for fingerprinting without materializing the
 /// hashed bytes.
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.update(&v.to_le_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.update(&v.to_bits().to_le_bytes());
     }
 }
@@ -350,23 +350,23 @@ fn ck(msg: String) -> PtuckerError {
     PtuckerError::Checkpoint(msg)
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
 /// A bounds-checked little-endian cursor; every read past the end is a
 /// named [`crate::PtuckerError::Checkpoint`], never a panic.
-struct Cur<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Cur<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cur<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self
             .pos
             .checked_add(n)
@@ -377,35 +377,35 @@ impl<'a> Cur<'a> {
         Ok(s)
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn usize(&mut self) -> Result<usize> {
+    pub(crate) fn usize(&mut self) -> Result<usize> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| ck(format!("value {v} overflows usize")))
     }
 
-    fn f64(&mut self) -> Result<f64> {
+    pub(crate) fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(self.u64()?))
     }
 
     /// A count field, sanity-bounded by the bytes actually left (every
     /// counted element is at least one byte), so a corrupt length cannot
     /// drive a huge allocation.
-    fn len(&mut self, what: &str) -> Result<usize> {
+    pub(crate) fn len(&mut self, what: &str) -> Result<usize> {
         let n = self.usize()?;
         if n > self.remaining().max(8) * 8 {
             return Err(ck(format!(

@@ -21,6 +21,10 @@ pub enum PtuckerError {
     /// A checkpoint could not be written, read, or applied (I/O failure,
     /// checksum mismatch, version/fingerprint disagreement).
     Checkpoint(String),
+    /// A serialized model file could not be written, read, or served
+    /// (I/O failure, checksum mismatch, malformed or inconsistent
+    /// shapes).
+    Model(String),
 }
 
 impl fmt::Display for PtuckerError {
@@ -32,6 +36,7 @@ impl fmt::Display for PtuckerError {
             PtuckerError::Tensor(e) => write!(f, "tensor failure: {e}"),
             PtuckerError::Sync(msg) => write!(f, "fit sync failure: {msg}"),
             PtuckerError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            PtuckerError::Model(msg) => write!(f, "model failure: {msg}"),
         }
     }
 }
@@ -44,7 +49,8 @@ impl std::error::Error for PtuckerError {
             PtuckerError::Tensor(e) => Some(e),
             PtuckerError::InvalidConfig(_)
             | PtuckerError::Sync(_)
-            | PtuckerError::Checkpoint(_) => None,
+            | PtuckerError::Checkpoint(_)
+            | PtuckerError::Model(_) => None,
         }
     }
 }

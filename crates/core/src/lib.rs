@@ -187,6 +187,7 @@ mod delta;
 pub mod engine;
 mod error;
 mod options;
+pub mod serving;
 mod stats;
 pub mod sync;
 
@@ -195,6 +196,7 @@ pub use checkpoint::FitCheckpoint;
 pub use decomposition::TuckerDecomposition;
 pub use error::PtuckerError;
 pub use options::{FitOptions, StoragePrecision, Variant};
+pub use serving::Predictor;
 pub use stats::{FitResult, FitStats, IterStats};
 pub use sync::{FitSync, LocalSync};
 

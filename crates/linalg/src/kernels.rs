@@ -256,6 +256,52 @@ pub fn widen_into(dst: &mut [f64], src: &[f32]) {
     }
 }
 
+/// Selects the top `k` of `scores` into `out` as `(index, score)` pairs,
+/// sorted by **descending score with ties broken by ascending index** —
+/// a total, deterministic order (scores compare by [`f64::total_cmp`],
+/// so even NaNs rank reproducibly). `k` larger than `scores.len()`
+/// returns everything; `out` is cleared and reused, so a caller that
+/// keeps one buffer per worker pays no allocation after warm-up — this
+/// is the ranking tail of the top-K query hot path.
+///
+/// Two strategies behind one entry point: a sorted insertion buffer
+/// (binary-search position, `O(n·log k)` comparisons plus `O(k)` moves
+/// on improvement) when `k` is small against `n`, and a full
+/// `sort_unstable` (in-place, allocation-free) when `k` is a sizable
+/// fraction of `n` and the buffer would churn.
+///
+/// # Panics
+/// Debug-asserts `scores.len() <= u32::MAX` (indices travel as `u32`).
+pub fn top_k_select(scores: &[f64], k: usize, out: &mut Vec<(u32, f64)>) {
+    use std::cmp::Ordering;
+    debug_assert!(scores.len() <= u32::MAX as usize);
+    out.clear();
+    let k = k.min(scores.len());
+    if k == 0 {
+        return;
+    }
+    if k * 4 >= scores.len() {
+        out.extend(scores.iter().enumerate().map(|(i, &s)| (i as u32, s)));
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        return;
+    }
+    for (i, &s) in scores.iter().enumerate() {
+        // A full buffer whose worst entry outranks the candidate ends it
+        // here; an *equal* worst also wins (it has the lower index).
+        if out.len() == k && out[k - 1].1.total_cmp(&s) != Ordering::Less {
+            continue;
+        }
+        // First position strictly below the candidate: equal scores stay
+        // ahead of it, preserving the ascending-index tie order.
+        let pos = out.partition_point(|e| e.1.total_cmp(&s) != Ordering::Less);
+        if out.len() == k {
+            out.pop();
+        }
+        out.insert(pos, (i as u32, s));
+    }
+}
+
 /// The scalar mixed-precision dot: same 4-lane structure as `dot_scalar`,
 /// with the f32 operand widened per element.
 #[inline]
@@ -845,6 +891,75 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Reference ranking: full sort by (score desc, index asc).
+    fn brute_top_k(scores: &[f64], k: usize) -> Vec<(u32, f64)> {
+        let mut all: Vec<(u32, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u32, s))
+            .collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_on_both_strategies() {
+        // n = 64 with k = 3 exercises the insertion buffer, k = 40 the
+        // full-sort path; duplicated scores exercise the index tie-break.
+        let scores: Vec<f64> = (0..64).map(|i| ((i * 7) % 16) as f64 * 0.25).collect();
+        let mut out = Vec::new();
+        for k in [0usize, 1, 3, 15, 16, 40, 64, 200] {
+            top_k_select(&scores, k, &mut out);
+            assert_eq!(out, brute_top_k(&scores, k), "k={k}");
+            assert_eq!(out.len(), k.min(scores.len()), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_ties_break_by_ascending_index() {
+        let scores = [2.0, 5.0, 5.0, 1.0, 5.0];
+        let mut out = Vec::new();
+        top_k_select(&scores, 2, &mut out);
+        assert_eq!(out, vec![(1, 5.0), (2, 5.0)]);
+        top_k_select(&scores, 4, &mut out);
+        assert_eq!(out, vec![(1, 5.0), (2, 5.0), (4, 5.0), (0, 2.0)]);
+    }
+
+    #[test]
+    fn top_k_reuses_the_buffer_without_reallocating() {
+        let scores: Vec<f64> = (0..256).map(|i| (i as f64 * 0.913).sin()).collect();
+        let mut out = Vec::new();
+        top_k_select(&scores, 8, &mut out);
+        let cap = out.capacity();
+        for _ in 0..10 {
+            top_k_select(&scores, 8, &mut out);
+        }
+        assert_eq!(out.capacity(), cap, "warm buffer must not grow");
+        assert_eq!(out, brute_top_k(&scores, 8));
+    }
+
+    #[test]
+    fn top_k_handles_degenerate_inputs() {
+        let mut out = vec![(9, 9.0)];
+        top_k_select(&[], 5, &mut out);
+        assert!(out.is_empty());
+        top_k_select(&[3.0], 0, &mut out);
+        assert!(out.is_empty());
+        // NaNs rank deterministically (total_cmp: NaN > +inf on the
+        // positive side), never panicking the comparator.
+        let with_nan = [1.0, f64::NAN, 2.0, f64::NAN];
+        top_k_select(&with_nan, 4, &mut out);
+        assert_eq!(out.len(), 4);
+        // NaN != NaN under `==`, so compare (index, bit pattern) pairs.
+        let got: Vec<(u32, u64)> = out.iter().map(|&(i, s)| (i, s.to_bits())).collect();
+        let want: Vec<(u32, u64)> = brute_top_k(&with_nan, 4)
+            .iter()
+            .map(|&(i, s)| (i, s.to_bits()))
+            .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

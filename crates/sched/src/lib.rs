@@ -714,6 +714,103 @@ pub fn parallel_reduce_with<S, F>(
     }
 }
 
+/// A growable set of detached-until-joined worker threads with
+/// incremental reaping — the connection-thread registry of a long-lived
+/// server, where [`Background`]'s one-thread/FIFO shape does not fit.
+///
+/// A server accepts connections for as long as it runs; each gets its
+/// own thread, and finished threads must be *joined* (not leaked) without
+/// blocking the accept loop on the still-running ones. [`ThreadSet::reap`]
+/// joins exactly the threads that have already exited — called once per
+/// accept-loop turn it keeps the set's size proportional to the number of
+/// *live* connections — and [`ThreadSet::join_all`] drains everything at
+/// shutdown. Worker panics are counted, never propagated: one misbehaving
+/// connection must not take the listener down.
+///
+/// ```
+/// use ptucker_sched::ThreadSet;
+///
+/// let mut set = ThreadSet::new();
+/// for i in 0..4 {
+///     set.spawn(move || { let _ = i * i; });
+/// }
+/// let panicked = set.join_all();
+/// assert_eq!(panicked, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct ThreadSet {
+    handles: Vec<std::thread::JoinHandle<()>>,
+    panicked: usize,
+}
+
+impl ThreadSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns `f` on a new thread tracked by this set.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&mut self, f: F) {
+        self.handles.push(std::thread::spawn(f));
+    }
+
+    /// Number of threads not yet joined (running or finished-but-unreaped).
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True when every spawned thread has been joined.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Joins every thread that has already finished, without blocking on
+    /// the ones still running. Returns how many were reaped. Panicked
+    /// workers are absorbed into [`ThreadSet::panics`].
+    pub fn reap(&mut self) -> usize {
+        let before = self.handles.len();
+        let mut i = 0;
+        while i < self.handles.len() {
+            if self.handles[i].is_finished() {
+                if self.handles.swap_remove(i).join().is_err() {
+                    self.panicked += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        before - self.handles.len()
+    }
+
+    /// Blocks until every tracked thread has exited and joins them all.
+    /// Returns the total panic count observed over the set's lifetime.
+    pub fn join_all(mut self) -> usize {
+        self.drain();
+        self.panicked
+    }
+
+    /// Total workers that exited by panicking, across all reaps so far.
+    pub fn panics(&self) -> usize {
+        self.panicked
+    }
+
+    fn drain(&mut self) {
+        for h in self.handles.drain(..) {
+            if h.join().is_err() {
+                self.panicked += 1;
+            }
+        }
+    }
+}
+
+impl Drop for ThreadSet {
+    /// Joins any threads still tracked, so dropping the set cannot leak
+    /// running workers past their owner.
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1144,5 +1241,51 @@ mod tests {
         );
         assert_eq!(a, b);
         assert_eq!(a, 5000u64 * 4999 / 2);
+    }
+
+    #[test]
+    fn thread_set_joins_all_and_observes_effects() {
+        let counter = std::sync::Arc::new(AtomicU64::new(0));
+        let mut set = ThreadSet::new();
+        for _ in 0..8 {
+            let counter = counter.clone();
+            set.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(set.join_all(), 0);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn thread_set_reaps_finished_without_blocking_on_live() {
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let mut set = ThreadSet::new();
+        // One thread parked on the channel, three that exit immediately.
+        set.spawn(move || {
+            let _ = rx.recv();
+        });
+        for _ in 0..3 {
+            set.spawn(|| {});
+        }
+        // The quick threads finish; reap must collect exactly those.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut reaped = 0;
+        while reaped < 3 && std::time::Instant::now() < deadline {
+            reaped += set.reap();
+            std::thread::yield_now();
+        }
+        assert_eq!(reaped, 3);
+        assert_eq!(set.len(), 1, "the parked thread must still be tracked");
+        tx.send(()).unwrap();
+        assert_eq!(set.join_all(), 0);
+    }
+
+    #[test]
+    fn thread_set_counts_panics_instead_of_propagating() {
+        let mut set = ThreadSet::new();
+        set.spawn(|| panic!("worker blew up"));
+        set.spawn(|| {});
+        assert_eq!(set.join_all(), 1);
     }
 }

@@ -1,0 +1,271 @@
+//! The blocking query client.
+//!
+//! [`Client::connect`] opens a session (Unix socket + `Hello`/`Welcome`
+//! handshake) and caches the served model's shape; the query methods
+//! then map one-to-one onto the protocol's request messages. Replies
+//! are matched to requests by id; an `Error` reply surfaces as
+//! [`ServeError::Query`] and leaves the session usable, exactly
+//! mirroring the server's failure policy.
+
+use crate::protocol::{self, QueryMessage, PROTOCOL_VERSION};
+use crate::{Result, ServeError};
+use ptucker::StoragePrecision;
+use ptucker_transport::{ByteCounters, Channel, FaultInjector};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One query session against a [`crate::server`] instance.
+#[derive(Debug)]
+pub struct Client {
+    chan: Channel<UnixStream, UnixStream>,
+    next_id: u64,
+    epoch: u64,
+    dims: Vec<usize>,
+    ranks: Vec<usize>,
+    precision: StoragePrecision,
+}
+
+impl Client {
+    /// Connects to the server socket at `path` and performs the
+    /// `Hello`/`Welcome` handshake.
+    ///
+    /// # Errors
+    /// Connection failures, a version mismatch, or a handshake that the
+    /// server rejected.
+    pub fn connect(path: &Path) -> Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        let mut chan = Channel::new(reader, stream);
+        protocol::send(
+            &mut chan,
+            &QueryMessage::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        match protocol::recv(&mut chan)? {
+            QueryMessage::Welcome {
+                version,
+                epoch,
+                dims,
+                ranks,
+                precision,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ServeError::Protocol(format!(
+                        "server speaks protocol {version}, this client speaks {PROTOCOL_VERSION}"
+                    )));
+                }
+                Ok(Client {
+                    chan,
+                    next_id: 1,
+                    epoch,
+                    dims: dims.iter().map(|&d| d as usize).collect(),
+                    ranks: ranks.iter().map(|&r| r as usize).collect(),
+                    precision,
+                })
+            }
+            QueryMessage::Error { message, .. } => Err(ServeError::Query(message)),
+            other => Err(ServeError::Protocol(format!(
+                "expected Welcome, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Tensor dimensionalities of the served model (as of the last
+    /// `Welcome`; refresh with [`Client::info`]).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Tucker ranks of the served model.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Tensor order `N`.
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Storage precision of the server's scoring sweep.
+    pub fn precision(&self) -> StoragePrecision {
+        self.precision
+    }
+
+    /// Snapshot epoch of the most recent reply — how a caller detects
+    /// that a refit was published between two queries.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Shared handles to the session's sent/received byte totals.
+    pub fn counters(&self) -> ByteCounters {
+        self.chan.counters()
+    }
+
+    /// Installs transport fault injection on this session (adversarial
+    /// tests; see [`protocol::parse_fault_spec`] for spec strings).
+    pub fn inject_faults(&mut self, faults: FaultInjector) {
+        self.chan.inject_faults(faults);
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn request(&mut self, msg: &QueryMessage) -> Result<QueryMessage> {
+        protocol::send(&mut self.chan, msg)?;
+        match protocol::recv(&mut self.chan)? {
+            QueryMessage::Error { message, .. } => Err(ServeError::Query(message)),
+            reply => Ok(reply),
+        }
+    }
+
+    fn check_id(&self, got: u64, want: u64) -> Result<()> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(ServeError::Protocol(format!(
+                "reply id {got} does not match request id {want}"
+            )))
+        }
+    }
+
+    /// Reconstructs one entry: `x̂(index)`. The result is bitwise the
+    /// value [`ptucker::Predictor::predict`] computes locally on the
+    /// same snapshot.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ServeError::Query`] if the server
+    /// rejects the index.
+    pub fn point(&mut self, index: &[usize]) -> Result<f64> {
+        let values = self.point_batch(index)?;
+        values
+            .first()
+            .copied()
+            .ok_or_else(|| ServeError::Protocol("empty point reply".into()))
+    }
+
+    /// Reconstructs a batch of entries: `flat` holds `N` coordinates per
+    /// entry, answers arrive in request order.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ServeError::Query`] on a rejected batch
+    /// (the whole batch is rejected atomically).
+    pub fn point_batch(&mut self, flat: &[usize]) -> Result<Vec<f64>> {
+        let id = self.fresh_id();
+        let reply = self.request(&QueryMessage::Point {
+            id,
+            indices: flat.iter().map(|&i| i as u64).collect(),
+        })?;
+        match reply {
+            QueryMessage::PointReply {
+                id: rid,
+                epoch,
+                values,
+            } => {
+                self.check_id(rid, id)?;
+                self.epoch = epoch;
+                Ok(values)
+            }
+            other => Err(ServeError::Protocol(format!(
+                "expected PointReply, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Ranks the rows of `mode` for one context (the other `N−1`
+    /// coordinates, ascending mode order with `mode` skipped) and
+    /// returns the top `k` as `(row, score)` — descending score,
+    /// ascending row on ties, clamped to the mode's row count.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ServeError::Query`] on a rejected query.
+    pub fn top_k(&mut self, mode: usize, others: &[usize], k: usize) -> Result<Vec<(u32, f64)>> {
+        let (_, items) = self.top_k_batch(mode, others, 1, k)?;
+        Ok(items)
+    }
+
+    /// Ranks the rows of `mode` for `queries` contexts in one request:
+    /// `flat_others` holds `N−1` coordinates per context. Returns the
+    /// effective K and the concatenated `(row, score)` items — each
+    /// context owns the next `K` items in request order.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ServeError::Query`] on a rejected batch.
+    pub fn top_k_batch(
+        &mut self,
+        mode: usize,
+        flat_others: &[usize],
+        queries: usize,
+        k: usize,
+    ) -> Result<(usize, Vec<(u32, f64)>)> {
+        let id = self.fresh_id();
+        let reply = self.request(&QueryMessage::TopK {
+            id,
+            mode: u32::try_from(mode)
+                .map_err(|_| ServeError::Protocol(format!("mode {mode} exceeds u32")))?,
+            k: u32::try_from(k).unwrap_or(u32::MAX),
+            queries: u32::try_from(queries)
+                .map_err(|_| ServeError::Protocol(format!("{queries} queries exceed u32")))?,
+            others: flat_others.iter().map(|&i| i as u64).collect(),
+        })?;
+        match reply {
+            QueryMessage::TopKReply {
+                id: rid,
+                epoch,
+                k,
+                items,
+            } => {
+                self.check_id(rid, id)?;
+                self.epoch = epoch;
+                Ok((k as usize, items))
+            }
+            other => Err(ServeError::Protocol(format!(
+                "expected TopKReply, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Refreshes the cached model shape and epoch from a fresh `Welcome`
+    /// and returns the epoch — how a long-lived client observes a
+    /// publish without issuing a query.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn info(&mut self) -> Result<u64> {
+        let id = self.fresh_id();
+        match self.request(&QueryMessage::Info { id })? {
+            QueryMessage::Welcome {
+                epoch,
+                dims,
+                ranks,
+                precision,
+                ..
+            } => {
+                self.epoch = epoch;
+                self.dims = dims.iter().map(|&d| d as usize).collect();
+                self.ranks = ranks.iter().map(|&r| r as usize).collect();
+                self.precision = precision;
+                Ok(epoch)
+            }
+            other => Err(ServeError::Protocol(format!(
+                "expected Welcome, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Ends the session cleanly.
+    ///
+    /// # Errors
+    /// Transport failures flushing the goodbye.
+    pub fn goodbye(mut self) -> Result<()> {
+        protocol::send(&mut self.chan, &QueryMessage::Goodbye)
+    }
+}

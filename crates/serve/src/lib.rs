@@ -1,0 +1,98 @@
+//! Factor-serving read path for fitted P-Tucker models.
+//!
+//! The fit engine produces a [`ptucker::TuckerDecomposition`]; this crate
+//! turns one into a live query service. Three layers, mirroring the
+//! sharded-fit stack it shares its wire layer with:
+//!
+//! * **framing** — [`ptucker_transport`]: length-prefixed, checksummed
+//!   frames over a Unix socket, with byte accounting and the
+//!   fault-injection seam;
+//! * **messages** — [`protocol`]: the nine-message query family
+//!   (`Hello`/`Welcome` handshake, batched `Point` and `TopK` requests
+//!   with their replies, `Info`, `Goodbye`, `Error`);
+//! * **service** — [`server`]: a listener that accepts Unix-socket (and
+//!   in-process thread) clients and answers queries from per-connection
+//!   worker threads, each owning a scratch arena so the steady-state
+//!   query path performs **zero heap allocation**; [`client`]: the
+//!   matching blocking client.
+//!
+//! Refits publish a new model through
+//! [`ServeHandle::publish`](server::ServeHandle::publish): an
+//! epoch-stamped snapshot swap that in-flight queries observe atomically
+//! — a reader sees the old model or the new one, never a mix — without
+//! taking a lock on the steady-state query path.
+//!
+//! ```no_run
+//! use ptucker::{Predictor, TuckerDecomposition};
+//! use ptucker_serve::{serve, Client, ServeOptions};
+//! use std::path::Path;
+//!
+//! let model = TuckerDecomposition::load(Path::new("model.ptm"))?;
+//! let handle = serve(
+//!     Path::new("/tmp/ptucker.sock"),
+//!     Predictor::new(model)?,
+//!     ServeOptions::default(),
+//! )?;
+//! let mut client = Client::connect(Path::new("/tmp/ptucker.sock"))?;
+//! let value = client.point(&[3, 1, 4])?;
+//! let top = client.top_k(0, &[1, 4], 10)?;
+//! # let _ = (value, top);
+//! handle.shutdown()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{QueryMessage, PROTOCOL_VERSION};
+pub use server::{serve, ServeHandle, ServeOptions, ServeStats};
+
+/// Errors produced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A transport-level failure: socket I/O, a torn or corrupt frame,
+    /// or a peer that disconnected mid-stream.
+    Io(std::io::Error),
+    /// A decodable frame whose body violates the query protocol —
+    /// unknown tag, malformed payload, or a version mismatch.
+    Protocol(String),
+    /// A semantic rejection reported by the server as an `Error` reply
+    /// (bad index arity, out-of-range coordinate, unknown mode, …). The
+    /// connection stays usable after one of these.
+    Query(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve transport failure: {e}"),
+            ServeError::Protocol(msg) => write!(f, "serve protocol violation: {msg}"),
+            ServeError::Query(msg) => write!(f, "query rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Protocol(_) | ServeError::Query(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

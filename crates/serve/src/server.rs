@@ -1,0 +1,924 @@
+//! The query server: listener → per-connection workers → snapshot slot.
+//!
+//! [`serve`] binds a Unix socket and returns a [`ServeHandle`]. A
+//! non-blocking listener thread accepts connections and hands each to a
+//! worker thread (tracked by a [`ptucker_sched::ThreadSet`], so panics
+//! are contained and counted). Each worker owns one `QueryScratch` —
+//! every buffer a query needs, reused across requests — which is what
+//! keeps the steady-state query path **allocation-free**: frames land in
+//! a reused payload buffer ([`Channel::recv_frame_into`]), requests are
+//! decoded into reused index buffers, the δ/score/top-K compute runs
+//! entirely in caller-owned slices through [`ptucker::Predictor`], and
+//! replies are encoded into a reused output buffer.
+//!
+//! # Snapshot publish
+//!
+//! The live model is an `Arc<Predictor>` in a mutex-guarded slot next to
+//! an atomic **epoch**. [`ServeHandle::publish`] swaps the slot and bumps
+//! the epoch under the mutex; workers keep a local clone of the `Arc`
+//! and re-read the slot only when they observe an epoch change — so the
+//! steady state takes no lock and the slot mutex is touched once per
+//! publish per worker. A worker answers every request from whichever
+//! snapshot it holds when the request arrives: old model or new model,
+//! never a mix, and every reply names the epoch it was answered from.
+//!
+//! # Failure policy
+//!
+//! * Semantic rejections (bad arity, out-of-range index, unknown mode)
+//!   get an `Error` reply; the connection stays open.
+//! * A corrupt frame (checksum mismatch) or torn stream closes that one
+//!   connection; other clients are unaffected.
+//! * A version-mismatch `Hello` gets an `Error` reply, then the
+//!   connection closes.
+//! * Worker panics are absorbed by the thread set and surface in
+//!   [`ServeStats::worker_panics`]; the listener keeps accepting.
+
+use crate::protocol::{
+    self, decode_point_into, decode_topk_into, encode_error_into, encode_point_reply_into,
+    encode_topk_reply_into, encode_welcome_into, PROTOCOL_VERSION, TAG_ERROR, TAG_GOODBYE,
+    TAG_HELLO, TAG_INFO, TAG_POINT, TAG_POINT_REPLY, TAG_TOPK, TAG_TOPK_REPLY, TAG_WELCOME,
+};
+use crate::{Client, Result, ServeError};
+use ptucker::Predictor;
+use ptucker_linalg::kernels::top_k_select;
+use ptucker_sched::ThreadSet;
+use ptucker_transport::Channel;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Poll interval for the accept loop and for each worker's read
+    /// timeout — the upper bound on how long shutdown takes to observe.
+    pub poll: Duration,
+    /// Fault-injection spec installed on every accepted connection's
+    /// transport (see [`protocol::parse_fault_spec`]); test/chaos
+    /// tooling only. `None` in production.
+    pub fault: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            poll: Duration::from_millis(25),
+            fault: None,
+        }
+    }
+}
+
+/// A snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// `Point` requests answered (batches, not entries).
+    pub point_requests: u64,
+    /// `TopK` requests answered (batches, not contexts).
+    pub topk_requests: u64,
+    /// `Info` requests answered.
+    pub info_requests: u64,
+    /// `Error` replies sent (semantic rejections and bad handshakes).
+    pub error_replies: u64,
+    /// Models published, the initial one included.
+    pub publishes: u64,
+    /// Worker threads that panicked (always `0` unless a kernel
+    /// invariant was violated; the server keeps serving regardless).
+    pub worker_panics: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    point_requests: AtomicU64,
+    topk_requests: AtomicU64,
+    info_requests: AtomicU64,
+    error_replies: AtomicU64,
+    publishes: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+/// State shared by the handle, the listener and every worker.
+#[derive(Debug)]
+struct Shared {
+    /// The live model. Swapped whole under the mutex; workers hold local
+    /// `Arc` clones and only touch the mutex on an epoch change.
+    slot: Mutex<Arc<Predictor>>,
+    /// Bumped (under the slot mutex) by every publish; read lock-free by
+    /// workers to detect that their local snapshot is stale.
+    epoch: AtomicU64,
+    stop: AtomicBool,
+    stats: Counters,
+}
+
+impl Shared {
+    /// A consistent `(model, epoch)` pair — both read under the slot
+    /// mutex, so a concurrent publish is seen entirely or not at all.
+    fn snapshot(&self) -> (Arc<Predictor>, u64) {
+        let g = self.slot.lock().expect("snapshot slot");
+        let p = Arc::clone(&g);
+        let e = self.epoch.load(Ordering::Acquire);
+        (p, e)
+    }
+}
+
+/// Handle to a running server: publish refits, read stats, shut down.
+/// Dropping the handle shuts the server down and joins its threads.
+#[derive(Debug)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    threads: Option<ThreadSet>,
+    path: PathBuf,
+}
+
+/// Starts serving `predictor` on a Unix socket at `path` (any stale
+/// socket file there is replaced). Returns immediately; queries are
+/// answered on background threads until [`ServeHandle::shutdown`] (or
+/// drop).
+///
+/// # Errors
+/// Socket binding failures, or a malformed `fault` spec in `opts`.
+pub fn serve(path: &Path, predictor: Predictor, opts: ServeOptions) -> Result<ServeHandle> {
+    if let Some(spec) = &opts.fault {
+        protocol::parse_fault_spec(spec).map_err(ServeError::Protocol)?;
+    }
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        slot: Mutex::new(Arc::new(predictor)),
+        epoch: AtomicU64::new(1),
+        stop: AtomicBool::new(false),
+        stats: Counters::default(),
+    });
+    shared.stats.publishes.fetch_add(1, Ordering::Relaxed);
+    let mut threads = ThreadSet::new();
+    {
+        let shared = Arc::clone(&shared);
+        threads.spawn(move || listen(listener, shared, opts));
+    }
+    Ok(ServeHandle {
+        shared,
+        threads: Some(threads),
+        path: path.to_path_buf(),
+    })
+}
+
+impl ServeHandle {
+    /// The socket path clients connect to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Opens a new in-process client session against this server.
+    ///
+    /// # Errors
+    /// Connection or handshake failures.
+    pub fn connect(&self) -> Result<Client> {
+        Client::connect(&self.path)
+    }
+
+    /// The current snapshot epoch (starts at 1 for the model passed to
+    /// [`serve`]).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes a refit model: every request that arrives after this
+    /// returns is answered from `predictor` (requests in flight finish
+    /// on the snapshot they started with). Returns the new epoch.
+    pub fn publish(&self, predictor: Predictor) -> u64 {
+        let next = Arc::new(predictor);
+        let mut g = self.shared.slot.lock().expect("publish slot");
+        *g = next;
+        let e = self.shared.epoch.load(Ordering::Relaxed) + 1;
+        self.shared.epoch.store(e, Ordering::Release);
+        drop(g);
+        self.shared.stats.publishes.fetch_add(1, Ordering::Relaxed);
+        e
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.stats;
+        ServeStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            point_requests: c.point_requests.load(Ordering::Relaxed),
+            topk_requests: c.topk_requests.load(Ordering::Relaxed),
+            info_requests: c.info_requests.load(Ordering::Relaxed),
+            error_replies: c.error_replies.load(Ordering::Relaxed),
+            publishes: c.publishes.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, drains every worker, removes the socket file and
+    /// returns the final counters.
+    ///
+    /// # Errors
+    /// None today; the signature reserves the right.
+    pub fn shutdown(mut self) -> Result<ServeStats> {
+        self.stop_and_join();
+        Ok(self.stats())
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(threads) = self.threads.take() {
+            let panics = threads.join_all();
+            self.shared
+                .stats
+                .worker_panics
+                .fetch_add(panics as u64, Ordering::Relaxed);
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn listen(listener: UnixListener, shared: Arc<Shared>, opts: ServeOptions) {
+    let mut workers = ThreadSet::new();
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                let opts = opts.clone();
+                workers.spawn(move || connection(stream, &shared, &opts));
+                workers.reap();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                workers.reap();
+                std::thread::sleep(opts.poll);
+            }
+            Err(_) => break,
+        }
+    }
+    let panics = workers.join_all();
+    shared
+        .stats
+        .worker_panics
+        .fetch_add(panics as u64, Ordering::Relaxed);
+}
+
+/// One client session: handshake, then answer queries until the peer
+/// says goodbye, disconnects, corrupts the stream, or the server stops.
+fn connection(stream: UnixStream, shared: &Shared, opts: &ServeOptions) {
+    let reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut chan = Channel::new(reader, stream);
+    if chan.set_read_timeout(Some(opts.poll)).is_err() {
+        return;
+    }
+    if let Some(spec) = &opts.fault {
+        // Validated in `serve`; a fresh injector per connection so each
+        // session sees the full rule table.
+        if let Ok(inj) = protocol::parse_fault_spec(spec) {
+            chan.inject_faults(inj);
+        }
+    }
+    let mut scratch = QueryScratch::default();
+    let (mut predictor, mut epoch) = shared.snapshot();
+    scratch.rebind(&predictor);
+
+    // Handshake: the first frame must be a compatible Hello.
+    match recv_polling(&mut chan, &mut scratch.payload, shared) {
+        Some(TAG_HELLO) => {
+            let version = scratch
+                .payload
+                .get(..4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4B")));
+            if version != Some(PROTOCOL_VERSION) {
+                shared.stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                encode_error_into(
+                    &mut scratch.out,
+                    0,
+                    &format!(
+                        "protocol version mismatch (server speaks {PROTOCOL_VERSION}, client sent {version:?})"
+                    ),
+                );
+                let _ = chan.send_frame(TAG_ERROR, &scratch.out);
+                return;
+            }
+            encode_welcome_into(
+                &mut scratch.out,
+                PROTOCOL_VERSION,
+                epoch,
+                &scratch.dims,
+                &scratch.ranks,
+                predictor.precision(),
+            );
+            if chan.send_frame(TAG_WELCOME, &scratch.out).is_err() {
+                return;
+            }
+        }
+        Some(_) => {
+            shared.stats.error_replies.fetch_add(1, Ordering::Relaxed);
+            encode_error_into(&mut scratch.out, 0, "expected Hello to open the session");
+            let _ = chan.send_frame(TAG_ERROR, &scratch.out);
+            return;
+        }
+        None => return,
+    }
+
+    loop {
+        let tag = match recv_polling(&mut chan, &mut scratch.payload, shared) {
+            Some(tag) => tag,
+            None => return,
+        };
+        // Refresh the snapshot if a publish happened since the last
+        // request — the only time a worker touches the slot mutex.
+        if shared.epoch.load(Ordering::Acquire) != epoch {
+            let (p, e) = shared.snapshot();
+            predictor = p;
+            epoch = e;
+            scratch.rebind(&predictor);
+        }
+        match answer(&predictor, epoch, tag, &mut scratch) {
+            Outcome::Reply(reply_tag) => {
+                count_reply(shared, tag, reply_tag);
+                if chan.send_frame(reply_tag, &scratch.out).is_err() {
+                    return;
+                }
+            }
+            Outcome::FinalReply(reply_tag) => {
+                count_reply(shared, tag, reply_tag);
+                let _ = chan.send_frame(reply_tag, &scratch.out);
+                return;
+            }
+            Outcome::Close => return,
+        }
+    }
+}
+
+fn count_reply(shared: &Shared, request_tag: u8, reply_tag: u8) {
+    let c = &shared.stats;
+    if reply_tag == TAG_ERROR {
+        c.error_replies.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    match request_tag {
+        TAG_POINT => c.point_requests.fetch_add(1, Ordering::Relaxed),
+        TAG_TOPK => c.topk_requests.fetch_add(1, Ordering::Relaxed),
+        TAG_INFO => c.info_requests.fetch_add(1, Ordering::Relaxed),
+        _ => 0,
+    };
+}
+
+/// Receives one frame into `payload`, treating read timeouts as "check
+/// the stop flag and keep waiting". `None` means the session is over:
+/// the peer closed or corrupted the stream, or the server is stopping.
+fn recv_polling<R: io::Read, W: io::Write>(
+    chan: &mut Channel<R, W>,
+    payload: &mut Vec<u8>,
+    shared: &Shared,
+) -> Option<u8> {
+    loop {
+        match chan.recv_frame_into(payload) {
+            Ok(tag) => return Some(tag),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stop.load(Ordering::Acquire) {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Per-worker scratch arena: every buffer the query path needs, reused
+/// across requests so the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct QueryScratch {
+    /// Incoming frame payload ([`Channel::recv_frame_into`] target).
+    pub(crate) payload: Vec<u8>,
+    /// Outgoing reply payload.
+    pub(crate) out: Vec<u8>,
+    /// Decoded flat indices of a `Point` batch.
+    idx: Vec<u64>,
+    /// Decoded flat contexts of a `TopK` batch.
+    others: Vec<u64>,
+    /// One full entry index, handed to [`Predictor::predict`].
+    entry: Vec<usize>,
+    /// One context in kernel form, handed to [`Predictor::scores_into`].
+    others_u32: Vec<u32>,
+    /// δ accumulator (`J_mode`).
+    delta: Vec<f64>,
+    /// Candidate scores (`I_mode`).
+    scores: Vec<f64>,
+    /// Point-batch results.
+    values: Vec<f64>,
+    /// One context's ranked rows.
+    topk: Vec<(u32, f64)>,
+    /// The whole batch's ranked rows, reply order.
+    items: Vec<(u32, f64)>,
+    /// Model shape, re-derived on snapshot changes so the hot path
+    /// never calls the allocating [`Predictor::dims`]/[`Predictor::ranks`].
+    dims: Vec<usize>,
+    ranks: Vec<usize>,
+}
+
+impl QueryScratch {
+    /// Re-derives the cached model shape; called once per snapshot, not
+    /// per query.
+    fn rebind(&mut self, predictor: &Predictor) {
+        self.dims.clear();
+        self.dims.extend(predictor.dims());
+        self.ranks.clear();
+        self.ranks.extend(predictor.ranks());
+    }
+
+    /// Capacities of every buffer, for allocation-stability tests.
+    #[cfg(test)]
+    fn capacities(&self) -> [usize; 13] {
+        [
+            self.payload.capacity(),
+            self.out.capacity(),
+            self.idx.capacity(),
+            self.others.capacity(),
+            self.entry.capacity(),
+            self.others_u32.capacity(),
+            self.delta.capacity(),
+            self.scores.capacity(),
+            self.values.capacity(),
+            self.topk.capacity(),
+            self.items.capacity(),
+            self.dims.capacity(),
+            self.ranks.capacity(),
+        ]
+    }
+}
+
+/// What the session loop should do with the reply in `scratch.out`.
+pub(crate) enum Outcome {
+    /// Send it; keep the session open.
+    Reply(u8),
+    /// Send it; then close (handshake violations, malformed payloads).
+    FinalReply(u8),
+    /// Close with nothing to send (`Goodbye`).
+    Close,
+}
+
+/// Answers one already-received request (tag + `scratch.payload`) from
+/// `predictor`, encoding the reply into `scratch.out`. Socket-free, so
+/// tests can drive the exact production query path without a server.
+pub(crate) fn answer(
+    predictor: &Predictor,
+    epoch: u64,
+    tag: u8,
+    scratch: &mut QueryScratch,
+) -> Outcome {
+    match tag {
+        TAG_POINT => answer_point(predictor, epoch, scratch),
+        TAG_TOPK => answer_topk(predictor, epoch, scratch),
+        TAG_INFO => {
+            if scratch.payload.len() != 8 {
+                encode_error_into(&mut scratch.out, 0, "malformed Info payload");
+                return Outcome::FinalReply(TAG_ERROR);
+            }
+            encode_welcome_into(
+                &mut scratch.out,
+                PROTOCOL_VERSION,
+                epoch,
+                &scratch.dims,
+                &scratch.ranks,
+                predictor.precision(),
+            );
+            Outcome::Reply(TAG_WELCOME)
+        }
+        TAG_GOODBYE => Outcome::Close,
+        TAG_HELLO => {
+            encode_error_into(&mut scratch.out, 0, "unexpected Hello mid-session");
+            Outcome::Reply(TAG_ERROR)
+        }
+        t => {
+            encode_error_into(&mut scratch.out, 0, &format!("unsupported request tag {t}"));
+            Outcome::Reply(TAG_ERROR)
+        }
+    }
+}
+
+fn answer_point(predictor: &Predictor, epoch: u64, scratch: &mut QueryScratch) -> Outcome {
+    let id = match decode_point_into(&scratch.payload, &mut scratch.idx) {
+        Ok(id) => id,
+        Err(e) => {
+            encode_error_into(&mut scratch.out, 0, &format!("malformed Point: {e}"));
+            return Outcome::FinalReply(TAG_ERROR);
+        }
+    };
+    let order = scratch.dims.len();
+    if !scratch.idx.len().is_multiple_of(order) {
+        encode_error_into(
+            &mut scratch.out,
+            id,
+            &format!(
+                "point batch of {} coordinates is not a multiple of the order {order}",
+                scratch.idx.len()
+            ),
+        );
+        return Outcome::Reply(TAG_ERROR);
+    }
+    scratch.values.clear();
+    for entry in scratch.idx.chunks_exact(order) {
+        scratch.entry.clear();
+        for (n, &raw) in entry.iter().enumerate() {
+            match usize::try_from(raw).ok().filter(|&i| i < scratch.dims[n]) {
+                Some(i) => scratch.entry.push(i),
+                None => {
+                    encode_error_into(
+                        &mut scratch.out,
+                        id,
+                        &format!(
+                            "index {raw} out of range for mode {n} (dim {})",
+                            scratch.dims[n]
+                        ),
+                    );
+                    return Outcome::Reply(TAG_ERROR);
+                }
+            }
+        }
+        scratch.values.push(predictor.predict(&scratch.entry));
+    }
+    encode_point_reply_into(&mut scratch.out, id, epoch, &scratch.values);
+    Outcome::Reply(TAG_POINT_REPLY)
+}
+
+fn answer_topk(predictor: &Predictor, epoch: u64, scratch: &mut QueryScratch) -> Outcome {
+    let h = match decode_topk_into(&scratch.payload, &mut scratch.others) {
+        Ok(h) => h,
+        Err(e) => {
+            encode_error_into(&mut scratch.out, 0, &format!("malformed TopK: {e}"));
+            return Outcome::FinalReply(TAG_ERROR);
+        }
+    };
+    let order = scratch.dims.len();
+    let mode = h.mode as usize;
+    if mode >= order {
+        encode_error_into(
+            &mut scratch.out,
+            h.id,
+            &format!("mode {mode} out of range for an order-{order} model"),
+        );
+        return Outcome::Reply(TAG_ERROR);
+    }
+    let per_query = order - 1;
+    if scratch.others.len() != h.queries as usize * per_query {
+        encode_error_into(
+            &mut scratch.out,
+            h.id,
+            &format!(
+                "{} context coordinates do not match {} queries of {per_query}",
+                scratch.others.len(),
+                h.queries
+            ),
+        );
+        return Outcome::Reply(TAG_ERROR);
+    }
+    let kk = (h.k as usize).min(scratch.dims[mode]);
+    scratch.delta.clear();
+    scratch.delta.resize(scratch.ranks[mode], 0.0);
+    scratch.scores.clear();
+    scratch.scores.resize(scratch.dims[mode], 0.0);
+    scratch.items.clear();
+    for q in 0..h.queries as usize {
+        scratch.others_u32.clear();
+        let ctx = &scratch.others[q * per_query..(q + 1) * per_query];
+        for (slot, n) in (0..order).filter(|&n| n != mode).enumerate() {
+            let raw = ctx[slot];
+            match u32::try_from(raw)
+                .ok()
+                .filter(|&i| (i as usize) < scratch.dims[n])
+            {
+                Some(i) => scratch.others_u32.push(i),
+                None => {
+                    encode_error_into(
+                        &mut scratch.out,
+                        h.id,
+                        &format!(
+                            "context index {raw} out of range for mode {n} (dim {})",
+                            scratch.dims[n]
+                        ),
+                    );
+                    return Outcome::Reply(TAG_ERROR);
+                }
+            }
+        }
+        predictor.scores_into(
+            &scratch.others_u32,
+            mode,
+            &mut scratch.delta,
+            &mut scratch.scores,
+        );
+        top_k_select(&scratch.scores, kk, &mut scratch.topk);
+        scratch.items.extend_from_slice(&scratch.topk);
+    }
+    encode_topk_reply_into(&mut scratch.out, h.id, epoch, kk as u32, &scratch.items);
+    Outcome::Reply(TAG_TOPK_REPLY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::QueryMessage;
+    use ptucker::TuckerDecomposition;
+    use ptucker_linalg::Matrix;
+    use ptucker_tensor::CoreTensor;
+
+    fn model(dims: &[usize], ranks: &[usize], seed: u64) -> TuckerDecomposition {
+        // Deterministic pseudo-random values without an RNG dependency.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let factors = dims
+            .iter()
+            .zip(ranks)
+            .map(|(&i_n, &j_n)| {
+                Matrix::from_vec(i_n, j_n, (0..i_n * j_n).map(|_| next()).collect()).unwrap()
+            })
+            .collect();
+        let core = CoreTensor::dense_from_fn(ranks.to_vec(), |_| next()).unwrap();
+        TuckerDecomposition { factors, core }
+    }
+
+    fn predictor(dims: &[usize], ranks: &[usize], seed: u64) -> Predictor {
+        Predictor::new(model(dims, ranks, seed)).unwrap()
+    }
+
+    fn load_request(scratch: &mut QueryScratch, msg: &QueryMessage) -> u8 {
+        let (tag, payload) = msg.encode();
+        scratch.payload.clear();
+        scratch.payload.extend_from_slice(&payload);
+        tag
+    }
+
+    fn sock(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ptk-serve-{}-{name}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn the_query_hot_path_reuses_its_scratch() {
+        let p = predictor(&[40, 30, 20], &[4, 3, 2], 17);
+        let mut scratch = QueryScratch::default();
+        scratch.rebind(&p);
+        let point = QueryMessage::Point {
+            id: 1,
+            indices: vec![3, 2, 1, 39, 29, 19, 0, 0, 0],
+        };
+        let topk = QueryMessage::TopK {
+            id: 2,
+            mode: 0,
+            k: 10,
+            queries: 2,
+            others: vec![5, 5, 12, 19],
+        };
+        // Warm up once, then the capacities must never move again.
+        for msg in [&point, &topk] {
+            let tag = load_request(&mut scratch, msg);
+            assert!(matches!(
+                answer(&p, 1, tag, &mut scratch),
+                Outcome::Reply(_)
+            ));
+        }
+        let caps = scratch.capacities();
+        for _ in 0..64 {
+            for msg in [&point, &topk] {
+                let tag = load_request(&mut scratch, msg);
+                assert!(matches!(
+                    answer(&p, 1, tag, &mut scratch),
+                    Outcome::Reply(_)
+                ));
+            }
+            assert_eq!(
+                scratch.capacities(),
+                caps,
+                "a warm query grew a scratch buffer"
+            );
+        }
+    }
+
+    #[test]
+    fn answer_point_matches_the_predictor_bitwise() {
+        let p = predictor(&[9, 7, 5], &[3, 2, 2], 23);
+        let mut scratch = QueryScratch::default();
+        scratch.rebind(&p);
+        let tag = load_request(
+            &mut scratch,
+            &QueryMessage::Point {
+                id: 77,
+                indices: vec![8, 6, 4, 0, 3, 2],
+            },
+        );
+        match answer(&p, 9, tag, &mut scratch) {
+            Outcome::Reply(TAG_POINT_REPLY) => {}
+            _ => panic!("expected a point reply"),
+        }
+        let reply = QueryMessage::decode(&ptucker_transport::Frame {
+            tag: TAG_POINT_REPLY,
+            payload: scratch.out.clone(),
+        })
+        .unwrap();
+        match reply {
+            QueryMessage::PointReply { id, epoch, values } => {
+                assert_eq!((id, epoch), (77, 9));
+                assert_eq!(values.len(), 2);
+                assert_eq!(values[0].to_bits(), p.predict(&[8, 6, 4]).to_bits());
+                assert_eq!(values[1].to_bits(), p.predict(&[0, 3, 2]).to_bits());
+            }
+            other => panic!("unexpected {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn semantic_rejections_keep_the_session_answerable() {
+        let p = predictor(&[6, 4], &[2, 2], 31);
+        let mut scratch = QueryScratch::default();
+        scratch.rebind(&p);
+        for bad in [
+            QueryMessage::Point {
+                id: 1,
+                indices: vec![1, 2, 3], // arity
+            },
+            QueryMessage::Point {
+                id: 2,
+                indices: vec![6, 0], // out of range
+            },
+            QueryMessage::TopK {
+                id: 3,
+                mode: 5, // unknown mode
+                k: 2,
+                queries: 1,
+                others: vec![0],
+            },
+            QueryMessage::TopK {
+                id: 4,
+                mode: 0,
+                k: 2,
+                queries: 3, // count/arity mismatch
+                others: vec![0],
+            },
+        ] {
+            let tag = load_request(&mut scratch, &bad);
+            match answer(&p, 1, tag, &mut scratch) {
+                Outcome::Reply(TAG_ERROR) => {}
+                _ => panic!("expected a recoverable Error reply for {}", bad.name()),
+            }
+        }
+        // The same scratch still answers a good query.
+        let tag = load_request(
+            &mut scratch,
+            &QueryMessage::Point {
+                id: 5,
+                indices: vec![0, 0],
+            },
+        );
+        assert!(matches!(
+            answer(&p, 1, tag, &mut scratch),
+            Outcome::Reply(TAG_POINT_REPLY)
+        ));
+    }
+
+    #[test]
+    fn k_larger_than_the_mode_is_clamped() {
+        let p = predictor(&[5, 3], &[2, 2], 41);
+        let mut scratch = QueryScratch::default();
+        scratch.rebind(&p);
+        let tag = load_request(
+            &mut scratch,
+            &QueryMessage::TopK {
+                id: 6,
+                mode: 0,
+                k: 1000,
+                queries: 1,
+                others: vec![2],
+            },
+        );
+        assert!(matches!(
+            answer(&p, 1, tag, &mut scratch),
+            Outcome::Reply(TAG_TOPK_REPLY)
+        ));
+        match QueryMessage::decode(&ptucker_transport::Frame {
+            tag: TAG_TOPK_REPLY,
+            payload: scratch.out.clone(),
+        })
+        .unwrap()
+        {
+            QueryMessage::TopKReply { k, items, .. } => {
+                assert_eq!(k, 5);
+                assert_eq!(items.len(), 5);
+            }
+            other => panic!("unexpected {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn end_to_end_over_the_socket() {
+        let path = sock("e2e");
+        let p = predictor(&[12, 8, 6], &[3, 2, 2], 47);
+        let handle = serve(&path, p.clone(), ServeOptions::default()).unwrap();
+        let mut client = handle.connect().unwrap();
+        assert_eq!(client.dims(), &[12, 8, 6]);
+        assert_eq!(client.epoch(), 1);
+
+        let got = client.point(&[11, 7, 5]).unwrap();
+        assert_eq!(got.to_bits(), p.predict(&[11, 7, 5]).to_bits());
+
+        let top = client.top_k(1, &[3, 2], 3).unwrap();
+        assert_eq!(top.len(), 3);
+        // Verify against a local exhaustive ranking.
+        let mut delta = vec![0.0; 2];
+        let mut scores = vec![0.0; 8];
+        p.scores_into(&[3, 2], 1, &mut delta, &mut scores);
+        let mut want = Vec::new();
+        top_k_select(&scores, 3, &mut want);
+        assert_eq!(top, want);
+
+        // A semantic rejection leaves the session usable.
+        assert!(matches!(
+            client.point(&[99, 0, 0]),
+            Err(ServeError::Query(_))
+        ));
+        assert!(client.point(&[0, 0, 0]).is_ok());
+
+        client.goodbye().unwrap();
+        let stats = handle.shutdown().unwrap();
+        assert_eq!(stats.connections, 1);
+        assert!(stats.point_requests >= 2);
+        assert_eq!(stats.topk_requests, 1);
+        assert_eq!(stats.error_replies, 1);
+        assert_eq!(stats.worker_panics, 0);
+        assert!(!path.exists(), "shutdown removes the socket file");
+    }
+
+    #[test]
+    fn publish_switches_the_served_model_and_epoch() {
+        let path = sock("publish");
+        let a = predictor(&[5, 4], &[2, 2], 53);
+        let b = predictor(&[5, 4], &[2, 2], 59);
+        let handle = serve(&path, a.clone(), ServeOptions::default()).unwrap();
+        let mut client = handle.connect().unwrap();
+        assert_eq!(
+            client.point(&[1, 1]).unwrap().to_bits(),
+            a.predict(&[1, 1]).to_bits()
+        );
+        assert_eq!(client.epoch(), 1);
+        assert_eq!(handle.publish(b.clone()), 2);
+        assert_eq!(
+            client.point(&[1, 1]).unwrap().to_bits(),
+            b.predict(&[1, 1]).to_bits()
+        );
+        assert_eq!(client.epoch(), 2);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_then_closed() {
+        let path = sock("version");
+        let handle = serve(
+            &path,
+            predictor(&[3, 3], &[2, 2], 61),
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let stream = UnixStream::connect(&path).unwrap();
+        let reader = stream.try_clone().unwrap();
+        let mut chan = Channel::new(reader, stream);
+        protocol::send(
+            &mut chan,
+            &QueryMessage::Hello {
+                version: PROTOCOL_VERSION + 1,
+            },
+        )
+        .unwrap();
+        match protocol::recv(&mut chan).unwrap() {
+            QueryMessage::Error { message, .. } => {
+                assert!(message.contains("version"), "{message}");
+            }
+            other => panic!("unexpected {}", other.name()),
+        }
+        // The server closed its side: the next read hits EOF.
+        assert!(chan.recv_frame().is_err());
+        handle.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,188 @@
+//! Adversarial protocol tests through the transport's fault-injection
+//! seam and raw sockets: truncated frames, flipped bits, wrong
+//! versions, absurd length prefixes and mid-stream disconnects. The
+//! server's contract under all of them: drop *that* connection at worst,
+//! keep answering everyone else, and never panic.
+
+use ptucker::{Predictor, TuckerDecomposition};
+use ptucker_linalg::Matrix;
+use ptucker_serve::protocol::{self, parse_fault_spec, QueryMessage, PROTOCOL_VERSION};
+use ptucker_serve::{serve, Client, ServeError, ServeHandle, ServeOptions};
+use ptucker_tensor::CoreTensor;
+use ptucker_transport::Channel;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+fn model() -> TuckerDecomposition {
+    let factors = vec![
+        Matrix::from_vec(4, 2, (0..8).map(|i| i as f64 * 0.25 - 1.0).collect()).unwrap(),
+        Matrix::from_vec(3, 2, (0..6).map(|i| 0.5 - i as f64 * 0.125).collect()).unwrap(),
+    ];
+    let core =
+        CoreTensor::dense_from_fn(vec![2, 2], |idx| (idx[0] + 2 * idx[1] + 1) as f64).unwrap();
+    TuckerDecomposition { factors, core }
+}
+
+fn sock(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ptk-adv-{}-{name}.sock", std::process::id()))
+}
+
+fn start(name: &str) -> ServeHandle {
+    serve(
+        &sock(name),
+        Predictor::new(model()).unwrap(),
+        ServeOptions::default(),
+    )
+    .unwrap()
+}
+
+/// The survivor check every scenario ends with: a well-behaved client
+/// opened *before* the attack still gets correct answers *after* it,
+/// a brand-new client can still connect, and no worker panicked.
+fn assert_still_serving(handle: ServeHandle, survivor: &mut Client) {
+    let p = Predictor::new(model()).unwrap();
+    let got = survivor.point(&[3, 2]).unwrap();
+    assert_eq!(got.to_bits(), p.predict(&[3, 2]).to_bits());
+    let mut fresh = handle.connect().unwrap();
+    assert_eq!(
+        fresh.point(&[0, 1]).unwrap().to_bits(),
+        p.predict(&[0, 1]).to_bits()
+    );
+    let stats = handle.shutdown().unwrap();
+    assert_eq!(stats.worker_panics, 0, "a worker panicked under attack");
+}
+
+#[test]
+fn truncated_frame_kills_only_that_connection() {
+    let handle = start("trunc");
+    let mut survivor = handle.connect().unwrap();
+    {
+        // Claim 64 body bytes, deliver 5, vanish.
+        let mut s = UnixStream::connect(handle.path()).unwrap();
+        s.write_all(&64u32.to_le_bytes()).unwrap();
+        s.write_all(b"stub!").unwrap();
+    }
+    assert_still_serving(handle, &mut survivor);
+}
+
+#[test]
+fn flipped_bit_is_detected_and_the_connection_dropped() {
+    let handle = start("bitflip");
+    let mut survivor = handle.connect().unwrap();
+    {
+        let mut victim = handle.connect().unwrap();
+        // Corrupt the first Point frame this side writes — after its
+        // checksum is computed, exactly like a torn wire.
+        victim.inject_faults(parse_fault_spec("send:point:1:corrupt").unwrap());
+        let err = victim.point(&[1, 1]).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Io(_)),
+            "the server must hang up on a corrupt frame, got {err}"
+        );
+    }
+    assert_still_serving(handle, &mut survivor);
+}
+
+#[test]
+fn wrong_version_gets_a_named_error_then_the_door() {
+    let handle = start("version");
+    let mut survivor = handle.connect().unwrap();
+    {
+        let stream = UnixStream::connect(handle.path()).unwrap();
+        let reader = stream.try_clone().unwrap();
+        let mut chan = Channel::new(reader, stream);
+        protocol::send(
+            &mut chan,
+            &QueryMessage::Hello {
+                version: PROTOCOL_VERSION + 7,
+            },
+        )
+        .unwrap();
+        match protocol::recv(&mut chan).unwrap() {
+            QueryMessage::Error { message, .. } => {
+                assert!(message.contains("version"), "{message}");
+            }
+            other => panic!("expected Error, got {}", other.name()),
+        }
+        assert!(chan.recv_frame().is_err(), "the connection must close");
+    }
+    assert_still_serving(handle, &mut survivor);
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let handle = start("oversize");
+    let mut survivor = handle.connect().unwrap();
+    {
+        // A length claiming ~4 GiB: the transport rejects it on sight
+        // instead of trying to allocate the buffer.
+        let mut s = UnixStream::connect(handle.path()).unwrap();
+        s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        s.write_all(&[0u8; 32]).unwrap();
+    }
+    assert_still_serving(handle, &mut survivor);
+}
+
+#[test]
+fn mid_stream_disconnect_after_handshake() {
+    let handle = start("disconnect");
+    let mut survivor = handle.connect().unwrap();
+    {
+        let mut victim = handle.connect().unwrap();
+        // A real query proves the session was live…
+        victim.point(&[0, 0]).unwrap();
+        // …then the peer drops mid-frame: header promising more bytes
+        // than ever arrive, then a hard close (no Goodbye).
+        drop(victim);
+    }
+    {
+        let stream = UnixStream::connect(handle.path()).unwrap();
+        let reader = stream.try_clone().unwrap();
+        let mut chan = Channel::new(reader, stream.try_clone().unwrap());
+        protocol::send(
+            &mut chan,
+            &QueryMessage::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            protocol::recv(&mut chan).unwrap(),
+            QueryMessage::Welcome { .. }
+        ));
+        let mut raw = stream;
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[3u8, 1, 2]).unwrap();
+        // Dropping both halves closes the socket mid-frame.
+    }
+    assert_still_serving(handle, &mut survivor);
+}
+
+#[test]
+fn semantic_garbage_is_rejected_but_the_session_survives() {
+    let handle = start("semantic");
+    let mut survivor = handle.connect().unwrap();
+    {
+        let mut client = handle.connect().unwrap();
+        for (index, fragment) in [
+            (vec![4usize, 0], "out of range"),
+            (vec![0usize], "order"),
+            (vec![0usize, 0, 0], "order"),
+        ] {
+            match client.point(&index) {
+                Err(ServeError::Query(msg)) => {
+                    assert!(
+                        msg.contains(fragment) || !msg.is_empty(),
+                        "unhelpful rejection: {msg}"
+                    );
+                }
+                other => panic!("expected a Query rejection, got {other:?}"),
+            }
+        }
+        // Rejections are not fatal: the same session still works.
+        client.point(&[1, 2]).unwrap();
+        client.goodbye().unwrap();
+    }
+    assert_still_serving(handle, &mut survivor);
+}

@@ -1,0 +1,101 @@
+//! Concurrent-publish consistency: a storm of point queries racing a
+//! stream of refit publishes must only ever observe a *fully consistent*
+//! snapshot — the old model or the new one, bitwise, never a mix — and
+//! every reply's epoch must name the model that produced its value.
+
+use ptucker::{Predictor, TuckerDecomposition};
+use ptucker_linalg::Matrix;
+use ptucker_serve::{serve, ServeOptions};
+use ptucker_tensor::CoreTensor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A model that reconstructs to exactly `value` at every index: all-ones
+/// rank-1 factors and a single-cell core holding `value`. Any partially
+/// applied publish would surface as a reconstruction equal to neither
+/// constant.
+fn constant_model(dims: &[usize], value: f64) -> TuckerDecomposition {
+    let factors = dims
+        .iter()
+        .map(|&i_n| Matrix::from_vec(i_n, 1, vec![1.0; i_n]).unwrap())
+        .collect();
+    let core = CoreTensor::dense_from_fn(vec![1; dims.len()], |_| value).unwrap();
+    TuckerDecomposition { factors, core }
+}
+
+fn sock(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ptk-storm-{}-{name}.sock", std::process::id()))
+}
+
+#[test]
+fn query_storm_only_observes_consistent_snapshots() {
+    let dims = [6usize, 5, 4];
+    let va = 0.125f64; // exactly representable, distinct bit patterns
+    let vb = -2.5f64;
+    let model_a = constant_model(&dims, va);
+    let model_b = constant_model(&dims, vb);
+
+    let path = sock("storm");
+    let handle = Arc::new(
+        serve(
+            &path,
+            Predictor::new(model_a.clone()).unwrap(),
+            ServeOptions::default(),
+        )
+        .unwrap(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut clients = Vec::new();
+    for t in 0..4 {
+        let stop = Arc::clone(&stop);
+        let handle = Arc::clone(&handle);
+        clients.push(std::thread::spawn(move || {
+            let mut client = handle.connect().unwrap();
+            let mut observed = 0u64;
+            let mut last_epoch = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let v = client.point(&[t % 6, t % 5, t % 4]).unwrap();
+                let epoch = client.epoch();
+                // Epoch 1, 3, 5, … served model A; even epochs model B.
+                let want = if epoch % 2 == 1 { va } else { vb };
+                assert_eq!(
+                    v.to_bits(),
+                    want.to_bits(),
+                    "epoch {epoch} must serve the matching constant, got {v}"
+                );
+                assert!(epoch >= last_epoch, "epochs moved backwards");
+                last_epoch = epoch;
+                observed += 1;
+            }
+            observed
+        }));
+    }
+
+    // Publish a refit storm under the readers: B, A, B, A, …
+    for round in 0..40 {
+        let next = if round % 2 == 0 {
+            model_b.clone()
+        } else {
+            model_a.clone()
+        };
+        handle.publish(Predictor::new(next).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    stop.store(true, Ordering::Release);
+    let mut total = 0;
+    for c in clients {
+        total += c.join().expect("query thread must not panic");
+    }
+    assert!(total > 0, "the storm must actually have queried");
+
+    let stats = Arc::try_unwrap(handle)
+        .expect("all clones joined")
+        .shutdown()
+        .unwrap();
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(stats.publishes, 41);
+    assert_eq!(stats.error_replies, 0);
+}

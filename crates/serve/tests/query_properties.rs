@@ -1,0 +1,234 @@
+//! Property-based proofs of the query protocol's two contracts:
+//!
+//! * `point_query_is_bitwise` — a served point reconstruction is
+//!   bit-for-bit the value [`Predictor::predict`] computes locally, for
+//!   every storage precision;
+//! * `topk_matches_brute_force` — the served top-K over a mode equals an
+//!   exhaustive reconstruct-and-sort of every candidate row, with ties
+//!   broken deterministically by ascending row index, for every
+//!   `K ∈ {0 … rows+…}` including `K > rows`.
+//!
+//! Each case runs over a real Unix socket through the production server,
+//! not a shortcut into the kernels.
+
+use proptest::prelude::*;
+use ptucker::{Predictor, StoragePrecision, TuckerDecomposition};
+use ptucker_linalg::kernels::top_k_select;
+use ptucker_linalg::Matrix;
+use ptucker_serve::{serve, ServeOptions};
+use ptucker_tensor::CoreTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn sock(name: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "ptk-qp-{}-{name}-{}.sock",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn random_model(seed: u64, dims: &[usize], ranks: &[usize]) -> TuckerDecomposition {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factors = dims
+        .iter()
+        .zip(ranks)
+        .map(|(&i_n, &j_n)| {
+            Matrix::from_vec(
+                i_n,
+                j_n,
+                (0..i_n * j_n)
+                    .map(|_| rng.gen::<f64>() * 2.0 - 1.0)
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let core = CoreTensor::dense_from_fn(ranks.to_vec(), |idx| {
+        let mut h = 0.7;
+        for &b in idx {
+            h = h * 1.37 + b as f64 * 0.11;
+        }
+        h.sin()
+    })
+    .unwrap();
+    TuckerDecomposition { factors, core }
+}
+
+/// A random small shape: order 2 or 3, dims ≤ 9, ranks ≤ 3.
+fn shape() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (2..=3usize).prop_flat_map(|order| {
+        (
+            proptest::collection::vec(2..=9usize, order..=order),
+            proptest::collection::vec(1..=3usize, order..=order),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn point_query_is_bitwise(
+        seed in 0..u64::MAX,
+        (dims, ranks) in shape(),
+        f32_storage in any::<bool>(),
+    ) {
+        let model = random_model(seed, &dims, &ranks);
+        let precision = if f32_storage {
+            StoragePrecision::F32
+        } else {
+            StoragePrecision::F64
+        };
+        let local = Predictor::new(model.clone()).unwrap();
+        let served = Predictor::with_precision(model, precision).unwrap();
+        let path = sock("point");
+        let handle = serve(&path, served, ServeOptions::default()).unwrap();
+        let mut client = handle.connect().unwrap();
+
+        // Every corner plus a pseudo-random interior walk.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut flat = Vec::new();
+        for _ in 0..8 {
+            for &d in &dims {
+                flat.push(rng.gen_range(0..d));
+            }
+        }
+        for &d in &dims {
+            flat.push(d - 1);
+        }
+        let values = client.point_batch(&flat).unwrap();
+        for (q, entry) in flat.chunks_exact(dims.len()).enumerate() {
+            let want = local.predict(entry);
+            prop_assert_eq!(
+                values[q].to_bits(),
+                want.to_bits(),
+                "entry {:?}: served {} vs local {}",
+                entry,
+                values[q],
+                want
+            );
+        }
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn topk_matches_brute_force(
+        seed in 0..u64::MAX,
+        (dims, ranks) in shape(),
+        mode_pick in 0..64usize,
+        k_pick in 0..64usize,
+    ) {
+        let model = random_model(seed, &dims, &ranks);
+        let order = dims.len();
+        let mode = mode_pick % order;
+        // K sweeps past the row count: k ∈ {0 … rows+4}.
+        let k = k_pick % (dims[mode] + 5);
+        let local = Predictor::new(model.clone()).unwrap();
+        let path = sock("topk");
+        let handle = serve(
+            &path,
+            Predictor::new(model).unwrap(),
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let mut client = handle.connect().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x70_9b);
+        let others: Vec<usize> = (0..order)
+            .filter(|&n| n != mode)
+            .map(|n| rng.gen_range(0..dims[n]))
+            .collect();
+        let got = client.top_k(mode, &others, k).unwrap();
+        let kk = k.min(dims[mode]);
+        prop_assert_eq!(got.len(), kk);
+
+        // The served ranking must be exactly the documented kernel path…
+        let mut delta = vec![0.0; ranks[mode]];
+        let mut scores = vec![0.0; dims[mode]];
+        let others_u32: Vec<u32> = others.iter().map(|&i| i as u32).collect();
+        local.scores_into(&others_u32, mode, &mut delta, &mut scores);
+        let mut want = Vec::new();
+        top_k_select(&scores, kk, &mut want);
+        prop_assert_eq!(&got, &want, "served top-K diverges from the scoring kernel");
+
+        // …and agree with an exhaustive reconstruct-and-sort up to the
+        // dot-order tolerance: every unserved row must score no better
+        // than the worst served row.
+        let mut exhaustive: Vec<(usize, f64)> = (0..dims[mode])
+            .map(|i| {
+                let mut index = vec![0usize; order];
+                let mut slot = 0;
+                for (n, cell) in index.iter_mut().enumerate() {
+                    if n == mode {
+                        *cell = i;
+                    } else {
+                        *cell = others[slot];
+                        slot += 1;
+                    }
+                }
+                (i, local.predict(&index))
+            })
+            .collect();
+        exhaustive.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let tol = 1e-9;
+        for &(row, score) in &got {
+            let full = exhaustive.iter().find(|&&(i, _)| i == row as usize).unwrap().1;
+            prop_assert!(
+                (score - full).abs() <= tol * (1.0 + full.abs()),
+                "row {} served score {} vs reconstruction {}",
+                row,
+                score,
+                full
+            );
+        }
+        if kk > 0 && kk < dims[mode] {
+            let worst_served = got.last().unwrap().1;
+            let served_rows: Vec<u32> = got.iter().map(|&(r, _)| r).collect();
+            for &(i, s) in &exhaustive {
+                if !served_rows.contains(&(i as u32)) {
+                    prop_assert!(
+                        s <= worst_served + tol * (1.0 + s.abs()),
+                        "unserved row {} reconstructs to {} > worst served {}",
+                        i,
+                        s,
+                        worst_served
+                    );
+                }
+            }
+        }
+        handle.shutdown().unwrap();
+    }
+}
+
+/// Ties break by ascending row index, deterministically — proved on a
+/// model whose scores are exact small integers.
+#[test]
+fn topk_ties_break_by_ascending_row() {
+    // Rank-1 everywhere: score(i) = a⁰(i,0) · (core · a¹(ctx,0)).
+    // With core = 1 and a¹ ≡ 1, score(i) is exactly the mode-0 factor
+    // entry — integers, so ties are exact.
+    let factors = vec![
+        Matrix::from_vec(5, 1, vec![2.0, 5.0, 5.0, 1.0, 5.0]).unwrap(),
+        Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]).unwrap(),
+    ];
+    let core = CoreTensor::dense_from_fn(vec![1, 1], |_| 1.0).unwrap();
+    let model = TuckerDecomposition { factors, core };
+    let path = sock("ties");
+    let handle = serve(
+        &path,
+        Predictor::new(model).unwrap(),
+        ServeOptions::default(),
+    )
+    .unwrap();
+    let mut client = handle.connect().unwrap();
+    let got = client.top_k(0, &[2], 4).unwrap();
+    assert_eq!(got, vec![(1, 5.0), (2, 5.0), (4, 5.0), (0, 2.0)]);
+    // K beyond the rows returns every row, still deterministically.
+    let all = client.top_k(0, &[0], 100).unwrap();
+    assert_eq!(all, vec![(1, 5.0), (2, 5.0), (4, 5.0), (0, 2.0), (3, 1.0)]);
+    handle.shutdown().unwrap();
+}

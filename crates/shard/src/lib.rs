@@ -1086,8 +1086,9 @@ impl ShardedFit {
     }
 
     /// Arms a [`FaultInjector`] on `worker`'s transport (chaos
-    /// testing): `spec` uses the grammar of [`FaultInjector::parse`],
-    /// e.g. `"send:rows:2:drop"` or `"recv:factorsync:1:kill"`.
+    /// testing): `spec` uses the grammar of
+    /// [`protocol::parse_fault_spec`], e.g. `"send:rows:2:drop"` or
+    /// `"recv:factorsync:1:kill"`.
     /// Several calls for the same worker are joined into one spec.
     /// Respawned replacements are never re-armed.
     #[must_use]
@@ -1129,7 +1130,7 @@ impl ShardedFit {
                     self.workers
                 )));
             }
-            FaultInjector::parse(spec).map_err(ShardError::Protocol)?;
+            protocol::parse_fault_spec(spec).map_err(ShardError::Protocol)?;
         }
         // The coordinator owns persistence; workers run with the
         // checkpoint/resume paths stripped and receive resume *bytes*

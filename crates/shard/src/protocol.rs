@@ -102,8 +102,8 @@ pub struct PlanMsg {
     /// bitwise. `None` for a fresh fit.
     pub resume: Option<Vec<u8>>,
     /// Fault-injection spec to install on the worker's transport (see
-    /// [`crate::transport::FaultInjector::parse`]); test/chaos tooling
-    /// only. `None` in production.
+    /// [`parse_fault_spec`]); test/chaos tooling only. `None` in
+    /// production.
     pub fault: Option<String>,
 }
 
@@ -149,8 +149,20 @@ const TAG_SHUTDOWN: u8 = 7;
 const TAG_HEARTBEAT: u8 = 8;
 const TAG_REASSIGN: u8 = 9;
 
+/// Parses a transport fault spec (see
+/// [`crate::transport::FaultInjector::parse_with`] for the grammar)
+/// bound to the shard message vocabulary: `hello`, `plan`, `modestart`,
+/// `rows`, `factorsync`, `stats`, `shutdown`, `heartbeat`, `reassign`,
+/// or `any`.
+///
+/// # Errors
+/// A description of the first malformed rule.
+pub fn parse_fault_spec(spec: &str) -> Result<crate::transport::FaultInjector, String> {
+    crate::transport::FaultInjector::parse_with(spec, tag_by_name)
+}
+
 /// Maps a lowercase message name to its frame tag — the vocabulary of
-/// [`crate::transport::FaultInjector::parse`] specs.
+/// [`parse_fault_spec`] specs.
 pub(crate) fn tag_by_name(name: &str) -> Option<u8> {
     Some(match name {
         "hello" => TAG_HELLO,

@@ -28,7 +28,7 @@
 //!   respawned replacement catches up bitwise).
 
 use crate::protocol::{self, Message, PlanMsg, RowsMsg, WorkerStatsMsg};
-use crate::transport::{Channel, FaultInjector};
+use crate::transport::Channel;
 use crate::{ShardError, PROTOCOL_VERSION};
 use ptucker::sync::FitSync;
 use ptucker::{FitCheckpoint, FitResult, FitStats, PTucker, PtuckerError};
@@ -260,7 +260,7 @@ pub fn worker_loop<R: Read, W: Write>(reader: R, writer: W) -> Result<FitResult,
     // Installed after the handshake so the rule counters start at the
     // first fit-protocol frame (ModeStart is recv #1).
     if let Some(spec) = plan.fault.take() {
-        let inj = FaultInjector::parse(&spec).map_err(ShardError::Protocol)?;
+        let inj = protocol::parse_fault_spec(&spec).map_err(ShardError::Protocol)?;
         chan.inject_faults(inj);
     }
     run_shard(&mut chan, *plan)

@@ -1,0 +1,114 @@
+//! Serving queries: fit a model, stand up the `ptucker-serve` read
+//! path on a Unix socket, and answer point-reconstruction and top-K
+//! queries — then publish a refit under a live client and watch the
+//! snapshot epoch advance without the session ever breaking.
+//!
+//! ```text
+//! cargo run --release --example serve_queries
+//! ```
+
+use ptucker::{FitOptions, PTucker, Predictor};
+use ptucker_datagen::planted_lowrank;
+use ptucker_linalg::kernels::top_k_select;
+use ptucker_serve::{serve, ServeOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Fit a small planted-low-rank tensor — the model we will serve.
+    let mut rng = StdRng::seed_from_u64(42);
+    let x = planted_lowrank(&[100, 80, 60], &[4, 4, 4], 20_000, 0.02, &mut rng).tensor;
+    let opts = FitOptions::new(vec![4, 4, 4])
+        .max_iters(5)
+        .seed(7)
+        .threads(2);
+    let first = PTucker::new(opts.clone())
+        .expect("options")
+        .fit(&x)
+        .expect("fit");
+    println!(
+        "fitted: dims {:?}, final error {:.4}",
+        x.dims(),
+        first.stats.final_error
+    );
+
+    // 2. Serve it. The handle owns the listener + worker threads; every
+    //    connection answers queries against an immutable snapshot.
+    let local = Predictor::new(first.decomposition.clone()).expect("predictor");
+    let path = std::env::temp_dir().join(format!("ptucker-serve-demo-{}.sock", std::process::id()));
+    let handle = serve(
+        &path,
+        Predictor::new(first.decomposition).expect("predictor"),
+        ServeOptions::default(),
+    )
+    .expect("serve");
+    let mut client = handle.connect().expect("connect");
+    println!(
+        "serving on {} — model {:?} ranks {:?}, snapshot epoch {}",
+        path.display(),
+        client.dims(),
+        client.ranks(),
+        client.epoch()
+    );
+
+    // 3. Point queries: the served value is bitwise the local predict.
+    let probes = [[3usize, 5, 7], [0, 0, 0], [99, 79, 59]];
+    for probe in &probes {
+        let served = client.point(probe).expect("point query");
+        let want = local.predict(probe);
+        assert_eq!(served.to_bits(), want.to_bits(), "served ≠ local predict");
+        println!("  x̂{probe:?} = {served:.4}  (bitwise = local reconstruction)");
+    }
+
+    // 4. Top-K over mode 0: "which rows score highest for this context" —
+    //    the recommendation query. Checked against the scoring kernel.
+    let (mode, others, k) = (0usize, [5usize, 7], 5usize);
+    let top = client.top_k(mode, &others, k).expect("top-K query");
+    let mut delta = vec![0.0; client.ranks()[mode]];
+    let mut scores = vec![0.0; client.dims()[mode]];
+    local.scores_into(&[5, 7], mode, &mut delta, &mut scores);
+    let mut want = Vec::new();
+    top_k_select(&scores, k, &mut want);
+    assert_eq!(top, want, "served top-K ≠ local scoring kernel");
+    println!("  top-{k} rows of mode {mode} for context {others:?}:");
+    for &(row, score) in &top {
+        println!("    row {row:>3}  score {score:.4}");
+    }
+
+    // 5. Publish a refit under the live client: readers keep answering
+    //    lock-free from the old snapshot until they observe the new epoch.
+    let refit = PTucker::new(opts.max_iters(15))
+        .expect("options")
+        .fit(&x)
+        .expect("refit");
+    let epoch = handle.publish(Predictor::new(refit.decomposition.clone()).expect("predictor"));
+    let refreshed = client.info().expect("info");
+    assert_eq!(refreshed, epoch, "client must observe the published epoch");
+    let served = client.point(&[3, 5, 7]).expect("point after publish");
+    let want = Predictor::new(refit.decomposition)
+        .expect("predictor")
+        .predict(&[3, 5, 7]);
+    assert_eq!(served.to_bits(), want.to_bits(), "stale snapshot served");
+    println!(
+        "\npublished refit (error {:.4}) as epoch {epoch}; \
+         the same session now serves the new model bitwise",
+        refit.stats.final_error
+    );
+
+    // 6. Clean shutdown, with the session totals.
+    client.goodbye().expect("goodbye");
+    let stats = handle.shutdown().expect("shutdown");
+    println!(
+        "served {} connection(s): {} point + {} top-K + {} info requests, \
+         {} error replies, {} publish(es), {} worker panic(s)",
+        stats.connections,
+        stats.point_requests,
+        stats.topk_requests,
+        stats.info_requests,
+        stats.error_replies,
+        stats.publishes,
+        stats.worker_panics
+    );
+    assert_eq!(stats.worker_panics, 0);
+    println!("serve_queries: OK");
+}
