@@ -264,6 +264,8 @@ where
             final_error,
             bytes_sent: 0,
             bytes_received: 0,
+            io_read_bytes: 0,
+            io_write_bytes: 0,
             prefetch_engaged: false,
         },
     })

@@ -108,6 +108,8 @@ pub fn tucker_als(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult>
             final_error,
             bytes_sent: 0,
             bytes_received: 0,
+            io_read_bytes: 0,
+            io_write_bytes: 0,
             prefetch_engaged: false,
         },
     })

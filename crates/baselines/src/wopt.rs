@@ -278,6 +278,8 @@ pub fn tucker_wopt(x: &SparseTensor, opts: &BaselineOptions) -> Result<FitResult
             final_error,
             bytes_sent: 0,
             bytes_received: 0,
+            io_read_bytes: 0,
+            io_write_bytes: 0,
             prefetch_engaged: false,
         },
     })

@@ -377,7 +377,7 @@ fn bench_row_update(c: &mut Criterion) {
         let mut sweep = fx.plan.sweep_source(0, usize::MAX, false);
         cached
             .prepare_fit(
-                &fx.x,
+                &ptucker::FitInput::Resident(&fx.x),
                 &fx.plan,
                 &fx.factors,
                 &fx.core,
@@ -503,7 +503,7 @@ fn write_artifact() {
         let mut sweep = fx.plan.sweep_source(0, usize::MAX, false);
         cached
             .prepare_fit(
-                &fx.x,
+                &ptucker::FitInput::Resident(&fx.x),
                 &fx.plan,
                 &fx.factors,
                 &fx.core,
@@ -670,6 +670,120 @@ fn write_artifact() {
              \"cpus\": {cpus}}}"
         ));
     }
+
+    // External-sort build: pricing the disk-to-disk plan path. Three
+    // columns over the same ~20k-entry tensor — the fully resident build,
+    // the resident-source spilled build, and the external-sort build from
+    // a COO scratch file (sorted runs + K-way merge under a floor-sized
+    // arena) — plus the byte volumes that explain them: the COO source,
+    // the spilled plan, and the total scratch traffic the external build
+    // performed. The output is bitwise-identical across the last two
+    // (asserted by the tensor crate's proptests), so the overhead column
+    // is the whole story.
+    {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = ptucker_datagen::uniform_sparse(&[96, 72, 48], 20_000, &mut rng);
+        let resident_ns = median_ns(7, || {
+            black_box(ModeStreams::build(&x).unwrap());
+        });
+        let spilled_ns = median_ns(7, || {
+            black_box(ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap());
+        });
+        let budget = MemoryBudget::new(1); // floor-sized sort arena
+        let src = ptucker_tensor::CooScratch::from_tensor(&x, &budget).unwrap();
+        let coo_bytes = src.bytes();
+        let io0 = (budget.io_read_bytes(), budget.io_write_bytes());
+        let external_ns = median_ns(7, || {
+            black_box(ModeStreams::build_external(&src, &budget).unwrap());
+        });
+        let io_bytes = (budget.io_read_bytes() - io0.0) + (budget.io_write_bytes() - io0.1);
+        let plan_bytes = ModeStreams::spilled_bytes_for(&x);
+        let vs_resident = external_ns / resident_ns;
+        let vs_spilled = external_ns / spilled_ns;
+        println!(
+            "artifact external_build nnz={}: resident {resident_ns:.0} ns, \
+             spilled {spilled_ns:.0} ns, external {external_ns:.0} ns \
+             ({vs_resident:.2}x resident, {vs_spilled:.2}x spilled); \
+             coo {coo_bytes} B, plan {plan_bytes} B, scratch traffic {io_bytes} B",
+            x.nnz()
+        );
+        lines.push(format!(
+            "    {{\"bench\": \"external_build\", \"nnz\": {}, \
+             \"resident_build_ns\": {resident_ns:.1}, \"spilled_build_ns\": {spilled_ns:.1}, \
+             \"external_build_ns\": {external_ns:.1}, \"vs_resident\": {vs_resident:.3}, \
+             \"vs_spilled\": {vs_spilled:.3}, \"coo_bytes\": {coo_bytes}, \
+             \"plan_spill_bytes\": {plan_bytes}, \"io_bytes\": {io_bytes}}}",
+            x.nnz()
+        ));
+    }
+
+    // Prefetch ring depth: the same spilled Direct fit at ring depths 1
+    // (no prefetch), 2 (the double-buffer default) and 4, sampled as
+    // interleaved triples with per-triple ratios against the depth-2
+    // column (shared-host drift moves a triple together, so ratios are
+    // stable where independent medians are not). The depth gate
+    // self-clamps — a depth whose windows would fall below the 128 KiB
+    // amortization floor degrades to the deepest affordable ring — so
+    // `depth4_vs_depth2 > 1` here means the extra read-ahead bought
+    // nothing on this host, not that it shrank the windows.
+    {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = ptucker_datagen::uniform_sparse(&[96, 72, 48], 20_000, &mut rng);
+        let plan_bytes = ModeStreams::bytes_for(&x);
+        let fit_at = |depth: usize| {
+            let t = Instant::now();
+            let fit = PTucker::new(
+                FitOptions::new(vec![5, 5, 5])
+                    .max_iters(2)
+                    .tol(0.0)
+                    .threads(2)
+                    .seed(7)
+                    .prefetch(depth >= 2)
+                    .prefetch_depth(depth.max(2))
+                    .budget(MemoryBudget::new(plan_bytes / 4)),
+            )
+            .unwrap()
+            .fit(&x)
+            .unwrap();
+            assert!(fit.stats.peak_spilled_bytes > 0);
+            black_box(fit);
+            t.elapsed().as_nanos() as f64
+        };
+        let med = |mut runs: Vec<f64>| {
+            runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            runs[runs.len() / 2]
+        };
+        fit_at(2); // warm the page cache
+        let mut base_runs = Vec::new();
+        let mut r1 = Vec::new();
+        let mut r4 = Vec::new();
+        for _ in 0..7 {
+            let d1 = fit_at(1);
+            let d2 = fit_at(2);
+            let d4 = fit_at(4);
+            base_runs.push(d2);
+            r1.push(d1 / d2);
+            r4.push(d4 / d2);
+        }
+        let depth2 = med(base_runs);
+        let (ratio1, ratio4) = (med(r1), med(r4));
+        let (depth1, depth4) = (depth2 * ratio1, depth2 * ratio4);
+        println!(
+            "artifact prefetch_depth: depth1 {depth1:.0} ns ({ratio1:.2}x of depth2), \
+             depth2 {depth2:.0} ns, depth4 {depth4:.0} ns ({ratio4:.2}x of depth2)"
+        );
+        for (depth, ns, vs2) in [
+            (1usize, depth1, ratio1),
+            (2, depth2, 1.0),
+            (4, depth4, ratio4),
+        ] {
+            lines.push(format!(
+                "    {{\"bench\": \"prefetch_depth\", \"depth\": {depth}, \
+                 \"fit_ns\": {ns:.1}, \"vs_depth2\": {vs2:.3}}}"
+            ));
+        }
+    }
+
     // Mixed precision: the same Cached sweep with f32 vs f64 storage.
     // `resident` times one mode-0 row sweep against the in-RAM Pres
     // table; `spilled` times a whole 2-iteration Cache-variant fit with a
@@ -689,7 +803,7 @@ fn write_artifact() {
             let mut sweep = fx.plan.sweep_source(0, usize::MAX, false);
             cached
                 .prepare_fit(
-                    &fx.x,
+                    &ptucker::FitInput::Resident(&fx.x),
                     &fx.plan,
                     &fx.factors,
                     &fx.core,

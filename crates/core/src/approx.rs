@@ -14,9 +14,11 @@
 //! hurt the most and are truncated (top `p·|G|` per iteration).
 
 use crate::delta::{core_runs, entry_contributions_blocked};
+use crate::input::scratch_fold_blocks;
+use crate::Result;
 use ptucker_linalg::Matrix;
 use ptucker_sched::{parallel_reduce, Schedule};
-use ptucker_tensor::{CoreTensor, SparseTensor};
+use ptucker_tensor::{CooScratch, CoreTensor, SparseTensor};
 
 /// Computes `R(β)` (Eq. 13) for every retained core entry, in parallel over
 /// the observed entries. Returned in core-entry order.
@@ -71,6 +73,52 @@ pub fn partial_errors(
         },
     );
     racc
+}
+
+/// [`partial_errors`] over a disk-resident COO source: streams bounded
+/// segments of the scratch file instead of indexing a resident entry
+/// array, holding one segment buffer per worker.
+///
+/// Uses the static block schedule regardless of the fit's configured
+/// schedule — each worker folds a contiguous entry block sequentially, so
+/// the pass is deterministic at every thread count and bitwise-identical
+/// to the resident [`partial_errors`] under `Schedule::Static` at
+/// `threads ≤ 2` (the per-entry arithmetic is the same run-blocked
+/// micro-kernel; only the partial-combine order differs beyond that).
+pub fn partial_errors_scratch(
+    src: &CooScratch,
+    factors: &[Matrix],
+    core: &CoreTensor,
+    threads: usize,
+) -> Result<Vec<f64>> {
+    let g = core.nnz();
+    let core_idx = core.flat_indices();
+    let core_vals = core.values();
+    let runs = core_runs(core_idx, core.order());
+    let order = src.order();
+    let (racc, _bufs) = scratch_fold_blocks(
+        src,
+        threads,
+        || (vec![0.0f64; g], (vec![0.0f64; g], vec![0usize; order])),
+        |(racc, (contrib, idx)), ints, xv| {
+            for (slot, &i) in idx.iter_mut().zip(ints) {
+                *slot = i as usize;
+            }
+            let full =
+                entry_contributions_blocked(idx, core_idx, core_vals, &runs, factors, contrib);
+            for (r, &c) in racc.iter_mut().zip(contrib.iter()) {
+                // (X - rest - c)² - (X - rest)² with rest = full - c.
+                *r += c * (c - 2.0 * xv + 2.0 * (full - c));
+            }
+        },
+        |(mut a, bufs), (b, _)| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            (a, bufs)
+        },
+    )?;
+    Ok(racc)
 }
 
 /// Removes the top `p·|G|` entries by `R(β)` from the core (Algorithm 4),
@@ -219,6 +267,21 @@ mod tests {
         let removed = truncate_noisy(&mut core, &r, 0.1);
         assert_eq!(removed, 0);
         assert_eq!(core.nnz(), 4);
+    }
+
+    #[test]
+    fn scratch_partial_errors_match_resident_bitwise() {
+        let (x, factors, core) = setup();
+        let budget = ptucker_memtrack::MemoryBudget::new(usize::MAX);
+        let src = CooScratch::from_tensor(&x, &budget).unwrap();
+        for threads in [1, 2] {
+            let resident = partial_errors(&x, &factors, &core, threads, Schedule::Static);
+            let streamed = partial_errors_scratch(&src, &factors, &core, threads).unwrap();
+            assert_eq!(resident.len(), streamed.len());
+            for (a, b) in resident.iter().zip(&streamed) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

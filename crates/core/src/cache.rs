@@ -44,7 +44,9 @@ use ptucker_linalg::kernels::{div_add_nonzero, div_add_nonzero_f32, sum_widened}
 use ptucker_linalg::Matrix;
 use ptucker_memtrack::{MemoryBudget, Reservation, ScratchFile, SpillReservation};
 use ptucker_sched::{parallel_rows_mut, Schedule};
-use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor, StoragePrecision, SweepSource};
+use ptucker_tensor::{
+    CoreTensor, ModeStreams, SparseTensor, StoragePrecision, SweepSource, Window,
+};
 
 /// The element type of a `Pres` table: the storage half of the fit's
 /// [`StoragePrecision`] axis applied to the cache. Products are computed
@@ -426,12 +428,15 @@ impl<E: PresElem> SpilledPresTable<E> {
     /// `windows` is the fit's shared sweep source: its capacity bounds
     /// each tile to the same window extents the row sweeps will use. The
     /// source may be resident (hybrid spilling: plan in RAM, table on
-    /// disk) or itself spilled — only the entry ids are read either way.
+    /// disk) or itself spilled — each position's multi-index is
+    /// reconstructed from the window itself (slice coordinate + packed
+    /// `others`), so the COO tensor is never consulted and the table
+    /// builds identically for disk-resident fits.
     ///
     /// # Errors
     /// [`crate::PtuckerError::Tensor`] (I/O) if scratch-file access fails.
     pub fn compute(
-        x: &SparseTensor,
+        nnz: usize,
         factors: &[Matrix],
         core: &CoreTensor,
         threads: usize,
@@ -439,8 +444,9 @@ impl<E: PresElem> SpilledPresTable<E> {
         windows: &mut SweepSource<'_>,
     ) -> Result<Self> {
         let g = core.nnz();
-        let bytes = x.nnz() as u64 * g as u64 * E::PRECISION.value_bytes() as u64;
-        let file = ScratchFile::create().map_err(ptucker_tensor::TensorError::from)?;
+        let bytes = nnz as u64 * g as u64 * E::PRECISION.value_bytes() as u64;
+        let file =
+            ScratchFile::create_tracked(budget).map_err(ptucker_tensor::TensorError::from)?;
         let regions = [
             file.reserve_region(bytes)
                 .map_err(ptucker_tensor::TensorError::from)?,
@@ -454,7 +460,7 @@ impl<E: PresElem> SpilledPresTable<E> {
         let mut table = SpilledPresTable {
             file,
             g,
-            rows: x.nnz(),
+            rows: nnz,
             regions,
             active: 0,
             order_mode: 0,
@@ -463,14 +469,14 @@ impl<E: PresElem> SpilledPresTable<E> {
             staging: Vec::with_capacity(max_pos.saturating_mul(g)),
             _spill: spill,
         };
-        let order = x.order();
+        let order = factors.len();
         let core_idx = core.flat_indices();
         let core_vals = core.values();
-        // Only the entry ids are needed here (the multi-index comes from
-        // COO), so the sweep reads just the ids section of each window.
+        let mut idx_buf = Vec::new();
         windows.rewind(0);
-        while let Some(w) = windows.next_ids_window()? {
-            let len = w.entry_ids.len();
+        while let Some(w) = windows.next_window()? {
+            let len = w.stream.len();
+            window_indices(&w, order, &mut idx_buf);
             table.tile.resize(len * g, E::default());
             parallel_rows_mut(
                 &mut table.tile,
@@ -478,7 +484,7 @@ impl<E: PresElem> SpilledPresTable<E> {
                 threads,
                 Schedule::Static,
                 |p, row| {
-                    let idx = x.index(w.entry_ids[p] as usize);
+                    let idx = &idx_buf[p * order..(p + 1) * order];
                     for (b, slot) in row.iter_mut().enumerate() {
                         *slot = E::from_f64(product(
                             core_vals[b],
@@ -595,7 +601,6 @@ impl<E: PresElem> SpilledPresTable<E> {
     #[allow(clippy::too_many_arguments)]
     pub fn rescale_and_reorder(
         &mut self,
-        x: &SparseTensor,
         plan: &ModeStreams,
         factors: &[Matrix],
         old_a: &Matrix,
@@ -607,17 +612,17 @@ impl<E: PresElem> SpilledPresTable<E> {
     ) -> Result<()> {
         debug_assert_eq!(self.order_mode, mode, "table must be in sweep order");
         let g = self.g;
+        let order = factors.len();
         let core_idx = core.flat_indices();
         let core_vals = core.values();
         let new_a = &factors[mode];
         let src = self.active;
         let dst = 1 - src;
-        // The rescale needs each position's COO entry id only (the
-        // multi-index comes from COO), so the sweep reads just the ids
-        // section of each window.
+        let mut idx_buf = Vec::new();
         windows.rewind(mode);
-        while let Some(w) = windows.next_ids_window()? {
-            let len = w.entry_ids.len();
+        while let Some(w) = windows.next_window()? {
+            let len = w.stream.len();
+            window_indices(&w, order, &mut idx_buf);
             self.tile.resize(len * g, E::default());
             let src_off = self.row_off(src, w.base);
             E::read(&self.file, src_off, &mut self.tile)
@@ -628,7 +633,7 @@ impl<E: PresElem> SpilledPresTable<E> {
                 threads,
                 Schedule::Static,
                 |p, row| {
-                    let idx = x.index(w.entry_ids[p] as usize);
+                    let idx = &idx_buf[p * order..(p + 1) * order];
                     rescale_entry_row(row, idx, mode, old_a, new_a, core_idx, core_vals, factors);
                 },
             );
@@ -639,7 +644,7 @@ impl<E: PresElem> SpilledPresTable<E> {
             // writes rather than one per entry.
             self.perm.clear();
             self.perm.extend((0..len).map(|p| {
-                let q = plan.position_of(next_mode, w.entry_ids[p] as usize);
+                let q = plan.position_of(next_mode, w.stream.entry_id(p));
                 (q as u32, p as u32)
             }));
             self.perm.sort_unstable();
@@ -670,6 +675,35 @@ impl<E: PresElem> SpilledPresTable<E> {
 
 /// The run-blocked cached-δ arithmetic for one entry, operating on the
 /// entry's cached-product row wherever it lives — the in-memory
+/// Reconstructs every position's full multi-index from one window of the
+/// swept mode's stream into `out` (flat, `len·order`): the swept
+/// coordinate is the position's global slice (`w.slices.start` plus its
+/// window-local slice), the other coordinates come from the packed
+/// ascending `others` section. Integer-exact, so spilled-table passes
+/// need no resident COO tensor — the basis of the disk-to-disk Cache
+/// variant.
+pub(crate) fn window_indices(w: &Window<'_>, order: usize, out: &mut Vec<usize>) {
+    let view = &w.stream;
+    let mode = view.mode();
+    out.clear();
+    out.resize(view.len() * order, 0);
+    for s in 0..view.num_slices() {
+        let coord = w.slices.start + s;
+        for p in view.slice_range(s) {
+            let row = &mut out[p * order..(p + 1) * order];
+            row[mode] = coord;
+            let mut slot = 0;
+            let others = view.others(p);
+            for (k, r) in row.iter_mut().enumerate() {
+                if k != mode {
+                    *r = others[slot] as usize;
+                    slot += 1;
+                }
+            }
+        }
+    }
+}
+
 /// [`PresTable`] and the windowed tile of a [`SpilledPresTable`] both call
 /// this, so the two execution paths are **bitwise identical** per row.
 #[inline]
@@ -1075,7 +1109,8 @@ mod tests {
         let resident = PresTable::<f32>::compute(&x, &plan, &factors, &core, 2, &budget).unwrap();
         let mut source = plan.sweep_source(0, 2, false);
         let mut spilled =
-            SpilledPresTable::<f32>::compute(&x, &factors, &core, 2, &budget, &mut source).unwrap();
+            SpilledPresTable::<f32>::compute(x.nnz(), &factors, &core, 2, &budget, &mut source)
+                .unwrap();
         source.rewind(0);
         while let Some(w) = source.next_window().unwrap() {
             let (base, len) = (w.base, w.stream.len());

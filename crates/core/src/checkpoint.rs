@@ -39,7 +39,7 @@
 
 use crate::{FitOptions, IterStats, PtuckerError, Result, StoragePrecision, Variant};
 use ptucker_linalg::Matrix;
-use ptucker_tensor::{CoreTensor, SparseTensor};
+use ptucker_tensor::{CooScratch, CoreTensor, SparseTensor};
 use std::io::Write;
 use std::path::Path;
 
@@ -121,8 +121,45 @@ impl FitCheckpoint {
     /// same fit.
     pub fn fingerprint(x: &SparseTensor, opts: &FitOptions) -> u64 {
         let mut h = Fnv::new();
-        h.u64(x.order() as u64);
-        for &d in x.dims() {
+        Self::fingerprint_config(&mut h, x.dims(), opts);
+        h.u64(x.nnz() as u64);
+        for e in 0..x.nnz() {
+            for &i in x.index(e) {
+                h.u64(i as u64);
+            }
+            h.f64(x.value(e));
+        }
+        h.0
+    }
+
+    /// [`FitCheckpoint::fingerprint`] for a disk-resident COO source:
+    /// hashes the identical byte sequence (configuration header, nnz,
+    /// then each entry's indices and value in entry order), streamed
+    /// through one bounded segment buffer — so a fit resumed from a
+    /// scratch file accepts checkpoints written by the equivalent
+    /// resident fit and vice versa.
+    pub fn fingerprint_scratch(src: &CooScratch, opts: &FitOptions) -> Result<u64> {
+        let mut h = Fnv::new();
+        Self::fingerprint_config(&mut h, src.dims(), opts);
+        h.u64(src.nnz() as u64);
+        let mut cur = src.segments(8 << 10);
+        while let Some(seg) = cur.next_segment().map_err(PtuckerError::Tensor)? {
+            for e in 0..seg.len() {
+                for &i in seg.index(e) {
+                    h.u64(i as u64);
+                }
+                h.f64(seg.value(e));
+            }
+        }
+        Ok(h.0)
+    }
+
+    /// The configuration prefix both fingerprint flavors share: dims,
+    /// ranks, seed, variant, precision, λ and the sampling stride, in a
+    /// fixed order.
+    fn fingerprint_config(h: &mut Fnv, dims: &[usize], opts: &FitOptions) {
+        h.u64(dims.len() as u64);
+        for &d in dims {
             h.u64(d as u64);
         }
         for &r in &opts.ranks {
@@ -143,14 +180,6 @@ impl FitCheckpoint {
         }
         h.f64(opts.lambda);
         h.u64(opts.sample_stride.max(1) as u64);
-        h.u64(x.nnz() as u64);
-        for e in 0..x.nnz() {
-            for &i in x.index(e) {
-                h.u64(i as u64);
-            }
-            h.f64(x.value(e));
-        }
-        h.0
     }
 
     /// Serializes the checkpoint to its on-disk byte format (including
@@ -552,5 +581,31 @@ mod tests {
         );
         let y = SparseTensor::new(vec![2, 2], vec![(vec![0, 0], 1.0), (vec![1, 1], 2.5)]).unwrap();
         assert_ne!(base, FitCheckpoint::fingerprint(&y, &opts));
+    }
+
+    #[test]
+    fn scratch_fingerprint_matches_resident() {
+        use ptucker_memtrack::MemoryBudget;
+        use ptucker_tensor::SparseTensor;
+        let x = SparseTensor::new(
+            vec![4, 3, 2],
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![1, 2, 1], -0.5),
+                (vec![3, 1, 0], 2.25),
+            ],
+        )
+        .unwrap();
+        let opts = FitOptions::new(vec![2, 2, 2]).seed(9);
+        let budget = MemoryBudget::new(usize::MAX);
+        let src = CooScratch::from_tensor(&x, &budget).unwrap();
+        assert_eq!(
+            FitCheckpoint::fingerprint(&x, &opts),
+            FitCheckpoint::fingerprint_scratch(&src, &opts).unwrap()
+        );
+        assert_ne!(
+            FitCheckpoint::fingerprint(&x, &opts),
+            FitCheckpoint::fingerprint_scratch(&src, &opts.clone().seed(10)).unwrap()
+        );
     }
 }

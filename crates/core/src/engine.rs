@@ -39,10 +39,12 @@
 
 use crate::cache::{cached_delta_for_entry, PresElem, PresTable, SpilledPresTable};
 use crate::delta::{accumulate_delta_blocked, accumulate_normal_eq, core_runs};
-use crate::{approx, FitOptions, Result, StoragePrecision};
+use crate::{approx, FitInput, FitOptions, Result, StoragePrecision};
 use ptucker_linalg::{cholesky_solve_in_place, lu_solve_in_place, Matrix};
 use ptucker_memtrack::Reservation;
-use ptucker_tensor::{CoreTensor, ModeStreams, SparseTensor, StreamView, SweepSource, Window};
+#[cfg(test)]
+use ptucker_tensor::SparseTensor;
+use ptucker_tensor::{CoreTensor, ModeStreams, StreamView, SweepSource, Window};
 
 /// Per-thread scratch arena for the row update: every buffer the inner loop
 /// touches, allocated once and reused for every row the owning worker
@@ -290,7 +292,7 @@ pub trait RowUpdateKernel: Sync {
     /// [`crate::PtuckerError::Tensor`] on spilled-state I/O failure.
     fn prepare_fit(
         &mut self,
-        _x: &SparseTensor,
+        _x: &FitInput<'_>,
         _plan: &ModeStreams,
         _factors: &[Matrix],
         _core: &CoreTensor,
@@ -310,7 +312,7 @@ pub trait RowUpdateKernel: Sync {
     /// Kernel-specific; the default never fails.
     fn prepare_mode(
         &mut self,
-        _x: &SparseTensor,
+        _x: &FitInput<'_>,
         _plan: &ModeStreams,
         _factors: &[Matrix],
         _mode: usize,
@@ -357,7 +359,7 @@ pub trait RowUpdateKernel: Sync {
     /// Kernel-specific (spilled-state I/O); the default never fails.
     fn post_mode(
         &mut self,
-        _x: &SparseTensor,
+        _x: &FitInput<'_>,
         _plan: &ModeStreams,
         _factors: &[Matrix],
         _mode: usize,
@@ -369,14 +371,20 @@ pub trait RowUpdateKernel: Sync {
     }
 
     /// Called once per outer iteration after the reconstruction error is
-    /// measured (e.g. the Approx variant truncates the core here).
+    /// measured (e.g. the Approx variant truncates the core here, streaming
+    /// the `R(β)` pass from disk when the fit's input is a COO scratch
+    /// file).
+    ///
+    /// # Errors
+    /// Kernel-specific (streamed-input I/O); the default never fails.
     fn post_iter(
         &mut self,
-        _x: &SparseTensor,
+        _x: &FitInput<'_>,
         _factors: &[Matrix],
         _core: &mut CoreTensor,
         _opts: &FitOptions,
-    ) {
+    ) -> Result<()> {
+        Ok(())
     }
 
     /// Serializes the kernel's auxiliary fit state into `out`, for a
@@ -506,7 +514,7 @@ enum TableStore<E: PresElem> {
 
 impl<E: PresElem> TableStore<E> {
     fn compute(
-        x: &SparseTensor,
+        x: &FitInput<'_>,
         plan: &ModeStreams,
         factors: &[Matrix],
         core: &CoreTensor,
@@ -515,8 +523,10 @@ impl<E: PresElem> TableStore<E> {
         spill_aux: bool,
     ) -> Result<Self> {
         Ok(if spill_aux {
+            // Window-driven: the multi-indices come from the sweep itself,
+            // so a disk-resident input never needs the COO tensor.
             TableStore::Spilled(SpilledPresTable::compute(
-                x,
+                x.nnz(),
                 factors,
                 core,
                 opts.threads,
@@ -525,7 +535,7 @@ impl<E: PresElem> TableStore<E> {
             )?)
         } else {
             TableStore::Resident(PresTable::compute(
-                x,
+                x.expect_resident("the resident Pres table"),
                 plan,
                 factors,
                 core,
@@ -535,12 +545,14 @@ impl<E: PresElem> TableStore<E> {
         })
     }
 
-    fn align(&mut self, x: &SparseTensor, plan: &ModeStreams, mode: usize) {
+    fn align(&mut self, x: &FitInput<'_>, plan: &ModeStreams, mode: usize) {
         match self {
             // No-op in the driver's cyclic sweep (post_mode already left
             // the table in this mode's order); re-aligns it for direct API
             // users that sweep modes in other patterns.
-            TableStore::Resident(table) => table.ensure_order(x, plan, mode),
+            TableStore::Resident(table) => {
+                table.ensure_order(x.expect_resident("the resident Pres table"), plan, mode)
+            }
             TableStore::Spilled(table) => debug_assert_eq!(
                 table.order_mode(),
                 mode,
@@ -603,7 +615,7 @@ impl<E: PresElem> TableStore<E> {
     #[allow(clippy::too_many_arguments)]
     fn rescale_and_reorder(
         &mut self,
-        x: &SparseTensor,
+        x: &FitInput<'_>,
         plan: &ModeStreams,
         factors: &[Matrix],
         old: &Matrix,
@@ -615,11 +627,12 @@ impl<E: PresElem> TableStore<E> {
     ) -> Result<()> {
         match self {
             TableStore::Resident(table) => {
+                let x = x.expect_resident("the resident Pres table");
                 table.rescale_and_reorder(x, plan, factors, old, mode, next, core, threads);
                 Ok(())
             }
             TableStore::Spilled(table) => {
-                table.rescale_and_reorder(x, plan, factors, old, mode, next, core, threads, sweep)
+                table.rescale_and_reorder(plan, factors, old, mode, next, core, threads, sweep)
             }
         }
     }
@@ -693,7 +706,7 @@ impl CachedKernel {
 impl RowUpdateKernel for CachedKernel {
     fn prepare_fit(
         &mut self,
-        x: &SparseTensor,
+        x: &FitInput<'_>,
         plan: &ModeStreams,
         factors: &[Matrix],
         core: &CoreTensor,
@@ -714,7 +727,7 @@ impl RowUpdateKernel for CachedKernel {
 
     fn prepare_mode(
         &mut self,
-        x: &SparseTensor,
+        x: &FitInput<'_>,
         plan: &ModeStreams,
         factors: &[Matrix],
         mode: usize,
@@ -785,7 +798,7 @@ impl RowUpdateKernel for CachedKernel {
 
     fn post_mode(
         &mut self,
-        x: &SparseTensor,
+        x: &FitInput<'_>,
         plan: &ModeStreams,
         factors: &[Matrix],
         mode: usize,
@@ -913,7 +926,7 @@ impl ApproxKernel {
 impl RowUpdateKernel for ApproxKernel {
     fn prepare_fit(
         &mut self,
-        _x: &SparseTensor,
+        _x: &FitInput<'_>,
         _plan: &ModeStreams,
         _factors: &[Matrix],
         core: &CoreTensor,
@@ -950,15 +963,23 @@ impl RowUpdateKernel for ApproxKernel {
 
     fn post_iter(
         &mut self,
-        x: &SparseTensor,
+        x: &FitInput<'_>,
         factors: &[Matrix],
         core: &mut CoreTensor,
         opts: &FitOptions,
-    ) {
+    ) -> Result<()> {
         if self.truncation_rate > 0.0 {
-            let r = approx::partial_errors(x, factors, core, opts.threads, opts.schedule);
+            let r = match x {
+                FitInput::Resident(x) => {
+                    approx::partial_errors(x, factors, core, opts.threads, opts.schedule)
+                }
+                FitInput::Scratch(src) => {
+                    approx::partial_errors_scratch(src, factors, core, opts.threads)?
+                }
+            };
             approx::truncate_noisy(core, &r, self.truncation_rate);
         }
+        Ok(())
     }
 }
 
@@ -977,7 +998,7 @@ pub(crate) struct GatherReferenceKernel {
 impl RowUpdateKernel for GatherReferenceKernel {
     fn prepare_fit(
         &mut self,
-        x: &SparseTensor,
+        x: &FitInput<'_>,
         _plan: &ModeStreams,
         _factors: &[Matrix],
         _core: &CoreTensor,
@@ -985,7 +1006,7 @@ impl RowUpdateKernel for GatherReferenceKernel {
         _sweep: &mut SweepSource<'_>,
         _spill_aux: bool,
     ) -> Result<()> {
-        self.x = Some(x.clone());
+        self.x = Some(x.expect_resident("the gather reference kernel").clone());
         Ok(())
     }
 
@@ -1125,8 +1146,9 @@ mod tests {
         let plan = ModeStreams::build(&x).unwrap();
         let mut cached = CachedKernel::new();
         let mut sweep = plan.sweep_source(0, usize::MAX, false);
+        let input = FitInput::Resident(&x);
         cached
-            .prepare_fit(&x, &plan, &factors, &core, &opts, &mut sweep, false)
+            .prepare_fit(&input, &plan, &factors, &core, &opts, &mut sweep, false)
             .unwrap();
         let mut s1 = Scratch::for_options(&opts);
         let mut s2 = Scratch::for_options(&opts);
@@ -1134,7 +1156,7 @@ mod tests {
             // Re-align the stream-ordered table to this mode (the fit
             // driver's prepare_mode contract).
             cached
-                .prepare_mode(&x, &plan, &factors, mode, &core, &opts)
+                .prepare_mode(&input, &plan, &factors, mode, &core, &opts)
                 .unwrap();
             let ctx = ModeContext::new(&plan, &factors, &core, mode, &opts);
             for i in 0..x.dims()[mode] {
@@ -1210,7 +1232,14 @@ mod tests {
         let mut core_for_approx = core.clone();
         let mut kernel = ApproxKernel::new(0.0);
         // post_iter with rate 0 must leave the core untouched.
-        kernel.post_iter(&x, &factors, &mut core_for_approx, &opts);
+        kernel
+            .post_iter(
+                &FitInput::Resident(&x),
+                &factors,
+                &mut core_for_approx,
+                &opts,
+            )
+            .unwrap();
         assert_eq!(core_for_approx.nnz(), core.nnz());
         let _ = Variant::Approx {
             truncation_rate: 0.0,

@@ -186,6 +186,7 @@ mod decomposition;
 mod delta;
 pub mod engine;
 mod error;
+mod input;
 mod options;
 pub mod serving;
 mod stats;
@@ -195,6 +196,7 @@ pub use als::PTucker;
 pub use checkpoint::FitCheckpoint;
 pub use decomposition::TuckerDecomposition;
 pub use error::PtuckerError;
+pub use input::FitInput;
 pub use options::{FitOptions, StoragePrecision, Variant};
 pub use serving::Predictor;
 pub use stats::{FitResult, FitStats, IterStats};

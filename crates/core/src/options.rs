@@ -86,6 +86,18 @@ pub struct FitOptions {
     /// windows are too small to amortize the hand-off. Never changes
     /// results — spilled sweeps are bitwise identical either way.
     pub prefetch: bool,
+    /// Out-of-core fits only: number of pinned window buffers in the
+    /// prefetch ring (default 2 — the classic double buffer: one buffer
+    /// being consumed, one being refilled in the background). Depth `d`
+    /// keeps up to `d − 1` refills banked ahead of the consumer, smoothing
+    /// bursty window costs at the price of `d` budget-metered buffers.
+    /// The driver self-gates per fit: it only engages the deepest depth
+    /// `≤ prefetch_depth` whose buffers still fit the [`MemoryBudget`]
+    /// with amortizable windows, falling back toward the synchronous
+    /// single buffer — so requesting a deeper ring never loses to a
+    /// shallower one. Ignored when [`FitOptions::prefetch`] is off.
+    /// Never changes results at any depth.
+    pub prefetch_depth: usize,
     /// Storage precision for streamed data (plan values, Pres table).
     /// Default [`StoragePrecision::F64`]; see [`StoragePrecision`] for the
     /// f32-storage/f64-arithmetic trade-off.
@@ -127,6 +139,7 @@ impl FitOptions {
             refit_core: false,
             sample_stride: 1,
             prefetch: true,
+            prefetch_depth: 2,
             precision: StoragePrecision::F64,
             checkpoint_path: None,
             checkpoint_every: 1,
@@ -201,6 +214,14 @@ impl FitOptions {
         self
     }
 
+    /// Sets the prefetch ring depth for out-of-core fits (default 2; 1
+    /// degenerates to synchronous refills). The driver clamps the
+    /// *effective* depth down per fit so a deeper request never loses.
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
     /// Sets the storage precision for streamed data (f64 default).
     pub fn precision(mut self, precision: StoragePrecision) -> Self {
         self.precision = precision;
@@ -266,6 +287,11 @@ impl FitOptions {
                 ));
             }
         }
+        if self.prefetch_depth == 0 {
+            return Err(PtuckerError::InvalidConfig(
+                "prefetch_depth must be >= 1".into(),
+            ));
+        }
         if self.checkpoint_every == 0 {
             return Err(PtuckerError::InvalidConfig(
                 "checkpoint_every must be >= 1".into(),
@@ -311,6 +337,7 @@ mod tests {
         assert_eq!(o.sample_stride, 1);
         assert!(!o.refit_core);
         assert!(o.prefetch);
+        assert_eq!(o.prefetch_depth, 2);
         assert_eq!(o.precision, StoragePrecision::F64);
         assert!(o.validate().is_ok());
     }
@@ -368,6 +395,14 @@ mod tests {
             .sample_stride(0)
             .validate()
             .is_err());
+        assert!(FitOptions::new(vec![2])
+            .prefetch_depth(0)
+            .validate()
+            .is_err());
+        assert!(FitOptions::new(vec![2])
+            .prefetch_depth(4)
+            .validate()
+            .is_ok());
         // Rate 0 is the valid "truncate nothing" degenerate case; 1.0 and
         // negatives/NaN are rejected.
         assert!(FitOptions::new(vec![2])

@@ -44,6 +44,15 @@ pub struct FitStats {
     /// Bytes this process received from fit-sync peers. Zero on
     /// single-process fits.
     pub bytes_received: u64,
+    /// Bytes read back from budget-tracked scratch files during the fit
+    /// (window refills, spilled `Pres` tiles, external-sort merges).
+    /// Zero for a fully resident fit. The disk-traffic twin of
+    /// [`FitStats::bytes_sent`]/[`FitStats::bytes_received`].
+    pub io_read_bytes: u64,
+    /// Bytes written to budget-tracked scratch files during the fit
+    /// (plan spills, checkpoint-free scratch state). Zero for a fully
+    /// resident fit.
+    pub io_write_bytes: u64,
     /// Whether the background prefetch pipeline actually ran. `false`
     /// when nothing spilled, when [`crate::FitOptions::prefetch`] was
     /// off, or when the driver's self-gate declined it (windows below
@@ -111,6 +120,8 @@ mod tests {
             final_error: *errs.last().unwrap_or(&0.0),
             bytes_sent: 0,
             bytes_received: 0,
+            io_read_bytes: 0,
+            io_write_bytes: 0,
             prefetch_engaged: false,
         }
     }
@@ -128,6 +139,8 @@ mod tests {
             final_error: 0.0,
             bytes_sent: 0,
             bytes_received: 0,
+            io_read_bytes: 0,
+            io_write_bytes: 0,
             prefetch_engaged: false,
         };
         assert_eq!(empty.avg_seconds_per_iter(), 0.0);

@@ -15,6 +15,10 @@
 //!   experiments (Tables V and VI) have a ground truth to recover.
 //!
 //! All generators are deterministic given a seeded RNG.
+//!
+//! For tensors **larger than memory**, the [`stream`] module writes the
+//! same families straight to a disk-resident COO scratch file in bounded
+//! memory — the front end of the engine's disk-to-disk fit pipeline.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,10 +26,14 @@
 pub mod io;
 mod lowrank;
 pub mod realworld;
+pub mod stream;
 mod uniform;
 mod zipf;
 
 pub use io::{read_dataset, write_dataset};
 pub use lowrank::{planted_cp, planted_lowrank, reconstruct_at, PlantedTensor};
+pub use stream::{
+    scratch_to_tensor, stream_uniform_to_scratch, stream_zipf_to_scratch, tsv_to_scratch,
+};
 pub use uniform::uniform_sparse;
 pub use zipf::Zipf;

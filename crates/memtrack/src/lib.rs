@@ -68,7 +68,7 @@ mod scratch;
 pub use scratch::{ScratchCorruption, ScratchFile};
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Error returned when a reservation would exceed the budget.
@@ -126,6 +126,11 @@ struct Inner {
     peak: AtomicUsize,
     spill_in_use: AtomicUsize,
     spill_peak: AtomicUsize,
+    /// Cumulative bytes read back from [`ScratchFile`]s attached to this
+    /// budget (see [`ScratchFile::create_tracked`]).
+    io_read: AtomicU64,
+    /// Cumulative bytes written to attached [`ScratchFile`]s.
+    io_write: AtomicU64,
 }
 
 /// A shareable intermediate-data budget with peak tracking.
@@ -166,6 +171,8 @@ impl MemoryBudget {
                 peak: AtomicUsize::new(0),
                 spill_in_use: AtomicUsize::new(0),
                 spill_peak: AtomicUsize::new(0),
+                io_read: AtomicU64::new(0),
+                io_write: AtomicU64::new(0),
             }),
         }
     }
@@ -307,6 +314,33 @@ impl MemoryBudget {
             budget: self.clone(),
             bytes,
         }
+    }
+
+    /// Cumulative bytes read from [`ScratchFile`]s attached to this budget
+    /// with [`ScratchFile::create_tracked`] — the disk-traffic half of the
+    /// accounting, monotone for the budget's lifetime. Consumers that want
+    /// a per-phase figure snapshot the counter before and after.
+    pub fn io_read_bytes(&self) -> u64 {
+        self.inner.io_read.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes written to attached [`ScratchFile`]s (see
+    /// [`MemoryBudget::io_read_bytes`]).
+    pub fn io_write_bytes(&self) -> u64 {
+        self.inner.io_write.load(Ordering::Relaxed)
+    }
+
+    /// Adds `bytes` to the scratch-read counter. Called by tracked
+    /// [`ScratchFile`]s; public so other disk-backed stores can account
+    /// their traffic through the same meter.
+    pub fn add_io_read(&self, bytes: u64) {
+        self.inner.io_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds `bytes` to the scratch-write counter (see
+    /// [`MemoryBudget::add_io_read`]).
+    pub fn add_io_write(&self, bytes: u64) {
+        self.inner.io_write.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Checks whether `bytes` *could* be reserved right now without actually
@@ -548,6 +582,25 @@ mod tests {
         assert_eq!(b.peak_spilled(), 1_500_000);
         b.reset_peak();
         assert_eq!(b.peak_spilled(), 0);
+    }
+
+    #[test]
+    fn io_counters_accumulate_from_tracked_scratch_files() {
+        let b = MemoryBudget::new(1 << 20);
+        assert_eq!(b.io_read_bytes(), 0);
+        assert_eq!(b.io_write_bytes(), 0);
+        let f = ScratchFile::create_tracked(&b).unwrap();
+        let off = f.append_f64s(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(b.io_write_bytes(), 24);
+        let mut back = [0.0; 3];
+        f.read_f64s(off, &mut back).unwrap();
+        assert_eq!(b.io_read_bytes(), 24);
+        // Raw byte sections count too, and an untracked file counts nothing.
+        f.write_bytes(0, &[0u8; 8]).unwrap();
+        assert_eq!(b.io_write_bytes(), 32);
+        let quiet = ScratchFile::create().unwrap();
+        quiet.append_u32s(&[1, 2]).unwrap();
+        assert_eq!(b.io_write_bytes(), 32);
     }
 
     #[test]

@@ -146,6 +146,9 @@ pub struct ScratchFile {
     /// Set only when the eager unlink failed (non-Unix platforms): the
     /// path to remove on drop.
     cleanup: Option<PathBuf>,
+    /// Budget whose I/O counters this file reports its traffic to (see
+    /// [`ScratchFile::create_tracked`]); `None` leaves the file silent.
+    tracker: Option<crate::MemoryBudget>,
 }
 
 impl ScratchFile {
@@ -154,6 +157,22 @@ impl ScratchFile {
     /// # Errors
     /// Any I/O error from creating or opening the file.
     pub fn create() -> io::Result<Self> {
+        Self::create_inner(None)
+    }
+
+    /// Like [`ScratchFile::create`], but every byte read from or written to
+    /// the file is added to `budget`'s I/O counters
+    /// ([`crate::MemoryBudget::io_read_bytes`] /
+    /// [`crate::MemoryBudget::io_write_bytes`]) — how disk-bound fits
+    /// surface their traffic the way sharded fits surface wire bytes.
+    ///
+    /// # Errors
+    /// Any I/O error from creating or opening the file.
+    pub fn create_tracked(budget: &crate::MemoryBudget) -> io::Result<Self> {
+        Self::create_inner(Some(budget.clone()))
+    }
+
+    fn create_inner(tracker: Option<crate::MemoryBudget>) -> io::Result<Self> {
         let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
         let path =
             std::env::temp_dir().join(format!("ptucker-spill-{}-{seq}.bin", std::process::id()));
@@ -171,7 +190,22 @@ impl ScratchFile {
         Ok(ScratchFile {
             inner: Mutex::new(Inner { file, len: 0 }),
             cleanup,
+            tracker,
         })
+    }
+
+    #[inline]
+    fn count_read(&self, bytes: usize) {
+        if let Some(b) = &self.tracker {
+            b.add_io_read(bytes as u64);
+        }
+    }
+
+    #[inline]
+    fn count_write(&self, bytes: usize) {
+        if let Some(b) = &self.tracker {
+            b.add_io_write(bytes as u64);
+        }
     }
 
     /// Current logical length in bytes.
@@ -216,6 +250,8 @@ impl ScratchFile {
             done += n;
         }
         inner.len = inner.len.max(start + total_bytes as u64);
+        drop(inner);
+        self.count_write(total_bytes);
         Ok(start)
     }
 
@@ -236,6 +272,8 @@ impl ScratchFile {
             drain(&buf[..n], done);
             done += n;
         }
+        drop(inner);
+        self.count_read(total_bytes);
         Ok(())
     }
 
@@ -250,6 +288,8 @@ impl ScratchFile {
         inner.file.seek(SeekFrom::Start(offset))?;
         write_full(&mut inner.file, data)?;
         inner.len = inner.len.max(offset + data.len() as u64);
+        drop(inner);
+        self.count_write(data.len());
         Ok(())
     }
 
@@ -266,7 +306,10 @@ impl ScratchFile {
         let mut inner = self.inner.lock().expect("scratch lock");
         check_window(offset, out.len() as u64, inner.len)?;
         inner.file.seek(SeekFrom::Start(offset))?;
-        read_full(&mut inner.file, out)
+        read_full(&mut inner.file, out)?;
+        drop(inner);
+        self.count_read(out.len());
+        Ok(())
     }
 
     /// Appends `data` and returns the byte offset it starts at.

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![allow(clippy::should_implement_trait)]
 
+mod coo_scratch;
 mod core_tensor;
 mod dense;
 mod error;
@@ -49,6 +50,7 @@ mod sparse;
 mod split;
 mod stream;
 
+pub use coo_scratch::{coo_record_bytes, CooScratch, CooScratchWriter, CooSegment, CooSegments};
 pub use core_tensor::CoreTensor;
 pub use dense::DenseTensor;
 pub use error::TensorError;

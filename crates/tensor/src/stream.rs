@@ -42,20 +42,37 @@
 //! windowed fit, and the per-row arithmetic is byte-identical on every
 //! placement.
 //!
-//! # Double-buffered prefetch
+//! # N-deep prefetch ring
 //!
 //! A spilled sweep can overlap its scratch-file reads with the row
-//! computation: with `prefetch` enabled, [`SliceWindows`] pins a *second*
-//! buffer and hands refill requests to a [`ptucker_sched::Background`]
-//! worker thread, so window `w+1` streams in from disk while the rows of
-//! window `w` are being updated. Prefetching changes only *when* bytes are
-//! read, never their values — sweeps are bitwise identical with it on or
-//! off. Budget accounting is the caller's job (the fit driver books both
-//! pinned buffers).
+//! computation: at pipeline depth `d ≥ 2`
+//! ([`ModeStreams::sweep_source_deep`]), [`SliceWindows`] pins `d − 1`
+//! extra buffers and hands refill requests to a
+//! [`ptucker_sched::Background`] worker thread, keeping up to `d − 1`
+//! window reads banked ahead of the compute — windows `w+1 … w+d−1`
+//! stream in from disk while the rows of window `w` are being updated,
+//! and slow windows drain the bank before the compute ever stalls. Depth
+//! 2 is the classic double buffer; `prefetch: true` on the boolean APIs
+//! maps to it. Prefetching changes only *when* bytes are read, never
+//! their values — sweeps are bitwise identical at every depth. Budget
+//! accounting is the caller's job (the fit driver books all `d` pinned
+//! buffers).
+//!
+//! # Disk-to-disk builds
+//!
+//! A plan does not need a resident tensor at all:
+//! [`ModeStreams::build_external`] derives the spilled plan straight from
+//! an on-disk [`CooScratch`] source by external sort (budget-bounded
+//! sorted runs + K-way merge), producing bit-for-bit the sections
+//! [`ModeStreams::build_spilled`] writes. Combined with the streamed
+//! ingest writers in `ptucker-datagen`, the whole path from raw data to
+//! fitted factors touches RAM only through bounded buffers.
 
-use crate::{Result, SparseTensor, StoragePrecision, TensorError};
+use crate::{CooScratch, Result, SparseTensor, StoragePrecision, TensorError};
 use ptucker_memtrack::{MemoryBudget, Reservation, ScratchFile, SpillReservation};
 use ptucker_sched::Background;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -557,6 +574,100 @@ fn record_stride(other_count: usize, precision: StoragePrecision) -> usize {
     precision.value_bytes() + 4 * other_count + 4
 }
 
+/// Floor of the external-sort arena: below this, run counts explode and
+/// the merge heap dominates — tiny budgets still get a working build,
+/// with the floor booked against them honestly.
+const MIN_SORT_BYTES: usize = 256 << 10;
+
+/// Ceiling of the external-sort arena — beyond a few tens of MiB, longer
+/// runs stop paying (fewer runs than the merge needs to care about).
+const MAX_SORT_BYTES: usize = 64 << 20;
+
+/// Staging-buffer flush threshold for sequential run writes.
+const RUN_WRITE_BYTES: usize = 256 << 10;
+
+/// One sorted run's read cursor during the K-way merge: a bounded buffer
+/// of records, the in-buffer position, and how far into the run the
+/// buffer reaches.
+struct RunCursor {
+    buf: Vec<u8>,
+    /// Record position within `buf`.
+    pos: usize,
+    /// Records of the run consumed into `buf` so far.
+    read: usize,
+    /// Total records in the run.
+    count: usize,
+    /// Byte offset of the run in the run file.
+    off: u64,
+}
+
+/// Sorts the arena's records by `(slice key, entry id)` and spills them as
+/// one run, through a bounded staging buffer. No-op on an empty arena.
+fn flush_run(
+    run_file: &ScratchFile,
+    runs: &mut Vec<(u64, usize)>,
+    arena: &mut Vec<u8>,
+    keys: &mut Vec<(u32, u32, u32)>,
+    run_rec: usize,
+    staging: &mut Vec<u8>,
+) -> Result<()> {
+    if keys.is_empty() {
+        return Ok(());
+    }
+    keys.sort_unstable();
+    let off = run_file.reserve_region((keys.len() * run_rec) as u64)?;
+    let mut written = 0u64;
+    staging.clear();
+    for &(_, _, slot) in keys.iter() {
+        let a = slot as usize * run_rec;
+        staging.extend_from_slice(&arena[a..a + run_rec]);
+        if staging.len() >= RUN_WRITE_BYTES {
+            run_file.write_bytes(off + written, staging)?;
+            written += staging.len() as u64;
+            staging.clear();
+        }
+    }
+    if !staging.is_empty() {
+        run_file.write_bytes(off + written, staging)?;
+        staging.clear();
+    }
+    runs.push((off, keys.len()));
+    arena.clear();
+    keys.clear();
+    Ok(())
+}
+
+/// Refills a run cursor's buffer with its next records; `false` when the
+/// run is exhausted.
+fn refill_run(
+    run_file: &ScratchFile,
+    c: &mut RunCursor,
+    per_run_recs: usize,
+    run_rec: usize,
+) -> Result<bool> {
+    if c.read >= c.count {
+        return Ok(false);
+    }
+    let n = per_run_recs.min(c.count - c.read);
+    c.buf.resize(n * run_rec, 0);
+    run_file.read_bytes(c.off + c.read as u64 * run_rec as u64, &mut c.buf)?;
+    c.read += n;
+    c.pos = 0;
+    Ok(true)
+}
+
+/// The `(slice key, entry id)` of the record under a run cursor.
+fn peek_run(c: &RunCursor, run_rec: usize) -> (u32, u32) {
+    let a = c.pos * run_rec;
+    let key = u32::from_le_bytes(c.buf[a..a + 4].try_into().expect("4-byte field"));
+    let eid = u32::from_le_bytes(
+        c.buf[a + run_rec - 4..a + run_rec]
+            .try_into()
+            .expect("4-byte field"),
+    );
+    (key, eid)
+}
+
 /// Returns the exclusive upper slice bound of the window starting at slice
 /// `lo`: the longest run of whole slices whose combined positions fit
 /// `cap`, but always at least one slice (a slice larger than `cap` forms a
@@ -583,14 +694,17 @@ pub struct ModeStreams {
 
 impl ModeStreams {
     fn check_widths(x: &SparseTensor) -> Result<()> {
+        Self::check_widths_dims(x.dims(), x.nnz())
+    }
+
+    fn check_widths_dims(dims: &[usize], nnz: usize) -> Result<()> {
         let lim = u32::MAX as usize;
-        if x.nnz() > lim {
+        if nnz > lim {
             return Err(TensorError::InvalidDims(format!(
-                "nnz {} exceeds the streamed layout's u32 entry-id width",
-                x.nnz()
+                "nnz {nnz} exceeds the streamed layout's u32 entry-id width"
             )));
         }
-        if let Some(&d) = x.dims().iter().find(|&&d| d > lim) {
+        if let Some(&d) = dims.iter().find(|&&d| d > lim) {
             return Err(TensorError::InvalidDims(format!(
                 "dimensionality {d} exceeds the streamed layout's u32 index width"
             )));
@@ -667,7 +781,7 @@ impl ModeStreams {
     ) -> Result<Self> {
         Self::check_widths(x)?;
         const FLUSH: usize = 1024;
-        let file = ScratchFile::create()?;
+        let file = ScratchFile::create_tracked(budget)?;
         let nnz = x.nnz();
         let order = x.order();
         let other_count = order - 1;
@@ -730,6 +844,224 @@ impl ModeStreams {
             });
         }
         let resident = budget.reserve_unchecked(Self::resident_bytes_for(x));
+        let spill = budget.record_spill(file.len() as usize);
+        Ok(ModeStreams {
+            store: StreamStore::Spilled {
+                file: Arc::new(file),
+                modes,
+                _resident: resident,
+                _spill: spill,
+            },
+            precision,
+        })
+    }
+
+    /// Derives the spilled plan **from an on-disk COO source** by external
+    /// sort, never holding more than a budget-bounded buffer of the tensor
+    /// in RAM — the disk→disk build: source scratch file in, plan scratch
+    /// file out.
+    ///
+    /// Per mode, two bounded passes over the source: the COO records are
+    /// streamed into **sorted runs** on a transient scratch file (each run
+    /// sorted by `(slice index, entry id)` — exactly the slice-major,
+    /// in-slice-ascending-COO order the resident layout has by
+    /// construction), then **K-way merged** into the same interleaved
+    /// record + ids sections [`ModeStreams::build_spilled`] writes. Run
+    /// and merge buffers are sized from the budget's current headroom
+    /// (with a small floor so tiny budgets still make progress, booked
+    /// either way), and both scratch files report their traffic to the
+    /// budget's I/O counters.
+    ///
+    /// The output is **bitwise identical** to
+    /// [`ModeStreams::build_spilled_at`] over the resident tensor at the
+    /// same precision — same record bytes, same slice offsets, same
+    /// inverse entry maps — so a fit from a `CooScratch` source follows
+    /// the exact trajectory of its in-RAM twin.
+    ///
+    /// # Errors
+    /// [`TensorError::InvalidDims`] as for [`ModeStreams::build`], or
+    /// [`TensorError::Io`] if scratch-file I/O fails.
+    pub fn build_external(src: &CooScratch, budget: &MemoryBudget) -> Result<Self> {
+        Self::build_external_at(src, budget, StoragePrecision::F64)
+    }
+
+    /// [`ModeStreams::build_external`] at an explicit storage precision.
+    /// Values are quantized here, at plan ingest, exactly as the resident
+    /// builds do — the COO source always stores full `f64` bits.
+    ///
+    /// # Errors
+    /// As for [`ModeStreams::build_external`].
+    pub fn build_external_at(
+        src: &CooScratch,
+        budget: &MemoryBudget,
+        precision: StoragePrecision,
+    ) -> Result<Self> {
+        Self::check_widths_dims(src.dims(), src.nnz())?;
+        const FLUSH: usize = 1024;
+        let dims = src.dims().to_vec();
+        let nnz = src.nnz();
+        let order = dims.len();
+        let other_count = order - 1;
+        let stride = record_stride(other_count, precision);
+        // A run record is the output payload behind a 4-byte slice-key
+        // prefix; the sort arena also carries one (key, eid, arena slot)
+        // triple per record.
+        let run_rec = 4 + stride;
+        let sort_cost = run_rec + std::mem::size_of::<(u32, u32, u32)>();
+        // Book the plan's resident floor (offsets + inverse entry maps)
+        // *before* sizing the sort arena: the maps are allocated inside
+        // the per-mode loop below, and sizing the arena from a budget the
+        // floor is about to consume would overshoot the tracked peak.
+        let resident = budget.reserve_unchecked(Self::resident_bytes_for_dims(&dims, nnz));
+        let arena_bytes = (budget.available() / 2).clamp(MIN_SORT_BYTES, MAX_SORT_BYTES);
+        let run_entries = (arena_bytes / sort_cost).max(1).min(nnz.max(1));
+        // The sort arena doubles as the merge pass's read buffers, so one
+        // booking covers the build's transient RAM.
+        let _sort_guard = budget.reserve_unchecked(run_entries * sort_cost);
+        let seg_entries = run_entries.min(8 << 10);
+
+        let file = ScratchFile::create_tracked(budget)?;
+        let mut modes = Vec::with_capacity(order);
+        let mut rbuf: Vec<u8> = Vec::with_capacity(FLUSH * stride);
+        let mut ibuf: Vec<u32> = Vec::with_capacity(FLUSH);
+        let mut arena: Vec<u8> = Vec::with_capacity(run_entries * run_rec);
+        let mut keys: Vec<(u32, u32, u32)> = Vec::with_capacity(run_entries);
+        let mut staging: Vec<u8> = Vec::new();
+        for mode in 0..order {
+            let dim = dims[mode];
+            let mut offsets = Vec::with_capacity(dim + 1);
+            let mut entry_positions = vec![0u32; nnz];
+            let rec_off = file.reserve_region(nnz as u64 * stride as u64)?;
+            let ids_off = file.reserve_region(nnz as u64 * 4)?;
+            offsets.push(0);
+
+            // Pass 1 — sorted runs: stream the source, pack each entry
+            // into its *output* record shape behind the slice key, sort
+            // each arena-full, spill it as one run.
+            let run_file = ScratchFile::create_tracked(budget)?;
+            let mut runs: Vec<(u64, usize)> = Vec::new();
+            let mut cur = src.segments(seg_entries);
+            while let Some(seg) = cur.next_segment()? {
+                for i in 0..seg.len() {
+                    let idx = seg.index(i);
+                    let e = (seg.base + i) as u32;
+                    keys.push((idx[mode], e, keys.len() as u32));
+                    arena.extend_from_slice(&idx[mode].to_le_bytes());
+                    match precision {
+                        StoragePrecision::F64 => {
+                            arena.extend_from_slice(&seg.value(i).to_le_bytes());
+                        }
+                        StoragePrecision::F32 => {
+                            arena.extend_from_slice(&(seg.value(i) as f32).to_le_bytes());
+                        }
+                    }
+                    for (k, &ik) in idx.iter().enumerate() {
+                        if k != mode {
+                            arena.extend_from_slice(&ik.to_le_bytes());
+                        }
+                    }
+                    arena.extend_from_slice(&e.to_le_bytes());
+                    if keys.len() == run_entries {
+                        flush_run(
+                            &run_file,
+                            &mut runs,
+                            &mut arena,
+                            &mut keys,
+                            run_rec,
+                            &mut staging,
+                        )?;
+                    }
+                }
+            }
+            flush_run(
+                &run_file,
+                &mut runs,
+                &mut arena,
+                &mut keys,
+                run_rec,
+                &mut staging,
+            )?;
+            let _run_guard = budget.record_spill(run_file.len() as usize);
+
+            // Pass 2 — K-way merge of the sorted runs into the plan's
+            // sections, through the same bounded flush buffers the
+            // resident-source spill build uses. Ties on the slice key are
+            // broken by entry id, reproducing build_spilled's in-slice
+            // ascending-COO order — and with it, its exact bytes.
+            let per_run_recs = (run_entries / runs.len().max(1)).max(1);
+            let mut cursors: Vec<RunCursor> = runs
+                .iter()
+                .map(|&(off, count)| RunCursor {
+                    buf: Vec::new(),
+                    pos: 0,
+                    read: 0,
+                    count,
+                    off,
+                })
+                .collect();
+            let mut heap: BinaryHeap<Reverse<(u32, u32, usize)>> =
+                BinaryHeap::with_capacity(cursors.len());
+            for (ri, c) in cursors.iter_mut().enumerate() {
+                if refill_run(&run_file, c, per_run_recs, run_rec)? {
+                    let (key, eid) = peek_run(c, run_rec);
+                    heap.push(Reverse((key, eid, ri)));
+                }
+            }
+            let mut written = 0usize;
+            let mut max_slice_len = 0usize;
+            while let Some(Reverse((key, eid, ri))) = heap.pop() {
+                let out_pos = written + ibuf.len();
+                while offsets.len() <= key as usize {
+                    offsets.push(out_pos);
+                }
+                entry_positions[eid as usize] = out_pos as u32;
+                {
+                    let c = &cursors[ri];
+                    let a = c.pos * run_rec;
+                    rbuf.extend_from_slice(&c.buf[a + 4..a + run_rec]);
+                }
+                ibuf.push(eid);
+                if ibuf.len() == FLUSH {
+                    file.write_bytes(rec_off + written as u64 * stride as u64, &rbuf)?;
+                    file.write_u32s(ids_off + written as u64 * 4, &ibuf)?;
+                    written += ibuf.len();
+                    rbuf.clear();
+                    ibuf.clear();
+                }
+                let c = &mut cursors[ri];
+                c.pos += 1;
+                if c.pos * run_rec >= c.buf.len()
+                    && !refill_run(&run_file, c, per_run_recs, run_rec)?
+                {
+                    continue;
+                }
+                let (k2, e2) = peek_run(c, run_rec);
+                heap.push(Reverse((k2, e2, ri)));
+            }
+            if !ibuf.is_empty() {
+                file.write_bytes(rec_off + written as u64 * stride as u64, &rbuf)?;
+                file.write_u32s(ids_off + written as u64 * 4, &ibuf)?;
+                written += ibuf.len();
+                rbuf.clear();
+                ibuf.clear();
+            }
+            debug_assert_eq!(written, nnz, "merge must emit every record");
+            while offsets.len() <= dim {
+                offsets.push(nnz);
+            }
+            for i in 0..dim {
+                max_slice_len = max_slice_len.max(offsets[i + 1] - offsets[i]);
+            }
+            modes.push(SpilledModeStream {
+                mode,
+                other_count,
+                offsets,
+                entry_positions,
+                max_slice_len,
+                rec_off,
+                ids_off,
+            });
+        }
         let spill = budget.record_spill(file.len() as usize);
         Ok(ModeStreams {
             store: StreamStore::Spilled {
@@ -842,6 +1174,23 @@ impl ModeStreams {
         cap_positions: usize,
         prefetch: bool,
     ) -> SweepSource<'_> {
+        self.sweep_source_deep(mode, cap_positions, if prefetch { 2 } else { 1 })
+    }
+
+    /// [`ModeStreams::sweep_source`] with an explicit pipeline depth: the
+    /// total number of pinned window buffers a spilled sweep keeps. Depth
+    /// 1 is the fully synchronous sweep, 2 the classic double buffer, and
+    /// `d > 2` a ring that keeps up to `d − 1` refills in flight behind
+    /// the window being computed on — deeper pipelines absorb burstier
+    /// compute/I/O imbalance at the cost of `d` pinned buffers. Resident
+    /// plans serve zero-copy views whatever the depth. Budget accounting
+    /// is the caller's job (a spilled sweep pins `depth` buffers).
+    pub fn sweep_source_deep(
+        &self,
+        mode: usize,
+        cap_positions: usize,
+        depth: usize,
+    ) -> SweepSource<'_> {
         match &self.store {
             StreamStore::InMemory(streams) => SweepSource {
                 inner: SourceInner::Resident {
@@ -854,7 +1203,11 @@ impl ModeStreams {
                 },
             },
             StreamStore::Spilled { .. } => SweepSource {
-                inner: SourceInner::Spilled(Box::new(self.windows(mode, cap_positions, prefetch))),
+                inner: SourceInner::Spilled(Box::new(self.windows_deep(
+                    mode,
+                    cap_positions,
+                    depth,
+                ))),
             },
         }
     }
@@ -868,6 +1221,24 @@ impl ModeStreams {
     /// Panics on an in-memory plan — use [`ModeStreams::sweep_source`],
     /// which serves zero-copy views there.
     pub fn windows(&self, mode: usize, cap_positions: usize, prefetch: bool) -> SliceWindows<'_> {
+        self.windows_deep(mode, cap_positions, if prefetch { 2 } else { 1 })
+    }
+
+    /// [`ModeStreams::windows`] with an explicit pipeline depth — the
+    /// spilled arm of [`ModeStreams::sweep_source_deep`]. Depth is
+    /// clamped to at least 1; depth ≥ 2 spawns the background refill
+    /// worker and pins `depth − 1` extra buffers for the ring.
+    ///
+    /// # Panics
+    /// Panics on an in-memory plan — use
+    /// [`ModeStreams::sweep_source_deep`], which serves zero-copy views
+    /// there.
+    pub fn windows_deep(
+        &self,
+        mode: usize,
+        cap_positions: usize,
+        depth: usize,
+    ) -> SliceWindows<'_> {
         let (file, modes) = match &self.store {
             StreamStore::Spilled { file, modes, .. } => (file, &modes[..]),
             StreamStore::InMemory(_) => {
@@ -875,6 +1246,7 @@ impl ModeStreams {
             }
         };
         let cap = cap_positions.max(1);
+        let depth = depth.max(1);
         let total = self.total_positions();
         let max_slice = modes.iter().map(|m| m.max_slice_len).max().unwrap_or(0);
         let max_slices = modes.iter().map(|m| m.num_slices()).max().unwrap_or(0);
@@ -892,10 +1264,10 @@ impl ModeStreams {
                 RAW_CHUNK.min(buf_cap.max(1) * record_stride(other_count, precision)),
             ),
         };
-        let (spare, worker) = if prefetch {
+        let (free, worker) = if depth >= 2 {
             let file = Arc::clone(file);
             (
-                Some(pinned()),
+                (1..depth).map(|_| pinned()).collect(),
                 Some(Background::spawn(
                     move |(mut buf, spec): (WindowBuf, RefillSpec)| {
                         let res = refill(&file, &mut buf, &spec);
@@ -904,7 +1276,7 @@ impl ModeStreams {
                 )),
             )
         } else {
-            (None, None)
+            (Vec::new(), None)
         };
         SliceWindows {
             modes,
@@ -916,9 +1288,9 @@ impl ModeStreams {
             start_slice: 0,
             end_slice: modes[mode].num_slices(),
             current: pinned(),
-            spare,
+            free,
             worker,
-            inflight: None,
+            inflight: VecDeque::new(),
         }
     }
 
@@ -945,18 +1317,30 @@ impl ModeStreams {
     /// value term shrinks to 4 B per position under
     /// [`StoragePrecision::F32`]).
     pub fn bytes_for_at(x: &SparseTensor, precision: StoragePrecision) -> usize {
-        let nnz = x.nnz();
-        let order = x.order();
+        Self::bytes_for_dims(x.dims(), x.nnz(), precision)
+    }
+
+    /// [`ModeStreams::bytes_for_at`] from the shape alone — the size
+    /// formulas need only `(dims, |Ω|)`, so placement decisions for a fit
+    /// whose source is an on-disk [`CooScratch`] (no resident
+    /// [`SparseTensor`] to pass) use these `_dims` variants.
+    pub fn bytes_for_dims(dims: &[usize], nnz: usize, precision: StoragePrecision) -> usize {
+        let order = dims.len();
         let per_mode_entries = nnz * precision.value_bytes() + (order - 1) * nnz * 4 + 2 * nnz * 4;
-        let offsets: usize = x.dims().iter().map(|&d| (d + 1) * 8).sum();
+        let offsets: usize = dims.iter().map(|&d| (d + 1) * 8).sum();
         order * per_mode_entries + offsets
     }
 
     /// RAM bytes a **spilled** plan for `x` keeps resident: per-mode slice
     /// offsets plus the inverse entry maps.
     pub fn resident_bytes_for(x: &SparseTensor) -> usize {
-        let offsets: usize = x.dims().iter().map(|&d| (d + 1) * 8).sum();
-        offsets + x.order() * x.nnz() * 4
+        Self::resident_bytes_for_dims(x.dims(), x.nnz())
+    }
+
+    /// [`ModeStreams::resident_bytes_for`] from the shape alone.
+    pub fn resident_bytes_for_dims(dims: &[usize], nnz: usize) -> usize {
+        let offsets: usize = dims.iter().map(|&d| (d + 1) * 8).sum();
+        offsets + dims.len() * nnz * 4
     }
 
     /// Scratch-file bytes a spilled plan for `x` writes: per mode, the
@@ -971,8 +1355,16 @@ impl ModeStreams {
     /// [`ModeStreams::spilled_bytes_for`] at an explicit storage
     /// precision.
     pub fn spilled_bytes_for_at(x: &SparseTensor, precision: StoragePrecision) -> usize {
-        let nnz = x.nnz();
-        let order = x.order();
+        Self::spilled_bytes_for_dims(x.dims(), x.nnz(), precision)
+    }
+
+    /// [`ModeStreams::spilled_bytes_for_at`] from the shape alone.
+    pub fn spilled_bytes_for_dims(
+        dims: &[usize],
+        nnz: usize,
+        precision: StoragePrecision,
+    ) -> usize {
+        let order = dims.len();
         order * (nnz * record_stride(order - 1, precision) + nnz * 4)
     }
 }
@@ -1330,14 +1722,18 @@ fn refill(file: &ScratchFile, buf: &mut WindowBuf, spec: &RefillSpec) -> std::io
 /// The spilled arm of [`SweepSource`]: slice-aligned windows refilled from
 /// the plan's scratch file into pinned buffers.
 ///
-/// Single-buffered, each [`SliceWindows::next_window`] call reads the
-/// window synchronously into one pinned buffer. With prefetch (see
-/// [`ModeStreams::windows`]), a second pinned buffer and a
-/// [`ptucker_sched::Background`] worker pipeline the reads: presenting
-/// window `w` immediately queues the read of window `w+1` into the idle
-/// buffer, so the scratch-file I/O runs concurrently with whatever the
-/// caller computes on window `w`. At most two windows are ever resident;
-/// buffers are allocated once and reused across windows and modes.
+/// At depth 1, each [`SliceWindows::next_window`] call reads the window
+/// synchronously into one pinned buffer. At depth `d ≥ 2` (see
+/// [`ModeStreams::windows_deep`]), `d − 1` extra pinned buffers and one
+/// [`ptucker_sched::Background`] worker form a **prefetch ring**:
+/// presenting window `w` tops the ring up with reads for windows
+/// `w+1 … w+d−1` into the idle buffers, so scratch-file I/O runs
+/// concurrently with whatever the caller computes — and a burst of slow
+/// windows drains up to `d − 1` banked reads before the compute ever
+/// stalls on the disk. The worker serves requests FIFO, one at a time, so
+/// deeper rings add buffering, never read reordering. At most `d` windows
+/// are ever resident; buffers are allocated once and reused across
+/// windows and modes.
 #[derive(Debug)]
 pub struct SliceWindows<'a> {
     modes: &'a [SpilledModeStream],
@@ -1357,15 +1753,16 @@ pub struct SliceWindows<'a> {
     end_slice: usize,
     /// The buffer backing the currently presented window.
     current: WindowBuf,
-    /// The idle second buffer (prefetch mode only; `None` while its
-    /// contents are in flight on the worker).
-    spare: Option<WindowBuf>,
-    /// The refill worker (prefetch mode only).
+    /// Idle ring buffers awaiting a refill request (depth ≥ 2 only;
+    /// buffers migrate between here and the worker's queue).
+    free: Vec<WindowBuf>,
+    /// The refill worker (depth ≥ 2 only).
     #[allow(clippy::type_complexity)]
     worker:
         Option<Background<(WindowBuf, RefillSpec), (WindowBuf, RefillSpec, std::io::Result<()>)>>,
-    /// The spec of the refill currently in flight, if any.
-    inflight: Option<RefillSpec>,
+    /// Specs of the refills in flight on the worker, oldest first — the
+    /// front is always the window due to be presented next.
+    inflight: VecDeque<RefillSpec>,
 }
 
 impl<'a> SliceWindows<'a> {
@@ -1393,14 +1790,15 @@ impl<'a> SliceWindows<'a> {
         }
     }
 
-    /// Joins any in-flight prefetch, discarding its data but recovering
-    /// its buffer. Called before any cursor movement that invalidates the
-    /// queued read (rewind/reset/ids sweeps) and on drop-by-scope.
+    /// Joins every in-flight prefetch, discarding their data but
+    /// recovering their buffers. Called before any cursor movement that
+    /// invalidates the queued reads (rewind/reset/ids sweeps) and on
+    /// drop-by-scope.
     fn drain(&mut self) {
-        if self.inflight.take().is_some() {
+        while self.inflight.pop_front().is_some() {
             let worker = self.worker.as_ref().expect("inflight implies a worker");
             if let Some((buf, _, _)) = worker.recv() {
-                self.spare = Some(buf);
+                self.free.push(buf);
             }
         }
     }
@@ -1417,21 +1815,28 @@ impl<'a> SliceWindows<'a> {
         let num = self.end_slice;
         if self.next_slice >= num {
             debug_assert!(
-                self.inflight.is_none(),
+                self.inflight.is_empty(),
                 "prefetch queued past the sweep end"
             );
             return Ok(None);
         }
         let spec = self.spec(self.next_slice);
-        match self.inflight.take() {
+        match self.inflight.pop_front() {
             Some(queued) => {
                 // The cursor only moves through this method between
-                // rewinds, so the queued window must be the one due next.
+                // rewinds, so the oldest queued window must be the one due
+                // next.
                 debug_assert_eq!((queued.lo, queued.hi), (spec.lo, spec.hi));
                 let worker = self.worker.as_ref().expect("inflight implies a worker");
                 let (buf, _, res) = worker.recv().expect("prefetch worker died");
-                res.map_err(TensorError::from)?;
-                self.spare = Some(std::mem::replace(&mut self.current, buf));
+                if let Err(e) = res {
+                    // Recover the remaining ring buffers so a caller that
+                    // survives the error can rewind and sweep again.
+                    self.free.push(buf);
+                    self.drain();
+                    return Err(e.into());
+                }
+                self.free.push(std::mem::replace(&mut self.current, buf));
             }
             None => refill(&self.file, &mut self.current, &spec).map_err(TensorError::from)?,
         }
@@ -1442,18 +1847,23 @@ impl<'a> SliceWindows<'a> {
                 .map(|&o| o - spec.start),
         );
         self.next_slice = spec.hi;
-        // Queue the following window's read into the idle buffer while the
-        // caller computes on this one.
-        if self.next_slice < num {
-            if let Some(worker) = &self.worker {
-                let next_spec = self.spec(self.next_slice);
-                let buf = self
-                    .spare
-                    .take()
-                    .expect("idle buffer present when no read is in flight");
+        // Top up the ring: queue reads for the windows beyond the deepest
+        // one already in flight, one per idle buffer, while the caller
+        // computes on this window.
+        if let Some(worker) = &self.worker {
+            let mut cursor = self.inflight.back().map_or(self.next_slice, |s| s.hi);
+            while cursor < num && !self.free.is_empty() {
+                let next_spec = self.spec(cursor);
+                let buf = self.free.pop().expect("checked non-empty");
                 match worker.submit((buf, next_spec)) {
-                    Ok(()) => self.inflight = Some(next_spec),
-                    Err((buf, _)) => self.spare = Some(buf),
+                    Ok(()) => {
+                        self.inflight.push_back(next_spec);
+                        cursor = next_spec.hi;
+                    }
+                    Err((buf, _)) => {
+                        self.free.push(buf);
+                        break;
+                    }
                 }
             }
         }
@@ -2006,6 +2416,232 @@ mod tests {
         }
     }
 
+    /// A denser random-ish tensor that forces multiple sorted runs and
+    /// multi-record merge buffers when built with a tiny budget.
+    fn bigger_sample() -> SparseTensor {
+        let dims = vec![17, 11, 7];
+        let mut entries = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..500 {
+            let i = (next() as usize) % dims[0];
+            let j = (next() as usize) % dims[1];
+            let k = (next() as usize) % dims[2];
+            let v = (next() as f64 / u32::MAX as f64) * 2.0 - 1.0;
+            entries.push((vec![i, j, k], v));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|a, b| a.0 == b.0);
+        SparseTensor::new(dims, entries).unwrap()
+    }
+
+    /// Asserts two spilled plans present byte-identical sweeps: same
+    /// offsets, inverse maps, value bits, packed indices and entry ids.
+    fn assert_spilled_plans_bitwise(a: &ModeStreams, b: &ModeStreams, nnz: usize, tag: &str) {
+        assert_eq!(a.order(), b.order(), "{tag}");
+        for n in 0..a.order() {
+            let sa = a.spilled_mode(n);
+            let sb = b.spilled_mode(n);
+            assert_eq!(sa.offsets, sb.offsets, "{tag} mode {n} offsets");
+            assert_eq!(
+                sa.entry_positions, sb.entry_positions,
+                "{tag} mode {n} inverse maps"
+            );
+            assert_eq!(sa.max_slice_len(), sb.max_slice_len(), "{tag} mode {n}");
+            let mut wa = a.windows(n, 3, false);
+            let mut wb = b.windows(n, 3, false);
+            let mut covered = 0;
+            loop {
+                match (wa.next_window().unwrap(), wb.next_window().unwrap()) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.slices, y.slices, "{tag} mode {n}");
+                        assert_eq!(x.base, y.base, "{tag} mode {n}");
+                        for p in 0..x.stream.len() {
+                            assert_eq!(
+                                x.stream.value(p).to_bits(),
+                                y.stream.value(p).to_bits(),
+                                "{tag} mode {n} pos {p}"
+                            );
+                            assert_eq!(x.stream.others(p), y.stream.others(p), "{tag}");
+                            assert_eq!(x.stream.entry_id(p), y.stream.entry_id(p), "{tag}");
+                        }
+                        covered += x.stream.len();
+                    }
+                    (None, None) => break,
+                    _ => panic!("{tag} mode {n}: window counts diverged"),
+                }
+            }
+            assert_eq!(covered, nnz, "{tag} mode {n}");
+        }
+    }
+
+    /// `build_external` from a COO scratch source reproduces
+    /// `build_spilled` from the resident tensor bit for bit, at both
+    /// storage precisions — and therefore (via
+    /// `spilled_windows_reproduce_resident_streams`) the resident layout
+    /// too.
+    #[test]
+    fn external_build_is_bitwise_identical_to_spilled_build() {
+        for x in [sample(), off_grid_sample(), bigger_sample()] {
+            for precision in [StoragePrecision::F64, StoragePrecision::F32] {
+                let spill_budget = MemoryBudget::unlimited();
+                let spilled = ModeStreams::build_spilled_at(&x, &spill_budget, precision).unwrap();
+                // A tiny budget forces the minimum (floor-sized) sort
+                // arena without changing output.
+                let ext_budget = MemoryBudget::new(1);
+                let src = CooScratch::from_tensor(&x, &ext_budget).unwrap();
+                let external =
+                    ModeStreams::build_external_at(&src, &ext_budget, precision).unwrap();
+                assert!(external.is_spilled());
+                assert_eq!(external.precision(), precision);
+                assert_spilled_plans_bitwise(
+                    &spilled,
+                    &external,
+                    x.nnz(),
+                    &format!("nnz={} {:?}", x.nnz(), precision),
+                );
+                assert_eq!(
+                    ext_budget.io_write_bytes() > 0,
+                    x.nnz() > 0,
+                    "tracked source + plan traffic"
+                );
+            }
+        }
+    }
+
+    /// Enough entries to overflow the floor-sized sort arena several
+    /// times over, so the K-way merge really merges.
+    fn large_sample() -> SparseTensor {
+        let dims = vec![50, 40, 30];
+        let mut entries = Vec::new();
+        let mut state = 0x51ed270b0f4a7c15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..25_000 {
+            let i = (next() as usize) % dims[0];
+            let j = (next() as usize) % dims[1];
+            let k = (next() as usize) % dims[2];
+            let v = (next() as f64 / u32::MAX as f64) * 2.0 - 1.0;
+            entries.push((vec![i, j, k], v));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|a, b| a.0 == b.0);
+        SparseTensor::new(dims, entries).unwrap()
+    }
+
+    /// With the arena pinned at its floor, ~20k entries split into
+    /// several sorted runs per mode — the K-way merge must still
+    /// reproduce the resident-source build bit for bit.
+    #[test]
+    fn external_build_multi_run_merge_is_bitwise() {
+        let x = large_sample();
+        assert!(
+            x.nnz() * (4 + record_stride(2, StoragePrecision::F64) + 12) > 2 * MIN_SORT_BYTES,
+            "sample must not fit one floor-sized run"
+        );
+        let spilled = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        let budget = MemoryBudget::new(1); // floor-sized arena
+        let src = CooScratch::from_tensor(&x, &budget).unwrap();
+        let external = ModeStreams::build_external(&src, &budget).unwrap();
+        assert_spilled_plans_bitwise(&spilled, &external, x.nnz(), "multi-run");
+    }
+
+    /// The external build books the same resident metadata and final
+    /// spill bytes as the resident-source spill build (the transient run
+    /// files release their spill bytes when the build returns).
+    #[test]
+    fn external_build_budget_accounting_matches_spilled() {
+        let x = bigger_sample();
+        let budget = MemoryBudget::new(1);
+        let src = CooScratch::from_tensor(&x, &budget).unwrap();
+        let before_resident = budget.in_use();
+        let plan = ModeStreams::build_external(&src, &budget).unwrap();
+        assert_eq!(
+            budget.in_use() - before_resident,
+            ModeStreams::resident_bytes_for(&x)
+        );
+        assert_eq!(
+            budget.spilled_in_use(),
+            ModeStreams::spilled_bytes_for(&x) + src.bytes() as usize
+        );
+        drop(plan);
+        assert_eq!(budget.in_use(), before_resident);
+    }
+
+    /// An empty source external-builds into an empty (but well-formed)
+    /// plan.
+    #[test]
+    fn external_build_empty_source() {
+        let budget = MemoryBudget::unlimited();
+        let x = SparseTensor::new(vec![3, 3], vec![]).unwrap();
+        let src = CooScratch::from_tensor(&x, &budget).unwrap();
+        let plan = ModeStreams::build_external(&src, &budget).unwrap();
+        let mut w = plan.windows(0, 10, false);
+        let win = w.next_window().unwrap().unwrap();
+        assert_eq!(win.slices, 0..3);
+        assert!(win.stream.values().is_empty());
+        assert!(w.next_window().unwrap().is_none());
+    }
+
+    /// Every pipeline depth presents the same windows — the ring changes
+    /// only when bytes are read — and survives mid-sweep rewinds with
+    /// several reads in flight.
+    #[test]
+    fn deep_prefetch_ring_matches_synchronous_sweep() {
+        let x = bigger_sample();
+        let plan = ModeStreams::build_spilled(&x, &MemoryBudget::unlimited()).unwrap();
+        let resident = ModeStreams::build(&x).unwrap();
+        for depth in [1, 2, 3, 4, 7] {
+            for n in 0..x.order() {
+                let full = resident.mode(n);
+                let mut w = plan.windows_deep(n, 5, depth);
+                let mut covered = 0;
+                let mut windows = 0;
+                while let Some(win) = w.next_window().unwrap() {
+                    for p in 0..win.stream.len() {
+                        let g = win.base + p;
+                        assert_eq!(
+                            win.stream.value(p).to_bits(),
+                            full.value(g).to_bits(),
+                            "depth {depth} mode {n}"
+                        );
+                        assert_eq!(win.stream.entry_id(p), full.entry_id(g));
+                        assert_eq!(win.stream.others(p), full.others(g));
+                    }
+                    covered += win.stream.len();
+                    windows += 1;
+                }
+                assert_eq!(covered, x.nnz(), "depth {depth} mode {n}");
+                assert_eq!(windows, w.window_count(), "depth {depth} mode {n}");
+            }
+            // Mid-sweep rewind with up to depth−1 reads in flight must
+            // discard them all cleanly.
+            let mut w = plan.windows_deep(0, 1, depth);
+            let _ = w.next_window().unwrap().unwrap();
+            w.rewind(1);
+            let mut covered = 0;
+            while let Some(win) = w.next_window().unwrap() {
+                covered += win.stream.len();
+            }
+            assert_eq!(covered, x.nnz(), "depth {depth} after rewind");
+            // And ids sweeps drain the whole ring too.
+            w.rewind(2);
+            let _ = w.next_window().unwrap().unwrap();
+            w.rewind(0);
+            let ids = w.next_ids_window().unwrap().unwrap();
+            assert!(!ids.entry_ids.is_empty());
+        }
+    }
+
     /// The f64→f32 storage switch shaves exactly 4 bytes per entry per
     /// mode off both placements' size formulas — what the `als`
     /// placement gate keys on.
@@ -2030,5 +2666,54 @@ mod tests {
         // record_stride: value + packed others + entry id.
         assert_eq!(record_stride(2, StoragePrecision::F64), 8 + 8 + 4);
         assert_eq!(record_stride(2, StoragePrecision::F32), 4 + 8 + 4);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        // Satellite property: for arbitrary sparse tensors, budgets and
+        // precisions, the external-sort build from a COO scratch source
+        // is bitwise-identical to the resident-source spilled build.
+        #[test]
+        fn external_build_is_bitwise(
+            seed in 0..u64::MAX,
+            nnz in 1usize..600,
+            budget_bytes in 1usize..(1 << 20),
+            f32_storage in 0u32..2
+        ) {
+            let dims = vec![13, 7, 5];
+            let mut entries = Vec::new();
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for _ in 0..nnz {
+                let idx: Vec<usize> = dims.iter().map(|&d| (next() as usize) % d).collect();
+                let v = (next() as f64 / u32::MAX as f64) * 2.0 - 1.0;
+                entries.push((idx, v));
+            }
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            entries.dedup_by(|a, b| a.0 == b.0);
+            let x = SparseTensor::new(dims, entries).unwrap();
+            let precision = if f32_storage == 1 {
+                StoragePrecision::F32
+            } else {
+                StoragePrecision::F64
+            };
+            let spilled =
+                ModeStreams::build_spilled_at(&x, &MemoryBudget::unlimited(), precision).unwrap();
+            let budget = MemoryBudget::new(budget_bytes);
+            let src = CooScratch::from_tensor(&x, &budget).unwrap();
+            let external = ModeStreams::build_external_at(&src, &budget, precision).unwrap();
+            assert_spilled_plans_bitwise(
+                &spilled,
+                &external,
+                x.nnz(),
+                &format!("nnz={} {:?}", x.nnz(), precision),
+            );
+        }
     }
 }
